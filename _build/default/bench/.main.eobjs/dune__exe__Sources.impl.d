@@ -1,0 +1,1 @@
+bench/sources.ml: Compiler List Printf Random

@@ -1,0 +1,1 @@
+bench/test_graphs.ml: Analysis Array Dfg Graph List Opcode Random

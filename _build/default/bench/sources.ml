@@ -1,0 +1,145 @@
+(* Shared Val sources and input generators for the benchmark harness. *)
+
+module D = Compiler.Driver
+
+let example1 m =
+  Printf.sprintf
+    {|
+param m = %d;
+input C : array[real] [0, m+1];
+input B : array[real] [0, m+1];
+A : array[real] :=
+  forall i in [0, m+1]
+    P : real :=
+      if (i = 0) | (i = m+1) then C[i]
+      else 0.25 * (C[i-1] + 2.*C[i] + C[i+1])
+      endif;
+  construct
+    B[i] * (P * P)
+  endall;
+|}
+    m
+
+let example2 m =
+  Printf.sprintf
+    {|
+param m = %d;
+input A : array[real] [0, m];
+input B : array[real] [0, m];
+X : array[real] :=
+  for
+    i : integer := 1;
+    T : array[real] := [0: 0]
+  do
+    let P : real := A[i] * T[i-1] + B[i]
+    in
+      if i < m then iter T := T[i: P]; i := i + 1 enditer else T endif
+    endlet
+  endfor;
+|}
+    m
+
+let figure3 m =
+  Printf.sprintf
+    {|
+param m = %d;
+input C : array[real] [0, m+1];
+input B : array[real] [0, m+1];
+
+A : array[real] :=
+  forall i in [0, m+1]
+    P : real :=
+      if (i = 0) | (i = m+1) then C[i]
+      else 0.25 * (C[i-1] + 2.*C[i] + C[i+1])
+      endif;
+  construct
+    B[i] * (P * P)
+  endall;
+
+X : array[real] :=
+  for
+    i : integer := 1;
+    T : array[real] := [0: 0]
+  do
+    let P : real := A[i] * T[i-1] + B[i]
+    in
+      if i < m then iter T := T[i: P]; i := i + 1 enditer else T endif
+    endlet
+  endfor;
+|}
+    m
+
+let fig4_kernel m =
+  Printf.sprintf
+    {|
+param m = %d;
+input C : array[real] [0, m+1];
+A : array[real] :=
+  forall i in [1, m]
+  construct
+    0.25 * (C[i-1] + 2.*C[i] + C[i+1])
+  endall;
+|}
+    m
+
+let fig5_conditional n =
+  Printf.sprintf
+    {|
+param n = %d;
+input C : array[boolean] [0, n];
+input A : array[real] [0, n];
+input B : array[real] [0, n];
+R : array[real] :=
+  forall i in [0, n]
+  construct
+    if C[i] then -(A[i] + B[i]) else 5.*(A[i]*B[i] + 2.) endif
+  endall;
+|}
+    n
+
+(* Recurrence whose body chains [depth] affine stages around x[i-1]:
+   x_i = A_d*( ... A_2*(A_1*x_{i-1} + B[i]) + B[i] ... ) + B[i].
+   Todd's loop grows with [depth]; the companion pipeline keeps the loop
+   at 4 cells. *)
+let deep_recurrence ~depth m =
+  let rec body k =
+    if k = 0 then "T[i-1]"
+    else Printf.sprintf "(%.2f * %s + B[i])" (0.9 /. float_of_int depth) (body (k - 1))
+  in
+  Printf.sprintf
+    {|
+param m = %d;
+input A : array[real] [0, m];
+input B : array[real] [0, m];
+X : array[real] :=
+  for
+    i : integer := 1;
+    T : array[real] := [0: 0]
+  do
+    let P : real := %s + 0. * A[i]
+    in
+      if i < m then iter T := T[i: P]; i := i + 1 enditer else T endif
+    endlet
+  endfor;
+|}
+    m (body depth)
+
+let grid_2d n =
+  Printf.sprintf
+    {|
+param n = %d;
+input G : array[real] [0, n-1] [0, n-1];
+L : array[real] :=
+  forall i in [1, n-2], j in [1, n-2]
+  construct
+    0.25 * (G[i-1, j] + G[i+1, j] + G[i, j-1] + G[i, j+1])
+  endall;
+|}
+    n
+
+let random_wave st n = List.init n (fun _ -> Random.State.float st 2.0 -. 1.0)
+
+let tame_wave st n = List.init n (fun _ -> Random.State.float st 0.8)
+
+let real_inputs st spec =
+  List.map (fun (name, size) -> (name, D.wave_of_floats (random_wave st size))) spec

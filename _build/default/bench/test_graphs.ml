@@ -1,0 +1,40 @@
+(* Random layered DAG builder shared by the balancing experiments. *)
+
+open Dfg
+
+let random_dag ~seed ~layers ~width =
+  let rng = Random.State.make [| seed |] in
+  let g = Graph.create () in
+  let input = Graph.add g (Opcode.Input "a") [||] in
+  let all = ref [ input ] in
+  for _ = 1 to layers do
+    let layer =
+      List.init width (fun _ ->
+          let pool = Array.of_list !all in
+          let pick () = pool.(Random.State.int rng (Array.length pool)) in
+          let n =
+            Graph.add g (Opcode.Arith Opcode.Add)
+              [| Graph.In_arc; Graph.In_arc |]
+          in
+          Graph.connect g ~src:(pick ()) ~dst:n ~port:0;
+          Graph.connect g ~src:(pick ()) ~dst:n ~port:1;
+          n)
+    in
+    all := layer @ !all
+  done;
+  let sinks = List.filter (fun id -> Analysis.successors g id = []) !all in
+  let rec join = function
+    | [] -> assert false
+    | [ x ] -> x
+    | x :: y :: rest ->
+      let n =
+        Graph.add g (Opcode.Arith Opcode.Add) [| Graph.In_arc; Graph.In_arc |]
+      in
+      Graph.connect g ~src:x ~dst:n ~port:0;
+      Graph.connect g ~src:y ~dst:n ~port:1;
+      join (rest @ [ n ])
+  in
+  let root = join sinks in
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:root ~dst:out ~port:0;
+  g

@@ -1,0 +1,1 @@
+bin/dfsim.ml: Arg Cmd Cmdliner Compiler Dfg Fun Hashtbl List Machine Printf Random Sim String Term Val_lang

@@ -1,0 +1,1 @@
+bin/recur.ml: Arg Cmd Cmdliner Compiler Dfg List Printf Random Sim Term Val_lang

@@ -1,0 +1,1 @@
+bin/valc.ml: Arg Cmd Cmdliner Compiler Dfg Fun List Printf Term Val_lang

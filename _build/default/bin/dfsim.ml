@@ -1,0 +1,211 @@
+(* dfsim: compile a Val program and simulate it on the static dataflow
+   machine.  Input arrays are synthesized deterministically (--seed) or
+   read from simple text files of one number per line (--input NAME=FILE).
+
+   Examples:
+     dfsim program.val --waves 8
+     dfsim program.val --input C=c.txt --input B=b.txt
+     dfsim program.val --machine --pe 16 --stored
+*)
+
+module PC = Compiler.Program_compile
+module D = Compiler.Driver
+module ME = Machine.Machine_engine
+module Arch = Machine.Arch
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_floats path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> (
+          let line = String.trim line in
+          if line = "" then go acc
+          else
+            match float_of_string_opt line with
+            | Some f -> go (f :: acc)
+            | None -> failwith (Printf.sprintf "%s: bad number %S" path line))
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let synth_wave ~seed ~elt ~size name =
+  let st =
+    Random.State.make [| seed; Hashtbl.hash name |]
+  in
+  List.init size (fun _ ->
+      match elt with
+      | Val_lang.Ast.Tint -> Dfg.Value.Int (Random.State.int st 100)
+      | Val_lang.Ast.Treal -> Dfg.Value.Real (Random.State.float st 2.0 -. 1.0)
+      | Val_lang.Ast.Tbool -> Dfg.Value.Bool (Random.State.bool st))
+
+(* Run a pre-compiled .dfg machine program (no oracle available). *)
+let run_loaded path waves seed report =
+  let g = Dfg.Text.read_file path in
+  let inputs =
+    List.map
+      (fun (name, id) ->
+        ignore id;
+        (* wave size is not recorded in the .dfg; synthesize a generous
+           stream and let the graph consume what it needs *)
+        let st = Random.State.make [| seed; Hashtbl.hash name |] in
+        (name,
+         List.init (waves * 256) (fun _ ->
+             Dfg.Value.Real (Random.State.float st 2.0 -. 1.0))))
+      (Dfg.Graph.inputs g)
+  in
+  let result = Sim.Engine.run ~record_firings:report g ~inputs in
+  List.iter
+    (fun (name, _) ->
+      let values = Sim.Engine.output_values result name in
+      Printf.printf "%s: %d packets, interval %.3f
+" name
+        (List.length values)
+        (Sim.Metrics.output_interval result name))
+    result.Sim.Engine.outputs;
+  if report then print_string (Sim.Report.render g result);
+  `Ok ()
+
+let run path waves seed input_files machine pe stored no_check report load =
+  try
+    if load then run_loaded path waves seed report
+    else begin
+    let source = read_file path in
+    let prog, compiled = D.compile_source source in
+    let inputs =
+      List.map
+        (fun (name, shape) ->
+          let size = PC.wave_size shape in
+          match List.assoc_opt name input_files with
+          | Some file ->
+            let vals = read_floats file in
+            if List.length vals <> size then
+              failwith
+                (Printf.sprintf "input %s: %d values, expected %d" name
+                   (List.length vals) size);
+            (name, List.map (fun f -> Dfg.Value.Real f) vals)
+          | None ->
+            (name, synth_wave ~seed ~elt:shape.Val_lang.Classify.sh_elt ~size name))
+        compiled.PC.cp_inputs
+    in
+    if machine then begin
+      let arch =
+        { Arch.default with
+          Arch.n_pe = pe;
+          array_policy = (if stored then Arch.Stored else Arch.Streamed);
+        }
+      in
+      let feeds =
+        List.map
+          (fun (n, w) ->
+            (n, List.concat_map (fun _ -> w) (List.init waves Fun.id)))
+          inputs
+      in
+      let r = ME.run ~arch compiled.PC.cp_graph ~inputs:feeds in
+      Printf.printf "machine: %s\n" (Arch.describe arch);
+      Printf.printf "finished at t=%d (quiescent=%b)\n" r.ME.end_time
+        r.ME.quiescent;
+      let s = r.ME.stats in
+      Printf.printf
+        "dispatches=%d fu=%d am=%d results=%d acks=%d am-fraction=%.3f\n"
+        s.ME.dispatches s.ME.fu_ops s.ME.am_ops s.ME.result_packets
+        s.ME.ack_packets (ME.am_fraction s)
+    end
+    else begin
+      let result = D.run ~waves compiled ~inputs in
+      if not no_check then begin
+        D.check_against_oracle prog compiled result ~inputs;
+        print_endline "outputs verified against the Val interpreter"
+      end;
+      List.iter
+        (fun (name, _) ->
+          let interval = Sim.Metrics.output_interval result name in
+          let wave = D.output_wave compiled result name in
+          Printf.printf "%s: %d elements/wave, interval %.3f\n" name
+            (List.length wave) interval;
+          let shown = List.filteri (fun i _ -> i < 8) wave in
+          Printf.printf "  [%s%s]\n"
+            (String.concat ", " (List.map Dfg.Value.to_string shown))
+            (if List.length wave > 8 then ", ..." else ""))
+        compiled.PC.cp_outputs;
+      if report then begin
+        let r2 = D.run ~waves ~record_firings:true compiled ~inputs in
+        print_string (Sim.Report.render compiled.PC.cp_graph r2)
+      end
+    end;
+    `Ok ()
+    end
+  with
+  | Sys_error msg | Failure msg -> `Error (false, msg)
+  | Val_lang.Parser.Parse_error (msg, line, col) ->
+    `Error (false, Printf.sprintf "%s:%d:%d: %s" path line col msg)
+  | Val_lang.Classify.Not_in_class msg | Compiler.Driver.Mismatch msg ->
+    `Error (false, msg)
+  | Compiler.Expr_compile.Unsupported msg -> `Error (false, msg)
+
+let cmd =
+  let open Cmdliner in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Val source file")
+  in
+  let waves =
+    Arg.(value & opt int 4
+         & info [ "waves" ] ~docv:"N" ~doc:"input waves to stream")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED" ~doc:"seed for synthesized inputs")
+  in
+  let input_files =
+    Arg.(value & opt_all (pair ~sep:'=' string file) []
+         & info [ "input" ] ~docv:"NAME=FILE"
+             ~doc:"read an input array from a file (one number per line)")
+  in
+  let machine =
+    Arg.(value & flag
+         & info [ "machine" ]
+             ~doc:"run on the machine-level simulator (PE/FU/AM/RN)")
+  in
+  let pe =
+    Arg.(value & opt int Arch.default.Arch.n_pe
+         & info [ "pe" ] ~docv:"N" ~doc:"processing elements (machine mode)")
+  in
+  let stored =
+    Arg.(value & flag
+         & info [ "stored" ]
+             ~doc:"store arrays in array memory (baseline) instead of \
+                   streaming them")
+  in
+  let no_check =
+    Arg.(value & flag
+         & info [ "no-check" ] ~doc:"skip the interpreter oracle comparison")
+  in
+  let report =
+    Arg.(value & flag
+         & info [ "report" ]
+             ~doc:"print per-cell firing statistics (busiest stages,                    utilization, concurrency)")
+  in
+  let load =
+    Arg.(value & flag
+         & info [ "load" ]
+             ~doc:"FILE is a compiled .dfg machine program (from valc                    --save) rather than Val source")
+  in
+  let term =
+    Term.(ret (const run $ path $ waves $ seed $ input_files $ machine $ pe
+               $ stored $ no_check $ report $ load))
+  in
+  Cmd.v
+    (Cmd.info "dfsim" ~version:"1.0"
+       ~doc:"simulate compiled Val programs on a static dataflow machine")
+    term
+
+let () = exit (Cmdliner.Cmd.eval cmd)

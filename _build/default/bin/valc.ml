@@ -1,0 +1,123 @@
+(* valc: compile a Val-subset source file to static dataflow machine code.
+
+   Examples:
+     valc program.val                      # compile, print a summary
+     valc program.val --dot graph.dot      # export Graphviz
+     valc program.val --scheme todd        # force Todd's for-iter scheme
+     valc program.val --balance none       # skip balancing
+     valc program.val --expand             # lower to pure machine cells
+*)
+
+module PC = Compiler.Program_compile
+module FC = Compiler.Foriter_compile
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scheme_conv =
+  Cmdliner.Arg.enum
+    [ ("auto", FC.Auto); ("todd", FC.Todd); ("companion", FC.Companion) ]
+
+let balance_conv =
+  Cmdliner.Arg.enum
+    [ ("optimal", `Optimal); ("reduced", `Reduced); ("naive", `Naive);
+      ("none", `None) ]
+
+let compile path scheme distance balance expand dot_out save_out verbose =
+  try
+    let source = read_file path in
+    let options =
+      { PC.default_options with
+        PC.scheme;
+        companion_distance = distance;
+        balance;
+        expand_macros = expand;
+      }
+    in
+    let _prog, compiled = Compiler.Driver.compile_source ~options source in
+    let g = compiled.PC.cp_graph in
+    Printf.printf "%s: %d instruction cells, %d arcs\n" path
+      (Dfg.Graph.node_count g) (Dfg.Graph.arc_count g);
+    List.iter
+      (fun (blk, s) -> Printf.printf "  block %-8s %s\n" blk s)
+      compiled.PC.cp_schemes;
+    if verbose then begin
+      print_endline "opcode census:";
+      List.iter
+        (fun (op, k) -> Printf.printf "  %-12s %d\n" op k)
+        (Dfg.Graph.opcode_census g)
+    end;
+    (match dot_out with
+    | Some out ->
+      Dfg.Dot.write_file out g;
+      Printf.printf "wrote %s\n" out
+    | None -> ());
+    (match save_out with
+    | Some out ->
+      Dfg.Text.write_file out g;
+      Printf.printf "wrote machine program %s\n" out
+    | None -> ());
+    `Ok ()
+  with
+  | Sys_error msg -> `Error (false, msg)
+  | Val_lang.Parser.Parse_error (msg, line, col) ->
+    `Error (false, Printf.sprintf "%s:%d:%d: %s" path line col msg)
+  | Val_lang.Typecheck.Error msg ->
+    `Error (false, Printf.sprintf "%s: type error: %s" path msg)
+  | Val_lang.Classify.Not_in_class msg ->
+    `Error (false, Printf.sprintf "%s: outside the compilable class: %s" path msg)
+  | Compiler.Expr_compile.Unsupported msg ->
+    `Error (false, Printf.sprintf "%s: %s" path msg)
+
+let cmd =
+  let open Cmdliner in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Val source file")
+  in
+  let scheme =
+    Arg.(value & opt scheme_conv FC.Auto
+         & info [ "scheme" ] ~docv:"SCHEME"
+             ~doc:"for-iter mapping: auto, todd or companion")
+  in
+  let distance =
+    Arg.(value & opt int 2
+         & info [ "distance" ] ~docv:"D"
+             ~doc:"companion-scheme feedback distance (power of two)")
+  in
+  let balance =
+    Arg.(value & opt balance_conv `Optimal
+         & info [ "balance" ] ~docv:"STRATEGY"
+             ~doc:"balancing: optimal, reduced, naive or none")
+  in
+  let expand =
+    Arg.(value & flag
+         & info [ "expand" ]
+             ~doc:"macro-expand control sequences, index sources and FIFOs \
+                   into pure instruction cells")
+  in
+  let dot_out =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"OUT" ~doc:"write a Graphviz rendering")
+  in
+  let save_out =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"OUT"
+             ~doc:"write the loadable .dfg machine program (see dfsim --load)")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print the opcode census")
+  in
+  let term =
+    Term.(ret (const compile $ path $ scheme $ distance $ balance $ expand
+               $ dot_out $ save_out $ verbose))
+  in
+  Cmd.v
+    (Cmd.info "valc" ~version:"1.0"
+       ~doc:"compile Val array programs to pipelined static dataflow code")
+    term
+
+let () = exit (Cmdliner.Cmd.eval cmd)

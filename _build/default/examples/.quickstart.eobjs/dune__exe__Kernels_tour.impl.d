@@ -1,0 +1,1 @@
+examples/kernels_tour.ml: Compiler Df_util Dfg Float Kernels List Printf Random Sim String

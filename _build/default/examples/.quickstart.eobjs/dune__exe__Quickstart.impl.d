@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler Dfg List Printf Sim String

@@ -1,0 +1,1 @@
+examples/recurrence_solver.ml: Compiler Df_util Dfg List Printf Random Sim String

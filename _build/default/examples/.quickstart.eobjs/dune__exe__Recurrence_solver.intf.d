@@ -1,0 +1,1 @@
+examples/recurrence_solver.mli:

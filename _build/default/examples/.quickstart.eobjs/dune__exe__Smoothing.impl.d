@@ -1,0 +1,1 @@
+examples/smoothing.ml: Compiler Dfg Fun List Printf Sim

@@ -1,0 +1,1 @@
+examples/time_stepping.ml: Compiler Dfg Float List Printf

@@ -1,0 +1,1 @@
+examples/weather_pipe.ml: Compiler Df_util Dfg Fun List Machine Printf Random Sim

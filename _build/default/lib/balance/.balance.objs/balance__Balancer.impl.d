@@ -1,0 +1,1 @@
+lib/balance/balancer.ml: Analysis Array Dfg Fun Graph Hashtbl List Mcf Opcode Printf Queue

@@ -1,0 +1,1 @@
+lib/balance/balancer.mli: Dfg Graph

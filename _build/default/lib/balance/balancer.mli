@@ -1,0 +1,81 @@
+open Dfg
+
+(** Balancing of acyclic instruction graphs (Section 8 of the paper).
+
+    A {e level assignment} gives each cell an integer depth such that for
+    every arc [u -> v]:  [level v - level u >= delay u] (delay is 1, or
+    [k] for a [Fifo k]).  The {e slack} of an arc is the excess
+    [level v - level u - delay u]; inserting a FIFO of that capacity on
+    the arc makes every path exactly equal, which is the paper's condition
+    for fully pipelined operation.  All [Input] cells are constrained to a
+    common level so that parallel input streams stay aligned.
+
+    Three level-construction algorithms are provided, matching the
+    paper's conclusions (1)-(3):
+    - {!naive_levels} — longest-path from the inputs (polynomial,
+      always feasible, usually wasteful);
+    - {!reduce_levels} — a polynomial local-improvement pass over any
+      feasible assignment ("an algorithm which can effectively reduce the
+      buffering in many cases");
+    - {!optimal_levels} — minimum total buffering, solved exactly as the
+      LP dual of a min-cost flow problem. *)
+
+exception Cyclic
+(** Raised when the graph has feedback cycles (balance for-iter loops with
+    the companion transformation instead, Section 7). *)
+
+val naive_levels : ?weight:(Graph.node -> int) -> Graph.t -> int array
+(** Longest-path levels.  [weight] gives each node's contribution to the
+    paths through it (default {!Analysis.node_delay}). @raise Cyclic *)
+
+val reduce_levels :
+  ?weight:(Graph.node -> int) -> Graph.t -> int array -> int array
+(** Iterated coordinate descent: move each unpinned cell to the end of its
+    feasible interval that lowers total slack; repeat to a fixpoint.
+    Input is any feasible assignment; result is feasible and no worse. *)
+
+val optimal_levels : ?weight:(Graph.node -> int) -> Graph.t -> int array
+(** Minimum-total-slack levels via min-cost flow (exact optimum).
+    @raise Cyclic *)
+
+val is_feasible : ?weight:(Graph.node -> int) -> Graph.t -> int array -> bool
+(** Every arc satisfies the level constraint. *)
+
+val buffer_cost : ?weight:(Graph.node -> int) -> Graph.t -> int array -> int
+(** Total slack = number of buffer stages the assignment implies. *)
+
+val insert_buffers :
+  ?weight:(Graph.node -> int) ->
+  ?skip:(int -> int -> bool) ->
+  ?to_capacity:(int -> int) ->
+  Graph.t ->
+  int array ->
+  Graph.t
+(** New graph with a [Fifo (to_capacity slack)] inserted on every arc with
+    positive converted slack (default conversion: identity).  Node ids
+    [0 .. node_count-1] are preserved; FIFOs are appended after them. *)
+
+val balance : ?strategy:[ `Naive | `Reduced | `Optimal ] -> Graph.t -> Graph.t
+(** Convenience: compute levels (default [`Optimal]) and insert buffers.
+    @raise Cyclic *)
+
+val phase_balance :
+  ?strategy:[ `Naive | `Reduced | `Optimal ] ->
+  shift:(int -> int) ->
+  Graph.t ->
+  Graph.t
+(** Steady-state {e phase} balancing for compiled graphs whose gates
+    discard stream prefixes.  [shift id] is the wave position of the first
+    element the gate with node id [id] forwards (0 for ordinary cells); a
+    gate displaces downstream phases by [2 * shift] time units, and FIFO
+    capacity of [ceil (slack/2)] is inserted to absorb the differences —
+    this reproduces the FIFO(2) buffers of the paper's Figure 4.
+    Arcs inside strongly connected components (for-iter feedback loops,
+    which are self-timed) are left untouched; only the acyclic
+    interconnection is balanced, per Theorem 4. *)
+
+val dual_lower_bound : ?weight:(Graph.node -> int) -> Graph.t -> int
+(** The min-cost-flow dual objective: a certified lower bound on the
+    buffer stages any balancing needs.  Equals
+    [buffer_cost g (optimal_levels g)] by strong duality — asserted in
+    the test suite. @raise Cyclic *)

@@ -1,0 +1,1 @@
+lib/compiler/driver.ml: Array Dfg Fun List Printf Program_compile Sim Val_lang Value

@@ -1,0 +1,1 @@
+lib/compiler/driver.mli: Dfg Program_compile Sim Val_lang Value

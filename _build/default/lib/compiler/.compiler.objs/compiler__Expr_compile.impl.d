@@ -1,0 +1,1 @@
+lib/compiler/expr_compile.ml: Array Ctlseq Dfg Fun Graph Hashtbl Lazy List Opcode Printf Recurrence String Val_lang Value

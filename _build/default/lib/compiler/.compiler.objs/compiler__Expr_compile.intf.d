@@ -1,0 +1,1 @@
+lib/compiler/expr_compile.mli: Dfg Graph Hashtbl Lazy Val_lang Value

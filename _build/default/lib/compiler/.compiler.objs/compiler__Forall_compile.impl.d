@@ -1,0 +1,1 @@
+lib/compiler/forall_compile.ml: Expr_compile List Val_lang

@@ -1,0 +1,1 @@
+lib/compiler/forall_compile.mli: Dfg Expr_compile Val_lang

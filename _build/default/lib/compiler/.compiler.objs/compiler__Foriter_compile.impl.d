@@ -1,0 +1,1 @@
+lib/compiler/foriter_compile.ml: Ctlseq Dfg Expr_compile Graph Hashtbl Opcode Printf Recurrence Val_lang Value

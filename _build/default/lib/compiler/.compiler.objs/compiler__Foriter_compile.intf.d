@@ -1,0 +1,1 @@
+lib/compiler/foriter_compile.mli: Dfg Expr_compile Recurrence Val_lang

@@ -1,0 +1,1 @@
+lib/compiler/program_compile.ml: Array Balance Dfg Expr_compile Forall_compile Foriter_compile Graph Hashtbl List Macro Opcode Optimize Option Printf Prune Recurrence Val_lang Value

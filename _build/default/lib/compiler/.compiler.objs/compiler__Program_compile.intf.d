@@ -1,0 +1,1 @@
+lib/compiler/program_compile.mli: Dfg Foriter_compile Graph Hashtbl Val_lang Value

@@ -1,0 +1,1 @@
+lib/compiler/recurrence.ml: List Option Printf Val_lang

@@ -1,0 +1,1 @@
+lib/compiler/recurrence.mli: Val_lang

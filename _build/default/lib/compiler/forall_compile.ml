@@ -1,0 +1,15 @@
+module C = Val_lang.Classify
+
+let compile g ~params ~arrays (pf : C.prim_forall) =
+  let ctx =
+    Expr_compile.new_block_ctx g ~params ~arrays ~index_vars:pf.C.pf_ranges
+  in
+  let env =
+    List.fold_left
+      (fun env d ->
+        Expr_compile.bind env d.Val_lang.Ast.def_name
+          (Expr_compile.compile_expr ctx env d.Val_lang.Ast.def_rhs))
+      Expr_compile.top_env pf.C.pf_defs
+  in
+  let rv = Expr_compile.compile_expr ctx env pf.C.pf_body in
+  (ctx, Expr_compile.materialize ctx rv)

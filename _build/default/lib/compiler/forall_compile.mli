@@ -1,0 +1,16 @@
+module C = Val_lang.Classify
+
+(** Pipelined mapping of primitive forall expressions (Theorem 2,
+    Figure 6): the definition part and the accumulation part are cascaded
+    as one acyclic instruction graph producing the constructed array as a
+    stream, one element per index point in row-major order. *)
+
+val compile :
+  Dfg.Graph.t ->
+  params:(string * Dfg.Value.t) list ->
+  arrays:(string * Expr_compile.array_src) list ->
+  C.prim_forall ->
+  Expr_compile.block_ctx * int
+(** Returns the block's compile context (for its phase-shift table) and
+    the node producing the constructed array's stream.
+    @raise Expr_compile.Unsupported *)

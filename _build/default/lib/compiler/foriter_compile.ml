@@ -1,0 +1,242 @@
+open Dfg
+module A = Val_lang.Ast
+module C = Val_lang.Classify
+module E = Expr_compile
+
+type scheme = Todd | Companion | Auto
+
+let const_init ctx (pi : C.prim_foriter) =
+  match E.compile_expr ctx E.top_env pi.C.pi_init with
+  | E.Const v -> v
+  | E.Stream _ ->
+    raise
+      (E.Unsupported
+         (Printf.sprintf
+            "for-iter %s: the initial element must be a compile-time \
+             constant"
+            pi.C.pi_name))
+
+let ctl ctx label runs =
+  Graph.add ctx.E.g ~label (Opcode.Bool_source (Ctlseq.make ~cyclic:true runs))
+    [||]
+
+(* ------------------------------------------------------------------ *)
+(* Todd's direct scheme (Figure 7)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let compile_todd g ~params ~arrays (pi : C.prim_foriter) =
+  let index_vars = [ (pi.C.pi_counter, pi.C.pi_first, pi.C.pi_last) ] in
+  let ctx = E.new_block_ctx g ~params ~arrays ~index_vars in
+  let n = pi.C.pi_last - pi.C.pi_first + 1 in
+  let init = const_init ctx pi in
+  (* merge control: first output is the initial element, then the n
+     computed elements; destination control: feed back all but the last *)
+  let mctl = ctl ctx (pi.C.pi_name ^ ".mctl") [ (false, 1); (true, n) ] in
+  let dctl = ctl ctx (pi.C.pi_name ^ ".dctl") [ (true, n); (false, 1) ] in
+  let ms =
+    Graph.add g
+      ~label:(pi.C.pi_name ^ ".loop")
+      Opcode.Merge_switch
+      [| Graph.In_arc; Graph.In_arc; Graph.In_const init; Graph.In_arc |]
+  in
+  Graph.connect g ~src:mctl ~dst:ms ~port:0;
+  Graph.connect g ~src:dctl ~dst:ms ~port:3;
+  (* the accumulator reference X[i-1] resolves to the feedback stream *)
+  E.seed_window ctx pi.C.pi_acc [ -1 ] (E.Stream (ms, 1));
+  let elem = E.compile_expr ctx E.top_env pi.C.pi_elem in
+  (match elem with
+  | E.Stream _ -> E.connect_rval ctx elem ~dst:ms ~port:1
+  | E.Const _ ->
+    raise
+      (E.Unsupported
+         (Printf.sprintf
+            "for-iter %s computes a constant element stream; nothing paces \
+             the loop"
+            pi.C.pi_name)));
+  (ctx, ms)
+
+(* ------------------------------------------------------------------ *)
+(* The companion scheme (Figure 8)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Delay a stream by [k] elements within each wave: drop the last [k]
+   (T^(n-k) F^k gate), buffer, and prepend [k] copies of [first]
+   (F^k T^(n-k) merge, whose constant operand supplies each prepended
+   element).  The result pairs position i with the value at position i-k.
+   The FIFO between the gate and the merge is required for maximal
+   pipelining: the delayed branch holds more elements in flight than its
+   cell count, and without elastic capacity the acknowledge chain
+   gate <- merge <- consumer closes a constraint cycle spanning k+1
+   element indexes that caps the rate (2/5 observed for k = 1 before the
+   fix). *)
+let delayed ?(k = 1) ctx label ~n ~first rv =
+  assert (k >= 1 && k < n);
+  let g = ctx.E.g in
+  let gate_ctl = ctl ctx (label ^ ".drop") [ (true, n - k); (false, k) ] in
+  let gate = Graph.add g ~label:(label ^ ".gate") Opcode.Tgate
+      [| Graph.In_arc; E.binding_for rv |]
+  in
+  Graph.connect g ~src:gate_ctl ~dst:gate ~port:0;
+  E.connect_rval ctx rv ~dst:gate ~port:1;
+  let buf =
+    Graph.add g ~label:(label ^ ".buf") (Opcode.Fifo (k + 1))
+      [| Graph.In_arc |]
+  in
+  Graph.connect g ~src:gate ~dst:buf ~port:0;
+  (* the merge consumes the buffered stream [k] indexes late (its first
+     [k] firings take the constant): the index offset sits on the arc out
+     of the buffer, so phase shift -k is recorded on the buffer node *)
+  Hashtbl.replace ctx.E.shifts buf (-k);
+  let m_ctl = ctl ctx (label ^ ".mctl") [ (false, k); (true, n - k) ] in
+  let m = Graph.add g ~label:(label ^ ".prepend") Opcode.Merge
+      [| Graph.In_arc; Graph.In_arc; Graph.In_const first |]
+  in
+  Graph.connect g ~src:m_ctl ~dst:m ~port:0;
+  Graph.connect g ~src:buf ~dst:m ~port:1;
+  E.Stream (m, 0)
+
+let compile_companion ?(distance = 2) g ~params ~arrays
+    (pi : C.prim_foriter) (an : Recurrence.analysis) =
+  if distance < 2 || distance land (distance - 1) <> 0 then
+    raise
+      (E.Unsupported
+         (Printf.sprintf
+            "companion distance %d: must be a power of two >= 2" distance));
+  let coef, shift =
+    match an with
+    | Recurrence.Affine { coef; shift } -> (coef, shift)
+    | Recurrence.Not_affine why ->
+      raise
+        (E.Unsupported
+           (Printf.sprintf "for-iter %s is not simple: %s" pi.C.pi_name why))
+  in
+  let index_vars = [ (pi.C.pi_counter, pi.C.pi_first, pi.C.pi_last) ] in
+  let ctx = E.new_block_ctx g ~params ~arrays ~index_vars in
+  let n = pi.C.pi_last - pi.C.pi_first + 1 in
+  let init = const_init ctx pi in
+  let one, zero =
+    match pi.C.pi_elt with
+    | A.Tint -> (Value.Int 1, Value.Int 0)
+    | A.Treal | A.Tbool -> (Value.Real 1.0, Value.Real 0.0)
+  in
+  (* companion pipeline: c1_i = P_i * P'_{i-1},
+                         c2_i = P_i * Q'_{i-1} + Q_i *)
+  let p_rv = E.compile_expr ctx E.top_env coef in
+  let q_rv = E.compile_expr ctx E.top_env shift in
+  (match (p_rv, q_rv) with
+  | E.Const _, E.Const _ ->
+    raise
+      (E.Unsupported
+         (Printf.sprintf
+            "for-iter %s: constant recurrence coefficients leave the loop \
+             unpaced by any input"
+            pi.C.pi_name))
+  | _ -> ());
+  let name = pi.C.pi_name in
+  (* The coefficient pair stream c^(1) = (P, Q), composed by doubling:
+     c^(2k)_i = G(c^(k)_i, c^(k)_{i-k}) — log2(distance) levels of G, the
+     paper's associativity tree.  Delays are primed with the identity pair
+     (1, 0), which makes the early elements compose only the factors that
+     exist: c^(d)_i covers a_i .. a_max(p, i-d+1). *)
+  let c1, c2, deff =
+    if n = 1 then (p_rv, q_rv, 2)
+    else begin
+      let binop op rv1 rv2 label =
+        match (rv1, rv2) with
+        | E.Const a, E.Const b -> E.Const (Opcode.apply_arith op a b)
+        | _ ->
+          let m = Graph.add g ~label (Opcode.Arith op)
+              [| E.binding_for rv1; E.binding_for rv2 |]
+          in
+          E.connect_rval ctx rv1 ~dst:m ~port:0;
+          E.connect_rval ctx rv2 ~dst:m ~port:1;
+          E.Stream (m, 0)
+      in
+      let mul = binop Opcode.Mul and add = binop Opcode.Add in
+      (* one G level: (p1,q1) o (p2,q2) at delay k *)
+      let rec compose level k (p1, q1) =
+        if k >= distance || k >= n then (p1, q1, max 2 k)
+        else begin
+          let tag suffix = Printf.sprintf "%s.g%d.%s" name level suffix in
+          let p2 = delayed ~k ctx (tag "pdel") ~n ~first:one p1 in
+          let q2 = delayed ~k ctx (tag "qdel") ~n ~first:zero q1 in
+          let p' = mul p1 p2 (tag "c1") in
+          let q' = add (mul p1 q2 (tag "c2m")) q1 (tag "c2") in
+          compose (level + 1) (2 * k) (p', q')
+        end
+      in
+      compose 1 1 (p_rv, q_rv)
+    end
+  in
+  (* The loop ring, Figure 8 generalized to feedback distance [deff]:
+     MULT -> ADD -> ID^(2*deff-3) -> MERG -> MULT — an even ring of
+     2*deff cells carrying deff tokens, which sustains the maximal rate.
+     The merge issues all deff initial seeds consecutively from its
+     constant operand, its destination control feeds everything except
+     the last deff elements back, and the block output drops the
+     duplicated leading seeds through a gate outside the ring. *)
+  let mctl = ctl ctx (name ^ ".mctl") [ (false, deff); (true, n) ] in
+  let dctl = ctl ctx (name ^ ".dctl") [ (true, n); (false, deff) ] in
+  let ms =
+    Graph.add g ~label:(name ^ ".loop") Opcode.Merge_switch
+      [| Graph.In_arc; Graph.In_arc; Graph.In_const init; Graph.In_arc |]
+  in
+  Graph.connect g ~src:mctl ~dst:ms ~port:0;
+  Graph.connect g ~src:dctl ~dst:ms ~port:3;
+  let mul =
+    Graph.add g ~label:(name ^ ".xmul") (Opcode.Arith Opcode.Mul)
+      [| E.binding_for c1; Graph.In_arc |]
+  in
+  E.connect_rval ctx c1 ~dst:mul ~port:0;
+  Graph.connect_slot g ~src:ms ~slot:1 ~dst:mul ~port:1;
+  let add =
+    Graph.add g ~label:(name ^ ".xadd") (Opcode.Arith Opcode.Add)
+      [| Graph.In_arc; E.binding_for c2 |]
+  in
+  Graph.connect g ~src:mul ~dst:add ~port:0;
+  E.connect_rval ctx c2 ~dst:add ~port:1;
+  let last_pad = ref add in
+  for j = 1 to (2 * deff) - 3 do
+    let pad =
+      Graph.add g ~label:(Printf.sprintf "%s.pad%d" name j) Opcode.Id
+        [| Graph.In_arc |]
+    in
+    Graph.connect g ~src:!last_pad ~dst:pad ~port:0;
+    last_pad := pad
+  done;
+  Graph.connect g ~src:!last_pad ~dst:ms ~port:1;
+  (* the merge's firing j consumes the ring emission j - deff (deff seeds
+     circulate): index offset -deff closes the ring's phase equalities
+     with cycle sum zero — the even-ring condition for the maximal rate *)
+  Hashtbl.replace ctx.E.shifts !last_pad (-deff);
+  (* output tap: drop the duplicated leading seeds *)
+  let octl = ctl ctx (name ^ ".octl") [ (false, deff - 1); (true, n + 1) ] in
+  let out_gate =
+    Graph.add g ~label:(name ^ ".out") Opcode.Tgate
+      [| Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:octl ~dst:out_gate ~port:0;
+  Graph.connect g ~src:ms ~dst:out_gate ~port:1;
+  Hashtbl.replace ctx.E.shifts out_gate (deff - 1);
+  (ctx, out_gate)
+
+(* ------------------------------------------------------------------ *)
+
+let analyze_scheme scheme (pi : C.prim_foriter) =
+  match scheme with
+  | Todd -> Error "Todd's scheme performs no recurrence analysis"
+  | Companion | Auto ->
+    Ok (Recurrence.analyze ~acc:pi.C.pi_acc ~elt:pi.C.pi_elt pi.C.pi_elem)
+
+let compile ?(scheme = Auto) ?distance g ~params ~arrays
+    (pi : C.prim_foriter) =
+  match scheme with
+  | Todd -> compile_todd g ~params ~arrays pi
+  | Companion ->
+    compile_companion ?distance g ~params ~arrays pi
+      (Recurrence.analyze ~acc:pi.C.pi_acc ~elt:pi.C.pi_elt pi.C.pi_elem)
+  | Auto -> (
+    match Recurrence.analyze ~acc:pi.C.pi_acc ~elt:pi.C.pi_elt pi.C.pi_elem with
+    | Recurrence.Affine _ as an ->
+      compile_companion ?distance g ~params ~arrays pi an
+    | Recurrence.Not_affine _ -> compile_todd g ~params ~arrays pi)

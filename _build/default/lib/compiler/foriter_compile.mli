@@ -1,0 +1,51 @@
+module C = Val_lang.Classify
+
+(** Pipelined mapping of primitive for-iter expressions (Section 7).
+
+    Two schemes are implemented:
+
+    - {b Todd's direct scheme} (Figure 7): the appended-element expression
+      is compiled with the accumulator reference [X[i-1]] wired to a
+      feedback arc from a merge with conditional destinations
+      ([Merge_switch]): the merge's result is forwarded as the block
+      output unconditionally and fed back for all but the last element.
+      For Example 2 the feedback cycle is MULT → ADD → MERG, 3 cells, so
+      the initiation rate is limited to 1/3 (and in general to
+      [1/(depth(E)+1)]).
+
+    - {b The companion scheme} (Figure 8): when the recurrence is affine,
+      [x_i = P_i x_{i-1} + Q_i], an acyclic {e companion pipeline}
+      computes [c_i = G(a_i, a_{i-1})] — i.e. [c1_i = P_i P'_{i-1}],
+      [c2_i = P_i Q'_{i-1} + Q_i] with the one-element-delayed streams
+      primed by the identity pair (1, 0) — after which the loop computes
+      [x_i = c1_i x_{i-2} + c2_i]: a 4-cell even-length cycle carrying two
+      tokens, which sustains the maximal rate 1/2. *)
+
+type scheme = Todd | Companion | Auto
+(** [Auto] = companion when the recurrence analysis finds one (a "simple"
+    for-iter, Theorem 3), Todd otherwise. *)
+
+val compile :
+  ?scheme:scheme ->
+  ?distance:int ->
+  Dfg.Graph.t ->
+  params:(string * Dfg.Value.t) list ->
+  arrays:(string * Expr_compile.array_src) list ->
+  C.prim_foriter ->
+  Expr_compile.block_ctx * int
+(** Returns the block context and the node producing the output stream
+    (index range [init_index .. last], the initial element first).
+    [distance] (default 2, a power of two) sets the companion scheme's
+    feedback distance: the coefficient streams are composed by a
+    [log2 distance]-level tree of the companion function G (the paper's
+    associativity remark), and the loop becomes an even ring of
+    [2*distance] cells carrying [distance] tokens — still the maximal
+    rate, but tolerant of [distance-1] extra stages of loop latency.
+    @raise Expr_compile.Unsupported — notably when [scheme = Companion]
+    but no companion function exists, when the initial element is not a
+    compile-time constant, or when [distance] is not a power of two. *)
+
+val analyze_scheme :
+  scheme -> C.prim_foriter -> (Recurrence.analysis, string) result
+(** The recurrence analysis the compiler would use (exposed for tests and
+    reporting).  [Error] when the scheme is [Todd] (no analysis needed). *)

@@ -1,0 +1,1 @@
+lib/dfg/analysis.ml: Array Graph Hashtbl List Opcode Printf Queue

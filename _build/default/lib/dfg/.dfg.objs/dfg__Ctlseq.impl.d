@@ -1,0 +1,1 @@
+lib/dfg/ctlseq.ml: Fun List Printf String

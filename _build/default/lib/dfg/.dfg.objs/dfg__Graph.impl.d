@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Array Hashtbl List Opcode Option Printf String Value

@@ -1,0 +1,1 @@
+lib/dfg/macro.ml: Array Ctlseq Graph List Opcode Printf Value

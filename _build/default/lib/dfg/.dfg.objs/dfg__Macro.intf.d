@@ -1,0 +1,1 @@
+lib/dfg/macro.mli: Graph

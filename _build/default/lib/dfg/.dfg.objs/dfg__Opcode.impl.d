@@ -1,0 +1,1 @@
+lib/dfg/opcode.ml: Ctlseq Float Printf Value

@@ -1,0 +1,1 @@
+lib/dfg/optimize.ml: Analysis Array Fun Graph Hashtbl List Opcode Queue Value

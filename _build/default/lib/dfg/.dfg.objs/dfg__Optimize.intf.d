@@ -1,0 +1,1 @@
+lib/dfg/optimize.mli: Graph

@@ -1,0 +1,1 @@
+lib/dfg/prune.ml: Array Graph List Opcode Queue

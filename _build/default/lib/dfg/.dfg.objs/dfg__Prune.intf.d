@@ -1,0 +1,1 @@
+lib/dfg/prune.mli: Graph

@@ -1,0 +1,1 @@
+lib/dfg/text.ml: Array Buffer Ctlseq Fun Graph List Opcode Printf String Value

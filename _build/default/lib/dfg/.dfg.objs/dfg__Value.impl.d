@@ -1,0 +1,1 @@
+lib/dfg/value.ml: Float Format Printf

@@ -1,0 +1,68 @@
+type segment = { value : bool; count : int }
+
+type t = { segments : segment list; cyclic : bool }
+
+let make ~cyclic runs =
+  List.iter
+    (fun (_, count) ->
+      if count < 0 then invalid_arg "Ctlseq.make: negative run length")
+    runs;
+  let segments =
+    List.fold_left
+      (fun acc (value, count) ->
+        if count = 0 then acc
+        else
+          match acc with
+          | { value = v; count = c } :: rest when v = value ->
+            { value; count = c + count } :: rest
+          | _ -> { value; count } :: acc)
+      [] runs
+    |> List.rev
+  in
+  if segments = [] then invalid_arg "Ctlseq.make: empty sequence";
+  { segments; cyclic }
+
+let period t =
+  List.fold_left (fun acc seg -> acc + seg.count) 0 t.segments
+
+let nth t k =
+  if k < 0 then invalid_arg "Ctlseq.nth: negative position";
+  let p = period t in
+  let k = if t.cyclic then k mod p else k in
+  if k >= p then None
+  else
+    let rec find k = function
+      | [] -> assert false
+      | seg :: rest -> if k < seg.count then Some seg.value else find (k - seg.count) rest
+    in
+    find k t.segments
+
+let to_list t ~periods =
+  let reps = if t.cyclic then periods else 1 in
+  List.concat_map
+    (fun _ ->
+      List.concat_map
+        (fun seg -> List.init seg.count (fun _ -> seg.value))
+        t.segments)
+    (List.init reps Fun.id)
+
+let selection_window ~lo ~hi ~sel_lo ~sel_hi =
+  if sel_lo < lo || sel_hi > hi || sel_hi < sel_lo then
+    invalid_arg
+      (Printf.sprintf
+         "Ctlseq.selection_window: [%d, %d] not inside stream [%d, %d]"
+         sel_lo sel_hi lo hi);
+  make ~cyclic:true
+    [
+      (false, sel_lo - lo); (true, sel_hi - sel_lo + 1); (false, hi - sel_hi);
+    ]
+
+let describe t =
+  let seg_str { value; count } =
+    let c = if value then "T" else "F" in
+    if count = 1 then c else Printf.sprintf "%s^%d" c count
+  in
+  let body = String.concat " " (List.map seg_str t.segments) in
+  Printf.sprintf "<%s>%s" body (if t.cyclic then "*" else "")
+
+let equal a b = a.cyclic = b.cyclic && a.segments = b.segments

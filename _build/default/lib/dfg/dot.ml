@@ -1,0 +1,78 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_attrs (n : Graph.node) =
+  let consts =
+    Array.to_list n.Graph.inputs
+    |> List.filter_map (function
+         | Graph.In_const v -> Some (Value.to_string v)
+         | Graph.In_arc_init v -> Some ("init " ^ Value.to_string v)
+         | Graph.In_arc -> None)
+  in
+  let label =
+    match consts with
+    | [] -> n.Graph.label
+    | cs -> Printf.sprintf "%s\\n[%s]" n.Graph.label (String.concat ", " cs)
+  in
+  let shape, color =
+    match n.Graph.op with
+    | Opcode.Input _ -> ("invhouse", "lightblue")
+    | Opcode.Output _ -> ("house", "lightblue")
+    | Opcode.Bool_source _ | Opcode.Iota _ -> ("cds", "khaki")
+    | Opcode.Merge -> ("invtrapezium", "lightsalmon")
+    | Opcode.Switch -> ("trapezium", "lightsalmon")
+    | Opcode.Tgate | Opcode.Fgate -> ("diamond", "palegreen")
+    | Opcode.Fifo _ -> ("box3d", "lightgrey")
+    | Opcode.Sink -> ("point", "black")
+    | _ -> ("box", "white")
+  in
+  Printf.sprintf "label=\"%s\", shape=%s, style=filled, fillcolor=%s"
+    (escape label) shape color
+
+let to_dot ?(name = "dataflow") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
+  Graph.iter_nodes g (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [%s];\n" n.Graph.id (node_attrs n)));
+  Graph.iter_nodes g (fun n ->
+      Array.iteri
+        (fun slot dests ->
+          let extra =
+            match (n.Graph.op, slot) with
+            | Opcode.Switch, 0 -> " [label=\"T\"]"
+            | Opcode.Switch, 1 -> " [label=\"F\"]"
+            | _ -> ""
+          in
+          List.iter
+            (fun { Graph.ep_node; ep_port } ->
+              let port_note =
+                match (Graph.node g ep_node).Graph.op with
+                | Opcode.Merge ->
+                  [ " [label=\"M\"]"; " [label=\"I1\"]"; " [label=\"I2\"]" ]
+                  |> fun l -> List.nth l ep_port
+                | Opcode.Tgate | Opcode.Fgate | Opcode.Switch ->
+                  if ep_port = 0 then " [style=dashed]" else ""
+                | _ -> ""
+              in
+              let attr = if extra <> "" then extra else port_note in
+              Buffer.add_string buf
+                (Printf.sprintf "  n%d -> n%d%s;\n" n.Graph.id ep_node attr))
+            dests)
+        n.Graph.dests);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot g))

@@ -1,0 +1,10 @@
+(** Graphviz export of instruction graphs, for inspecting compiled code
+    against the paper's figures. *)
+
+val to_dot : ?name:string -> Graph.t -> string
+(** DOT source.  Gates, merges, FIFOs, sources and sinks get distinct
+    shapes; constant operands are shown in the node label; switch arcs are
+    annotated T/F. *)
+
+val write_file : string -> Graph.t -> unit
+(** Write [to_dot] output to a path. *)

@@ -1,0 +1,127 @@
+(* Canonical key of a cell: opcode + per-port binding where arc ports are
+   resolved to the representative of their producer.  Processing in
+   topological order guarantees producers are canonicalized first; nodes
+   in cycles are excluded (their keys would be self-referential). *)
+
+type port_key = K_const of Value.t | K_arc of int * int
+
+let mergeable (n : Graph.node) ~in_cycle =
+  (not in_cycle.(n.Graph.id))
+  &&
+  match n.Graph.op with
+  | Opcode.Input _ | Opcode.Output _ | Opcode.Sink -> false
+  | _ -> true
+
+let analyze g =
+  let n = Graph.node_count g in
+  let in_cycle = Array.make n false in
+  List.iter
+    (fun comp -> List.iter (fun v -> in_cycle.(v) <- true) comp)
+    (Analysis.cycles g);
+  (* representative of each node after merging *)
+  let rep = Array.init n Fun.id in
+  let producers = Graph.producers g in
+  let table = Hashtbl.create 64 in
+  let order =
+    match Analysis.topological_order g with
+    | Some order -> order
+    | None ->
+      (* process acyclic part only: nodes not in any cycle, in an order
+         where producers come first (Kahn over the subgraph) *)
+      let indeg = Array.make n 0 in
+      Graph.iter_nodes g (fun node ->
+          Array.iter
+            (fun dests ->
+              List.iter
+                (fun { Graph.ep_node; _ } ->
+                  if not (in_cycle.(node.Graph.id) || in_cycle.(ep_node))
+                  then indeg.(ep_node) <- indeg.(ep_node) + 1)
+                dests)
+            node.Graph.dests);
+      let queue = Queue.create () in
+      for v = 0 to n - 1 do
+        if (not in_cycle.(v)) && indeg.(v) = 0 then Queue.add v queue
+      done;
+      let acc = ref [] in
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        acc := v :: !acc;
+        List.iter
+          (fun s ->
+            if not (in_cycle.(v) || in_cycle.(s)) then begin
+              indeg.(s) <- indeg.(s) - 1;
+              if indeg.(s) = 0 then Queue.add s queue
+            end)
+          (Analysis.successors g v)
+      done;
+      List.rev !acc
+  in
+  List.iter
+    (fun id ->
+      let node = Graph.node g id in
+      if mergeable node ~in_cycle then begin
+        let key_ok = ref true in
+        let ports =
+          Array.mapi
+            (fun port binding ->
+              match binding with
+              | Graph.In_const v -> K_const v
+              | Graph.In_arc | Graph.In_arc_init _ -> (
+                match producers.(id).(port) with
+                | [| (src, slot) |] ->
+                  if in_cycle.(src) then key_ok := false;
+                  K_arc (rep.(src), slot)
+                | _ ->
+                  key_ok := false;
+                  K_arc (-1, -1)))
+            node.Graph.inputs
+        in
+        (* preloaded tokens are load-time state: include them in the key *)
+        let init_state =
+          Array.map
+            (fun b ->
+              match b with Graph.In_arc_init v -> Some v | _ -> None)
+            node.Graph.inputs
+        in
+        if !key_ok then begin
+          let key = (node.Graph.op, ports, init_state) in
+          match Hashtbl.find_opt table key with
+          | Some canonical -> rep.(id) <- canonical
+          | None -> Hashtbl.add table key id
+        end
+      end)
+    order;
+  rep
+
+let cse_stats g =
+  let rep = analyze g in
+  Array.fold_left ( + ) 0
+    (Array.mapi (fun id r -> if id <> r then 1 else 0) rep)
+
+let cse g =
+  let n = Graph.node_count g in
+  let rep = analyze g in
+  let ng = Graph.create () in
+  let id_map = Array.make n (-1) in
+  Graph.iter_nodes g (fun node ->
+      if rep.(node.Graph.id) = node.Graph.id then
+        id_map.(node.Graph.id) <-
+          Graph.add ng ~label:node.Graph.label node.Graph.op node.Graph.inputs);
+  (* Every arc (u -> v.port) becomes (rep u -> v.port); arcs into merged
+     cells are dropped (the survivor already receives the equivalent
+     operands).  A port still has exactly one producer afterwards. *)
+  Graph.iter_nodes g (fun node ->
+      Array.iteri
+        (fun slot dests ->
+          List.iter
+            (fun { Graph.ep_node; ep_port } ->
+              if rep.(ep_node) = ep_node then
+                Graph.connect_slot ng
+                  ~src:id_map.(rep.(node.Graph.id))
+                  ~slot
+                  ~dst:id_map.(ep_node)
+                  ~port:ep_port)
+            dests)
+        node.Graph.dests);
+  let final_map = Array.init n (fun id -> id_map.(rep.(id))) in
+  (ng, final_map)

@@ -1,0 +1,21 @@
+(** Common-subexpression elimination on instruction graphs.
+
+    Two cells compute the same stream when they have the same opcode, the
+    same immediate operands, and the same producers on the same ports —
+    deterministic dataflow makes the rewrite sound, and the acknowledge
+    discipline handles the increased fan-out of the surviving cell.  The
+    compiler memoizes windows and index sources per block; this pass
+    additionally merges duplicates {e across} blocks (identical control
+    generators, selection gates over the same producer, repeated
+    arithmetic).
+
+    Cells inside feedback loops (strongly connected components), [Input]
+    and [Output] cells, and [Sink]s are never merged.  Run before
+    balancing: merged cells keep path lengths intact, and the balancer
+    then sizes buffers for the deduplicated graph. *)
+
+val cse : Graph.t -> Graph.t * int array
+(** Returns the rewritten graph and the old-id → new-id map. *)
+
+val cse_stats : Graph.t -> int
+(** Number of cells CSE would remove (for reporting). *)

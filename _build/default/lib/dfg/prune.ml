@@ -1,0 +1,53 @@
+let reachable_to_outputs g =
+  let n = Graph.node_count g in
+  let live = Array.make n false in
+  (* reverse BFS from outputs *)
+  let preds = Array.make n [] in
+  Graph.iter_nodes g (fun node ->
+      Array.iter
+        (fun dests ->
+          List.iter
+            (fun { Graph.ep_node; _ } ->
+              preds.(ep_node) <- node.Graph.id :: preds.(ep_node))
+            dests)
+        node.Graph.dests);
+  let queue = Queue.create () in
+  Graph.iter_nodes g (fun node ->
+      match node.Graph.op with
+      | Opcode.Output _ ->
+        live.(node.Graph.id) <- true;
+        Queue.add node.Graph.id queue
+      | Opcode.Input _ ->
+        (* input streams always arrive; a consumerless input is kept and
+           its packets discarded (a Sink is attached by the caller) *)
+        live.(node.Graph.id) <- true
+      | _ -> ());
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun p ->
+        if not live.(p) then begin
+          live.(p) <- true;
+          Queue.add p queue
+        end)
+      preds.(v)
+  done;
+  let ng = Graph.create () in
+  let id_map = Array.make n (-1) in
+  Graph.iter_nodes g (fun node ->
+      if live.(node.Graph.id) then
+        id_map.(node.Graph.id) <-
+          Graph.add ng ~label:node.Graph.label node.Graph.op node.Graph.inputs);
+  Graph.iter_nodes g (fun node ->
+      if live.(node.Graph.id) then
+        Array.iteri
+          (fun slot dests ->
+            List.iter
+              (fun { Graph.ep_node; ep_port } ->
+                if live.(ep_node) then
+                  Graph.connect_slot ng
+                    ~src:id_map.(node.Graph.id)
+                    ~slot ~dst:id_map.(ep_node) ~port:ep_port)
+              dests)
+          node.Graph.dests);
+  (ng, id_map)

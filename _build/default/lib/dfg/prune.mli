@@ -1,0 +1,12 @@
+(** Dead-code elimination on instruction graphs.
+
+    Cells with no path to any [Output] cell do nothing useful; worse, when
+    fed only by free-running sources (control generators, index sources)
+    they would fire forever.  [reachable_to_outputs] rebuilds the graph
+    keeping only cells from which an [Output] is reachable, plus the arcs
+    among them. *)
+
+val reachable_to_outputs : Graph.t -> Graph.t * int array
+(** Returns the pruned graph and the old-id → new-id map ([-1] for removed
+    cells).  [Input] cells are always kept (their packets arrive whether
+    used or not); attach sinks to any now-open slots afterwards. *)

@@ -1,0 +1,313 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Reals are emitted as hexadecimal floats so values round-trip exactly. *)
+let value_to_string = function
+  | Value.Int i -> Printf.sprintf "int:%d" i
+  | Value.Real f -> Printf.sprintf "real:%h" f
+  | Value.Bool b -> Printf.sprintf "bool:%b" b
+
+let seq_to_string (seq : Ctlseq.t) =
+  let runs =
+    String.concat ""
+      (List.map
+         (fun { Ctlseq.value; count } ->
+           Printf.sprintf "%c%d" (if value then 'T' else 'F') count)
+         seq.Ctlseq.segments)
+  in
+  runs ^ if seq.Ctlseq.cyclic then "*" else ""
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let op_to_string = function
+  | Opcode.Id -> "ID"
+  | Opcode.Arith a -> Opcode.arith_name a
+  | Opcode.Compare c -> Opcode.cmp_name c
+  | Opcode.Logic l -> Opcode.logic_name l
+  | Opcode.Neg -> "NEG"
+  | Opcode.Not -> "NOT"
+  | Opcode.Math m -> Opcode.math_name m
+  | Opcode.Tgate -> "TGATE"
+  | Opcode.Fgate -> "FGATE"
+  | Opcode.Switch -> "SWITCH"
+  | Opcode.Merge -> "MERG"
+  | Opcode.Merge_switch -> "MERGSW"
+  | Opcode.Fifo k -> Printf.sprintf "FIFO(%d)" k
+  | Opcode.Bool_source seq -> Printf.sprintf "CTL(%s)" (seq_to_string seq)
+  | Opcode.Iota { lo; hi; rep } -> Printf.sprintf "IOTA(%d,%d,%d)" lo hi rep
+  | Opcode.Input name -> Printf.sprintf "IN(%s)" name
+  | Opcode.Output name -> Printf.sprintf "OUT(%s)" name
+  | Opcode.Sink -> "SINK"
+
+let binding_to_string = function
+  | Graph.In_arc -> "arc"
+  | Graph.In_arc_init v -> "init:" ^ value_to_string v
+  | Graph.In_const v -> "const:" ^ value_to_string v
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "dfg 1 cells=%d\n" (Graph.node_count g));
+  Graph.iter_nodes g (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "cell %d %s \"%s\" in=[%s] out=[%s]\n" n.Graph.id
+           (op_to_string n.Graph.op)
+           (escape n.Graph.label)
+           (String.concat ", "
+              (Array.to_list (Array.map binding_to_string n.Graph.inputs)))
+           (String.concat " | "
+              (Array.to_list
+                 (Array.map
+                    (fun dests ->
+                      String.concat " "
+                        (List.map
+                           (fun { Graph.ep_node; ep_port } ->
+                             Printf.sprintf "(%d,%d)" ep_node ep_port)
+                           (List.rev dests)))
+                    n.Graph.dests)))));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_value s =
+  match String.index_opt s ':' with
+  | None -> fail "malformed value %S" s
+  | Some i -> (
+    let kind = String.sub s 0 i in
+    let body = String.sub s (i + 1) (String.length s - i - 1) in
+    match kind with
+    | "int" -> (
+      match int_of_string_opt body with
+      | Some v -> Value.Int v
+      | None -> fail "bad integer %S" body)
+    | "real" -> (
+      match float_of_string_opt body with
+      | Some v -> Value.Real v
+      | None -> fail "bad real %S" body)
+    | "bool" -> (
+      match bool_of_string_opt body with
+      | Some v -> Value.Bool v
+      | None -> fail "bad boolean %S" body)
+    | _ -> fail "unknown value kind %S" kind)
+
+let parse_seq s =
+  let cyclic = String.length s > 0 && s.[String.length s - 1] = '*' in
+  let body = if cyclic then String.sub s 0 (String.length s - 1) else s in
+  let runs = ref [] in
+  let i = ref 0 in
+  let len = String.length body in
+  while !i < len do
+    let v =
+      match body.[!i] with
+      | 'T' -> true
+      | 'F' -> false
+      | c -> fail "bad control sequence char %C" c
+    in
+    incr i;
+    let start = !i in
+    while !i < len && body.[!i] >= '0' && body.[!i] <= '9' do
+      incr i
+    done;
+    if !i = start then fail "missing run length in %S" body;
+    runs := (v, int_of_string (String.sub body start (!i - start))) :: !runs
+  done;
+  Ctlseq.make ~cyclic (List.rev !runs)
+
+let parse_op s =
+  let plain =
+    [
+      ("ID", Opcode.Id);
+      ("ADD", Opcode.Arith Opcode.Add); ("SUB", Opcode.Arith Opcode.Sub);
+      ("MULT", Opcode.Arith Opcode.Mul); ("DIV", Opcode.Arith Opcode.Div);
+      ("MIN", Opcode.Arith Opcode.Min); ("MAX", Opcode.Arith Opcode.Max);
+      ("MOD", Opcode.Arith Opcode.Mod);
+      ("LT", Opcode.Compare Opcode.Lt); ("LE", Opcode.Compare Opcode.Le);
+      ("GT", Opcode.Compare Opcode.Gt); ("GE", Opcode.Compare Opcode.Ge);
+      ("EQ", Opcode.Compare Opcode.Eq); ("NE", Opcode.Compare Opcode.Ne);
+      ("AND", Opcode.Logic Opcode.And); ("OR", Opcode.Logic Opcode.Or);
+      ("NEG", Opcode.Neg); ("NOT", Opcode.Not);
+      ("SQRT", Opcode.Math Opcode.Sqrt); ("ABS", Opcode.Math Opcode.Abs);
+      ("EXP", Opcode.Math Opcode.Exp); ("LN", Opcode.Math Opcode.Ln);
+      ("SIN", Opcode.Math Opcode.Sin); ("COS", Opcode.Math Opcode.Cos);
+      ("TGATE", Opcode.Tgate); ("FGATE", Opcode.Fgate);
+      ("SWITCH", Opcode.Switch); ("MERG", Opcode.Merge);
+      ("MERGSW", Opcode.Merge_switch); ("SINK", Opcode.Sink);
+    ]
+  in
+  match List.assoc_opt s plain with
+  | Some op -> op
+  | None -> (
+    match String.index_opt s '(' with
+    | Some i when s.[String.length s - 1] = ')' -> (
+      let head = String.sub s 0 i in
+      let body = String.sub s (i + 1) (String.length s - i - 2) in
+      match head with
+      | "FIFO" -> (
+        match int_of_string_opt body with
+        | Some k when k >= 1 -> Opcode.Fifo k
+        | _ -> fail "bad FIFO capacity %S" body)
+      | "CTL" -> Opcode.Bool_source (parse_seq body)
+      | "IOTA" -> (
+        match String.split_on_char ',' body with
+        | [ lo; hi; rep ] -> (
+          match
+            (int_of_string_opt lo, int_of_string_opt hi, int_of_string_opt rep)
+          with
+          | Some lo, Some hi, Some rep -> Opcode.Iota { lo; hi; rep }
+          | _ -> fail "bad IOTA parameters %S" body)
+        | _ -> fail "bad IOTA parameters %S" body)
+      | "IN" -> Opcode.Input body
+      | "OUT" -> Opcode.Output body
+      | _ -> fail "unknown opcode %S" s)
+    | _ -> fail "unknown opcode %S" s)
+
+(* Extract the quoted label starting at position [i]; returns (label,
+   position after the closing quote). *)
+let parse_label line i =
+  if i >= String.length line || line.[i] <> '"' then
+    fail "expected label quote in %S" line;
+  let buf = Buffer.create 16 in
+  let rec go j =
+    if j >= String.length line then fail "unterminated label in %S" line
+    else
+      match line.[j] with
+      | '\\' when j + 1 < String.length line ->
+        Buffer.add_char buf line.[j + 1];
+        go (j + 2)
+      | '"' -> j + 1
+      | c ->
+        Buffer.add_char buf c;
+        go (j + 1)
+  in
+  let after = go (i + 1) in
+  (Buffer.contents buf, after)
+
+let find_bracketed ~key line =
+  let marker = key ^ "=[" in
+  let mlen = String.length marker in
+  let rec scan j =
+    if j + mlen > String.length line then
+      fail "missing %s=[...] in %S" key line
+    else if String.sub line j mlen = marker then j + mlen
+    else scan (j + 1)
+  in
+  let start = scan 0 in
+  match String.index_from_opt line start ']' with
+  | None -> fail "unterminated %s=[...] in %S" key line
+  | Some close -> String.sub line start (close - start)
+
+let split_trim sep s =
+  String.split_on_char sep s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_binding s =
+  if s = "arc" then Graph.In_arc
+  else if String.length s > 5 && String.sub s 0 5 = "init:" then
+    Graph.In_arc_init (parse_value (String.sub s 5 (String.length s - 5)))
+  else if String.length s > 6 && String.sub s 0 6 = "const:" then
+    Graph.In_const (parse_value (String.sub s 6 (String.length s - 6)))
+  else fail "malformed binding %S" s
+
+let parse_dest s =
+  (* "(7,0)" *)
+  if String.length s < 5 || s.[0] <> '(' || s.[String.length s - 1] <> ')'
+  then fail "malformed destination %S" s
+  else
+    match String.split_on_char ',' (String.sub s 1 (String.length s - 2)) with
+    | [ n; p ] -> (
+      match (int_of_string_opt n, int_of_string_opt p) with
+      | Some n, Some p -> (n, p)
+      | _ -> fail "malformed destination %S" s)
+    | _ -> fail "malformed destination %S" s
+
+let of_string_unsafe text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> fail "empty input"
+  | headline :: cells ->
+    if not (String.length headline >= 5 && String.sub headline 0 5 = "dfg 1")
+    then fail "missing 'dfg 1' header";
+    let g = Graph.create () in
+    let pending_arcs = ref [] in
+    List.iteri
+      (fun idx line ->
+        match String.split_on_char ' ' line with
+        | "cell" :: id :: op :: _rest ->
+          let id =
+            match int_of_string_opt id with
+            | Some id -> id
+            | None -> fail "bad cell id in %S" line
+          in
+          if id <> idx then fail "cell ids must be dense: got %d at %d" id idx;
+          let op = parse_op op in
+          (* label sits after the opcode *)
+          let label_start =
+            match String.index_opt line '"' with
+            | Some i -> i
+            | None -> fail "missing label in %S" line
+          in
+          let label, _ = parse_label line label_start in
+          let bindings =
+            find_bracketed ~key:"in" line |> split_trim ','
+            |> List.map parse_binding |> Array.of_list
+          in
+          let new_id = Graph.add g ~label op bindings in
+          assert (new_id = id);
+          let out = find_bracketed ~key:"out" line in
+          List.iteri
+            (fun slot slot_body ->
+              List.iter
+                (fun dest ->
+                  let dst, port = parse_dest dest in
+                  pending_arcs := (id, slot, dst, port) :: !pending_arcs)
+                (split_trim ' ' slot_body))
+            (String.split_on_char '|' out)
+        | _ -> fail "malformed cell line %S" line)
+      cells;
+    List.iter
+      (fun (src, slot, dst, port) ->
+        if dst < 0 || dst >= Graph.node_count g then
+          fail "destination %d out of range" dst;
+        Graph.connect_slot g ~src ~slot ~dst ~port)
+      (List.rev !pending_arcs);
+    g
+
+let of_string text =
+  (* malformed input can also surface as Invalid_argument from graph
+     construction (bad arity, bad ports): normalize to Parse_error *)
+  try of_string_unsafe text with
+  | Invalid_argument msg -> fail "%s" msg
+  | Failure msg -> fail "%s" msg
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

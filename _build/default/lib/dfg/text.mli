@@ -1,0 +1,26 @@
+(** Textual serialization of instruction graphs (".dfg" format).
+
+    A compiled machine program is a loadable artifact — the paper's
+    machine-level programs are "loaded into specific memory locations in
+    the machine before computation begins" — so the graphs can be written
+    out and reloaded exactly.  One line per cell:
+
+    {v
+    cell 4 MULT label="cell4" in=[arc, const:real:2.5] -> [(7,0)]
+    cell 9 CTL label="sel.C" seq=<F T^6 F>* -> [(3,0)]
+    v}
+
+    The format round-trips: [of_string (to_string g)] reconstructs a graph
+    equal to [g] up to destination list order. *)
+
+exception Parse_error of string
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Parse_error on malformed input *)
+
+val write_file : string -> Graph.t -> unit
+
+val read_file : string -> Graph.t
+(** @raise Parse_error / [Sys_error] *)

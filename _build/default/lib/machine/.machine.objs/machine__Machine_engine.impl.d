@@ -1,0 +1,1 @@
+lib/machine/machine_engine.ml: Arch Array Ctlseq Df_util Dfg Graph List Opcode Option Printf Queue String Value

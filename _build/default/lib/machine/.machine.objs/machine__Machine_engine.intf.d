@@ -1,0 +1,1 @@
+lib/machine/machine_engine.mli: Arch Dfg Graph Value

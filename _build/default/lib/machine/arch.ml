@@ -1,0 +1,27 @@
+type array_policy = Streamed | Stored
+
+type t = {
+  n_pe : int;
+  n_fu : int;
+  n_am : int;
+  fu_latency : int;
+  am_latency : int;
+  rn_latency : int;
+  array_policy : array_policy;
+}
+
+let default =
+  {
+    n_pe = 8;
+    n_fu = 4;
+    n_am = 2;
+    fu_latency = 4;
+    am_latency = 6;
+    rn_latency = 2;
+    array_policy = Streamed;
+  }
+
+let describe t =
+  Printf.sprintf "%d PE, %d FU(lat %d), %d AM(lat %d), RN lat %d, arrays %s"
+    t.n_pe t.n_fu t.fu_latency t.n_am t.am_latency t.rn_latency
+    (match t.array_policy with Streamed -> "streamed" | Stored -> "stored")

@@ -1,0 +1,26 @@
+(** Machine organization parameters (the paper's Figure 1: processing
+    elements, function units, array memories, routing networks). *)
+
+type array_policy =
+  | Streamed
+      (** the paper's proposal: arrays flow as result-packet sequences
+          from producer block to consumer block through the routing
+          network; array memories hold nothing transient *)
+  | Stored
+      (** conventional baseline: every array element a block produces is
+          written to an array memory and read back by each consumer *)
+
+type t = {
+  n_pe : int;          (** processing elements (instruction-cell hosts) *)
+  n_fu : int;          (** shared function units *)
+  n_am : int;          (** array memory units *)
+  fu_latency : int;    (** pipelined FU latency (initiation 1/cycle) *)
+  am_latency : int;    (** array-memory access latency *)
+  rn_latency : int;    (** routing-network transit latency *)
+  array_policy : array_policy;
+}
+
+val default : t
+(** 8 PEs, 4 FUs, 2 AMs, latencies 4/6/2, [Streamed]. *)
+
+val describe : t -> string

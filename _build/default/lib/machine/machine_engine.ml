@@ -1,0 +1,437 @@
+open Dfg
+
+type stats = {
+  dispatches : int;
+  fu_ops : int;
+  am_ops : int;
+  result_packets : int;
+  ack_packets : int;
+}
+
+type result = {
+  outputs : (string * (int * Value.t) list) list;
+  stats : stats;
+  end_time : int;
+  quiescent : bool;
+}
+
+type event = Deliver of { dst : int; port : int; value : Value.t } | Ack of { dst : int }
+
+type cell = {
+  node : Graph.node;
+  operands : Value.t option array;
+  mutable pending_acks : int;
+  mutable queue : Value.t list;
+  mutable queue_len : int;
+  mutable cursor : int;
+  stream : Value.t array;
+  mutable collected : (int * Value.t) list;
+  producer : int array;
+  pe : int;
+  boundary : bool;  (* produces a completed array value (feeds an Output) *)
+}
+
+(* A pipelined server pool: each member accepts one operation per cycle;
+   a request entering at [t] starts at the earliest slot of the least
+   loaded member. *)
+type pool = { mutable next_free : int array }
+
+let pool_create n = { next_free = Array.make (max n 1) 0 }
+
+let pool_start pool t =
+  let best = ref 0 in
+  Array.iteri
+    (fun i f -> if f < pool.next_free.(!best) then best := i)
+    pool.next_free;
+  let start = max t pool.next_free.(!best) in
+  pool.next_free.(!best) <- start + 1;
+  start
+
+(* Per-PE dispatch servers. *)
+let pe_start pes pe t =
+  let start = max t pes.(pe) in
+  pes.(pe) <- start + 1;
+  start
+
+let uses_fu (op : Opcode.t) =
+  match op with
+  | Opcode.Arith _ | Opcode.Compare _ | Opcode.Logic _ | Opcode.Neg
+  | Opcode.Not | Opcode.Math _ ->
+    true
+  | _ -> false
+
+let run ?(max_time = 30_000_000) ~(arch : Arch.t) g ~inputs =
+  (match Graph.validate g with
+  | Ok () -> ()
+  | Error es ->
+    invalid_arg ("Machine_engine.run: invalid graph:\n" ^ String.concat "\n" es));
+  let n = Graph.node_count g in
+  let producers = Graph.producers g in
+  (* block boundaries: producers feeding an Output cell *)
+  let boundary = Array.make n false in
+  Graph.iter_nodes g (fun node ->
+      match node.Graph.op with
+      | Opcode.Output _ -> (
+        match producers.(node.Graph.id).(0) with
+        | [| (src, _) |] -> boundary.(src) <- true
+        | _ -> ())
+      | _ -> ());
+  let cells =
+    Array.init n (fun id ->
+        let node = Graph.node g id in
+        let arity = Array.length node.Graph.inputs in
+        let operands = Array.make arity None in
+        let producer = Array.make arity (-1) in
+        Array.iteri
+          (fun port binding ->
+            (match producers.(id).(port) with
+            | [| (src, _) |] -> producer.(port) <- src
+            | _ -> ());
+            match binding with
+            | Graph.In_arc_init v -> operands.(port) <- Some v
+            | Graph.In_arc | Graph.In_const _ -> ())
+          node.Graph.inputs;
+        let stream =
+          match node.Graph.op with
+          | Opcode.Input name -> (
+            match List.assoc_opt name inputs with
+            | Some vs -> Array.of_list vs
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Machine_engine.run: no packets for input %s"
+                   name))
+          | _ -> [||]
+        in
+        {
+          node;
+          operands;
+          pending_acks = 0;
+          queue = [];
+          queue_len = 0;
+          cursor = 0;
+          stream;
+          collected = [];
+          producer;
+          pe = id mod max 1 arch.Arch.n_pe;
+          boundary = boundary.(id);
+        })
+  in
+  Array.iter
+    (fun cell ->
+      Array.iteri
+        (fun port binding ->
+          match binding with
+          | Graph.In_arc_init _ ->
+            let src = cell.producer.(port) in
+            if src >= 0 then
+              cells.(src).pending_acks <- cells.(src).pending_acks + 1
+          | Graph.In_arc | Graph.In_const _ -> ())
+        cell.node.Graph.inputs)
+    cells;
+  let events : event Df_util.Pqueue.t = Df_util.Pqueue.create () in
+  let pes = Array.make (max 1 arch.Arch.n_pe) 0 in
+  let fus = pool_create arch.Arch.n_fu in
+  let ams = pool_create arch.Arch.n_am in
+  let dispatches = ref 0 and fu_ops = ref 0 and am_ops = ref 0 in
+  let result_packets = ref 0 and ack_packets = ref 0 in
+  let now = ref 0 in
+  let schedule t ev = Df_util.Pqueue.push events t ev in
+  (* Fire a cell: PE dispatch, optional FU execution, then packet
+     delivery through RN or AM depending on the policy and whether the
+     producer is a block boundary. *)
+  let send cell slot value ~ready_at =
+    let dests = cell.node.Graph.dests.(slot) in
+    List.iter
+      (fun { Graph.ep_node; ep_port } ->
+        incr result_packets;
+        let deliver_at =
+          match arch.Arch.array_policy with
+          | Arch.Stored when cell.boundary -> (
+            match (Graph.node g ep_node).Graph.op with
+            | Opcode.Output _ ->
+              (* final results are stored once *)
+              am_ops := !am_ops + 1;
+              pool_start ams ready_at + arch.Arch.am_latency
+            | _ ->
+              (* write by the producer, read by the consumer *)
+              am_ops := !am_ops + 2;
+              let write_done =
+                pool_start ams ready_at + arch.Arch.am_latency
+              in
+              pool_start ams write_done + arch.Arch.am_latency)
+          | _ -> ready_at + arch.Arch.rn_latency
+        in
+        schedule deliver_at (Deliver { dst = ep_node; port = ep_port; value }))
+      dests;
+    cell.pending_acks <- cell.pending_acks + List.length dests
+  in
+  let consume cell port ~acked_at =
+    (match cell.node.Graph.inputs.(port) with
+    | Graph.In_const _ -> ()
+    | Graph.In_arc | Graph.In_arc_init _ ->
+      cell.operands.(port) <- None;
+      let src = cell.producer.(port) in
+      if src >= 0 then begin
+        incr ack_packets;
+        schedule (acked_at + arch.Arch.rn_latency) (Ack { dst = src })
+      end);
+    ()
+  in
+  let ready cell port =
+    match cell.node.Graph.inputs.(port) with
+    | Graph.In_const v -> Some v
+    | Graph.In_arc | Graph.In_arc_init _ -> cell.operands.(port)
+  in
+  let dispatch cell =
+    incr dispatches;
+    let start = pe_start pes cell.pe !now in
+    if uses_fu cell.node.Graph.op then begin
+      incr fu_ops;
+      pool_start fus (start + 1) + arch.Arch.fu_latency
+    end
+    else start + 1
+  in
+  let try_fire cell =
+    let open Opcode in
+    let node = cell.node in
+    let all_ready () =
+      let arity = Array.length node.Graph.inputs in
+      let rec go p = p >= arity || (ready cell p <> None && go (p + 1)) in
+      go 0
+    in
+    match node.Graph.op with
+    | Id | Arith _ | Compare _ | Logic _ | Neg | Not | Math _ ->
+      if cell.pending_acks = 0 && all_ready () then begin
+        let v port = Option.get (ready cell port) in
+        let value =
+          match node.Graph.op with
+          | Id -> v 0
+          | Arith op -> Opcode.apply_arith op (v 0) (v 1)
+          | Compare op -> Opcode.apply_cmp op (v 0) (v 1)
+          | Logic op -> Opcode.apply_logic op (v 0) (v 1)
+          | Math m -> Opcode.apply_math m (v 0)
+          | Neg -> (
+            match v 0 with
+            | Value.Int i -> Value.Int (-i)
+            | Value.Real f -> Value.Real (-.f)
+            | Value.Bool _ -> invalid_arg "NEG of boolean")
+          | Not -> Value.Bool (not (Value.to_bool (v 0)))
+          | _ -> assert false
+        in
+        let done_at = dispatch cell in
+        Array.iteri
+          (fun port _ -> consume cell port ~acked_at:done_at)
+          node.Graph.inputs;
+        send cell 0 value ~ready_at:done_at;
+        true
+      end
+      else false
+    | Tgate | Fgate ->
+      if cell.pending_acks = 0 && all_ready () then begin
+        let ctl = Value.to_bool (Option.get (ready cell 0)) in
+        let data = Option.get (ready cell 1) in
+        let pass = if node.Graph.op = Tgate then ctl else not ctl in
+        let done_at = dispatch cell in
+        consume cell 0 ~acked_at:done_at;
+        consume cell 1 ~acked_at:done_at;
+        if pass then send cell 0 data ~ready_at:done_at;
+        true
+      end
+      else false
+    | Switch ->
+      if cell.pending_acks = 0 && all_ready () then begin
+        let ctl = Value.to_bool (Option.get (ready cell 0)) in
+        let data = Option.get (ready cell 1) in
+        let done_at = dispatch cell in
+        consume cell 0 ~acked_at:done_at;
+        consume cell 1 ~acked_at:done_at;
+        send cell (if ctl then 0 else 1) data ~ready_at:done_at;
+        true
+      end
+      else false
+    | Merge ->
+      if cell.pending_acks = 0 then begin
+        match ready cell 0 with
+        | None -> false
+        | Some ctl -> (
+          let sel = if Value.to_bool ctl then 1 else 2 in
+          match ready cell sel with
+          | None -> false
+          | Some data ->
+            let done_at = dispatch cell in
+            consume cell 0 ~acked_at:done_at;
+            consume cell sel ~acked_at:done_at;
+            send cell 0 data ~ready_at:done_at;
+            true)
+      end
+      else false
+    | Merge_switch ->
+      if cell.pending_acks = 0 then begin
+        match (ready cell 0, ready cell 3) with
+        | Some ctl, Some d -> (
+          let sel = if Value.to_bool ctl then 1 else 2 in
+          match ready cell sel with
+          | None -> false
+          | Some data ->
+            let done_at = dispatch cell in
+            consume cell 0 ~acked_at:done_at;
+            consume cell sel ~acked_at:done_at;
+            consume cell 3 ~acked_at:done_at;
+            send cell 0 data ~ready_at:done_at;
+            if Value.to_bool d then send cell 1 data ~ready_at:done_at;
+            true)
+        | _ -> false
+      end
+      else false
+    | Fifo k ->
+      let progressed = ref false in
+      if cell.pending_acks = 0 && cell.queue_len > 0 then begin
+        match cell.queue with
+        | v :: rest ->
+          cell.queue <- rest;
+          cell.queue_len <- cell.queue_len - 1;
+          let done_at = dispatch cell in
+          send cell 0 v ~ready_at:done_at;
+          progressed := true
+        | [] -> assert false
+      end;
+      (match cell.operands.(0) with
+      | Some v when cell.queue_len < k ->
+        cell.queue <- cell.queue @ [ v ];
+        cell.queue_len <- cell.queue_len + 1;
+        consume cell 0 ~acked_at:!now;
+        progressed := true
+      | _ -> ());
+      !progressed
+    | Bool_source seq ->
+      if cell.pending_acks = 0 then begin
+        match Ctlseq.nth seq cell.cursor with
+        | None -> false
+        | Some b ->
+          cell.cursor <- cell.cursor + 1;
+          let done_at = dispatch cell in
+          send cell 0 (Value.Bool b) ~ready_at:done_at;
+          true
+      end
+      else false
+    | Iota { lo; hi; rep } ->
+      if cell.pending_acks = 0 then begin
+        let span = hi - lo + 1 in
+        let v = lo + (cell.cursor / rep mod span) in
+        cell.cursor <- cell.cursor + 1;
+        let done_at = dispatch cell in
+        send cell 0 (Value.Int v) ~ready_at:done_at;
+        true
+      end
+      else false
+    | Input _ ->
+      if cell.pending_acks = 0 && cell.cursor < Array.length cell.stream
+      then begin
+        let v = cell.stream.(cell.cursor) in
+        cell.cursor <- cell.cursor + 1;
+        let done_at = dispatch cell in
+        send cell 0 v ~ready_at:done_at;
+        true
+      end
+      else false
+    | Output _ -> (
+      match cell.operands.(0) with
+      | Some v ->
+        cell.collected <- (!now, v) :: cell.collected;
+        let done_at = dispatch cell in
+        consume cell 0 ~acked_at:done_at;
+        true
+      | None -> false)
+    | Sink -> (
+      match cell.operands.(0) with
+      | Some _ ->
+        let done_at = dispatch cell in
+        consume cell 0 ~acked_at:done_at;
+        true
+      | None -> false)
+  in
+  let dirty = Queue.create () in
+  let in_dirty = Array.make n false in
+  let mark id =
+    if not in_dirty.(id) then begin
+      in_dirty.(id) <- true;
+      Queue.add id dirty
+    end
+  in
+  for id = 0 to n - 1 do
+    mark id
+  done;
+  let apply_event = function
+    | Deliver { dst; port; value } ->
+      let cell = cells.(dst) in
+      (match cell.operands.(port) with
+      | Some _ ->
+        invalid_arg
+          (Printf.sprintf "machine: arc capacity violated at %s#%d.%d"
+             cell.node.Graph.label dst port)
+      | None -> cell.operands.(port) <- Some value);
+      mark dst
+    | Ack { dst } ->
+      let cell = cells.(dst) in
+      cell.pending_acks <- cell.pending_acks - 1;
+      mark dst
+  in
+  let quiescent = ref false in
+  let continue = ref true in
+  while !continue do
+    let rec drain () =
+      match Queue.take_opt dirty with
+      | None -> ()
+      | Some id ->
+        in_dirty.(id) <- false;
+        if try_fire cells.(id) then mark id;
+        drain ()
+    in
+    drain ();
+    match Df_util.Pqueue.peek_priority events with
+    | None ->
+      quiescent := true;
+      continue := false
+    | Some t when t > max_time -> continue := false
+    | Some t ->
+      now := t;
+      let rec apply_all () =
+        match Df_util.Pqueue.peek_priority events with
+        | Some t' when t' = t -> (
+          match Df_util.Pqueue.pop events with
+          | Some (_, ev) ->
+            apply_event ev;
+            apply_all ()
+          | None -> ())
+        | _ -> ()
+      in
+      apply_all ()
+  done;
+  let outputs =
+    List.map
+      (fun (name, id) -> (name, List.rev cells.(id).collected))
+      (Graph.outputs g)
+  in
+  {
+    outputs;
+    stats =
+      {
+        dispatches = !dispatches;
+        fu_ops = !fu_ops;
+        am_ops = !am_ops;
+        result_packets = !result_packets;
+        ack_packets = !ack_packets;
+      };
+    end_time = !now;
+    quiescent = !quiescent;
+  }
+
+let am_fraction stats =
+  if stats.dispatches + stats.am_ops = 0 then 0.0
+  else
+    float_of_int stats.am_ops
+    /. float_of_int (stats.dispatches + stats.am_ops)
+
+let output_values result name = List.map snd (List.assoc name result.outputs)
+
+let output_times result name = List.map fst (List.assoc name result.outputs)

@@ -1,0 +1,57 @@
+open Dfg
+
+(** Machine-level simulator of the Figure 1 architecture.
+
+    The same instruction graphs and firing rules as {!Sim.Engine}, with
+    machine resources made explicit:
+
+    - every cell lives on a processing element ([node id mod n_pe]); an
+      enabled cell consumes one dispatch slot of its PE per firing (PEs
+      dispatch one instruction per cycle);
+    - arithmetic, comparison and boolean instructions execute on the
+      shared function-unit pool (pipelined: each FU accepts one operation
+      per cycle and delivers after [fu_latency]); all other instructions
+      complete locally in one cycle;
+    - result and acknowledge packets transit the routing network with
+      [rn_latency];
+    - under the [Stored] array policy, packets leaving a {e block
+      boundary} (a cell that feeds an [Output], i.e. a producer of a
+      completed array value) are written to an array memory and read back
+      by the consumer: one write plus one read on the AM pool (each AM
+      serves one operation per cycle with [am_latency]); under [Streamed]
+      — the paper's proposal — they travel the routing network like any
+      other result packet.
+
+    The traffic statistics reproduce the Section 2 claim that with
+    streamed arrays "one eighth or less of the operation packets would be
+    sent to the array memories". *)
+
+type stats = {
+  dispatches : int;        (** instruction firings (operation packets) *)
+  fu_ops : int;            (** operations executed by function units *)
+  am_ops : int;            (** array-memory operations (reads + writes) *)
+  result_packets : int;    (** result packets through the routing network *)
+  ack_packets : int;       (** acknowledge packets *)
+}
+
+type result = {
+  outputs : (string * (int * Value.t) list) list;
+  stats : stats;
+  end_time : int;
+  quiescent : bool;
+}
+
+val run :
+  ?max_time:int ->
+  arch:Arch.t ->
+  Graph.t ->
+  inputs:(string * Value.t list) list ->
+  result
+(** @raise Invalid_argument on invalid graphs or missing inputs *)
+
+val am_fraction : stats -> float
+(** Fraction of operation packets that involve the array memories:
+    [am_ops / (dispatches + am_ops)]. *)
+
+val output_values : result -> string -> Value.t list
+val output_times : result -> string -> int list

@@ -1,0 +1,1 @@
+lib/mcf/mincost_flow.ml: Array List

@@ -1,0 +1,158 @@
+(* Arcs are stored in a flat array; arc 2i and 2i+1 are a forward/backward
+   residual pair.  User-visible arc ids are the even indices' pair index. *)
+
+type arc = {
+  dst : int;
+  mutable cap : int;  (* remaining residual capacity *)
+  cost : int;
+}
+
+type t = {
+  n : int;
+  mutable arcs : arc array;
+  mutable arc_count : int;
+  mutable heads : int list array;  (* node -> arc indices leaving it *)
+  mutable initial_caps : int array;  (* per user arc id *)
+  mutable user_arcs : int;
+}
+
+let create n =
+  {
+    n;
+    arcs = [||];
+    arc_count = 0;
+    heads = Array.make (max n 1) [];
+    initial_caps = [||];
+    user_arcs = 0;
+  }
+
+let node_count t = t.n
+
+let push_arc t a =
+  if Array.length t.arcs = t.arc_count then begin
+    let cap = max 16 (2 * Array.length t.arcs) in
+    let arcs = Array.make cap a in
+    Array.blit t.arcs 0 arcs 0 t.arc_count;
+    t.arcs <- arcs
+  end;
+  t.arcs.(t.arc_count) <- a;
+  t.arc_count <- t.arc_count + 1;
+  t.arc_count - 1
+
+let add_arc t ~src ~dst ~capacity ~cost =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Mincost_flow.add_arc: endpoint out of range";
+  if capacity < 0 then
+    invalid_arg "Mincost_flow.add_arc: negative capacity";
+  let fwd = push_arc t { dst; cap = capacity; cost } in
+  let bwd = push_arc t { dst = src; cap = 0; cost = -cost } in
+  assert (bwd = fwd + 1);
+  t.heads.(src) <- fwd :: t.heads.(src);
+  t.heads.(dst) <- bwd :: t.heads.(dst);
+  let id = t.user_arcs in
+  if Array.length t.initial_caps = id then begin
+    let caps = Array.make (max 16 (2 * max 1 id)) 0 in
+    Array.blit t.initial_caps 0 caps 0 id;
+    t.initial_caps <- caps
+  end;
+  t.initial_caps.(id) <- capacity;
+  t.user_arcs <- id + 1;
+  id
+
+type solution = { flow : int; cost : int }
+
+(* Bellman-Ford over the residual network; returns (dist, pred_arc). *)
+let bellman_ford t ~source =
+  let dist = Array.make t.n max_int in
+  let pred = Array.make t.n (-1) in
+  dist.(source) <- 0;
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed do
+    changed := false;
+    incr iters;
+    if !iters > t.n + 1 then failwith "Mincost_flow: negative cycle";
+    for u = 0 to t.n - 1 do
+      if dist.(u) < max_int then
+        List.iter
+          (fun ai ->
+            let a = t.arcs.(ai) in
+            if a.cap > 0 && dist.(u) + a.cost < dist.(a.dst) then begin
+              dist.(a.dst) <- dist.(u) + a.cost;
+              pred.(a.dst) <- ai;
+              changed := true
+            end)
+          t.heads.(u)
+    done
+  done;
+  (dist, pred)
+
+(* Source of an arc index: the dst of its residual partner. *)
+let arc_src t ai = t.arcs.(ai lxor 1).dst
+
+let min_cost_max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Mincost_flow: source = sink";
+  let total_flow = ref 0 and total_cost = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let dist, pred = bellman_ford t ~source in
+    if dist.(sink) = max_int then continue := false
+    else begin
+      (* bottleneck along the path *)
+      let rec bottleneck v acc =
+        if v = source then acc
+        else
+          let ai = pred.(v) in
+          bottleneck (arc_src t ai) (min acc t.arcs.(ai).cap)
+      in
+      let delta = bottleneck sink max_int in
+      assert (delta > 0);
+      let rec apply v =
+        if v <> source then begin
+          let ai = pred.(v) in
+          t.arcs.(ai).cap <- t.arcs.(ai).cap - delta;
+          t.arcs.(ai lxor 1).cap <- t.arcs.(ai lxor 1).cap + delta;
+          apply (arc_src t ai)
+        end
+      in
+      apply sink;
+      total_flow := !total_flow + delta;
+      total_cost := !total_cost + (delta * dist.(sink))
+    end
+  done;
+  { flow = !total_flow; cost = !total_cost }
+
+let flow_on t id =
+  if id < 0 || id >= t.user_arcs then
+    invalid_arg "Mincost_flow.flow_on: bad arc id";
+  t.initial_caps.(id) - t.arcs.(2 * id).cap
+
+let bf_relax_all t dist =
+  let relax () =
+    let changed = ref false in
+    for u = 0 to t.n - 1 do
+      if dist.(u) < max_int then
+        List.iter
+          (fun ai ->
+            let a = t.arcs.(ai) in
+            if a.cap > 0 && dist.(u) + a.cost < dist.(a.dst) then begin
+              dist.(a.dst) <- dist.(u) + a.cost;
+              changed := true
+            end)
+          t.heads.(u)
+    done;
+    !changed
+  in
+  let rec run i =
+    if i > t.n then false else if relax () then run (i + 1) else true
+  in
+  run 0
+
+let residual_shortest_distances t ~root =
+  let dist = Array.make t.n max_int in
+  dist.(root) <- 0;
+  if bf_relax_all t dist then Some dist else None
+
+let potentials t =
+  let dist = Array.make t.n 0 in
+  if bf_relax_all t dist then Some dist else None

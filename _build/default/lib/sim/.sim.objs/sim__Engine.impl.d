@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Ctlseq Df_util Dfg Graph List Opcode Option Printf Queue String Value

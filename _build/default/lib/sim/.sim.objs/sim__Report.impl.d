@@ -1,0 +1,1 @@
+lib/sim/report.ml: Array Buffer Df_util Dfg Engine Float Graph List Metrics Opcode Printf

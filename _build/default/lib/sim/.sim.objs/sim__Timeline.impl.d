@@ -1,0 +1,1 @@
+lib/sim/timeline.ml: Array Buffer Bytes Dfg Engine Fun Graph List Printf String

@@ -1,0 +1,449 @@
+open Dfg
+
+exception Protocol_error of string
+
+type result = {
+  outputs : (string * (int * Value.t) list) list;
+  fire_counts : int array;
+  fire_times : int list array;
+  end_time : int;
+  quiescent : bool;
+  stuck : string list;
+}
+
+
+let protocol fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+type event =
+  | Deliver of { dst : int; port : int; value : Value.t }
+  | Ack of { dst : int }
+
+(* Per-node runtime state. *)
+type cell = {
+  node : Graph.node;
+  operands : Value.t option array;     (* arc ports only; const ports None *)
+  mutable pending_acks : int;
+  mutable queue : Value.t list;        (* FIFO contents, oldest first *)
+  mutable queue_len : int;
+  mutable cursor : int;                (* Input / Bool_source position *)
+  mutable stream : Value.t array;      (* Input stream *)
+  mutable collected : (int * Value.t) list; (* Output stream, newest first *)
+  producer : int array;                (* producing node per arc port, -1 *)
+}
+
+let operand_ready cell port =
+  match cell.node.Graph.inputs.(port) with
+  | Graph.In_const v -> Some v
+  | Graph.In_arc | Graph.In_arc_init _ -> cell.operands.(port)
+
+let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window g ~inputs =
+  (match Graph.validate g with
+  | Ok () -> ()
+  | Error es ->
+    invalid_arg ("Engine.run: invalid graph:\n" ^ String.concat "\n" es));
+  let n = Graph.node_count g in
+  let producers = Graph.producers g in
+  let cells =
+    Array.init n (fun id ->
+        let node = Graph.node g id in
+        let arity = Array.length node.Graph.inputs in
+        let operands = Array.make arity None in
+        let producer = Array.make arity (-1) in
+        Array.iteri
+          (fun port binding ->
+            (match producers.(id).(port) with
+            | [| (src, _) |] -> producer.(port) <- src
+            | _ -> ());
+            match binding with
+            | Graph.In_arc_init v -> operands.(port) <- Some v
+            | Graph.In_arc | Graph.In_const _ -> ())
+          node.Graph.inputs;
+        let stream =
+          match node.Graph.op with
+          | Opcode.Input name -> (
+            match List.assoc_opt name inputs with
+            | Some vs -> Array.of_list vs
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Engine.run: no packets supplied for input %s"
+                   name))
+          | _ -> [||]
+        in
+        {
+          node;
+          operands;
+          pending_acks = 0;
+          queue = [];
+          queue_len = 0;
+          cursor = 0;
+          stream;
+          collected = [];
+          producer;
+        })
+  in
+  List.iter
+    (fun (name, _) ->
+      match Graph.find_input g name with
+      | (_ : int) -> ()
+      | exception Not_found ->
+        invalid_arg
+          (Printf.sprintf "Engine.run: unknown input stream %s" name))
+    inputs;
+  (* Producers of preloaded ports start owing an acknowledge. *)
+  Array.iter
+    (fun cell ->
+      Array.iteri
+        (fun port binding ->
+          match binding with
+          | Graph.In_arc_init _ ->
+            let src = cell.producer.(port) in
+            if src >= 0 then cells.(src).pending_acks <- cells.(src).pending_acks + 1
+          | Graph.In_arc | Graph.In_const _ -> ())
+        cell.node.Graph.inputs)
+    cells;
+  let events : event Df_util.Pqueue.t = Df_util.Pqueue.create () in
+  let fire_counts = Array.make n 0 in
+  let fire_times = Array.make n [] in
+  let now = ref 0 in
+  let schedule t ev = Df_util.Pqueue.push events t ev in
+  let send_result cell slot value =
+    let dests = cell.node.Graph.dests.(slot) in
+    List.iter
+      (fun { Graph.ep_node; ep_port } ->
+        schedule (!now + 1) (Deliver { dst = ep_node; port = ep_port; value }))
+      dests;
+    cell.pending_acks <- cell.pending_acks + List.length dests
+  in
+  let consume cell port =
+    (match cell.node.Graph.inputs.(port) with
+    | Graph.In_const _ -> ()
+    | Graph.In_arc | Graph.In_arc_init _ ->
+      (match cell.operands.(port) with
+      | None -> protocol "%s#%d consumed an empty port" cell.node.Graph.label cell.node.Graph.id
+      | Some _ -> ());
+      cell.operands.(port) <- None;
+      let src = cell.producer.(port) in
+      if src >= 0 then schedule (!now + 1) (Ack { dst = src }));
+    ()
+  in
+  let traced t =
+    match trace_window with
+    | Some (t0, t1) -> t >= t0 && t <= t1
+    | None -> false
+  in
+  let record_fire cell =
+    if traced !now then
+      Printf.eprintf "[t=%d] FIRE %s#%d\n" !now cell.node.Graph.label
+        cell.node.Graph.id;
+    fire_counts.(cell.node.Graph.id) <- fire_counts.(cell.node.Graph.id) + 1;
+    if record_firings then
+      fire_times.(cell.node.Graph.id) <- !now :: fire_times.(cell.node.Graph.id)
+  in
+  (* Attempt to fire a cell at the current time; returns true if fired (a
+     FIFO may make progress without a full "firing"). *)
+  let try_fire cell =
+    let open Opcode in
+    let node = cell.node in
+    let ready port = operand_ready cell port in
+    let all_ready () =
+      let arity = Array.length node.Graph.inputs in
+      let rec go p = p >= arity || (ready p <> None && go (p + 1)) in
+      go 0
+    in
+    match node.Graph.op with
+    | Id | Arith _ | Compare _ | Logic _ | Neg | Not | Math _ ->
+      if cell.pending_acks = 0 && all_ready () then begin
+        let v port =
+          match ready port with Some v -> v | None -> assert false
+        in
+        let result =
+          match node.Graph.op with
+          | Id -> v 0
+          | Arith op -> Opcode.apply_arith op (v 0) (v 1)
+          | Compare op -> Opcode.apply_cmp op (v 0) (v 1)
+          | Logic op -> Opcode.apply_logic op (v 0) (v 1)
+          | Math m -> Opcode.apply_math m (v 0)
+          | Neg -> (
+            match v 0 with
+            | Value.Int i -> Value.Int (-i)
+            | Value.Real f -> Value.Real (-.f)
+            | Value.Bool _ -> protocol "NEG of a boolean at %s" node.Graph.label)
+          | Not -> Value.Bool (not (Value.to_bool (v 0)))
+          | _ -> assert false
+        in
+        record_fire cell;
+        Array.iteri (fun port _ -> consume cell port) node.Graph.inputs;
+        send_result cell 0 result;
+        true
+      end
+      else false
+    | Tgate | Fgate ->
+      if cell.pending_acks = 0 && all_ready () then begin
+        let ctl = Value.to_bool (Option.get (ready 0)) in
+        let data = Option.get (ready 1) in
+        let pass = if node.Graph.op = Tgate then ctl else not ctl in
+        record_fire cell;
+        consume cell 0;
+        consume cell 1;
+        if pass then send_result cell 0 data;
+        true
+      end
+      else false
+    | Switch ->
+      if cell.pending_acks = 0 && all_ready () then begin
+        let ctl = Value.to_bool (Option.get (ready 0)) in
+        let data = Option.get (ready 1) in
+        record_fire cell;
+        consume cell 0;
+        consume cell 1;
+        send_result cell (if ctl then 0 else 1) data;
+        true
+      end
+      else false
+    | Merge ->
+      if cell.pending_acks = 0 then begin
+        match ready 0 with
+        | None -> false
+        | Some ctl ->
+          let sel = if Value.to_bool ctl then 1 else 2 in
+          (match ready sel with
+          | None -> false
+          | Some data ->
+            record_fire cell;
+            consume cell 0;
+            consume cell sel;
+            send_result cell 0 data;
+            true)
+      end
+      else false
+    | Merge_switch ->
+      (* Fires on merge control M (port 0), the selected data input, and
+         the destination control D (port 3).  The result goes to slot 0
+         unconditionally and to slot 1 only when D is true. *)
+      if cell.pending_acks = 0 then begin
+        match (ready 0, ready 3) with
+        | Some ctl, Some d ->
+          let sel = if Value.to_bool ctl then 1 else 2 in
+          (match ready sel with
+          | None -> false
+          | Some data ->
+            record_fire cell;
+            consume cell 0;
+            consume cell sel;
+            consume cell 3;
+            send_result cell 0 data;
+            if Value.to_bool d then send_result cell 1 data;
+            true)
+        | _ -> false
+      end
+      else false
+    | Fifo k ->
+      let progressed = ref false in
+      (* emit side *)
+      if cell.pending_acks = 0 && cell.queue_len > 0 then begin
+        match cell.queue with
+        | v :: rest ->
+          cell.queue <- rest;
+          cell.queue_len <- cell.queue_len - 1;
+          record_fire cell;
+          send_result cell 0 v;
+          progressed := true
+        | [] -> assert false
+      end;
+      (* accept side *)
+      (match cell.operands.(0) with
+      | Some v when cell.queue_len < k ->
+        cell.queue <- cell.queue @ [ v ];
+        cell.queue_len <- cell.queue_len + 1;
+        consume cell 0;
+        progressed := true
+      | _ -> ());
+      !progressed
+    | Iota { lo; hi; rep } ->
+      if cell.pending_acks = 0 then begin
+        let span = hi - lo + 1 in
+        let v = lo + (cell.cursor / rep mod span) in
+        cell.cursor <- cell.cursor + 1;
+        record_fire cell;
+        send_result cell 0 (Value.Int v);
+        true
+      end
+      else false
+    | Bool_source seq ->
+      if cell.pending_acks = 0 then begin
+        match Ctlseq.nth seq cell.cursor with
+        | None -> false
+        | Some b ->
+          cell.cursor <- cell.cursor + 1;
+          record_fire cell;
+          send_result cell 0 (Value.Bool b);
+          true
+      end
+      else false
+    | Input _ ->
+      if cell.pending_acks = 0 && cell.cursor < Array.length cell.stream
+      then begin
+        let v = cell.stream.(cell.cursor) in
+        cell.cursor <- cell.cursor + 1;
+        record_fire cell;
+        send_result cell 0 v;
+        true
+      end
+      else false
+    | Output _ -> (
+      match cell.operands.(0) with
+      | Some v ->
+        cell.collected <- (!now, v) :: cell.collected;
+        record_fire cell;
+        consume cell 0;
+        true
+      | None -> false)
+    | Sink -> (
+      match cell.operands.(0) with
+      | Some _ ->
+        record_fire cell;
+        consume cell 0;
+        true
+      | None -> false)
+  in
+  (* Main loop: advance to the next event time, apply all events at that
+     time, then fire every enabled cell (their effects land at t+1).  The
+     dirty set contains cells whose state changed. *)
+  let dirty = Queue.create () in
+  let in_dirty = Array.make n false in
+  let mark id =
+    if not in_dirty.(id) then begin
+      in_dirty.(id) <- true;
+      Queue.add id dirty
+    end
+  in
+  for id = 0 to n - 1 do
+    mark id
+  done;
+  let apply_event = function
+    | Deliver { dst; port; value } when traced !now ->
+      Printf.eprintf "[t=%d] DELIVER %s#%d.%d <- %s\n" !now
+        (Graph.node g dst).Graph.label dst port (Value.to_string value);
+      let cell = cells.(dst) in
+      (match cell.operands.(port) with
+      | Some _ ->
+        protocol "arc capacity violated: %s#%d port %d received while full"
+          cell.node.Graph.label dst port
+      | None -> cell.operands.(port) <- Some value);
+      mark dst
+    | Ack { dst } when traced !now ->
+      Printf.eprintf "[t=%d] ACK -> %s#%d\n" !now
+        (Graph.node g dst).Graph.label dst;
+      let cell = cells.(dst) in
+      if cell.pending_acks <= 0 then
+        protocol "%s#%d received an unexpected acknowledge"
+          cell.node.Graph.label dst;
+      cell.pending_acks <- cell.pending_acks - 1;
+      mark dst
+    | Deliver { dst; port; value } ->
+      let cell = cells.(dst) in
+      (match cell.operands.(port) with
+      | Some _ ->
+        protocol "arc capacity violated: %s#%d port %d received while full"
+          cell.node.Graph.label dst port
+      | None -> cell.operands.(port) <- Some value);
+      mark dst
+    | Ack { dst } ->
+      let cell = cells.(dst) in
+      if cell.pending_acks <= 0 then
+        protocol "%s#%d received an unexpected acknowledge"
+          cell.node.Graph.label dst;
+      cell.pending_acks <- cell.pending_acks - 1;
+      mark dst
+  in
+  let quiescent = ref false in
+  let continue = ref true in
+  while !continue do
+    (* fire everything enabled at the current time *)
+    let fired_any = ref false in
+    let rec drain_dirty () =
+      match Queue.take_opt dirty with
+      | None -> ()
+      | Some id ->
+        in_dirty.(id) <- false;
+        if try_fire cells.(id) then begin
+          fired_any := true;
+          (* A FIFO can both emit and accept in sequence; re-check. *)
+          mark id
+        end;
+        drain_dirty ()
+    in
+    drain_dirty ();
+    ignore !fired_any;  (* progress is tracked through the event queue *)
+    (* advance time *)
+    match Df_util.Pqueue.peek_priority events with
+    | None ->
+      quiescent := true;
+      continue := false
+    | Some t when t > max_time -> continue := false
+    | Some t ->
+      now := t;
+      let rec apply_all () =
+        match Df_util.Pqueue.peek_priority events with
+        | Some t' when t' = t -> (
+          match Df_util.Pqueue.pop events with
+          | Some (_, ev) ->
+            apply_event ev;
+            apply_all ()
+          | None -> ())
+        | _ -> ()
+      in
+      apply_all ()
+  done;
+  let outputs =
+    List.map
+      (fun (name, id) -> (name, List.rev cells.(id).collected))
+      (Graph.outputs g)
+  in
+  let stuck =
+    if !quiescent then
+      Array.to_list cells
+      |> List.filter_map (fun cell ->
+             let held =
+               Array.to_list cell.operands
+               |> List.mapi (fun port v -> (port, v))
+               |> List.filter_map (fun (port, v) ->
+                      Option.map (fun v -> (port, v)) v)
+             in
+             let pending_input =
+               match cell.node.Graph.op with
+               | Opcode.Input _ -> Array.length cell.stream - cell.cursor
+               | _ -> 0
+             in
+             if held = [] && cell.queue_len = 0 && pending_input = 0 then None
+             else
+               Some
+                 (Printf.sprintf "%s#%d holds %s%s%s" cell.node.Graph.label
+                    cell.node.Graph.id
+                    (String.concat ","
+                       (List.map
+                          (fun (port, v) ->
+                            Printf.sprintf "port%d=%s" port
+                              (Value.to_string v))
+                          held))
+                    (if cell.queue_len > 0 then
+                       Printf.sprintf " fifo(%d items)" cell.queue_len
+                     else "")
+                    (if pending_input > 0 then
+                       Printf.sprintf " %d unsent inputs" pending_input
+                     else "")))
+    else []
+  in
+  {
+    outputs;
+    fire_counts;
+    fire_times;
+    end_time = !now;
+    quiescent = !quiescent;
+    stuck;
+  }
+
+let output_values result name =
+  List.map snd (List.assoc name result.outputs)
+
+let output_times result name = List.map fst (List.assoc name result.outputs)

@@ -1,0 +1,55 @@
+(** Cycle-accurate simulator of the static dataflow machine.
+
+    Timing model (Section 3 of the paper): integer time; a cell that fires
+    at [t] delivers its result packets {e and} its acknowledge packets at
+    [t+1].  A cell is enabled when every operand is present and the
+    acknowledges from all destinations of its previous firing have
+    arrived.  A balanced pipeline therefore sustains one firing per cell
+    every 2 time units — the paper's "about two instruction times" — and a
+    feedback loop of [c] cells carrying [d] tokens sustains rate [d/c].
+
+    Arcs have capacity 1: delivering a packet to an occupied operand port
+    is a protocol violation and raises {!Protocol_error} (it means the
+    acknowledge discipline was broken, e.g. by a mis-built graph).
+
+    Ports declared [In_arc_init] start loaded with a token, and their
+    producers start owing one acknowledge — operand values written at
+    program-load time, which is how feedback loops are primed. *)
+
+open Dfg
+
+exception Protocol_error of string
+
+type result = {
+  outputs : (string * (int * Value.t) list) list;
+  (** For each output stream, arrival [(time, value)] pairs in order. *)
+  fire_counts : int array;      (** firings per node id *)
+  fire_times : int list array;  (** firing timestamps (newest first) per node,
+                                    recorded when [record_firings] is set *)
+  end_time : int;               (** time of the last event processed *)
+  quiescent : bool;             (** no events left before [max_time] *)
+  stuck : string list;
+  (** When not all input tokens were consumed at quiescence: a description
+      of nodes still holding operands — deadlock diagnostics. *)
+}
+
+
+val run :
+  ?max_time:int ->
+  ?record_firings:bool ->
+  ?trace_window:int * int ->
+  Graph.t ->
+  inputs:(string * Value.t list) list ->
+  result
+(** Simulate until quiescence or [max_time] (default 10_000_000).
+    [inputs] supplies the full packet sequence for every [Input] node
+    (concatenate waves for steady-state measurements); every declared
+    input must be present.
+    @raise Protocol_error on arc-capacity violations
+    @raise Invalid_argument on missing/unknown input streams *)
+
+val output_values : result -> string -> Value.t list
+(** Values of an output stream in arrival order. @raise Not_found *)
+
+val output_times : result -> string -> int list
+(** Arrival times of an output stream. @raise Not_found *)

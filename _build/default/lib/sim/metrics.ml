@@ -1,0 +1,41 @@
+let initiation_interval ?(trim = 0.25) times =
+  let arr = Array.of_list times in
+  let n = Array.length arr in
+  let drop = int_of_float (trim *. float_of_int n) in
+  let first = drop and last = n - 1 - drop in
+  if last - first < 1 then nan
+  else float_of_int (arr.(last) - arr.(first)) /. float_of_int (last - first)
+
+let output_interval ?trim result name =
+  initiation_interval ?trim (Engine.output_times result name)
+
+let throughput ?trim result name = 1.0 /. output_interval ?trim result name
+
+let fully_pipelined ?trim ?(tol = 0.05) result name =
+  let interval = output_interval ?trim result name in
+  (not (Float.is_nan interval)) && interval <= 2.0 +. tol
+
+let node_period result id =
+  let times = List.rev result.Engine.fire_times.(id) in
+  initiation_interval ~trim:0.25 times
+
+let busiest_interval result =
+  (* only cells on the per-element path matter: ignore cells that fire
+     rarely (e.g. a boundary arm serving two elements per wave) *)
+  let counts = result.Engine.fire_counts in
+  let max_count = Array.fold_left max 0 counts in
+  let periods = ref [] in
+  Array.iteri
+    (fun id c ->
+      if 2 * c >= max_count then begin
+        let p = node_period result id in
+        if not (Float.is_nan p) then periods := p :: !periods
+      end)
+    counts;
+  List.fold_left Float.max 0.0 !periods
+
+let utilization result id =
+  if result.Engine.end_time = 0 then 0.0
+  else
+    float_of_int result.Engine.fire_counts.(id)
+    /. (float_of_int result.Engine.end_time /. 2.0)

@@ -1,0 +1,38 @@
+(** Throughput and pipelining metrics over simulation results.
+
+    The paper's maximal ("fully pipelined") rate is one result every 2
+    instruction times (Section 3); a feedback loop of [c] cells with [d]
+    circulating tokens is limited to [d/c] results per instruction time
+    (Section 7: Todd's 3-cell loop gives 1/3, the companion scheme's
+    4-cell loop with distance-2 dependence gives 1/2). *)
+
+val initiation_interval : ?trim:float -> int list -> float
+(** Mean spacing of arrival times after dropping a [trim] fraction
+    (default 0.25) at each end — the steady-state initiation interval,
+    insensitive to pipe fill and drain.  Requires at least two remaining
+    arrivals; returns [nan] otherwise. *)
+
+val output_interval : ?trim:float -> Engine.result -> string -> float
+(** {!initiation_interval} of a named output stream. *)
+
+val throughput : ?trim:float -> Engine.result -> string -> float
+(** Results per instruction time: [1 / output_interval]. *)
+
+val fully_pipelined : ?trim:float -> ?tol:float -> Engine.result -> string -> bool
+(** Whether the measured steady-state interval is within [tol] (default
+    0.05) of the maximal interval 2. *)
+
+val node_period : Engine.result -> int -> float
+(** Mean firing period of one cell (requires [record_firings:true]);
+    [nan] with fewer than two firings. *)
+
+val busiest_interval : Engine.result -> float
+(** Max over per-element cells of {!node_period} — the slowest stage,
+    which bounds the pipeline rate (Section 3).  Cells that fire rarely
+    (fewer than half as often as the busiest cell, e.g. a boundary arm)
+    are not stages in the paper's sense and are ignored.
+    Requires [record_firings:true]. *)
+
+val utilization : Engine.result -> int -> float
+(** Fraction of the maximal firing rate achieved by a cell:
+    [firings / (end_time / 2)]. *)

@@ -1,0 +1,69 @@
+open Dfg
+
+type row = {
+  cell : int;
+  label : string;
+  opcode : string;
+  firings : int;
+  period : float;
+  utilization : float;
+}
+
+let rows g result =
+  Graph.fold_nodes g ~init:[] ~f:(fun acc n ->
+      let id = n.Graph.id in
+      {
+        cell = id;
+        label = n.Graph.label;
+        opcode = Opcode.name n.Graph.op;
+        firings = result.Engine.fire_counts.(id);
+        period = Metrics.node_period result id;
+        utilization = Metrics.utilization result id;
+      }
+      :: acc)
+  |> List.rev
+
+let concurrency result =
+  if result.Engine.end_time = 0 then 0.0
+  else
+    float_of_int (Array.fold_left ( + ) 0 result.Engine.fire_counts)
+    /. float_of_int result.Engine.end_time
+
+let render ?(top = 16) g result =
+  let buf = Buffer.create 1024 in
+  let all = rows g result in
+  let busiest =
+    List.sort (fun a b -> compare b.firings a.firings) all
+    |> List.filteri (fun i _ -> i < top)
+  in
+  let table =
+    Df_util.Table.create [ "cell"; "opcode"; "firings"; "period"; "util" ]
+  in
+  List.iter
+    (fun r ->
+      Df_util.Table.add_row table
+        [
+          Printf.sprintf "%s#%d" r.label r.cell;
+          r.opcode;
+          string_of_int r.firings;
+          (if Float.is_nan r.period then "-"
+           else Printf.sprintf "%.2f" r.period);
+          Printf.sprintf "%.0f%%" (100. *. r.utilization);
+        ])
+    busiest;
+  Buffer.add_string buf (Df_util.Table.render table);
+  List.iter
+    (fun (name, arrivals) ->
+      let times = List.map fst arrivals in
+      Buffer.add_string buf
+        (Printf.sprintf "output %s: %d packets, interval %.3f\n" name
+           (List.length arrivals)
+           (Metrics.initiation_interval times)))
+    result.Engine.outputs;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "end time %d, %d total firings, mean concurrency %.1f cells/step\n"
+       result.Engine.end_time
+       (Array.fold_left ( + ) 0 result.Engine.fire_counts)
+       (concurrency result));
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+open Dfg
+
+(** Human-readable simulation reports: per-cell firing statistics and the
+    pipeline picture the paper paints ("thousands of instructions in
+    hundreds of stages in concurrent execution"). *)
+
+type row = {
+  cell : int;
+  label : string;
+  opcode : string;
+  firings : int;
+  period : float;       (** mean steady-state firing period, [nan] if <2 *)
+  utilization : float;  (** fraction of the maximal rate 1/2 *)
+}
+
+val rows : Graph.t -> Engine.result -> row list
+(** One row per cell, in id order.  Requires the run to have used
+    [record_firings:true] for periods; firing counts are always
+    available. *)
+
+val render : ?top:int -> Graph.t -> Engine.result -> string
+(** A table of the busiest [top] cells (default 16) plus summary lines:
+    output intervals, total firings, concurrency estimate. *)
+
+val concurrency : Engine.result -> float
+(** Average firings per time step — how many cells fire concurrently in a
+    typical step. *)

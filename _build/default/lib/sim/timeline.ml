@@ -1,0 +1,33 @@
+open Dfg
+
+let render ?(from_time = 0) ?(width = 72) ?cells g result =
+  let ids =
+    match cells with
+    | Some ids -> ids
+    | None -> List.init (Graph.node_count g) Fun.id
+  in
+  let label_width =
+    List.fold_left
+      (fun acc id ->
+        max acc (String.length (Graph.node g id).Graph.label + 4))
+      8 ids
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%*s t=%d .. %d\n" label_width "" from_time
+       (from_time + width - 1));
+  List.iter
+    (fun id ->
+      let node = Graph.node g id in
+      let marks = Bytes.make width '.' in
+      List.iter
+        (fun t ->
+          let k = t - from_time in
+          if k >= 0 && k < width then Bytes.set marks k '*')
+        result.Engine.fire_times.(id);
+      Buffer.add_string buf
+        (Printf.sprintf "%*s %s\n" label_width
+           (Printf.sprintf "%s#%d" node.Graph.label id)
+           (Bytes.to_string marks)))
+    ids;
+  Buffer.contents buf

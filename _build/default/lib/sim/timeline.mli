@@ -1,0 +1,14 @@
+open Dfg
+
+(** ASCII firing timelines: a Gantt-like picture of which cells fire at
+    which time steps — the textual version of watching the paper's
+    pipeline fill and reach the steady state where every stage fires every
+    other step. *)
+
+val render :
+  ?from_time:int -> ?width:int -> ?cells:int list -> Graph.t ->
+  Engine.result -> string
+(** One row per cell (all by default, or the given ids), one column per
+    time step starting at [from_time] (default 0) for [width] steps
+    (default 72).  [*] marks a firing, [.] idle.  Requires the run to have
+    used [record_firings:true]. *)

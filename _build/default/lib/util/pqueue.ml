@@ -1,0 +1,72 @@
+type 'a entry = { prio : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap.(0 .. size-1)] is a min-heap ordered by [prio]. *)
+  mutable size : int;
+}
+
+let initial_capacity = 64
+
+let create () = { heap = [||]; size = 0 }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+let ensure_capacity q =
+  let cap = Array.length q.heap in
+  if q.size >= cap then begin
+    let dummy = q.heap.(0) in
+    let new_cap = if cap = 0 then initial_capacity else 2 * cap in
+    let heap = Array.make new_cap dummy in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.heap.(i).prio < q.heap.(parent).prio then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && q.heap.(l).prio < q.heap.(!smallest).prio then smallest := l;
+  if r < q.size && q.heap.(r).prio < q.heap.(!smallest).prio then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q prio payload =
+  let e = { prio; payload } in
+  if Array.length q.heap = 0 then q.heap <- Array.make initial_capacity e;
+  ensure_capacity q;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.prio, top.payload)
+  end
+
+let peek_priority q = if q.size = 0 then None else Some q.heap.(0).prio
+
+let clear q = q.size <- 0

@@ -1,0 +1,27 @@
+(** Imperative binary-heap priority queue keyed by integer priority.
+
+    Used as the event queue of the dataflow simulators: priorities are
+    simulation timestamps, lower fires first.  Entries with equal priority
+    are popped in unspecified order; simulator semantics never depend on
+    intra-timestamp order because all arrivals at a time [t] are drained
+    before any firing decision at [t]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh empty queue. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> int -> 'a -> unit
+(** [push q prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return a minimum-priority entry, or [None] if empty. *)
+
+val peek_priority : 'a t -> int option
+(** Priority of the minimum entry without removing it. *)
+
+val clear : 'a t -> unit

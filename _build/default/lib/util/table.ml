@@ -1,0 +1,44 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let column_count t =
+  List.fold_left
+    (fun acc row -> max acc (List.length row))
+    (List.length t.headers) t.rows
+
+let cell row i = match List.nth_opt row i with Some c -> c | None -> ""
+
+let render t =
+  let cols = column_count t in
+  let rows = List.rev t.rows in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (cell row i)))
+      (String.length (cell t.headers i))
+      rows
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i w -> pad (cell row i) w) widths)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints one table per reproduced figure/claim; this
+    module right-pads cells and draws a header rule, nothing more. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with empty
+    cells; longer rows extend the column count. *)
+
+val render : t -> string
+(** Render with aligned columns, a header separator and a trailing
+    newline. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,1 @@
+lib/val_lang/ast.ml:

@@ -1,0 +1,1 @@
+lib/val_lang/classify.ml: Ast List Option Printf Typecheck

@@ -1,0 +1,1 @@
+lib/val_lang/eval.ml: Array Ast Float Format Hashtbl List Printf Typecheck

@@ -1,0 +1,1 @@
+lib/val_lang/eval.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/val_lang/lexer.ml: List Printf String

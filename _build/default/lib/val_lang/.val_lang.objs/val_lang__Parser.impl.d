@@ -1,0 +1,1 @@
+lib/val_lang/parser.ml: Array Ast Lexer List Printf

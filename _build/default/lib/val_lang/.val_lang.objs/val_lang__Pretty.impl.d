@@ -1,0 +1,1 @@
+lib/val_lang/pretty.ml: Ast Format List Printf String

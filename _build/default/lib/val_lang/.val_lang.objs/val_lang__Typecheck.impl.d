@@ -1,0 +1,1 @@
+lib/val_lang/typecheck.ml: Ast List Printf

@@ -1,0 +1,141 @@
+(** Abstract syntax for the Val subset of Dennis & Gao (ICPP'83).
+
+    The subset covers exactly the constructs the paper compiles:
+    - primitive expressions (literals, identifiers, arithmetic/relational/
+      boolean operators, array selection [A[i+m]], [let-in], [if-then-else]);
+    - [forall] array constructors (Example 1 of the paper), extended to
+      multi-index ranges for the paper's "multiple dimensions" remark;
+    - [for-iter] array constructors restricted to the paper's primitive
+      shape (Example 2): an integer counter, an accumulating array, and a
+      conditional body whose [iter] arm appends one element per cycle;
+    - programs: named [param]/[input] declarations followed by a sequence of
+      blocks, each defining one array — the paper's pipe-structured form.
+
+    Structural restrictions beyond grammar (constant ranges, primitivity,
+    companion-function existence) are checked by {!Classify}, not here. *)
+
+type scalar_type = Tint | Treal | Tbool
+
+type val_type =
+  | Scalar of scalar_type
+  | Array of scalar_type  (* 1-D array; 2-D values are streamed row-major *)
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+  | Min | Max
+
+(** Elementary functions available as prefix intrinsics; all real-valued
+    (the machine's function units provide them). *)
+type math_fn = Sqrt | Abs | Exp | Ln | Sin | Cos
+
+type unop = Neg | Not | Fn of math_fn
+
+(** Array subscripts are restricted at parse time to the paper's rule (4):
+    an index variable plus an integer-constant offset, or a constant.  The
+    constant may be a [param] name; it is resolved during elaboration. *)
+type index =
+  | Ix_var of string * int  (* i + m : index variable plus constant offset *)
+  | Ix_const of const_expr  (* constant subscript, e.g. X[0] *)
+
+(** Compile-time integer expressions: literals, [param] names, and
+    arithmetic.  Used for index-range bounds and constant subscripts. *)
+and const_expr =
+  | C_int of int
+  | C_name of string
+  | C_add of const_expr * const_expr
+  | C_sub of const_expr * const_expr
+  | C_mul of const_expr * const_expr
+
+type expr =
+  | Int_lit of int
+  | Real_lit of float
+  | Bool_lit of bool
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Select of string * index list  (* A[i+1], G[i, j-1] (row-major 2-D) *)
+  | Let of def list * expr
+  | If of expr * expr * expr
+
+and def = { def_name : string; def_type : val_type option; def_rhs : expr }
+
+type range = { rng_var : string; rng_lo : const_expr; rng_hi : const_expr }
+
+type forall = {
+  fa_ranges : range list;  (* one per dimension, outermost first *)
+  fa_defs : def list;
+  fa_body : expr;          (* the accumulation part *)
+}
+
+(** Body of a for-iter: a conditional tree whose leaves either re-enter the
+    loop ([Iter_continue]) or terminate with a result value. *)
+type iter_body =
+  | Iter_let of def list * iter_body
+  | Iter_if of expr * iter_body * iter_body
+  | Iter_continue of (string * iter_update) list  (* iter x := e; ... *)
+  | Iter_result of expr
+
+and iter_update =
+  | Upd_expr of expr                    (* i := i + 1 *)
+  | Upd_append of string * index * expr (* T := T[i: P] *)
+
+(** One loop-name initialization in the [for] header. *)
+type loop_init =
+  | Init_scalar of string * val_type option * expr
+  | Init_array of string * val_type option * const_expr * expr
+    (* T : array[real] := [r: E] *)
+
+type foriter = { fi_inits : loop_init list; fi_body : iter_body }
+
+type block_rhs = Forall of forall | Foriter of foriter
+
+type block = { blk_name : string; blk_type : val_type; blk_rhs : block_rhs }
+
+(** Declared program input: name, element type, and index range(s). *)
+type input_decl = {
+  in_name : string;
+  in_type : val_type;
+  in_ranges : (const_expr * const_expr) list;  (* empty for scalar inputs *)
+}
+
+type program = {
+  prog_params : (string * const_expr) list;  (* param m = 8; ... *)
+  prog_inputs : input_decl list;
+  prog_blocks : block list;
+}
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "=" | Ne -> "~="
+  | And -> "&" | Or -> "|" | Min -> "min" | Max -> "max"
+
+let math_fn_name = function
+  | Sqrt -> "sqrt" | Abs -> "abs" | Exp -> "exp"
+  | Ln -> "ln" | Sin -> "sin" | Cos -> "cos"
+
+let unop_name = function Neg -> "-" | Not -> "~" | Fn f -> math_fn_name f
+
+let scalar_type_name = function
+  | Tint -> "integer"
+  | Treal -> "real"
+  | Tbool -> "boolean"
+
+let type_name = function
+  | Scalar st -> scalar_type_name st
+  | Array st -> "array[" ^ scalar_type_name st ^ "]"
+
+(** Whether a binop is arithmetic (result type = operand type). *)
+let is_arith = function
+  | Add | Sub | Mul | Div | Min | Max -> true
+  | Lt | Le | Gt | Ge | Eq | Ne | And | Or -> false
+
+(** Whether a binop is a comparison (boolean result over numbers). *)
+let is_compare = function
+  | Lt | Le | Gt | Ge | Eq | Ne -> true
+  | Add | Sub | Mul | Div | Min | Max | And | Or -> false
+
+let is_logic = function
+  | And | Or -> true
+  | Add | Sub | Mul | Div | Min | Max | Lt | Le | Gt | Ge | Eq | Ne -> false

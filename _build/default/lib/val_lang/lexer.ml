@@ -1,0 +1,200 @@
+type token =
+  | INT of int
+  | REAL of float
+  | IDENT of string
+  | KW of string
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH
+  | LT | LE | GT | GE | EQ | NE
+  | AMP | BAR | TILDE
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keywords =
+  [
+    "forall"; "in"; "construct"; "endall";
+    "for"; "do"; "iter"; "enditer"; "endfor";
+    "if"; "then"; "else"; "elseif"; "endif";
+    "let"; "endlet";
+    "array"; "integer"; "real"; "boolean";
+    "param"; "input";
+    "min"; "max"; "true"; "false";
+    "sqrt"; "abs"; "exp"; "ln"; "sin"; "cos";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek cur =
+  if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let peek2 cur =
+  if cur.pos + 1 < String.length cur.src then Some cur.src.[cur.pos + 1]
+  else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+    cur.line <- cur.line + 1;
+    cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.pos <- cur.pos + 1
+
+let rec skip_blank_and_comments cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance cur;
+    skip_blank_and_comments cur
+  | Some '%' ->
+    let rec to_eol () =
+      match peek cur with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance cur;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blank_and_comments cur
+  | Some _ | None -> ()
+
+let lex_number cur =
+  let line = cur.line and col = cur.col in
+  let start = cur.pos in
+  while (match peek cur with Some c -> is_digit c | None -> false) do
+    advance cur
+  done;
+  let is_real =
+    (* A '.' makes it real, but ".." would be a range operator (unused in
+       this subset) so only a dot NOT followed by another dot counts. *)
+    match (peek cur, peek2 cur) with
+    | Some '.', Some '.' -> false
+    | Some '.', _ -> true
+    | _ -> false
+  in
+  if is_real then begin
+    advance cur;
+    while (match peek cur with Some c -> is_digit c | None -> false) do
+      advance cur
+    done;
+    (* optional exponent *)
+    (match (peek cur, peek2 cur) with
+    | Some ('e' | 'E'), Some c when is_digit c || c = '+' || c = '-' ->
+      advance cur;
+      (match peek cur with
+      | Some ('+' | '-') -> advance cur
+      | _ -> ());
+      while (match peek cur with Some c -> is_digit c | None -> false) do
+        advance cur
+      done
+    | _ -> ());
+    let text = String.sub cur.src start (cur.pos - start) in
+    match float_of_string_opt text with
+    | Some f -> { tok = REAL f; line; col }
+    | None -> raise (Lex_error ("malformed real literal " ^ text, line, col))
+  end
+  else begin
+    let text = String.sub cur.src start (cur.pos - start) in
+    match int_of_string_opt text with
+    | Some i -> { tok = INT i; line; col }
+    | None -> raise (Lex_error ("malformed integer literal " ^ text, line, col))
+  end
+
+let lex_ident cur =
+  let line = cur.line and col = cur.col in
+  let start = cur.pos in
+  while (match peek cur with Some c -> is_ident_char c | None -> false) do
+    advance cur
+  done;
+  let text = String.sub cur.src start (cur.pos - start) in
+  let tok = if is_keyword text then KW text else IDENT text in
+  { tok; line; col }
+
+let lex_symbol cur =
+  let line = cur.line and col = cur.col in
+  let simple tok =
+    advance cur;
+    { tok; line; col }
+  in
+  let two_char tok =
+    advance cur;
+    advance cur;
+    { tok; line; col }
+  in
+  match peek cur with
+  | Some '(' -> simple LPAREN
+  | Some ')' -> simple RPAREN
+  | Some '[' -> simple LBRACKET
+  | Some ']' -> simple RBRACKET
+  | Some ',' -> simple COMMA
+  | Some ';' -> simple SEMI
+  | Some ':' -> (
+    match peek2 cur with
+    | Some '=' -> two_char ASSIGN
+    | _ -> simple COLON)
+  | Some '+' -> simple PLUS
+  | Some '-' -> simple MINUS
+  | Some '*' -> simple STAR
+  | Some '/' -> simple SLASH
+  | Some '<' -> (
+    match peek2 cur with
+    | Some '=' -> two_char LE
+    | _ -> simple LT)
+  | Some '>' -> (
+    match peek2 cur with
+    | Some '=' -> two_char GE
+    | _ -> simple GT)
+  | Some '=' -> simple EQ
+  | Some '~' -> (
+    match peek2 cur with
+    | Some '=' -> two_char NE
+    | _ -> simple TILDE)
+  | Some '&' -> simple AMP
+  | Some '|' -> simple BAR
+  | Some c ->
+    raise (Lex_error (Printf.sprintf "illegal character %C" c, line, col))
+  | None -> { tok = EOF; line; col }
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    skip_blank_and_comments cur;
+    match peek cur with
+    | None -> List.rev ({ tok = EOF; line = cur.line; col = cur.col } :: acc)
+    | Some c when is_digit c -> loop (lex_number cur :: acc)
+    | Some c when is_ident_start c -> loop (lex_ident cur :: acc)
+    | Some _ -> loop (lex_symbol cur :: acc)
+  in
+  loop []
+
+let token_name = function
+  | INT i -> Printf.sprintf "integer %d" i
+  | REAL f -> Printf.sprintf "real %g" f
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KW s -> Printf.sprintf "keyword %s" s
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COMMA -> "," | SEMI -> ";" | COLON -> ":"
+  | ASSIGN -> ":="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQ -> "=" | NE -> "~="
+  | AMP -> "&" | BAR -> "|" | TILDE -> "~"
+  | EOF -> "end of input"

@@ -1,0 +1,32 @@
+(** Hand-written lexer for the Val subset.
+
+    Comments run from [%] to end of line, as in the paper's listings. *)
+
+type token =
+  | INT of int
+  | REAL of float
+  | IDENT of string
+  | KW of string        (* keywords: forall, in, construct, endall, ... *)
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON
+  | ASSIGN              (* := *)
+  | PLUS | MINUS | STAR | SLASH
+  | LT | LE | GT | GE | EQ | NE
+  | AMP | BAR | TILDE
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** [Lex_error (msg, line, col)]. *)
+
+val keywords : string list
+(** All recognized keywords. *)
+
+val tokenize : string -> located list
+(** Tokenize a full source string.  The result ends with an [EOF] token.
+    @raise Lex_error on an illegal character or malformed number. *)
+
+val token_name : token -> string
+(** Human-readable token description for error messages. *)

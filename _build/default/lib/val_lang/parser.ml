@@ -1,0 +1,564 @@
+open Ast
+
+exception Parse_error of string * int * int
+
+type state = { toks : Lexer.located array; mutable pos : int }
+
+let current st = st.toks.(st.pos)
+
+let peek st = (current st).tok
+
+let peek_ahead st n =
+  let i = st.pos + n in
+  if i < Array.length st.toks then st.toks.(i).tok else Lexer.EOF
+
+let error st msg =
+  let { Lexer.line; col; _ } = current st in
+  raise (Parse_error (msg, line, col))
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_name tok)
+         (Lexer.token_name (peek st)))
+
+let expect_kw st kw = expect st (Lexer.KW kw)
+
+let at_kw st kw = peek st = Lexer.KW kw
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> error st ("expected identifier but found " ^ Lexer.token_name t)
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time constant expressions                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_cexpr st =
+  let lhs = ref (parse_cterm st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      lhs := C_add (!lhs, parse_cterm st)
+    | Lexer.MINUS ->
+      advance st;
+      lhs := C_sub (!lhs, parse_cterm st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_cterm st =
+  let lhs = ref (parse_cfactor st) in
+  while peek st = Lexer.STAR do
+    advance st;
+    lhs := C_mul (!lhs, parse_cfactor st)
+  done;
+  !lhs
+
+and parse_cfactor st =
+  match peek st with
+  | Lexer.INT i ->
+    advance st;
+    C_int i
+  | Lexer.MINUS ->
+    advance st;
+    C_sub (C_int 0, parse_cfactor st)
+  | Lexer.IDENT s ->
+    advance st;
+    C_name s
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_cexpr st in
+    expect st Lexer.RPAREN;
+    e
+  | t -> error st ("expected constant expression, found " ^ Lexer.token_name t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_scalar_type st =
+  match peek st with
+  | Lexer.KW "integer" ->
+    advance st;
+    Tint
+  | Lexer.KW "real" ->
+    advance st;
+    Treal
+  | Lexer.KW "boolean" ->
+    advance st;
+    Tbool
+  | t -> error st ("expected scalar type, found " ^ Lexer.token_name t)
+
+let parse_type st =
+  if at_kw st "array" then begin
+    advance st;
+    expect st Lexer.LBRACKET;
+    let elt = parse_scalar_type st in
+    expect st Lexer.RBRACKET;
+    Array elt
+  end
+  else Scalar (parse_scalar_type st)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_index st =
+  match peek st with
+  | Lexer.IDENT v -> (
+    advance st;
+    match peek st with
+    | Lexer.PLUS -> (
+      advance st;
+      match peek st with
+      | Lexer.INT k ->
+        advance st;
+        Ix_var (v, k)
+      | t -> error st ("expected integer offset, found " ^ Lexer.token_name t))
+    | Lexer.MINUS -> (
+      advance st;
+      match peek st with
+      | Lexer.INT k ->
+        advance st;
+        Ix_var (v, -k)
+      | t -> error st ("expected integer offset, found " ^ Lexer.token_name t))
+    | _ -> Ix_var (v, 0))
+  | Lexer.INT _ | Lexer.MINUS | Lexer.LPAREN -> Ix_const (parse_cexpr st)
+  | t -> error st ("expected array subscript, found " ^ Lexer.token_name t)
+
+let rec parse_expr_prec st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek st = Lexer.BAR do
+    advance st;
+    lhs := Binop (Or, !lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cmp st) in
+  while peek st = Lexer.AMP do
+    advance st;
+    lhs := Binop (And, !lhs, parse_cmp st)
+  done;
+  !lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.LT -> Some Lt
+    | Lexer.LE -> Some Le
+    | Lexer.GT -> Some Gt
+    | Lexer.GE -> Some Ge
+    | Lexer.EQ -> Some Eq
+    | Lexer.NE -> Some Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      lhs := Binop (Add, !lhs, parse_mul st)
+    | Lexer.MINUS ->
+      advance st;
+      lhs := Binop (Sub, !lhs, parse_mul st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      lhs := Binop (Mul, !lhs, parse_unary st)
+    | Lexer.SLASH ->
+      advance st;
+      lhs := Binop (Div, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    Unop (Neg, parse_unary st)
+  | Lexer.TILDE ->
+    advance st;
+    Unop (Not, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.INT i ->
+    advance st;
+    Int_lit i
+  | Lexer.REAL f ->
+    advance st;
+    Real_lit f
+  | Lexer.KW "true" ->
+    advance st;
+    Bool_lit true
+  | Lexer.KW "false" ->
+    advance st;
+    Bool_lit false
+  | Lexer.KW (("sqrt" | "abs" | "exp" | "ln" | "sin" | "cos") as fn) ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let a = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    let f =
+      match fn with
+      | "sqrt" -> Sqrt | "abs" -> Abs | "exp" -> Exp
+      | "ln" -> Ln | "sin" -> Sin | _ -> Cos
+    in
+    Unop (Fn f, a)
+  | Lexer.KW ("min" | "max") ->
+    let op = if at_kw st "min" then Min else Max in
+    advance st;
+    expect st Lexer.LPAREN;
+    let a = parse_expr_prec st in
+    expect st Lexer.COMMA;
+    let b = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    Binop (op, a, b)
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.LBRACKET ->
+      advance st;
+      let rec indices acc =
+        let ix = parse_index st in
+        match peek st with
+        | Lexer.COMMA ->
+          advance st;
+          indices (ix :: acc)
+        | _ -> List.rev (ix :: acc)
+      in
+      let ixs = indices [] in
+      expect st Lexer.RBRACKET;
+      Select (name, ixs)
+    | _ -> Var name)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.KW "if" -> parse_if_expr st
+  | Lexer.KW "let" ->
+    advance st;
+    let defs = parse_defs st ~stop:(Lexer.KW "in") in
+    expect_kw st "in";
+    let body = parse_expr_prec st in
+    expect_kw st "endlet";
+    Let (defs, body)
+  | t -> error st ("expected expression, found " ^ Lexer.token_name t)
+
+and parse_if_expr st =
+  expect_kw st "if";
+  let cond = parse_expr_prec st in
+  expect_kw st "then";
+  let then_e = parse_expr_prec st in
+  let rec arms () =
+    match peek st with
+    | Lexer.KW "elseif" ->
+      advance st;
+      let c = parse_expr_prec st in
+      expect_kw st "then";
+      let t = parse_expr_prec st in
+      let e = arms () in
+      If (c, t, e)
+    | Lexer.KW "else" ->
+      advance st;
+      let e = parse_expr_prec st in
+      expect_kw st "endif";
+      e
+    | t -> error st ("expected else/elseif, found " ^ Lexer.token_name t)
+  in
+  let else_e = arms () in
+  If (cond, then_e, else_e)
+
+(* Definition lists: [name (: type)? := expr ;] repeated until [stop] (the
+   terminating [;] before [stop] is optional, matching the paper style). *)
+and parse_defs st ~stop =
+  let rec loop acc =
+    if peek st = stop then List.rev acc
+    else begin
+      let def_name = expect_ident st in
+      let def_type =
+        if peek st = Lexer.COLON then begin
+          advance st;
+          Some (parse_type st)
+        end
+        else None
+      in
+      expect st Lexer.ASSIGN;
+      let def_rhs = parse_expr_prec st in
+      if peek st = Lexer.SEMI then advance st
+      else if peek st <> stop then
+        error st
+          (Printf.sprintf "expected ; or %s after definition of %s"
+             (Lexer.token_name stop) def_name);
+      loop ({ def_name; def_type; def_rhs } :: acc)
+    end
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* forall                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_range st =
+  let rng_var = expect_ident st in
+  expect_kw st "in";
+  expect st Lexer.LBRACKET;
+  let rng_lo = parse_cexpr st in
+  expect st Lexer.COMMA;
+  let rng_hi = parse_cexpr st in
+  expect st Lexer.RBRACKET;
+  { rng_var; rng_lo; rng_hi }
+
+let parse_forall st =
+  expect_kw st "forall";
+  let rec ranges acc =
+    let r = parse_range st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      ranges (r :: acc)
+    end
+    else List.rev (r :: acc)
+  in
+  let fa_ranges = ranges [] in
+  let fa_defs = parse_defs st ~stop:(Lexer.KW "construct") in
+  expect_kw st "construct";
+  let fa_body = parse_expr_prec st in
+  expect_kw st "endall";
+  { fa_ranges; fa_defs; fa_body }
+
+(* ------------------------------------------------------------------ *)
+(* for-iter                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_loop_init st =
+  let name = expect_ident st in
+  expect st Lexer.COLON;
+  let ty = parse_type st in
+  expect st Lexer.ASSIGN;
+  (* An array initialization [r: E] vs. a scalar initial expression.  A
+     leading '[' can only be the former, since expressions never start
+     with '['. *)
+  if peek st = Lexer.LBRACKET then begin
+    advance st;
+    let r = parse_cexpr st in
+    expect st Lexer.COLON;
+    let e = parse_expr_prec st in
+    expect st Lexer.RBRACKET;
+    Init_array (name, Some ty, r, e)
+  end
+  else Init_scalar (name, Some ty, parse_expr_prec st)
+
+(* [x := T[i: P]] (append) vs [x := e] (scalar update): both start with
+   IDENT := IDENT [ ..., so disambiguate by backtracking on the ':' that
+   separates index from element inside the brackets. *)
+let parse_update st =
+  let name = expect_ident st in
+  expect st Lexer.ASSIGN;
+  let saved = st.pos in
+  let try_append () =
+    match peek st with
+    | Lexer.IDENT arr when peek_ahead st 1 = Lexer.LBRACKET ->
+      advance st;
+      advance st;
+      (* tolerate failures: backtrack to scalar-update parse *)
+      (try
+         let ix = parse_index st in
+         if peek st = Lexer.COLON then begin
+           advance st;
+           let e = parse_expr_prec st in
+           expect st Lexer.RBRACKET;
+           Some (name, Upd_append (arr, ix, e))
+         end
+         else None
+       with Parse_error _ -> None)
+    | _ -> None
+  in
+  match try_append () with
+  | Some upd -> upd
+  | None ->
+    st.pos <- saved;
+    (name, Upd_expr (parse_expr_prec st))
+
+let rec parse_iter_body st =
+  match peek st with
+  | Lexer.KW "let" ->
+    advance st;
+    let defs = parse_defs st ~stop:(Lexer.KW "in") in
+    expect_kw st "in";
+    let body = parse_iter_body st in
+    expect_kw st "endlet";
+    Iter_let (defs, body)
+  | Lexer.KW "if" ->
+    advance st;
+    let cond = parse_expr_prec st in
+    expect_kw st "then";
+    let then_b = parse_iter_body st in
+    let rec arms () =
+      match peek st with
+      | Lexer.KW "elseif" ->
+        advance st;
+        let c = parse_expr_prec st in
+        expect_kw st "then";
+        let t = parse_iter_body st in
+        let e = arms () in
+        Iter_if (c, t, e)
+      | Lexer.KW "else" ->
+        advance st;
+        let e = parse_iter_body st in
+        expect_kw st "endif";
+        e
+      | t -> error st ("expected else/elseif, found " ^ Lexer.token_name t)
+    in
+    let else_b = arms () in
+    Iter_if (cond, then_b, else_b)
+  | Lexer.KW "iter" ->
+    advance st;
+    let rec updates acc =
+      let u = parse_update st in
+      if peek st = Lexer.SEMI then begin
+        advance st;
+        if at_kw st "enditer" then List.rev (u :: acc)
+        else updates (u :: acc)
+      end
+      else List.rev (u :: acc)
+    in
+    let us = updates [] in
+    expect_kw st "enditer";
+    Iter_continue us
+  | _ -> Iter_result (parse_expr_prec st)
+
+let parse_foriter st =
+  expect_kw st "for";
+  let rec inits acc =
+    let i = parse_loop_init st in
+    if peek st = Lexer.SEMI then begin
+      advance st;
+      if at_kw st "do" then List.rev (i :: acc) else inits (i :: acc)
+    end
+    else List.rev (i :: acc)
+  in
+  let fi_inits = inits [] in
+  expect_kw st "do";
+  let fi_body = parse_iter_body st in
+  expect_kw st "endfor";
+  { fi_inits; fi_body }
+
+(* ------------------------------------------------------------------ *)
+(* Blocks and programs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let parse_block_st st =
+  let blk_name = expect_ident st in
+  expect st Lexer.COLON;
+  let blk_type = parse_type st in
+  expect st Lexer.ASSIGN;
+  let blk_rhs =
+    if at_kw st "forall" then Forall (parse_forall st)
+    else if at_kw st "for" then Foriter (parse_foriter st)
+    else error st "expected forall or for-iter block body"
+  in
+  if peek st = Lexer.SEMI then advance st;
+  { blk_name; blk_type; blk_rhs }
+
+let parse_decl st =
+  if at_kw st "param" then begin
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.EQ;
+    let v = parse_cexpr st in
+    if peek st = Lexer.SEMI then advance st;
+    `Param (name, v)
+  end
+  else begin
+    expect_kw st "input";
+    let in_name = expect_ident st in
+    expect st Lexer.COLON;
+    let in_type = parse_type st in
+    let rec ranges acc =
+      if peek st = Lexer.LBRACKET then begin
+        advance st;
+        let lo = parse_cexpr st in
+        expect st Lexer.COMMA;
+        let hi = parse_cexpr st in
+        expect st Lexer.RBRACKET;
+        ranges ((lo, hi) :: acc)
+      end
+      else List.rev acc
+    in
+    let in_ranges = ranges [] in
+    if peek st = Lexer.SEMI then advance st;
+    `Input { in_name; in_type; in_ranges }
+  end
+
+let parse_program_st st =
+  let rec decls params inputs =
+    if at_kw st "param" || at_kw st "input" then
+      match parse_decl st with
+      | `Param p -> decls (p :: params) inputs
+      | `Input i -> decls params (i :: inputs)
+    else (List.rev params, List.rev inputs)
+  in
+  let prog_params, prog_inputs = decls [] [] in
+  let rec blocks acc =
+    if peek st = Lexer.EOF then List.rev acc
+    else blocks (parse_block_st st :: acc)
+  in
+  let prog_blocks = blocks [] in
+  { prog_params; prog_inputs; prog_blocks }
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); pos = 0 }
+
+let finish st v =
+  if peek st = Lexer.EOF then v
+  else error st ("unexpected trailing input: " ^ Lexer.token_name (peek st))
+
+let wrap_lex_error f =
+  try f ()
+  with Lexer.Lex_error (msg, line, col) -> raise (Parse_error (msg, line, col))
+
+let parse_program src =
+  wrap_lex_error (fun () ->
+      let st = make_state src in
+      finish st (parse_program_st st))
+
+let parse_expr src =
+  wrap_lex_error (fun () ->
+      let st = make_state src in
+      finish st (parse_expr_prec st))
+
+let parse_block src =
+  wrap_lex_error (fun () ->
+      let st = make_state src in
+      finish st (parse_block_st st))

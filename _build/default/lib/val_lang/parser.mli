@@ -1,0 +1,37 @@
+(** Recursive-descent parser for the Val subset.
+
+    Grammar (informal):
+    {v
+    program  ::= decl* block*
+    decl     ::= "param" IDENT "=" cexpr ";"
+               | "input" IDENT ":" type ("[" cexpr "," cexpr "]")* ";"
+    type     ::= "integer" | "real" | "boolean" | "array" "[" scalar "]"
+    block    ::= IDENT ":" type ":=" (forall | foriter) ";"?
+    forall   ::= "forall" range ("," range)* def* "construct" expr "endall"
+    range    ::= IDENT "in" "[" cexpr "," cexpr "]"
+    def      ::= IDENT (":" type)? ":=" expr ";"
+    foriter  ::= "for" init (";" init)* "do" iterbody "endfor"
+    init     ::= IDENT ":" type ":=" ("[" cexpr ":" expr "]" | expr)
+    iterbody ::= "let" def* "in" iterbody "endlet"
+               | "if" expr "then" iterbody
+                 ("elseif" expr "then" iterbody)* "else" iterbody "endif"
+               | "iter" update (";" update)* "enditer"
+               | expr
+    update   ::= IDENT ":=" IDENT "[" index ":" expr "]"
+               | IDENT ":=" expr
+    v}
+    Expressions use the paper's operators with conventional precedence:
+    [|] < [&] < comparisons < [+ -] < [* /] < unary [- ~]; [min]/[max] are
+    two-argument prefix functions; [%] starts a line comment. *)
+
+exception Parse_error of string * int * int
+(** [Parse_error (msg, line, col)]. *)
+
+val parse_program : string -> Ast.program
+(** Parse a complete source file. @raise Parse_error *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (must consume all input). @raise Parse_error *)
+
+val parse_block : string -> Ast.block
+(** Parse a single array-defining block. @raise Parse_error *)

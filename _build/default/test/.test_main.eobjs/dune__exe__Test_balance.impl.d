@@ -1,0 +1,1 @@
+test/test_balance.ml: Alcotest Analysis Array Balance Dfg Engine Graph List Mcf Metrics Opcode Printf Random Sim Value

@@ -1,0 +1,1 @@
+test/test_companion_distance.ml: Alcotest Compiler Dfg Float Graph List Printf Random Sim

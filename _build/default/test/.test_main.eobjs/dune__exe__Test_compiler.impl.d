@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Compiler Dfg Float Graph List Opcode Printf Random Sim Val_lang Value

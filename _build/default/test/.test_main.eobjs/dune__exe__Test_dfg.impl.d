@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Analysis Array Ctlseq Dfg Dot Engine Graph List Macro Metrics Opcode Printf Sim String Value

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Compiler Dfg List String Value

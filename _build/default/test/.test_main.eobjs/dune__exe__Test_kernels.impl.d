@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Analysis Array Balance Compiler Dfg Float Graph Hashtbl Kernels List Opcode Printf Random Sim Value

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Compiler Dfg Fun List Machine Printf Random Sim String Value

@@ -1,0 +1,1 @@
+test/test_math_fns.ml: Alcotest Compiler Dfg Float Graph List Opcode Printf Random Sim Text Val_lang Value

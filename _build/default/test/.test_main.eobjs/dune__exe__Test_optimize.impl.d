@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Compiler Dfg Graph List Optimize Printf Random Sim Value

@@ -1,0 +1,1 @@
+test/test_properties.ml: Balance Buffer Bytes Char Compiler Ctlseq Df_util Dfg Float Fun Graph Hashtbl List Printexc Printf QCheck QCheck_alcotest Random Sim Test_balance Val_lang Value

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Compiler Dfg Float Graph Int64 List Opcode Printf Random Sim Test_machine Text Value

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ctlseq Dfg Engine Graph List Metrics Opcode Printf Sim Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Df_util Dfg Engine Float Graph List Metrics Opcode Report Sim String Timeline Value

@@ -1,0 +1,1 @@
+test/test_val_eval.ml: Alcotest Array Eval Format List Parser Test_val_parser Typecheck Val_lang

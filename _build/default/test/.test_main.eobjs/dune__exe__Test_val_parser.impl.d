@@ -1,0 +1,1 @@
+test/test_val_parser.ml: Alcotest Ast List Parser Pretty Val_lang

@@ -1,0 +1,270 @@
+(* Min-cost flow and balancing tests, including the paper's Section 8
+   claims: naive >= reduced >= optimal = LP dual bound, and that balanced
+   graphs run fully pipelined. *)
+
+open Dfg
+open Sim
+
+(* ------------------------------------------------------------------ *)
+(* Min-cost flow                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_mcf_simple () =
+  (* two parallel paths, cheap one has low capacity *)
+  let net = Mcf.Mincost_flow.create 4 in
+  let e_cheap = Mcf.Mincost_flow.add_arc net ~src:0 ~dst:1 ~capacity:2 ~cost:1 in
+  let e_dear = Mcf.Mincost_flow.add_arc net ~src:0 ~dst:2 ~capacity:5 ~cost:3 in
+  let e1 = Mcf.Mincost_flow.add_arc net ~src:1 ~dst:3 ~capacity:2 ~cost:0 in
+  let e2 = Mcf.Mincost_flow.add_arc net ~src:2 ~dst:3 ~capacity:5 ~cost:0 in
+  let s = Mcf.Mincost_flow.min_cost_max_flow net ~source:0 ~sink:3 in
+  Alcotest.(check int) "flow" 7 s.Mcf.Mincost_flow.flow;
+  Alcotest.(check int) "cost" ((2 * 1) + (5 * 3)) s.Mcf.Mincost_flow.cost;
+  Alcotest.(check int) "cheap saturated" 2 (Mcf.Mincost_flow.flow_on net e_cheap);
+  Alcotest.(check int) "dear used" 5 (Mcf.Mincost_flow.flow_on net e_dear);
+  Alcotest.(check int) "e1" 2 (Mcf.Mincost_flow.flow_on net e1);
+  Alcotest.(check int) "e2" 5 (Mcf.Mincost_flow.flow_on net e2)
+
+let test_mcf_prefers_cheap () =
+  let net = Mcf.Mincost_flow.create 2 in
+  let _ = Mcf.Mincost_flow.add_arc net ~src:0 ~dst:1 ~capacity:10 ~cost:5 in
+  let _ = Mcf.Mincost_flow.add_arc net ~src:0 ~dst:1 ~capacity:3 ~cost:1 in
+  let s = Mcf.Mincost_flow.min_cost_max_flow net ~source:0 ~sink:1 in
+  Alcotest.(check int) "flow" 13 s.Mcf.Mincost_flow.flow;
+  Alcotest.(check int) "cost" ((3 * 1) + (10 * 5)) s.Mcf.Mincost_flow.cost
+
+let test_mcf_negative_costs () =
+  (* negative-cost arc in a DAG: must be exploited *)
+  let net = Mcf.Mincost_flow.create 3 in
+  let _ = Mcf.Mincost_flow.add_arc net ~src:0 ~dst:1 ~capacity:4 ~cost:(-2) in
+  let _ = Mcf.Mincost_flow.add_arc net ~src:1 ~dst:2 ~capacity:4 ~cost:1 in
+  let _ = Mcf.Mincost_flow.add_arc net ~src:0 ~dst:2 ~capacity:4 ~cost:0 in
+  let s = Mcf.Mincost_flow.min_cost_max_flow net ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow" 8 s.Mcf.Mincost_flow.flow;
+  Alcotest.(check int) "cost" (-4) s.Mcf.Mincost_flow.cost
+
+let test_mcf_residual_distances () =
+  let net = Mcf.Mincost_flow.create 3 in
+  let _ = Mcf.Mincost_flow.add_arc net ~src:0 ~dst:1 ~capacity:2 ~cost:4 in
+  let _ = Mcf.Mincost_flow.add_arc net ~src:1 ~dst:2 ~capacity:2 ~cost:1 in
+  let _ = Mcf.Mincost_flow.add_arc net ~src:0 ~dst:2 ~capacity:1 ~cost:9 in
+  (match Mcf.Mincost_flow.residual_shortest_distances net ~root:0 with
+  | Some d ->
+    Alcotest.(check int) "d(1)" 4 d.(1);
+    Alcotest.(check int) "d(2)" 5 d.(2)
+  | None -> Alcotest.fail "no negative cycle expected");
+  let _ = Mcf.Mincost_flow.min_cost_max_flow net ~source:0 ~sink:2 in
+  (* after an optimal flow the residual network still has no negative
+     cycle, and potentials exist *)
+  match Mcf.Mincost_flow.potentials net with
+  | Some _ -> ()
+  | None -> Alcotest.fail "optimal flow must admit potentials"
+
+let test_mcf_disconnected () =
+  let net = Mcf.Mincost_flow.create 3 in
+  let _ = Mcf.Mincost_flow.add_arc net ~src:0 ~dst:1 ~capacity:1 ~cost:1 in
+  let s = Mcf.Mincost_flow.min_cost_max_flow net ~source:0 ~sink:2 in
+  Alcotest.(check int) "no flow" 0 s.Mcf.Mincost_flow.flow
+
+(* ------------------------------------------------------------------ *)
+(* Balancing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Random layered DAG builder: [layers] layers of [width] arithmetic cells;
+   each cell reads two random cells from any earlier layer (or an input),
+   all terminal cells join into a tree feeding one output.  Deterministic
+   via a seed. *)
+let random_dag ~seed ~layers ~width =
+  let rng = Random.State.make [| seed |] in
+  let g = Graph.create () in
+  let input = Graph.add g (Opcode.Input "a") [||] in
+  let all = ref [ input ] in
+  for _ = 1 to layers do
+    let layer =
+      List.init width (fun _ ->
+          let pool = Array.of_list !all in
+          let pick () = pool.(Random.State.int rng (Array.length pool)) in
+          let n =
+            Graph.add g (Opcode.Arith Opcode.Add)
+              [| Graph.In_arc; Graph.In_arc |]
+          in
+          Graph.connect g ~src:(pick ()) ~dst:n ~port:0;
+          Graph.connect g ~src:(pick ()) ~dst:n ~port:1;
+          n)
+    in
+    all := layer @ !all
+  done;
+  (* join all cells with no successors into one output *)
+  let sinks =
+    List.filter (fun id -> Analysis.successors g id = []) !all
+  in
+  let rec join = function
+    | [] -> assert false
+    | [ x ] -> x
+    | x :: y :: rest ->
+      let n =
+        Graph.add g (Opcode.Arith Opcode.Add)
+          [| Graph.In_arc; Graph.In_arc |]
+      in
+      Graph.connect g ~src:x ~dst:n ~port:0;
+      Graph.connect g ~src:y ~dst:n ~port:1;
+      join (rest @ [ n ])
+  in
+  let root = join sinks in
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:root ~dst:out ~port:0;
+  g
+
+let test_levels_feasible () =
+  List.iter
+    (fun seed ->
+      let g = random_dag ~seed ~layers:5 ~width:4 in
+      let naive = Balance.Balancer.naive_levels g in
+      Alcotest.(check bool) "naive feasible" true
+        (Balance.Balancer.is_feasible g naive);
+      let reduced = Balance.Balancer.reduce_levels g naive in
+      Alcotest.(check bool) "reduced feasible" true
+        (Balance.Balancer.is_feasible g reduced);
+      let optimal = Balance.Balancer.optimal_levels g in
+      Alcotest.(check bool) "optimal feasible" true
+        (Balance.Balancer.is_feasible g optimal))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_cost_ordering () =
+  List.iter
+    (fun seed ->
+      let g = random_dag ~seed ~layers:6 ~width:5 in
+      let cost l = Balance.Balancer.buffer_cost g l in
+      let naive = cost (Balance.Balancer.naive_levels g) in
+      let reduced =
+        cost
+          (Balance.Balancer.reduce_levels g (Balance.Balancer.naive_levels g))
+      in
+      let optimal = cost (Balance.Balancer.optimal_levels g) in
+      let bound = Balance.Balancer.dual_lower_bound g in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: naive %d >= reduced %d" seed naive reduced)
+        true (naive >= reduced);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: reduced %d >= optimal %d" seed reduced
+           optimal)
+        true (reduced >= optimal);
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: optimal = dual bound (strong duality)" seed)
+        bound optimal)
+    [ 7; 11; 13; 17; 23; 42 ]
+
+let test_optimal_exact_small () =
+  (* Hand-checkable: input fans to a 1-cell arm and a 3-cell arm joining
+     at an ADD; optimal balancing needs exactly 2 buffer stages. *)
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let short = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:short ~port:0;
+  let l1 = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  let l2 = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  let l3 = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:l1 ~port:0;
+  Graph.connect g ~src:l1 ~dst:l2 ~port:0;
+  Graph.connect g ~src:l2 ~dst:l3 ~port:0;
+  let join =
+    Graph.add g (Opcode.Arith Opcode.Add) [| Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:short ~dst:join ~port:0;
+  Graph.connect g ~src:l3 ~dst:join ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:join ~dst:out ~port:0;
+  let optimal = Balance.Balancer.optimal_levels g in
+  Alcotest.(check int) "2 stages" 2
+    (Balance.Balancer.buffer_cost g optimal)
+
+let test_insert_buffers_balances () =
+  List.iter
+    (fun seed ->
+      let g = random_dag ~seed ~layers:4 ~width:3 in
+      let balanced = Balance.Balancer.balance ~strategy:`Optimal g in
+      (match Analysis.strict_balance_check balanced with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "seed %d: not balanced: %s" seed msg);
+      (* and it runs fully pipelined *)
+      let n = 200 in
+      let result =
+        Engine.run balanced
+          ~inputs:[ ("a", List.init n (fun i -> Value.Int i)) ]
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d fully pipelined" seed)
+        true
+        (Metrics.fully_pipelined result "r"))
+    [ 3; 9; 27 ]
+
+let test_values_unchanged_by_balancing () =
+  let g = random_dag ~seed:5 ~layers:4 ~width:3 in
+  let n = 50 in
+  let inputs = [ ("a", List.init n (fun i -> Value.Int (i + 1))) ] in
+  let raw = Engine.run g ~inputs in
+  List.iter
+    (fun strategy ->
+      let b = Balance.Balancer.balance ~strategy g in
+      let res = Engine.run b ~inputs in
+      Alcotest.(check (list int)) "same values"
+        (List.map
+           (function Value.Int i -> i | _ -> -1)
+           (Engine.output_values raw "r"))
+        (List.map
+           (function Value.Int i -> i | _ -> -1)
+           (Engine.output_values res "r")))
+    [ `Naive; `Reduced; `Optimal ]
+
+let test_cyclic_rejected () =
+  let g = Graph.create () in
+  let a = Graph.add g Opcode.Id [| Graph.In_arc_init (Value.Int 0) |] in
+  let b = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:b ~port:0;
+  Graph.connect g ~src:b ~dst:a ~port:0;
+  (match Balance.Balancer.naive_levels g with
+  | _ -> Alcotest.fail "expected Cyclic"
+  | exception Balance.Balancer.Cyclic -> ());
+  match Balance.Balancer.optimal_levels g with
+  | _ -> Alcotest.fail "expected Cyclic"
+  | exception Balance.Balancer.Cyclic -> ()
+
+let test_fifo_weights_respected () =
+  (* A pre-existing FIFO(3) counts as 3 stages of delay. *)
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let f = Graph.add g (Opcode.Fifo 3) [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:f ~port:0;
+  let s = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:s ~port:0;
+  let join =
+    Graph.add g (Opcode.Arith Opcode.Add) [| Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:f ~dst:join ~port:0;
+  Graph.connect g ~src:s ~dst:join ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:join ~dst:out ~port:0;
+  let optimal = Balance.Balancer.optimal_levels g in
+  (* short arm needs 2 more stages to match FIFO(3) *)
+  Alcotest.(check int) "stages" 2 (Balance.Balancer.buffer_cost g optimal)
+
+let suite =
+  [
+    Alcotest.test_case "mcf simple network" `Quick test_mcf_simple;
+    Alcotest.test_case "mcf prefers cheap arcs" `Quick test_mcf_prefers_cheap;
+    Alcotest.test_case "mcf negative costs" `Quick test_mcf_negative_costs;
+    Alcotest.test_case "mcf disconnected" `Quick test_mcf_disconnected;
+    Alcotest.test_case "mcf residual distances and potentials" `Quick
+      test_mcf_residual_distances;
+    Alcotest.test_case "levels feasible" `Quick test_levels_feasible;
+    Alcotest.test_case "cost ordering naive>=reduced>=optimal=dual" `Quick
+      test_cost_ordering;
+    Alcotest.test_case "optimal exact on small graph" `Quick
+      test_optimal_exact_small;
+    Alcotest.test_case "balanced graphs run at max rate" `Quick
+      test_insert_buffers_balances;
+    Alcotest.test_case "balancing preserves values" `Quick
+      test_values_unchanged_by_balancing;
+    Alcotest.test_case "cyclic graphs rejected" `Quick test_cyclic_rejected;
+    Alcotest.test_case "FIFO weights respected" `Quick
+      test_fifo_weights_respected;
+  ]

@@ -1,0 +1,337 @@
+(* Classifier tests: the paper's class definitions (Sections 4-7), both
+   acceptance (with correct normalization) and rejection with the right
+   reason. *)
+
+module A = Val_lang.Ast
+module C = Val_lang.Classify
+module P = Val_lang.Parser
+
+let classify src = C.classify_program (P.parse_program src)
+
+let expect_rejected ?contains src =
+  match classify src with
+  | _ -> Alcotest.failf "expected Not_in_class for:\n%s" src
+  | exception C.Not_in_class msg -> (
+    match contains with
+    | None -> ()
+    | Some fragment ->
+      let found =
+        let flen = String.length fragment in
+        let rec scan i =
+          i + flen <= String.length msg
+          && (String.sub msg i flen = fragment || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S mentions %S" msg fragment)
+        true found)
+
+(* ------------------------------------------------------------------ *)
+(* forall acceptance                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_forall_normalization () =
+  let pp =
+    classify
+      {|
+param m = 5;
+input B : array[real] [0, m+1];
+A : array[real] :=
+  forall i in [1, m] construct B[i+1] * 2. endall;
+|}
+  in
+  match pp.C.pp_blocks with
+  | [ C.Pb_forall pf ] ->
+    Alcotest.(check string) "name" "A" pf.C.pf_name;
+    Alcotest.(check bool) "range" true (pf.C.pf_ranges = [ ("i", 1, 5) ]);
+    Alcotest.(check bool) "element type" true (pf.C.pf_elt = A.Treal)
+  | _ -> Alcotest.fail "expected one forall block"
+
+let test_shape_of_blocks () =
+  let pp =
+    classify
+      {|
+param m = 4;
+input B : array[real] [0, m];
+A : array[real] := forall i in [0, m] construct B[i] endall;
+X : array[real] :=
+  for i : integer := 1; T : array[real] := [0: 0]
+  do
+    let p : real := A[i] + T[i-1]
+    in if i < m then iter T := T[i: p]; i := i + 1 enditer else T endif
+    endlet
+  endfor;
+|}
+  in
+  match pp.C.pp_blocks with
+  | [ fa; fi ] ->
+    Alcotest.(check bool) "forall shape" true
+      ((C.block_shape fa).C.sh_ranges = [ (0, 4) ]);
+    Alcotest.(check bool) "foriter shape includes init index" true
+      ((C.block_shape fi).C.sh_ranges = [ (0, 3) ])
+  | _ -> Alcotest.fail "expected two blocks"
+
+(* ------------------------------------------------------------------ *)
+(* for-iter loop-bound orientations                                     *)
+(* ------------------------------------------------------------------ *)
+
+let foriter_with ~cond ~flip src_cond_desc =
+  ignore src_cond_desc;
+  Printf.sprintf
+    {|
+param m = 6;
+input B : array[real] [0, m+1];
+X : array[real] :=
+  for i : integer := 1; T : array[real] := [0: 0]
+  do
+    let p : real := B[i] + T[i-1]
+    in %s
+    endlet
+  endfor;
+|}
+    (if flip then
+       Printf.sprintf
+         "if %s then T else iter T := T[i: p]; i := i + 1 enditer endif" cond
+     else
+       Printf.sprintf
+         "if %s then iter T := T[i: p]; i := i + 1 enditer else T endif" cond)
+
+let last_of src =
+  match (classify src).C.pp_blocks with
+  | [ C.Pb_foriter pi ] -> (pi.C.pi_first, pi.C.pi_last, pi.C.pi_init_index)
+  | _ -> Alcotest.fail "expected a for-iter block"
+
+let test_bound_orientations () =
+  let check desc cond flip expected_last =
+    let src = foriter_with ~cond ~flip desc in
+    let first, last, init = last_of src in
+    Alcotest.(check int) (desc ^ ": first") 1 first;
+    Alcotest.(check int) (desc ^ ": last") expected_last last;
+    Alcotest.(check int) (desc ^ ": init index") 0 init
+  in
+  check "i < m (continue-then)" "i < m" false 5;
+  check "i <= m (continue-then)" "i <= m" false 6;
+  check "m > i (continue-then)" "m > i" false 5;
+  check "m >= i (continue-then)" "m >= i" false 6;
+  check "i ~= m (continue-then)" "i ~= m" false 5;
+  check "i >= m (continue-else)" "i >= m" true 5;
+  check "i > m (continue-else)" "i > m" true 6;
+  check "i = m (continue-else)" "i = m" true 5
+
+(* ------------------------------------------------------------------ *)
+(* rejections                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_reject_nested_forall () =
+  (* nesting is excluded by the grammar itself: a forall body is an
+     expression, and forall is not an expression *)
+  match
+    P.parse_program
+      {|
+input B : array[real] [0, 4];
+A : array[real] :=
+  forall i in [0, 4] construct forall j in [0, 4] construct 1. endall endall;
+|}
+  with
+  | _ -> Alcotest.fail "nested forall should not parse"
+  | exception P.Parse_error _ -> ()
+
+let test_reject_constant_subscript () =
+  expect_rejected ~contains:"constant subscript"
+    {|
+input B : array[real] [0, 4];
+A : array[real] := forall i in [0, 4] construct B[0] + B[i] endall;
+|}
+
+let test_reject_non_constant_range () =
+  (* range bounds must be compile-time constants; an unbound name fails *)
+  expect_rejected
+    {|
+input B : array[real] [0, 9];
+A : array[real] := forall i in [0, k] construct B[i] endall;
+|}
+
+let test_reject_empty_range () =
+  expect_rejected ~contains:"empty"
+    {|
+input B : array[real] [0, 9];
+A : array[real] := forall i in [5, 3] construct B[i] endall;
+|}
+
+let test_reject_second_order_recurrence () =
+  expect_rejected ~contains:"T[i-1]"
+    {|
+param m = 6;
+input B : array[real] [0, m];
+X : array[real] :=
+  for i : integer := 2; T : array[real] := [1: 0]
+  do
+    let p : real := T[i-2] + B[i]
+    in if i < m then iter T := T[i: p]; i := i + 1 enditer else T endif
+    endlet
+  endfor;
+|}
+
+let test_reject_nonunit_counter_step () =
+  expect_rejected ~contains:"advance by exactly 1"
+    {|
+param m = 6;
+input B : array[real] [0, m];
+X : array[real] :=
+  for i : integer := 1; T : array[real] := [0: 0]
+  do
+    let p : real := T[i-1] + B[i]
+    in if i < m then iter T := T[i: p]; i := i + 2 enditer else T endif
+    endlet
+  endfor;
+|}
+
+let test_reject_wrong_append_index () =
+  expect_rejected ~contains:"append index"
+    {|
+param m = 6;
+input B : array[real] [0, m+1];
+X : array[real] :=
+  for i : integer := 1; T : array[real] := [0: 0]
+  do
+    let p : real := T[i-1] + B[i]
+    in if i < m then iter T := T[i+1: p]; i := i + 1 enditer else T endif
+    endlet
+  endfor;
+|}
+
+let test_reject_result_not_acc () =
+  expect_rejected ~contains:"terminate with the accumulated array"
+    {|
+param m = 6;
+input B : array[real] [0, m];
+X : array[real] :=
+  for i : integer := 1; T : array[real] := [0: 0]
+  do
+    let p : real := T[i-1] + B[i]
+    in if i < m then iter T := T[i: p]; i := i + 1 enditer else B[i] endif
+    endlet
+  endfor;
+|}
+
+let test_reject_gap_init_index () =
+  expect_rejected ~contains:"counter start - 1"
+    {|
+param m = 6;
+input B : array[real] [0, m];
+X : array[real] :=
+  for i : integer := 3; T : array[real] := [0: 0]
+  do
+    let p : real := T[i-1] + B[i]
+    in if i < m then iter T := T[i: p]; i := i + 1 enditer else T endif
+    endlet
+  endfor;
+|}
+
+let test_reject_zero_iterations () =
+  expect_rejected ~contains:"no iterations"
+    {|
+param m = 6;
+input B : array[real] [0, m];
+X : array[real] :=
+  for i : integer := 9; T : array[real] := [8: 0]
+  do
+    let p : real := T[i-1] + B[i]
+    in if i < m then iter T := T[i: p]; i := i + 1 enditer else T endif
+    endlet
+  endfor;
+|}
+
+let test_reject_block_uses_later_block () =
+  (* define-before-use: the flow dependency graph is acyclic *)
+  expect_rejected
+    {|
+param m = 4;
+input B : array[real] [0, m];
+A : array[real] := forall i in [0, m] construct Z[i] + B[i] endall;
+Z : array[real] := forall i in [0, m] construct B[i] endall;
+|}
+
+let test_reject_scalar_block () =
+  expect_rejected ~contains:"must define an array"
+    {|
+input B : array[real] [0, 4];
+A : real := forall i in [0, 4] construct B[i] endall;
+|}
+
+let test_reject_three_ranges () =
+  expect_rejected ~contains:"one or two index ranges"
+    {|
+input G : array[real] [0, 3] [0, 3];
+H : array[real] :=
+  forall i in [0, 1], j in [0, 1], k in [0, 1] construct 1. endall;
+|}
+
+let test_reject_2d_wrong_order () =
+  expect_rejected ~contains:"declaration order"
+    {|
+param n = 4;
+input G : array[real] [0, n] [0, n];
+H : array[real] :=
+  forall i in [1, n-1], j in [1, n-1] construct G[j, i] endall;
+|}
+
+let test_primitive_expr_checker () =
+  let prim src =
+    C.is_primitive_expr ~index_vars:[ "i" ] ~scalars:[ "q" ]
+      ~arrays:[ "B" ] (P.parse_expr src)
+  in
+  Alcotest.(check bool) "arith over selects" true (prim "B[i+1] * q + 1.");
+  Alcotest.(check bool) "let and if" true
+    (prim "let y := B[i] in if y < 0. then -(y) else y endif endlet");
+  Alcotest.(check bool) "bare array" false (prim "B + 1.");
+  Alcotest.(check bool) "unknown name" false (prim "mystery");
+  Alcotest.(check bool) "non-index subscript" false (prim "B[q+1]")
+
+let test_array_references () =
+  let refs =
+    C.array_references
+      (P.parse_expr "B[i-1] + let y := C[i+2] in y * B[i] endlet")
+  in
+  Alcotest.(check bool) "collects all selects" true
+    (refs = [ ("B", [ -1 ]); ("C", [ 2 ]); ("B", [ 0 ]) ])
+
+let suite =
+  [
+    Alcotest.test_case "forall normalization" `Quick
+      test_forall_normalization;
+    Alcotest.test_case "block shapes" `Quick test_shape_of_blocks;
+    Alcotest.test_case "loop bound orientations" `Quick
+      test_bound_orientations;
+    Alcotest.test_case "reject nested forall" `Quick
+      test_reject_nested_forall;
+    Alcotest.test_case "reject constant subscript" `Quick
+      test_reject_constant_subscript;
+    Alcotest.test_case "reject non-constant range" `Quick
+      test_reject_non_constant_range;
+    Alcotest.test_case "reject empty range" `Quick test_reject_empty_range;
+    Alcotest.test_case "reject second-order recurrence" `Quick
+      test_reject_second_order_recurrence;
+    Alcotest.test_case "reject non-unit counter step" `Quick
+      test_reject_nonunit_counter_step;
+    Alcotest.test_case "reject wrong append index" `Quick
+      test_reject_wrong_append_index;
+    Alcotest.test_case "reject non-accumulator result" `Quick
+      test_reject_result_not_acc;
+    Alcotest.test_case "reject gapped initial index" `Quick
+      test_reject_gap_init_index;
+    Alcotest.test_case "reject zero iterations" `Quick
+      test_reject_zero_iterations;
+    Alcotest.test_case "reject use-before-definition" `Quick
+      test_reject_block_uses_later_block;
+    Alcotest.test_case "reject scalar block" `Quick test_reject_scalar_block;
+    Alcotest.test_case "reject three index ranges" `Quick
+      test_reject_three_ranges;
+    Alcotest.test_case "reject misordered 2-D subscripts" `Quick
+      test_reject_2d_wrong_order;
+    Alcotest.test_case "primitive expression checker" `Quick
+      test_primitive_expr_checker;
+    Alcotest.test_case "array reference collection" `Quick
+      test_array_references;
+  ]

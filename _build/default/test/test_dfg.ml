@@ -1,0 +1,299 @@
+(* Graph-level tests: validation, analyses, control sequences, DOT export,
+   and macro expansion to pure machine code. *)
+
+open Dfg
+open Sim
+
+let simple_chain n =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let prev = ref a in
+  for _ = 1 to n do
+    let id = Graph.add g Opcode.Id [| Graph.In_arc |] in
+    Graph.connect g ~src:!prev ~dst:id ~port:0;
+    prev := id
+  done;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:!prev ~dst:out ~port:0;
+  g
+
+let test_validate_ok () =
+  match Graph.validate (simple_chain 3) with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected errors: %s" (String.concat "; " es)
+
+let test_validate_dangling () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let id = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:id ~port:0;
+  (* id's output goes nowhere; also no Output node *)
+  match Graph.validate g with
+  | Ok () -> Alcotest.fail "expected dangling-output error"
+  | Error es -> Alcotest.(check bool) "mentions slot" true (es <> [])
+
+let test_validate_unfed_port () =
+  let g = Graph.create () in
+  let id = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:id ~dst:out ~port:0;
+  match Graph.validate g with
+  | Ok () -> Alcotest.fail "expected unfed-port error"
+  | Error _ -> ()
+
+let test_validate_all_const () =
+  let g = Graph.create () in
+  let add =
+    Graph.add g (Opcode.Arith Opcode.Add)
+      [| Graph.In_const (Value.Int 1); Graph.In_const (Value.Int 2) |]
+  in
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:add ~dst:out ~port:0;
+  match Graph.validate g with
+  | Ok () -> Alcotest.fail "expected all-const error"
+  | Error _ -> ()
+
+let test_topological_order () =
+  let g = simple_chain 4 in
+  (match Analysis.topological_order g with
+  | Some order ->
+    Alcotest.(check int) "all nodes" (Graph.node_count g) (List.length order)
+  | None -> Alcotest.fail "chain is acyclic");
+  (* add a feedback arc -> cyclic *)
+  let g = Graph.create () in
+  let a = Graph.add g Opcode.Id [| Graph.In_arc_init (Value.Int 0) |] in
+  let b = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:b ~port:0;
+  Graph.connect g ~src:b ~dst:a ~port:0;
+  Alcotest.(check bool) "cyclic" true (Analysis.topological_order g = None);
+  Alcotest.(check int) "one cycle found" 1 (List.length (Analysis.cycles g))
+
+let test_strict_balance () =
+  (* balanced diamond *)
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let l = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  let r = Graph.add g Opcode.Neg [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:l ~port:0;
+  Graph.connect g ~src:a ~dst:r ~port:0;
+  let join =
+    Graph.add g (Opcode.Arith Opcode.Add) [| Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:l ~dst:join ~port:0;
+  Graph.connect g ~src:r ~dst:join ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:join ~dst:out ~port:0;
+  (match Analysis.strict_balance_check g with
+  | Ok depths ->
+    Alcotest.(check int) "join depth" 2 depths.(join);
+    Alcotest.(check int) "out depth" 3 depths.(out)
+  | Error msg -> Alcotest.failf "balanced graph rejected: %s" msg);
+  (* now lengthen one arm *)
+  let g2 = Graph.create () in
+  let a = Graph.add g2 (Opcode.Input "a") [||] in
+  let l1 = Graph.add g2 Opcode.Id [| Graph.In_arc |] in
+  let l2 = Graph.add g2 Opcode.Id [| Graph.In_arc |] in
+  let r = Graph.add g2 Opcode.Neg [| Graph.In_arc |] in
+  Graph.connect g2 ~src:a ~dst:l1 ~port:0;
+  Graph.connect g2 ~src:l1 ~dst:l2 ~port:0;
+  Graph.connect g2 ~src:a ~dst:r ~port:0;
+  let join =
+    Graph.add g2 (Opcode.Arith Opcode.Add) [| Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g2 ~src:l2 ~dst:join ~port:0;
+  Graph.connect g2 ~src:r ~dst:join ~port:1;
+  let out = Graph.add g2 (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g2 ~src:join ~dst:out ~port:0;
+  match Analysis.strict_balance_check g2 with
+  | Ok _ -> Alcotest.fail "unbalanced graph accepted"
+  | Error _ -> ()
+
+let test_fifo_weight_in_balance () =
+  (* A FIFO of capacity 2 balances against two Id cells. *)
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let f = Graph.add g (Opcode.Fifo 2) [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:f ~port:0;
+  let l1 = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  let l2 = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:l1 ~port:0;
+  Graph.connect g ~src:l1 ~dst:l2 ~port:0;
+  let join =
+    Graph.add g (Opcode.Arith Opcode.Add) [| Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:f ~dst:join ~port:0;
+  Graph.connect g ~src:l2 ~dst:join ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:join ~dst:out ~port:0;
+  match Analysis.strict_balance_check g with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "FIFO-weighted balance rejected: %s" msg
+
+let test_ctlseq () =
+  let s = Ctlseq.make ~cyclic:true [ (false, 1); (true, 3); (false, 1) ] in
+  Alcotest.(check int) "period" 5 (Ctlseq.period s);
+  Alcotest.(check (list bool)) "one period"
+    [ false; true; true; true; false ]
+    (Ctlseq.to_list s ~periods:1);
+  Alcotest.(check (option bool)) "wraps" (Some false) (Ctlseq.nth s 5);
+  Alcotest.(check (option bool)) "position 6" (Some true) (Ctlseq.nth s 6);
+  let f = Ctlseq.make ~cyclic:false [ (true, 2) ] in
+  Alcotest.(check (option bool)) "finite exhausts" None (Ctlseq.nth f 2);
+  let w = Ctlseq.selection_window ~lo:0 ~hi:9 ~sel_lo:2 ~sel_hi:8 in
+  Alcotest.(check (list bool)) "window"
+    [ false; false; true; true; true; true; true; true; true; false ]
+    (Ctlseq.to_list w ~periods:1);
+  Alcotest.(check string) "describe" "<F^2 T^7 F>*" (Ctlseq.describe w);
+  (* merging of adjacent equal runs *)
+  let m = Ctlseq.make ~cyclic:false [ (true, 1); (true, 2); (false, 0); (false, 1) ] in
+  Alcotest.(check int) "merged period" 4 (Ctlseq.period m);
+  Alcotest.(check string) "merged describe" "<T^3 F>" (Ctlseq.describe m)
+
+let test_dot_export () =
+  let g = simple_chain 2 in
+  let dot = Dot.to_dot g in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 0
+    && String.sub dot 0 7 = "digraph");
+  (* every node appears *)
+  Graph.iter_nodes g (fun n ->
+      let needle = Printf.sprintf "n%d " n.Graph.id in
+      let found =
+        let len = String.length needle in
+        let rec scan i =
+          i + len <= String.length dot
+          && (String.sub dot i len = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) "node present" true found)
+
+let test_expand_fifos () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let f = Graph.add g (Opcode.Fifo 4) [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:f ~port:0;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:f ~dst:out ~port:0;
+  let expanded = Macro.expand_fifos g in
+  Alcotest.(check int) "4 Ids replace the FIFO" (2 + 4)
+    (Graph.node_count expanded);
+  Graph.iter_nodes expanded (fun n ->
+      match n.Graph.op with
+      | Opcode.Fifo _ -> Alcotest.fail "FIFO survived expansion"
+      | _ -> ());
+  let xs = List.init 10 (fun i -> Value.Int i) in
+  let r1 = Engine.run g ~inputs:[ ("a", xs) ] in
+  let r2 = Engine.run expanded ~inputs:[ ("a", xs) ] in
+  Alcotest.(check (list int)) "same values"
+    (List.map (function Value.Int i -> i | _ -> -1)
+       (Engine.output_values r1 "r"))
+    (List.map (function Value.Int i -> i | _ -> -1)
+       (Engine.output_values r2 "r"))
+
+let run_ctl_through ~expand seq n =
+  let g = Graph.create () in
+  let src = Graph.add g (Opcode.Bool_source seq) [||] in
+  let gate = Graph.add g Opcode.Tgate [| Graph.In_arc; Graph.In_arc |] in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  Graph.connect g ~src ~dst:gate ~port:0;
+  Graph.connect g ~src:a ~dst:gate ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:gate ~dst:out ~port:0;
+  let sink_gate = () in
+  ignore sink_gate;
+  let g = if expand then Macro.expand_bool_sources g else g in
+  let result =
+    Engine.run g ~inputs:[ ("a", List.init n (fun i -> Value.Int i)) ]
+  in
+  List.map
+    (function Value.Int i -> i | _ -> -1)
+    (Engine.output_values result "r")
+
+let test_expand_bool_sources_values () =
+  let cases =
+    [
+      Ctlseq.make ~cyclic:true [ (false, 1); (true, 3); (false, 1) ];
+      Ctlseq.make ~cyclic:true [ (true, 4) ];
+      Ctlseq.make ~cyclic:true [ (false, 2); (true, 1) ];
+      Ctlseq.make ~cyclic:true
+        [ (true, 1); (false, 1); (true, 2); (false, 2) ];
+    ]
+  in
+  List.iter
+    (fun seq ->
+      let n = 3 * Ctlseq.period seq in
+      let abstract = run_ctl_through ~expand:false seq n in
+      let expanded = run_ctl_through ~expand:true seq n in
+      Alcotest.(check (list int))
+        (Printf.sprintf "expansion of %s" (Ctlseq.describe seq))
+        abstract expanded)
+    cases
+
+let test_expanded_generator_rate () =
+  (* The instruction-level generator must sustain the maximal rate. *)
+  let seq = Ctlseq.make ~cyclic:true [ (false, 1); (true, 6); (false, 1) ] in
+  let g = Graph.create () in
+  let src = Graph.add g (Opcode.Bool_source seq) [||] in
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src ~dst:out ~port:0;
+  let g = Macro.expand_bool_sources g in
+  (* feed nothing: the generator free-runs; bound it by time *)
+  let result = Engine.run g ~inputs:[] ~max_time:2000 in
+  let times = Engine.output_times result "r" in
+  Alcotest.(check bool) "produced plenty" true (List.length times > 400);
+  let interval = Metrics.initiation_interval times in
+  Alcotest.(check (float 0.05)) "max rate" 2.0 interval
+
+let figure_census_graph () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let m1 =
+    Graph.add g (Opcode.Arith Opcode.Mul)
+      [| Graph.In_arc; Graph.In_const (Value.Real 2.) |]
+  in
+  let m2 =
+    Graph.add g (Opcode.Arith Opcode.Mul)
+      [| Graph.In_arc; Graph.In_const (Value.Real 3.) |]
+  in
+  let add =
+    Graph.add g (Opcode.Arith Opcode.Add) [| Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:a ~dst:m1 ~port:0;
+  Graph.connect g ~src:a ~dst:m2 ~port:0;
+  Graph.connect g ~src:m1 ~dst:add ~port:0;
+  Graph.connect g ~src:m2 ~dst:add ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:add ~dst:out ~port:0;
+  g
+
+let test_census () =
+  let g = figure_census_graph () in
+  let census = Graph.opcode_census g in
+  Alcotest.(check (option int)) "two MULT" (Some 2)
+    (List.assoc_opt "MULT" census);
+  Alcotest.(check (option int)) "one ADD" (Some 1)
+    (List.assoc_opt "ADD" census)
+
+let suite =
+  [
+    Alcotest.test_case "validate ok" `Quick test_validate_ok;
+    Alcotest.test_case "validate dangling output" `Quick
+      test_validate_dangling;
+    Alcotest.test_case "validate unfed port" `Quick test_validate_unfed_port;
+    Alcotest.test_case "validate all-const cell" `Quick
+      test_validate_all_const;
+    Alcotest.test_case "topological order and cycles" `Quick
+      test_topological_order;
+    Alcotest.test_case "strict balance check" `Quick test_strict_balance;
+    Alcotest.test_case "FIFO weight in balance" `Quick
+      test_fifo_weight_in_balance;
+    Alcotest.test_case "control sequences" `Quick test_ctlseq;
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+    Alcotest.test_case "expand FIFOs" `Quick test_expand_fifos;
+    Alcotest.test_case "expand control sources (values)" `Quick
+      test_expand_bool_sources_values;
+    Alcotest.test_case "expanded generator sustains max rate" `Quick
+      test_expanded_generator_rate;
+    Alcotest.test_case "opcode census" `Quick test_census;
+  ]

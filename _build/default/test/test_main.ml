@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "dataflow_pipelining"
+    [
+      ("util", Test_util.suite);
+      ("val.parser", Test_val_parser.suite);
+      ("val.eval", Test_val_eval.suite);
+      ("val.classify", Test_classify.suite);
+      ("dfg.graph", Test_dfg.suite);
+      ("sim.engine", Test_sim.suite);
+      ("balance", Test_balance.suite);
+      ("compiler", Test_compiler.suite);
+      ("machine", Test_machine.suite);
+      ("dfg.text", Test_serialize.suite);
+      ("dfg.optimize", Test_optimize.suite);
+      ("val.math", Test_math_fns.suite);
+      ("kernels", Test_kernels.suite);
+      ("compiler.distance", Test_companion_distance.suite);
+      ("compiler.driver", Test_driver.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,111 @@
+(* Textual (.dfg) serialization round trips, including through the
+   compiler output for the paper's Figure 3 program. *)
+
+open Dfg
+module D = Compiler.Driver
+module PC = Compiler.Program_compile
+
+let graphs_equal g1 g2 =
+  Graph.node_count g1 = Graph.node_count g2
+  && begin
+       let ok = ref true in
+       Graph.iter_nodes g1 (fun n1 ->
+           let n2 = Graph.node g2 n1.Graph.id in
+           if n1.Graph.op <> n2.Graph.op then ok := false;
+           if n1.Graph.label <> n2.Graph.label then ok := false;
+           if n1.Graph.inputs <> n2.Graph.inputs then ok := false;
+           let dests n =
+             Array.map
+               (fun ds ->
+                 List.sort compare
+                   (List.map
+                      (fun { Graph.ep_node; ep_port } -> (ep_node, ep_port))
+                      ds))
+               n.Graph.dests
+           in
+           if dests n1 <> dests n2 then ok := false);
+       !ok
+     end
+
+let test_roundtrip_fig3 () =
+  let _, cp = D.compile_source (Test_machine.fig3_source 10) in
+  let g = cp.PC.cp_graph in
+  let text = Text.to_string g in
+  let g' = Text.of_string text in
+  Alcotest.(check bool) "round trip equal" true (graphs_equal g g')
+
+let test_roundtrip_expanded () =
+  (* macro-expanded graphs contain init tokens and counters *)
+  let options = { PC.default_options with PC.expand_macros = true } in
+  let _, cp = D.compile_source ~options (Test_machine.fig3_source 8) in
+  let g = cp.PC.cp_graph in
+  let g' = Text.of_string (Text.to_string g) in
+  Alcotest.(check bool) "round trip equal" true (graphs_equal g g')
+
+let test_reloaded_graph_runs () =
+  let m = 9 in
+  let prog, cp = D.compile_source (Test_machine.fig3_source m) in
+  let g' = Text.of_string (Text.to_string cp.PC.cp_graph) in
+  let st = Random.State.make [| 4 |] in
+  let wave () =
+    List.init (m + 2) (fun _ -> Value.Real (Random.State.float st 0.8))
+  in
+  let inputs = [ ("C", wave ()); ("B", wave ()) ] in
+  let r1 = Sim.Engine.run cp.PC.cp_graph ~inputs in
+  let r2 = Sim.Engine.run g' ~inputs in
+  ignore prog;
+  List.iter
+    (fun name ->
+      Alcotest.(check (list (float 1e-12)))
+        (name ^ " identical after reload")
+        (List.map Value.to_real (Sim.Engine.output_values r1 name))
+        (List.map Value.to_real (Sim.Engine.output_values r2 name)))
+    [ "A"; "X" ]
+
+let test_exact_real_roundtrip () =
+  (* hexadecimal floats survive exactly, including awkward values *)
+  List.iter
+    (fun f ->
+      let g = Graph.create () in
+      let a = Graph.add g (Opcode.Input "a") [||] in
+      let add =
+        Graph.add g (Opcode.Arith Opcode.Add)
+          [| Graph.In_arc; Graph.In_const (Value.Real f) |]
+      in
+      let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+      Graph.connect g ~src:a ~dst:add ~port:0;
+      Graph.connect g ~src:add ~dst:out ~port:0;
+      let g' = Text.of_string (Text.to_string g) in
+      match (Graph.node g' 1).Graph.inputs.(1) with
+      | Graph.In_const (Value.Real f') ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%h round trips" f)
+          true
+          (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f'))
+      | _ -> Alcotest.fail "constant lost")
+    [ 0.1; -0.0; 1e-300; Float.pi; 3.0000000000000004 ]
+
+let test_parse_errors () =
+  let expect s =
+    match Text.of_string s with
+    | _ -> Alcotest.failf "expected parse error for %S" s
+    | exception Text.Parse_error _ -> ()
+  in
+  expect "";
+  expect "not a header";
+  expect "dfg 1 cells=1\ncell 0 BOGUS \"x\" in=[] out=[]";
+  expect "dfg 1 cells=1\ncell 5 ID \"x\" in=[arc] out=[]";
+  expect "dfg 1 cells=1\ncell 0 FIFO(0) \"x\" in=[arc] out=[]";
+  expect "dfg 1 cells=1\ncell 0 ID \"x\" in=[mystery] out=[]"
+
+let suite =
+  [
+    Alcotest.test_case "round trip figure 3" `Quick test_roundtrip_fig3;
+    Alcotest.test_case "round trip macro-expanded" `Quick
+      test_roundtrip_expanded;
+    Alcotest.test_case "reloaded graph simulates identically" `Quick
+      test_reloaded_graph_runs;
+    Alcotest.test_case "exact real round trip" `Quick
+      test_exact_real_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+  ]

@@ -1,0 +1,514 @@
+(* Simulator tests on hand-built instruction graphs: firing rules, the
+   acknowledge discipline, and the paper's timing facts (rate 1/2 for
+   balanced pipes, d/c for loops). *)
+
+open Dfg
+open Sim
+
+let reals xs = List.map (fun f -> Value.Real f) xs
+let ints xs = List.map (fun i -> Value.Int i) xs
+
+let check_reals msg expected got =
+  Alcotest.(check (list (float 1e-9)))
+    msg expected
+    (List.map Value.to_real got)
+
+(* The paper's Figure 2: let y = a*b in (y+2)*(y-3). *)
+let figure2_graph () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let b = Graph.add g (Opcode.Input "b") [||] in
+  let mult1 =
+    Graph.add g ~label:"cell1" (Opcode.Arith Opcode.Mul)
+      [| Graph.In_arc; Graph.In_arc |]
+  in
+  let add =
+    Graph.add g ~label:"cell2" (Opcode.Arith Opcode.Add)
+      [| Graph.In_arc; Graph.In_const (Value.Real 2.) |]
+  in
+  let sub =
+    Graph.add g ~label:"cell3" (Opcode.Arith Opcode.Sub)
+      [| Graph.In_arc; Graph.In_const (Value.Real 3.) |]
+  in
+  let mult2 =
+    Graph.add g ~label:"cell4" (Opcode.Arith Opcode.Mul)
+      [| Graph.In_arc; Graph.In_arc |]
+  in
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:mult1 ~port:0;
+  Graph.connect g ~src:b ~dst:mult1 ~port:1;
+  Graph.connect g ~src:mult1 ~dst:add ~port:0;
+  Graph.connect g ~src:mult1 ~dst:sub ~port:0;
+  Graph.connect g ~src:add ~dst:mult2 ~port:0;
+  Graph.connect g ~src:sub ~dst:mult2 ~port:1;
+  Graph.connect g ~src:mult2 ~dst:out ~port:0;
+  g
+
+let test_figure2_values () =
+  let g = figure2_graph () in
+  let n = 50 in
+  let a = List.init n (fun i -> float_of_int (i + 1)) in
+  let b = List.init n (fun i -> 1.0 +. (0.5 *. float_of_int i)) in
+  let result =
+    Engine.run g ~inputs:[ ("a", reals a); ("b", reals b) ]
+  in
+  Alcotest.(check bool) "quiescent" true result.Engine.quiescent;
+  let expected =
+    List.map2 (fun x y -> let v = x *. y in (v +. 2.) *. (v -. 3.)) a b
+  in
+  check_reals "fig2 values" expected (Engine.output_values result "r")
+
+let test_figure2_rate () =
+  let g = figure2_graph () in
+  let n = 400 in
+  let a = List.init n (fun _ -> 1.0) and b = List.init n (fun _ -> 2.0) in
+  let result = Engine.run g ~inputs:[ ("a", reals a); ("b", reals b) ] in
+  let interval = Metrics.output_interval result "r" in
+  Alcotest.(check (float 0.01)) "fully pipelined interval" 2.0 interval;
+  Alcotest.(check bool) "fully pipelined" true
+    (Metrics.fully_pipelined result "r")
+
+(* Rate is set by the slowest stage: an unbalanced diamond jams below the
+   maximal rate (Section 3's balance requirement). *)
+let diamond_graph ~skew =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let split = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:split ~port:0;
+  (* short arm: 1 cell; long arm: 1 + skew cells *)
+  let short = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:split ~dst:short ~port:0;
+  let long0 = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:split ~dst:long0 ~port:0;
+  let long_end = ref long0 in
+  for _ = 1 to skew do
+    let next = Graph.add g Opcode.Id [| Graph.In_arc |] in
+    Graph.connect g ~src:!long_end ~dst:next ~port:0;
+    long_end := next
+  done;
+  let join =
+    Graph.add g (Opcode.Arith Opcode.Add) [| Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:short ~dst:join ~port:0;
+  Graph.connect g ~src:!long_end ~dst:join ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:join ~dst:out ~port:0;
+  g
+
+let test_unbalanced_diamond_jams () =
+  let g = diamond_graph ~skew:4 in
+  let n = 300 in
+  let result =
+    Engine.run g ~inputs:[ ("a", reals (List.init n float_of_int)) ]
+  in
+  let interval = Metrics.output_interval result "r" in
+  Alcotest.(check bool)
+    (Printf.sprintf "interval %.2f should exceed 2.5" interval)
+    true (interval > 2.5);
+  (* values still correct: both arms carry a, so r = 2a *)
+  let expected = List.init n (fun i -> 2.0 *. float_of_int i) in
+  check_reals "values" expected (Engine.output_values result "r")
+
+let test_balanced_diamond_with_fifo () =
+  (* Adding FIFO capacity on the short arm restores the maximal rate. *)
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let split = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:split ~port:0;
+  let fifo = Graph.add g (Opcode.Fifo 5) [| Graph.In_arc |] in
+  Graph.connect g ~src:split ~dst:fifo ~port:0;
+  let long_end = ref split in
+  for _ = 1 to 5 do
+    let next = Graph.add g Opcode.Id [| Graph.In_arc |] in
+    Graph.connect g ~src:!long_end ~dst:next ~port:0;
+    long_end := next
+  done;
+  let join =
+    Graph.add g (Opcode.Arith Opcode.Add) [| Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:fifo ~dst:join ~port:0;
+  Graph.connect g ~src:!long_end ~dst:join ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:join ~dst:out ~port:0;
+  let n = 300 in
+  let result =
+    Engine.run g ~inputs:[ ("a", reals (List.init n float_of_int)) ]
+  in
+  Alcotest.(check (float 0.01)) "restored interval" 2.0
+    (Metrics.output_interval result "r")
+
+(* Gates: a T-gate driven by <F T^3 F>* keeps the middle three of five. *)
+let test_tgate_selection () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let ctl =
+    Graph.add g
+      (Opcode.Bool_source
+         (Ctlseq.make ~cyclic:true [ (false, 1); (true, 3); (false, 1) ]))
+      [||]
+  in
+  let gate = Graph.add g Opcode.Tgate [| Graph.In_arc; Graph.In_arc |] in
+  Graph.connect g ~src:ctl ~dst:gate ~port:0;
+  Graph.connect g ~src:a ~dst:gate ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:gate ~dst:out ~port:0;
+  let result =
+    Engine.run g
+      ~inputs:
+        [ ("a", reals (List.init 10 float_of_int)) (* two waves of 5 *) ]
+  in
+  check_reals "selected window" [ 1.; 2.; 3.; 6.; 7.; 8. ]
+    (Engine.output_values result "r")
+
+let test_fgate () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let ctl =
+    Graph.add g
+      (Opcode.Bool_source (Ctlseq.make ~cyclic:true [ (true, 1); (false, 1) ]))
+      [||]
+  in
+  let gate = Graph.add g Opcode.Fgate [| Graph.In_arc; Graph.In_arc |] in
+  Graph.connect g ~src:ctl ~dst:gate ~port:0;
+  Graph.connect g ~src:a ~dst:gate ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:gate ~dst:out ~port:0;
+  let result = Engine.run g ~inputs:[ ("a", ints [ 0; 1; 2; 3; 4; 5 ]) ] in
+  Alcotest.(check (list int)) "odd positions pass" [ 1; 3; 5 ]
+    (List.map
+       (function Value.Int i -> i | _ -> -1)
+       (Engine.output_values result "r"))
+
+(* Switch and merge round-trip: route by sign, then recombine. *)
+let test_switch_merge () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let fan = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:fan ~port:0;
+  let pos =
+    Graph.add g (Opcode.Compare Opcode.Ge)
+      [| Graph.In_arc; Graph.In_const (Value.Real 0.) |]
+  in
+  Graph.connect g ~src:fan ~dst:pos ~port:0;
+  (* control fans out to the switch and (through a FIFO) to the merge *)
+  let sw = Graph.add g Opcode.Switch [| Graph.In_arc; Graph.In_arc |] in
+  Graph.connect g ~src:pos ~dst:sw ~port:0;
+  Graph.connect g ~src:fan ~dst:sw ~port:1;
+  let neg_arm = Graph.add g Opcode.Neg [| Graph.In_arc |] in
+  let id_arm = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect_slot g ~src:sw ~slot:0 ~dst:id_arm ~port:0;
+  Graph.connect_slot g ~src:sw ~slot:1 ~dst:neg_arm ~port:0;
+  let ctl_fifo = Graph.add g (Opcode.Fifo 2) [| Graph.In_arc |] in
+  Graph.connect g ~src:pos ~dst:ctl_fifo ~port:0;
+  let merge =
+    Graph.add g Opcode.Merge [| Graph.In_arc; Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:ctl_fifo ~dst:merge ~port:0;
+  Graph.connect g ~src:id_arm ~dst:merge ~port:1;
+  Graph.connect g ~src:neg_arm ~dst:merge ~port:2;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:merge ~dst:out ~port:0;
+  let xs = [ 3.; -4.; 5.; -6.; 0.; -1. ] in
+  let result = Engine.run g ~inputs:[ ("a", reals xs) ] in
+  check_reals "absolute value" [ 3.; 4.; 5.; 6.; 0.; 1. ]
+    (Engine.output_values result "r")
+
+(* A 3-cell feedback loop with one token runs at 1/3 — the limit the paper
+   derives for Todd's scheme (Figure 7 discussion). *)
+let loop_graph ~cells ~tokens =
+  (* Loop of [cells] Id cells; [tokens] of them preloaded.  An external
+     input is summed in so we can also check values; here we only tap the
+     loop with a Sink-free observer. *)
+  let g = Graph.create () in
+  assert (cells >= 2 && tokens >= 1 && tokens < cells);
+  let ids =
+    Array.init cells (fun i ->
+        let binding =
+          if i < tokens then Graph.In_arc_init (Value.Int i) else Graph.In_arc
+        in
+        Graph.add g ~label:(Printf.sprintf "loop%d" i) Opcode.Id [| binding |])
+  in
+  for i = 0 to cells - 1 do
+    Graph.connect g ~src:ids.(i) ~dst:ids.((i + 1) mod cells) ~port:0
+  done;
+  (* observe one cell through a gate driven by a finite control so the
+     simulation terminates: pass the first 200 circulations *)
+  let ctl =
+    Graph.add g
+      (Opcode.Bool_source
+         (Ctlseq.make ~cyclic:false [ (true, 200); (false, 0) ]))
+      [||]
+  in
+  let gate = Graph.add g Opcode.Tgate [| Graph.In_arc; Graph.In_arc |] in
+  Graph.connect g ~src:ctl ~dst:gate ~port:0;
+  Graph.connect g ~src:ids.(0) ~dst:gate ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:gate ~dst:out ~port:0;
+  g
+
+let test_loop_rates () =
+  (* (cells, tokens, expected interval = cells/tokens) *)
+  List.iter
+    (fun (cells, tokens, expected) ->
+      let g = loop_graph ~cells ~tokens in
+      let result = Engine.run g ~inputs:[] ~max_time:20000 in
+      let interval = Metrics.output_interval result "r" in
+      Alcotest.(check (float 0.05))
+        (Printf.sprintf "%d-cell loop with %d tokens" cells tokens)
+        expected interval)
+    [
+      (3, 1, 3.0);  (* Todd's scheme: rate 1/3 *)
+      (4, 2, 2.0);  (* companion scheme: even loop, distance 2: rate 1/2 *)
+      (4, 1, 4.0);
+      (5, 2, 2.5);
+      (2, 1, 2.0);  (* minimal even loop runs at the maximal rate *)
+      (6, 3, 2.0);
+    ]
+
+(* Jam detection: sending into an occupied port must raise. *)
+let test_capacity_violation () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let b = Graph.add g (Opcode.Input "b") [||] in
+  (* two producers on one port: caught by validation *)
+  let id = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:id ~port:0;
+  Graph.connect g ~src:b ~dst:id ~port:0;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:id ~dst:out ~port:0;
+  match Engine.run g ~inputs:[ ("a", ints [ 1 ]); ("b", ints [ 2 ]) ] with
+  | _ -> Alcotest.fail "expected validation failure"
+  | exception Invalid_argument _ -> ()
+
+let test_deadlock_diagnosis () =
+  (* A merge whose control never arrives: tokens remain, sim reports. *)
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  (* the control stream supplies no packets, so merge port 0 starves *)
+  let ctl = Graph.add g (Opcode.Input "c") [||] in
+  let merge =
+    Graph.add g Opcode.Merge [| Graph.In_arc; Graph.In_arc; Graph.In_const (Value.Int 0) |]
+  in
+  Graph.connect g ~src:ctl ~dst:merge ~port:0;
+  Graph.connect g ~src:a ~dst:merge ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:merge ~dst:out ~port:0;
+  let result = Engine.run g ~inputs:[ ("a", ints [ 7 ]); ("c", []) ] in
+  Alcotest.(check bool) "quiescent" true result.Engine.quiescent;
+  Alcotest.(check bool) "stuck report non-empty" true
+    (result.Engine.stuck <> []);
+  Alcotest.(check (list int)) "no output" []
+    (List.map (fun _ -> 0) (Engine.output_values result "r"))
+
+let test_fifo_order_and_elasticity () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let fifo = Graph.add g (Opcode.Fifo 3) [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:fifo ~port:0;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:fifo ~dst:out ~port:0;
+  let xs = List.init 20 float_of_int in
+  let result = Engine.run g ~inputs:[ ("a", reals xs) ] in
+  check_reals "FIFO preserves order" xs (Engine.output_values result "r")
+
+let test_bool_source_finite () =
+  let g = Graph.create () in
+  let ctl =
+    Graph.add g
+      (Opcode.Bool_source
+         (Ctlseq.make ~cyclic:false [ (true, 2); (false, 1) ]))
+      [||]
+  in
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:ctl ~dst:out ~port:0;
+  let result = Engine.run g ~inputs:[] in
+  Alcotest.(check (list bool)) "finite sequence" [ true; true; false ]
+    (List.map Value.to_bool (Engine.output_values result "r"))
+
+let test_fire_counts_and_utilization () =
+  let g = figure2_graph () in
+  let n = 100 in
+  let result =
+    Engine.run g ~record_firings:true
+      ~inputs:
+        [ ("a", reals (List.init n float_of_int));
+          ("b", reals (List.init n float_of_int)) ]
+  in
+  Graph.iter_nodes g (fun node ->
+      match node.Graph.op with
+      | Opcode.Arith _ ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s fires once per element" node.Graph.label)
+          n
+          result.Engine.fire_counts.(node.Graph.id)
+      | _ -> ());
+  let busiest = Metrics.busiest_interval result in
+  Alcotest.(check (float 0.2)) "slowest stage at period 2" 2.0 busiest
+
+(* Merge leaves the unselected operand in place (Section 5): feed both
+   data ports, select only I1 twice; the I2 token must survive and be
+   consumed by a later false control. *)
+let test_merge_unselected_untouched () =
+  let g = Graph.create () in
+  let ctl = Graph.add g (Opcode.Input "ctl") [||] in
+  let t_in = Graph.add g (Opcode.Input "t") [||] in
+  let f_in = Graph.add g (Opcode.Input "f") [||] in
+  let merge =
+    Graph.add g Opcode.Merge [| Graph.In_arc; Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:ctl ~dst:merge ~port:0;
+  Graph.connect g ~src:t_in ~dst:merge ~port:1;
+  Graph.connect g ~src:f_in ~dst:merge ~port:2;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:merge ~dst:out ~port:0;
+  let result =
+    Engine.run g
+      ~inputs:
+        [ ("ctl", List.map (fun b -> Value.Bool b) [ true; true; false ]);
+          ("t", ints [ 10; 20 ]);
+          ("f", ints [ 99 ]) ]
+  in
+  Alcotest.(check (list int)) "selection order" [ 10; 20; 99 ]
+    (List.map
+       (function Value.Int i -> i | _ -> -1)
+       (Engine.output_values result "r"))
+
+(* A Merge_switch fires on M + selected input + D, and its slot-1
+   destinations receive the result only when D is true. *)
+let test_merge_switch_semantics () =
+  let g = Graph.create () in
+  let m = Graph.add g (Opcode.Input "m") [||] in
+  let d = Graph.add g (Opcode.Input "d") [||] in
+  let data = Graph.add g (Opcode.Input "x") [||] in
+  let ms =
+    Graph.add g Opcode.Merge_switch
+      [| Graph.In_arc; Graph.In_arc; Graph.In_const (Value.Int 0);
+         Graph.In_arc |]
+  in
+  Graph.connect g ~src:m ~dst:ms ~port:0;
+  Graph.connect g ~src:data ~dst:ms ~port:1;
+  Graph.connect g ~src:d ~dst:ms ~port:3;
+  let main = Graph.add g (Opcode.Output "main") [| Graph.In_arc |] in
+  let side = Graph.add g (Opcode.Output "side") [| Graph.In_arc |] in
+  Graph.connect g ~src:ms ~dst:main ~port:0;
+  Graph.connect_slot g ~src:ms ~slot:1 ~dst:side ~port:0;
+  let bools bs = List.map (fun b -> Value.Bool b) bs in
+  let result =
+    Engine.run g
+      ~inputs:
+        [ ("m", bools [ false; true; true; true ]);
+          ("d", bools [ true; false; true; false ]);
+          ("x", ints [ 7; 8; 9 ]) ]
+  in
+  Alcotest.(check (list int)) "main gets everything" [ 0; 7; 8; 9 ]
+    (List.map
+       (function Value.Int i -> i | _ -> -1)
+       (Engine.output_values result "main"));
+  Alcotest.(check (list int)) "side gets D=true results" [ 0; 8 ]
+    (List.map
+       (function Value.Int i -> i | _ -> -1)
+       (Engine.output_values result "side"))
+
+(* Iota with a repeat factor streams the outer index of a 2-D block. *)
+let test_iota_rep () =
+  let g = Graph.create () in
+  let iota = Graph.add g (Opcode.Iota { lo = 3; hi = 5; rep = 2 }) [||] in
+  let gate = Graph.add g Opcode.Tgate [| Graph.In_arc; Graph.In_arc |] in
+  let ctl =
+    Graph.add g
+      (Opcode.Bool_source (Ctlseq.make ~cyclic:false [ (true, 8) ]))
+      [||]
+  in
+  Graph.connect g ~src:ctl ~dst:gate ~port:0;
+  Graph.connect g ~src:iota ~dst:gate ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:gate ~dst:out ~port:0;
+  let result = Engine.run g ~inputs:[] in
+  Alcotest.(check (list int)) "repeats then wraps"
+    [ 3; 3; 4; 4; 5; 5; 3; 3 ]
+    (List.map
+       (function Value.Int i -> i | _ -> -1)
+       (Engine.output_values result "r"))
+
+(* The producer of a preloaded (In_arc_init) port starts owing an ack, so
+   it must not fire before the initial token is consumed. *)
+let test_init_token_discipline () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  (* a 2-ring seeded with one token; the output taps the ring together with the
+     input to bound the run *)
+  let add =
+    Graph.add g (Opcode.Arith Opcode.Add)
+      [| Graph.In_arc_init (Value.Int 100); Graph.In_arc |]
+  in
+  let back = Graph.add g Opcode.Id [| Graph.In_arc |] in
+  Graph.connect g ~src:add ~dst:back ~port:0;
+  Graph.connect g ~src:back ~dst:add ~port:0;
+  Graph.connect g ~src:a ~dst:add ~port:1;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:add ~dst:out ~port:0;
+  let result = Engine.run g ~inputs:[ ("a", ints [ 1; 2; 3 ]) ] in
+  (* running sums: 101, 103, 106 *)
+  Alcotest.(check (list int)) "accumulates" [ 101; 103; 106 ]
+    (List.map
+       (function Value.Int i -> i | _ -> -1)
+       (Engine.output_values result "r"))
+
+(* max_time bound: a free-running source graph hits the cap and reports
+   non-quiescence *)
+let test_max_time_cap () =
+  let g = Graph.create () in
+  let ctl =
+    Graph.add g
+      (Opcode.Bool_source (Ctlseq.make ~cyclic:true [ (true, 1) ]))
+      [||]
+  in
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:ctl ~dst:out ~port:0;
+  let result = Engine.run g ~inputs:[] ~max_time:100 in
+  Alcotest.(check bool) "not quiescent" false result.Engine.quiescent;
+  Alcotest.(check bool) "bounded output count" true
+    (List.length (Engine.output_values result "r") <= 60)
+
+let test_output_times_monotone () =
+  let g = figure2_graph () in
+  let n = 30 in
+  let xs = List.init n (fun i -> Value.Real (float_of_int i)) in
+  let result = Engine.run g ~inputs:[ ("a", xs); ("b", xs) ] in
+  let times = Engine.output_times result "r" in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a < b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly increasing arrivals" true (mono times);
+  Alcotest.(check int) "one arrival per element" n (List.length times)
+
+let suite =
+  [
+    Alcotest.test_case "figure 2 values" `Quick test_figure2_values;
+    Alcotest.test_case "figure 2 full pipelining" `Quick test_figure2_rate;
+    Alcotest.test_case "unbalanced diamond jams" `Quick
+      test_unbalanced_diamond_jams;
+    Alcotest.test_case "FIFO rebalances diamond" `Quick
+      test_balanced_diamond_with_fifo;
+    Alcotest.test_case "T-gate window selection" `Quick test_tgate_selection;
+    Alcotest.test_case "F-gate" `Quick test_fgate;
+    Alcotest.test_case "switch/merge abs" `Quick test_switch_merge;
+    Alcotest.test_case "loop rates d/c" `Quick test_loop_rates;
+    Alcotest.test_case "capacity violation" `Quick test_capacity_violation;
+    Alcotest.test_case "deadlock diagnosis" `Quick test_deadlock_diagnosis;
+    Alcotest.test_case "FIFO order" `Quick test_fifo_order_and_elasticity;
+    Alcotest.test_case "finite control source" `Quick test_bool_source_finite;
+    Alcotest.test_case "fire counts and utilization" `Quick
+      test_fire_counts_and_utilization;
+    Alcotest.test_case "merge leaves unselected operand" `Quick
+      test_merge_unselected_untouched;
+    Alcotest.test_case "merge_switch semantics" `Quick
+      test_merge_switch_semantics;
+    Alcotest.test_case "iota repeat factor" `Quick test_iota_rep;
+    Alcotest.test_case "init token discipline" `Quick
+      test_init_token_discipline;
+    Alcotest.test_case "output times monotone" `Quick
+      test_output_times_monotone;
+    Alcotest.test_case "max_time cap" `Quick test_max_time_cap;
+  ]

@@ -1,0 +1,373 @@
+(* Interpreter tests: the reference semantics that the compiled dataflow
+   code must reproduce. *)
+
+open Val_lang
+
+let env = Eval.env_of_bindings
+
+let check_real msg expected v =
+  Alcotest.(check (float 1e-9)) msg expected (Eval.to_real v)
+
+let eval src bindings = Eval.eval_expr (env bindings) (Parser.parse_expr src)
+
+let test_arith () =
+  check_real "add" 5.0 (eval "2. + 3." []);
+  check_real "precedence" 7.0 (eval "1. + 2. * 3." []);
+  check_real "div" 2.5 (eval "5. / 2." []);
+  (match eval "7 / 2" [] with
+  | Eval.VInt 3 -> ()
+  | v -> Alcotest.failf "integer division: got %s" (Format.asprintf "%a" Eval.pp_value v));
+  check_real "mixed int/real promotes" 4.5 (eval "3. * 1.5" []);
+  check_real "int promotes in mixed op" 5.0 (eval "2 + 3." [])
+
+let test_min_max () =
+  check_real "min" 1.0 (eval "min(1., 2.)" []);
+  check_real "max" 2.0 (eval "max(1., 2.)" []);
+  match eval "min(3, 4)" [] with
+  | Eval.VInt 3 -> ()
+  | _ -> Alcotest.fail "integer min"
+
+let test_bool () =
+  let b src = match eval src [] with
+    | Eval.VBool b -> b
+    | _ -> Alcotest.fail "expected boolean"
+  in
+  Alcotest.(check bool) "and" false (b "true & false");
+  Alcotest.(check bool) "or" true (b "true | false");
+  Alcotest.(check bool) "not" true (b "~false");
+  Alcotest.(check bool) "lt" true (b "1 < 2");
+  Alcotest.(check bool) "ne" true (b "1 ~= 2");
+  Alcotest.(check bool) "eq mixed" true (b "2 = 2.")
+
+let test_let_if () =
+  check_real "figure 2 expression" ((6. +. 2.) *. (6. -. 3.))
+    (eval "let y : real := a * b in (y + 2.) * (y - 3.) endlet"
+       [ ("a", Eval.VReal 2.); ("b", Eval.VReal 3.) ]);
+  check_real "if true" 1.0 (eval "if 1 < 2 then 1. else 2. endif" []);
+  check_real "if false" 2.0 (eval "if 2 < 1 then 1. else 2. endif" []);
+  check_real "shadowing"
+    12.0
+    (eval "let x := 3 in let x := x * 4 in x endlet endlet" [])
+
+let test_select () =
+  let c = Eval.varray_of_floats ~lo:0 [ 10.; 20.; 30.; 40. ] in
+  check_real "C[i]" 20.0 (eval "C[i]" [ ("C", c); ("i", Eval.VInt 1) ]);
+  check_real "C[i+1]" 30.0 (eval "C[i+1]" [ ("C", c); ("i", Eval.VInt 1) ]);
+  check_real "C[i-1]" 10.0 (eval "C[i-1]" [ ("C", c); ("i", Eval.VInt 1) ]);
+  match eval "C[i+9]" [ ("C", c); ("i", Eval.VInt 1) ] with
+  | _ -> Alcotest.fail "expected out-of-range error"
+  | exception Eval.Error _ -> ()
+
+(* Example 1 of the paper: oracle computation written directly in OCaml. *)
+let example1_oracle ~m b c =
+  List.init (m + 2) (fun i ->
+      let p =
+        if i = 0 || i = m + 1 then List.nth c i
+        else
+          0.25 *. (List.nth c (i - 1) +. (2. *. List.nth c i)
+                   +. List.nth c (i + 1))
+      in
+      List.nth b i *. (p *. p))
+
+let test_example1 () =
+  let m = 6 in
+  let b = List.init (m + 2) (fun i -> float_of_int (i + 1)) in
+  let c = List.init (m + 2) (fun i -> float_of_int ((i * i) mod 7)) in
+  let prog =
+    Parser.parse_program
+      ({|
+param m = 6;
+input C : array[real] [0, m+1];
+input B : array[real] [0, m+1];
+|}
+      ^ Test_val_parser.example1_source ^ ";")
+  in
+  let results =
+    Eval.eval_program
+      ~inputs:
+        [ ("C", Eval.varray_of_floats ~lo:0 c);
+          ("B", Eval.varray_of_floats ~lo:0 b) ]
+      prog
+  in
+  let a = List.assoc "A" results in
+  let expected = example1_oracle ~m b c in
+  List.iter2
+    (fun e g -> Alcotest.(check (float 1e-9)) "element" e g)
+    expected
+    (Eval.floats_of_varray a)
+
+(* Example 2: x_0 = 0, x_i = A_i * x_{i-1} + B_i for i = 1..m-1 (the paper's
+   loop appends for i < m and returns on i = m). *)
+let example2_oracle ~m a b =
+  let x = Array.make m 0. in
+  for i = 1 to m - 1 do
+    x.(i) <- (List.nth a i *. x.(i - 1)) +. List.nth b i
+  done;
+  Array.to_list x
+
+let test_example2 () =
+  let m = 9 in
+  let a = List.init (m + 1) (fun i -> 0.5 +. (0.1 *. float_of_int i)) in
+  let b = List.init (m + 1) (fun i -> float_of_int (i mod 3)) in
+  let prog =
+    Parser.parse_program
+      ({|
+param m = 9;
+input A : array[real] [0, m];
+input B : array[real] [0, m];
+|}
+      ^ Test_val_parser.example2_source ^ ";")
+  in
+  let results =
+    Eval.eval_program
+      ~inputs:
+        [ ("A", Eval.varray_of_floats ~lo:0 a);
+          ("B", Eval.varray_of_floats ~lo:0 b) ]
+      prog
+  in
+  let x = List.assoc "X" results in
+  (match x with
+  | Eval.VArray { lo; elts } ->
+    Alcotest.(check int) "lo" 0 lo;
+    Alcotest.(check int) "length" m (Array.length elts)
+  | _ -> Alcotest.fail "expected array");
+  let expected = example2_oracle ~m a b in
+  List.iter2
+    (fun e g -> Alcotest.(check (float 1e-9)) "element" e g)
+    expected
+    (Eval.floats_of_varray x)
+
+(* The combined pipe-structured program of the paper's Figure 3: Example 1
+   feeds Example 2. *)
+let figure3_source =
+  {|
+param m = 7;
+input C : array[real] [0, m+1];
+input B : array[real] [0, m+1];
+
+A : array[real] :=
+  forall i in [0, m+1]
+    P : real :=
+      if (i = 0) | (i = m+1) then C[i]
+      else 0.25 * (C[i-1] + 2.*C[i] + C[i+1])
+      endif;
+  construct
+    B[i] * (P * P)
+  endall;
+
+X : array[real] :=
+  for
+    i : integer := 1;
+    T : array[real] := [0: 0]
+  do
+    let P : real := A[i] * T[i-1] + B[i]
+    in
+      if i < m then
+        iter T := T[i: P]; i := i + 1 enditer
+      else T
+      endif
+    endlet
+  endfor;
+|}
+
+let test_figure3 () =
+  let m = 7 in
+  let b = List.init (m + 2) (fun i -> 1.0 +. (0.25 *. float_of_int i)) in
+  let c = List.init (m + 2) (fun i -> float_of_int ((3 * i) mod 5)) in
+  let prog = Parser.parse_program figure3_source in
+  let results =
+    Eval.eval_program
+      ~inputs:
+        [ ("C", Eval.varray_of_floats ~lo:0 c);
+          ("B", Eval.varray_of_floats ~lo:0 b) ]
+      prog
+  in
+  let a = example1_oracle ~m b c in
+  let x = example2_oracle ~m a b in
+  List.iter2
+    (fun e g -> Alcotest.(check (float 1e-9)) "element" e g)
+    x
+    (Eval.floats_of_varray (List.assoc "X" results))
+
+let test_forall_2d () =
+  let prog =
+    Parser.parse_program
+      {|
+param n = 3;
+input G : array[real] [0, n] [0, n];
+
+H : array[real] :=
+  forall i in [1, n-1], j in [1, n-1]
+  construct
+    0.25 * (G[i-1, j] + G[i+1, j] + G[i, j-1] + G[i, j+1])
+  endall;
+|}
+  in
+  let g =
+    Eval.VGrid
+      {
+        Eval.lo_i = 0;
+        lo_j = 0;
+        rows =
+          Array.init 4 (fun i ->
+              Array.init 4 (fun j -> Eval.VReal (float_of_int ((i * 4) + j))));
+      }
+  in
+  let results = Eval.eval_program ~inputs:[ ("G", g) ] prog in
+  match List.assoc "H" results with
+  | Eval.VGrid { rows; _ } ->
+    (* interior point (1,1): neighbours 1, 9, 4, 6 -> average 5 *)
+    Alcotest.(check (float 1e-9)) "H[1,1]" 5.0 (Eval.to_real rows.(0).(0));
+    Alcotest.(check (float 1e-9)) "H[2,2]" 10.0 (Eval.to_real rows.(1).(1))
+  | _ -> Alcotest.fail "expected grid"
+
+let test_typecheck_rejects () =
+  let expect_type_error src =
+    let prog = Parser.parse_program src in
+    match Typecheck.check_program prog with
+    | () -> Alcotest.failf "expected type error"
+    | exception Typecheck.Error _ -> ()
+  in
+  expect_type_error
+    {|
+input B : array[real] [0, 4];
+A : array[real] := forall i in [0, 4] construct B[i] & true endall;
+|};
+  expect_type_error
+    {|
+A : array[real] := forall i in [0, 4] construct undefined_name endall;
+|};
+  expect_type_error
+    {|
+input B : array[real] [0, 4];
+A : array[real] := forall i in [0, 4] construct if B[i] then 1. else 2. endif endall;
+|};
+  expect_type_error
+    {|
+input B : array[boolean] [0, 4];
+A : array[real] := forall i in [0, 4] construct B[i] endall;
+|}
+
+let test_typecheck_accepts () =
+  let prog = Parser.parse_program figure3_source in
+  Typecheck.check_program prog
+
+(* The interpreter supports general for-iter shapes beyond the compilable
+   class: several scalar loop names, nested conditionals, simultaneous
+   rebinding semantics. *)
+let test_general_foriter_two_scalars () =
+  (* fibonacci via two scalars appended into an array *)
+  let prog =
+    Parser.parse_program
+      {|
+param n = 10;
+input D : array[real] [0, 0];
+F : array[integer] :=
+  for
+    i : integer := 1;
+    a : integer := 0;
+    b : integer := 1;
+    T : array[integer] := [0: 0]
+  do
+    if i <= n then
+      iter T := T[i: b]; a := b; b := a + b; i := i + 1 enditer
+    else T
+    endif
+  endfor;
+|}
+  in
+  let results =
+    Eval.eval_program
+      ~inputs:[ ("D", Eval.varray_of_floats ~lo:0 [ 0. ]) ]
+      prog
+  in
+  match List.assoc "F" results with
+  | Eval.VArray { elts; _ } ->
+    (* simultaneous rebinding: a := b and b := a + b both read the OLD a,b *)
+    let got =
+      Array.to_list
+        (Array.map (function Eval.VInt i -> i | _ -> -1) elts)
+    in
+    Alcotest.(check (list int)) "fibonacci"
+      [ 0; 1; 1; 2; 3; 5; 8; 13; 21; 34; 55 ]
+      got
+  | _ -> Alcotest.fail "expected array"
+
+let test_general_foriter_nested_conditional () =
+  let prog =
+    Parser.parse_program
+      {|
+param n = 8;
+input D : array[real] [0, 0];
+G : array[integer] :=
+  for
+    i : integer := 1;
+    T : array[integer] := [0: 0]
+  do
+    if i > n then T
+    else
+      if i - (i / 2) * 2 = 0 then
+        iter T := T[i: i * 10]; i := i + 1 enditer
+      else
+        iter T := T[i: i]; i := i + 1 enditer
+      endif
+    endif
+  endfor;
+|}
+  in
+  let results =
+    Eval.eval_program ~inputs:[ ("D", Eval.varray_of_floats ~lo:0 [ 0. ]) ] prog
+  in
+  match List.assoc "G" results with
+  | Eval.VArray { elts; _ } ->
+    Alcotest.(check (list int)) "even indexes scaled"
+      [ 0; 1; 20; 3; 40; 5; 60; 7; 80 ]
+      (Array.to_list
+         (Array.map (function Eval.VInt i -> i | _ -> -1) elts))
+  | _ -> Alcotest.fail "expected array"
+
+let test_eval_division_semantics () =
+  let eval src = Eval.eval_expr (Eval.env_of_bindings []) (Parser.parse_expr src) in
+  (match eval "7 / 2" with
+  | Eval.VInt 3 -> ()
+  | _ -> Alcotest.fail "integer division truncates");
+  (match eval "1 / 0" with
+  | _ -> Alcotest.fail "expected division-by-zero error"
+  | exception Eval.Error _ -> ());
+  match eval "1. / 0." with
+  | Eval.VReal f -> Alcotest.(check bool) "real div by zero is inf" true (f = infinity)
+  | _ -> Alcotest.fail "expected real"
+
+let test_value_equal_grid () =
+  let grid rows =
+    Eval.VGrid
+      { Eval.lo_i = 0; lo_j = 0;
+        rows = Array.of_list (List.map (fun r -> Array.of_list (List.map (fun f -> Eval.VReal f) r)) rows) }
+  in
+  Alcotest.(check bool) "equal grids" true
+    (Eval.value_equal (grid [ [ 1.; 2. ] ]) (grid [ [ 1.; 2. ] ]));
+  Alcotest.(check bool) "different grids" false
+    (Eval.value_equal (grid [ [ 1.; 2. ] ]) (grid [ [ 1.; 3. ] ]))
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "booleans" `Quick test_bool;
+    Alcotest.test_case "let and if" `Quick test_let_if;
+    Alcotest.test_case "array selection" `Quick test_select;
+    Alcotest.test_case "paper example 1 (forall)" `Quick test_example1;
+    Alcotest.test_case "paper example 2 (for-iter)" `Quick test_example2;
+    Alcotest.test_case "paper figure 3 (pipe program)" `Quick test_figure3;
+    Alcotest.test_case "2-D forall" `Quick test_forall_2d;
+    Alcotest.test_case "typecheck rejections" `Quick test_typecheck_rejects;
+    Alcotest.test_case "typecheck accepts figure 3" `Quick
+      test_typecheck_accepts;
+    Alcotest.test_case "general for-iter: two scalars" `Quick
+      test_general_foriter_two_scalars;
+    Alcotest.test_case "general for-iter: nested conditional" `Quick
+      test_general_foriter_nested_conditional;
+    Alcotest.test_case "division semantics" `Quick
+      test_eval_division_semantics;
+    Alcotest.test_case "grid equality" `Quick test_value_equal_grid;
+  ]

@@ -1,0 +1,234 @@
+(* Parser tests: the paper's Examples 1 and 2 parse verbatim (modulo ASCII
+   syntax), operator precedence, and error reporting. *)
+
+open Val_lang
+
+let example1_source =
+  {|
+A : array[real] :=
+  forall i in [0, m+1]          % range specification
+    P : real :=                 % definition part
+      if (i = 0) | (i = m+1) then C[i]
+      else 0.25 * (C[i-1] + 2.*C[i] + C[i+1])
+      endif;
+  construct
+    B[i] * (P * P)              % accumulation
+  endall
+|}
+
+let example2_source =
+  {|
+X : array[real] :=
+  for
+    i : integer := 1;           % loop initialization
+    T : array[real] := [0: 0]
+  do
+    let P : real := A[i] * T[i-1] + B[i]  % definition part
+    in
+      if i < m then             % loop body
+        iter
+          T := T[i: P];
+          i := i + 1
+        enditer
+      else T
+      endif
+    endlet
+  endfor
+|}
+
+let program_source =
+  {|
+param m = 8;
+input C : array[real] [0, m+1];
+input B : array[real] [0, m+1];
+|}
+  ^ example1_source ^ ";" ^ example2_source ^ ";"
+
+let check_parses name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Parser.parse_block src with
+      | (_ : Ast.block) -> ()
+      | exception Parser.Parse_error (msg, line, col) ->
+        Alcotest.failf "parse error at %d:%d: %s" line col msg)
+
+let test_example1_shape () =
+  let blk = Parser.parse_block example1_source in
+  Alcotest.(check string) "name" "A" blk.Ast.blk_name;
+  match blk.Ast.blk_rhs with
+  | Ast.Forall fa ->
+    Alcotest.(check int) "one range" 1 (List.length fa.Ast.fa_ranges);
+    Alcotest.(check int) "one def" 1 (List.length fa.Ast.fa_defs);
+    let r = List.hd fa.Ast.fa_ranges in
+    Alcotest.(check string) "index var" "i" r.Ast.rng_var
+  | Ast.Foriter _ -> Alcotest.fail "expected forall"
+
+let test_example2_shape () =
+  let blk = Parser.parse_block example2_source in
+  Alcotest.(check string) "name" "X" blk.Ast.blk_name;
+  match blk.Ast.blk_rhs with
+  | Ast.Foriter fi ->
+    Alcotest.(check int) "two loop names" 2 (List.length fi.Ast.fi_inits);
+    (match fi.Ast.fi_body with
+    | Ast.Iter_let (defs, Ast.Iter_if (_, Ast.Iter_continue us, _)) ->
+      Alcotest.(check int) "one def" 1 (List.length defs);
+      Alcotest.(check int) "two updates" 2 (List.length us)
+    | _ -> Alcotest.fail "unexpected body structure")
+  | Ast.Forall _ -> Alcotest.fail "expected for-iter"
+
+let test_program () =
+  let prog = Parser.parse_program program_source in
+  Alcotest.(check int) "params" 1 (List.length prog.Ast.prog_params);
+  Alcotest.(check int) "inputs" 2 (List.length prog.Ast.prog_inputs);
+  Alcotest.(check int) "blocks" 2 (List.length prog.Ast.prog_blocks)
+
+let test_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  (match e with
+  | Ast.Binop (Ast.Add, Ast.Int_lit 1, Ast.Binop (Ast.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "mul should bind tighter than add");
+  let e = Parser.parse_expr "a < b + 1 & c" in
+  (match e with
+  | Ast.Binop (Ast.And, Ast.Binop (Ast.Lt, _, _), Ast.Var "c") -> ()
+  | _ -> Alcotest.fail "comparison should bind tighter than &");
+  let e = Parser.parse_expr "x | y & z" in
+  match e with
+  | Ast.Binop (Ast.Or, Ast.Var "x", Ast.Binop (Ast.And, _, _)) -> ()
+  | _ -> Alcotest.fail "& should bind tighter than |"
+
+let test_unary () =
+  match Parser.parse_expr "-(A[i] + B[i])" with
+  | Ast.Unop (Ast.Neg, Ast.Binop (Ast.Add, Ast.Select _, Ast.Select _)) -> ()
+  | _ -> Alcotest.fail "unexpected parse of unary negation"
+
+let test_indices () =
+  (match Parser.parse_expr "C[i-1]" with
+  | Ast.Select ("C", [ Ast.Ix_var ("i", -1) ]) -> ()
+  | _ -> Alcotest.fail "C[i-1]");
+  (match Parser.parse_expr "C[i+2]" with
+  | Ast.Select ("C", [ Ast.Ix_var ("i", 2) ]) -> ()
+  | _ -> Alcotest.fail "C[i+2]");
+  (match Parser.parse_expr "G[i, j-1]" with
+  | Ast.Select ("G", [ Ast.Ix_var ("i", 0); Ast.Ix_var ("j", -1) ]) -> ()
+  | _ -> Alcotest.fail "G[i, j-1]");
+  match Parser.parse_expr "X[0]" with
+  | Ast.Select ("X", [ Ast.Ix_const (Ast.C_int 0) ]) -> ()
+  | _ -> Alcotest.fail "X[0]"
+
+let test_real_literals () =
+  (match Parser.parse_expr "0.25" with
+  | Ast.Real_lit f -> Alcotest.(check (float 0.)) "0.25" 0.25 f
+  | _ -> Alcotest.fail "0.25");
+  (match Parser.parse_expr "2." with
+  | Ast.Real_lit f -> Alcotest.(check (float 0.)) "2." 2.0 f
+  | _ -> Alcotest.fail "2.");
+  match Parser.parse_expr "1.5e3" with
+  | Ast.Real_lit f -> Alcotest.(check (float 0.)) "1.5e3" 1500.0 f
+  | _ -> Alcotest.fail "1.5e3"
+
+let test_if_expr () =
+  match Parser.parse_expr "if C[i] then -(A[i]+B[i]) else 5.*(A[i]*B[i]+2.) endif" with
+  | Ast.If (Ast.Select ("C", _), Ast.Unop (Ast.Neg, _), Ast.Binop (Ast.Mul, _, _))
+    -> ()
+  | _ -> Alcotest.fail "figure 5 conditional"
+
+let test_elseif () =
+  match Parser.parse_expr "if a then 1 elseif b then 2 else 3 endif" with
+  | Ast.If (Ast.Var "a", Ast.Int_lit 1, Ast.If (Ast.Var "b", Ast.Int_lit 2, Ast.Int_lit 3))
+    -> ()
+  | _ -> Alcotest.fail "elseif should nest"
+
+let test_let_expr () =
+  match Parser.parse_expr "let y : real := a * b in (y + 2.) * (y - 3.) endlet" with
+  | Ast.Let ([ { Ast.def_name = "y"; _ } ], Ast.Binop (Ast.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "figure 2 let"
+
+let test_min_max () =
+  match Parser.parse_expr "min(a, max(b, 1.))" with
+  | Ast.Binop (Ast.Min, Ast.Var "a", Ast.Binop (Ast.Max, _, _)) -> ()
+  | _ -> Alcotest.fail "min/max"
+
+let test_comment_handling () =
+  match Parser.parse_expr "1 + % comment to end of line\n 2" with
+  | Ast.Binop (Ast.Add, Ast.Int_lit 1, Ast.Int_lit 2) -> ()
+  | _ -> Alcotest.fail "comments should be skipped"
+
+let test_errors () =
+  let expect_error src =
+    match Parser.parse_expr src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Parser.Parse_error _ -> ()
+  in
+  expect_error "1 +";
+  expect_error "(a";
+  expect_error "if a then b endif";
+  expect_error "let x := 1 in x";
+  expect_error "A[i*2]";
+  expect_error "@"
+
+let test_error_position () =
+  match Parser.parse_expr "a +\n+ b" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Parser.Parse_error (_, line, _) ->
+    Alcotest.(check int) "line of error" 2 line
+
+let test_program_pretty_roundtrip () =
+  let prog = Parser.parse_program program_source in
+  let printed = Pretty.program_to_string prog in
+  match Parser.parse_program printed with
+  | prog' ->
+    Alcotest.(check int) "same block count"
+      (List.length prog.Ast.prog_blocks)
+      (List.length prog'.Ast.prog_blocks);
+    Alcotest.(check bool) "identical AST" true (prog = prog')
+  | exception Parser.Parse_error (msg, line, col) ->
+    Alcotest.failf "pretty output does not reparse (%d:%d %s):\n%s" line col
+      msg printed
+
+let test_keywords_not_identifiers () =
+  List.iter
+    (fun kw ->
+      match Parser.parse_expr (kw ^ " + 1") with
+      | _ -> Alcotest.failf "keyword %s accepted as identifier" kw
+      | exception Parser.Parse_error _ -> ())
+    [ "forall"; "endall"; "iter"; "construct"; "endif" ]
+
+let test_input_decl_forms () =
+  let prog =
+    Parser.parse_program
+      {|
+input s : real;
+input b : boolean;
+input A : array[integer] [1, 8];
+input G : array[real] [0, 3] [0, 5];
+Z : array[real] := forall i in [1, 8] construct A[i] * 1. endall;
+|}
+  in
+  Alcotest.(check int) "four inputs" 4 (List.length prog.Ast.prog_inputs);
+  let g = List.nth prog.Ast.prog_inputs 3 in
+  Alcotest.(check int) "grid has two ranges" 2 (List.length g.Ast.in_ranges)
+
+let suite =
+  [
+    check_parses "example 1 parses" example1_source;
+    check_parses "example 2 parses" example2_source;
+    Alcotest.test_case "example 1 shape" `Quick test_example1_shape;
+    Alcotest.test_case "example 2 shape" `Quick test_example2_shape;
+    Alcotest.test_case "full program" `Quick test_program;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "unary minus" `Quick test_unary;
+    Alcotest.test_case "subscript forms" `Quick test_indices;
+    Alcotest.test_case "real literals" `Quick test_real_literals;
+    Alcotest.test_case "if expression" `Quick test_if_expr;
+    Alcotest.test_case "elseif chains" `Quick test_elseif;
+    Alcotest.test_case "let expression" `Quick test_let_expr;
+    Alcotest.test_case "min and max" `Quick test_min_max;
+    Alcotest.test_case "comments" `Quick test_comment_handling;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "error positions" `Quick test_error_position;
+    Alcotest.test_case "program pretty round trip" `Quick
+      test_program_pretty_roundtrip;
+    Alcotest.test_case "keywords are not identifiers" `Quick
+      test_keywords_not_identifiers;
+    Alcotest.test_case "input declaration forms" `Quick
+      test_input_decl_forms;
+  ]
