@@ -22,6 +22,16 @@ let verdict ~ok fmt =
       Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") s)
     fmt
 
+(* Machine-readable results, one entry per experiment, written as
+   BENCH_PIPELINE.json at the end of the run (path overridable via the
+   BENCH_JSON environment variable). *)
+let entries : Obs.Bench_json.entry list ref = ref []
+
+let record ?predicted ?measured ?units ?detail ~ok id title =
+  entries :=
+    Obs.Bench_json.entry ?predicted ?measured ?units ?detail ~ok id title
+    :: !entries
+
 let header id title claim =
   Printf.printf "\n=== %s: %s ===\n" id title;
   Printf.printf "paper: %s\n" claim
@@ -73,18 +83,23 @@ let e1 () =
   let xs = List.init n (fun i -> Value.Real (float_of_int i /. 100.)) in
   let table = Table.create [ "pipeline depth"; "interval"; "rate" ] in
   let ok = ref true in
+  let worst = ref 0.0 in
   List.iter
     (fun extra ->
       let g = fig2_graph ~extra_depth:extra in
       let r = Sim.Engine.run g ~inputs:[ ("a", xs); ("b", xs) ] in
       let interval = Sim.Metrics.output_interval r "r" in
       if Float.abs (interval -. 2.0) > 0.05 then ok := false;
+      if interval > !worst then worst := interval;
       Table.add_row table
         [ string_of_int (3 + extra); Printf.sprintf "%.3f" interval;
           Printf.sprintf "1/%.2f" interval ])
     [ 0; 5; 17; 37 ];
   Table.print table;
-  verdict ~ok:!ok "interval stays at 2.0 for depths 3..40"
+  verdict ~ok:!ok "interval stays at 2.0 for depths 3..40";
+  record ~predicted:2.0 ~measured:!worst ~ok:!ok
+    ~detail:"worst interval over pipeline depths 3..40" "E1"
+    "Figure 2 pipeline: rate independent of depth"
 
 (* ------------------------------------------------------------------ *)
 (* E2 — Section 3: unbalanced graphs jam; balancing restores the rate.  *)
@@ -120,6 +135,7 @@ let e2 () =
     Table.create [ "skew"; "unbalanced"; "balanced"; "buffers added" ]
   in
   let ok = ref true in
+  let worst_bal = ref 0.0 in
   List.iter
     (fun skew ->
       let g = diamond ~skew in
@@ -131,12 +147,16 @@ let e2 () =
       let buffers = Graph.node_count balanced - Graph.node_count g in
       if bal_i > 2.05 then ok := false;
       if skew >= 2 && raw_i < 2.4 then ok := false;
+      if bal_i > !worst_bal then worst_bal := bal_i;
       Table.add_row table
         [ string_of_int skew; Printf.sprintf "%.3f" raw_i;
           Printf.sprintf "%.3f" bal_i; string_of_int buffers ])
     [ 1; 2; 4; 8; 16 ];
   Table.print table;
-  verdict ~ok:!ok "unbalanced diamonds jam; optimal balancing restores 2.0"
+  verdict ~ok:!ok "unbalanced diamonds jam; optimal balancing restores 2.0";
+  record ~predicted:2.0 ~measured:!worst_bal ~ok:!ok
+    ~detail:"worst balanced interval over skews 1..16" "E2"
+    "balancing restores the maximal rate"
 
 (* ------------------------------------------------------------------ *)
 (* E3 — Figure 4: array selection with skew FIFOs.                      *)
@@ -148,6 +168,7 @@ let e3 () =
      +/-1 window skew; the pipe is input-limited at 2(m+2)/m";
   let table = Table.create [ "m"; "predicted"; "measured"; "FIFO stages" ] in
   let ok = ref true in
+  let last = ref (0.0, 0.0) in
   List.iter
     (fun m ->
       let st = Random.State.make [| m |] in
@@ -156,6 +177,7 @@ let e3 () =
       in
       let interval, cp, _ = interval_of (Sources.fig4_kernel m) inputs "A" in
       let predicted = 2.0 *. float_of_int (m + 2) /. float_of_int m in
+      last := (predicted, interval);
       let fifo_stages =
         Graph.fold_nodes cp.PC.cp_graph ~init:0 ~f:(fun acc n ->
             match n.Graph.op with Opcode.Fifo k -> acc + k | _ -> acc)
@@ -166,7 +188,10 @@ let e3 () =
           Printf.sprintf "%.3f" interval; string_of_int fifo_stages ])
     [ 16; 64; 256; 1024 ];
   Table.print table;
-  verdict ~ok:!ok "measured interval tracks the input-limited prediction"
+  verdict ~ok:!ok "measured interval tracks the input-limited prediction";
+  let predicted, measured = !last in
+  record ~predicted ~measured ~ok:!ok ~detail:"m=1024 window selection" "E3"
+    "Figure 4 array selection at the input-limited rate"
 
 (* ------------------------------------------------------------------ *)
 (* E4 — Figure 5: if-then-else with switched operands.                  *)
@@ -188,9 +213,10 @@ let e4 () =
   Table.add_row table
     [ string_of_int n; "2.000"; Printf.sprintf "%.3f" interval ];
   Table.print table;
-  verdict
-    ~ok:(Float.abs (interval -. 2.0) <= 0.05)
-    "conditional pipe fully pipelined (values oracle-checked)"
+  let ok = Float.abs (interval -. 2.0) <= 0.05 in
+  verdict ~ok "conditional pipe fully pipelined (values oracle-checked)";
+  record ~predicted:2.0 ~measured:interval ~ok "E4"
+    "Figure 5 conditional fully pipelined"
 
 (* ------------------------------------------------------------------ *)
 (* E5 — Figure 6 / Theorem 2: Example 1.                                *)
@@ -214,12 +240,14 @@ let e5 () =
     (fun (op, k) -> Table.add_row table [ op; string_of_int k ])
     census;
   Table.print table;
-  verdict
-    ~ok:(Float.abs (interval -. 2.0) <= 0.05)
-    "Example 1 fully pipelined at interval %.3f" interval;
+  let iok = Float.abs (interval -. 2.0) <= 0.05 in
+  verdict ~ok:iok "Example 1 fully pipelined at interval %.3f" interval;
   let gates = Option.value ~default:0 (List.assoc_opt "TGATE" census) in
   verdict ~ok:(gates >= 3)
-    "selection gates present as in Figure 6 (%d gates)" gates
+    "selection gates present as in Figure 6 (%d gates)" gates;
+  record ~predicted:2.0 ~measured:interval
+    ~ok:(iok && gates >= 3)
+    "E5" "Figure 6 primitive forall (Example 1)"
 
 (* ------------------------------------------------------------------ *)
 (* E6/E7 — Figures 7 and 8: Todd 1/3 vs companion 1/2.                  *)
@@ -255,7 +283,12 @@ let e6_e7 () =
       string_of_int comp_cells ];
   Table.print table;
   verdict ~ok:(todd > 2.8 && todd < 3.2) "Todd limited to ~1/3 (%.3f)" todd;
-  verdict ~ok:(comp < 2.1) "companion restores ~1/2 (%.3f)" comp
+  verdict ~ok:(comp < 2.1) "companion restores ~1/2 (%.3f)" comp;
+  record ~predicted:3.0 ~measured:todd
+    ~ok:(todd > 2.8 && todd < 3.2)
+    "E6" "Figure 7: Todd's scheme capped at 1/3";
+  record ~predicted:2.0 ~measured:comp ~ok:(comp < 2.1) "E7"
+    "Figure 8: companion scheme restores 1/2"
 
 (* ------------------------------------------------------------------ *)
 (* E8 — companion vs Todd as the recurrence body deepens.               *)
@@ -270,6 +303,7 @@ let e8 () =
     Table.create [ "body depth"; "todd (predicted)"; "todd"; "companion" ]
   in
   let ok = ref true in
+  let worst_comp = ref 0.0 in
   List.iter
     (fun depth ->
       let src = Sources.deep_recurrence ~depth m in
@@ -285,6 +319,7 @@ let e8 () =
       in
       let todd = measure FC.Todd in
       let comp = measure FC.Companion in
+      if comp > !worst_comp then worst_comp := comp;
       (* Todd's loop threads x[i-1] through [depth] MUL+ADD pairs, the
          pacing ADD and the merge: a cycle of 2*depth+2 cells *)
       let todd_predicted = float_of_int ((2 * depth) + 2) in
@@ -333,7 +368,11 @@ let e8 () =
     [ 2; 4; 8 ];
   Table.print table2;
   verdict ~ok:!ok2
-    "the log2(d)-level G tree tracks its predicted near-maximal rate"
+    "the log2(d)-level G tree tracks its predicted near-maximal rate";
+  record ~predicted:2.0 ~measured:!worst_comp
+    ~ok:(!ok && !ok2)
+    ~detail:"worst companion interval over body depths 1..8" "E8"
+    "companion tree stays at 1/2 as the recurrence deepens"
 
 (* ------------------------------------------------------------------ *)
 (* E9 — Figure 3 / Theorem 4: the whole pipe-structured program.        *)
@@ -360,9 +399,10 @@ let e9 () =
   Printf.printf "  block mappings: %s\n"
     (String.concat ", "
        (List.map (fun (b, s) -> b ^ ":" ^ s) cp.PC.cp_schemes));
-  verdict
-    ~ok:(Float.abs (interval -. predicted) <= 0.15 && a_interval <= 2.05)
-    "whole program pipelined end to end (values oracle-checked)"
+  let ok = Float.abs (interval -. predicted) <= 0.15 && a_interval <= 2.05 in
+  verdict ~ok "whole program pipelined end to end (values oracle-checked)";
+  record ~predicted ~measured:interval ~ok "E9"
+    "Figure 3 pipe-structured program end to end"
 
 (* ------------------------------------------------------------------ *)
 (* E10 — Section 8: naive >= reduced >= optimal = LP dual bound.        *)
@@ -405,7 +445,10 @@ let e10 () =
           (if rate_ok then "yes" else "NO") ])
     [ (1, 4, 4); (2, 6, 6); (3, 8, 8); (4, 10, 10); (5, 12, 12) ];
   Table.print table;
-  verdict ~ok:!ok "naive >= reduced >= optimal = dual bound, all at rate 1/2"
+  verdict ~ok:!ok "naive >= reduced >= optimal = dual bound, all at rate 1/2";
+  record ~ok:!ok ~units:"buffer stages"
+    ~detail:"naive >= reduced >= optimal = LP dual bound on 5 random DAGs"
+    "E10" "optimal buffering matches the min-cost-flow dual"
 
 (* ------------------------------------------------------------------ *)
 (* E11 — Section 2: array-memory traffic.                               *)
@@ -469,7 +512,10 @@ let e11 () =
     "streamed AM fraction %.3f <= 1/8" streamed_max;
   verdict
     ~ok:(stored_min > streamed_max)
-    "stored baseline pays more AM traffic (%.3f)" stored_min
+    "stored baseline pays more AM traffic (%.3f)" stored_min;
+  record ~predicted:0.125 ~measured:streamed_max
+    ~ok:(streamed_max <= 0.125 && stored_min > streamed_max)
+    ~units:"AM fraction" "E11" "streamed arrays keep AM traffic under 1/8"
 
 (* ------------------------------------------------------------------ *)
 (* E12 — Section 9 remark: trading delay for rate with a long FIFO.     *)
@@ -532,6 +578,7 @@ let e12 () =
   let len = 64 in
   let table = Table.create [ "interleaved rows"; "delay line"; "interval" ] in
   let ok = ref true in
+  let deepest = ref 0.0 in
   List.iter
     (fun rows ->
       let g = interleaved_recurrence ~rows ~len in
@@ -546,6 +593,7 @@ let e12 () =
       in
       let r = Sim.Engine.run g ~inputs in
       let interval = Sim.Metrics.output_interval r "x" in
+      deepest := interval;
       (match rows with
       | 1 -> if interval < 2.8 then ok := false (* direct loop: 1/3 *)
       | _ -> if rows >= 4 && interval > 2.1 then ok := false);
@@ -555,7 +603,10 @@ let e12 () =
     [ 1; 2; 4; 16; 64 ];
   Table.print table;
   verdict ~ok:!ok
-    "rate climbs from 1/3 to the maximum as the delay line grows"
+    "rate climbs from 1/3 to the maximum as the delay line grows";
+  record ~predicted:2.0 ~measured:!deepest ~ok:!ok
+    ~detail:"interval with 64 interleaved rows (delay line 62)" "E12"
+    "delay-for-rate trade-off reaches the maximal rate"
 
 (* ------------------------------------------------------------------ *)
 (* E13 — Section 9 remark: two-dimensional arrays.                      *)
@@ -567,6 +618,7 @@ let e13 () =
      2-D forall blocks stream row-major and stay pipelined";
   let table = Table.create [ "grid"; "predicted"; "measured" ] in
   let ok = ref true in
+  let last = ref (0.0, 0.0) in
   List.iter
     (fun n ->
       let st = Random.State.make [| n |] in
@@ -577,12 +629,16 @@ let e13 () =
       let inner = (n - 2) * (n - 2) in
       let predicted = 2.0 *. float_of_int (n * n) /. float_of_int inner in
       if Float.abs (interval -. predicted) > 0.25 then ok := false;
+      last := (predicted, interval);
       Table.add_row table
         [ Printf.sprintf "%dx%d" n n; Printf.sprintf "%.3f" predicted;
           Printf.sprintf "%.3f" interval ])
     [ 8; 16; 32 ];
   Table.print table;
-  verdict ~ok:!ok "2-D stencils pipeline at the input-limited rate"
+  verdict ~ok:!ok "2-D stencils pipeline at the input-limited rate";
+  let predicted, measured = !last in
+  record ~predicted ~measured ~ok:!ok ~detail:"32x32 grid" "E13"
+    "2-D forall blocks stream row-major and stay pipelined"
 
 (* ------------------------------------------------------------------ *)
 (* X1 — ablation: balancing strategies on compiled programs.            *)
@@ -628,7 +684,10 @@ let x1 () =
     if not (naive >= reduced && reduced >= optimal) then ok := false
   | _ -> ok := false);
   Table.print table;
-  verdict ~ok:!ok "all balanced variants pipelined; buffers ordered"
+  verdict ~ok:!ok "all balanced variants pipelined; buffers ordered";
+  record ~ok:!ok ~units:"buffer stages"
+    ~detail:"naive/reduced/optimal balancing of Figure 3, all pipelined" "X1"
+    "ablation: balancing strategies on compiled programs"
 
 (* ------------------------------------------------------------------ *)
 (* X2 — ablation: cross-block CSE.                                      *)
@@ -662,7 +721,11 @@ let x2 () =
   let ok =
     match !cells with [ on; off ] -> on <= off | _ -> false
   in
-  verdict ~ok "CSE never grows the program; values oracle-checked both ways"
+  verdict ~ok "CSE never grows the program; values oracle-checked both ways";
+  record ~ok ~units:"cells"
+    ?measured:(match !cells with [ on; _ ] -> Some (float_of_int on) | _ -> None)
+    ~detail:"cell count with cross-block CSE on (off in table)" "X2"
+    "ablation: cross-block common-subexpression elimination"
 
 (* ------------------------------------------------------------------ *)
 (* X3 — the scientific-kernel suite.                                    *)
@@ -713,7 +776,12 @@ let x3 () =
     Kernels.all;
   Table.print table;
   verdict ~ok:!ok
-    "every kernel matches both oracles and its predicted interval"
+    "every kernel matches both oracles and its predicted interval";
+  record ~ok:!ok
+    ~detail:
+      (Printf.sprintf "%d kernels, values double-checked, intervals within 8%%"
+         (List.length Kernels.all))
+    "X3" "scientific-kernel suite at predicted intervals"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the toolchain itself                    *)
@@ -785,6 +853,16 @@ let () =
    with exn ->
      Printf.printf "  (micro-benchmarks skipped: %s)\n"
        (Printexc.to_string exn));
+  let json_path =
+    Option.value (Sys.getenv_opt "BENCH_JSON") ~default:"BENCH_PIPELINE.json"
+  in
+  Obs.Bench_json.write_file ~path:json_path
+    ~meta:
+      [ ("suite", Obs.Json.String "dennis-gao-icpp83");
+        ("generated_by", Obs.Json.String "bench/main.exe") ]
+    (List.rev !entries);
+  Printf.printf "\nwrote %s (%d experiments)\n" json_path
+    (List.length !entries);
   Printf.printf "\n%s\n"
     (if !failures = 0 then "ALL EXPERIMENTS PASS"
      else Printf.sprintf "%d EXPERIMENT(S) FAILED" !failures);

@@ -6,12 +6,100 @@
      dfsim program.val --waves 8
      dfsim program.val --input C=c.txt --input B=b.txt
      dfsim program.val --machine --pe 16 --stored
+     dfsim program.val --trace t.json --metrics-json m.json
 *)
 
 module PC = Compiler.Program_compile
 module D = Compiler.Driver
 module ME = Machine.Machine_engine
 module Arch = Machine.Arch
+
+(* ---------------- observability sinks ---------------- *)
+
+let tracer_for = function
+  | None -> Obs.Tracer.null
+  | Some _ -> Obs.Tracer.create ()
+
+(* one Perfetto track per instruction cell (graph-level simulator) *)
+let graph_tracks g =
+  let acc = ref [] in
+  Dfg.Graph.iter_nodes g (fun n ->
+      acc :=
+        ( n.Dfg.Graph.id,
+          Printf.sprintf "%s#%d %s" n.Dfg.Graph.label n.Dfg.Graph.id
+            (Dfg.Opcode.name n.Dfg.Graph.op) )
+        :: !acc);
+  List.rev !acc
+
+(* one Perfetto track per processing element (machine simulator) *)
+let pe_tracks n_pe =
+  List.init (max 1 n_pe) (fun i -> (i, Printf.sprintf "PE %d" i))
+
+let write_trace ~tracks tracer = function
+  | None -> ()
+  | Some path ->
+    Obs.Perfetto.write_file ~path ~process_name:"dfsim" ~track_names:tracks
+      (Obs.Tracer.events tracer);
+    Printf.printf "wrote trace %s (%d events%s)\n" path
+      (Obs.Tracer.length tracer)
+      (if Obs.Tracer.dropped tracer > 0 then
+         Printf.sprintf ", %d dropped" (Obs.Tracer.dropped tracer)
+       else "")
+
+let write_metrics m = function
+  | None -> ()
+  | Some path ->
+    Obs.Metrics_registry.write_file m path;
+    Printf.printf "wrote metrics %s\n" path
+
+let sim_registry result =
+  let m = Obs.Metrics_registry.create () in
+  let open Obs.Metrics_registry in
+  incr m "sim.firings"
+    ~by:(Array.fold_left ( + ) 0 result.Sim.Engine.fire_counts);
+  incr m "sim.cells" ~by:(Array.length result.Sim.Engine.fire_counts);
+  incr m "sim.stuck_cells" ~by:(List.length result.Sim.Engine.stuck);
+  set m "sim.end_time" (float_of_int result.Sim.Engine.end_time);
+  set m "sim.quiescent" (if result.Sim.Engine.quiescent then 1.0 else 0.0);
+  Array.iteri
+    (fun id _ ->
+      observe m "sim.cell_utilization" (Sim.Metrics.utilization result id))
+    result.Sim.Engine.fire_counts;
+  List.iter
+    (fun (name, arrivals) ->
+      incr m
+        (Printf.sprintf "sim.output.%s.packets" name)
+        ~by:(List.length arrivals);
+      set m
+        (Printf.sprintf "sim.output.%s.interval" name)
+        (Sim.Metrics.output_interval result name))
+    result.Sim.Engine.outputs;
+  m
+
+let machine_registry (r : ME.result) =
+  let m = Obs.Metrics_registry.create () in
+  let open Obs.Metrics_registry in
+  let s = r.ME.stats in
+  incr m "machine.dispatches" ~by:s.ME.dispatches;
+  incr m "machine.fu_ops" ~by:s.ME.fu_ops;
+  incr m "machine.am_ops" ~by:s.ME.am_ops;
+  incr m "machine.result_packets" ~by:s.ME.result_packets;
+  incr m "machine.ack_packets" ~by:s.ME.ack_packets;
+  set m "machine.end_time" (float_of_int r.ME.end_time);
+  set m "machine.quiescent" (if r.ME.quiescent then 1.0 else 0.0);
+  set m "machine.am_fraction" (ME.am_fraction s);
+  Array.iteri
+    (fun i d ->
+      incr m (Printf.sprintf "machine.pe.%02d.dispatches" i) ~by:d;
+      observe m "machine.pe_occupancy" (float_of_int d))
+    s.ME.pe_dispatches;
+  List.iter
+    (fun (name, arrivals) ->
+      incr m
+        (Printf.sprintf "machine.output.%s.packets" name)
+        ~by:(List.length arrivals))
+    r.ME.outputs;
+  m
 
 let read_file path =
   let ic = open_in_bin path in
@@ -48,7 +136,7 @@ let synth_wave ~seed ~elt ~size name =
       | Val_lang.Ast.Tbool -> Dfg.Value.Bool (Random.State.bool st))
 
 (* Run a pre-compiled .dfg machine program (no oracle available). *)
-let run_loaded path waves seed report =
+let run_loaded path waves seed report trace_out metrics_out =
   let g = Dfg.Text.read_file path in
   let inputs =
     List.map
@@ -62,7 +150,8 @@ let run_loaded path waves seed report =
              Dfg.Value.Real (Random.State.float st 2.0 -. 1.0))))
       (Dfg.Graph.inputs g)
   in
-  let result = Sim.Engine.run ~record_firings:report g ~inputs in
+  let tracer = tracer_for trace_out in
+  let result = Sim.Engine.run ~record_firings:report ~tracer g ~inputs in
   List.iter
     (fun (name, _) ->
       let values = Sim.Engine.output_values result name in
@@ -72,11 +161,14 @@ let run_loaded path waves seed report =
         (Sim.Metrics.output_interval result name))
     result.Sim.Engine.outputs;
   if report then print_string (Sim.Report.render g result);
+  write_trace ~tracks:(graph_tracks g) tracer trace_out;
+  write_metrics (sim_registry result) metrics_out;
   `Ok ()
 
-let run path waves seed input_files machine pe stored no_check report load =
+let run path waves seed input_files machine pe stored no_check report load
+    trace_out metrics_out =
   try
-    if load then run_loaded path waves seed report
+    if load then run_loaded path waves seed report trace_out metrics_out
     else begin
     let source = read_file path in
     let prog, compiled = D.compile_source source in
@@ -109,7 +201,8 @@ let run path waves seed input_files machine pe stored no_check report load =
             (n, List.concat_map (fun _ -> w) (List.init waves Fun.id)))
           inputs
       in
-      let r = ME.run ~arch compiled.PC.cp_graph ~inputs:feeds in
+      let tracer = tracer_for trace_out in
+      let r = ME.run ~arch ~tracer compiled.PC.cp_graph ~inputs:feeds in
       Printf.printf "machine: %s\n" (Arch.describe arch);
       Printf.printf "finished at t=%d (quiescent=%b)\n" r.ME.end_time
         r.ME.quiescent;
@@ -117,10 +210,13 @@ let run path waves seed input_files machine pe stored no_check report load =
       Printf.printf
         "dispatches=%d fu=%d am=%d results=%d acks=%d am-fraction=%.3f\n"
         s.ME.dispatches s.ME.fu_ops s.ME.am_ops s.ME.result_packets
-        s.ME.ack_packets (ME.am_fraction s)
+        s.ME.ack_packets (ME.am_fraction s);
+      write_trace ~tracks:(pe_tracks arch.Arch.n_pe) tracer trace_out;
+      write_metrics (machine_registry r) metrics_out
     end
     else begin
-      let result = D.run ~waves compiled ~inputs in
+      let tracer = tracer_for trace_out in
+      let result = D.run ~waves ~tracer compiled ~inputs in
       if not no_check then begin
         D.check_against_oracle prog compiled result ~inputs;
         print_endline "outputs verified against the Val interpreter"
@@ -139,7 +235,9 @@ let run path waves seed input_files machine pe stored no_check report load =
       if report then begin
         let r2 = D.run ~waves ~record_firings:true compiled ~inputs in
         print_string (Sim.Report.render compiled.PC.cp_graph r2)
-      end
+      end;
+      write_trace ~tracks:(graph_tracks compiled.PC.cp_graph) tracer trace_out;
+      write_metrics (sim_registry result) metrics_out
     end;
     `Ok ()
     end
@@ -199,9 +297,22 @@ let cmd =
          & info [ "load" ]
              ~doc:"FILE is a compiled .dfg machine program (from valc                    --save) rather than Val source")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"OUT"
+             ~doc:"write a Chrome trace-event (Perfetto) JSON of the run: \
+                   one track per instruction cell (or per PE with \
+                   --machine), one slice per firing; open in \
+                   ui.perfetto.dev or chrome://tracing")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-json" ] ~docv:"OUT"
+             ~doc:"write run metrics (counters, gauges, histograms) as JSON")
+  in
   let term =
     Term.(ret (const run $ path $ waves $ seed $ input_files $ machine $ pe
-               $ stored $ no_check $ report $ load))
+               $ stored $ no_check $ report $ load $ trace_out $ metrics_out))
   in
   Cmd.v
     (Cmd.info "dfsim" ~version:"1.0"

@@ -26,7 +26,29 @@ let balance_conv =
     [ ("optimal", `Optimal); ("reduced", `Reduced); ("naive", `Naive);
       ("none", `None) ]
 
-let compile path scheme distance balance expand dot_out save_out verbose =
+(* Compile-time statistics of a machine program, as a metrics registry
+   so they share the JSON serialization used by every other sink. *)
+let compile_registry (compiled : PC.compiled) =
+  let g = compiled.PC.cp_graph in
+  let m = Obs.Metrics_registry.create () in
+  let open Obs.Metrics_registry in
+  incr m "compile.cells" ~by:(Dfg.Graph.node_count g);
+  incr m "compile.arcs" ~by:(Dfg.Graph.arc_count g);
+  incr m "compile.inputs" ~by:(List.length (Dfg.Graph.inputs g));
+  incr m "compile.outputs" ~by:(List.length (Dfg.Graph.outputs g));
+  incr m "compile.blocks" ~by:(List.length compiled.PC.cp_schemes);
+  List.iter
+    (fun (op, k) -> incr m (Printf.sprintf "compile.opcode.%s" op) ~by:k)
+    (Dfg.Graph.opcode_census g);
+  let fifo_stages =
+    Dfg.Graph.fold_nodes g ~init:0 ~f:(fun acc n ->
+        match n.Dfg.Graph.op with Dfg.Opcode.Fifo k -> acc + k | _ -> acc)
+  in
+  incr m "compile.fifo_stages" ~by:fifo_stages;
+  m
+
+let compile path scheme distance balance expand dot_out save_out verbose stats
+    stats_json =
   try
     let source = read_file path in
     let options =
@@ -49,6 +71,18 @@ let compile path scheme distance balance expand dot_out save_out verbose =
       List.iter
         (fun (op, k) -> Printf.printf "  %-12s %d\n" op k)
         (Dfg.Graph.opcode_census g)
+    end;
+    if stats || stats_json <> None then begin
+      let m = compile_registry compiled in
+      if stats then begin
+        print_endline "compile statistics:";
+        print_string (Obs.Metrics_registry.render m)
+      end;
+      match stats_json with
+      | Some out ->
+        Obs.Metrics_registry.write_file m out;
+        Printf.printf "wrote %s\n" out
+      | None -> ()
     end;
     (match dot_out with
     | Some out ->
@@ -111,9 +145,20 @@ let cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print the opcode census")
   in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"print compile statistics (cells, arcs, opcode counts, \
+                   buffer stages) as a metrics summary")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ] ~docv:"OUT"
+             ~doc:"write the compile statistics as metrics JSON")
+  in
   let term =
     Term.(ret (const compile $ path $ scheme $ distance $ balance $ expand
-               $ dot_out $ save_out $ verbose))
+               $ dot_out $ save_out $ verbose $ stats $ stats_json))
   in
   Cmd.v
     (Cmd.info "valc" ~version:"1.0"

@@ -12,7 +12,7 @@ let compile_source ?options ?scalar_inputs source =
 
 let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
 
-let run ?(waves = 1) ?max_time ?record_firings ?trace_window
+let run ?(waves = 1) ?max_time ?record_firings ?trace_window ?tracer
     (cp : Program_compile.compiled) ~inputs =
   let feeds =
     List.map
@@ -31,7 +31,7 @@ let run ?(waves = 1) ?max_time ?record_firings ?trace_window
           (name, replicate waves wave))
       cp.Program_compile.cp_inputs
   in
-  Sim.Engine.run ?max_time ?record_firings ?trace_window
+  Sim.Engine.run ?max_time ?record_firings ?trace_window ?tracer
     cp.Program_compile.cp_graph ~inputs:feeds
 
 let wave_of_floats xs = List.map (fun f -> Value.Real f) xs

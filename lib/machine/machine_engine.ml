@@ -6,6 +6,7 @@ type stats = {
   am_ops : int;
   result_packets : int;
   ack_packets : int;
+  pe_dispatches : int array;
 }
 
 type result = {
@@ -60,7 +61,8 @@ let uses_fu (op : Opcode.t) =
     true
   | _ -> false
 
-let run ?(max_time = 30_000_000) ~(arch : Arch.t) g ~inputs =
+let run ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ~(arch : Arch.t)
+    g ~inputs =
   (match Graph.validate g with
   | Ok () -> ()
   | Error es ->
@@ -134,6 +136,7 @@ let run ?(max_time = 30_000_000) ~(arch : Arch.t) g ~inputs =
   let ams = pool_create arch.Arch.n_am in
   let dispatches = ref 0 and fu_ops = ref 0 and am_ops = ref 0 in
   let result_packets = ref 0 and ack_packets = ref 0 in
+  let pe_dispatches = Array.make (max 1 arch.Arch.n_pe) 0 in
   let now = ref 0 in
   let schedule t ev = Df_util.Pqueue.push events t ev in
   (* Fire a cell: PE dispatch, optional FU execution, then packet
@@ -161,7 +164,13 @@ let run ?(max_time = 30_000_000) ~(arch : Arch.t) g ~inputs =
               pool_start ams write_done + arch.Arch.am_latency)
           | _ -> ready_at + arch.Arch.rn_latency
         in
-        schedule deliver_at (Deliver { dst = ep_node; port = ep_port; value }))
+        schedule deliver_at (Deliver { dst = ep_node; port = ep_port; value });
+        if Obs.Tracer.enabled tracer then
+          Obs.Tracer.emit tracer
+            (Obs.Event.Deliver
+               { time = deliver_at; track = cells.(ep_node).pe;
+                 src = cell.node.Graph.id; dst = ep_node; port = ep_port;
+                 value = Value.to_string value }))
       dests;
     cell.pending_acks <- cell.pending_acks + List.length dests
   in
@@ -173,7 +182,12 @@ let run ?(max_time = 30_000_000) ~(arch : Arch.t) g ~inputs =
       let src = cell.producer.(port) in
       if src >= 0 then begin
         incr ack_packets;
-        schedule (acked_at + arch.Arch.rn_latency) (Ack { dst = src })
+        schedule (acked_at + arch.Arch.rn_latency) (Ack { dst = src });
+        if Obs.Tracer.enabled tracer then
+          Obs.Tracer.emit tracer
+            (Obs.Event.Ack
+               { time = acked_at + arch.Arch.rn_latency;
+                 track = cells.(src).pe; src = cell.node.Graph.id; dst = src })
       end);
     ()
   in
@@ -184,12 +198,22 @@ let run ?(max_time = 30_000_000) ~(arch : Arch.t) g ~inputs =
   in
   let dispatch cell =
     incr dispatches;
+    pe_dispatches.(cell.pe) <- pe_dispatches.(cell.pe) + 1;
     let start = pe_start pes cell.pe !now in
-    if uses_fu cell.node.Graph.op then begin
-      incr fu_ops;
-      pool_start fus (start + 1) + arch.Arch.fu_latency
-    end
-    else start + 1
+    let done_at =
+      if uses_fu cell.node.Graph.op then begin
+        incr fu_ops;
+        pool_start fus (start + 1) + arch.Arch.fu_latency
+      end
+      else start + 1
+    in
+    if Obs.Tracer.enabled tracer then
+      Obs.Tracer.emit tracer
+        (Obs.Event.Fire
+           { time = start; dur = max 1 (done_at - start); track = cell.pe;
+             node = cell.node.Graph.id; label = cell.node.Graph.label;
+             op = Opcode.name cell.node.Graph.op });
+    done_at
   in
   let try_fire cell =
     let open Opcode in
@@ -421,6 +445,7 @@ let run ?(max_time = 30_000_000) ~(arch : Arch.t) g ~inputs =
         am_ops = !am_ops;
         result_packets = !result_packets;
         ack_packets = !ack_packets;
+        pe_dispatches;
       };
     end_time = !now;
     quiescent = !quiescent;

@@ -32,6 +32,7 @@ type stats = {
   am_ops : int;            (** array-memory operations (reads + writes) *)
   result_packets : int;    (** result packets through the routing network *)
   ack_packets : int;       (** acknowledge packets *)
+  pe_dispatches : int array;  (** firings dispatched per processing element *)
 }
 
 type result = {
@@ -43,11 +44,18 @@ type result = {
 
 val run :
   ?max_time:int ->
+  ?tracer:Obs.Tracer.t ->
   arch:Arch.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
   result
-(** @raise Invalid_argument on invalid graphs or missing inputs *)
+(** Simulate on the machine model.  [tracer] (default
+    {!Obs.Tracer.null}) receives a {!Obs.Event.Fire} per dispatch —
+    tracked per PE, with the duration covering dispatch through FU
+    completion so PE occupancy is directly visible in a trace viewer —
+    and deliver/ack events for the routing-network and array-memory
+    traffic.  Tracing never changes results or timing.
+    @raise Invalid_argument on invalid graphs or missing inputs *)
 
 val am_fraction : stats -> float
 (** Fraction of operation packets that involve the array memories:

@@ -1,0 +1,43 @@
+type entry = {
+  id : string;
+  title : string;
+  predicted : float option;
+  measured : float option;
+  units : string;
+  ok : bool;
+  detail : string;
+  extra : (string * Json.t) list;
+}
+
+let schema = "dataflow_pipelining.bench/1"
+
+let entry ?predicted ?measured ?(units = "instruction times") ?(detail = "")
+    ?(extra = []) ~ok id title =
+  { id; title; predicted; measured; units; ok; detail; extra }
+
+let opt_float name = function
+  | None -> []
+  | Some f -> [ (name, Json.Float f) ]
+
+let json_of_entry e =
+  Json.Obj
+    ([ ("id", Json.String e.id); ("title", Json.String e.title);
+       ("ok", Json.Bool e.ok);
+       ("verdict", Json.String (if e.ok then "PASS" else "FAIL"));
+       ("units", Json.String e.units) ]
+    @ opt_float "predicted" e.predicted
+    @ opt_float "measured" e.measured
+    @ (if e.detail = "" then [] else [ ("detail", Json.String e.detail) ])
+    @ e.extra)
+
+let to_json ?(meta = []) entries =
+  Json.Obj
+    ([ ("schema", Json.String schema) ]
+    @ meta
+    @ [ ("total", Json.Int (List.length entries));
+        ("failures",
+         Json.Int (List.length (List.filter (fun e -> not e.ok) entries)));
+        ("results", Json.List (List.map json_of_entry entries)) ])
+
+let write_file ~path ?meta entries =
+  Json.write_file path (to_json ?meta entries)

@@ -1,0 +1,44 @@
+(** Schema'd benchmark-result writer.
+
+    The bench harness ([bench/main.ml]) records one {!entry} per
+    experiment — the paper's predicted value, the measured value and a
+    PASS/FAIL verdict — and writes them as a single JSON document
+    ([BENCH_PIPELINE.json]) so the performance trajectory can be tracked
+    across commits by tooling rather than by reading PASS/FAIL text.
+
+    Document shape (schema [dataflow_pipelining.bench/1]):
+    {v
+    { "schema": "dataflow_pipelining.bench/1",
+      "total": 16, "failures": 0,
+      "results": [ { "id": "E1", "title": ..., "ok": true,
+                     "verdict": "PASS", "units": ...,
+                     "predicted": 2.0, "measured": 2.003, ... }, ... ] }
+    v} *)
+
+type entry = {
+  id : string;  (** experiment id, e.g. ["E1"] *)
+  title : string;
+  predicted : float option;  (** the paper's predicted value, if any *)
+  measured : float option;
+  units : string;  (** unit of predicted/measured *)
+  ok : bool;
+  detail : string;  (** one-line description of what was checked *)
+  extra : (string * Json.t) list;  (** additional per-experiment fields *)
+}
+
+val entry :
+  ?predicted:float ->
+  ?measured:float ->
+  ?units:string ->
+  ?detail:string ->
+  ?extra:(string * Json.t) list ->
+  ok:bool ->
+  string ->
+  string ->
+  entry
+(** [entry ~ok id title]; [units] defaults to ["instruction times"]. *)
+
+val to_json : ?meta:(string * Json.t) list -> entry list -> Json.t
+(** The full document; [meta] fields are spliced in at top level. *)
+
+val write_file : path:string -> ?meta:(string * Json.t) list -> entry list -> unit

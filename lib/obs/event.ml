@@ -1,0 +1,45 @@
+type t =
+  | Fire of {
+      time : int;
+      dur : int;
+      track : int;
+      node : int;
+      label : string;
+      op : string;
+    }
+  | Deliver of {
+      time : int;
+      track : int;
+      src : int;
+      dst : int;
+      port : int;
+      value : string;
+    }
+  | Ack of { time : int; track : int; src : int; dst : int }
+  | Stall of {
+      time : int;
+      track : int;
+      node : int;
+      label : string;
+      reason : string;
+    }
+
+let time = function
+  | Fire { time; _ } | Deliver { time; _ } | Ack { time; _ }
+  | Stall { time; _ } ->
+    time
+
+let track = function
+  | Fire { track; _ } | Deliver { track; _ } | Ack { track; _ }
+  | Stall { track; _ } ->
+    track
+
+let describe = function
+  | Fire { time; node; label; op; dur; _ } ->
+    Printf.sprintf "[t=%d] FIRE %s#%d (%s, dur %d)" time label node op dur
+  | Deliver { time; src; dst; port; value; _ } ->
+    Printf.sprintf "[t=%d] DELIVER #%d -> #%d.%d = %s" time src dst port value
+  | Ack { time; src; dst; _ } ->
+    Printf.sprintf "[t=%d] ACK #%d -> #%d" time src dst
+  | Stall { time; node; label; reason; _ } ->
+    Printf.sprintf "[t=%d] STALL %s#%d: %s" time label node reason

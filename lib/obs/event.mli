@@ -1,0 +1,47 @@
+(** Typed trace events emitted by the simulators.
+
+    Every event carries the simulated [time] it happened at and a [track]
+    — the lane it should be drawn on in a trace viewer.  The
+    graph-level simulator ({!Sim.Engine}) uses one track per instruction
+    cell; the machine-level simulator ({!Machine.Machine_engine}) uses
+    one track per processing element, so PE occupancy is visible
+    directly.  Times are in instruction times (the paper's integer
+    clock), exported 1:1 as trace microseconds by {!Perfetto}. *)
+
+type t =
+  | Fire of {
+      time : int;  (** firing start *)
+      dur : int;  (** occupancy: 1 for the graph simulator, PE dispatch
+                      through FU completion for the machine simulator *)
+      track : int;
+      node : int;  (** instruction cell id *)
+      label : string;
+      op : string;  (** opcode name *)
+    }
+  | Deliver of {
+      time : int;  (** arrival time at [dst] *)
+      track : int;
+      src : int;
+      dst : int;
+      port : int;
+      value : string;
+    }
+  | Ack of {
+      time : int;  (** arrival time at [dst] (the producer being freed) *)
+      track : int;
+      src : int;  (** the consumer that issued the acknowledge *)
+      dst : int;
+    }
+  | Stall of {
+      time : int;  (** quiescence time at which the condition was seen *)
+      track : int;
+      node : int;
+      label : string;
+      reason : string;  (** deadlock/stall diagnostic *)
+    }
+
+val time : t -> int
+val track : t -> int
+
+val describe : t -> string
+(** One-line human-readable rendering (for debugging and logs). *)

@@ -1,0 +1,48 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability sinks ({!Perfetto}, {!Metrics_registry},
+    {!Bench_json}) serialize through this module so the repository needs
+    no external JSON dependency.  The printer emits strictly valid JSON:
+    non-finite floats become [null], control characters are escaped.  The
+    parser accepts exactly the JSON this printer produces (plus standard
+    whitespace) and is used by the test suite to check well-formedness of
+    exported traces. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val write_file : string -> t -> unit
+(** Write [to_string] plus a trailing newline to a file. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete JSON document. @raise Parse_error on malformed
+    input or trailing garbage. *)
+
+(** {2 Accessors} — total functions for digging into parsed documents. *)
+
+val member : string -> t -> t
+(** Field of an object; [Null] when absent or not an object. *)
+
+val get_list : t -> t list
+(** Elements of a [List]; [[]] otherwise. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+
+val get_float : t -> float option
+(** Accepts [Int] too. *)
+
+val get_bool : t -> bool option

@@ -1,0 +1,118 @@
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type hist = { mutable values : float list; mutable n : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let schema = "dataflow_pipelining.metrics/1"
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let set t name v = Hashtbl.replace t.gauges name v
+
+let observe t name v =
+  match Hashtbl.find_opt t.hists name with
+  | Some h ->
+    h.values <- v :: h.values;
+    h.n <- h.n + 1
+  | None -> Hashtbl.add t.hists name { values = [ v ]; n = 1 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge t name = Hashtbl.find_opt t.gauges name
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  let i = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) i))
+
+let summary t name =
+  match Hashtbl.find_opt t.hists name with
+  | None | Some { n = 0; _ } -> None
+  | Some h ->
+    let sorted = Array.of_list h.values in
+    Array.sort compare sorted;
+    let sum = Array.fold_left ( +. ) 0.0 sorted in
+    Some
+      {
+        count = h.n;
+        sum;
+        min = sorted.(0);
+        max = sorted.(Array.length sorted - 1);
+        mean = sum /. float_of_int h.n;
+        p50 = quantile sorted 0.50;
+        p90 = quantile sorted 0.90;
+        p99 = quantile sorted 0.99;
+      }
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let summary_json s =
+  Json.Obj
+    [ ("count", Json.Int s.count); ("sum", Json.Float s.sum);
+      ("min", Json.Float s.min); ("max", Json.Float s.max);
+      ("mean", Json.Float s.mean); ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90); ("p99", Json.Float s.p99) ]
+
+let to_json t =
+  Json.Obj
+    [ ("schema", Json.String schema);
+      ("counters",
+       Json.Obj
+         (List.map
+            (fun k -> (k, Json.Int (counter t k)))
+            (sorted_keys t.counters)));
+      ("gauges",
+       Json.Obj
+         (List.map
+            (fun k -> (k, Json.Float (Hashtbl.find t.gauges k)))
+            (sorted_keys t.gauges)));
+      ("histograms",
+       Json.Obj
+         (List.filter_map
+            (fun k -> Option.map (fun s -> (k, summary_json s)) (summary t k))
+            (sorted_keys t.hists))) ]
+
+let write_file t path = Json.write_file path (to_json t)
+
+let render t =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter (fun k -> line "  %-40s %d" k (counter t k)) (sorted_keys t.counters);
+  List.iter
+    (fun k -> line "  %-40s %g" k (Hashtbl.find t.gauges k))
+    (sorted_keys t.gauges);
+  List.iter
+    (fun k ->
+      match summary t k with
+      | None -> ()
+      | Some s ->
+        line "  %-40s n=%d mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
+          k s.count s.mean s.min s.p50 s.p90 s.p99 s.max)
+    (sorted_keys t.hists);
+  Buffer.contents buf

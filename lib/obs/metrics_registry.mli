@@ -1,0 +1,52 @@
+(** Named counters, gauges and histograms with JSON serialization.
+
+    A registry is a bag of metrics keyed by dotted names
+    (["sim.firings"], ["machine.pe.3.dispatches"], …).  Counters are
+    monotonic integers, gauges hold the last float written, histograms
+    accumulate observations and serialize as summary statistics
+    (count/min/max/mean and p50/p90/p99 quantiles).
+
+    Serialization is deterministic (keys sorted) so metric files diff
+    cleanly across runs. *)
+
+type t
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter (created at 0 on first use); [by] defaults to 1. *)
+
+val set : t -> string -> float -> unit
+(** Write a gauge. *)
+
+val observe : t -> string -> float -> unit
+(** Add one observation to a histogram. *)
+
+val counter : t -> string -> int
+(** Current counter value; 0 when never incremented. *)
+
+val gauge : t -> string -> float option
+
+val summary : t -> string -> summary option
+(** Summary statistics of a histogram; [None] when it has no
+    observations. *)
+
+val to_json : t -> Json.t
+(** [{"schema": ..., "counters": {...}, "gauges": {...},
+    "histograms": {name: {count, min, max, mean, p50, p90, p99}}}]. *)
+
+val write_file : t -> string -> unit
+
+val render : t -> string
+(** Aligned plain-text rendering for terminal output. *)

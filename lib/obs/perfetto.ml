@@ -1,0 +1,76 @@
+let pid = 1
+
+let metadata ?process_name track_names =
+  let process =
+    match process_name with
+    | None -> []
+    | Some name ->
+      [ Json.Obj
+          [ ("ph", Json.String "M"); ("pid", Json.Int pid);
+            ("name", Json.String "process_name");
+            ("args", Json.Obj [ ("name", Json.String name) ]) ] ]
+  in
+  process
+  @ List.map
+      (fun (tid, name) ->
+        Json.Obj
+          [ ("ph", Json.String "M"); ("pid", Json.Int pid);
+            ("tid", Json.Int tid); ("name", Json.String "thread_name");
+            ("args", Json.Obj [ ("name", Json.String name) ]) ])
+      track_names
+
+let json_of_event ev =
+  let common ~ph ~name ~cat ~ts ~tid args =
+    Json.Obj
+      ([ ("name", Json.String name); ("cat", Json.String cat);
+         ("ph", Json.String ph); ("ts", Json.Int ts); ("pid", Json.Int pid);
+         ("tid", Json.Int tid) ]
+      @ args)
+  in
+  match ev with
+  | Event.Fire { time; dur; track; node; label; op } ->
+    common ~ph:"X"
+      ~name:(Printf.sprintf "%s#%d" label node)
+      ~cat:"fire" ~ts:time ~tid:track
+      [ ("dur", Json.Int (max 1 dur));
+        ("args",
+         Json.Obj [ ("node", Json.Int node); ("op", Json.String op) ]) ]
+  | Event.Deliver { time; track; src; dst; port; value } ->
+    common ~ph:"i" ~name:"deliver" ~cat:"packet" ~ts:time ~tid:track
+      [ ("s", Json.String "t");
+        ("args",
+         Json.Obj
+           [ ("src", Json.Int src); ("dst", Json.Int dst);
+             ("port", Json.Int port); ("value", Json.String value) ]) ]
+  | Event.Ack { time; track; src; dst } ->
+    common ~ph:"i" ~name:"ack" ~cat:"packet" ~ts:time ~tid:track
+      [ ("s", Json.String "t");
+        ("args", Json.Obj [ ("src", Json.Int src); ("dst", Json.Int dst) ]) ]
+  | Event.Stall { time; track; node; label; reason } ->
+    common ~ph:"i" ~name:"stall" ~cat:"diagnostic" ~ts:time ~tid:track
+      [ ("s", Json.String "p");
+        ("args",
+         Json.Obj
+           [ ("node", Json.Int node); ("label", Json.String label);
+             ("reason", Json.String reason) ]) ]
+
+let json_of_events ?process_name ?(track_names = []) events =
+  Json.Obj
+    [ ("traceEvents",
+       Json.List
+         (metadata ?process_name track_names @ List.map json_of_event events));
+      ("displayTimeUnit", Json.String "ms");
+      ("otherData",
+       Json.Obj [ ("generator", Json.String "dataflow_pipelining.obs") ]) ]
+
+let to_string ?process_name ?track_names events =
+  Json.to_string (json_of_events ?process_name ?track_names events)
+
+let write_file ~path ?process_name ?track_names events =
+  Json.write_file path (json_of_events ?process_name ?track_names events)
+
+let slice_count doc =
+  Json.member "traceEvents" doc
+  |> Json.get_list
+  |> List.filter (fun ev -> Json.get_string (Json.member "ph" ev) = Some "X")
+  |> List.length

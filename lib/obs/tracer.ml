@@ -1,0 +1,43 @@
+type t = {
+  enabled : bool;
+  capacity : int;
+  mutable buf : Event.t array;  (* allocated lazily on the first emit *)
+  mutable start : int;  (* index of the oldest retained event *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let null = { enabled = false; capacity = 0; buf = [||]; start = 0; len = 0; dropped = 0 }
+
+let create ?(capacity = 1 lsl 22) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  { enabled = true; capacity; buf = [||]; start = 0; len = 0; dropped = 0 }
+
+let enabled t = t.enabled
+
+let emit t ev =
+  if t.enabled then begin
+    if Array.length t.buf = 0 then t.buf <- Array.make t.capacity ev;
+    if t.len < t.capacity then begin
+      t.buf.((t.start + t.len) mod t.capacity) <- ev;
+      t.len <- t.len + 1
+    end
+    else begin
+      (* full: overwrite the oldest *)
+      t.buf.(t.start) <- ev;
+      t.start <- (t.start + 1) mod t.capacity;
+      t.dropped <- t.dropped + 1
+    end
+  end
+
+let length t = t.len
+let dropped t = t.dropped
+let total t = t.len + t.dropped
+
+let events t =
+  List.init t.len (fun i -> t.buf.((t.start + i) mod t.capacity))
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0

@@ -1,0 +1,40 @@
+(** Low-overhead ring-buffer event sink.
+
+    Instrumented hot loops test {!enabled} (a single field read) before
+    constructing an event, so a disabled tracer — the {!null} default
+    every engine uses when no [?tracer] is passed — costs one branch per
+    instrumentation point and allocates nothing.
+
+    An enabled tracer keeps the most recent [capacity] events: when the
+    ring is full the oldest event is overwritten and {!dropped} counts
+    it, so a bounded-memory tracer can watch an unbounded simulation. *)
+
+type t
+
+val null : t
+(** The disabled sink: {!enabled} is [false], {!emit} is a no-op. *)
+
+val create : ?capacity:int -> unit -> t
+(** An enabled tracer retaining the last [capacity] events (default
+    [2^22]).  @raise Invalid_argument if [capacity <= 0]. *)
+
+val enabled : t -> bool
+
+val emit : t -> Event.t -> unit
+(** Record an event (no-op on {!null}); overwrites the oldest event when
+    the ring is full. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val total : t -> int
+(** Events ever emitted (retained + dropped). *)
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val clear : t -> unit
+(** Forget all events (and the drop count). *)

@@ -36,7 +36,8 @@ let operand_ready cell port =
   | Graph.In_const v -> Some v
   | Graph.In_arc | Graph.In_arc_init _ -> cell.operands.(port)
 
-let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window g ~inputs =
+let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window
+    ?(tracer = Obs.Tracer.null) g ~inputs =
   (match Graph.validate g with
   | Ok () -> ()
   | Error es ->
@@ -110,7 +111,13 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window g ~inpu
     let dests = cell.node.Graph.dests.(slot) in
     List.iter
       (fun { Graph.ep_node; ep_port } ->
-        schedule (!now + 1) (Deliver { dst = ep_node; port = ep_port; value }))
+        schedule (!now + 1) (Deliver { dst = ep_node; port = ep_port; value });
+        if Obs.Tracer.enabled tracer then
+          Obs.Tracer.emit tracer
+            (Obs.Event.Deliver
+               { time = !now + 1; track = ep_node;
+                 src = cell.node.Graph.id; dst = ep_node; port = ep_port;
+                 value = Value.to_string value }))
       dests;
     cell.pending_acks <- cell.pending_acks + List.length dests
   in
@@ -123,7 +130,14 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window g ~inpu
       | Some _ -> ());
       cell.operands.(port) <- None;
       let src = cell.producer.(port) in
-      if src >= 0 then schedule (!now + 1) (Ack { dst = src }));
+      if src >= 0 then begin
+        schedule (!now + 1) (Ack { dst = src });
+        if Obs.Tracer.enabled tracer then
+          Obs.Tracer.emit tracer
+            (Obs.Event.Ack
+               { time = !now + 1; track = src; src = cell.node.Graph.id;
+                 dst = src })
+      end);
     ()
   in
   let traced t =
@@ -135,6 +149,12 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window g ~inpu
     if traced !now then
       Printf.eprintf "[t=%d] FIRE %s#%d\n" !now cell.node.Graph.label
         cell.node.Graph.id;
+    if Obs.Tracer.enabled tracer then
+      Obs.Tracer.emit tracer
+        (Obs.Event.Fire
+           { time = !now; dur = 1; track = cell.node.Graph.id;
+             node = cell.node.Graph.id; label = cell.node.Graph.label;
+             op = Opcode.name cell.node.Graph.op });
     fire_counts.(cell.node.Graph.id) <- fire_counts.(cell.node.Graph.id) + 1;
     if record_firings then
       fire_times.(cell.node.Graph.id) <- !now :: fire_times.(cell.node.Graph.id)
@@ -416,22 +436,31 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window g ~inpu
                | _ -> 0
              in
              if held = [] && cell.queue_len = 0 && pending_input = 0 then None
-             else
-               Some
-                 (Printf.sprintf "%s#%d holds %s%s%s" cell.node.Graph.label
-                    cell.node.Graph.id
-                    (String.concat ","
-                       (List.map
-                          (fun (port, v) ->
-                            Printf.sprintf "port%d=%s" port
-                              (Value.to_string v))
-                          held))
-                    (if cell.queue_len > 0 then
-                       Printf.sprintf " fifo(%d items)" cell.queue_len
-                     else "")
-                    (if pending_input > 0 then
-                       Printf.sprintf " %d unsent inputs" pending_input
-                     else "")))
+             else begin
+               let desc =
+                 Printf.sprintf "%s#%d holds %s%s%s" cell.node.Graph.label
+                   cell.node.Graph.id
+                   (String.concat ","
+                      (List.map
+                         (fun (port, v) ->
+                           Printf.sprintf "port%d=%s" port
+                             (Value.to_string v))
+                         held))
+                   (if cell.queue_len > 0 then
+                      Printf.sprintf " fifo(%d items)" cell.queue_len
+                    else "")
+                   (if pending_input > 0 then
+                      Printf.sprintf " %d unsent inputs" pending_input
+                    else "")
+               in
+               if Obs.Tracer.enabled tracer then
+                 Obs.Tracer.emit tracer
+                   (Obs.Event.Stall
+                      { time = !now; track = cell.node.Graph.id;
+                        node = cell.node.Graph.id;
+                        label = cell.node.Graph.label; reason = desc });
+               Some desc
+             end)
     else []
   in
   {

@@ -38,6 +38,7 @@ val run :
   ?max_time:int ->
   ?record_firings:bool ->
   ?trace_window:int * int ->
+  ?tracer:Obs.Tracer.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
   result
@@ -45,6 +46,12 @@ val run :
     [inputs] supplies the full packet sequence for every [Input] node
     (concatenate waves for steady-state measurements); every declared
     input must be present.
+
+    [tracer] (default {!Obs.Tracer.null}, which costs one branch per
+    instrumentation point and records nothing) receives a typed event
+    for every firing, packet delivery and acknowledge, plus stall
+    diagnostics at quiescence — export with {!Obs.Perfetto}.  Tracing
+    never changes simulation results or timing.
     @raise Protocol_error on arc-capacity violations
     @raise Invalid_argument on missing/unknown input streams *)
 

@@ -1,7 +1,9 @@
 let initiation_interval ?(trim = 0.25) times =
   let arr = Array.of_list times in
   let n = Array.length arr in
-  let drop = int_of_float (trim *. float_of_int n) in
+  (* clamp so a pathological [trim] (negative, or >= 0.5 on a tiny
+     sample) degrades to nan as documented instead of raising *)
+  let drop = max 0 (int_of_float (trim *. float_of_int n)) in
   let first = drop and last = n - 1 - drop in
   if last - first < 1 then nan
   else float_of_int (arr.(last) - arr.(first)) /. float_of_int (last - first)

@@ -10,7 +10,8 @@ val initiation_interval : ?trim:float -> int list -> float
 (** Mean spacing of arrival times after dropping a [trim] fraction
     (default 0.25) at each end — the steady-state initiation interval,
     insensitive to pipe fill and drain.  Requires at least two remaining
-    arrivals; returns [nan] otherwise. *)
+    arrivals; returns [nan] otherwise (never raises, even for empty or
+    single-arrival samples or a pathological [trim]). *)
 
 val output_interval : ?trim:float -> Engine.result -> string -> float
 (** {!initiation_interval} of a named output stream. *)

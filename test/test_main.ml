@@ -17,4 +17,5 @@ let () =
       ("compiler.distance", Test_companion_distance.suite);
       ("compiler.driver", Test_driver.suite);
       ("properties", Test_properties.suite);
+      ("obs", Test_obs.suite);
     ]
