@@ -58,7 +58,12 @@ let sim_registry result =
   incr m "sim.firings"
     ~by:(Array.fold_left ( + ) 0 result.Sim.Engine.fire_counts);
   incr m "sim.cells" ~by:(Array.length result.Sim.Engine.fire_counts);
-  incr m "sim.stuck_cells" ~by:(List.length result.Sim.Engine.stuck);
+  incr m "sim.stuck_cells"
+    ~by:
+      (match result.Sim.Engine.stuck with
+      | None -> 0
+      | Some sr -> List.length sr.Fault.Stall_report.sr_blocked);
+  incr m "sim.violations" ~by:(List.length result.Sim.Engine.violations);
   set m "sim.end_time" (float_of_int result.Sim.Engine.end_time);
   set m "sim.quiescent" (if result.Sim.Engine.quiescent then 1.0 else 0.0);
   Array.iteri
@@ -87,6 +92,12 @@ let machine_registry (r : ME.result) =
   incr m "machine.ack_packets" ~by:s.ME.ack_packets;
   set m "machine.end_time" (float_of_int r.ME.end_time);
   set m "machine.quiescent" (if r.ME.quiescent then 1.0 else 0.0);
+  incr m "machine.stalled_cells"
+    ~by:
+      (match r.ME.stall with
+      | None -> 0
+      | Some sr -> List.length sr.Fault.Stall_report.sr_blocked);
+  incr m "machine.violations" ~by:(List.length r.ME.violations);
   set m "machine.am_fraction" (ME.am_fraction s);
   Array.iteri
     (fun i d ->
@@ -100,6 +111,34 @@ let machine_registry (r : ME.result) =
         ~by:(List.length arrivals))
     r.ME.outputs;
   m
+
+(* Fault/sanitizer diagnostics shared by the three run paths.  A
+   [Deadlock] report at quiescence is the normal end state of a primed
+   feedback loop, so it is only printed on request. *)
+let print_diagnostics ?(show_deadlock = false) ~violations ~stall () =
+  List.iter
+    (fun v -> Printf.printf "%s\n" (Fault.Violation.to_string v))
+    violations;
+  match stall with
+  | Some sr
+    when show_deadlock
+         || sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock ->
+    print_string (Fault.Stall_report.to_string sr)
+  | Some _ | None -> ()
+
+let parse_fault_opts inject sanitize watchdog =
+  let fault =
+    match inject with
+    | None -> None
+    | Some spec -> (
+      match Fault.Fault_plan.of_string spec with
+      | Ok s -> Some (Fault.Fault_plan.make s)
+      | Error msg -> failwith (Printf.sprintf "--inject %s: %s" spec msg))
+  in
+  let sanitizer g =
+    if sanitize then Fault.Sanitizer.create g else Fault.Sanitizer.null
+  in
+  (fault, sanitizer, watchdog)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -136,8 +175,10 @@ let synth_wave ~seed ~elt ~size name =
       | Val_lang.Ast.Tbool -> Dfg.Value.Bool (Random.State.bool st))
 
 (* Run a pre-compiled .dfg machine program (no oracle available). *)
-let run_loaded path waves seed report trace_out metrics_out =
+let run_loaded path waves seed report trace_out metrics_out ~fault ~sanitizer
+    ~watchdog =
   let g = Dfg.Text.read_file path in
+  let sanitizer = sanitizer g in
   let inputs =
     List.map
       (fun (name, id) ->
@@ -151,7 +192,12 @@ let run_loaded path waves seed report trace_out metrics_out =
       (Dfg.Graph.inputs g)
   in
   let tracer = tracer_for trace_out in
-  let result = Sim.Engine.run ~record_firings:report ~tracer g ~inputs in
+  let result =
+    Sim.Engine.run ~record_firings:report ~tracer ?fault ~sanitizer ?watchdog g
+      ~inputs
+  in
+  print_diagnostics ~violations:result.Sim.Engine.violations
+    ~stall:result.Sim.Engine.stuck ();
   List.iter
     (fun (name, _) ->
       let values = Sim.Engine.output_values result name in
@@ -166,9 +212,14 @@ let run_loaded path waves seed report trace_out metrics_out =
   `Ok ()
 
 let run path waves seed input_files machine pe stored no_check report load
-    trace_out metrics_out =
+    trace_out metrics_out inject sanitize watchdog =
   try
-    if load then run_loaded path waves seed report trace_out metrics_out
+    let fault, sanitizer, watchdog =
+      parse_fault_opts inject sanitize watchdog
+    in
+    if load then
+      run_loaded path waves seed report trace_out metrics_out ~fault ~sanitizer
+        ~watchdog
     else begin
     let source = read_file path in
     let prog, compiled = D.compile_source source in
@@ -202,7 +253,12 @@ let run path waves seed input_files machine pe stored no_check report load
           inputs
       in
       let tracer = tracer_for trace_out in
-      let r = ME.run ~arch ~tracer compiled.PC.cp_graph ~inputs:feeds in
+      let r =
+        ME.run ~arch ~tracer ?fault
+          ~sanitizer:(sanitizer compiled.PC.cp_graph)
+          ?watchdog compiled.PC.cp_graph ~inputs:feeds
+      in
+      print_diagnostics ~violations:r.ME.violations ~stall:r.ME.stall ();
       Printf.printf "machine: %s\n" (Arch.describe arch);
       Printf.printf "finished at t=%d (quiescent=%b)\n" r.ME.end_time
         r.ME.quiescent;
@@ -216,7 +272,19 @@ let run path waves seed input_files machine pe stored no_check report load
     end
     else begin
       let tracer = tracer_for trace_out in
-      let result = D.run ~waves ~tracer compiled ~inputs in
+      (match fault with
+      | Some plan when not (Fault.Fault_plan.delay_only plan) ->
+        print_endline
+          "note: the graph-level simulator honours delay faults only \
+           (use --machine for dup/drop-ack/stall/slowdown)"
+      | _ -> ());
+      let result =
+        D.run ~waves ~tracer ?fault
+          ~sanitizer:(sanitizer compiled.PC.cp_graph)
+          ?watchdog compiled ~inputs
+      in
+      print_diagnostics ~violations:result.Sim.Engine.violations
+        ~stall:result.Sim.Engine.stuck ();
       if not no_check then begin
         D.check_against_oracle prog compiled result ~inputs;
         print_endline "outputs verified against the Val interpreter"
@@ -310,9 +378,32 @@ let cmd =
          & info [ "metrics-json" ] ~docv:"OUT"
              ~doc:"write run metrics (counters, gauges, histograms) as JSON")
   in
+  let inject =
+    Arg.(value & opt (some string) None
+         & info [ "inject" ] ~docv:"SPEC"
+             ~doc:"inject deterministic faults; SPEC is comma-separated \
+                   key=value with keys seed, delay, dup, drop-ack, stall \
+                   (probabilities), delay-max, stall-max, fu-slow, am-slow \
+                   (magnitudes), e.g. seed=7,delay=0.2,dup=0.05; the same \
+                   SPEC always perturbs the same packets")
+  in
+  let sanitize =
+    Arg.(value & flag
+         & info [ "sanitize" ]
+             ~doc:"shadow-check dataflow invariants (one token per arc, \
+                   acknowledge conservation) and report violations instead \
+                   of aborting")
+  in
+  let watchdog =
+    Arg.(value & opt (some int) None
+         & info [ "watchdog" ] ~docv:"N"
+             ~doc:"stop and print a stall report if no cell fires for N \
+                   consecutive time units while packets are in flight")
+  in
   let term =
     Term.(ret (const run $ path $ waves $ seed $ input_files $ machine $ pe
-               $ stored $ no_check $ report $ load $ trace_out $ metrics_out))
+               $ stored $ no_check $ report $ load $ trace_out $ metrics_out
+               $ inject $ sanitize $ watchdog))
   in
   Cmd.v
     (Cmd.info "dfsim" ~version:"1.0"

@@ -1,0 +1,181 @@
+(* faultcheck: differential fault suite over the kernel library.
+
+   For every kernel and every seed, run the compiled graph clean and
+   under a delay-only fault plan, and require the output streams to be
+   identical — the executable form of the paper's claim that the
+   acknowledge discipline makes pipelines latency-insensitive.  Any
+   mismatch, sanitizer violation or unexpected stall writes a dump file
+   into --out and fails the run (CI uploads the dumps as artifacts).
+
+   Examples:
+     faultcheck --seeds 101,202,303 --out fault-reports
+     faultcheck --machine --delay 0.5 *)
+
+module PC = Compiler.Program_compile
+module D = Compiler.Driver
+module K = Kernels
+module FP = Fault.Fault_plan
+module FD = Fault_diff
+
+let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
+
+(* full packet streams for the graph's Input cells (scalar inputs are
+   compiled to load-time constants, so only array inputs feed packets) *)
+let feeds (compiled : PC.compiled) ~waves kernel_inputs =
+  List.map
+    (fun (name, _shape) ->
+      match List.assoc_opt name kernel_inputs with
+      | Some wave -> (name, replicate waves wave)
+      | None -> failwith (Printf.sprintf "kernel input %s missing" name))
+    compiled.PC.cp_inputs
+
+let dump_failure ~dir ~kernel ~seed ~engine (o : FD.outcome) =
+  (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+   with Sys_error _ -> ());
+  let path = Filename.concat dir
+      (Printf.sprintf "%s-%s-seed%d.txt" kernel engine seed) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "kernel %s, engine %s, seed %d\nclean end %d, faulted end %d\n\n"
+        kernel engine seed o.FD.clean_end o.FD.faulted_end;
+      if o.FD.mismatches <> [] then begin
+        output_string oc "output mismatches:\n";
+        List.iter
+          (fun m -> Printf.fprintf oc "  %s\n" (FD.mismatch_to_string m))
+          o.FD.mismatches
+      end;
+      if o.FD.faulted_violations <> [] then begin
+        output_string oc "violations:\n";
+        List.iter
+          (fun v ->
+            Printf.fprintf oc "  %s\n" (Fault.Violation.to_string v))
+          o.FD.faulted_violations
+      end;
+      match o.FD.faulted_stall with
+      | Some sr -> output_string oc (Fault.Stall_report.to_string sr)
+      | None -> ());
+  path
+
+(* a Deadlock report at quiescence is the normal end state of primed
+   feedback loops; only watchdog trips and max_time exhaustion are
+   unexpected under delay-only faults *)
+let stall_unexpected = function
+  | None -> false
+  | Some sr -> sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock
+
+let check_one ~dir ~size ~waves ~prob ~max_delay ~machine ~seed
+    (k : K.kernel) =
+  let st = Random.State.make [| Hashtbl.hash k.K.name |] in
+  let _, compiled =
+    D.compile_source ~scalar_inputs:k.K.scalar_inputs (k.K.source size)
+  in
+  let inputs = feeds compiled ~waves (k.K.inputs size st) in
+  let plan = FP.make (FP.delays ~prob ~max_delay seed) in
+  (* the watchdog must sit above any injected delay *)
+  let watchdog = 100 + (4 * max_delay) in
+  let run engine diff =
+    let o = diff () in
+    let ok =
+      o.FD.equal && o.FD.faulted_violations = []
+      && not (stall_unexpected o.FD.faulted_stall)
+    in
+    if ok then begin
+      Printf.printf "ok   %-14s %-7s seed=%d (clean end %d, faulted end %d)\n"
+        k.K.name engine seed o.FD.clean_end o.FD.faulted_end;
+      true
+    end
+    else begin
+      let path = dump_failure ~dir ~kernel:k.K.name ~seed ~engine o in
+      Printf.printf
+        "FAIL %-14s %-7s seed=%d (%d mismatches, %d violations) -> %s\n"
+        k.K.name engine seed
+        (List.length o.FD.mismatches)
+        (List.length o.FD.faulted_violations)
+        path;
+      false
+    end
+  in
+  let g = compiled.PC.cp_graph in
+  let ok_sim =
+    run "sim" (fun () -> FD.sim ~watchdog ~plan g ~inputs)
+  in
+  let ok_machine =
+    (not machine)
+    || run "machine" (fun () -> FD.machine ~watchdog ~plan g ~inputs)
+  in
+  ok_sim && ok_machine
+
+let main seeds dir size waves prob max_delay machine =
+  let failures = ref 0 in
+  List.iter
+    (fun (k : K.kernel) ->
+      List.iter
+        (fun seed ->
+          match
+            check_one ~dir ~size ~waves ~prob ~max_delay ~machine ~seed k
+          with
+          | true -> ()
+          | false -> incr failures
+          | exception e ->
+            incr failures;
+            Printf.printf "FAIL %-14s seed=%d raised %s\n" k.K.name seed
+              (Printexc.to_string e))
+        seeds)
+    K.all;
+  let total = List.length K.all * List.length seeds in
+  if !failures = 0 then begin
+    Printf.printf
+      "all %d kernel/seed runs: faulted outputs identical to clean\n" total;
+    `Ok ()
+  end
+  else
+    `Error
+      (false, Printf.sprintf "%d of %d kernel/seed runs failed" !failures total)
+
+let cmd =
+  let open Cmdliner in
+  let seeds =
+    Arg.(value & opt (list int) [ 101; 202; 303 ]
+         & info [ "seeds" ] ~docv:"N,N,..."
+             ~doc:"fault-plan seeds to test each kernel under")
+  in
+  let dir =
+    Arg.(value & opt string "fault-reports"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"directory for failure dumps (created on first failure)")
+  in
+  let size =
+    Arg.(value & opt int 32
+         & info [ "size" ] ~docv:"N" ~doc:"kernel size parameter")
+  in
+  let waves =
+    Arg.(value & opt int 4
+         & info [ "waves" ] ~docv:"W" ~doc:"input waves to stream")
+  in
+  let prob =
+    Arg.(value & opt float 0.25
+         & info [ "delay" ] ~docv:"P" ~doc:"per-packet delay probability")
+  in
+  let max_delay =
+    Arg.(value & opt int 8
+         & info [ "delay-max" ] ~docv:"N" ~doc:"largest injected delay")
+  in
+  let machine =
+    Arg.(value & flag
+         & info [ "machine" ]
+             ~doc:"also run the differential on the machine-level simulator")
+  in
+  let term =
+    Term.(ret (const main $ seeds $ dir $ size $ waves $ prob $ max_delay
+               $ machine))
+  in
+  Cmd.v
+    (Cmd.info "faultcheck" ~version:"1.0"
+       ~doc:"differential fault suite: delay-faulted kernel runs must \
+             match clean runs value for value")
+    term
+
+let () = exit (Cmdliner.Cmd.eval cmd)

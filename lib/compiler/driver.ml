@@ -12,8 +12,8 @@ let compile_source ?options ?scalar_inputs source =
 
 let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
 
-let run ?(waves = 1) ?max_time ?record_firings ?trace_window ?tracer
-    (cp : Program_compile.compiled) ~inputs =
+let run ?(waves = 1) ?max_time ?record_firings ?trace_window ?tracer ?fault
+    ?sanitizer ?watchdog (cp : Program_compile.compiled) ~inputs =
   let feeds =
     List.map
       (fun (name, shape) ->
@@ -31,8 +31,8 @@ let run ?(waves = 1) ?max_time ?record_firings ?trace_window ?tracer
           (name, replicate waves wave))
       cp.Program_compile.cp_inputs
   in
-  Sim.Engine.run ?max_time ?record_firings ?trace_window ?tracer
-    cp.Program_compile.cp_graph ~inputs:feeds
+  Sim.Engine.run ?max_time ?record_firings ?trace_window ?tracer ?fault
+    ?sanitizer ?watchdog cp.Program_compile.cp_graph ~inputs:feeds
 
 let wave_of_floats xs = List.map (fun f -> Value.Real f) xs
 

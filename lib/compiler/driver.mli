@@ -24,12 +24,16 @@ val run :
   ?record_firings:bool ->
   ?trace_window:int * int ->
   ?tracer:Obs.Tracer.t ->
+  ?fault:Fault.Fault_plan.t ->
+  ?sanitizer:Fault.Sanitizer.t ->
+  ?watchdog:int ->
   Program_compile.compiled ->
   inputs:(string * Value.t list) list ->
   Sim.Engine.result
 (** Simulate the compiled program.  [inputs] gives one wave of packets per
     array input (its declared wave size); the wave is replayed [waves]
-    times (default 1).  [tracer] is forwarded to {!Sim.Engine.run}.
+    times (default 1).  [tracer], [fault], [sanitizer] and [watchdog] are
+    forwarded to {!Sim.Engine.run}.
     @raise Invalid_argument on missing inputs or wrong wave sizes *)
 
 val wave_of_floats : float list -> Value.t list

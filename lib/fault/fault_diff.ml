@@ -1,0 +1,106 @@
+open Dfg
+
+type mismatch = {
+  m_stream : string;
+  m_index : int;
+  m_clean : Value.t option;
+  m_faulted : Value.t option;
+}
+
+type outcome = {
+  equal : bool;
+  mismatches : mismatch list;
+  clean_end : int;
+  faulted_end : int;
+  faulted_stall : Fault.Stall_report.t option;
+  faulted_violations : Fault.Violation.t list;
+}
+
+let mismatch_cap = 16
+
+let value_str = function
+  | Some v -> Value.to_string v
+  | None -> "<missing>"
+
+let mismatch_to_string m =
+  Printf.sprintf "%s[%d]: clean %s, faulted %s" m.m_stream m.m_index
+    (value_str m.m_clean) (value_str m.m_faulted)
+
+let compare_outputs ~clean ~faulted =
+  let out = ref [] in
+  let count = ref 0 in
+  let push m =
+    if !count < mismatch_cap then out := m :: !out;
+    incr count
+  in
+  List.iter
+    (fun (name, cvs) ->
+      let fvs = Option.value ~default:[] (List.assoc_opt name faulted) in
+      let rec go i cs fs =
+        match (cs, fs) with
+        | [], [] -> ()
+        | c :: cs, f :: fs ->
+          if not (Value.equal c f) then
+            push
+              { m_stream = name; m_index = i; m_clean = Some c;
+                m_faulted = Some f };
+          go (i + 1) cs fs
+        | c :: cs, [] ->
+          push
+            { m_stream = name; m_index = i; m_clean = Some c;
+              m_faulted = None };
+          go (i + 1) cs []
+        | [], f :: fs ->
+          push
+            { m_stream = name; m_index = i; m_clean = None;
+              m_faulted = Some f };
+          go (i + 1) [] fs
+      in
+      go 0 cvs fvs)
+    clean;
+  List.rev !out
+
+let outcome ~clean_outputs ~faulted_outputs ~clean_end ~faulted_end
+    ~faulted_stall ~faulted_violations =
+  let strip outs = List.map (fun (name, vs) -> (name, List.map snd vs)) outs in
+  let mismatches =
+    compare_outputs ~clean:(strip clean_outputs)
+      ~faulted:(strip faulted_outputs)
+  in
+  {
+    equal = mismatches = [];
+    mismatches;
+    clean_end;
+    faulted_end;
+    faulted_stall;
+    faulted_violations;
+  }
+
+let sim ?max_time ?watchdog ?(sanitize = true) ~plan g ~inputs =
+  let clean = Sim.Engine.run ?max_time g ~inputs in
+  let sanitizer =
+    if sanitize then Fault.Sanitizer.create g else Fault.Sanitizer.null
+  in
+  let faulted =
+    Sim.Engine.run ?max_time ?watchdog ~fault:plan ~sanitizer g ~inputs
+  in
+  outcome ~clean_outputs:clean.Sim.Engine.outputs
+    ~faulted_outputs:faulted.Sim.Engine.outputs
+    ~clean_end:clean.Sim.Engine.end_time
+    ~faulted_end:faulted.Sim.Engine.end_time
+    ~faulted_stall:faulted.Sim.Engine.stuck
+    ~faulted_violations:faulted.Sim.Engine.violations
+
+let machine ?max_time ?watchdog ?(sanitize = true)
+    ?(arch = Machine.Arch.default) ~plan g ~inputs =
+  let module ME = Machine.Machine_engine in
+  let clean = ME.run ?max_time ~arch g ~inputs in
+  let sanitizer =
+    if sanitize then Fault.Sanitizer.create g else Fault.Sanitizer.null
+  in
+  let faulted =
+    ME.run ?max_time ?watchdog ~fault:plan ~sanitizer ~arch g ~inputs
+  in
+  outcome ~clean_outputs:clean.ME.outputs ~faulted_outputs:faulted.ME.outputs
+    ~clean_end:clean.ME.end_time ~faulted_end:faulted.ME.end_time
+    ~faulted_stall:faulted.ME.stall ~faulted_violations:faulted.ME.violations

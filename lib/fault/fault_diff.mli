@@ -1,0 +1,67 @@
+(** Differential fault harness — the executable statement of the paper's
+    latency-insensitivity claim.
+
+    Section 3's acknowledge discipline makes a correct pipelined graph a
+    Kahn network: per-arc packet order cannot change under added latency,
+    so a run perturbed by a {e delay-only} {!Fault.Fault_plan} must
+    produce exactly the same output streams as the clean run — only the
+    arrival times move.  [Fault_diff] runs faulted-vs-clean on either
+    engine and reports whether the streams agree.
+
+    For plans that break the protocol on purpose ([dup], [drop-ack]),
+    equality is not expected; the harness still reports the faulted
+    run's violations and stall report so tests can assert the sanitizer
+    caught the corruption. *)
+
+open Dfg
+
+type mismatch = {
+  m_stream : string;
+  m_index : int;
+  m_clean : Value.t option;  (** [None]: the faulted run had extra packets *)
+  m_faulted : Value.t option;  (** [None]: the faulted run lost packets *)
+}
+
+type outcome = {
+  equal : bool;  (** every output stream identical, value for value *)
+  mismatches : mismatch list;  (** first few disagreements (capped) *)
+  clean_end : int;
+  faulted_end : int;
+  faulted_stall : Fault.Stall_report.t option;
+  faulted_violations : Fault.Violation.t list;
+}
+
+val mismatch_to_string : mismatch -> string
+
+val compare_outputs :
+  clean:(string * Value.t list) list ->
+  faulted:(string * Value.t list) list ->
+  mismatch list
+(** Value-for-value comparison per stream (exact equality — injected
+    latency must not change a single bit). *)
+
+val sim :
+  ?max_time:int ->
+  ?watchdog:int ->
+  ?sanitize:bool ->
+  plan:Fault.Fault_plan.t ->
+  Graph.t ->
+  inputs:(string * Value.t list) list ->
+  outcome
+(** Run [g] clean and under [plan] on {!Sim.Engine} and compare output
+    streams.  [sanitize] (default true) attaches a fresh sanitizer to
+    the faulted run. *)
+
+val machine :
+  ?max_time:int ->
+  ?watchdog:int ->
+  ?sanitize:bool ->
+  ?arch:Machine.Arch.t ->
+  plan:Fault.Fault_plan.t ->
+  Graph.t ->
+  inputs:(string * Value.t list) list ->
+  outcome
+(** As {!sim} on {!Machine.Machine_engine} (default
+    {!Machine.Arch.default}), which honours the full fault plan: delays,
+    duplicated packets, dropped acknowledges, PE stalls, FU/AM
+    slowdowns. *)

@@ -1,0 +1,155 @@
+type spec = {
+  seed : int;
+  delay_prob : float;
+  delay_max : int;
+  dup_prob : float;
+  drop_ack_prob : float;
+  stall_prob : float;
+  stall_max : int;
+  fu_slow : int;
+  am_slow : int;
+}
+
+let none =
+  {
+    seed = 0;
+    delay_prob = 0.0;
+    delay_max = 8;
+    dup_prob = 0.0;
+    drop_ack_prob = 0.0;
+    stall_prob = 0.0;
+    stall_max = 16;
+    fu_slow = 0;
+    am_slow = 0;
+  }
+
+let delays ?(prob = 0.2) ?(max_delay = 8) seed =
+  { none with seed; delay_prob = prob; delay_max = max_delay }
+
+type t = spec
+
+let make spec =
+  let check_prob name p =
+    if not (p >= 0.0 && p <= 1.0) then
+      invalid_arg (Printf.sprintf "Fault_plan.make: %s=%g not in [0,1]" name p)
+  in
+  let check_mag name v =
+    if v < 0 then
+      invalid_arg (Printf.sprintf "Fault_plan.make: %s=%d negative" name v)
+  in
+  check_prob "delay" spec.delay_prob;
+  check_prob "dup" spec.dup_prob;
+  check_prob "drop-ack" spec.drop_ack_prob;
+  check_prob "stall" spec.stall_prob;
+  check_mag "delay-max" spec.delay_max;
+  check_mag "stall-max" spec.stall_max;
+  check_mag "fu-slow" spec.fu_slow;
+  check_mag "am-slow" spec.am_slow;
+  spec
+
+let spec t = t
+let seed t = t.seed
+
+let delay_only t = t.dup_prob = 0.0 && t.drop_ack_prob = 0.0
+
+(* Distinct stream tags so the same site never shares variates across
+   decision kinds. *)
+let tag_result_delay = 1
+let tag_result_delay_mag = 2
+let tag_ack_delay = 3
+let tag_ack_delay_mag = 4
+let tag_dup = 5
+let tag_drop_ack = 6
+let tag_pe_stall = 7
+let tag_pe_stall_mag = 8
+let tag_fu = 9
+let tag_am = 10
+
+let hit t ~prob tag keys =
+  prob > 0.0 && Prng.float_of_hash (Prng.mix t.seed (tag :: keys)) < prob
+
+let magnitude t ~max_mag tag keys =
+  if max_mag <= 0 then 0
+  else 1 + Prng.int_of_hash (Prng.mix t.seed (tag :: keys)) max_mag
+
+let result_delay t ~time ~src ~dst ~port =
+  let keys = [ time; src; dst; port ] in
+  if hit t ~prob:t.delay_prob tag_result_delay keys then
+    magnitude t ~max_mag:t.delay_max tag_result_delay_mag keys
+  else 0
+
+let ack_delay t ~time ~src ~dst =
+  let keys = [ time; src; dst ] in
+  if hit t ~prob:t.delay_prob tag_ack_delay keys then
+    magnitude t ~max_mag:t.delay_max tag_ack_delay_mag keys
+  else 0
+
+let duplicate t ~time ~src ~dst ~port =
+  hit t ~prob:t.dup_prob tag_dup [ time; src; dst; port ]
+
+let drop_ack t ~time ~src ~dst =
+  hit t ~prob:t.drop_ack_prob tag_drop_ack [ time; src; dst ]
+
+let pe_stall t ~pe ~time =
+  let keys = [ pe; time ] in
+  if hit t ~prob:t.stall_prob tag_pe_stall keys then
+    magnitude t ~max_mag:t.stall_max tag_pe_stall_mag keys
+  else 0
+
+let fu_extra t ~node ~time =
+  if t.fu_slow <= 0 then 0
+  else Prng.int_of_hash (Prng.mix t.seed [ tag_fu; node; time ]) (t.fu_slow + 1)
+
+let am_extra t ~node ~time =
+  if t.am_slow <= 0 then 0
+  else Prng.int_of_hash (Prng.mix t.seed [ tag_am; node; time ]) (t.am_slow + 1)
+
+let of_string s =
+  let parse_field spec field =
+    match String.index_opt field '=' with
+    | None -> Error (Printf.sprintf "fault spec: %S is not key=value" field)
+    | Some i -> (
+      let key = String.sub field 0 i in
+      let value = String.sub field (i + 1) (String.length field - i - 1) in
+      let prob set =
+        match float_of_string_opt value with
+        | Some p when p >= 0.0 && p <= 1.0 -> Ok (set p)
+        | _ ->
+          Error
+            (Printf.sprintf "fault spec: %s=%s is not a probability" key value)
+      in
+      let mag set =
+        match int_of_string_opt value with
+        | Some v when v >= 0 -> Ok (set v)
+        | _ ->
+          Error
+            (Printf.sprintf "fault spec: %s=%s is not a non-negative integer"
+               key value)
+      in
+      match key with
+      | "seed" -> mag (fun v -> { spec with seed = v })
+      | "delay" -> prob (fun p -> { spec with delay_prob = p })
+      | "dup" -> prob (fun p -> { spec with dup_prob = p })
+      | "drop-ack" -> prob (fun p -> { spec with drop_ack_prob = p })
+      | "stall" -> prob (fun p -> { spec with stall_prob = p })
+      | "delay-max" -> mag (fun v -> { spec with delay_max = v })
+      | "stall-max" -> mag (fun v -> { spec with stall_max = v })
+      | "fu-slow" -> mag (fun v -> { spec with fu_slow = v })
+      | "am-slow" -> mag (fun v -> { spec with am_slow = v })
+      | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key))
+  in
+  String.split_on_char ',' s
+  |> List.filter (fun f -> String.trim f <> "")
+  |> List.fold_left
+       (fun acc field ->
+         match acc with
+         | Error _ as e -> e
+         | Ok spec -> parse_field spec (String.trim field))
+       (Ok none)
+
+let describe t =
+  Printf.sprintf
+    "seed=%d delay=%g(max %d) dup=%g drop-ack=%g stall=%g(max %d) fu-slow=%d \
+     am-slow=%d"
+    t.seed t.delay_prob t.delay_max t.dup_prob t.drop_ack_prob t.stall_prob
+    t.stall_max t.fu_slow t.am_slow

@@ -1,0 +1,92 @@
+(** Seeded, deterministic fault plans for the simulators.
+
+    A plan is a pure function of [(seed, decision key)] — each potential
+    fault site (a packet leaving a cell at a time, a PE dispatching at a
+    time, …) hashes its identity through {!Prng.mix}, so the same seed
+    produces bit-identical perturbations on every run regardless of
+    evaluation order.  No global state is touched.
+
+    Fault kinds:
+
+    - {b delay}: extra routing-network latency, on result packets and on
+      acknowledge packets independently.  Delays never break the paper's
+      acknowledge discipline (at most one packet per arc is ever in
+      flight), so a correct graph must produce identical output streams —
+      the property {!Fault_diff} checks.
+    - {b dup}: a result packet is delivered twice (a misbehaving routing
+      network).  This breaks the protocol and is what the sanitizer is
+      for.  Machine simulator only.
+    - {b drop-ack}: an acknowledge packet is lost, starving its producer
+      — detected as an acknowledge-conservation violation and as a stall.
+      Machine simulator only.
+    - {b stall}: a PE refuses to dispatch for a window of cycles.
+      Machine simulator only; timing-only, outputs unchanged.
+    - {b fu-slow}/{b am-slow}: extra function-unit / array-memory
+      latency per operation.  Timing-only.
+
+    {!Sim.Engine} honours only the delay faults (its timing model has no
+    PEs, FUs or AMs); {!Machine.Machine_engine} honours all of them. *)
+
+type spec = {
+  seed : int;
+  delay_prob : float;    (** per packet: probability of extra delay *)
+  delay_max : int;       (** extra delay is uniform in [1, delay_max] *)
+  dup_prob : float;      (** per result packet: duplicated delivery *)
+  drop_ack_prob : float; (** per acknowledge: packet lost *)
+  stall_prob : float;    (** per PE dispatch: stall window inserted *)
+  stall_max : int;       (** stall window is uniform in [1, stall_max] *)
+  fu_slow : int;         (** extra FU latency per operation *)
+  am_slow : int;         (** extra AM latency per operation *)
+}
+
+val none : spec
+(** All probabilities 0, all slowdowns 0; [delay_max = 8],
+    [stall_max = 16] (the defaults used when only a probability is
+    given). *)
+
+val delays : ?prob:float -> ?max_delay:int -> int -> spec
+(** [delays seed]: a delay-only plan (default [prob = 0.2],
+    [max_delay = 8]) — safe for differential checks on both engines. *)
+
+type t
+
+val make : spec -> t
+(** @raise Invalid_argument if a probability is outside [0, 1] or a
+    magnitude is negative. *)
+
+val spec : t -> spec
+val seed : t -> int
+
+val delay_only : t -> bool
+(** No protocol-breaking faults ([dup_prob = drop_ack_prob = 0]): a
+    correct graph must produce unchanged output streams under this
+    plan. *)
+
+(** {2 Decisions}
+
+    Each decision is keyed on the full identity of the fault site; the
+    [time] argument is the simulated time the packet or dispatch was
+    issued at. *)
+
+val result_delay : t -> time:int -> src:int -> dst:int -> port:int -> int
+(** Extra delay (0 when the site is not selected). *)
+
+val ack_delay : t -> time:int -> src:int -> dst:int -> int
+
+val duplicate : t -> time:int -> src:int -> dst:int -> port:int -> bool
+
+val drop_ack : t -> time:int -> src:int -> dst:int -> bool
+
+val pe_stall : t -> pe:int -> time:int -> int
+(** Extra cycles before the PE accepts the dispatch. *)
+
+val fu_extra : t -> node:int -> time:int -> int
+val am_extra : t -> node:int -> time:int -> int
+
+val of_string : string -> (spec, string) result
+(** Parse a CLI spec: comma-separated [key=value] pairs.  Keys: [seed],
+    [delay], [dup], [stall], [drop-ack] (probabilities), [delay-max],
+    [stall-max], [fu-slow], [am-slow] (magnitudes).  Example:
+    ["seed=7,delay=0.2,dup=0.01,stall=0.1"]. *)
+
+val describe : t -> string

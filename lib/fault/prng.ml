@@ -1,0 +1,39 @@
+(* splitmix64 (Steele, Lea & Flood 2014): a 64-bit counter advanced by
+   the golden-ratio increment, finalized by an avalanche mix. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let finalize z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = finalize (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  finalize t.state
+
+let float_of_hash h =
+  (* top 53 bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+let int_of_hash h bound =
+  if bound <= 0 then invalid_arg "Prng.int_of_hash: bound <= 0";
+  Int64.to_int
+    (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int bound))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  int_of_hash (int64 t) bound
+
+let float t = float_of_hash (int64 t)
+
+let mix seed keys =
+  List.fold_left
+    (fun h k -> finalize (Int64.add (Int64.logxor h (Int64.of_int k)) golden))
+    (finalize (Int64.of_int seed))
+    keys

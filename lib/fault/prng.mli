@@ -1,0 +1,37 @@
+(** Deterministic splitmix64 pseudo-random numbers — no global state.
+
+    Two interfaces:
+
+    - a sequential stream ({!create}/{!int}/{!float}) for callers that
+      draw an ordered sequence of variates;
+    - a keyed, stateless hash ({!mix}) for per-decision randomness that
+      must not depend on evaluation order: hashing [(seed, keys)] gives
+      the same variate no matter how many other decisions were made
+      first, which is what makes fault injection bit-reproducible.
+
+    Same seed ⇒ identical variates, on every platform (pure [Int64]
+    arithmetic, no [Random] and no FPU dependence). *)
+
+type t
+
+val create : int -> t
+
+val int64 : t -> int64
+(** Next raw 64-bit variate. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] (53-bit resolution). *)
+
+val mix : int -> int list -> int64
+(** [mix seed keys]: stateless keyed hash of [seed] and [keys]. *)
+
+val float_of_hash : int64 -> float
+(** Map a hash to a uniform float in [\[0, 1)]. *)
+
+val int_of_hash : int64 -> int -> int
+(** [int_of_hash h bound] maps a hash to [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)

@@ -1,0 +1,36 @@
+type kind =
+  | Arc_capacity
+  | Empty_consume
+  | Ack_underflow
+  | Ack_conservation
+  | Token_conservation
+  | Nonmonotone_output
+
+type t = {
+  v_kind : kind;
+  v_node : int;
+  v_label : string;
+  v_port : int option;
+  v_time : int;
+  v_detail : string;
+}
+
+let kind_name = function
+  | Arc_capacity -> "arc-capacity"
+  | Empty_consume -> "empty-consume"
+  | Ack_underflow -> "ack-underflow"
+  | Ack_conservation -> "ack-conservation"
+  | Token_conservation -> "token-conservation"
+  | Nonmonotone_output -> "nonmonotone-output"
+
+let fatal = function
+  | Arc_capacity | Empty_consume | Ack_underflow -> true
+  | Ack_conservation | Token_conservation | Nonmonotone_output -> false
+
+let to_string v =
+  Printf.sprintf "[t=%d] %s at %s#%d%s: %s" v.v_time (kind_name v.v_kind)
+    v.v_label v.v_node
+    (match v.v_port with
+    | Some p -> Printf.sprintf ".%d" p
+    | None -> "")
+    v.v_detail

@@ -1,0 +1,39 @@
+(** Structured dataflow-protocol violations.
+
+    The paper's execution model is a contract: every arc carries at most
+    one token, every delivery is eventually acknowledged exactly once,
+    and at quiescence the acknowledges a producer is owed equal the
+    tokens of its still resident in consumers.  The sanitizer reports
+    breaches of that contract as values of this type rather than bare
+    strings, so tests can assert on the {!kind} and tools can render
+    them. *)
+
+type kind =
+  | Arc_capacity  (** a packet arrived at an occupied operand port *)
+  | Empty_consume  (** a cell consumed an operand that was not there *)
+  | Ack_underflow  (** an acknowledge arrived with none outstanding *)
+  | Ack_conservation
+      (** at quiescence, acknowledges owed to a producer do not match
+          its tokens still resident in consumers (e.g. a lost ack) *)
+  | Token_conservation
+      (** at quiescence, the engine's operand state disagrees with the
+          sanitizer's shadow accounting (engine-state corruption) *)
+  | Nonmonotone_output  (** an output packet arrived out of time order *)
+
+type t = {
+  v_kind : kind;
+  v_node : int;  (** the cell the violation is charged to *)
+  v_label : string;
+  v_port : int option;  (** operand port, when one is involved *)
+  v_time : int;  (** simulated time the violation was detected at *)
+  v_detail : string;
+}
+
+val kind_name : kind -> string
+
+val fatal : kind -> bool
+(** Fatal violations ([Arc_capacity], [Empty_consume], [Ack_underflow])
+    corrupt engine state, so the run is halted when one is recorded;
+    conservation and monotonicity breaches are end-of-run diagnostics. *)
+
+val to_string : t -> string

@@ -1,4 +1,7 @@
 open Dfg
+module FP = Fault.Fault_plan
+module San = Fault.Sanitizer
+module SR = Fault.Stall_report
 
 type stats = {
   dispatches : int;
@@ -14,9 +17,13 @@ type result = {
   stats : stats;
   end_time : int;
   quiescent : bool;
+  stall : SR.t option;
+  violations : Fault.Violation.t list;
 }
 
-type event = Deliver of { dst : int; port : int; value : Value.t } | Ack of { dst : int }
+type event =
+  | Deliver of { src : int; dst : int; port : int; value : Value.t }
+  | Ack of { dst : int }
 
 type cell = {
   node : Graph.node;
@@ -61,12 +68,15 @@ let uses_fu (op : Opcode.t) =
     true
   | _ -> false
 
-let run ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ~(arch : Arch.t)
-    g ~inputs =
+let run ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ?fault
+    ?(sanitizer = San.null) ?watchdog ~(arch : Arch.t) g ~inputs =
   (match Graph.validate g with
   | Ok () -> ()
   | Error es ->
     invalid_arg ("Machine_engine.run: invalid graph:\n" ^ String.concat "\n" es));
+  (match watchdog with
+  | Some k when k <= 0 -> invalid_arg "Machine_engine.run: watchdog window <= 0"
+  | _ -> ());
   let n = Graph.node_count g in
   let producers = Graph.producers g in
   (* block boundaries: producers feeding an Output cell *)
@@ -139,14 +149,38 @@ let run ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ~(arch : Arch.t)
   let pe_dispatches = Array.make (max 1 arch.Arch.n_pe) 0 in
   let now = ref 0 in
   let schedule t ev = Df_util.Pqueue.push events t ev in
+  let emit_fault kind ~src ~dst ~extra =
+    if Obs.Tracer.enabled tracer then
+      Obs.Tracer.emit tracer
+        (Obs.Event.Fault_injected
+           { time = !now; track = cells.(dst).pe; kind; src; dst; extra })
+  in
+  let emit_violation (v : Fault.Violation.t) =
+    if Obs.Tracer.enabled tracer then
+      Obs.Tracer.emit tracer
+        (Obs.Event.Violation
+           { time = v.Fault.Violation.v_time;
+             track = cells.(v.Fault.Violation.v_node).pe;
+             node = v.Fault.Violation.v_node;
+             label = v.Fault.Violation.v_label;
+             kind = Fault.Violation.kind_name v.Fault.Violation.v_kind;
+             detail = v.Fault.Violation.v_detail })
+  in
   (* Fire a cell: PE dispatch, optional FU execution, then packet
      delivery through RN or AM depending on the policy and whether the
      producer is a block boundary. *)
   let send cell slot value ~ready_at =
+    let src = cell.node.Graph.id in
     let dests = cell.node.Graph.dests.(slot) in
     List.iter
       (fun { Graph.ep_node; ep_port } ->
         incr result_packets;
+        let am_latency () =
+          arch.Arch.am_latency
+          + (match fault with
+            | None -> 0
+            | Some f -> FP.am_extra f ~node:src ~time:ready_at)
+        in
         let deliver_at =
           match arch.Arch.array_policy with
           | Arch.Stored when cell.boundary -> (
@@ -154,40 +188,83 @@ let run ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ~(arch : Arch.t)
             | Opcode.Output _ ->
               (* final results are stored once *)
               am_ops := !am_ops + 1;
-              pool_start ams ready_at + arch.Arch.am_latency
+              pool_start ams ready_at + am_latency ()
             | _ ->
               (* write by the producer, read by the consumer *)
               am_ops := !am_ops + 2;
-              let write_done =
-                pool_start ams ready_at + arch.Arch.am_latency
-              in
-              pool_start ams write_done + arch.Arch.am_latency)
+              let write_done = pool_start ams ready_at + am_latency () in
+              pool_start ams write_done + am_latency ())
           | _ -> ready_at + arch.Arch.rn_latency
         in
-        schedule deliver_at (Deliver { dst = ep_node; port = ep_port; value });
+        let deliver_at =
+          match fault with
+          | None -> deliver_at
+          | Some f ->
+            let extra =
+              FP.result_delay f ~time:ready_at ~src ~dst:ep_node ~port:ep_port
+            in
+            if extra > 0 then emit_fault "delay" ~src ~dst:ep_node ~extra;
+            deliver_at + extra
+        in
+        schedule deliver_at
+          (Deliver { src; dst = ep_node; port = ep_port; value });
+        (* a misbehaving routing network may deliver the same result
+           packet twice — the breach the sanitizer exists to catch *)
+        (match fault with
+        | Some f
+          when FP.duplicate f ~time:ready_at ~src ~dst:ep_node ~port:ep_port ->
+          incr result_packets;
+          emit_fault "dup" ~src ~dst:ep_node ~extra:0;
+          schedule (deliver_at + 1)
+            (Deliver { src; dst = ep_node; port = ep_port; value })
+        | _ -> ());
         if Obs.Tracer.enabled tracer then
           Obs.Tracer.emit tracer
             (Obs.Event.Deliver
                { time = deliver_at; track = cells.(ep_node).pe;
-                 src = cell.node.Graph.id; dst = ep_node; port = ep_port;
+                 src; dst = ep_node; port = ep_port;
                  value = Value.to_string value }))
       dests;
+    San.on_send sanitizer ~time:ready_at ~node:src ~count:(List.length dests);
     cell.pending_acks <- cell.pending_acks + List.length dests
   in
   let consume cell port ~acked_at =
     (match cell.node.Graph.inputs.(port) with
     | Graph.In_const _ -> ()
     | Graph.In_arc | Graph.In_arc_init _ ->
+      (match
+         San.on_consume sanitizer ~time:!now ~node:cell.node.Graph.id ~port
+       with
+      | Some v -> emit_violation v
+      | None -> ());
       cell.operands.(port) <- None;
       let src = cell.producer.(port) in
       if src >= 0 then begin
         incr ack_packets;
-        schedule (acked_at + arch.Arch.rn_latency) (Ack { dst = src });
-        if Obs.Tracer.enabled tracer then
-          Obs.Tracer.emit tracer
-            (Obs.Event.Ack
-               { time = acked_at + arch.Arch.rn_latency;
-                 track = cells.(src).pe; src = cell.node.Graph.id; dst = src })
+        let dropped =
+          match fault with
+          | None -> false
+          | Some f -> FP.drop_ack f ~time:acked_at ~src:cell.node.Graph.id ~dst:src
+        in
+        if dropped then
+          (* the acknowledge is lost in the network: its producer starves
+             and the conservation check flags it at quiescence *)
+          emit_fault "drop-ack" ~src:cell.node.Graph.id ~dst:src ~extra:0
+        else begin
+          let extra =
+            match fault with
+            | None -> 0
+            | Some f -> FP.ack_delay f ~time:acked_at ~src:cell.node.Graph.id ~dst:src
+          in
+          if extra > 0 then
+            emit_fault "ack-delay" ~src:cell.node.Graph.id ~dst:src ~extra;
+          schedule (acked_at + arch.Arch.rn_latency + extra) (Ack { dst = src });
+          if Obs.Tracer.enabled tracer then
+            Obs.Tracer.emit tracer
+              (Obs.Event.Ack
+                 { time = acked_at + arch.Arch.rn_latency + extra;
+                   track = cells.(src).pe; src = cell.node.Graph.id; dst = src })
+        end
       end);
     ()
   in
@@ -199,11 +276,25 @@ let run ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ~(arch : Arch.t)
   let dispatch cell =
     incr dispatches;
     pe_dispatches.(cell.pe) <- pe_dispatches.(cell.pe) + 1;
-    let start = pe_start pes cell.pe !now in
+    let stall =
+      match fault with
+      | None -> 0
+      | Some f -> FP.pe_stall f ~pe:cell.pe ~time:!now
+    in
+    if stall > 0 then
+      emit_fault "pe-stall" ~src:cell.node.Graph.id ~dst:cell.node.Graph.id
+        ~extra:stall;
+    let start = pe_start pes cell.pe (!now + stall) in
     let done_at =
       if uses_fu cell.node.Graph.op then begin
         incr fu_ops;
-        pool_start fus (start + 1) + arch.Arch.fu_latency
+        let fu_latency =
+          arch.Arch.fu_latency
+          + (match fault with
+            | None -> 0
+            | Some f -> FP.fu_extra f ~node:cell.node.Graph.id ~time:start)
+        in
+        pool_start fus (start + 1) + fu_latency
       end
       else start + 1
     in
@@ -362,6 +453,11 @@ let run ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ~(arch : Arch.t)
       match cell.operands.(0) with
       | Some v ->
         cell.collected <- (!now, v) :: cell.collected;
+        (match
+           San.on_output sanitizer ~time:!now ~node:cell.node.Graph.id
+         with
+        | Some viol -> emit_violation viol
+        | None -> ());
         let done_at = dispatch cell in
         consume cell 0 ~acked_at:done_at;
         true
@@ -386,55 +482,148 @@ let run ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ~(arch : Arch.t)
     mark id
   done;
   let apply_event = function
-    | Deliver { dst; port; value } ->
+    | Deliver { src; dst; port; value } ->
       let cell = cells.(dst) in
-      (match cell.operands.(port) with
-      | Some _ ->
-        invalid_arg
-          (Printf.sprintf "machine: arc capacity violated at %s#%d.%d"
-             cell.node.Graph.label dst port)
-      | None -> cell.operands.(port) <- Some value);
+      (match San.on_deliver sanitizer ~time:!now ~src ~dst ~port with
+      | Some v -> emit_violation v (* drop: engine state is untrustworthy *)
+      | None -> (
+        match cell.operands.(port) with
+        | Some _ ->
+          if not (San.enabled sanitizer) then
+            invalid_arg
+              (Printf.sprintf "machine: arc capacity violated at %s#%d.%d"
+                 cell.node.Graph.label dst port)
+        | None -> cell.operands.(port) <- Some value));
       mark dst
     | Ack { dst } ->
       let cell = cells.(dst) in
-      cell.pending_acks <- cell.pending_acks - 1;
+      (match San.on_ack sanitizer ~time:!now ~dst with
+      | Some v -> emit_violation v
+      | None -> cell.pending_acks <- cell.pending_acks - 1);
       mark dst
   in
   let quiescent = ref false in
+  let watchdog_tripped = ref false in
+  let last_progress = ref 0 in
   let continue = ref true in
   while !continue do
+    let fired_any = ref false in
     let rec drain () =
       match Queue.take_opt dirty with
       | None -> ()
       | Some id ->
         in_dirty.(id) <- false;
-        if try_fire cells.(id) then mark id;
+        if try_fire cells.(id) then begin
+          fired_any := true;
+          mark id
+        end;
         drain ()
     in
     drain ();
-    match Df_util.Pqueue.peek_priority events with
-    | None ->
-      quiescent := true;
-      continue := false
-    | Some t when t > max_time -> continue := false
-    | Some t ->
-      now := t;
-      let rec apply_all () =
-        match Df_util.Pqueue.peek_priority events with
-        | Some t' when t' = t -> (
-          match Df_util.Pqueue.pop events with
-          | Some (_, ev) ->
-            apply_event ev;
-            apply_all ()
-          | None -> ())
-        | _ -> ()
-      in
-      apply_all ()
+    if !fired_any then last_progress := !now;
+    if San.tripped sanitizer then continue := false
+    else
+      match Df_util.Pqueue.peek_priority events with
+      | None ->
+        quiescent := true;
+        continue := false
+      | Some t when t > max_time -> continue := false
+      | Some t
+        when (match watchdog with
+             | Some k -> t - !last_progress > k
+             | None -> false) ->
+        watchdog_tripped := true;
+        continue := false
+      | Some t ->
+        now := t;
+        let rec apply_all () =
+          match Df_util.Pqueue.peek_priority events with
+          | Some t' when t' = t -> (
+            match Df_util.Pqueue.pop events with
+            | Some (_, ev) ->
+              apply_event ev;
+              apply_all ()
+            | None -> ())
+          | _ -> ()
+        in
+        apply_all ()
   done;
   let outputs =
     List.map
       (fun (name, id) -> (name, List.rev cells.(id).collected))
       (Graph.outputs g)
+  in
+  if !quiescent && San.enabled sanitizer && not (San.tripped sanitizer) then
+    List.iter emit_violation
+      (San.on_quiescence sanitizer ~time:!now
+         ~held:(fun node port -> cells.(node).operands.(port) <> None));
+  let build_stall reason =
+    let blocked = ref [] in
+    let edges = ref [] in
+    Array.iter
+      (fun cell ->
+        let id = cell.node.Graph.id in
+        let held = ref [] and missing = ref [] in
+        Array.iteri
+          (fun port binding ->
+            match binding with
+            | Graph.In_const _ -> ()
+            | Graph.In_arc | Graph.In_arc_init _ -> (
+              match cell.operands.(port) with
+              | Some v -> held := (port, Value.to_string v) :: !held
+              | None ->
+                missing := port :: !missing;
+                let src = cell.producer.(port) in
+                if src >= 0 then edges := (id, src) :: !edges))
+          cell.node.Graph.inputs;
+        let held = List.rev !held and missing = List.rev !missing in
+        if cell.pending_acks > 0 then
+          Array.iter
+            (List.iter (fun { Graph.ep_node; ep_port } ->
+                 if
+                   cells.(ep_node).operands.(ep_port) <> None
+                   && cells.(ep_node).producer.(ep_port) = id
+                 then edges := (id, ep_node) :: !edges))
+            cell.node.Graph.dests;
+        let pending_inputs =
+          match cell.node.Graph.op with
+          | Opcode.Input _ -> Array.length cell.stream - cell.cursor
+          | _ -> 0
+        in
+        if
+          held <> [] || cell.queue_len > 0 || pending_inputs > 0
+          || cell.pending_acks > 0
+        then begin
+          let b =
+            {
+              SR.b_node = id;
+              b_label = cell.node.Graph.label;
+              b_op = Opcode.name cell.node.Graph.op;
+              b_missing = missing;
+              b_held = held;
+              b_pending_acks = cell.pending_acks;
+              b_queue_len = cell.queue_len;
+              b_pending_inputs = pending_inputs;
+            }
+          in
+          if Obs.Tracer.enabled tracer then
+            Obs.Tracer.emit tracer
+              (Obs.Event.Stall
+                 { time = !now; track = cell.pe; node = id;
+                   label = cell.node.Graph.label;
+                   reason = SR.blocked_line b });
+          blocked := b :: !blocked
+        end)
+      cells;
+    match List.rev !blocked with
+    | [] -> None
+    | blocked -> Some (SR.make ~time:!now ~reason ~blocked ~edges:!edges)
+  in
+  let stall =
+    if San.tripped sanitizer then None
+    else if !watchdog_tripped then build_stall SR.No_progress
+    else if !quiescent then build_stall SR.Deadlock
+    else build_stall SR.Max_time_exhausted
   in
   {
     outputs;
@@ -449,10 +638,14 @@ let run ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ~(arch : Arch.t)
       };
     end_time = !now;
     quiescent = !quiescent;
+    stall;
+    violations = San.violations sanitizer;
   }
 
 let am_fraction stats =
-  if stats.dispatches + stats.am_ops = 0 then 0.0
+  (* same class of bug as the PR 1 initiation_interval fix: an empty run
+     has no defined AM fraction — report nan, not a spurious 0 *)
+  if stats.dispatches + stats.am_ops = 0 then Float.nan
   else
     float_of_int stats.am_ops
     /. float_of_int (stats.dispatches + stats.am_ops)

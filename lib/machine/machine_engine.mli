@@ -40,11 +40,21 @@ type result = {
   stats : stats;
   end_time : int;
   quiescent : bool;
+  stall : Fault.Stall_report.t option;
+  (** Structured stall diagnostics when the run ended with work undone:
+      tokens resident at quiescence, the progress watchdog tripping, or
+      [max_time] exhaustion (previously silent).  [None] on a clean
+      drain. *)
+  violations : Fault.Violation.t list;
+  (** Protocol breaches recorded by the [sanitizer]; empty without one. *)
 }
 
 val run :
   ?max_time:int ->
   ?tracer:Obs.Tracer.t ->
+  ?fault:Fault.Fault_plan.t ->
+  ?sanitizer:Fault.Sanitizer.t ->
+  ?watchdog:int ->
   arch:Arch.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
@@ -55,11 +65,30 @@ val run :
     completion so PE occupancy is directly visible in a trace viewer —
     and deliver/ack events for the routing-network and array-memory
     traffic.  Tracing never changes results or timing.
+
+    [fault] perturbs the run deterministically (same seed, same run).
+    This engine honours the full plan: extra routing-network latency on
+    selected result and acknowledge packets, duplicated packet delivery,
+    dropped acknowledges, per-PE dispatch stalls, and FU/AM slowdown.
+    Delay-only plans cannot change output values (the Kahn-network
+    argument — {!Fault_diff} asserts it); [dup]/[drop-ack] break the
+    acknowledge discipline on purpose, for the [sanitizer] to catch.
+
+    [sanitizer] (default {!Fault.Sanitizer.null}) shadow-checks
+    one-token-per-arc and acknowledge conservation at every event;
+    breaches become {!result.violations} and a fatal breach halts the
+    run.  Without a sanitizer, an arc-capacity breach raises
+    [Invalid_argument] as before.
+
+    [watchdog] stops the run and files a [No_progress] stall report if
+    no cell fires for that many consecutive time units while packets are
+    still in flight (set it above any injected delay).
     @raise Invalid_argument on invalid graphs or missing inputs *)
 
 val am_fraction : stats -> float
 (** Fraction of operation packets that involve the array memories:
-    [am_ops / (dispatches + am_ops)]. *)
+    [am_ops / (dispatches + am_ops)] — [nan] when the run dispatched
+    nothing (no packets, no defined fraction). *)
 
 val output_values : result -> string -> Value.t list
 val output_times : result -> string -> int list

@@ -23,15 +23,32 @@ type t =
       label : string;
       reason : string;
     }
+  | Fault_injected of {
+      time : int;
+      track : int;
+      kind : string;
+      src : int;
+      dst : int;
+      extra : int;
+    }
+  | Violation of {
+      time : int;
+      track : int;
+      node : int;
+      label : string;
+      kind : string;
+      detail : string;
+    }
 
 let time = function
   | Fire { time; _ } | Deliver { time; _ } | Ack { time; _ }
-  | Stall { time; _ } ->
+  | Stall { time; _ } | Fault_injected { time; _ } | Violation { time; _ } ->
     time
 
 let track = function
   | Fire { track; _ } | Deliver { track; _ } | Ack { track; _ }
-  | Stall { track; _ } ->
+  | Stall { track; _ } | Fault_injected { track; _ } | Violation { track; _ }
+    ->
     track
 
 let describe = function
@@ -43,3 +60,8 @@ let describe = function
     Printf.sprintf "[t=%d] ACK #%d -> #%d" time src dst
   | Stall { time; node; label; reason; _ } ->
     Printf.sprintf "[t=%d] STALL %s#%d: %s" time label node reason
+  | Fault_injected { time; kind; src; dst; extra; _ } ->
+    Printf.sprintf "[t=%d] FAULT %s #%d -> #%d (+%d)" time kind src dst extra
+  | Violation { time; node; label; kind; detail; _ } ->
+    Printf.sprintf "[t=%d] VIOLATION %s at %s#%d: %s" time kind label node
+      detail

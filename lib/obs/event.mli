@@ -39,6 +39,23 @@ type t =
       label : string;
       reason : string;  (** deadlock/stall diagnostic *)
     }
+  | Fault_injected of {
+      time : int;  (** time the perturbed packet/dispatch was issued *)
+      track : int;
+      kind : string;  (** "delay", "ack-delay", "dup", "drop-ack",
+                          "pe-stall", … *)
+      src : int;
+      dst : int;
+      extra : int;  (** injected extra latency (0 for drop/dup) *)
+    }
+  | Violation of {
+      time : int;
+      track : int;
+      node : int;
+      label : string;
+      kind : string;  (** {!Fault.Violation.kind_name} of the breach *)
+      detail : string;
+    }
 
 val time : t -> int
 val track : t -> int

@@ -53,6 +53,24 @@ let json_of_event ev =
          Json.Obj
            [ ("node", Json.Int node); ("label", Json.String label);
              ("reason", Json.String reason) ]) ]
+  | Event.Fault_injected { time; track; kind; src; dst; extra } ->
+    common ~ph:"i"
+      ~name:(Printf.sprintf "fault:%s" kind)
+      ~cat:"fault" ~ts:time ~tid:track
+      [ ("s", Json.String "t");
+        ("args",
+         Json.Obj
+           [ ("kind", Json.String kind); ("src", Json.Int src);
+             ("dst", Json.Int dst); ("extra", Json.Int extra) ]) ]
+  | Event.Violation { time; track; node; label; kind; detail } ->
+    common ~ph:"i"
+      ~name:(Printf.sprintf "violation:%s" kind)
+      ~cat:"diagnostic" ~ts:time ~tid:track
+      [ ("s", Json.String "p");
+        ("args",
+         Json.Obj
+           [ ("node", Json.Int node); ("label", Json.String label);
+             ("kind", Json.String kind); ("detail", Json.String detail) ]) ]
 
 let json_of_events ?process_name ?(track_names = []) events =
   Json.Obj

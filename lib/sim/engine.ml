@@ -1,4 +1,7 @@
 open Dfg
+module FP = Fault.Fault_plan
+module San = Fault.Sanitizer
+module SR = Fault.Stall_report
 
 exception Protocol_error of string
 
@@ -8,14 +11,15 @@ type result = {
   fire_times : int list array;
   end_time : int;
   quiescent : bool;
-  stuck : string list;
+  stuck : SR.t option;
+  violations : Fault.Violation.t list;
 }
 
 
 let protocol fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
 
 type event =
-  | Deliver of { dst : int; port : int; value : Value.t }
+  | Deliver of { src : int; dst : int; port : int; value : Value.t }
   | Ack of { dst : int }
 
 (* Per-node runtime state. *)
@@ -37,11 +41,15 @@ let operand_ready cell port =
   | Graph.In_arc | Graph.In_arc_init _ -> cell.operands.(port)
 
 let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window
-    ?(tracer = Obs.Tracer.null) g ~inputs =
+    ?(tracer = Obs.Tracer.null) ?fault ?(sanitizer = San.null) ?watchdog g
+    ~inputs =
   (match Graph.validate g with
   | Ok () -> ()
   | Error es ->
     invalid_arg ("Engine.run: invalid graph:\n" ^ String.concat "\n" es));
+  (match watchdog with
+  | Some k when k <= 0 -> invalid_arg "Engine.run: watchdog window <= 0"
+  | _ -> ());
   let n = Graph.node_count g in
   let producers = Graph.producers g in
   let cells =
@@ -107,36 +115,80 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window
   let fire_times = Array.make n [] in
   let now = ref 0 in
   let schedule t ev = Df_util.Pqueue.push events t ev in
+  let emit_fault kind ~src ~dst ~extra =
+    if Obs.Tracer.enabled tracer then
+      Obs.Tracer.emit tracer
+        (Obs.Event.Fault_injected
+           { time = !now; track = dst; kind; src; dst; extra })
+  in
+  let emit_violation (v : Fault.Violation.t) =
+    if Obs.Tracer.enabled tracer then
+      Obs.Tracer.emit tracer
+        (Obs.Event.Violation
+           { time = v.Fault.Violation.v_time; track = v.Fault.Violation.v_node;
+             node = v.Fault.Violation.v_node;
+             label = v.Fault.Violation.v_label;
+             kind = Fault.Violation.kind_name v.Fault.Violation.v_kind;
+             detail = v.Fault.Violation.v_detail })
+  in
   let send_result cell slot value =
+    let src = cell.node.Graph.id in
     let dests = cell.node.Graph.dests.(slot) in
     List.iter
       (fun { Graph.ep_node; ep_port } ->
-        schedule (!now + 1) (Deliver { dst = ep_node; port = ep_port; value });
+        (* The graph-level simulator honours only delay faults: they
+           respect the one-packet-per-arc discipline, so a correct graph
+           must be insensitive to them. *)
+        let extra =
+          match fault with
+          | None -> 0
+          | Some f ->
+            FP.result_delay f ~time:!now ~src ~dst:ep_node ~port:ep_port
+        in
+        if extra > 0 then emit_fault "delay" ~src ~dst:ep_node ~extra;
+        schedule (!now + 1 + extra)
+          (Deliver { src; dst = ep_node; port = ep_port; value });
         if Obs.Tracer.enabled tracer then
           Obs.Tracer.emit tracer
             (Obs.Event.Deliver
-               { time = !now + 1; track = ep_node;
-                 src = cell.node.Graph.id; dst = ep_node; port = ep_port;
+               { time = !now + 1 + extra; track = ep_node;
+                 src; dst = ep_node; port = ep_port;
                  value = Value.to_string value }))
       dests;
+    San.on_send sanitizer ~time:!now ~node:src ~count:(List.length dests);
     cell.pending_acks <- cell.pending_acks + List.length dests
   in
   let consume cell port =
     (match cell.node.Graph.inputs.(port) with
     | Graph.In_const _ -> ()
     | Graph.In_arc | Graph.In_arc_init _ ->
+      (match
+         San.on_consume sanitizer ~time:!now ~node:cell.node.Graph.id ~port
+       with
+      | Some v -> emit_violation v
+      | None -> ());
       (match cell.operands.(port) with
-      | None -> protocol "%s#%d consumed an empty port" cell.node.Graph.label cell.node.Graph.id
+      | None ->
+        if not (San.enabled sanitizer) then
+          protocol "%s#%d consumed an empty port" cell.node.Graph.label
+            cell.node.Graph.id
       | Some _ -> ());
       cell.operands.(port) <- None;
       let src = cell.producer.(port) in
       if src >= 0 then begin
-        schedule (!now + 1) (Ack { dst = src });
+        let extra =
+          match fault with
+          | None -> 0
+          | Some f -> FP.ack_delay f ~time:!now ~src:cell.node.Graph.id ~dst:src
+        in
+        if extra > 0 then
+          emit_fault "ack-delay" ~src:cell.node.Graph.id ~dst:src ~extra;
+        schedule (!now + 1 + extra) (Ack { dst = src });
         if Obs.Tracer.enabled tracer then
           Obs.Tracer.emit tracer
             (Obs.Event.Ack
-               { time = !now + 1; track = src; src = cell.node.Graph.id;
-                 dst = src })
+               { time = !now + 1 + extra; track = src;
+                 src = cell.node.Graph.id; dst = src })
       end);
     ()
   in
@@ -314,6 +366,11 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window
       match cell.operands.(0) with
       | Some v ->
         cell.collected <- (!now, v) :: cell.collected;
+        (match
+           San.on_output sanitizer ~time:!now ~node:cell.node.Graph.id
+         with
+        | Some viol -> emit_violation viol
+        | None -> ());
         record_fire cell;
         consume cell 0;
         true
@@ -341,42 +398,41 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window
     mark id
   done;
   let apply_event = function
-    | Deliver { dst; port; value } when traced !now ->
-      Printf.eprintf "[t=%d] DELIVER %s#%d.%d <- %s\n" !now
-        (Graph.node g dst).Graph.label dst port (Value.to_string value);
+    | Deliver { src; dst; port; value } ->
+      if traced !now then
+        Printf.eprintf "[t=%d] DELIVER %s#%d.%d <- %s\n" !now
+          (Graph.node g dst).Graph.label dst port (Value.to_string value);
       let cell = cells.(dst) in
-      (match cell.operands.(port) with
-      | Some _ ->
-        protocol "arc capacity violated: %s#%d port %d received while full"
-          cell.node.Graph.label dst port
-      | None -> cell.operands.(port) <- Some value);
-      mark dst
-    | Ack { dst } when traced !now ->
-      Printf.eprintf "[t=%d] ACK -> %s#%d\n" !now
-        (Graph.node g dst).Graph.label dst;
-      let cell = cells.(dst) in
-      if cell.pending_acks <= 0 then
-        protocol "%s#%d received an unexpected acknowledge"
-          cell.node.Graph.label dst;
-      cell.pending_acks <- cell.pending_acks - 1;
-      mark dst
-    | Deliver { dst; port; value } ->
-      let cell = cells.(dst) in
-      (match cell.operands.(port) with
-      | Some _ ->
-        protocol "arc capacity violated: %s#%d port %d received while full"
-          cell.node.Graph.label dst port
-      | None -> cell.operands.(port) <- Some value);
+      (match San.on_deliver sanitizer ~time:!now ~src ~dst ~port with
+      | Some v -> emit_violation v (* drop: engine state is untrustworthy *)
+      | None -> (
+        match cell.operands.(port) with
+        | Some _ ->
+          if not (San.enabled sanitizer) then
+            protocol
+              "arc capacity violated: %s#%d port %d received while full"
+              cell.node.Graph.label dst port
+        | None -> cell.operands.(port) <- Some value));
       mark dst
     | Ack { dst } ->
+      if traced !now then
+        Printf.eprintf "[t=%d] ACK -> %s#%d\n" !now
+          (Graph.node g dst).Graph.label dst;
       let cell = cells.(dst) in
-      if cell.pending_acks <= 0 then
-        protocol "%s#%d received an unexpected acknowledge"
-          cell.node.Graph.label dst;
-      cell.pending_acks <- cell.pending_acks - 1;
+      (match San.on_ack sanitizer ~time:!now ~dst with
+      | Some v -> emit_violation v
+      | None ->
+        if cell.pending_acks <= 0 then begin
+          if not (San.enabled sanitizer) then
+            protocol "%s#%d received an unexpected acknowledge"
+              cell.node.Graph.label dst
+        end
+        else cell.pending_acks <- cell.pending_acks - 1);
       mark dst
   in
   let quiescent = ref false in
+  let watchdog_tripped = ref false in
+  let last_progress = ref 0 in
   let continue = ref true in
   while !continue do
     (* fire everything enabled at the current time *)
@@ -394,74 +450,115 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window
         drain_dirty ()
     in
     drain_dirty ();
-    ignore !fired_any;  (* progress is tracked through the event queue *)
+    if !fired_any then last_progress := !now;
     (* advance time *)
-    match Df_util.Pqueue.peek_priority events with
-    | None ->
-      quiescent := true;
-      continue := false
-    | Some t when t > max_time -> continue := false
-    | Some t ->
-      now := t;
-      let rec apply_all () =
-        match Df_util.Pqueue.peek_priority events with
-        | Some t' when t' = t -> (
-          match Df_util.Pqueue.pop events with
-          | Some (_, ev) ->
-            apply_event ev;
-            apply_all ()
-          | None -> ())
-        | _ -> ()
-      in
-      apply_all ()
+    if San.tripped sanitizer then continue := false
+    else
+      match Df_util.Pqueue.peek_priority events with
+      | None ->
+        quiescent := true;
+        continue := false
+      | Some t when t > max_time -> continue := false
+      | Some t
+        when (match watchdog with
+             | Some k -> t - !last_progress > k
+             | None -> false) ->
+        (* tokens are in flight but no cell has fired for a full
+           watchdog window: stop and report instead of spinning on *)
+        watchdog_tripped := true;
+        continue := false
+      | Some t ->
+        now := t;
+        let rec apply_all () =
+          match Df_util.Pqueue.peek_priority events with
+          | Some t' when t' = t -> (
+            match Df_util.Pqueue.pop events with
+            | Some (_, ev) ->
+              apply_event ev;
+              apply_all ()
+            | None -> ())
+          | _ -> ()
+        in
+        apply_all ()
   done;
   let outputs =
     List.map
       (fun (name, id) -> (name, List.rev cells.(id).collected))
       (Graph.outputs g)
   in
+  if !quiescent && San.enabled sanitizer && not (San.tripped sanitizer) then
+    List.iter emit_violation
+      (San.on_quiescence sanitizer ~time:!now
+         ~held:(fun node port -> cells.(node).operands.(port) <> None));
+  (* Structured stall report: which cells still hold or await something,
+     and the wait-for cycle when one explains the deadlock. *)
+  let build_stall reason =
+    let blocked = ref [] in
+    let edges = ref [] in
+    Array.iter
+      (fun cell ->
+        let id = cell.node.Graph.id in
+        let held = ref [] and missing = ref [] in
+        Array.iteri
+          (fun port binding ->
+            match binding with
+            | Graph.In_const _ -> ()
+            | Graph.In_arc | Graph.In_arc_init _ -> (
+              match cell.operands.(port) with
+              | Some v -> held := (port, Value.to_string v) :: !held
+              | None ->
+                missing := port :: !missing;
+                let src = cell.producer.(port) in
+                if src >= 0 then edges := (id, src) :: !edges))
+          cell.node.Graph.inputs;
+        let held = List.rev !held and missing = List.rev !missing in
+        if cell.pending_acks > 0 then
+          Array.iter
+            (List.iter (fun { Graph.ep_node; ep_port } ->
+                 if
+                   cells.(ep_node).operands.(ep_port) <> None
+                   && cells.(ep_node).producer.(ep_port) = id
+                 then edges := (id, ep_node) :: !edges))
+            cell.node.Graph.dests;
+        let pending_inputs =
+          match cell.node.Graph.op with
+          | Opcode.Input _ -> Array.length cell.stream - cell.cursor
+          | _ -> 0
+        in
+        if
+          held <> [] || cell.queue_len > 0 || pending_inputs > 0
+          || cell.pending_acks > 0
+        then begin
+          let b =
+            {
+              SR.b_node = id;
+              b_label = cell.node.Graph.label;
+              b_op = Opcode.name cell.node.Graph.op;
+              b_missing = missing;
+              b_held = held;
+              b_pending_acks = cell.pending_acks;
+              b_queue_len = cell.queue_len;
+              b_pending_inputs = pending_inputs;
+            }
+          in
+          if Obs.Tracer.enabled tracer then
+            Obs.Tracer.emit tracer
+              (Obs.Event.Stall
+                 { time = !now; track = id; node = id;
+                   label = cell.node.Graph.label;
+                   reason = SR.blocked_line b });
+          blocked := b :: !blocked
+        end)
+      cells;
+    match List.rev !blocked with
+    | [] -> None
+    | blocked -> Some (SR.make ~time:!now ~reason ~blocked ~edges:!edges)
+  in
   let stuck =
-    if !quiescent then
-      Array.to_list cells
-      |> List.filter_map (fun cell ->
-             let held =
-               Array.to_list cell.operands
-               |> List.mapi (fun port v -> (port, v))
-               |> List.filter_map (fun (port, v) ->
-                      Option.map (fun v -> (port, v)) v)
-             in
-             let pending_input =
-               match cell.node.Graph.op with
-               | Opcode.Input _ -> Array.length cell.stream - cell.cursor
-               | _ -> 0
-             in
-             if held = [] && cell.queue_len = 0 && pending_input = 0 then None
-             else begin
-               let desc =
-                 Printf.sprintf "%s#%d holds %s%s%s" cell.node.Graph.label
-                   cell.node.Graph.id
-                   (String.concat ","
-                      (List.map
-                         (fun (port, v) ->
-                           Printf.sprintf "port%d=%s" port
-                             (Value.to_string v))
-                         held))
-                   (if cell.queue_len > 0 then
-                      Printf.sprintf " fifo(%d items)" cell.queue_len
-                    else "")
-                   (if pending_input > 0 then
-                      Printf.sprintf " %d unsent inputs" pending_input
-                    else "")
-               in
-               if Obs.Tracer.enabled tracer then
-                 Obs.Tracer.emit tracer
-                   (Obs.Event.Stall
-                      { time = !now; track = cell.node.Graph.id;
-                        node = cell.node.Graph.id;
-                        label = cell.node.Graph.label; reason = desc });
-               Some desc
-             end)
-    else []
+    if San.tripped sanitizer then None
+    else if !watchdog_tripped then build_stall SR.No_progress
+    else if !quiescent then build_stall SR.Deadlock
+    else build_stall SR.Max_time_exhausted
   in
   {
     outputs;
@@ -470,6 +567,7 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window
     end_time = !now;
     quiescent = !quiescent;
     stuck;
+    violations = San.violations sanitizer;
   }
 
 let output_values result name =

@@ -10,7 +10,9 @@
 
     Arcs have capacity 1: delivering a packet to an occupied operand port
     is a protocol violation and raises {!Protocol_error} (it means the
-    acknowledge discipline was broken, e.g. by a mis-built graph).
+    acknowledge discipline was broken, e.g. by a mis-built graph).  With a
+    [?sanitizer] the same breach is recorded as a structured
+    {!Fault.Violation.t} instead and the run halts.
 
     Ports declared [In_arc_init] start loaded with a token, and their
     producers start owing one acknowledge — operand values written at
@@ -28,9 +30,13 @@ type result = {
                                     recorded when [record_firings] is set *)
   end_time : int;               (** time of the last event processed *)
   quiescent : bool;             (** no events left before [max_time] *)
-  stuck : string list;
-  (** When not all input tokens were consumed at quiescence: a description
-      of nodes still holding operands — deadlock diagnostics. *)
+  stuck : Fault.Stall_report.t option;
+  (** A structured stall report when the run ended with work undone:
+      tokens resident at quiescence (deadlock diagnostics — also the
+      normal end state of primed feedback loops), the progress watchdog
+      tripping, or [max_time] exhaustion.  [None] on a clean drain. *)
+  violations : Fault.Violation.t list;
+  (** Protocol breaches recorded by the [sanitizer]; empty without one. *)
 }
 
 
@@ -39,6 +45,9 @@ val run :
   ?record_firings:bool ->
   ?trace_window:int * int ->
   ?tracer:Obs.Tracer.t ->
+  ?fault:Fault.Fault_plan.t ->
+  ?sanitizer:Fault.Sanitizer.t ->
+  ?watchdog:int ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
   result
@@ -52,7 +61,22 @@ val run :
     for every firing, packet delivery and acknowledge, plus stall
     diagnostics at quiescence — export with {!Obs.Perfetto}.  Tracing
     never changes simulation results or timing.
-    @raise Protocol_error on arc-capacity violations
+
+    [fault] perturbs the run deterministically (same seed, same run).
+    This engine honours only the plan's {e delay} faults — extra latency
+    on result and acknowledge packets — which never break the
+    acknowledge discipline, so output streams must be unchanged
+    ({!Fault_diff} asserts exactly that).
+
+    [sanitizer] (default {!Fault.Sanitizer.null}) shadow-checks the
+    one-token-per-arc and acknowledge-conservation invariants at every
+    event; breaches become {!result.violations} instead of raised
+    strings, and a fatal breach halts the run.
+
+    [watchdog] stops the run and files a [No_progress] stall report if
+    no cell fires for that many consecutive time units while packets are
+    still in flight (set it above any injected delay).
+    @raise Protocol_error on arc-capacity violations (without sanitizer)
     @raise Invalid_argument on missing/unknown input streams *)
 
 val output_values : result -> string -> Value.t list

@@ -18,4 +18,5 @@ let () =
       ("compiler.driver", Test_driver.suite);
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite);
     ]

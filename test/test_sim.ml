@@ -295,8 +295,17 @@ let test_deadlock_diagnosis () =
   Graph.connect g ~src:merge ~dst:out ~port:0;
   let result = Engine.run g ~inputs:[ ("a", ints [ 7 ]); ("c", []) ] in
   Alcotest.(check bool) "quiescent" true result.Engine.quiescent;
-  Alcotest.(check bool) "stuck report non-empty" true
-    (result.Engine.stuck <> []);
+  Alcotest.(check bool) "stall report present" true
+    (result.Engine.stuck <> None);
+  (match result.Engine.stuck with
+  | None -> ()
+  | Some sr ->
+    Alcotest.(check bool) "reported as deadlock" true
+      (sr.Fault.Stall_report.sr_reason = Fault.Stall_report.Deadlock);
+    Alcotest.(check bool) "merge cell listed" true
+      (List.exists
+         (fun b -> b.Fault.Stall_report.b_node = merge)
+         sr.Fault.Stall_report.sr_blocked));
   Alcotest.(check (list int)) "no output" []
     (List.map (fun _ -> 0) (Engine.output_values result "r"))
 
