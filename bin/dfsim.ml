@@ -90,6 +90,9 @@ let machine_registry (r : ME.result) =
   incr m "machine.am_ops" ~by:s.ME.am_ops;
   incr m "machine.result_packets" ~by:s.ME.result_packets;
   incr m "machine.ack_packets" ~by:s.ME.ack_packets;
+  incr m "machine.retransmits" ~by:s.ME.retransmits;
+  incr m "machine.checkpoints" ~by:r.ME.checkpoints;
+  incr m "machine.recoveries" ~by:r.ME.recoveries;
   set m "machine.end_time" (float_of_int r.ME.end_time);
   set m "machine.quiescent" (if r.ME.quiescent then 1.0 else 0.0);
   incr m "machine.stalled_cells"
@@ -125,6 +128,13 @@ let print_diagnostics ?(show_deadlock = false) ~violations ~stall () =
          || sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock ->
     print_string (Fault.Stall_report.to_string sr)
   | Some _ | None -> ()
+
+let parse_recover_opt = function
+  | None -> None
+  | Some spec -> (
+    match Recover.of_string spec with
+    | Ok p -> Some p
+    | Error msg -> failwith (Printf.sprintf "--recover %s: %s" spec msg))
 
 let parse_fault_opts inject sanitize watchdog =
   let fault =
@@ -212,11 +222,20 @@ let run_loaded path waves seed report trace_out metrics_out ~fault ~sanitizer
   `Ok ()
 
 let run path waves seed input_files machine pe stored no_check report load
-    trace_out metrics_out inject sanitize watchdog =
+    trace_out metrics_out inject sanitize watchdog recover checkpoint_out
+    restore_from =
   try
     let fault, sanitizer, watchdog =
       parse_fault_opts inject sanitize watchdog
     in
+    let recovery = parse_recover_opt recover in
+    if
+      (not machine)
+      && (recovery <> None || checkpoint_out <> None || restore_from <> None)
+    then
+      failwith
+        "--recover/--checkpoint/--restore apply to the machine simulator \
+         (add --machine)";
     if load then
       run_loaded path waves seed report trace_out metrics_out ~fault ~sanitizer
         ~watchdog
@@ -253,13 +272,34 @@ let run path waves seed input_files machine pe stored no_check report load
           inputs
       in
       let tracer = tracer_for trace_out in
-      let r =
-        ME.run ~arch ~tracer ?fault
-          ~sanitizer:(sanitizer compiled.PC.cp_graph)
-          ?watchdog compiled.PC.cp_graph ~inputs:feeds
+      let g = compiled.PC.cp_graph in
+      let m =
+        ME.create ~arch ~tracer ?fault ~sanitizer:(sanitizer g) ?watchdog
+          ?recovery g ~inputs:feeds
       in
-      print_diagnostics ~violations:r.ME.violations ~stall:r.ME.stall ();
+      (match restore_from with
+      | None -> ()
+      | Some p -> (
+        match Recover.Checkpoint.load ~path:p ~graph:g with
+        | Ok sn ->
+          ME.restore m sn;
+          Printf.printf "restored checkpoint %s (t=%d)\n" p sn.ME.sn_time
+        | Error e -> failwith (Printf.sprintf "--restore %s: %s" p e)));
+      ME.advance m ~until:max_int;
+      let r = ME.result m in
+      (* a deadlock caused by a dead PE is never the benign end state of
+         a primed loop: always show it *)
+      let show_deadlock =
+        match r.ME.stall with
+        | Some sr -> sr.Fault.Stall_report.sr_dead_pes <> []
+        | None -> false
+      in
+      print_diagnostics ~show_deadlock ~violations:r.ME.violations
+        ~stall:r.ME.stall ();
       Printf.printf "machine: %s\n" (Arch.describe arch);
+      (match recovery with
+      | Some p -> Printf.printf "recovery: %s\n" (Recover.describe p)
+      | None -> ());
       Printf.printf "finished at t=%d (quiescent=%b)\n" r.ME.end_time
         r.ME.quiescent;
       let s = r.ME.stats in
@@ -267,6 +307,14 @@ let run path waves seed input_files machine pe stored no_check report load
         "dispatches=%d fu=%d am=%d results=%d acks=%d am-fraction=%.3f\n"
         s.ME.dispatches s.ME.fu_ops s.ME.am_ops s.ME.result_packets
         s.ME.ack_packets (ME.am_fraction s);
+      if recovery <> None then
+        Printf.printf "retransmits=%d checkpoints=%d recoveries=%d\n"
+          s.ME.retransmits r.ME.checkpoints r.ME.recoveries;
+      (match checkpoint_out with
+      | None -> ()
+      | Some p ->
+        Recover.Checkpoint.save ~path:p ~graph:g (ME.snapshot m);
+        Printf.printf "wrote checkpoint %s (t=%d)\n" p r.ME.end_time);
       write_trace ~tracks:(pe_tracks arch.Arch.n_pe) tracer trace_out;
       write_metrics (machine_registry r) metrics_out
     end
@@ -382,10 +430,11 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "inject" ] ~docv:"SPEC"
              ~doc:"inject deterministic faults; SPEC is comma-separated \
-                   key=value with keys seed, delay, dup, drop-ack, stall \
-                   (probabilities), delay-max, stall-max, fu-slow, am-slow \
-                   (magnitudes), e.g. seed=7,delay=0.2,dup=0.05; the same \
-                   SPEC always perturbs the same packets")
+                   key=value with keys seed, delay, dup, drop-ack, drop, \
+                   stall (probabilities), delay-max, stall-max, fu-slow, \
+                   am-slow, crash-at (magnitudes), crash-pe (PE index), \
+                   e.g. seed=7,delay=0.2,dup=0.05; the same SPEC always \
+                   perturbs the same packets")
   in
   let sanitize =
     Arg.(value & flag
@@ -400,10 +449,34 @@ let cmd =
              ~doc:"stop and print a stall report if no cell fires for N \
                    consecutive time units while packets are in flight")
   in
+  let recover =
+    Arg.(value & opt ~vopt:(Some "") (some string) None
+         & info [ "recover" ] ~docv:"SPEC"
+             ~doc:"enable checkpoint/retransmission recovery (machine mode): \
+                   lost packets and acknowledges are resent and a crash-pe \
+                   fault rolls back to the last checkpoint instead of \
+                   wedging.  SPEC is comma-separated key=int over every \
+                   (checkpoint interval), timeout, backoff, retries; bare \
+                   --recover uses the defaults")
+  in
+  let checkpoint_out =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"OUT"
+             ~doc:"write the final machine state as a versioned checkpoint \
+                   JSON (machine mode); a later run can --restore it")
+  in
+  let restore_from =
+    Arg.(value & opt (some string) None
+         & info [ "restore" ] ~docv:"FILE"
+             ~doc:"restore machine state from a checkpoint written by \
+                   --checkpoint before running (machine mode); the resumed \
+                   run is bit-identical to the one that saved it")
+  in
   let term =
     Term.(ret (const run $ path $ waves $ seed $ input_files $ machine $ pe
                $ stored $ no_check $ report $ load $ trace_out $ metrics_out
-               $ inject $ sanitize $ watchdog))
+               $ inject $ sanitize $ watchdog $ recover $ checkpoint_out
+               $ restore_from))
   in
   Cmd.v
     (Cmd.info "dfsim" ~version:"1.0"

@@ -1,21 +1,28 @@
 (* faultcheck: differential fault suite over the kernel library.
 
    For every kernel and every seed, run the compiled graph clean and
-   under a delay-only fault plan, and require the output streams to be
-   identical — the executable form of the paper's claim that the
-   acknowledge discipline makes pipelines latency-insensitive.  Any
+   under a fault plan, and require the output streams to be identical —
+   the executable form of the paper's claim that the acknowledge
+   discipline makes pipelines latency-insensitive, extended to lossy
+   and crashing machines when a recovery policy is attached.  Any
    mismatch, sanitizer violation or unexpected stall writes a dump file
-   into --out and fails the run (CI uploads the dumps as artifacts).
+   (plus a machine-state checkpoint for post-mortems) into --out, prints
+   a ready-to-paste repro command, and fails the run (CI uploads the
+   dumps as artifacts).
 
    Examples:
      faultcheck --seeds 101,202,303 --out fault-reports
-     faultcheck --machine --delay 0.5 *)
+     faultcheck --machine --delay 0.5
+     faultcheck --machine --recover --drop-ack 0.15
+     faultcheck --machine --recover --crash-pe 2 --crash-at 120
+     faultcheck --kernel hydro --seeds 42 *)
 
 module PC = Compiler.Program_compile
 module D = Compiler.Driver
 module K = Kernels
 module FP = Fault.Fault_plan
 module FD = Fault_diff
+module ME = Machine.Machine_engine
 
 let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
 
@@ -29,7 +36,40 @@ let feeds (compiled : PC.compiled) ~waves kernel_inputs =
       | None -> failwith (Printf.sprintf "kernel input %s missing" name))
     compiled.PC.cp_inputs
 
-let dump_failure ~dir ~kernel ~seed ~engine (o : FD.outcome) =
+type config = {
+  dir : string;
+  size : int;
+  waves : int;
+  spec : FP.spec;  (* seed overwritten per run *)
+  machine : bool;
+  recovery : ME.recovery option;
+  kernel_filter : string option;
+}
+
+(* the exact command line that reruns one failing combination *)
+let repro_command cfg ~kernel ~seed =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "faultcheck";
+  Printf.bprintf b " --kernel %s --seeds %d" kernel seed;
+  Printf.bprintf b " --size %d --waves %d" cfg.size cfg.waves;
+  let s = cfg.spec in
+  if s.FP.delay_prob <> 0.0 then Printf.bprintf b " --delay %g" s.FP.delay_prob;
+  if s.FP.delay_max <> FP.none.FP.delay_max then
+    Printf.bprintf b " --delay-max %d" s.FP.delay_max;
+  if s.FP.dup_prob <> 0.0 then Printf.bprintf b " --dup %g" s.FP.dup_prob;
+  if s.FP.drop_ack_prob <> 0.0 then
+    Printf.bprintf b " --drop-ack %g" s.FP.drop_ack_prob;
+  if s.FP.drop_prob <> 0.0 then Printf.bprintf b " --drop %g" s.FP.drop_prob;
+  if s.FP.crash_pe >= 0 then
+    Printf.bprintf b " --crash-pe %d --crash-at %d" s.FP.crash_pe s.FP.crash_at;
+  (match cfg.recovery with
+  | Some p -> Printf.bprintf b " --recover %s" (Recover.to_string p)
+  | None -> ());
+  if cfg.machine then Buffer.add_string b " --machine";
+  Buffer.contents b
+
+let dump_failure cfg ~graph ~kernel ~seed ~engine (o : FD.outcome) =
+  let dir = cfg.dir in
   (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
    with Sys_error _ -> ());
   let path = Filename.concat dir
@@ -39,8 +79,11 @@ let dump_failure ~dir ~kernel ~seed ~engine (o : FD.outcome) =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       Printf.fprintf oc
-        "kernel %s, engine %s, seed %d\nclean end %d, faulted end %d\n\n"
-        kernel engine seed o.FD.clean_end o.FD.faulted_end;
+        "kernel %s, engine %s, seed %d\nclean end %d, faulted end %d\n\
+         recoveries %d\nrepro: %s\n\n"
+        kernel engine seed o.FD.clean_end o.FD.faulted_end
+        o.FD.faulted_recoveries
+        (repro_command cfg ~kernel ~seed);
       if o.FD.mismatches <> [] then begin
         output_string oc "output mismatches:\n";
         List.iter
@@ -57,25 +100,37 @@ let dump_failure ~dir ~kernel ~seed ~engine (o : FD.outcome) =
       match o.FD.faulted_stall with
       | Some sr -> output_string oc (Fault.Stall_report.to_string sr)
       | None -> ());
+  (* the final machine state, for post-mortems under dfsim --restore *)
+  (match o.FD.faulted_snapshot with
+  | Some sn ->
+    let spath = Filename.concat dir
+        (Printf.sprintf "%s-%s-seed%d-state.json" kernel engine seed) in
+    Recover.Checkpoint.save ~path:spath ~graph sn
+  | None -> ());
   path
 
 (* a Deadlock report at quiescence is the normal end state of primed
    feedback loops; only watchdog trips and max_time exhaustion are
-   unexpected under delay-only faults *)
+   unexpected under survivable faults *)
 let stall_unexpected = function
   | None -> false
   | Some sr -> sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock
 
-let check_one ~dir ~size ~waves ~prob ~max_delay ~machine ~seed
-    (k : K.kernel) =
+let check_one cfg ~seed (k : K.kernel) =
   let st = Random.State.make [| Hashtbl.hash k.K.name |] in
   let _, compiled =
-    D.compile_source ~scalar_inputs:k.K.scalar_inputs (k.K.source size)
+    D.compile_source ~scalar_inputs:k.K.scalar_inputs (k.K.source cfg.size)
   in
-  let inputs = feeds compiled ~waves (k.K.inputs size st) in
-  let plan = FP.make (FP.delays ~prob ~max_delay seed) in
-  (* the watchdog must sit above any injected delay *)
-  let watchdog = 100 + (4 * max_delay) in
+  let inputs = feeds compiled ~waves:cfg.waves (k.K.inputs cfg.size st) in
+  let plan = FP.make { cfg.spec with FP.seed } in
+  (* the watchdog must sit above any injected delay — and above the full
+     retransmission window when the recovery protocol is on *)
+  let watchdog =
+    100 + (4 * cfg.spec.FP.delay_max)
+    + (match cfg.recovery with
+      | Some r -> 17 * r.ME.retransmit_after
+      | None -> 0)
+  in
   let run engine diff =
     let o = diff () in
     let ok =
@@ -83,57 +138,114 @@ let check_one ~dir ~size ~waves ~prob ~max_delay ~machine ~seed
       && not (stall_unexpected o.FD.faulted_stall)
     in
     if ok then begin
-      Printf.printf "ok   %-14s %-7s seed=%d (clean end %d, faulted end %d)\n"
-        k.K.name engine seed o.FD.clean_end o.FD.faulted_end;
+      Printf.printf "ok   %-14s %-7s seed=%d (clean end %d, faulted end %d%s)\n"
+        k.K.name engine seed o.FD.clean_end o.FD.faulted_end
+        (if o.FD.faulted_recoveries > 0 then
+           Printf.sprintf ", %d recovery" o.FD.faulted_recoveries
+         else "");
       true
     end
     else begin
-      let path = dump_failure ~dir ~kernel:k.K.name ~seed ~engine o in
+      let path =
+        dump_failure cfg ~graph:compiled.PC.cp_graph ~kernel:k.K.name ~seed
+          ~engine o
+      in
       Printf.printf
-        "FAIL %-14s %-7s seed=%d (%d mismatches, %d violations) -> %s\n"
+        "FAIL %-14s %-7s seed=%d (%d mismatches, %d violations) -> %s\n\
+        \     repro: %s\n"
         k.K.name engine seed
         (List.length o.FD.mismatches)
         (List.length o.FD.faulted_violations)
-        path;
+        path
+        (repro_command cfg ~kernel:k.K.name ~seed);
       false
     end
   in
   let g = compiled.PC.cp_graph in
+  (* the graph-level simulator honours delay faults only: running it
+     under a protocol-breaking plan would vacuously pass *)
   let ok_sim =
-    run "sim" (fun () -> FD.sim ~watchdog ~plan g ~inputs)
+    FP.delay_only plan
+    |> not
+    || run "sim" (fun () -> FD.sim ~watchdog ~plan g ~inputs)
   in
   let ok_machine =
-    (not machine)
-    || run "machine" (fun () -> FD.machine ~watchdog ~plan g ~inputs)
+    (not cfg.machine)
+    || run "machine" (fun () ->
+           FD.machine ~watchdog ?recovery:cfg.recovery ~plan g ~inputs)
   in
   ok_sim && ok_machine
 
-let main seeds dir size waves prob max_delay machine =
+let main seeds dir kernel_filter size waves prob max_delay dup drop_ack drop
+    crash_pe crash_at recover machine =
+  let recovery =
+    match recover with
+    | None -> None
+    | Some spec -> (
+      match Recover.of_string spec with
+      | Ok p -> Some p
+      | Error e -> failwith (Printf.sprintf "--recover %s: %s" spec e))
+  in
+  let spec =
+    { FP.none with
+      FP.delay_prob = prob;
+      delay_max = max_delay;
+      dup_prob = dup;
+      drop_ack_prob = drop_ack;
+      drop_prob = drop;
+      crash_pe;
+      crash_at;
+    }
+  in
+  let cfg = { dir; size; waves; spec; machine; recovery; kernel_filter } in
+  let kernels =
+    match kernel_filter with
+    | None -> K.all
+    | Some name -> (
+      match List.filter (fun (k : K.kernel) -> k.K.name = name) K.all with
+      | [] ->
+        failwith
+          (Printf.sprintf "--kernel %s: unknown kernel (have: %s)" name
+             (String.concat ", "
+                (List.map (fun (k : K.kernel) -> k.K.name) K.all)))
+      | ks -> ks)
+  in
+  if (not (FP.delay_only (FP.make spec))) && not machine then
+    print_endline
+      "note: dup/drop/drop-ack/crash faults are machine-only; the sim \
+       differential is skipped for them (add --machine)";
   let failures = ref 0 in
+  let runs = ref 0 in
   List.iter
     (fun (k : K.kernel) ->
       List.iter
         (fun seed ->
-          match
-            check_one ~dir ~size ~waves ~prob ~max_delay ~machine ~seed k
-          with
+          incr runs;
+          match check_one cfg ~seed k with
           | true -> ()
           | false -> incr failures
           | exception e ->
             incr failures;
-            Printf.printf "FAIL %-14s seed=%d raised %s\n" k.K.name seed
-              (Printexc.to_string e))
+            Printf.printf "FAIL %-14s seed=%d raised %s\n     repro: %s\n"
+              k.K.name seed (Printexc.to_string e)
+              (repro_command cfg ~kernel:k.K.name ~seed))
         seeds)
-    K.all;
-  let total = List.length K.all * List.length seeds in
+    kernels;
   if !failures = 0 then begin
     Printf.printf
-      "all %d kernel/seed runs: faulted outputs identical to clean\n" total;
+      "all %d kernel/seed runs: faulted outputs identical to clean\n" !runs;
     `Ok ()
   end
   else
     `Error
-      (false, Printf.sprintf "%d of %d kernel/seed runs failed" !failures total)
+      (false, Printf.sprintf "%d of %d kernel/seed runs failed" !failures !runs)
+
+let main_safe seeds dir kernel size waves prob max_delay dup drop_ack drop
+    crash_pe crash_at recover machine =
+  try
+    main seeds dir kernel size waves prob max_delay dup drop_ack drop crash_pe
+      crash_at recover machine
+  with Failure msg -> `Error (false, msg)
 
 let cmd =
   let open Cmdliner in
@@ -146,6 +258,11 @@ let cmd =
     Arg.(value & opt string "fault-reports"
          & info [ "out" ] ~docv:"DIR"
              ~doc:"directory for failure dumps (created on first failure)")
+  in
+  let kernel =
+    Arg.(value & opt (some string) None
+         & info [ "kernel" ] ~docv:"NAME"
+             ~doc:"check a single kernel instead of the whole library")
   in
   let size =
     Arg.(value & opt int 32
@@ -163,19 +280,53 @@ let cmd =
     Arg.(value & opt int 8
          & info [ "delay-max" ] ~docv:"N" ~doc:"largest injected delay")
   in
+  let dup =
+    Arg.(value & opt float 0.0
+         & info [ "dup" ] ~docv:"P"
+             ~doc:"per-packet duplication probability (machine)")
+  in
+  let drop_ack =
+    Arg.(value & opt float 0.0
+         & info [ "drop-ack" ] ~docv:"P"
+             ~doc:"per-acknowledge loss probability (machine)")
+  in
+  let drop =
+    Arg.(value & opt float 0.0
+         & info [ "drop" ] ~docv:"P"
+             ~doc:"per-result-packet loss probability (machine)")
+  in
+  let crash_pe =
+    Arg.(value & opt int (-1)
+         & info [ "crash-pe" ] ~docv:"N"
+             ~doc:"fail-stop this processing element (machine; -1 = none)")
+  in
+  let crash_at =
+    Arg.(value & opt int 0
+         & info [ "crash-at" ] ~docv:"T"
+             ~doc:"simulated time of the --crash-pe fail-stop")
+  in
+  let recover =
+    Arg.(value & opt ~vopt:(Some "") (some string) None
+         & info [ "recover" ] ~docv:"SPEC"
+             ~doc:"attach a checkpoint/retransmission recovery policy to the \
+                   faulted machine runs (keys every, timeout, backoff, \
+                   retries; bare --recover uses the defaults) — lossy and \
+                   crashing runs are then expected to match clean runs")
+  in
   let machine =
     Arg.(value & flag
          & info [ "machine" ]
              ~doc:"also run the differential on the machine-level simulator")
   in
   let term =
-    Term.(ret (const main $ seeds $ dir $ size $ waves $ prob $ max_delay
-               $ machine))
+    Term.(ret (const main_safe $ seeds $ dir $ kernel $ size $ waves $ prob
+               $ max_delay $ dup $ drop_ack $ drop $ crash_pe $ crash_at
+               $ recover $ machine))
   in
   Cmd.v
     (Cmd.info "faultcheck" ~version:"1.0"
-       ~doc:"differential fault suite: delay-faulted kernel runs must \
-             match clean runs value for value")
+       ~doc:"differential fault suite: faulted kernel runs must match \
+             clean runs value for value")
     term
 
 let () = exit (Cmdliner.Cmd.eval cmd)

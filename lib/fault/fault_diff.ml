@@ -14,6 +14,8 @@ type outcome = {
   faulted_end : int;
   faulted_stall : Fault.Stall_report.t option;
   faulted_violations : Fault.Violation.t list;
+  faulted_recoveries : int;
+  faulted_snapshot : Machine.Machine_engine.snapshot option;
 }
 
 let mismatch_cap = 16
@@ -60,8 +62,9 @@ let compare_outputs ~clean ~faulted =
     clean;
   List.rev !out
 
-let outcome ~clean_outputs ~faulted_outputs ~clean_end ~faulted_end
-    ~faulted_stall ~faulted_violations =
+let outcome ?(faulted_recoveries = 0) ?faulted_snapshot ~clean_outputs
+    ~faulted_outputs ~clean_end ~faulted_end ~faulted_stall
+    ~faulted_violations () =
   let strip outs = List.map (fun (name, vs) -> (name, List.map snd vs)) outs in
   let mismatches =
     compare_outputs ~clean:(strip clean_outputs)
@@ -74,6 +77,8 @@ let outcome ~clean_outputs ~faulted_outputs ~clean_end ~faulted_end
     faulted_end;
     faulted_stall;
     faulted_violations;
+    faulted_recoveries;
+    faulted_snapshot;
   }
 
 let sim ?max_time ?watchdog ?(sanitize = true) ~plan g ~inputs =
@@ -89,18 +94,23 @@ let sim ?max_time ?watchdog ?(sanitize = true) ~plan g ~inputs =
     ~clean_end:clean.Sim.Engine.end_time
     ~faulted_end:faulted.Sim.Engine.end_time
     ~faulted_stall:faulted.Sim.Engine.stuck
-    ~faulted_violations:faulted.Sim.Engine.violations
+    ~faulted_violations:faulted.Sim.Engine.violations ()
 
 let machine ?max_time ?watchdog ?(sanitize = true)
-    ?(arch = Machine.Arch.default) ~plan g ~inputs =
+    ?(arch = Machine.Arch.default) ?recovery ~plan g ~inputs =
   let module ME = Machine.Machine_engine in
   let clean = ME.run ?max_time ~arch g ~inputs in
   let sanitizer =
     if sanitize then Fault.Sanitizer.create g else Fault.Sanitizer.null
   in
-  let faulted =
-    ME.run ?max_time ?watchdog ~fault:plan ~sanitizer ~arch g ~inputs
+  let m =
+    ME.create ?max_time ?watchdog ~fault:plan ~sanitizer ?recovery ~arch g
+      ~inputs
   in
-  outcome ~clean_outputs:clean.ME.outputs ~faulted_outputs:faulted.ME.outputs
-    ~clean_end:clean.ME.end_time ~faulted_end:faulted.ME.end_time
-    ~faulted_stall:faulted.ME.stall ~faulted_violations:faulted.ME.violations
+  ME.advance m ~until:max_int;
+  let faulted = ME.result m in
+  outcome ~faulted_recoveries:faulted.ME.recoveries
+    ~faulted_snapshot:(ME.snapshot m) ~clean_outputs:clean.ME.outputs
+    ~faulted_outputs:faulted.ME.outputs ~clean_end:clean.ME.end_time
+    ~faulted_end:faulted.ME.end_time ~faulted_stall:faulted.ME.stall
+    ~faulted_violations:faulted.ME.violations ()

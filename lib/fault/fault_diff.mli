@@ -29,6 +29,12 @@ type outcome = {
   faulted_end : int;
   faulted_stall : Fault.Stall_report.t option;
   faulted_violations : Fault.Violation.t list;
+  faulted_recoveries : int;
+  (** crash recoveries the faulted machine run performed (0 for sim) *)
+  faulted_snapshot : Machine.Machine_engine.snapshot option;
+  (** final state of the faulted machine run — serializable with
+      [Recover.Checkpoint] when a failure needs a post-mortem dump
+      ([None] for sim runs) *)
 }
 
 val mismatch_to_string : mismatch -> string
@@ -57,11 +63,15 @@ val machine :
   ?watchdog:int ->
   ?sanitize:bool ->
   ?arch:Machine.Arch.t ->
+  ?recovery:Machine.Machine_engine.recovery ->
   plan:Fault.Fault_plan.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
   outcome
 (** As {!sim} on {!Machine.Machine_engine} (default
     {!Machine.Arch.default}), which honours the full fault plan: delays,
-    duplicated packets, dropped acknowledges, PE stalls, FU/AM
-    slowdowns. *)
+    duplicated packets, dropped results and acknowledges, PE stalls,
+    FU/AM slowdowns, and a fail-stop PE crash.  [recovery] attaches a
+    checkpoint/retransmission policy to the {e faulted} run only — the
+    crash differential asserts a recovered machine still matches the
+    clean one value for value. *)

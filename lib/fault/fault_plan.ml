@@ -4,10 +4,13 @@ type spec = {
   delay_max : int;
   dup_prob : float;
   drop_ack_prob : float;
+  drop_prob : float;
   stall_prob : float;
   stall_max : int;
   fu_slow : int;
   am_slow : int;
+  crash_pe : int;
+  crash_at : int;
 }
 
 let none =
@@ -17,10 +20,13 @@ let none =
     delay_max = 8;
     dup_prob = 0.0;
     drop_ack_prob = 0.0;
+    drop_prob = 0.0;
     stall_prob = 0.0;
     stall_max = 16;
     fu_slow = 0;
     am_slow = 0;
+    crash_pe = -1;
+    crash_at = 0;
   }
 
 let delays ?(prob = 0.2) ?(max_delay = 8) seed =
@@ -40,17 +46,27 @@ let make spec =
   check_prob "delay" spec.delay_prob;
   check_prob "dup" spec.dup_prob;
   check_prob "drop-ack" spec.drop_ack_prob;
+  check_prob "drop" spec.drop_prob;
   check_prob "stall" spec.stall_prob;
   check_mag "delay-max" spec.delay_max;
   check_mag "stall-max" spec.stall_max;
   check_mag "fu-slow" spec.fu_slow;
   check_mag "am-slow" spec.am_slow;
+  check_mag "crash-at" spec.crash_at;
+  if spec.crash_pe < -1 then
+    invalid_arg
+      (Printf.sprintf "Fault_plan.make: crash-pe=%d (use -1 for none)"
+         spec.crash_pe);
   spec
 
 let spec t = t
 let seed t = t.seed
 
-let delay_only t = t.dup_prob = 0.0 && t.drop_ack_prob = 0.0
+let delay_only t =
+  t.dup_prob = 0.0 && t.drop_ack_prob = 0.0 && t.drop_prob = 0.0
+  && t.crash_pe < 0
+
+let crash t = if t.crash_pe >= 0 then Some (t.crash_pe, t.crash_at) else None
 
 (* Distinct stream tags so the same site never shares variates across
    decision kinds. *)
@@ -64,6 +80,7 @@ let tag_pe_stall = 7
 let tag_pe_stall_mag = 8
 let tag_fu = 9
 let tag_am = 10
+let tag_drop = 11
 
 let hit t ~prob tag keys =
   prob > 0.0 && Prng.float_of_hash (Prng.mix t.seed (tag :: keys)) < prob
@@ -89,6 +106,9 @@ let duplicate t ~time ~src ~dst ~port =
 
 let drop_ack t ~time ~src ~dst =
   hit t ~prob:t.drop_ack_prob tag_drop_ack [ time; src; dst ]
+
+let drop_result t ~time ~src ~dst ~port =
+  hit t ~prob:t.drop_prob tag_drop [ time; src; dst; port ]
 
 let pe_stall t ~pe ~time =
   let keys = [ pe; time ] in
@@ -126,16 +146,28 @@ let of_string s =
             (Printf.sprintf "fault spec: %s=%s is not a non-negative integer"
                key value)
       in
+      let pe set =
+        match int_of_string_opt value with
+        | Some v when v >= -1 -> Ok (set v)
+        | _ ->
+          Error
+            (Printf.sprintf
+               "fault spec: %s=%s is not a PE index (or -1 for none)" key
+               value)
+      in
       match key with
       | "seed" -> mag (fun v -> { spec with seed = v })
       | "delay" -> prob (fun p -> { spec with delay_prob = p })
       | "dup" -> prob (fun p -> { spec with dup_prob = p })
       | "drop-ack" -> prob (fun p -> { spec with drop_ack_prob = p })
+      | "drop" -> prob (fun p -> { spec with drop_prob = p })
       | "stall" -> prob (fun p -> { spec with stall_prob = p })
       | "delay-max" -> mag (fun v -> { spec with delay_max = v })
       | "stall-max" -> mag (fun v -> { spec with stall_max = v })
       | "fu-slow" -> mag (fun v -> { spec with fu_slow = v })
       | "am-slow" -> mag (fun v -> { spec with am_slow = v })
+      | "crash-pe" -> pe (fun v -> { spec with crash_pe = v })
+      | "crash-at" -> mag (fun v -> { spec with crash_at = v })
       | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key))
   in
   String.split_on_char ',' s
@@ -147,9 +179,33 @@ let of_string s =
          | Ok spec -> parse_field spec (String.trim field))
        (Ok none)
 
+(* Canonical CLI form: [of_string (to_string s) = Ok s] for any valid
+   spec, so a plan printed into a log is directly a repro command.
+   %.17g round-trips every finite probability bit-exactly. *)
+let to_string s =
+  let fields = ref [] in
+  let add fmt = Printf.ksprintf (fun f -> fields := f :: !fields) fmt in
+  let addf key v = if v <> 0.0 then add "%s=%.17g" key v in
+  add "seed=%d" s.seed;
+  addf "delay" s.delay_prob;
+  if s.delay_max <> none.delay_max then add "delay-max=%d" s.delay_max;
+  addf "dup" s.dup_prob;
+  addf "drop-ack" s.drop_ack_prob;
+  addf "drop" s.drop_prob;
+  addf "stall" s.stall_prob;
+  if s.stall_max <> none.stall_max then add "stall-max=%d" s.stall_max;
+  if s.fu_slow <> 0 then add "fu-slow=%d" s.fu_slow;
+  if s.am_slow <> 0 then add "am-slow=%d" s.am_slow;
+  if s.crash_pe >= 0 then add "crash-pe=%d" s.crash_pe;
+  if s.crash_at <> 0 then add "crash-at=%d" s.crash_at;
+  String.concat "," (List.rev !fields)
+
 let describe t =
   Printf.sprintf
-    "seed=%d delay=%g(max %d) dup=%g drop-ack=%g stall=%g(max %d) fu-slow=%d \
-     am-slow=%d"
-    t.seed t.delay_prob t.delay_max t.dup_prob t.drop_ack_prob t.stall_prob
-    t.stall_max t.fu_slow t.am_slow
+    "seed=%d delay=%g(max %d) dup=%g drop-ack=%g drop=%g stall=%g(max %d) \
+     fu-slow=%d am-slow=%d%s"
+    t.seed t.delay_prob t.delay_max t.dup_prob t.drop_ack_prob t.drop_prob
+    t.stall_prob t.stall_max t.fu_slow t.am_slow
+    (if t.crash_pe >= 0 then
+       Printf.sprintf " crash(pe %d at t=%d)" t.crash_pe t.crash_at
+     else "")

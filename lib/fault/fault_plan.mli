@@ -17,12 +17,22 @@
       network).  This breaks the protocol and is what the sanitizer is
       for.  Machine simulator only.
     - {b drop-ack}: an acknowledge packet is lost, starving its producer
-      — detected as an acknowledge-conservation violation and as a stall.
-      Machine simulator only.
+      — detected as an acknowledge-conservation violation and as a stall,
+      or survived by retransmission when the machine runs with a
+      recovery policy.  Machine simulator only.
+    - {b drop}: a result packet is lost in the routing network, starving
+      its consumer — watchdog-fatal without recovery, survivable with
+      retransmission.  Machine simulator only.
     - {b stall}: a PE refuses to dispatch for a window of cycles.
       Machine simulator only; timing-only, outputs unchanged.
     - {b fu-slow}/{b am-slow}: extra function-unit / array-memory
       latency per operation.  Timing-only.
+    - {b crash-pe}/{b crash-at}: the given processing element fail-stops
+      at the given time, losing the volatile state of every cell it
+      hosts.  Without recovery its cells never fire again (the watchdog
+      reports the wedge); with recovery the engine rolls back to its
+      last checkpoint and re-hosts the dead PE's cells on survivors.
+      Machine simulator only.
 
     {!Sim.Engine} honours only the delay faults (its timing model has no
     PEs, FUs or AMs); {!Machine.Machine_engine} honours all of them. *)
@@ -33,10 +43,13 @@ type spec = {
   delay_max : int;       (** extra delay is uniform in [1, delay_max] *)
   dup_prob : float;      (** per result packet: duplicated delivery *)
   drop_ack_prob : float; (** per acknowledge: packet lost *)
+  drop_prob : float;     (** per result packet: packet lost *)
   stall_prob : float;    (** per PE dispatch: stall window inserted *)
   stall_max : int;       (** stall window is uniform in [1, stall_max] *)
   fu_slow : int;         (** extra FU latency per operation *)
   am_slow : int;         (** extra AM latency per operation *)
+  crash_pe : int;        (** PE that fail-stops ([-1]: no crash) *)
+  crash_at : int;        (** simulated time of the crash *)
 }
 
 val none : spec
@@ -58,9 +71,12 @@ val spec : t -> spec
 val seed : t -> int
 
 val delay_only : t -> bool
-(** No protocol-breaking faults ([dup_prob = drop_ack_prob = 0]): a
-    correct graph must produce unchanged output streams under this
-    plan. *)
+(** No protocol-breaking faults ([dup_prob = drop_ack_prob = drop_prob
+    = 0] and no crash): a correct graph must produce unchanged output
+    streams under this plan even without recovery. *)
+
+val crash : t -> (int * int) option
+(** [(pe, time)] of the scheduled fail-stop, when the plan has one. *)
 
 (** {2 Decisions}
 
@@ -77,6 +93,8 @@ val duplicate : t -> time:int -> src:int -> dst:int -> port:int -> bool
 
 val drop_ack : t -> time:int -> src:int -> dst:int -> bool
 
+val drop_result : t -> time:int -> src:int -> dst:int -> port:int -> bool
+
 val pe_stall : t -> pe:int -> time:int -> int
 (** Extra cycles before the PE accepts the dispatch. *)
 
@@ -85,8 +103,15 @@ val am_extra : t -> node:int -> time:int -> int
 
 val of_string : string -> (spec, string) result
 (** Parse a CLI spec: comma-separated [key=value] pairs.  Keys: [seed],
-    [delay], [dup], [stall], [drop-ack] (probabilities), [delay-max],
-    [stall-max], [fu-slow], [am-slow] (magnitudes).  Example:
+    [delay], [dup], [drop-ack], [drop], [stall] (probabilities),
+    [delay-max], [stall-max], [fu-slow], [am-slow], [crash-at]
+    (magnitudes), [crash-pe] (PE index, [-1] for none).  Example:
     ["seed=7,delay=0.2,dup=0.01,stall=0.1"]. *)
+
+val to_string : spec -> string
+(** Canonical CLI form: [of_string (to_string s) = Ok s] for every valid
+    spec, so a plan printed into a log can be echoed straight back into
+    a repro command.  Fields equal to their {!none} defaults are
+    omitted. *)
 
 val describe : t -> string

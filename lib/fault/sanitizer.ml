@@ -62,6 +62,48 @@ let create ?(limit = 64) g =
 
 let enabled = function None -> false | Some _ -> true
 
+(* Shadow-state snapshot, for engines that roll back to a checkpoint:
+   the sanitizer must travel with the machine state or every replayed
+   event would double-count against the shadow accounting. *)
+type snapshot = {
+  sn_occupied : bool array array;
+  sn_owed : int array;
+  sn_last_out : int array;
+  sn_violations : Violation.t list; (* oldest first *)
+  sn_count : int;
+  sn_tripped : bool;
+}
+
+let snapshot = function
+  | None -> None
+  | Some s ->
+    Some
+      {
+        sn_occupied = Array.map Array.copy s.occupied;
+        sn_owed = Array.copy s.owed;
+        sn_last_out = Array.copy s.last_out;
+        sn_violations = List.rev s.violations_rev;
+        sn_count = s.count;
+        sn_tripped = s.tripped;
+      }
+
+let restore t snap =
+  match (t, snap) with
+  | None, None -> ()
+  | Some s, Some sn ->
+    if Array.length sn.sn_owed <> Array.length s.owed then
+      invalid_arg "Sanitizer.restore: snapshot is for a different graph";
+    Array.iteri (fun i row -> s.occupied.(i) <- Array.copy row) sn.sn_occupied;
+    Array.blit sn.sn_owed 0 s.owed 0 (Array.length s.owed);
+    Array.blit sn.sn_last_out 0 s.last_out 0 (Array.length s.last_out);
+    s.violations_rev <- List.rev sn.sn_violations;
+    s.count <- sn.sn_count;
+    s.tripped <- sn.sn_tripped
+  | None, Some _ | Some _, None ->
+    invalid_arg
+      "Sanitizer.restore: snapshot and sanitizer presence disagree \
+       (checkpointed run used a different --sanitize setting)"
+
 let tripped = function None -> false | Some s -> s.tripped
 
 let violations = function

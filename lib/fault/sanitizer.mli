@@ -28,6 +28,29 @@ val create : ?limit:int -> Dfg.Graph.t -> t
 
 val enabled : t -> bool
 
+(** {2 Snapshot / restore}
+
+    Engines that checkpoint and roll back (crash recovery) must snapshot
+    the shadow state together with the machine state, or replayed events
+    would double-count against the accounting. *)
+
+type snapshot = {
+  sn_occupied : bool array array;
+  sn_owed : int array;
+  sn_last_out : int array;
+  sn_violations : Violation.t list;  (** oldest first *)
+  sn_count : int;
+  sn_tripped : bool;
+}
+
+val snapshot : t -> snapshot option
+(** Deep copy of the shadow state; [None] for the {!null} sanitizer. *)
+
+val restore : t -> snapshot option -> unit
+(** Overwrite the shadow state with a snapshot taken from a sanitizer of
+    the same graph.
+    @raise Invalid_argument if presence or shape disagree. *)
+
 val tripped : t -> bool
 (** A fatal violation has been recorded; the engine must stop. *)
 

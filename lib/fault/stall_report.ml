@@ -16,6 +16,7 @@ type t = {
   sr_reason : reason;
   sr_blocked : blocked list;
   sr_cycle : int list option;
+  sr_dead_pes : int list;
 }
 
 let reason_name = function
@@ -53,13 +54,14 @@ let find_cycle ~roots ~edges =
   List.iter (fun r -> if !cycle = None then dfs [] r) roots;
   !cycle
 
-let make ~time ~reason ~blocked ~edges =
+let make ?(dead_pes = []) ~time ~reason ~blocked ~edges () =
   let roots = List.map (fun b -> b.b_node) blocked in
   {
     sr_time = time;
     sr_reason = reason;
     sr_blocked = blocked;
     sr_cycle = find_cycle ~roots ~edges;
+    sr_dead_pes = dead_pes;
   }
 
 let blocked_line b =
@@ -89,6 +91,13 @@ let to_string t =
       (reason_name t.sr_reason) t.sr_time
       (List.length t.sr_blocked)
   in
+  let dead =
+    match t.sr_dead_pes with
+    | [] -> []
+    | pes ->
+      [ Printf.sprintf "dead PE(s): %s (cells hosted there can never fire)"
+          (String.concat "," (List.map string_of_int pes)) ]
+  in
   let cycle =
     match t.sr_cycle with
     | None -> []
@@ -98,4 +107,5 @@ let to_string t =
              (List.map (fun id -> Printf.sprintf "#%d" id) (ids @ [ List.hd ids ]))) ]
   in
   String.concat "\n"
-    ((header :: List.map (fun l -> "  " ^ l) (to_strings t)) @ cycle)
+    ((header :: List.map (fun l -> "  " ^ l) (to_strings t)) @ dead @ cycle)
+  ^ "\n"

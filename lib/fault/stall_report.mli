@@ -30,15 +30,21 @@ type t = {
   sr_cycle : int list option;
       (** a cycle in the wait-for graph reachable from a blocked cell,
           as node ids in dependency order, when one exists *)
+  sr_dead_pes : int list;
+      (** processing elements that fail-stopped and were never recovered
+          — their cells can never fire, which explains wedges that have
+          no wait-for cycle *)
 }
 
 val make :
+  ?dead_pes:int list ->
   time:int -> reason:reason -> blocked:blocked list -> edges:(int * int) list
-  -> t
+  -> unit -> t
 (** [edges] are wait-for edges [(waiter, waited_on)] — a cell waiting
     for an operand points at the producer of the empty port; a cell
     waiting for acknowledges points at the consumers still holding its
-    tokens.  [make] finds a cycle reachable from the blocked set. *)
+    tokens.  [make] finds a cycle reachable from the blocked set.
+    [dead_pes] (default none) records unrecovered PE crashes. *)
 
 val reason_name : reason -> string
 

@@ -23,6 +23,15 @@ let kind_name = function
   | Token_conservation -> "token-conservation"
   | Nonmonotone_output -> "nonmonotone-output"
 
+let kind_of_name = function
+  | "arc-capacity" -> Some Arc_capacity
+  | "empty-consume" -> Some Empty_consume
+  | "ack-underflow" -> Some Ack_underflow
+  | "ack-conservation" -> Some Ack_conservation
+  | "token-conservation" -> Some Token_conservation
+  | "nonmonotone-output" -> Some Nonmonotone_output
+  | _ -> None
+
 let fatal = function
   | Arc_capacity | Empty_consume | Ack_underflow -> true
   | Ack_conservation | Token_conservation | Nonmonotone_output -> false

@@ -31,6 +31,9 @@ type t = {
 
 val kind_name : kind -> string
 
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name} (checkpoint deserialization). *)
+
 val fatal : kind -> bool
 (** Fatal violations ([Arc_capacity], [Empty_consume], [Ack_underflow])
     corrupt engine state, so the run is halted when one is recorded;

@@ -21,6 +21,22 @@ let default =
     array_policy = Streamed;
   }
 
+(* Default cell placement, shared by initial load and crash recovery:
+   cell [id] goes to PE [id mod n_pe], or — when that PE is dead — the
+   next live PE in cyclic order, so re-hosted cells spread across the
+   survivors the same way the initial allocation spread them across the
+   full machine. *)
+let place t ~alive id =
+  let n = max 1 t.n_pe in
+  let start = id mod n in
+  let rec go k =
+    if k >= n then invalid_arg "Arch.place: no live processing element"
+    else
+      let pe = (start + k) mod n in
+      if alive pe then pe else go (k + 1)
+  in
+  go 0
+
 let describe t =
   Printf.sprintf "%d PE, %d FU(lat %d), %d AM(lat %d), RN lat %d, arrays %s"
     t.n_pe t.n_fu t.fu_latency t.n_am t.am_latency t.rn_latency

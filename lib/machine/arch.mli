@@ -23,4 +23,10 @@ type t = {
 val default : t
 (** 8 PEs, 4 FUs, 2 AMs, latencies 4/6/2, [Streamed]. *)
 
+val place : t -> alive:(int -> bool) -> int -> int
+(** Cell placement shared by initial load and crash recovery: cell [id]
+    goes to PE [id mod n_pe], or the next live PE in cyclic order when
+    that one is dead.
+    @raise Invalid_argument when no PE is alive. *)
+
 val describe : t -> string

@@ -24,14 +24,22 @@ open Dfg
 
     The traffic statistics reproduce the Section 2 claim that with
     streamed arrays "one eighth or less of the operation packets would be
-    sent to the array memories". *)
+    sent to the array memories".
+
+    The engine is a resumable state machine: {!create} builds it,
+    {!advance} runs it (to completion or a pause point), {!snapshot} /
+    {!restore} capture and reinstate its complete state, and {!result}
+    reads the outcome.  {!run} is the one-shot composition of these. *)
 
 type stats = {
   dispatches : int;        (** instruction firings (operation packets) *)
   fu_ops : int;            (** operations executed by function units *)
   am_ops : int;            (** array-memory operations (reads + writes) *)
-  result_packets : int;    (** result packets through the routing network *)
+  result_packets : int;    (** result packets through the routing network,
+                               including retransmitted copies *)
   ack_packets : int;       (** acknowledge packets *)
+  retransmits : int;       (** result packets resent by the recovery
+                               protocol (0 without a recovery policy) *)
   pe_dispatches : int array;  (** firings dispatched per processing element *)
 }
 
@@ -47,7 +55,137 @@ type result = {
       drain. *)
   violations : Fault.Violation.t list;
   (** Protocol breaches recorded by the [sanitizer]; empty without one. *)
+  checkpoints : int;
+  (** Periodic checkpoints taken (0 without a recovery policy; the
+      implicit program-load snapshot is not counted). *)
+  recoveries : int;
+  (** Crash recoveries performed (rollback + re-host + replay). *)
 }
+
+(** {1 Recovery}
+
+    The static dataflow discipline makes checkpoint/restart unusually
+    clean: every arc holds at most one token, every in-flight packet is
+    either a result awaiting an acknowledge or the acknowledge itself,
+    and the machine state is a finite set of cell registers plus the
+    event queue.  A snapshot of those is a {e consistent global
+    checkpoint} by construction — there is no uncheckpointed channel
+    state to chase (the Chandy–Lamport problem does not arise because
+    the simulator quiesces the current instant before snapshotting).
+
+    The recovery policy adds two mechanisms:
+
+    - {e retransmission}: a producer holds every unacknowledged result
+      packet and resends it with exponential backoff, so lost packets
+      and lost acknowledges ([drop], [drop-ack] faults) are survivable.
+      Packets carry per-channel sequence numbers; consumers deduplicate
+      and re-acknowledge, giving at-least-once delivery with
+      exactly-once effect.
+    - {e checkpoint/rollback}: on a [Pe_crash] fault the machine rolls
+      back to the last checkpoint, marks the PE dead, re-hosts its cells
+      onto survivors ({!Arch.place}), and replays.  Replay is
+      deterministic: fault decisions are pure functions of (seed, time,
+      endpoints), so the recovered run re-derives the same perturbations
+      and the outputs equal a crash-free run. *)
+
+type recovery = {
+  checkpoint_every : int;
+      (** instruction-times between periodic checkpoints; [0] disables
+          periodic checkpoints (the program-load snapshot remains) *)
+  retransmit_after : int;  (** timeout before the first resend *)
+  retransmit_backoff : int;  (** timeout multiplier per attempt (>= 1) *)
+  max_retransmits : int;  (** resend budget per packet *)
+}
+
+val default_recovery : recovery
+(** Checkpoint every 250 instruction-times, first resend after 48,
+    backoff 2x (capped at 16 base timeouts), 8 attempts. *)
+
+type t
+(** A machine in progress. *)
+
+type cell_snapshot = {
+  cs_operands : Value.t option array;
+  cs_pending_acks : int;
+  cs_queue : Value.t list;
+  cs_cursor : int;
+  cs_collected : (int * Value.t) list;
+  cs_pe : int;
+  cs_recv_seq : int array;
+  cs_cons_seq : int array;
+  cs_outstanding : out_entry list;
+  cs_sent : ((int * int) * int) list;
+}
+
+and out_entry = {
+  o_dst : int;
+  o_port : int;
+  o_seq : int;
+  o_value : Value.t;
+  mutable o_attempts : int;
+}
+
+type event =
+  | Deliver of { src : int; dst : int; port : int; seq : int; value : Value.t }
+  | Ack of { dst : int; from_node : int; from_port : int; seq : int }
+  | Retransmit of { src : int; dst : int; port : int; seq : int }
+
+type snapshot = {
+  sn_time : int;
+  sn_last_progress : int;
+  sn_cells : cell_snapshot array;
+  sn_events : (int * event) array;
+      (** exact heap layout ({!Df_util.Pqueue.to_array}) — equal-time pop
+          order affects resource-pool allocation, so bit-identical resume
+          must preserve it *)
+  sn_pes : int array;
+  sn_fus : int array;
+  sn_ams : int array;
+  sn_pe_dead : bool array;
+  sn_stats : stats;
+  sn_sanitizer : Fault.Sanitizer.snapshot option;
+}
+(** Complete, self-contained machine state: plain data, no closures.
+    [Recover.Checkpoint] serializes it. *)
+
+val create :
+  ?max_time:int ->
+  ?tracer:Obs.Tracer.t ->
+  ?fault:Fault.Fault_plan.t ->
+  ?sanitizer:Fault.Sanitizer.t ->
+  ?watchdog:int ->
+  ?recovery:recovery ->
+  arch:Arch.t ->
+  Graph.t ->
+  inputs:(string * Value.t list) list ->
+  t
+(** Build a machine ready to run; nothing fires until {!advance}.
+    See {!run} for the parameter semantics.
+    @raise Invalid_argument on invalid graphs, missing inputs, or a
+    malformed [recovery] policy. *)
+
+val advance : t -> until:int -> unit
+(** Run the event loop, stopping when the machine {!finished} (clean
+    drain, [max_time], watchdog, fatal sanitizer breach) or when the
+    next event lies beyond time [until] (a pause: call [advance] again
+    to continue).  [advance m ~until:max_int] runs to completion. *)
+
+val finished : t -> bool
+
+val snapshot : t -> snapshot
+(** Deep-copy the complete machine state.  Meaningful at any pause
+    point; the copy is unaffected by further running. *)
+
+val restore : t -> snapshot -> unit
+(** Reinstate a snapshot taken from a machine with the same graph and
+    arch; the machine then resumes bit-identically to the run the
+    snapshot was taken from (same outputs, timestamps, and stats).
+    @raise Invalid_argument on a shape mismatch. *)
+
+val result : t -> result
+(** Read the outcome.  On a {!finished} machine this includes the stall
+    diagnosis and quiescence-time sanitizer checks; on a paused machine
+    it is a progress report ([stall = None], [quiescent = false]). *)
 
 val run :
   ?max_time:int ->
@@ -55,6 +193,7 @@ val run :
   ?fault:Fault.Fault_plan.t ->
   ?sanitizer:Fault.Sanitizer.t ->
   ?watchdog:int ->
+  ?recovery:recovery ->
   arch:Arch.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
@@ -69,20 +208,30 @@ val run :
     [fault] perturbs the run deterministically (same seed, same run).
     This engine honours the full plan: extra routing-network latency on
     selected result and acknowledge packets, duplicated packet delivery,
-    dropped acknowledges, per-PE dispatch stalls, and FU/AM slowdown.
-    Delay-only plans cannot change output values (the Kahn-network
-    argument — {!Fault_diff} asserts it); [dup]/[drop-ack] break the
-    acknowledge discipline on purpose, for the [sanitizer] to catch.
+    dropped result packets, dropped acknowledges, per-PE dispatch
+    stalls, FU/AM slowdown, and a fail-stop PE crash.  Delay-only plans
+    cannot change output values (the Kahn-network argument —
+    {!Fault_diff} asserts it); [dup]/[drop]/[drop-ack]/[crash] break the
+    machine on purpose — for the [sanitizer] to catch, or for the
+    [recovery] policy to survive.
 
     [sanitizer] (default {!Fault.Sanitizer.null}) shadow-checks
     one-token-per-arc and acknowledge conservation at every event;
     breaches become {!result.violations} and a fatal breach halts the
     run.  Without a sanitizer, an arc-capacity breach raises
-    [Invalid_argument] as before.
+    [Invalid_argument] as before.  Under recovery the sanitizer sees
+    only logically-new packets (duplicates are filtered first), so a
+    successfully recovered run reports zero violations.
 
     [watchdog] stops the run and files a [No_progress] stall report if
     no cell fires for that many consecutive time units while packets are
-    still in flight (set it above any injected delay).
+    still in flight (set it above any injected delay — and above the
+    full retransmission window when recovery is on).
+
+    [recovery] (default off) enables the checkpoint/retransmission
+    protocol above.  Without it the engine behaves exactly as before
+    this protocol existed: a crash permanently kills the PE and the run
+    wedges into a stall report naming it.
     @raise Invalid_argument on invalid graphs or missing inputs *)
 
 val am_fraction : stats -> float

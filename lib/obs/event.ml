@@ -39,15 +39,33 @@ type t =
       kind : string;
       detail : string;
     }
+  | Checkpoint of { time : int; track : int; seq : int; in_flight : int }
+  | Recovery of {
+      time : int;
+      track : int;
+      pe : int;
+      restored_to : int;
+      remapped : int;
+    }
+  | Retransmit of {
+      time : int;
+      track : int;
+      src : int;
+      dst : int;
+      port : int;
+      attempt : int;
+    }
 
 let time = function
   | Fire { time; _ } | Deliver { time; _ } | Ack { time; _ }
-  | Stall { time; _ } | Fault_injected { time; _ } | Violation { time; _ } ->
+  | Stall { time; _ } | Fault_injected { time; _ } | Violation { time; _ }
+  | Checkpoint { time; _ } | Recovery { time; _ } | Retransmit { time; _ } ->
     time
 
 let track = function
   | Fire { track; _ } | Deliver { track; _ } | Ack { track; _ }
   | Stall { track; _ } | Fault_injected { track; _ } | Violation { track; _ }
+  | Checkpoint { track; _ } | Recovery { track; _ } | Retransmit { track; _ }
     ->
     track
 
@@ -65,3 +83,12 @@ let describe = function
   | Violation { time; node; label; kind; detail; _ } ->
     Printf.sprintf "[t=%d] VIOLATION %s at %s#%d: %s" time kind label node
       detail
+  | Checkpoint { time; seq; in_flight; _ } ->
+    Printf.sprintf "[t=%d] CHECKPOINT #%d (%d packets in flight)" time seq
+      in_flight
+  | Recovery { time; pe; restored_to; remapped; _ } ->
+    Printf.sprintf "[t=%d] RECOVERY PE %d crashed; rolled back to t=%d, %d \
+                    cell(s) re-hosted" time pe restored_to remapped
+  | Retransmit { time; src; dst; port; attempt; _ } ->
+    Printf.sprintf "[t=%d] RETRANSMIT #%d -> #%d.%d (attempt %d)" time src dst
+      port attempt

@@ -56,6 +56,27 @@ type t =
       kind : string;  (** {!Fault.Violation.kind_name} of the breach *)
       detail : string;
     }
+  | Checkpoint of {
+      time : int;
+      track : int;
+      seq : int;  (** checkpoint ordinal within the run *)
+      in_flight : int;  (** packets resident in the event queue *)
+    }
+  | Recovery of {
+      time : int;  (** crash time *)
+      track : int;
+      pe : int;  (** the processing element that fail-stopped *)
+      restored_to : int;  (** checkpoint time rolled back to *)
+      remapped : int;  (** cells re-hosted onto surviving PEs *)
+    }
+  | Retransmit of {
+      time : int;  (** resend time *)
+      track : int;
+      src : int;
+      dst : int;
+      port : int;
+      attempt : int;  (** 1-based resend attempt *)
+    }
 
 val time : t -> int
 val track : t -> int

@@ -71,6 +71,30 @@ let json_of_event ev =
          Json.Obj
            [ ("node", Json.Int node); ("label", Json.String label);
              ("kind", Json.String kind); ("detail", Json.String detail) ]) ]
+  | Event.Checkpoint { time; track; seq; in_flight } ->
+    common ~ph:"i"
+      ~name:(Printf.sprintf "checkpoint:%d" seq)
+      ~cat:"recovery" ~ts:time ~tid:track
+      [ ("s", Json.String "p");
+        ("args",
+         Json.Obj [ ("seq", Json.Int seq); ("in_flight", Json.Int in_flight) ])
+      ]
+  | Event.Recovery { time; track; pe; restored_to; remapped } ->
+    common ~ph:"i"
+      ~name:(Printf.sprintf "recovery:pe%d" pe)
+      ~cat:"recovery" ~ts:time ~tid:track
+      [ ("s", Json.String "p");
+        ("args",
+         Json.Obj
+           [ ("pe", Json.Int pe); ("restored_to", Json.Int restored_to);
+             ("remapped", Json.Int remapped) ]) ]
+  | Event.Retransmit { time; track; src; dst; port; attempt } ->
+    common ~ph:"i" ~name:"retransmit" ~cat:"recovery" ~ts:time ~tid:track
+      [ ("s", Json.String "t");
+        ("args",
+         Json.Obj
+           [ ("src", Json.Int src); ("dst", Json.Int dst);
+             ("port", Json.Int port); ("attempt", Json.Int attempt) ]) ]
 
 let json_of_events ?process_name ?(track_names = []) events =
   Json.Obj

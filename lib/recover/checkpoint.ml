@@ -1,0 +1,331 @@
+open Dfg
+module J = Obs.Json
+module ME = Machine.Machine_engine
+module San = Fault.Sanitizer
+module V = Fault.Violation
+
+let version = 1
+
+(* Hashtbl.hash alone is unusable as a whole-graph digest (it only
+   inspects a bounded prefix of the structure); hash each node's small
+   descriptor and fold the results. *)
+let graph_fingerprint g =
+  let h = ref (Hashtbl.hash (Graph.node_count g)) in
+  let mix x = h := (!h * 1000003) lxor Hashtbl.hash x in
+  Graph.iter_nodes g (fun node ->
+      mix
+        ( node.Graph.id,
+          Opcode.name node.Graph.op,
+          node.Graph.label,
+          Array.length node.Graph.inputs );
+      Array.iter
+        (List.iter (fun { Graph.ep_node; ep_port } -> mix (ep_node, ep_port)))
+        node.Graph.dests);
+  !h land max_int
+
+(* ------------------------------------------------------------------ *)
+(* encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_value = function
+  | Value.Int i -> J.Obj [ ("i", J.Int i) ]
+  | Value.Bool b -> J.Obj [ ("b", J.Bool b) ]
+  | Value.Real f ->
+    (* %h: hexadecimal float literal — exact, unlike any decimal form *)
+    J.Obj [ ("r", J.String (Printf.sprintf "%h" f)) ]
+
+let json_of_value_opt = function None -> J.Null | Some v -> json_of_value v
+
+let json_of_int_array a = J.List (Array.to_list (Array.map (fun i -> J.Int i) a))
+
+let json_of_entry (e : ME.out_entry) =
+  J.Obj
+    [ ("dst", J.Int e.ME.o_dst); ("port", J.Int e.ME.o_port);
+      ("seq", J.Int e.ME.o_seq); ("v", json_of_value e.ME.o_value);
+      ("att", J.Int e.ME.o_attempts) ]
+
+let json_of_cell (c : ME.cell_snapshot) =
+  J.Obj
+    [ ("ops",
+       J.List (Array.to_list (Array.map json_of_value_opt c.ME.cs_operands)));
+      ("acks", J.Int c.ME.cs_pending_acks);
+      ("q", J.List (List.map json_of_value c.ME.cs_queue));
+      ("cur", J.Int c.ME.cs_cursor);
+      ("col",
+       J.List
+         (List.map
+            (fun (t, v) -> J.List [ J.Int t; json_of_value v ])
+            c.ME.cs_collected));
+      ("pe", J.Int c.ME.cs_pe);
+      ("recv", json_of_int_array c.ME.cs_recv_seq);
+      ("cons", json_of_int_array c.ME.cs_cons_seq);
+      ("out", J.List (List.map json_of_entry c.ME.cs_outstanding));
+      ("sent",
+       J.List
+         (List.map
+            (fun ((dst, port), n) -> J.List [ J.Int dst; J.Int port; J.Int n ])
+            c.ME.cs_sent)) ]
+
+let json_of_event (prio, ev) =
+  let body =
+    match ev with
+    | ME.Deliver { src; dst; port; seq; value } ->
+      [ ("t", J.String "d"); ("src", J.Int src); ("dst", J.Int dst);
+        ("port", J.Int port); ("seq", J.Int seq); ("v", json_of_value value) ]
+    | ME.Ack { dst; from_node; from_port; seq } ->
+      [ ("t", J.String "a"); ("dst", J.Int dst); ("fn", J.Int from_node);
+        ("fp", J.Int from_port); ("seq", J.Int seq) ]
+    | ME.Retransmit { src; dst; port; seq } ->
+      [ ("t", J.String "r"); ("src", J.Int src); ("dst", J.Int dst);
+        ("port", J.Int port); ("seq", J.Int seq) ]
+  in
+  J.Obj (("at", J.Int prio) :: body)
+
+let json_of_stats (s : ME.stats) =
+  J.Obj
+    [ ("dispatches", J.Int s.ME.dispatches); ("fu_ops", J.Int s.ME.fu_ops);
+      ("am_ops", J.Int s.ME.am_ops);
+      ("result_packets", J.Int s.ME.result_packets);
+      ("ack_packets", J.Int s.ME.ack_packets);
+      ("retransmits", J.Int s.ME.retransmits);
+      ("pe_dispatches", json_of_int_array s.ME.pe_dispatches) ]
+
+let json_of_violation (v : V.t) =
+  J.Obj
+    [ ("kind", J.String (V.kind_name v.V.v_kind)); ("node", J.Int v.V.v_node);
+      ("label", J.String v.V.v_label);
+      ("port", (match v.V.v_port with None -> J.Null | Some p -> J.Int p));
+      ("time", J.Int v.V.v_time); ("detail", J.String v.V.v_detail) ]
+
+let json_of_sanitizer = function
+  | None -> J.Null
+  | Some (s : San.snapshot) ->
+    J.Obj
+      [ ("occ",
+         J.List
+           (Array.to_list
+              (Array.map
+                 (fun row ->
+                   J.List (Array.to_list (Array.map (fun b -> J.Bool b) row)))
+                 s.San.sn_occupied)));
+        ("owed", json_of_int_array s.San.sn_owed);
+        ("last", json_of_int_array s.San.sn_last_out);
+        ("viol", J.List (List.map json_of_violation s.San.sn_violations));
+        ("count", J.Int s.San.sn_count);
+        ("tripped", J.Bool s.San.sn_tripped) ]
+
+let to_json ~graph (sn : ME.snapshot) =
+  J.Obj
+    [ ("version", J.Int version);
+      ("fingerprint", J.Int (graph_fingerprint graph));
+      ("time", J.Int sn.ME.sn_time);
+      ("last_progress", J.Int sn.ME.sn_last_progress);
+      ("cells", J.List (Array.to_list (Array.map json_of_cell sn.ME.sn_cells)));
+      ("events",
+       J.List (Array.to_list (Array.map json_of_event sn.ME.sn_events)));
+      ("pes", json_of_int_array sn.ME.sn_pes);
+      ("fus", json_of_int_array sn.ME.sn_fus);
+      ("ams", json_of_int_array sn.ME.sn_ams);
+      ("pe_dead",
+       J.List
+         (Array.to_list (Array.map (fun b -> J.Bool b) sn.ME.sn_pe_dead)));
+      ("stats", json_of_stats sn.ME.sn_stats);
+      ("sanitizer", json_of_sanitizer sn.ME.sn_sanitizer) ]
+
+(* ------------------------------------------------------------------ *)
+(* decoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let get_int name j =
+  match J.get_int j with Some i -> i | None -> fail "%s: expected int" name
+
+let get_bool name j =
+  match J.get_bool j with Some b -> b | None -> fail "%s: expected bool" name
+
+let get_string name j =
+  match J.get_string j with
+  | Some s -> s
+  | None -> fail "%s: expected string" name
+
+let field name j = J.member name j
+
+let int_field name j = get_int name (field name j)
+
+let int_array name j =
+  field name j |> J.get_list |> List.map (get_int name) |> Array.of_list
+
+let value_of_json name j =
+  match (J.get_int (J.member "i" j), J.get_bool (J.member "b" j),
+         J.get_string (J.member "r" j))
+  with
+  | Some i, _, _ -> Value.Int i
+  | _, Some b, _ -> Value.Bool b
+  | _, _, Some s -> (
+    match float_of_string_opt s with
+    | Some f -> Value.Real f
+    | None -> fail "%s: bad hex float %S" name s)
+  | _ -> fail "%s: expected a value object" name
+
+let value_opt_of_json name = function
+  | J.Null -> None
+  | j -> Some (value_of_json name j)
+
+let entry_of_json j : ME.out_entry =
+  {
+    ME.o_dst = int_field "dst" j;
+    o_port = int_field "port" j;
+    o_seq = int_field "seq" j;
+    o_value = value_of_json "v" (field "v" j);
+    o_attempts = int_field "att" j;
+  }
+
+let cell_of_json j : ME.cell_snapshot =
+  {
+    ME.cs_operands =
+      field "ops" j |> J.get_list
+      |> List.map (value_opt_of_json "ops")
+      |> Array.of_list;
+    cs_pending_acks = int_field "acks" j;
+    cs_queue = field "q" j |> J.get_list |> List.map (value_of_json "q");
+    cs_cursor = int_field "cur" j;
+    cs_collected =
+      field "col" j |> J.get_list
+      |> List.map (fun p ->
+             match J.get_list p with
+             | [ t; v ] -> (get_int "col.time" t, value_of_json "col.value" v)
+             | _ -> fail "col: expected [time, value] pair");
+    cs_pe = int_field "pe" j;
+    cs_recv_seq = int_array "recv" j;
+    cs_cons_seq = int_array "cons" j;
+    cs_outstanding = field "out" j |> J.get_list |> List.map entry_of_json;
+    cs_sent =
+      field "sent" j |> J.get_list
+      |> List.map (fun p ->
+             match J.get_list p with
+             | [ d; p'; n ] ->
+               ((get_int "sent.dst" d, get_int "sent.port" p'),
+                get_int "sent.count" n)
+             | _ -> fail "sent: expected [dst, port, count] triple");
+  }
+
+let event_of_json j =
+  let prio = int_field "at" j in
+  let ev =
+    match get_string "t" (field "t" j) with
+    | "d" ->
+      ME.Deliver
+        { src = int_field "src" j; dst = int_field "dst" j;
+          port = int_field "port" j; seq = int_field "seq" j;
+          value = value_of_json "v" (field "v" j) }
+    | "a" ->
+      ME.Ack
+        { dst = int_field "dst" j; from_node = int_field "fn" j;
+          from_port = int_field "fp" j; seq = int_field "seq" j }
+    | "r" ->
+      ME.Retransmit
+        { src = int_field "src" j; dst = int_field "dst" j;
+          port = int_field "port" j; seq = int_field "seq" j }
+    | s -> fail "events: unknown event tag %S" s
+  in
+  (prio, ev)
+
+let stats_of_json j : ME.stats =
+  {
+    ME.dispatches = int_field "dispatches" j;
+    fu_ops = int_field "fu_ops" j;
+    am_ops = int_field "am_ops" j;
+    result_packets = int_field "result_packets" j;
+    ack_packets = int_field "ack_packets" j;
+    retransmits = int_field "retransmits" j;
+    pe_dispatches = int_array "pe_dispatches" j;
+  }
+
+let violation_of_json j : V.t =
+  let kind_s = get_string "kind" (field "kind" j) in
+  let kind =
+    match V.kind_of_name kind_s with
+    | Some k -> k
+    | None -> fail "viol: unknown violation kind %S" kind_s
+  in
+  {
+    V.v_kind = kind;
+    v_node = int_field "node" j;
+    v_label = get_string "label" (field "label" j);
+    v_port =
+      (match field "port" j with J.Null -> None | p -> Some (get_int "port" p));
+    v_time = int_field "time" j;
+    v_detail = get_string "detail" (field "detail" j);
+  }
+
+let sanitizer_of_json = function
+  | J.Null -> None
+  | j ->
+    Some
+      {
+        San.sn_occupied =
+          field "occ" j |> J.get_list
+          |> List.map (fun row ->
+                 J.get_list row |> List.map (get_bool "occ") |> Array.of_list)
+          |> Array.of_list;
+        sn_owed = int_array "owed" j;
+        sn_last_out = int_array "last" j;
+        sn_violations =
+          field "viol" j |> J.get_list |> List.map violation_of_json;
+        sn_count = int_field "count" j;
+        sn_tripped = get_bool "tripped" (field "tripped" j);
+      }
+
+let of_json ~graph j =
+  try
+    let v = int_field "version" j in
+    if v <> version then
+      fail "checkpoint format version %d, this build reads %d" v version;
+    let fp = int_field "fingerprint" j in
+    let here = graph_fingerprint graph in
+    if fp <> here then
+      fail
+        "checkpoint was taken from a different program (fingerprint %d, \
+         graph has %d)"
+        fp here;
+    Ok
+      {
+        ME.sn_time = int_field "time" j;
+        sn_last_progress = int_field "last_progress" j;
+        sn_cells =
+          field "cells" j |> J.get_list |> List.map cell_of_json
+          |> Array.of_list;
+        sn_events =
+          field "events" j |> J.get_list |> List.map event_of_json
+          |> Array.of_list;
+        sn_pes = int_array "pes" j;
+        sn_fus = int_array "fus" j;
+        sn_ams = int_array "ams" j;
+        sn_pe_dead =
+          field "pe_dead" j |> J.get_list
+          |> List.map (get_bool "pe_dead")
+          |> Array.of_list;
+        sn_stats = stats_of_json (field "stats" j);
+        sn_sanitizer = sanitizer_of_json (field "sanitizer" j);
+      }
+  with Bad msg -> Error msg
+
+let save ~path ~graph sn = J.write_file path (to_json ~graph sn)
+
+let load ~path ~graph =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+    match J.of_string text with
+    | exception J.Parse_error e -> Error (path ^ ": " ^ e)
+    | j -> of_json ~graph j)
+
+let equal (a : ME.snapshot) (b : ME.snapshot) = compare a b = 0

@@ -1,0 +1,45 @@
+open Dfg
+
+(** Versioned on-disk format for {!Machine.Machine_engine.snapshot}.
+
+    A checkpoint file is a single JSON document (written with the
+    dependency-free {!Obs.Json}, so loading needs nothing external).
+    Two properties matter more than compactness:
+
+    - {e bit-exactness}: [Real] values are encoded as hexadecimal
+      float literals ([%h]), not decimal — a snapshot saved, loaded and
+      resumed must produce outputs bit-identical to the uncheckpointed
+      run, and decimal round-tripping cannot promise that;
+    - {e self-description}: the file carries a format [version] and a
+      fingerprint of the instruction graph it was taken from, so loading
+      a checkpoint against the wrong program (or a stale format) fails
+      loudly instead of resuming garbage. *)
+
+val version : int
+(** Current format version (1). *)
+
+val graph_fingerprint : Graph.t -> int
+(** Structural digest of a graph (node ids, opcodes, labels, arities,
+    destination lists).  Two graphs with the same fingerprint are the
+    same program for checkpoint purposes. *)
+
+val to_json : graph:Graph.t -> Machine.Machine_engine.snapshot -> Obs.Json.t
+
+val of_json :
+  graph:Graph.t ->
+  Obs.Json.t ->
+  (Machine.Machine_engine.snapshot, string) result
+(** Rejects version mismatches, fingerprint mismatches and malformed
+    documents with a descriptive error. *)
+
+val save : path:string -> graph:Graph.t -> Machine.Machine_engine.snapshot -> unit
+
+val load :
+  path:string ->
+  graph:Graph.t ->
+  (Machine.Machine_engine.snapshot, string) result
+
+val equal :
+  Machine.Machine_engine.snapshot -> Machine.Machine_engine.snapshot -> bool
+(** Structural equality (NaN-tolerant: uses [compare], so a snapshot
+    containing NaN still equals its round-tripped self). *)

@@ -1,0 +1,67 @@
+module Checkpoint = Checkpoint
+module ME = Machine.Machine_engine
+
+type policy = ME.recovery = {
+  checkpoint_every : int;
+  retransmit_after : int;
+  retransmit_backoff : int;
+  max_retransmits : int;
+}
+
+let default = ME.default_recovery
+
+let of_string s =
+  let parse_pair acc pair =
+    match acc with
+    | Error _ -> acc
+    | Ok p -> (
+      match String.index_opt pair '=' with
+      | None -> Error (Printf.sprintf "bad policy item %S (want key=int)" pair)
+      | Some i -> (
+        let key = String.sub pair 0 i in
+        let raw = String.sub pair (i + 1) (String.length pair - i - 1) in
+        match int_of_string_opt raw with
+        | None -> Error (Printf.sprintf "%s: bad integer %S" key raw)
+        | Some v -> (
+          match key with
+          | "every" -> Ok { p with checkpoint_every = v }
+          | "timeout" -> Ok { p with retransmit_after = v }
+          | "backoff" -> Ok { p with retransmit_backoff = v }
+          | "retries" -> Ok { p with max_retransmits = v }
+          | _ -> Error (Printf.sprintf "unknown policy key %S" key))))
+  in
+  let items =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  match List.fold_left parse_pair (Ok default) items with
+  | Error _ as e -> e
+  | Ok p ->
+    if p.checkpoint_every < 0 then Error "every must be >= 0"
+    else if p.retransmit_after <= 0 then Error "timeout must be > 0"
+    else if p.retransmit_backoff < 1 then Error "backoff must be >= 1"
+    else if p.max_retransmits < 0 then Error "retries must be >= 0"
+    else Ok p
+
+let to_string p =
+  Printf.sprintf "every=%d,timeout=%d,backoff=%d,retries=%d" p.checkpoint_every
+    p.retransmit_after p.retransmit_backoff p.max_retransmits
+
+let describe p =
+  Printf.sprintf
+    "checkpoint every %s; resend unacknowledged packets after %d (backoff \
+     %dx, %d retries)"
+    (if p.checkpoint_every = 0 then "(never)"
+     else string_of_int p.checkpoint_every)
+    p.retransmit_after p.retransmit_backoff p.max_retransmits
+
+let resume ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery ~arch g
+    ~inputs snapshot =
+  let m =
+    ME.create ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery ~arch g
+      ~inputs
+  in
+  ME.restore m snapshot;
+  ME.advance m ~until:max_int;
+  ME.result m

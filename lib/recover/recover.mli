@@ -1,0 +1,52 @@
+open Dfg
+
+(** Recovery policies and checkpoint/restart orchestration for the
+    machine engine.
+
+    The mechanisms live in {!Machine.Machine_engine} (they need the
+    engine's internals); this module owns the user-facing surface: the
+    policy mini-language the CLIs accept, and save/resume built on
+    {!Checkpoint}. *)
+
+module Checkpoint = Checkpoint
+(** Versioned serialization of machine snapshots. *)
+
+type policy = Machine.Machine_engine.recovery = {
+  checkpoint_every : int;
+  retransmit_after : int;
+  retransmit_backoff : int;
+  max_retransmits : int;
+}
+
+val default : policy
+(** {!Machine.Machine_engine.default_recovery}. *)
+
+val of_string : string -> (policy, string) result
+(** Parse a policy spec: comma-separated [key=int] pairs over
+    [every] (checkpoint interval; 0 disables periodic checkpoints),
+    [timeout] (first-resend timeout), [backoff] (timeout multiplier),
+    [retries] (resend budget).  Omitted keys keep their {!default}
+    values; [""] is the default policy. *)
+
+val to_string : policy -> string
+(** Canonical spec; [of_string (to_string p) = Ok p]. *)
+
+val describe : policy -> string
+(** One-line human-readable rendering. *)
+
+val resume :
+  ?max_time:int ->
+  ?tracer:Obs.Tracer.t ->
+  ?fault:Fault.Fault_plan.t ->
+  ?sanitizer:Fault.Sanitizer.t ->
+  ?watchdog:int ->
+  ?recovery:policy ->
+  arch:Machine.Arch.t ->
+  Graph.t ->
+  inputs:(string * Value.t list) list ->
+  Machine.Machine_engine.snapshot ->
+  Machine.Machine_engine.result
+(** Rebuild a machine (same graph, inputs and configuration as the run
+    the snapshot came from), restore the snapshot into it, and run to
+    completion.  With identical configuration the result is
+    bit-identical to the run that saved the snapshot. *)

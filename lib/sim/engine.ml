@@ -552,7 +552,7 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window
       cells;
     match List.rev !blocked with
     | [] -> None
-    | blocked -> Some (SR.make ~time:!now ~reason ~blocked ~edges:!edges)
+    | blocked -> Some (SR.make ~time:!now ~reason ~blocked ~edges:!edges ())
   in
   let stuck =
     if San.tripped sanitizer then None

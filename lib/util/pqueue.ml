@@ -69,4 +69,34 @@ let pop q =
 
 let peek_priority q = if q.size = 0 then None else Some q.heap.(0).prio
 
+let peek q =
+  if q.size = 0 then None else Some (q.heap.(0).prio, q.heap.(0).payload)
+
+let drop_min q =
+  if q.size > 0 then begin
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end
+  end
+
 let clear q = q.size <- 0
+
+(* The heap array in index order.  Entries with equal priority pop in an
+   order determined by the heap layout, so a snapshot that must resume
+   bit-identically has to preserve the layout verbatim — [of_array] on an
+   array produced by [to_array] rebuilds the exact same heap. *)
+let to_array q = Array.init q.size (fun i -> (q.heap.(i).prio, q.heap.(i).payload))
+
+let of_array entries =
+  let size = Array.length entries in
+  if size = 0 then create ()
+  else
+    {
+      heap =
+        Array.init (max size initial_capacity) (fun i ->
+            let prio, payload = entries.(min i (size - 1)) in
+            { prio; payload });
+      size;
+    }

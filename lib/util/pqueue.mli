@@ -24,4 +24,23 @@ val pop : 'a t -> (int * 'a) option
 val peek_priority : 'a t -> int option
 (** Priority of the minimum entry without removing it. *)
 
+val peek : 'a t -> (int * 'a) option
+(** The minimum entry without removing it. *)
+
+val drop_min : 'a t -> unit
+(** Remove the minimum entry (no-op on an empty queue). *)
+
 val clear : 'a t -> unit
+
+(** {2 Snapshot support}
+
+    The pop order of equal-priority entries depends on the internal heap
+    layout, so a simulator snapshot that must resume bit-identically has
+    to capture the layout verbatim. *)
+
+val to_array : 'a t -> (int * 'a) array
+(** The heap array in index order (a valid binary heap). *)
+
+val of_array : (int * 'a) array -> 'a t
+(** Rebuild a queue with exactly the given heap layout.  The input must
+    be a valid min-heap in array form — i.e. come from {!to_array}. *)

@@ -218,7 +218,7 @@ let test_stall_report_cycle () =
     ]
   in
   let sr =
-    SR.make ~time:9 ~reason:SR.Deadlock ~blocked ~edges:[ (1, 2); (2, 1) ]
+    SR.make ~time:9 ~reason:SR.Deadlock ~blocked ~edges:[ (1, 2); (2, 1) ] ()
   in
   (match sr.SR.sr_cycle with
   | Some cycle -> Alcotest.(check bool) "cycle found" true (List.length cycle >= 2)
@@ -230,6 +230,62 @@ let test_stall_report_cycle () =
      in
      has 0)
 
+let spec_gen =
+  let open QCheck.Gen in
+  (* probabilities on a 1/20 grid keep the generator simple; %.17g
+     printing round-trips any float exactly, so the grid is not load-
+     bearing for the property *)
+  let prob = map (fun i -> float_of_int i /. 20.0) (int_range 0 20) in
+  let* seed = int_range 0 100_000 in
+  let* delay_prob = prob in
+  let* delay_max = int_range 1 64 in
+  let* dup_prob = prob in
+  let* drop_ack_prob = prob in
+  let* drop_prob = prob in
+  let* stall_prob = prob in
+  let* stall_max = int_range 1 64 in
+  let* fu_slow = int_range 0 9 in
+  let* am_slow = int_range 0 9 in
+  let* crash_pe = int_range (-1) 7 in
+  let* crash_at = int_range 0 1000 in
+  return
+    { FP.seed; delay_prob; delay_max; dup_prob; drop_ack_prob; drop_prob;
+      stall_prob; stall_max; fu_slow; am_slow; crash_pe; crash_at }
+
+let test_plan_string_round_trip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"plan to_string/of_string round-trip"
+       (QCheck.make spec_gen ~print:FP.to_string)
+       (fun s ->
+         match FP.of_string (FP.to_string s) with
+         | Ok s' -> s' = s
+         | Error e -> QCheck.Test.fail_report e))
+
+let test_engine_deadlock_cycle () =
+  (* two primed ID cells feeding each other: each holds the other's
+     token, so neither is ever granted its acknowledges.  The machine
+     must quiesce immediately and the stall report must surface the
+     wait-for cycle — this drives the cycle detector through a real
+     engine run, not a hand-built blocked list. *)
+  let g = Graph.create () in
+  let x = Graph.add g Opcode.Id [| Graph.In_arc_init (Value.Int 1) |] in
+  let y = Graph.add g Opcode.Id [| Graph.In_arc_init (Value.Int 2) |] in
+  Graph.connect g ~src:x ~dst:y ~port:0;
+  Graph.connect g ~src:y ~dst:x ~port:0;
+  let r = ME.run ~arch:Machine.Arch.default g ~inputs:[] in
+  Alcotest.(check bool) "quiescent with work undone" true r.ME.quiescent;
+  match r.ME.stall with
+  | None -> Alcotest.fail "deadlocked machine must file a stall report"
+  | Some sr ->
+    Alcotest.(check bool) "reason deadlock" true (sr.SR.sr_reason = SR.Deadlock);
+    Alcotest.(check int) "both cells blocked" 2 (List.length sr.SR.sr_blocked);
+    (match sr.SR.sr_cycle with
+    | Some cycle ->
+      Alcotest.(check bool) "cycle covers both cells" true
+        (List.sort compare cycle = [ x; y ]
+        || List.length cycle >= 2)
+    | None -> Alcotest.fail "wait-for cycle must be detected")
+
 (* ---------------- determinism ---------------- *)
 
 let test_machine_fault_determinism () =
@@ -238,8 +294,8 @@ let test_machine_fault_determinism () =
   let plan =
     FP.make
       { FP.seed = 77; delay_prob = 0.3; delay_max = 6; dup_prob = 0.0;
-        drop_ack_prob = 0.0; stall_prob = 0.2; stall_max = 5; fu_slow = 2;
-        am_slow = 3 }
+        drop_ack_prob = 0.0; drop_prob = 0.0; stall_prob = 0.2; stall_max = 5;
+        fu_slow = 2; am_slow = 3; crash_pe = -1; crash_at = 0 }
   in
   let run () =
     ME.run ~fault:plan ~sanitizer:(San.create g) ~arch:Machine.Arch.default g
@@ -256,7 +312,7 @@ let test_machine_fault_determinism () =
 let test_am_fraction_nan () =
   let empty =
     { ME.dispatches = 0; fu_ops = 0; am_ops = 0; result_packets = 0;
-      ack_packets = 0; pe_dispatches = [||] }
+      ack_packets = 0; retransmits = 0; pe_dispatches = [||] }
   in
   Alcotest.(check bool) "empty run has no AM fraction" true
     (Float.is_nan (ME.am_fraction empty));
@@ -323,6 +379,9 @@ let suite =
       test_watchdog_no_progress;
     Alcotest.test_case "stall report wait-for cycle" `Quick
       test_stall_report_cycle;
+    test_plan_string_round_trip;
+    Alcotest.test_case "engine-driven deadlock cycle" `Quick
+      test_engine_deadlock_cycle;
     Alcotest.test_case "machine fault determinism" `Quick
       test_machine_fault_determinism;
     Alcotest.test_case "am_fraction nan on empty run" `Quick

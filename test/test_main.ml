@@ -19,4 +19,5 @@ let () =
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
+      ("recover", Test_recover.suite);
     ]

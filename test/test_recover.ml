@@ -1,0 +1,377 @@
+(* lib/recover tests: checkpoint format round-trips, save/load/resume
+   bit-identity, crash tolerance with and without a recovery policy,
+   retransmission under lossy faults, and the crash differential across
+   every kernel — the tentpole property: a PE-crashed machine that
+   recovers must match the clean run value for value. *)
+
+open Dfg
+module ME = Machine.Machine_engine
+module FP = Fault.Fault_plan
+module San = Fault.Sanitizer
+module SR = Fault.Stall_report
+module V = Fault.Violation
+module FD = Fault_diff
+module CP = Recover.Checkpoint
+
+let ints xs = List.map (fun i -> Value.Int i) xs
+
+let figure2 () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let b = Graph.add g (Opcode.Input "b") [||] in
+  let add =
+    Graph.add g (Opcode.Arith Opcode.Add) [| Graph.In_arc; Graph.In_arc |]
+  in
+  Graph.connect g ~src:a ~dst:add ~port:0;
+  Graph.connect g ~src:b ~dst:add ~port:1;
+  let mul =
+    Graph.add g (Opcode.Arith Opcode.Mul)
+      [| Graph.In_arc; Graph.In_const (Value.Int 3) |]
+  in
+  Graph.connect g ~src:add ~dst:mul ~port:0;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:mul ~dst:out ~port:0;
+  g
+
+let fig2_inputs n =
+  [ ("a", ints (List.init n Fun.id)); ("b", ints (List.init n (fun i -> 10 * i))) ]
+
+(* a real-valued pipeline exercising awkward floats in checkpoints *)
+let real_pipeline () =
+  let g = Graph.create () in
+  let a = Graph.add g (Opcode.Input "a") [||] in
+  let neg = Graph.add g Opcode.Neg [| Graph.In_arc |] in
+  Graph.connect g ~src:a ~dst:neg ~port:0;
+  let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
+  Graph.connect g ~src:neg ~dst:out ~port:0;
+  g
+
+let awkward_reals =
+  [ 0.1; 1.0 /. 3.0; 1e-300; 4.9e-324 (* denormal *); -0.0; 1.5e300 ]
+
+(* ---------------- policy spec ---------------- *)
+
+let test_policy_spec () =
+  (match Recover.of_string "" with
+  | Ok p -> Alcotest.(check bool) "empty spec is default" true (p = Recover.default)
+  | Error e -> Alcotest.failf "empty spec: %s" e);
+  (match Recover.of_string "every=0,timeout=10,backoff=3,retries=2" with
+  | Ok p ->
+    Alcotest.(check int) "every" 0 p.Recover.checkpoint_every;
+    Alcotest.(check int) "timeout" 10 p.Recover.retransmit_after;
+    Alcotest.(check int) "backoff" 3 p.Recover.retransmit_backoff;
+    Alcotest.(check int) "retries" 2 p.Recover.max_retransmits;
+    Alcotest.(check bool) "round-trip" true
+      (Recover.of_string (Recover.to_string p) = Ok p)
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e);
+  (match Recover.of_string "timeout=0" with
+  | Ok _ -> Alcotest.fail "timeout=0 must be rejected"
+  | Error _ -> ());
+  (match Recover.of_string "bogus=1" with
+  | Ok _ -> Alcotest.fail "unknown key must be rejected"
+  | Error _ -> ());
+  Alcotest.(check bool) "default round-trip" true
+    (Recover.of_string (Recover.to_string Recover.default) = Ok Recover.default)
+
+(* ---------------- checkpoint format ---------------- *)
+
+let test_checkpoint_json_round_trip () =
+  let g = real_pipeline () in
+  let inputs = [ ("a", List.map (fun f -> Value.Real f) awkward_reals) ] in
+  let plan = FP.make (FP.delays ~prob:0.4 ~max_delay:5 31) in
+  let m =
+    ME.create ~fault:plan ~sanitizer:(San.create g)
+      ~recovery:ME.default_recovery ~arch:Machine.Arch.default g ~inputs
+  in
+  ME.advance m ~until:12;
+  let sn = ME.snapshot m in
+  (match CP.of_json ~graph:g (CP.to_json ~graph:g sn) with
+  | Ok sn' ->
+    Alcotest.(check bool) "snapshot survives JSON round-trip (bit-exact)" true
+      (CP.equal sn sn')
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* a checkpoint from one program must not load against another *)
+  let other = figure2 () in
+  match CP.of_json ~graph:other (CP.to_json ~graph:g sn) with
+  | Ok _ -> Alcotest.fail "fingerprint mismatch must be rejected"
+  | Error e ->
+    Alcotest.(check bool) "error names the fingerprint" true
+      (let rec has i =
+         i + 11 <= String.length e
+         && (String.sub e i 11 = "fingerprint" || has (i + 1))
+       in
+       has 0)
+
+let test_save_load_resume_bit_identical () =
+  (* acceptance: pause a faulted run mid-flight, save the checkpoint to
+     disk, load it into a fresh machine, run both to completion — the
+     resumed run must be bit-identical in outputs, timestamps and final
+     stats to the run that never stopped *)
+  let g = figure2 () in
+  let inputs = fig2_inputs 24 in
+  let plan = FP.make (FP.delays ~prob:0.3 ~max_delay:6 77) in
+  let recovery = { ME.default_recovery with checkpoint_every = 20 } in
+  let arch = Machine.Arch.default in
+  let straight =
+    ME.run ~fault:plan ~sanitizer:(San.create g) ~recovery ~arch g ~inputs
+  in
+  let m = ME.create ~fault:plan ~sanitizer:(San.create g) ~recovery ~arch g ~inputs in
+  ME.advance m ~until:40;
+  Alcotest.(check bool) "paused, not finished" false (ME.finished m);
+  let path = Filename.temp_file "dfsim-ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      CP.save ~path ~graph:g (ME.snapshot m);
+      match CP.load ~path ~graph:g with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok sn ->
+        Alcotest.(check bool) "disk round-trip exact" true
+          (CP.equal sn (ME.snapshot m));
+        let resumed =
+          Recover.resume ~fault:plan ~sanitizer:(San.create g) ~recovery ~arch
+            g ~inputs sn
+        in
+        Alcotest.(check bool) "outputs and timestamps identical" true
+          (resumed.ME.outputs = straight.ME.outputs);
+        Alcotest.(check int) "end_time identical" straight.ME.end_time
+          resumed.ME.end_time;
+        Alcotest.(check bool) "stats identical" true
+          (resumed.ME.stats = straight.ME.stats);
+        Alcotest.(check (list string)) "sanitizer clean" []
+          (List.map V.to_string resumed.ME.violations))
+
+(* ---------------- crash faults ---------------- *)
+
+let crash_plan ~seed ~pe ~at extra =
+  FP.make { extra with FP.seed; crash_pe = pe; crash_at = at }
+
+let test_crash_without_recovery_wedges () =
+  (* fail-stop with no recovery policy: the dead PE's cells never fire
+     again, the run wedges, and the stall report names the PE *)
+  let g = figure2 () in
+  let inputs = fig2_inputs 16 in
+  let clean = ME.run ~arch:Machine.Arch.default g ~inputs in
+  let plan = crash_plan ~seed:1 ~pe:2 ~at:30 FP.none in
+  let r = ME.run ~fault:plan ~arch:Machine.Arch.default g ~inputs in
+  Alcotest.(check int) "no recovery performed" 0 r.ME.recoveries;
+  Alcotest.(check bool) "outputs incomplete" true
+    (List.length (ME.output_values r "r")
+    < List.length (ME.output_values clean "r"));
+  match r.ME.stall with
+  | None -> Alcotest.fail "crashed machine must file a stall report"
+  | Some sr ->
+    Alcotest.(check (list int)) "dead PE named" [ 2 ] sr.SR.sr_dead_pes;
+    Alcotest.(check bool) "report mentions the dead PE" true
+      (let s = SR.to_string sr in
+       let rec has i =
+         i + 7 <= String.length s && (String.sub s i 7 = "dead PE" || has (i + 1))
+       in
+       has 0)
+
+let test_crash_with_recovery_equal () =
+  let g = figure2 () in
+  let inputs = fig2_inputs 16 in
+  let plan = crash_plan ~seed:1 ~pe:2 ~at:30 FP.none in
+  let recovery = { ME.default_recovery with checkpoint_every = 25 } in
+  let o = FD.machine ~recovery ~plan g ~inputs in
+  if not o.FD.equal then
+    Alcotest.failf "recovered run diverged: %s"
+      (FD.mismatch_to_string (List.hd o.FD.mismatches));
+  Alcotest.(check int) "exactly one recovery" 1 o.FD.faulted_recoveries;
+  Alcotest.(check (list string)) "sanitizer clean through recovery" []
+    (List.map V.to_string o.FD.faulted_violations)
+
+let test_crash_on_input_host_recovers () =
+  (* PE 0 hosts the Input cell feeding everything — the hardest loss *)
+  let g = figure2 () in
+  let inputs = fig2_inputs 16 in
+  let plan = crash_plan ~seed:2 ~pe:0 ~at:45 FP.none in
+  let recovery = { ME.default_recovery with checkpoint_every = 30 } in
+  let o = FD.machine ~recovery ~plan g ~inputs in
+  Alcotest.(check bool) "outputs equal" true o.FD.equal;
+  Alcotest.(check int) "one recovery" 1 o.FD.faulted_recoveries
+
+(* ---------------- retransmission ---------------- *)
+
+let lossy_outcome spec =
+  let g = figure2 () in
+  let inputs = fig2_inputs 16 in
+  let recovery = { ME.default_recovery with retransmit_after = 24 } in
+  FD.machine ~recovery ~plan:(FP.make spec) g ~inputs
+
+let test_drop_ack_recovered () =
+  (* lost acknowledges starved producers fatally before; with
+     retransmission the producer resends, the consumer re-acks, and the
+     run completes clean *)
+  let o = lossy_outcome { FP.none with FP.seed = 5; drop_ack_prob = 0.3 } in
+  Alcotest.(check bool) "outputs equal under 30% ack loss" true o.FD.equal;
+  Alcotest.(check (list string)) "no violations" []
+    (List.map V.to_string o.FD.faulted_violations);
+  match o.FD.faulted_snapshot with
+  | None -> Alcotest.fail "machine differential must expose the snapshot"
+  | Some sn ->
+    Alcotest.(check bool) "retransmissions actually happened" true
+      (sn.ME.sn_stats.ME.retransmits > 0)
+
+let test_drop_result_recovered () =
+  let o = lossy_outcome { FP.none with FP.seed = 6; drop_prob = 0.3 } in
+  Alcotest.(check bool) "outputs equal under 30% packet loss" true o.FD.equal;
+  Alcotest.(check (list string)) "no violations" []
+    (List.map V.to_string o.FD.faulted_violations)
+
+let test_dup_recovered () =
+  (* duplicated packets were a sanitizer-fatal protocol breach; sequence
+     numbers deduplicate them silently *)
+  let o = lossy_outcome { FP.none with FP.seed = 7; dup_prob = 0.5 } in
+  Alcotest.(check bool) "outputs equal under 50% duplication" true o.FD.equal;
+  Alcotest.(check (list string)) "no violations" []
+    (List.map V.to_string o.FD.faulted_violations)
+
+let test_recovery_overhead_free_when_clean () =
+  (* with no faults, a recovery-enabled run must match a plain run
+     exactly — the protocol may not perturb values or timing *)
+  let g = figure2 () in
+  let inputs = fig2_inputs 16 in
+  let arch = Machine.Arch.default in
+  let plain = ME.run ~arch g ~inputs in
+  let recovered = ME.run ~recovery:ME.default_recovery ~arch g ~inputs in
+  Alcotest.(check bool) "outputs identical" true
+    (plain.ME.outputs = recovered.ME.outputs);
+  Alcotest.(check int) "end_time identical" plain.ME.end_time
+    recovered.ME.end_time;
+  Alcotest.(check int) "no spurious retransmissions" 0
+    recovered.ME.stats.ME.retransmits
+
+(* ---------------- the tentpole property, kernel by kernel ---------------- *)
+
+let test_kernels_crash_differential () =
+  (* every kernel, 10 seeded crash+delay plans: the recovered machine
+     run must equal the clean run value for value with zero sanitizer
+     violations — checkpoint/rollback/re-host/replay is output-invisible *)
+  let module D = Compiler.Driver in
+  let module PC = Compiler.Program_compile in
+  let module K = Kernels in
+  let n = 8 and waves = 2 in
+  let replicate xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id) in
+  let total_recoveries = ref 0 in
+  List.iter
+    (fun (k : K.kernel) ->
+      let st = Random.State.make [| Hashtbl.hash k.K.name |] in
+      let _, compiled =
+        D.compile_source ~scalar_inputs:k.K.scalar_inputs (k.K.source n)
+      in
+      let kernel_inputs = k.K.inputs n st in
+      let feeds =
+        List.map
+          (fun (name, _) -> (name, replicate (List.assoc name kernel_inputs)))
+          compiled.PC.cp_inputs
+      in
+      List.iter
+        (fun seed ->
+          let plan =
+            crash_plan ~seed
+              ~pe:(seed mod 8)
+              ~at:(40 + (5 * (seed mod 20)))
+              (FP.delays ~prob:0.1 ~max_delay:5 seed)
+          in
+          let recovery = { ME.default_recovery with checkpoint_every = 40 } in
+          let o =
+            FD.machine ~recovery ~plan compiled.PC.cp_graph ~inputs:feeds
+          in
+          total_recoveries := !total_recoveries + o.FD.faulted_recoveries;
+          if not o.FD.equal then
+            Alcotest.failf "%s seed %d: %s" k.K.name seed
+              (FD.mismatch_to_string (List.hd o.FD.mismatches));
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s seed %d sanitizer clean" k.K.name seed)
+            []
+            (List.map V.to_string o.FD.faulted_violations))
+        (List.init 10 (fun i -> 500 + (131 * i))))
+    K.all;
+  (* the property must not pass vacuously: most of the 80 plans crash a
+     PE mid-run and every such run performs exactly one recovery *)
+  Alcotest.(check bool)
+    (Printf.sprintf "crashes actually recovered (%d)" !total_recoveries)
+    true
+    (!total_recoveries >= 40)
+
+let test_generator_tail_quiesces_under_ack_loss () =
+  (* hydro's windowing cells are fed by free-running CTL generators
+     whose final token parks on an arc forever.  Under recovery that
+     token's retransmission timer must neither keep the machine awake
+     (the run must still quiesce) nor burn the retry budget while the
+     token is merely resident at a slow consumer (regression: the
+     consume-time acknowledge then had no retries left and a 15% ack
+     loss wedged the run with an ack-conservation violation). *)
+  let module D = Compiler.Driver in
+  let module PC = Compiler.Program_compile in
+  let module K = Kernels in
+  let n = 8 and waves = 2 in
+  let k = List.find (fun (k : K.kernel) -> k.K.name = "hydro") K.all in
+  let st = Random.State.make [| Hashtbl.hash k.K.name |] in
+  let _, compiled =
+    D.compile_source ~scalar_inputs:k.K.scalar_inputs (k.K.source n)
+  in
+  let kernel_inputs = k.K.inputs n st in
+  let feeds =
+    List.map
+      (fun (name, _) ->
+        (name, List.concat (List.init waves (fun _ -> List.assoc name kernel_inputs))))
+      compiled.PC.cp_inputs
+  in
+  List.iter
+    (fun seed ->
+      let plan =
+        FP.make
+          { FP.none with FP.seed; delay_prob = 0.25; drop_ack_prob = 0.15 }
+      in
+      let recovery = ME.default_recovery in
+      let watchdog = 100 + (4 * FP.none.FP.delay_max) + (17 * recovery.ME.retransmit_after) in
+      let o =
+        FD.machine ~watchdog ~recovery ~plan compiled.PC.cp_graph ~inputs:feeds
+      in
+      if not o.FD.equal then
+        Alcotest.failf "hydro seed %d: %s" seed
+          (FD.mismatch_to_string (List.hd o.FD.mismatches));
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %d sanitizer clean" seed)
+        []
+        (List.map V.to_string o.FD.faulted_violations);
+      match o.FD.faulted_stall with
+      | None -> ()
+      | Some sr ->
+        (* residual generator tokens surface as a quiescent deadlock
+           report, never as a watchdog no-progress trip *)
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d quiesced (got %s)" seed (SR.to_string sr))
+          true
+          (sr.SR.sr_reason = SR.Deadlock))
+    [ 101; 202; 303 ]
+
+let suite =
+  [
+    Alcotest.test_case "recovery policy spec" `Quick test_policy_spec;
+    Alcotest.test_case "checkpoint JSON round-trip" `Quick
+      test_checkpoint_json_round_trip;
+    Alcotest.test_case "save/load/resume bit-identical" `Quick
+      test_save_load_resume_bit_identical;
+    Alcotest.test_case "crash without recovery wedges" `Quick
+      test_crash_without_recovery_wedges;
+    Alcotest.test_case "crash with recovery equals clean" `Quick
+      test_crash_with_recovery_equal;
+    Alcotest.test_case "crash on input-host PE recovers" `Quick
+      test_crash_on_input_host_recovers;
+    Alcotest.test_case "drop-ack survived by retransmission" `Quick
+      test_drop_ack_recovered;
+    Alcotest.test_case "drop survived by retransmission" `Quick
+      test_drop_result_recovered;
+    Alcotest.test_case "dup deduplicated by sequence numbers" `Quick
+      test_dup_recovered;
+    Alcotest.test_case "recovery overhead-free on clean runs" `Quick
+      test_recovery_overhead_free_when_clean;
+    Alcotest.test_case "kernels crash differential" `Quick
+      test_kernels_crash_differential;
+    Alcotest.test_case "generator tail quiesces under ack loss" `Quick
+      test_generator_tail_quiesces_under_ack_loss;
+  ]
