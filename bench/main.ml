@@ -13,28 +13,42 @@ module ME = Machine.Machine_engine
 module Arch = Machine.Arch
 module Table = Df_util.Table
 
-let failures = ref 0
+(* Experiments are independent jobs fanned over Exec.Pool, so nothing
+   may write to stdout directly: each experiment renders into its own
+   [ctx] and the main driver prints the buffers in submission order —
+   which makes the merged report byte-identical at any worker count. *)
+type ctx = {
+  buf : Buffer.t;
+  mutable ctx_failures : int;
+  entries : Obs.Bench_json.entry Queue.t;
+      (* recorded in execution order — no write-time reversal *)
+}
 
-let verdict ~ok fmt =
+let new_ctx () =
+  { buf = Buffer.create 4096; ctx_failures = 0; entries = Queue.create () }
+
+let pf ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
+
+let verdict ctx ~ok fmt =
   Printf.ksprintf
     (fun s ->
-      if not ok then incr failures;
-      Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") s)
+      if not ok then ctx.ctx_failures <- ctx.ctx_failures + 1;
+      pf ctx "  [%s] %s\n" (if ok then "PASS" else "FAIL") s)
     fmt
 
 (* Machine-readable results, one entry per experiment, written as
    BENCH_PIPELINE.json at the end of the run (path overridable via the
    BENCH_JSON environment variable). *)
-let entries : Obs.Bench_json.entry list ref = ref []
+let record ctx ?predicted ?measured ?units ?detail ~ok id title =
+  Queue.add
+    (Obs.Bench_json.entry ?predicted ?measured ?units ?detail ~ok id title)
+    ctx.entries
 
-let record ?predicted ?measured ?units ?detail ~ok id title =
-  entries :=
-    Obs.Bench_json.entry ?predicted ?measured ?units ?detail ~ok id title
-    :: !entries
+let header ctx id title claim =
+  pf ctx "\n=== %s: %s ===\n" id title;
+  pf ctx "paper: %s\n" claim
 
-let header id title claim =
-  Printf.printf "\n=== %s: %s ===\n" id title;
-  Printf.printf "paper: %s\n" claim
+let print_table ctx table = Buffer.add_string ctx.buf (Table.render table)
 
 let interval_of ?(waves = 10) ?options source inputs output =
   let prog, cp = D.compile_source ?options source in
@@ -75,8 +89,8 @@ let fig2_graph ~extra_depth =
   Graph.connect g ~src:!last ~dst:out ~port:0;
   g
 
-let e1 () =
-  header "E1" "Figure 2 pipeline"
+let e1 ctx =
+  header ctx "E1" "Figure 2 pipeline"
     "a balanced pipe emits one result every ~2 instruction times, \
      independent of depth";
   let n = 600 in
@@ -95,9 +109,9 @@ let e1 () =
         [ string_of_int (3 + extra); Printf.sprintf "%.3f" interval;
           Printf.sprintf "1/%.2f" interval ])
     [ 0; 5; 17; 37 ];
-  Table.print table;
-  verdict ~ok:!ok "interval stays at 2.0 for depths 3..40";
-  record ~predicted:2.0 ~measured:!worst ~ok:!ok
+  print_table ctx table;
+  verdict ctx ~ok:!ok "interval stays at 2.0 for depths 3..40";
+  record ctx ~predicted:2.0 ~measured:!worst ~ok:!ok
     ~detail:"worst interval over pipeline depths 3..40" "E1"
     "Figure 2 pipeline: rate independent of depth"
 
@@ -125,8 +139,8 @@ let diamond ~skew =
   Graph.connect g ~src:join ~dst:out ~port:0;
   g
 
-let e2 () =
-  header "E2" "balancing claim"
+let e2 ctx =
+  header ctx "E2" "balancing claim"
     "computation rate = rate of the slowest stage; inserting FIFOs \
      (identity cells) rebalances to the maximum";
   let n = 400 in
@@ -152,9 +166,9 @@ let e2 () =
         [ string_of_int skew; Printf.sprintf "%.3f" raw_i;
           Printf.sprintf "%.3f" bal_i; string_of_int buffers ])
     [ 1; 2; 4; 8; 16 ];
-  Table.print table;
-  verdict ~ok:!ok "unbalanced diamonds jam; optimal balancing restores 2.0";
-  record ~predicted:2.0 ~measured:!worst_bal ~ok:!ok
+  print_table ctx table;
+  verdict ctx ~ok:!ok "unbalanced diamonds jam; optimal balancing restores 2.0";
+  record ctx ~predicted:2.0 ~measured:!worst_bal ~ok:!ok
     ~detail:"worst balanced interval over skews 1..16" "E2"
     "balancing restores the maximal rate"
 
@@ -162,8 +176,8 @@ let e2 () =
 (* E3 — Figure 4: array selection with skew FIFOs.                      *)
 (* ------------------------------------------------------------------ *)
 
-let e3 () =
-  header "E3" "Figure 4 array selection"
+let e3 ctx =
+  header ctx "E3" "Figure 4 array selection"
     "gates discard boundary elements, FIFO(2)-style buffers absorb the \
      +/-1 window skew; the pipe is input-limited at 2(m+2)/m";
   let table = Table.create [ "m"; "predicted"; "measured"; "FIFO stages" ] in
@@ -187,18 +201,18 @@ let e3 () =
         [ string_of_int m; Printf.sprintf "%.3f" predicted;
           Printf.sprintf "%.3f" interval; string_of_int fifo_stages ])
     [ 16; 64; 256; 1024 ];
-  Table.print table;
-  verdict ~ok:!ok "measured interval tracks the input-limited prediction";
+  print_table ctx table;
+  verdict ctx ~ok:!ok "measured interval tracks the input-limited prediction";
   let predicted, measured = !last in
-  record ~predicted ~measured ~ok:!ok ~detail:"m=1024 window selection" "E3"
+  record ctx ~predicted ~measured ~ok:!ok ~detail:"m=1024 window selection" "E3"
     "Figure 4 array selection at the input-limited rate"
 
 (* ------------------------------------------------------------------ *)
 (* E4 — Figure 5: if-then-else with switched operands.                  *)
 (* ------------------------------------------------------------------ *)
 
-let e4 () =
-  header "E4" "Figure 5 conditional"
+let e4 ctx =
+  header ctx "E4" "Figure 5 conditional"
     "both arms equal length after FIFO insertion, control reaches the \
      merge through a FIFO: fully pipelined (interval 2)";
   let n = 255 in
@@ -212,18 +226,18 @@ let e4 () =
   let table = Table.create [ "n"; "predicted"; "measured" ] in
   Table.add_row table
     [ string_of_int n; "2.000"; Printf.sprintf "%.3f" interval ];
-  Table.print table;
+  print_table ctx table;
   let ok = Float.abs (interval -. 2.0) <= 0.05 in
-  verdict ~ok "conditional pipe fully pipelined (values oracle-checked)";
-  record ~predicted:2.0 ~measured:interval ~ok "E4"
+  verdict ctx ~ok "conditional pipe fully pipelined (values oracle-checked)";
+  record ctx ~predicted:2.0 ~measured:interval ~ok "E4"
     "Figure 5 conditional fully pipelined"
 
 (* ------------------------------------------------------------------ *)
 (* E5 — Figure 6 / Theorem 2: Example 1.                                *)
 (* ------------------------------------------------------------------ *)
 
-let e5 () =
-  header "E5" "Figure 6: primitive forall (Example 1)"
+let e5 ctx =
+  header ctx "E5" "Figure 6: primitive forall (Example 1)"
     "cascade of definition and accumulation graphs, boundary/interior \
      merge under control sequences: fully pipelined";
   let m = 254 in
@@ -239,13 +253,13 @@ let e5 () =
   List.iter
     (fun (op, k) -> Table.add_row table [ op; string_of_int k ])
     census;
-  Table.print table;
+  print_table ctx table;
   let iok = Float.abs (interval -. 2.0) <= 0.05 in
-  verdict ~ok:iok "Example 1 fully pipelined at interval %.3f" interval;
+  verdict ctx ~ok:iok "Example 1 fully pipelined at interval %.3f" interval;
   let gates = Option.value ~default:0 (List.assoc_opt "TGATE" census) in
-  verdict ~ok:(gates >= 3)
+  verdict ctx ~ok:(gates >= 3)
     "selection gates present as in Figure 6 (%d gates)" gates;
-  record ~predicted:2.0 ~measured:interval
+  record ctx ~predicted:2.0 ~measured:interval
     ~ok:(iok && gates >= 3)
     "E5" "Figure 6 primitive forall (Example 1)"
 
@@ -253,8 +267,8 @@ let e5 () =
 (* E6/E7 — Figures 7 and 8: Todd 1/3 vs companion 1/2.                  *)
 (* ------------------------------------------------------------------ *)
 
-let e6_e7 () =
-  header "E6+E7" "Figures 7 and 8: for-iter schemes"
+let e6_e7 ctx =
+  header ctx "E6+E7" "Figures 7 and 8: for-iter schemes"
     "Todd's 3-cell feedback loop caps the rate at 1/3; the companion \
      pipeline restores the maximum 1/2";
   let m = 255 in
@@ -281,21 +295,21 @@ let e6_e7 () =
   Table.add_row table
     [ "companion (fig 8)"; "1/2"; Printf.sprintf "%.3f" comp;
       string_of_int comp_cells ];
-  Table.print table;
-  verdict ~ok:(todd > 2.8 && todd < 3.2) "Todd limited to ~1/3 (%.3f)" todd;
-  verdict ~ok:(comp < 2.1) "companion restores ~1/2 (%.3f)" comp;
-  record ~predicted:3.0 ~measured:todd
+  print_table ctx table;
+  verdict ctx ~ok:(todd > 2.8 && todd < 3.2) "Todd limited to ~1/3 (%.3f)" todd;
+  verdict ctx ~ok:(comp < 2.1) "companion restores ~1/2 (%.3f)" comp;
+  record ctx ~predicted:3.0 ~measured:todd
     ~ok:(todd > 2.8 && todd < 3.2)
     "E6" "Figure 7: Todd's scheme capped at 1/3";
-  record ~predicted:2.0 ~measured:comp ~ok:(comp < 2.1) "E7"
+  record ctx ~predicted:2.0 ~measured:comp ~ok:(comp < 2.1) "E7"
     "Figure 8: companion scheme restores 1/2"
 
 (* ------------------------------------------------------------------ *)
 (* E8 — companion vs Todd as the recurrence body deepens.               *)
 (* ------------------------------------------------------------------ *)
 
-let e8 () =
-  header "E8" "companion tree claim"
+let e8 ctx =
+  header ctx "E8" "companion tree claim"
     "G is associative, so deeper recurrence bodies still run at 1/2 \
      under the companion scheme while the direct loop degrades";
   let m = 127 in
@@ -329,8 +343,8 @@ let e8 () =
         [ string_of_int depth; Printf.sprintf "%.0f" todd_predicted;
           Printf.sprintf "%.3f" todd; Printf.sprintf "%.3f" comp ])
     [ 1; 2; 4; 8 ];
-  Table.print table;
-  verdict ~ok:!ok "companion stays at ~2.0 while Todd degrades as 2d+2";
+  print_table ctx table;
+  verdict ctx ~ok:!ok "companion stays at ~2.0 while Todd degrades as 2d+2";
   (* the log2 tree itself: larger feedback distances still at max rate *)
   let table2 =
     Table.create [ "companion distance"; "G levels"; "cells"; "interval" ]
@@ -366,10 +380,10 @@ let e8 () =
           string_of_int (Graph.node_count cp.PC.cp_graph);
           Printf.sprintf "%.3f (pred %.3f)" interval predicted ])
     [ 2; 4; 8 ];
-  Table.print table2;
-  verdict ~ok:!ok2
+  print_table ctx table2;
+  verdict ctx ~ok:!ok2
     "the log2(d)-level G tree tracks its predicted near-maximal rate";
-  record ~predicted:2.0 ~measured:!worst_comp
+  record ctx ~predicted:2.0 ~measured:!worst_comp
     ~ok:(!ok && !ok2)
     ~detail:"worst companion interval over body depths 1..8" "E8"
     "companion tree stays at 1/2 as the recurrence deepens"
@@ -378,8 +392,8 @@ let e8 () =
 (* E9 — Figure 3 / Theorem 4: the whole pipe-structured program.        *)
 (* ------------------------------------------------------------------ *)
 
-let e9 () =
-  header "E9" "Figure 3 pipe-structured program"
+let e9 ctx =
+  header ctx "E9" "Figure 3 pipe-structured program"
     "blocks connected producer-to-consumer and balanced: the complete \
      program is fully pipelined end to end";
   let m = 126 in
@@ -395,21 +409,21 @@ let e9 () =
   Table.add_row table [ "A"; "2.000"; Printf.sprintf "%.3f" a_interval ];
   Table.add_row table
     [ "X"; Printf.sprintf "%.3f" predicted; Printf.sprintf "%.3f" interval ];
-  Table.print table;
-  Printf.printf "  block mappings: %s\n"
+  print_table ctx table;
+  pf ctx "  block mappings: %s\n"
     (String.concat ", "
        (List.map (fun (b, s) -> b ^ ":" ^ s) cp.PC.cp_schemes));
   let ok = Float.abs (interval -. predicted) <= 0.15 && a_interval <= 2.05 in
-  verdict ~ok "whole program pipelined end to end (values oracle-checked)";
-  record ~predicted ~measured:interval ~ok "E9"
+  verdict ctx ~ok "whole program pipelined end to end (values oracle-checked)";
+  record ctx ~predicted ~measured:interval ~ok "E9"
     "Figure 3 pipe-structured program end to end"
 
 (* ------------------------------------------------------------------ *)
 (* E10 — Section 8: naive >= reduced >= optimal = LP dual bound.        *)
 (* ------------------------------------------------------------------ *)
 
-let e10 () =
-  header "E10" "optimal buffering"
+let e10 ctx =
+  header ctx "E10" "optimal buffering"
     "balancing is polynomial; reduction helps; the optimum equals the \
      LP dual of min-cost flow";
   let table =
@@ -444,9 +458,9 @@ let e10 () =
           string_of_int reduced; string_of_int optimal; string_of_int bound;
           (if rate_ok then "yes" else "NO") ])
     [ (1, 4, 4); (2, 6, 6); (3, 8, 8); (4, 10, 10); (5, 12, 12) ];
-  Table.print table;
-  verdict ~ok:!ok "naive >= reduced >= optimal = dual bound, all at rate 1/2";
-  record ~ok:!ok ~units:"buffer stages"
+  print_table ctx table;
+  verdict ctx ~ok:!ok "naive >= reduced >= optimal = dual bound, all at rate 1/2";
+  record ctx ~ok:!ok ~units:"buffer stages"
     ~detail:"naive >= reduced >= optimal = LP dual bound on 5 random DAGs"
     "E10" "optimal buffering matches the min-cost-flow dual"
 
@@ -454,8 +468,8 @@ let e10 () =
 (* E11 — Section 2: array-memory traffic.                               *)
 (* ------------------------------------------------------------------ *)
 
-let e11 () =
-  header "E11" "array memory traffic"
+let e11 ctx =
+  header ctx "E11" "array memory traffic"
     "streaming arrays keeps AM traffic at 1/8 or less of operation \
      packets; a stored-array baseline pays far more and runs slower";
   let m = 62 in
@@ -496,7 +510,7 @@ let e11 () =
           Printf.sprintf "%.4f" throughput ])
     [ (Arch.Streamed, 4); (Arch.Streamed, 16); (Arch.Streamed, 64);
       (Arch.Stored, 4); (Arch.Stored, 16); (Arch.Stored, 64) ];
-  Table.print table;
+  print_table ctx table;
   let streamed_max =
     List.fold_left
       (fun acc (p, f) -> if p = Arch.Streamed then Float.max acc f else acc)
@@ -507,13 +521,13 @@ let e11 () =
       (fun acc (p, f) -> if p = Arch.Stored then Float.min acc f else acc)
       1.0 !fractions
   in
-  verdict
+  verdict ctx
     ~ok:(streamed_max <= 0.125)
     "streamed AM fraction %.3f <= 1/8" streamed_max;
-  verdict
+  verdict ctx
     ~ok:(stored_min > streamed_max)
     "stored baseline pays more AM traffic (%.3f)" stored_min;
-  record ~predicted:0.125 ~measured:streamed_max
+  record ctx ~predicted:0.125 ~measured:streamed_max
     ~ok:(streamed_max <= 0.125 && stored_min > streamed_max)
     ~units:"AM fraction" "E11" "streamed arrays keep AM traffic under 1/8"
 
@@ -571,8 +585,8 @@ let interleaved_recurrence ~rows ~len =
   Graph.connect g ~src:ms ~dst:out ~port:0;
   g
 
-let e12 () =
-  header "E12" "delay-for-rate trade-off"
+let e12 ctx =
+  header ctx "E12" "delay-for-rate trade-off"
     "a cyclic recurrence reaches the maximum rate when a delay (FIFO) \
      of length ~ the interleaving factor is inserted in the loop";
   let len = 64 in
@@ -601,10 +615,10 @@ let e12 () =
         [ string_of_int rows; string_of_int (max 0 (rows - 2));
           Printf.sprintf "%.3f" interval ])
     [ 1; 2; 4; 16; 64 ];
-  Table.print table;
-  verdict ~ok:!ok
+  print_table ctx table;
+  verdict ctx ~ok:!ok
     "rate climbs from 1/3 to the maximum as the delay line grows";
-  record ~predicted:2.0 ~measured:!deepest ~ok:!ok
+  record ctx ~predicted:2.0 ~measured:!deepest ~ok:!ok
     ~detail:"interval with 64 interleaved rows (delay line 62)" "E12"
     "delay-for-rate trade-off reaches the maximal rate"
 
@@ -612,8 +626,8 @@ let e12 () =
 (* E13 — Section 9 remark: two-dimensional arrays.                      *)
 (* ------------------------------------------------------------------ *)
 
-let e13 () =
-  header "E13" "multi-dimensional extension"
+let e13 ctx =
+  header ctx "E13" "multi-dimensional extension"
     "the extension to arrays of multiple dimensions is straightforward: \
      2-D forall blocks stream row-major and stay pipelined";
   let table = Table.create [ "grid"; "predicted"; "measured" ] in
@@ -634,10 +648,10 @@ let e13 () =
         [ Printf.sprintf "%dx%d" n n; Printf.sprintf "%.3f" predicted;
           Printf.sprintf "%.3f" interval ])
     [ 8; 16; 32 ];
-  Table.print table;
-  verdict ~ok:!ok "2-D stencils pipeline at the input-limited rate";
+  print_table ctx table;
+  verdict ctx ~ok:!ok "2-D stencils pipeline at the input-limited rate";
   let predicted, measured = !last in
-  record ~predicted ~measured ~ok:!ok ~detail:"32x32 grid" "E13"
+  record ctx ~predicted ~measured ~ok:!ok ~detail:"32x32 grid" "E13"
     "2-D forall blocks stream row-major and stay pipelined"
 
 (* ------------------------------------------------------------------ *)
@@ -648,8 +662,8 @@ let fifo_stages g =
   Graph.fold_nodes g ~init:0 ~f:(fun acc n ->
       match n.Graph.op with Opcode.Fifo k -> acc + k | _ -> acc)
 
-let x1 () =
-  header "X1" "ablation: balancing strategies"
+let x1 ctx =
+  header ctx "X1" "ablation: balancing strategies"
     "(extension) the three balancers on compiled programs: all reach the \
      maximal rate; buffer stages are ordered naive >= reduced >= optimal";
   let m = 62 in
@@ -683,9 +697,9 @@ let x1 () =
   | [ _none; naive; reduced; optimal ] ->
     if not (naive >= reduced && reduced >= optimal) then ok := false
   | _ -> ok := false);
-  Table.print table;
-  verdict ~ok:!ok "all balanced variants pipelined; buffers ordered";
-  record ~ok:!ok ~units:"buffer stages"
+  print_table ctx table;
+  verdict ctx ~ok:!ok "all balanced variants pipelined; buffers ordered";
+  record ctx ~ok:!ok ~units:"buffer stages"
     ~detail:"naive/reduced/optimal balancing of Figure 3, all pipelined" "X1"
     "ablation: balancing strategies on compiled programs"
 
@@ -693,8 +707,8 @@ let x1 () =
 (* X2 — ablation: cross-block CSE.                                      *)
 (* ------------------------------------------------------------------ *)
 
-let x2 () =
-  header "X2" "ablation: common-subexpression elimination"
+let x2 ctx =
+  header ctx "X2" "ablation: common-subexpression elimination"
     "(extension) deduplicating identical cells across blocks shrinks the \
      machine program without changing values or rate";
   let m = 62 in
@@ -717,12 +731,12 @@ let x2 () =
           string_of_int (Graph.arc_count cp.PC.cp_graph);
           Printf.sprintf "%.3f" interval ])
     [ ("off", false); ("on", true) ];
-  Table.print table;
+  print_table ctx table;
   let ok =
     match !cells with [ on; off ] -> on <= off | _ -> false
   in
-  verdict ~ok "CSE never grows the program; values oracle-checked both ways";
-  record ~ok ~units:"cells"
+  verdict ctx ~ok "CSE never grows the program; values oracle-checked both ways";
+  record ctx ~ok ~units:"cells"
     ?measured:(match !cells with [ on; _ ] -> Some (float_of_int on) | _ -> None)
     ~detail:"cell count with cross-block CSE on (off in table)" "X2"
     "ablation: cross-block common-subexpression elimination"
@@ -731,8 +745,8 @@ let x2 () =
 (* X3 — the scientific-kernel suite.                                    *)
 (* ------------------------------------------------------------------ *)
 
-let x3 () =
-  header "X3" "scientific-kernel suite"
+let x3 ctx =
+  header ctx "X3" "scientific-kernel suite"
     "(extension) Livermore-style kernels in the paper's class: predicted \
      vs measured intervals, doubly verified (interpreter + OCaml)";
   let n = 96 in
@@ -774,10 +788,10 @@ let x3 () =
           Printf.sprintf "%.3f" predicted; Printf.sprintf "%.3f" interval;
           schemes ])
     Kernels.all;
-  Table.print table;
-  verdict ~ok:!ok
+  print_table ctx table;
+  verdict ctx ~ok:!ok
     "every kernel matches both oracles and its predicted interval";
-  record ~ok:!ok
+  record ctx ~ok:!ok
     ~detail:
       (Printf.sprintf "%d kernels, values double-checked, intervals within 8%%"
          (List.length Kernels.all))
@@ -830,25 +844,73 @@ let micro_benchmarks () =
       | _ -> Printf.printf "  %-45s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* The experiment index: submission order is report order and the
+   canonical order of BENCH_PIPELINE.json entries.  Each entry lists the
+   ids it records so the order-stability check below can assert the
+   merged entry stream without caring how work was scheduled. *)
+let experiments : (string list * (ctx -> unit)) list =
+  [
+    ([ "E1" ], e1);
+    ([ "E2" ], e2);
+    ([ "E3" ], e3);
+    ([ "E4" ], e4);
+    ([ "E5" ], e5);
+    ([ "E6"; "E7" ], e6_e7);
+    ([ "E8" ], e8);
+    ([ "E9" ], e9);
+    ([ "E10" ], e10);
+    ([ "E11" ], e11);
+    ([ "E12" ], e12);
+    ([ "E13" ], e13);
+    ([ "X1" ], x1);
+    ([ "X2" ], x2);
+    ([ "X3" ], x3);
+  ]
+
+let jobs_from_argv () =
+  let jobs = ref None in
+  let n = Array.length Sys.argv in
+  for i = 1 to n - 1 do
+    if Sys.argv.(i) = "--jobs" && i + 1 < n then
+      jobs := int_of_string_opt Sys.argv.(i + 1)
+  done;
+  match !jobs with Some j when j >= 1 -> j | _ -> Exec.Pool.default_jobs ()
+
 let () =
   print_endline
     "Reproduction harness: Dennis & Gao, 'Maximum Pipelining of Array \
      Operations on Static Data Flow Machine' (ICPP 1983)";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6_e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  x1 ();
-  x2 ();
-  x3 ();
+  let jobs = jobs_from_argv () in
+  (* job-graph mode: the experiments are independent, so fan them over
+     domains; merging buffers in submission order keeps the report and
+     the JSON byte-identical to a sequential run *)
+  let ctxs, elapsed =
+    Exec.Pool.timed (fun () ->
+        Exec.Pool.map ~jobs
+          (fun (_ids, experiment) ->
+            let ctx = new_ctx () in
+            experiment ctx;
+            ctx)
+          experiments)
+  in
+  List.iter (fun ctx -> print_string (Buffer.contents ctx.buf)) ctxs;
+  let failures =
+    List.fold_left (fun acc ctx -> acc + ctx.ctx_failures) 0 ctxs
+  in
+  let entries =
+    List.concat_map (fun ctx -> List.of_seq (Queue.to_seq ctx.entries)) ctxs
+  in
+  Printf.printf "\n%d experiments in %.2fs (%d worker%s)\n"
+    (List.length experiments) elapsed jobs (if jobs = 1 then "" else "s");
+  (* order stability: merged entries must follow the experiment index
+     exactly, whatever the worker count *)
+  let expected_ids = List.concat_map fst experiments in
+  let got_ids = List.map (fun e -> e.Obs.Bench_json.id) entries in
+  let order_ok = got_ids = expected_ids in
+  Printf.printf "  [%s] entry order stable (%s)\n"
+    (if order_ok then "PASS" else "FAIL")
+    (String.concat "," got_ids);
+  let failures = failures + if order_ok then 0 else 1 in
   (try micro_benchmarks ()
    with exn ->
      Printf.printf "  (micro-benchmarks skipped: %s)\n"
@@ -860,10 +922,10 @@ let () =
     ~meta:
       [ ("suite", Obs.Json.String "dennis-gao-icpp83");
         ("generated_by", Obs.Json.String "bench/main.exe") ]
-    (List.rev !entries);
+    entries;
   Printf.printf "\nwrote %s (%d experiments)\n" json_path
-    (List.length !entries);
+    (List.length entries);
   Printf.printf "\n%s\n"
-    (if !failures = 0 then "ALL EXPERIMENTS PASS"
-     else Printf.sprintf "%d EXPERIMENT(S) FAILED" !failures);
-  exit (if !failures = 0 then 0 else 1)
+    (if failures = 0 then "ALL EXPERIMENTS PASS"
+     else Printf.sprintf "%d EXPERIMENT(S) FAILED" failures);
+  exit (if failures = 0 then 0 else 1)

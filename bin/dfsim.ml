@@ -202,10 +202,13 @@ let run_loaded path waves seed report trace_out metrics_out ~fault ~sanitizer
       (Dfg.Graph.inputs g)
   in
   let tracer = tracer_for trace_out in
-  let result =
-    Sim.Engine.run ~record_firings:report ~tracer ?fault ~sanitizer ?watchdog g
-      ~inputs
+  let cfg =
+    Run_config.(
+      default |> with_record_firings report |> with_tracer tracer
+      |> with_fault_opt fault |> with_sanitizer sanitizer
+      |> with_watchdog_opt watchdog)
   in
+  let result = Sim.Engine.run_cfg cfg g ~inputs in
   print_diagnostics ~violations:result.Sim.Engine.violations
     ~stall:result.Sim.Engine.stuck ();
   List.iter
@@ -273,10 +276,13 @@ let run path waves seed input_files machine pe stored no_check report load
       in
       let tracer = tracer_for trace_out in
       let g = compiled.PC.cp_graph in
-      let m =
-        ME.create ~arch ~tracer ?fault ~sanitizer:(sanitizer g) ?watchdog
-          ?recovery g ~inputs:feeds
+      let cfg =
+        Run_config.(
+          default |> with_max_time ME.default_max_time |> with_tracer tracer
+          |> with_fault_opt fault |> with_sanitizer (sanitizer g)
+          |> with_watchdog_opt watchdog |> with_recovery_opt recovery)
       in
+      let m = ME.create_cfg cfg ~arch g ~inputs:feeds in
       (match restore_from with
       | None -> ()
       | Some p -> (
@@ -326,11 +332,13 @@ let run path waves seed input_files machine pe stored no_check report load
           "note: the graph-level simulator honours delay faults only \
            (use --machine for dup/drop-ack/stall/slowdown)"
       | _ -> ());
-      let result =
-        D.run ~waves ~tracer ?fault
-          ~sanitizer:(sanitizer compiled.PC.cp_graph)
-          ?watchdog compiled ~inputs
+      let cfg =
+        Run_config.(
+          default |> with_tracer tracer |> with_fault_opt fault
+          |> with_sanitizer (sanitizer compiled.PC.cp_graph)
+          |> with_watchdog_opt watchdog)
       in
+      let result = D.run_cfg ~waves cfg compiled ~inputs in
       print_diagnostics ~violations:result.Sim.Engine.violations
         ~stall:result.Sim.Engine.stuck ();
       if not no_check then begin
@@ -349,7 +357,11 @@ let run path waves seed input_files machine pe stored no_check report load
             (if List.length wave > 8 then ", ..." else ""))
         compiled.PC.cp_outputs;
       if report then begin
-        let r2 = D.run ~waves ~record_firings:true compiled ~inputs in
+        let r2 =
+          D.run_cfg ~waves
+            Run_config.(default |> with_record_firings true)
+            compiled ~inputs
+        in
         print_string (Sim.Report.render compiled.PC.cp_graph r2)
       end;
       write_trace ~tracks:(graph_tracks compiled.PC.cp_graph) tracer trace_out;

@@ -116,7 +116,9 @@ let stall_unexpected = function
   | None -> false
   | Some sr -> sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock
 
-let check_one cfg ~seed (k : K.kernel) =
+(* one kernel/seed combination; the report goes into [buf] so the matrix
+   can run across domains and still print in submission order *)
+let check_one cfg ~buf ~seed (k : K.kernel) =
   let st = Random.State.make [| Hashtbl.hash k.K.name |] in
   let _, compiled =
     D.compile_source ~scalar_inputs:k.K.scalar_inputs (k.K.source cfg.size)
@@ -138,7 +140,8 @@ let check_one cfg ~seed (k : K.kernel) =
       && not (stall_unexpected o.FD.faulted_stall)
     in
     if ok then begin
-      Printf.printf "ok   %-14s %-7s seed=%d (clean end %d, faulted end %d%s)\n"
+      Printf.bprintf buf
+        "ok   %-14s %-7s seed=%d (clean end %d, faulted end %d%s)\n"
         k.K.name engine seed o.FD.clean_end o.FD.faulted_end
         (if o.FD.faulted_recoveries > 0 then
            Printf.sprintf ", %d recovery" o.FD.faulted_recoveries
@@ -150,7 +153,7 @@ let check_one cfg ~seed (k : K.kernel) =
         dump_failure cfg ~graph:compiled.PC.cp_graph ~kernel:k.K.name ~seed
           ~engine o
       in
-      Printf.printf
+      Printf.bprintf buf
         "FAIL %-14s %-7s seed=%d (%d mismatches, %d violations) -> %s\n\
         \     repro: %s\n"
         k.K.name engine seed
@@ -177,7 +180,7 @@ let check_one cfg ~seed (k : K.kernel) =
   ok_sim && ok_machine
 
 let main seeds dir kernel_filter size waves prob max_delay dup drop_ack drop
-    crash_pe crash_at recover machine =
+    crash_pe crash_at recover machine jobs =
   let recovery =
     match recover with
     | None -> None
@@ -214,37 +217,56 @@ let main seeds dir kernel_filter size waves prob max_delay dup drop_ack drop
     print_endline
       "note: dup/drop/drop-ack/crash faults are machine-only; the sim \
        differential is skipped for them (add --machine)";
+  (* the kernel x seed matrix fans out across domains; reports are
+     merged in submission order, so stdout is byte-identical to a
+     sequential run whatever the worker count *)
+  let matrix =
+    List.concat_map
+      (fun (k : K.kernel) -> List.map (fun seed -> (k, seed)) seeds)
+      kernels
+  in
+  let jobs = match jobs with Some j -> j | None -> Exec.Pool.default_jobs () in
+  let results, elapsed =
+    Exec.Pool.timed (fun () ->
+        Exec.Pool.map_result ~jobs
+          (fun ((k : K.kernel), seed) ->
+            let buf = Buffer.create 256 in
+            let ok = check_one cfg ~buf ~seed k in
+            (Buffer.contents buf, ok))
+          matrix)
+  in
   let failures = ref 0 in
-  let runs = ref 0 in
-  List.iter
-    (fun (k : K.kernel) ->
-      List.iter
-        (fun seed ->
-          incr runs;
-          match check_one cfg ~seed k with
-          | true -> ()
-          | false -> incr failures
-          | exception e ->
-            incr failures;
-            Printf.printf "FAIL %-14s seed=%d raised %s\n     repro: %s\n"
-              k.K.name seed (Printexc.to_string e)
-              (repro_command cfg ~kernel:k.K.name ~seed))
-        seeds)
-    kernels;
+  let runs = List.length matrix in
+  List.iter2
+    (fun ((k : K.kernel), seed) r ->
+      match r with
+      | Ok (report, ok) ->
+        print_string report;
+        if not ok then incr failures
+      | Error (e : Exec.Pool.error) ->
+        incr failures;
+        Printf.printf "FAIL %-14s seed=%d raised %s\n     repro: %s\n"
+          k.K.name seed e.Exec.Pool.message
+          (repro_command cfg ~kernel:k.K.name ~seed))
+    matrix results;
+  (* timing goes to stderr: stdout stays diffable across worker counts *)
+  Printf.eprintf "faultcheck: %d runs in %.2fs (%d worker%s)\n" runs elapsed
+    jobs
+    (if jobs = 1 then "" else "s");
   if !failures = 0 then begin
     Printf.printf
-      "all %d kernel/seed runs: faulted outputs identical to clean\n" !runs;
+      "all %d kernel/seed runs: faulted outputs identical to clean\n" runs;
     `Ok ()
   end
   else
     `Error
-      (false, Printf.sprintf "%d of %d kernel/seed runs failed" !failures !runs)
+      (false, Printf.sprintf "%d of %d kernel/seed runs failed" !failures runs)
 
 let main_safe seeds dir kernel size waves prob max_delay dup drop_ack drop
-    crash_pe crash_at recover machine =
+    crash_pe crash_at recover machine jobs =
   try
     main seeds dir kernel size waves prob max_delay dup drop_ack drop crash_pe
-      crash_at recover machine
+      crash_at recover machine jobs
   with Failure msg -> `Error (false, msg)
 
 let cmd =
@@ -318,10 +340,17 @@ let cmd =
          & info [ "machine" ]
              ~doc:"also run the differential on the machine-level simulator")
   in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"worker domains for the kernel/seed matrix (default: \
+                   \\$(b,EXEC_JOBS) or the available cores); output is \
+                   identical whatever the count")
+  in
   let term =
     Term.(ret (const main_safe $ seeds $ dir $ kernel $ size $ waves $ prob
                $ max_delay $ dup $ drop_ack $ drop $ crash_pe $ crash_at
-               $ recover $ machine))
+               $ recover $ machine $ jobs))
   in
   Cmd.v
     (Cmd.info "faultcheck" ~version:"1.0"

@@ -1,0 +1,116 @@
+(* sweep: declarative kernel x PE-count x waves grids on the machine
+   model, one JSON row per cell.
+
+   The grid cells are independent jobs fanned over domains; rows come
+   back in grid order and the JSON carries no timings, so its bytes are
+   identical whatever --jobs says.  Timing goes to stderr.
+
+   Examples:
+     sweep --out sweep.json
+     sweep --kernels vecadd,hydro --pes 1,2,4,8,16 --waves 4 --size 64
+     sweep --pes 8 --waves 1,2,4,8 --jobs 4 *)
+
+module K = Kernels
+
+let kernel_names = List.map (fun (k : K.kernel) -> k.K.name) K.all
+
+let resolve_kernels = function
+  | None -> Ok K.all
+  | Some names ->
+    let find name =
+      match List.find_opt (fun (k : K.kernel) -> k.K.name = name) K.all with
+      | Some k -> Ok k
+      | None ->
+        Error
+          (Printf.sprintf "--kernels %s: unknown kernel (have: %s)" name
+             (String.concat ", " kernel_names))
+    in
+    List.fold_right
+      (fun name acc ->
+        match (find name, acc) with
+        | Ok k, Ok ks -> Ok (k :: ks)
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e)
+      names (Ok [])
+
+let main kernels pes waves size out jobs =
+  match resolve_kernels kernels with
+  | Error msg -> `Error (false, msg)
+  | Ok kernels ->
+    if List.exists (fun p -> p < 1) pes then
+      `Error (false, "--pes: PE counts must be positive")
+    else begin
+      let cells = Exec.Sweep.grid ~kernels ~pes ~waves ~size in
+      let jobs =
+        match jobs with Some j -> j | None -> Exec.Pool.default_jobs ()
+      in
+      let rows, elapsed =
+        Exec.Pool.timed (fun () -> Exec.Sweep.run_grid ~jobs cells)
+      in
+      let json = Exec.Sweep.to_json rows in
+      (match out with
+      | Some path -> Obs.Json.write_file path json
+      | None -> print_endline (Obs.Json.to_string json));
+      let failed =
+        List.length
+          (List.filter
+             (function Ok r -> not r.Exec.Sweep.r_ok | Error _ -> false)
+             rows)
+        + List.length (List.filter Result.is_error rows)
+      in
+      Printf.eprintf "sweep: %d cells in %.2fs (%d worker%s)%s\n"
+        (List.length cells) elapsed jobs
+        (if jobs = 1 then "" else "s")
+        (match out with
+        | Some path -> Printf.sprintf " -> %s" path
+        | None -> "");
+      if failed = 0 then `Ok ()
+      else `Error (false, Printf.sprintf "%d of %d cells failed" failed
+                     (List.length cells))
+    end
+
+let cmd =
+  let open Cmdliner in
+  let kernels =
+    Arg.(value & opt (some (list string)) None
+         & info [ "kernels" ] ~docv:"NAME,NAME,..."
+             ~doc:(Printf.sprintf
+                     "kernels to sweep (default: the whole library — %s)"
+                     (String.concat ", " kernel_names)))
+  in
+  let pes =
+    Arg.(value & opt (list int) [ 1; 2; 4; 8; 16 ]
+         & info [ "pes" ] ~docv:"N,N,..."
+             ~doc:"processing-element counts to sweep")
+  in
+  let waves =
+    Arg.(value & opt (list int) [ 4 ]
+         & info [ "waves" ] ~docv:"W,W,..."
+             ~doc:"input wave counts to sweep")
+  in
+  let size =
+    Arg.(value & opt int 32
+         & info [ "size" ] ~docv:"N" ~doc:"kernel size parameter")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"write the JSON grid here instead of stdout")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"worker domains (default: \\$(b,EXEC_JOBS) or the \
+                   available cores); the JSON bytes are identical \
+                   whatever the count")
+  in
+  let term =
+    Term.(ret (const main $ kernels $ pes $ waves $ size $ out $ jobs))
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~version:"1.0"
+       ~doc:"kernel x PE-count x waves parameter sweeps on the machine \
+             model, one JSON row per cell")
+    term
+
+let () = exit (Cmdliner.Cmd.eval cmd)

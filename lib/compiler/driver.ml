@@ -12,8 +12,7 @@ let compile_source ?options ?scalar_inputs source =
 
 let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
 
-let run ?(waves = 1) ?max_time ?record_firings ?trace_window ?tracer ?fault
-    ?sanitizer ?watchdog (cp : Program_compile.compiled) ~inputs =
+let run_cfg ?(waves = 1) cfg (cp : Program_compile.compiled) ~inputs =
   let feeds =
     List.map
       (fun (name, shape) ->
@@ -31,8 +30,25 @@ let run ?(waves = 1) ?max_time ?record_firings ?trace_window ?tracer ?fault
           (name, replicate waves wave))
       cp.Program_compile.cp_inputs
   in
-  Sim.Engine.run ?max_time ?record_firings ?trace_window ?tracer ?fault
-    ?sanitizer ?watchdog cp.Program_compile.cp_graph ~inputs:feeds
+  Sim.Engine.run_cfg cfg cp.Program_compile.cp_graph ~inputs:feeds
+
+(* Thin compatibility wrapper over {!run_cfg} — new code should build a
+   [Run_config.t] instead of spreading optional arguments. *)
+let run ?waves ?max_time ?record_firings ?trace_window ?tracer ?fault
+    ?sanitizer ?watchdog (cp : Program_compile.compiled) ~inputs =
+  let cfg =
+    { Run_config.default with
+      Run_config.max_time =
+        Option.value max_time ~default:Run_config.default.Run_config.max_time;
+      record_firings = Option.value record_firings ~default:false;
+      trace_window;
+      tracer = Option.value tracer ~default:Obs.Tracer.null;
+      fault;
+      sanitizer = Option.value sanitizer ~default:Fault.Sanitizer.null;
+      watchdog;
+    }
+  in
+  run_cfg ?waves cfg cp ~inputs
 
 let wave_of_floats xs = List.map (fun f -> Value.Real f) xs
 

@@ -18,6 +18,18 @@ val compile_source :
     @raise Val_lang.Classify.Not_in_class
     @raise Expr_compile.Unsupported *)
 
+val run_cfg :
+  ?waves:int ->
+  Run_config.t ->
+  Program_compile.compiled ->
+  inputs:(string * Value.t list) list ->
+  Sim.Engine.result
+(** Simulate the compiled program.  [inputs] gives one wave of packets per
+    array input (its declared wave size); the wave is replayed [waves]
+    times (default 1).  The configuration record is forwarded to
+    {!Sim.Engine.run_cfg}.
+    @raise Invalid_argument on missing inputs or wrong wave sizes *)
+
 val run :
   ?waves:int ->
   ?max_time:int ->
@@ -30,11 +42,8 @@ val run :
   Program_compile.compiled ->
   inputs:(string * Value.t list) list ->
   Sim.Engine.result
-(** Simulate the compiled program.  [inputs] gives one wave of packets per
-    array input (its declared wave size); the wave is replayed [waves]
-    times (default 1).  [tracer], [fault], [sanitizer] and [watchdog] are
-    forwarded to {!Sim.Engine.run}.
-    @raise Invalid_argument on missing inputs or wrong wave sizes *)
+(** Deprecated spelling of {!run_cfg}: the optional arguments are packed
+    into a {!Run_config.t} and forwarded. *)
 
 val wave_of_floats : float list -> Value.t list
 

@@ -1,0 +1,25 @@
+(** The common contract of the two simulators.
+
+    An [ENGINE] takes one {!Run_config.t} — not a spread of optional
+    arguments — plus the graph and its input packet streams, and
+    produces its engine-specific result.  {!Sim.Engine} implements it
+    directly ([Sim.Engine.engine]); {!Machine.Machine_engine.engine}
+    closes over an {!Machine.Arch.t} to produce one.  Code that only
+    needs outputs (the differential harnesses, the job runner) can be
+    written once against this signature. *)
+
+module type ENGINE = sig
+  type result
+
+  val run :
+    Run_config.t ->
+    Dfg.Graph.t ->
+    inputs:(string * Dfg.Value.t list) list ->
+    result
+
+  val output_values : result -> string -> Dfg.Value.t list
+  (** Values of an output stream in arrival order. *)
+
+  val output_times : result -> string -> int list
+  (** Arrival times of an output stream. *)
+end

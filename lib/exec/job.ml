@@ -1,0 +1,116 @@
+open Dfg
+module PC = Compiler.Program_compile
+module ME = Machine.Machine_engine
+
+type engine = Sim | Machine of Machine.Arch.t
+
+type program =
+  | Graph_program of Graph.t
+  | Source_program of {
+      source : string;
+      scalar_inputs : (string * Value.t) list;
+      options : PC.options option;
+      waves : int;
+    }
+
+type t = {
+  name : string;
+  engine : engine;
+  program : program;
+  inputs : (string * Value.t list) list;
+  config : Run_config.t;
+  sanitize : bool;
+}
+
+let make ?(name = "job") ?(engine = Sim) ?(config = Run_config.default)
+    ?(sanitize = false) program ~inputs =
+  { name; engine; program; inputs; config; sanitize }
+
+type outcome = {
+  job_name : string;
+  outputs : (string * (int * Value.t) list) list;
+  end_time : int;
+  quiescent : bool;
+  stall : Fault.Stall_report.t option;
+  violations : Fault.Violation.t list;
+  sim_result : Sim.Engine.result option;
+  machine_result : ME.result option;
+}
+
+let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
+
+(* Resolve the program to a graph plus full packet streams. *)
+let materialize job =
+  match job.program with
+  | Graph_program g -> (g, job.inputs)
+  | Source_program { source; scalar_inputs; options; waves } ->
+    let _, compiled = Compiler.Driver.compile_source ?options ~scalar_inputs source in
+    let feeds =
+      List.map
+        (fun (name, shape) ->
+          match List.assoc_opt name job.inputs with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Job.run %s: missing input wave for %s"
+                 job.name name)
+          | Some wave ->
+            let expected = PC.wave_size shape in
+            if List.length wave <> expected then
+              invalid_arg
+                (Printf.sprintf
+                   "Job.run %s: input %s wave has %d packets, expected %d"
+                   job.name name (List.length wave) expected);
+            (name, replicate waves wave))
+        compiled.PC.cp_inputs
+    in
+    (compiled.PC.cp_graph, feeds)
+
+let run job =
+  let g, inputs = materialize job in
+  let cfg =
+    if job.sanitize then
+      Run_config.with_sanitizer (Fault.Sanitizer.create g) job.config
+    else job.config
+  in
+  match job.engine with
+  | Sim ->
+    let r = Sim.Engine.run_cfg cfg g ~inputs in
+    {
+      job_name = job.name;
+      outputs = r.Sim.Engine.outputs;
+      end_time = r.Sim.Engine.end_time;
+      quiescent = r.Sim.Engine.quiescent;
+      stall = r.Sim.Engine.stuck;
+      violations = r.Sim.Engine.violations;
+      sim_result = Some r;
+      machine_result = None;
+    }
+  | Machine arch ->
+    let r = ME.run_cfg cfg ~arch g ~inputs in
+    {
+      job_name = job.name;
+      outputs = r.ME.outputs;
+      end_time = r.ME.end_time;
+      quiescent = r.ME.quiescent;
+      stall = r.ME.stall;
+      violations = r.ME.violations;
+      sim_result = None;
+      machine_result = Some r;
+    }
+
+let run_all ?jobs ts = Pool.map_result ?jobs run ts
+
+let stream outcome name =
+  match List.assoc_opt name outcome.outputs with
+  | Some vs -> vs
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Job %s: no output stream %s (run produced: %s)"
+         outcome.job_name name
+         (match outcome.outputs with
+         | [] -> "none"
+         | outs -> String.concat ", " (List.map fst outs)))
+
+let output_values outcome name = List.map snd (stream outcome name)
+
+let output_times outcome name = List.map fst (stream outcome name)

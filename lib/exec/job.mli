@@ -1,0 +1,77 @@
+(** A simulation run as data.
+
+    A [Job.t] names everything one run needs — the program (Val source
+    to compile, or an already-built graph), the engine and architecture,
+    the input waves, and a {!Run_config.t} for faults, recovery and the
+    rest — so experiment sweeps can be built as lists and handed to
+    {!Pool} (or {!run_all}) without capturing 9-argument closures.
+
+    Stateful observers: tracers and sanitizers must not be shared
+    between concurrently-running jobs, so a job carries [sanitize :
+    bool] and builds a {e fresh} sanitizer inside the worker; any tracer
+    placed in [config] is the caller's responsibility to keep
+    per-job. *)
+
+open Dfg
+
+type engine =
+  | Sim  (** the graph-level simulator, {!Sim.Engine} *)
+  | Machine of Machine.Arch.t  (** the machine model on this arch *)
+
+type program =
+  | Graph_program of Graph.t
+      (** run this graph as-is; [inputs] must cover its Input cells *)
+  | Source_program of {
+      source : string;  (** Val source text, compiled in the worker *)
+      scalar_inputs : (string * Value.t) list;
+      options : Compiler.Program_compile.options option;
+      waves : int;  (** input waves are replicated this many times *)
+    }
+
+type t = {
+  name : string;  (** label for reports and error messages *)
+  engine : engine;
+  program : program;
+  inputs : (string * Value.t list) list;
+      (** one wave per array input for [Source_program] (replicated
+          [waves] times); full packet streams for [Graph_program] *)
+  config : Run_config.t;
+  sanitize : bool;  (** build a fresh sanitizer for this run *)
+}
+
+val make :
+  ?name:string ->
+  ?engine:engine ->
+  ?config:Run_config.t ->
+  ?sanitize:bool ->
+  program ->
+  inputs:(string * Value.t list) list ->
+  t
+(** Defaults: [engine = Sim], [config = Run_config.default],
+    [sanitize = false], [name = "job"]. *)
+
+(** What every engine reports, plus the engine-specific result for
+    callers that need more. *)
+type outcome = {
+  job_name : string;
+  outputs : (string * (int * Value.t) list) list;
+  end_time : int;
+  quiescent : bool;
+  stall : Fault.Stall_report.t option;
+  violations : Fault.Violation.t list;
+  sim_result : Sim.Engine.result option;  (** set for [Sim] jobs *)
+  machine_result : Machine.Machine_engine.result option;
+      (** set for [Machine] jobs *)
+}
+
+val run : t -> outcome
+(** Execute one job in the calling domain (compile if needed, run,
+    collect).  @raise Invalid_argument etc. as the underlying engines
+    and compiler do. *)
+
+val run_all : ?jobs:int -> t list -> (outcome, Pool.error) result list
+(** {!Pool.map_result} over {!run}: domain-parallel, results in
+    submission order, failures isolated per job. *)
+
+val output_values : outcome -> string -> Value.t list
+val output_times : outcome -> string -> int list

@@ -1,0 +1,79 @@
+type error = { index : int; message : string; backtrace : string }
+
+exception Job_failed of error
+
+let error_to_string e =
+  Printf.sprintf "job %d failed: %s%s" e.index e.message
+    (if e.backtrace = "" then "" else "\n" ^ e.backtrace)
+
+let default_jobs () =
+  match Sys.getenv_opt "EXEC_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg (Printf.sprintf "EXEC_JOBS=%s: expected a positive integer" s))
+  | None -> Domain.recommended_domain_count ()
+
+let map_result ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.map_result: jobs < 1";
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let out = Array.make n None in
+  let run_one i =
+    out.(i) <-
+      Some
+        (match f arr.(i) with
+        | v -> Ok v
+        | exception e ->
+          let backtrace = Printexc.get_backtrace () in
+          Error { index = i; message = Printexc.to_string e; backtrace })
+  in
+  let workers = min jobs n in
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      run_one i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let rec drain () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        run_one i;
+        drain ()
+      end
+    in
+    (* spawn [workers - 1] helpers; the calling domain drains too.  A
+       runtime that refuses to spawn (domain limit) just leaves us with
+       fewer helpers — the map still completes. *)
+    let helpers = ref [] in
+    (try
+       for _ = 2 to workers do
+         helpers := Domain.spawn drain :: !helpers
+       done
+     with _ -> ());
+    drain ();
+    List.iter Domain.join !helpers
+  end;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> assert false (* every index was drained *))
+       out)
+
+let map ?jobs f xs =
+  let results = map_result ?jobs f xs in
+  (* explicit recursion: the first error by submission order must win,
+     and List.map's application order is unspecified *)
+  let rec go = function
+    | [] -> []
+    | Ok v :: rest -> v :: go rest
+    | Error e :: _ -> raise (Job_failed e)
+  in
+  go results
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)

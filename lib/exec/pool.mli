@@ -1,0 +1,49 @@
+(** Domain-parallel work pool with deterministic result collection.
+
+    The paper's claims are statements about {e sweeps} — interval vs.
+    waves, balancing vs. buffer budget, PE count vs. throughput — and
+    every experiment in such a sweep is independent.  [Pool] fans a list
+    of work items over OCaml 5 domains and returns the results {e in
+    submission order}, so the merged output of a parallel run is
+    byte-identical to a sequential one (tested in [test_exec.ml]).
+
+    Sizing: [~jobs] if given, else the [EXEC_JOBS] environment variable,
+    else {!Domain.recommended_domain_count}.  [jobs <= 1] is the
+    sequential fallback — no domains are spawned at all, which is also
+    the escape hatch on runtimes where spawning fails (a failed spawn
+    degrades to fewer workers rather than failing the map).
+
+    Work items must not share mutable state (give each run its own
+    tracer/sanitizer; the compiler and engines keep no global state). *)
+
+type error = {
+  index : int;  (** submission index of the failed item *)
+  message : string;  (** [Printexc.to_string] of the exception *)
+  backtrace : string;
+}
+(** One item's failure, isolated: other items still complete. *)
+
+val error_to_string : error -> string
+
+val default_jobs : unit -> int
+(** [EXEC_JOBS] if set to a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+
+val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** Apply [f] to every item, fanning across [jobs] workers (the calling
+    domain participates).  Results are in submission order; an item that
+    raises yields [Error] without disturbing the others. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** As {!map_result} but re-raises the {e first} failure (by submission
+    order, deterministically) after all items have finished. *)
+
+exception Job_failed of error
+(** What {!map} raises; carries the submission index and the original
+    exception rendered to a string (exceptions cannot safely cross
+    domain boundaries in general). *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Run a thunk and return its wall-clock seconds alongside the result
+    — every parallel runner prints this so speedups are measured, not
+    assumed. *)

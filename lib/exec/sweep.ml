@@ -1,0 +1,137 @@
+module K = Kernels
+module ME = Machine.Machine_engine
+module PC = Compiler.Program_compile
+module J = Obs.Json
+
+type cell = { kernel : K.kernel; n_pe : int; waves : int; size : int }
+
+type row = {
+  r_kernel : string;
+  r_pe : int;
+  r_waves : int;
+  r_size : int;
+  r_cells : int;
+  r_end_time : int;
+  r_outputs : int;
+  r_interval : float;
+  r_predicted : float;
+  r_throughput : float;
+  r_dispatches : int;
+  r_fu_ops : int;
+  r_am_ops : int;
+  r_am_fraction : float;
+  r_ok : bool;
+}
+
+let grid ~kernels ~pes ~waves ~size =
+  List.concat_map
+    (fun kernel ->
+      List.concat_map
+        (fun n_pe -> List.map (fun w -> { kernel; n_pe; waves = w; size }) waves)
+        pes)
+    kernels
+
+let run_cell { kernel = k; n_pe; waves; size } =
+  (* kernel inputs are seeded from the kernel name, as faultcheck does,
+     so every cell of one kernel's sweep sees the same data *)
+  let st = Random.State.make [| Hashtbl.hash k.K.name |] in
+  let job =
+    Job.make ~name:(Printf.sprintf "%s/pe%d/w%d" k.K.name n_pe waves)
+      ~engine:
+        (Job.Machine { Machine.Arch.default with Machine.Arch.n_pe })
+      (Job.Source_program
+         {
+           source = k.K.source size;
+           scalar_inputs = k.K.scalar_inputs;
+           options = None;
+           waves;
+         })
+      ~inputs:(k.K.inputs size st)
+  in
+  let o = Job.run job in
+  let r = Option.get o.Job.machine_result in
+  let times = Job.output_times o k.K.output in
+  let outputs = List.length times in
+  let interval = Sim.Metrics.initiation_interval times in
+  let stats = r.ME.stats in
+  let cells =
+    match job.Job.program with
+    | Job.Graph_program g -> Dfg.Graph.node_count g
+    | Job.Source_program _ ->
+      (* recompile is cheap relative to the run; keeps run_cell a pure
+         function of the cell *)
+      let _, compiled =
+        Compiler.Driver.compile_source ~scalar_inputs:k.K.scalar_inputs
+          (k.K.source size)
+      in
+      Dfg.Graph.node_count compiled.PC.cp_graph
+  in
+  let stall_unexpected =
+    match o.Job.stall with
+    | None -> false
+    | Some sr ->
+      sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock
+  in
+  {
+    r_kernel = k.K.name;
+    r_pe = n_pe;
+    r_waves = waves;
+    r_size = size;
+    r_cells = cells;
+    r_end_time = o.Job.end_time;
+    r_outputs = outputs;
+    r_interval = interval;
+    r_predicted = k.K.predicted_interval size;
+    r_throughput =
+      float_of_int outputs /. float_of_int (max 1 o.Job.end_time);
+    r_dispatches = stats.ME.dispatches;
+    r_fu_ops = stats.ME.fu_ops;
+    r_am_ops = stats.ME.am_ops;
+    r_am_fraction = ME.am_fraction stats;
+    r_ok = o.Job.quiescent && (not stall_unexpected) && o.Job.violations = [];
+  }
+
+let run_grid ?jobs cells = Pool.map_result ?jobs run_cell cells
+
+let row_json r =
+  J.Obj
+    [
+      ("kernel", J.String r.r_kernel);
+      ("pes", J.Int r.r_pe);
+      ("waves", J.Int r.r_waves);
+      ("size", J.Int r.r_size);
+      ("cells", J.Int r.r_cells);
+      ("end_time", J.Int r.r_end_time);
+      ("outputs", J.Int r.r_outputs);
+      ("interval", J.Float r.r_interval);
+      ("predicted_interval", J.Float r.r_predicted);
+      ("throughput", J.Float r.r_throughput);
+      ("dispatches", J.Int r.r_dispatches);
+      ("fu_ops", J.Int r.r_fu_ops);
+      ("am_ops", J.Int r.r_am_ops);
+      ("am_fraction", J.Float r.r_am_fraction);
+      ("ok", J.Bool r.r_ok);
+    ]
+
+let to_json rows =
+  let ok_rows =
+    List.filter (function Ok r -> r.r_ok | Error _ -> false) rows
+  in
+  J.Obj
+    [
+      ("schema", J.String "dataflow_pipelining.sweep/1");
+      ("total", J.Int (List.length rows));
+      ("ok", J.Int (List.length ok_rows));
+      ( "rows",
+        J.List
+          (List.map
+             (function
+               | Ok r -> row_json r
+               | Error (e : Pool.error) ->
+                 J.Obj
+                   [
+                     ("index", J.Int e.Pool.index);
+                     ("error", J.String e.Pool.message);
+                   ])
+             rows) );
+    ]

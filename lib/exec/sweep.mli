@@ -1,0 +1,56 @@
+(** Declarative parameter sweeps over the kernel suite.
+
+    A sweep is a grid — kernel × PE count × wave count at a fixed size —
+    run on the machine model, one JSON row per cell: the perf-trajectory
+    artifact for the paper's scaling claims (PE count vs. throughput,
+    waves vs. steady-state interval).  Cells are independent jobs, so
+    {!run_grid} fans them over {!Pool}; rows come back in grid order
+    regardless of worker count, and the JSON document contains nothing
+    run-dependent (no timestamps, no durations), so its bytes are
+    worker-count-independent. *)
+
+type cell = {
+  kernel : Kernels.kernel;
+  n_pe : int;
+  waves : int;
+  size : int;
+}
+
+type row = {
+  r_kernel : string;
+  r_pe : int;
+  r_waves : int;
+  r_size : int;
+  r_cells : int;  (** compiled graph size *)
+  r_end_time : int;
+  r_outputs : int;  (** packets on the kernel's output stream *)
+  r_interval : float;  (** steady-state initiation interval *)
+  r_predicted : float;  (** the theory's predicted interval *)
+  r_throughput : float;  (** output packets per instruction time *)
+  r_dispatches : int;
+  r_fu_ops : int;
+  r_am_ops : int;
+  r_am_fraction : float;
+  r_ok : bool;  (** run quiescent with no unexpected stall *)
+}
+
+val grid :
+  kernels:Kernels.kernel list ->
+  pes:int list ->
+  waves:int list ->
+  size:int ->
+  cell list
+(** Cartesian product in deterministic order (kernel-major, then PE,
+    then waves). *)
+
+val run_cell : cell -> row
+(** Compile the kernel, run it on the machine model with [n_pe]
+    processing elements, measure. *)
+
+val run_grid : ?jobs:int -> cell list -> (row, Pool.error) result list
+(** Domain-parallel {!run_cell} over the grid, rows in grid order. *)
+
+val to_json : (row, Pool.error) result list -> Obs.Json.t
+(** Schema [dataflow_pipelining.sweep/1]: [{"schema": ..., "rows":
+    [...]}]; failed cells become rows with an ["error"] field.  Contains
+    no timings, so equal grids give equal bytes at any worker count. *)

@@ -81,13 +81,39 @@ let outcome ?(faulted_recoveries = 0) ?faulted_snapshot ~clean_outputs
     faulted_snapshot;
   }
 
-let sim ?max_time ?watchdog ?(sanitize = true) ~plan g ~inputs =
-  let clean = Sim.Engine.run ?max_time g ~inputs in
+(* The clean run drops the faulted run's perturbation-and-diagnosis
+   machinery but keeps the time budget: it is the reference execution,
+   not a checked one. *)
+let clean_config (cfg : Run_config.t) =
+  { Run_config.default with Run_config.max_time = cfg.Run_config.max_time }
+
+let base_config ?cfg ?max_time ?watchdog ~default_max_time () =
+  let cfg = Option.value cfg ~default:Run_config.default in
+  let cfg =
+    match max_time with
+    | Some t -> Run_config.with_max_time t cfg
+    | None ->
+      if cfg.Run_config.max_time = Run_config.default.Run_config.max_time then
+        Run_config.with_max_time default_max_time cfg
+      else cfg
+  in
+  match watchdog with
+  | Some w -> Run_config.with_watchdog w cfg
+  | None -> cfg
+
+let sim ?cfg ?max_time ?watchdog ?(sanitize = true) ~plan g ~inputs =
+  let cfg =
+    base_config ?cfg ?max_time ?watchdog
+      ~default_max_time:Run_config.default.Run_config.max_time ()
+  in
+  let clean = Sim.Engine.run_cfg (clean_config cfg) g ~inputs in
   let sanitizer =
     if sanitize then Fault.Sanitizer.create g else Fault.Sanitizer.null
   in
   let faulted =
-    Sim.Engine.run ?max_time ?watchdog ~fault:plan ~sanitizer g ~inputs
+    Sim.Engine.run_cfg
+      Run_config.(cfg |> with_fault plan |> with_sanitizer sanitizer)
+      g ~inputs
   in
   outcome ~clean_outputs:clean.Sim.Engine.outputs
     ~faulted_outputs:faulted.Sim.Engine.outputs
@@ -96,17 +122,25 @@ let sim ?max_time ?watchdog ?(sanitize = true) ~plan g ~inputs =
     ~faulted_stall:faulted.Sim.Engine.stuck
     ~faulted_violations:faulted.Sim.Engine.violations ()
 
-let machine ?max_time ?watchdog ?(sanitize = true)
+let machine ?cfg ?max_time ?watchdog ?(sanitize = true)
     ?(arch = Machine.Arch.default) ?recovery ~plan g ~inputs =
   let module ME = Machine.Machine_engine in
-  let clean = ME.run ?max_time ~arch g ~inputs in
+  let cfg =
+    base_config ?cfg ?max_time ?watchdog
+      ~default_max_time:ME.default_max_time ()
+  in
+  let clean =
+    ME.run_cfg (clean_config cfg) ~arch g ~inputs
+  in
   let sanitizer =
     if sanitize then Fault.Sanitizer.create g else Fault.Sanitizer.null
   in
-  let m =
-    ME.create ?max_time ?watchdog ~fault:plan ~sanitizer ?recovery ~arch g
-      ~inputs
+  let faulted_cfg =
+    Run_config.(
+      cfg |> with_fault plan |> with_sanitizer sanitizer
+      |> with_recovery_opt recovery)
   in
+  let m = ME.create_cfg faulted_cfg ~arch g ~inputs in
   ME.advance m ~until:max_int;
   let faulted = ME.result m in
   outcome ~faulted_recoveries:faulted.ME.recoveries

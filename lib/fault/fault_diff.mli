@@ -47,6 +47,7 @@ val compare_outputs :
     latency must not change a single bit). *)
 
 val sim :
+  ?cfg:Run_config.t ->
   ?max_time:int ->
   ?watchdog:int ->
   ?sanitize:bool ->
@@ -55,10 +56,14 @@ val sim :
   inputs:(string * Value.t list) list ->
   outcome
 (** Run [g] clean and under [plan] on {!Sim.Engine} and compare output
-    streams.  [sanitize] (default true) attaches a fresh sanitizer to
-    the faulted run. *)
+    streams.  [cfg] (default {!Run_config.default}) is the base
+    configuration of the {e faulted} run — the plan, a fresh sanitizer
+    when [sanitize] (default true), and the [max_time]/[watchdog]
+    overrides are layered on top of it; the clean run keeps only the
+    time budget. *)
 
 val machine :
+  ?cfg:Run_config.t ->
   ?max_time:int ->
   ?watchdog:int ->
   ?sanitize:bool ->

@@ -41,20 +41,14 @@ type event =
   | Ack of { dst : int; from_node : int; from_port : int; seq : int }
   | Retransmit of { src : int; dst : int; port : int; seq : int }
 
-type recovery = {
+type recovery = Run_config.recovery = {
   checkpoint_every : int;
   retransmit_after : int;
   retransmit_backoff : int;
   max_retransmits : int;
 }
 
-let default_recovery =
-  {
-    checkpoint_every = 250;
-    retransmit_after = 48;
-    retransmit_backoff = 2;
-    max_retransmits = 8;
-  }
+let default_recovery = Run_config.default_recovery
 
 let check_recovery r =
   if r.checkpoint_every < 0 then
@@ -309,8 +303,17 @@ let restore m snap =
 (* construction                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ?fault
-    ?(sanitizer = San.null) ?watchdog ?recovery ~(arch : Arch.t) g ~inputs =
+(* The machine model's default time budget is larger than the graph
+   engine's: resource latencies stretch the same workload. *)
+let default_max_time = 30_000_000
+
+let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
+  let max_time = cfg.Run_config.max_time in
+  let tracer = cfg.Run_config.tracer in
+  let fault = cfg.Run_config.fault in
+  let sanitizer = cfg.Run_config.sanitizer in
+  let watchdog = cfg.Run_config.watchdog in
+  let recovery = cfg.Run_config.recovery in
   (match Graph.validate g with
   | Ok () -> ()
   | Error es ->
@@ -352,8 +355,12 @@ let create ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ?fault
             | Some vs -> Array.of_list vs
             | None ->
               invalid_arg
-                (Printf.sprintf "Machine_engine.run: no packets for input %s"
-                   name))
+                (Printf.sprintf
+                   "Machine_engine.run: no packets for input %s (supplied: %s)"
+                   name
+                   (match inputs with
+                   | [] -> "none"
+                   | ins -> String.concat ", " (List.map fst ins))))
           | _ -> [||]
         in
         {
@@ -464,6 +471,22 @@ let create ?(max_time = 30_000_000) ?(tracer = Obs.Tracer.null) ?fault
     m.last_snapshot <- Some (snapshot m));
   mark_all m;
   m
+
+(* Thin compatibility wrapper over {!create_cfg} — new code should build
+   a [Run_config.t] instead of spreading optional arguments. *)
+let create ?(max_time = default_max_time) ?tracer ?fault ?sanitizer ?watchdog
+    ?recovery ~(arch : Arch.t) g ~inputs =
+  let cfg =
+    { Run_config.default with
+      Run_config.max_time;
+      tracer = Option.value tracer ~default:Obs.Tracer.null;
+      fault;
+      sanitizer = Option.value sanitizer ~default:San.null;
+      watchdog;
+      recovery;
+    }
+  in
+  create_cfg cfg ~arch g ~inputs
 
 (* ------------------------------------------------------------------ *)
 (* the event loop                                                     *)
@@ -1228,6 +1251,13 @@ let result m =
     recoveries = m.recoveries;
   }
 
+let run_cfg cfg ~(arch : Arch.t) g ~inputs =
+  let m = create_cfg cfg ~arch g ~inputs in
+  advance m ~until:max_int;
+  result m
+
+(* Thin compatibility wrapper over {!run_cfg} — new code should build a
+   [Run_config.t] instead of spreading optional arguments. *)
 let run ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery
     ~(arch : Arch.t) g ~inputs =
   let m =
@@ -1245,6 +1275,28 @@ let am_fraction (stats : stats) =
     float_of_int stats.am_ops
     /. float_of_int (stats.dispatches + stats.am_ops)
 
-let output_values result name = List.map snd (List.assoc name result.outputs)
+(* A bare [Not_found] from [List.assoc] names neither the stream asked
+   for nor the streams the run produced; fail with both instead. *)
+let stream result name =
+  match List.assoc_opt name result.outputs with
+  | Some vs -> vs
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Machine_engine: no output stream %s (run produced: %s)" name
+         (match result.outputs with
+         | [] -> "none"
+         | outs -> String.concat ", " (List.map fst outs)))
 
-let output_times result name = List.map fst (List.assoc name result.outputs)
+let output_values result name = List.map snd (stream result name)
+
+let output_times result name = List.map fst (stream result name)
+
+let engine arch : (module Engine_intf.ENGINE with type result = result) =
+  (module struct
+    type nonrec result = result
+
+    let run cfg g ~inputs = run_cfg cfg ~arch g ~inputs
+    let output_values = output_values
+    let output_times = output_times
+  end)

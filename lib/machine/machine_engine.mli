@@ -88,7 +88,7 @@ type result = {
       endpoints), so the recovered run re-derives the same perturbations
       and the outputs equal a crash-free run. *)
 
-type recovery = {
+type recovery = Run_config.recovery = {
   checkpoint_every : int;
       (** instruction-times between periodic checkpoints; [0] disables
           periodic checkpoints (the program-load snapshot remains) *)
@@ -96,6 +96,8 @@ type recovery = {
   retransmit_backoff : int;  (** timeout multiplier per attempt (>= 1) *)
   max_retransmits : int;  (** resend budget per packet *)
 }
+(** The policy record is defined in {!Run_config} (configuration is pure
+    data); this alias keeps existing code compiling unchanged. *)
 
 val default_recovery : recovery
 (** Checkpoint every 250 instruction-times, first resend after 48,
@@ -148,6 +150,23 @@ type snapshot = {
 (** Complete, self-contained machine state: plain data, no closures.
     [Recover.Checkpoint] serializes it. *)
 
+val default_max_time : int
+(** 30_000_000 — the machine model's default time budget (larger than
+    the graph engine's: resource latencies stretch the same workload). *)
+
+val create_cfg :
+  Run_config.t ->
+  arch:Arch.t ->
+  Graph.t ->
+  inputs:(string * Value.t list) list ->
+  t
+(** Build a machine ready to run; nothing fires until {!advance}.  The
+    record API: [Run_config.record_firings] and [trace_window] are
+    graph-engine-only and ignored here.  See {!run} for the semantics of
+    the remaining fields.
+    @raise Invalid_argument on invalid graphs, missing inputs, or a
+    malformed [recovery] policy. *)
+
 val create :
   ?max_time:int ->
   ?tracer:Obs.Tracer.t ->
@@ -159,10 +178,9 @@ val create :
   Graph.t ->
   inputs:(string * Value.t list) list ->
   t
-(** Build a machine ready to run; nothing fires until {!advance}.
-    See {!run} for the parameter semantics.
-    @raise Invalid_argument on invalid graphs, missing inputs, or a
-    malformed [recovery] policy. *)
+(** Deprecated spelling of {!create_cfg}: builds the {!Run_config.t}
+    from optional arguments ([max_time] defaults to
+    {!default_max_time}).  New code should use {!create_cfg}. *)
 
 val advance : t -> until:int -> unit
 (** Run the event loop, stopping when the machine {!finished} (clean
@@ -187,6 +205,16 @@ val result : t -> result
     diagnosis and quiescence-time sanitizer checks; on a paused machine
     it is a progress report ([stall = None], [quiescent = false]). *)
 
+val run_cfg :
+  Run_config.t ->
+  arch:Arch.t ->
+  Graph.t ->
+  inputs:(string * Value.t list) list ->
+  result
+(** One-shot {!create_cfg} + {!advance} to completion + {!result} — the
+    record API for {!run}, whose documentation below describes the
+    configuration semantics. *)
+
 val run :
   ?max_time:int ->
   ?tracer:Obs.Tracer.t ->
@@ -198,7 +226,9 @@ val run :
   Graph.t ->
   inputs:(string * Value.t list) list ->
   result
-(** Simulate on the machine model.  [tracer] (default
+(** Deprecated spelling of {!run_cfg} (optional arguments instead of a
+    {!Run_config.t}; [max_time] defaults to {!default_max_time}).
+    Simulate on the machine model.  [tracer] (default
     {!Obs.Tracer.null}) receives a {!Obs.Event.Fire} per dispatch —
     tracked per PE, with the duration covering dispatch through FU
     completion so PE occupancy is directly visible in a trace viewer —
@@ -240,4 +270,13 @@ val am_fraction : stats -> float
     nothing (no packets, no defined fraction). *)
 
 val output_values : result -> string -> Value.t list
+(** Values of an output stream in arrival order.
+    @raise Invalid_argument naming the unknown stream and the streams
+    the run actually produced. *)
+
 val output_times : result -> string -> int list
+(** Arrival times of an output stream; errors as {!output_values}. *)
+
+val engine : Arch.t -> (module Engine_intf.ENGINE with type result = result)
+(** The machine simulator as an {!Engine_intf.ENGINE}, closed over an
+    architecture. *)

@@ -40,9 +40,14 @@ let operand_ready cell port =
   | Graph.In_const v -> Some v
   | Graph.In_arc | Graph.In_arc_init _ -> cell.operands.(port)
 
-let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window
-    ?(tracer = Obs.Tracer.null) ?fault ?(sanitizer = San.null) ?watchdog g
-    ~inputs =
+let run_cfg (cfg : Run_config.t) g ~inputs =
+  let max_time = cfg.Run_config.max_time in
+  let record_firings = cfg.Run_config.record_firings in
+  let trace_window = cfg.Run_config.trace_window in
+  let tracer = cfg.Run_config.tracer in
+  let fault = cfg.Run_config.fault in
+  let sanitizer = cfg.Run_config.sanitizer in
+  let watchdog = cfg.Run_config.watchdog in
   (match Graph.validate g with
   | Ok () -> ()
   | Error es ->
@@ -570,7 +575,43 @@ let run ?(max_time = 10_000_000) ?(record_firings = false) ?trace_window
     violations = San.violations sanitizer;
   }
 
-let output_values result name =
-  List.map snd (List.assoc name result.outputs)
+(* Thin compatibility wrapper over {!run_cfg} — new code should build a
+   [Run_config.t] instead of spreading optional arguments. *)
+let run ?max_time ?record_firings ?trace_window ?tracer ?fault ?sanitizer
+    ?watchdog g ~inputs =
+  let cfg =
+    { Run_config.default with
+      Run_config.max_time =
+        Option.value max_time ~default:Run_config.default.Run_config.max_time;
+      record_firings = Option.value record_firings ~default:false;
+      trace_window;
+      tracer = Option.value tracer ~default:Obs.Tracer.null;
+      fault;
+      sanitizer = Option.value sanitizer ~default:San.null;
+      watchdog;
+    }
+  in
+  run_cfg cfg g ~inputs
 
-let output_times result name = List.map fst (List.assoc name result.outputs)
+let stream result name =
+  match List.assoc_opt name result.outputs with
+  | Some vs -> vs
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Engine: no output stream %s (run produced: %s)" name
+         (match result.outputs with
+         | [] -> "none"
+         | outs -> String.concat ", " (List.map fst outs)))
+
+let output_values result name = List.map snd (stream result name)
+
+let output_times result name = List.map fst (stream result name)
+
+let engine : (module Engine_intf.ENGINE with type result = result) =
+  (module struct
+    type nonrec result = result
+
+    let run = run_cfg
+    let output_values = output_values
+    let output_times = output_times
+  end)

@@ -40,6 +40,15 @@ type result = {
 }
 
 
+val run_cfg :
+  Run_config.t ->
+  Graph.t ->
+  inputs:(string * Value.t list) list ->
+  result
+(** The record API for {!run}, whose documentation below describes the
+    configuration semantics.  [Run_config.recovery] is machine-engine-
+    only and ignored here. *)
+
 val run :
   ?max_time:int ->
   ?record_firings:bool ->
@@ -51,7 +60,9 @@ val run :
   Graph.t ->
   inputs:(string * Value.t list) list ->
   result
-(** Simulate until quiescence or [max_time] (default 10_000_000).
+(** Deprecated spelling of {!run_cfg} (optional arguments instead of a
+    {!Run_config.t}).
+    Simulate until quiescence or [max_time] (default 10_000_000).
     [inputs] supplies the full packet sequence for every [Input] node
     (concatenate waves for steady-state measurements); every declared
     input must be present.
@@ -80,7 +91,12 @@ val run :
     @raise Invalid_argument on missing/unknown input streams *)
 
 val output_values : result -> string -> Value.t list
-(** Values of an output stream in arrival order. @raise Not_found *)
+(** Values of an output stream in arrival order.
+    @raise Invalid_argument naming the unknown stream and the streams
+    the run actually produced. *)
 
 val output_times : result -> string -> int list
-(** Arrival times of an output stream. @raise Not_found *)
+(** Arrival times of an output stream; errors as {!output_values}. *)
+
+val engine : (module Engine_intf.ENGINE with type result = result)
+(** This simulator as an {!Engine_intf.ENGINE}. *)

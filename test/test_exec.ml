@@ -1,0 +1,232 @@
+(* lib/exec: the determinism contract of the domain-parallel runner.
+
+   The whole point of Pool's submission-order collection is that a
+   parallel run is indistinguishable from a sequential one — same merged
+   results, same JSON bytes — so these tests run the same work at
+   several worker counts and require bit-identical output.  Failure
+   isolation and the Run_config wrapper equivalence ride along. *)
+
+module K = Kernels
+module D = Compiler.Driver
+module ME = Machine.Machine_engine
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+(* a comparable projection of an outcome: everything deterministic the
+   runner promises, nothing engine-internal *)
+let fingerprint (r : (Exec.Job.outcome, Exec.Pool.error) result) =
+  match r with
+  | Ok o ->
+    Ok
+      ( o.Exec.Job.job_name,
+        o.Exec.Job.outputs,
+        o.Exec.Job.end_time,
+        o.Exec.Job.quiescent,
+        List.map Fault.Violation.to_string o.Exec.Job.violations )
+  | Error e -> Error (e.Exec.Pool.index, e.Exec.Pool.message)
+
+let kernel_jobs engine =
+  List.map
+    (fun (k : K.kernel) ->
+      let st = Random.State.make [| Hashtbl.hash k.K.name |] in
+      Exec.Job.make ~name:k.K.name ~engine
+        (Exec.Job.Source_program
+           { source = k.K.source 12;
+             scalar_inputs = k.K.scalar_inputs;
+             options = None;
+             waves = 2;
+           })
+        ~inputs:(k.K.inputs 12 st))
+    K.all
+
+(* 1. merged results of the full kernel suite are bit-identical at any
+   worker count, on both engines *)
+let test_parallel_identity () =
+  List.iter
+    (fun (label, engine) ->
+      let jobs = kernel_jobs engine in
+      let seq = List.map fingerprint (Exec.Job.run_all ~jobs:1 jobs) in
+      List.iter
+        (fun workers ->
+          let par =
+            List.map fingerprint (Exec.Job.run_all ~jobs:workers jobs)
+          in
+          checkb
+            (Printf.sprintf "%s: %d workers == sequential" label workers)
+            true (par = seq))
+        [ 2; 4; 8 ];
+      (* and the sequential run actually ran: every kernel quiesced *)
+      List.iter
+        (function
+          | Ok (name, outputs, _, quiescent, violations) ->
+            checkb (name ^ " quiescent") true quiescent;
+            checkb (name ^ " no violations") true (violations = []);
+            checkb (name ^ " produced output") true (outputs <> [])
+          | Error (i, msg) ->
+            Alcotest.failf "job %d failed: %s" i msg)
+        seq)
+    [ ("sim", Exec.Job.Sim);
+      ("machine", Exec.Job.Machine Machine.Arch.default) ]
+
+(* 2. a bench-style JSON document built under the pool has the same
+   bytes whatever the worker count *)
+let test_json_worker_independence () =
+  let entries jobs =
+    Exec.Pool.map ~jobs
+      (fun (k : K.kernel) ->
+        let o =
+          Exec.Job.run
+            (List.find
+               (fun j -> j.Exec.Job.name = k.K.name)
+               (kernel_jobs Exec.Job.Sim))
+        in
+        Obs.Bench_json.entry ~measured:(float_of_int o.Exec.Job.end_time)
+          ~units:"instruction times" ~detail:"end time" ~ok:true k.K.name
+          k.K.name)
+      K.all
+  in
+  let bytes jobs =
+    let path =
+      Filename.temp_file "bench_pipeline" (Printf.sprintf "-j%d.json" jobs)
+    in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Obs.Bench_json.write_file ~path
+          ~meta:[ ("suite", Obs.Json.String "test") ]
+          (entries jobs);
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic)))
+  in
+  let b1 = bytes 1 in
+  check Alcotest.string "4 workers, same bytes" b1 (bytes 4);
+  check Alcotest.string "8 workers, same bytes" b1 (bytes 8)
+
+(* 3. one crashing job yields one Error at its submission index; the
+   rest complete *)
+let test_crash_isolation () =
+  let results =
+    Exec.Pool.map_result ~jobs:4
+      (fun i -> if i = 2 then failwith "boom" else i * 10)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  List.iteri
+    (fun i r ->
+      match (i, r) with
+      | 2, Error e ->
+        check Alcotest.int "error index" 2 e.Exec.Pool.index;
+        checkb "error message carries the exception" true
+          (String.length e.Exec.Pool.message > 0
+          && String.sub e.Exec.Pool.message 0 7 = "Failure")
+      | 2, Ok _ -> Alcotest.fail "crashing job reported Ok"
+      | i, Ok v -> check Alcotest.int "surviving job" (i * 10) v
+      | i, Error e ->
+        Alcotest.failf "job %d unexpectedly failed: %s" i e.Exec.Pool.message)
+    results;
+  (* Pool.map re-raises the first failure by submission order *)
+  (match
+     Exec.Pool.map ~jobs:4
+       (fun i -> if i >= 3 then failwith (Printf.sprintf "f%d" i) else i)
+       [ 0; 1; 2; 3; 4 ]
+   with
+  | _ -> Alcotest.fail "Pool.map swallowed the failure"
+  | exception Exec.Pool.Job_failed e ->
+    check Alcotest.int "first failure wins" 3 e.Exec.Pool.index);
+  (* the same isolation through Job.run_all: a job naming a missing
+     input fails alone *)
+  let k = List.hd K.all in
+  let st = Random.State.make [| 7 |] in
+  let good =
+    Exec.Job.make ~name:"good"
+      (Exec.Job.Source_program
+         { source = k.K.source 8;
+           scalar_inputs = k.K.scalar_inputs;
+           options = None;
+           waves = 1;
+         })
+      ~inputs:(k.K.inputs 8 st)
+  in
+  let bad = { good with Exec.Job.name = "bad"; inputs = [] } in
+  (match Exec.Job.run_all ~jobs:2 [ good; bad; good ] with
+  | [ Ok _; Error _; Ok _ ] -> ()
+  | rs ->
+    Alcotest.failf "expected [Ok; Error; Ok], got [%s]"
+      (String.concat "; "
+         (List.map (function Ok _ -> "Ok" | Error _ -> "Error") rs)))
+
+(* 4. the deprecated optional-argument entry points are exactly the
+   record API with defaults *)
+let test_wrapper_equivalence () =
+  let k = List.find (fun (k : K.kernel) -> k.K.name = "hydro") K.all in
+  let st = Random.State.make [| Hashtbl.hash k.K.name |] in
+  let _, compiled =
+    D.compile_source ~scalar_inputs:k.K.scalar_inputs (k.K.source 12)
+  in
+  let g = compiled.Compiler.Program_compile.cp_graph in
+  let inputs =
+    List.map
+      (fun (name, _) ->
+        (name, List.assoc name (k.K.inputs 12 st)))
+      compiled.Compiler.Program_compile.cp_inputs
+  in
+  let old_sim = Sim.Engine.run g ~inputs in
+  let new_sim = Sim.Engine.run_cfg Run_config.default g ~inputs in
+  checkb "sim outputs equal" true
+    (old_sim.Sim.Engine.outputs = new_sim.Sim.Engine.outputs);
+  check Alcotest.int "sim end time equal" old_sim.Sim.Engine.end_time
+    new_sim.Sim.Engine.end_time;
+  let old_m = ME.run ~arch:Machine.Arch.default g ~inputs in
+  let new_m =
+    ME.run_cfg
+      (Run_config.with_max_time ME.default_max_time Run_config.default)
+      ~arch:Machine.Arch.default g ~inputs
+  in
+  checkb "machine outputs equal" true (old_m.ME.outputs = new_m.ME.outputs);
+  check Alcotest.int "machine end time equal" old_m.ME.end_time
+    new_m.ME.end_time
+
+(* 5. sweep rows and JSON bytes are grid-ordered and worker-count
+   independent *)
+let test_sweep_determinism () =
+  let kernels =
+    List.filter
+      (fun (k : K.kernel) -> List.mem k.K.name [ "hydro"; "tridiag" ])
+      K.all
+  in
+  let cells =
+    Exec.Sweep.grid ~kernels ~pes:[ 1; 4 ] ~waves:[ 2 ] ~size:8
+  in
+  check Alcotest.int "grid size" 4 (List.length cells);
+  let doc jobs = Obs.Json.to_string (Exec.Sweep.to_json (Exec.Sweep.run_grid ~jobs cells)) in
+  let d1 = doc 1 in
+  check Alcotest.string "sweep bytes, 3 workers" d1 (doc 3);
+  List.iter2
+    (fun (c : Exec.Sweep.cell) r ->
+      match r with
+      | Ok (row : Exec.Sweep.row) ->
+        check Alcotest.string "row kernel in grid order"
+          c.Exec.Sweep.kernel.K.name row.Exec.Sweep.r_kernel;
+        check Alcotest.int "row pe in grid order" c.Exec.Sweep.n_pe
+          row.Exec.Sweep.r_pe;
+        checkb (row.Exec.Sweep.r_kernel ^ " cell ok") true
+          row.Exec.Sweep.r_ok
+      | Error e -> Alcotest.failf "cell failed: %s" e.Exec.Pool.message)
+    cells
+    (Exec.Sweep.run_grid ~jobs:2 cells)
+
+let suite =
+  [
+    Alcotest.test_case "parallel == sequential (all kernels, 2/4/8 workers)"
+      `Slow test_parallel_identity;
+    Alcotest.test_case "bench JSON bytes are worker-count independent" `Quick
+      test_json_worker_independence;
+    Alcotest.test_case "a crashing job is isolated" `Quick
+      test_crash_isolation;
+    Alcotest.test_case "optional-arg run == Run_config run" `Quick
+      test_wrapper_equivalence;
+    Alcotest.test_case "sweep grid is deterministic" `Quick
+      test_sweep_determinism;
+  ]

@@ -105,7 +105,11 @@ let test_sanitizer_clean_run () =
   let g = figure2 () in
   let inputs = fig2_inputs 24 in
   let plain = Engine.run g ~inputs in
-  let checked = Engine.run ~sanitizer:(San.create g) g ~inputs in
+  let checked =
+    Engine.run_cfg
+      Run_config.(default |> with_sanitizer (San.create g))
+      g ~inputs
+  in
   Alcotest.(check (list string)) "no violations" []
     (List.map V.to_string checked.Engine.violations);
   Alcotest.(check int) "timing unchanged" plain.Engine.end_time
@@ -198,7 +202,11 @@ let test_watchdog_no_progress () =
   let g = figure2 () in
   let inputs = fig2_inputs 8 in
   let plan = FP.make (FP.delays ~prob:1.0 ~max_delay:500 21) in
-  let r = Engine.run ~fault:plan ~watchdog:4 g ~inputs in
+  let r =
+    Engine.run_cfg
+      Run_config.(default |> with_fault plan |> with_watchdog 4)
+      g ~inputs
+  in
   match r.Engine.stuck with
   | Some sr when sr.SR.sr_reason = SR.No_progress ->
     Alcotest.(check bool) "blocked cells listed" true (sr.SR.sr_blocked <> [])

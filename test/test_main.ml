@@ -20,4 +20,5 @@ let () =
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
       ("recover", Test_recover.suite);
+      ("exec", Test_exec.suite);
     ]

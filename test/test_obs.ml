@@ -71,7 +71,11 @@ let test_sim_parity () =
   let inputs = fig2_inputs 40 in
   let base = Sim.Engine.run (fig2_graph ()) ~inputs in
   let tracer = Obs.Tracer.create () in
-  let traced = Sim.Engine.run ~tracer (fig2_graph ()) ~inputs in
+  let traced =
+    Sim.Engine.run_cfg
+      Run_config.(default |> with_tracer tracer)
+      (fig2_graph ()) ~inputs
+  in
   Alcotest.(check int)
     "same end time" base.Sim.Engine.end_time traced.Sim.Engine.end_time;
   Alcotest.(check bool)
@@ -138,7 +142,9 @@ let test_perfetto_wellformed () =
   let st = Random.State.make [| 1 |] in
   let wave = List.init 16 (fun _ -> Random.State.float st 1.0) in
   let result =
-    D.run ~waves:4 ~tracer cp
+    D.run_cfg ~waves:4
+      Run_config.(default |> with_tracer tracer)
+      cp
       ~inputs:[ ("A", D.wave_of_floats wave); ("B", D.wave_of_floats wave) ]
   in
   let doc =

@@ -80,8 +80,12 @@ let test_checkpoint_json_round_trip () =
   let inputs = [ ("a", List.map (fun f -> Value.Real f) awkward_reals) ] in
   let plan = FP.make (FP.delays ~prob:0.4 ~max_delay:5 31) in
   let m =
-    ME.create ~fault:plan ~sanitizer:(San.create g)
-      ~recovery:ME.default_recovery ~arch:Machine.Arch.default g ~inputs
+    ME.create_cfg
+      Run_config.(
+        default |> with_max_time ME.default_max_time |> with_fault plan
+        |> with_sanitizer (San.create g)
+        |> with_recovery ME.default_recovery)
+      ~arch:Machine.Arch.default g ~inputs
   in
   ME.advance m ~until:12;
   let sn = ME.snapshot m in
@@ -112,10 +116,14 @@ let test_save_load_resume_bit_identical () =
   let plan = FP.make (FP.delays ~prob:0.3 ~max_delay:6 77) in
   let recovery = { ME.default_recovery with checkpoint_every = 20 } in
   let arch = Machine.Arch.default in
-  let straight =
-    ME.run ~fault:plan ~sanitizer:(San.create g) ~recovery ~arch g ~inputs
+  (* each run gets its own sanitizer: they are stateful observers *)
+  let cfg () =
+    Run_config.(
+      default |> with_max_time ME.default_max_time |> with_fault plan
+      |> with_sanitizer (San.create g) |> with_recovery recovery)
   in
-  let m = ME.create ~fault:plan ~sanitizer:(San.create g) ~recovery ~arch g ~inputs in
+  let straight = ME.run_cfg (cfg ()) ~arch g ~inputs in
+  let m = ME.create_cfg (cfg ()) ~arch g ~inputs in
   ME.advance m ~until:40;
   Alcotest.(check bool) "paused, not finished" false (ME.finished m);
   let path = Filename.temp_file "dfsim-ckpt" ".json" in
