@@ -1,0 +1,392 @@
+(* chaos: randomized fault soak with automatic repro shrinking.
+
+   Each scenario draws a kernel and a multi-fault plan (delays, dups,
+   drops, stalls, slowdowns, corruption, a possible PE crash) as a pure
+   function of (master seed, scenario index), then runs the machine
+   differential fully protected — integrity checksums, a recovery
+   policy, the sanitizer, a generous watchdog.  Under that armour every
+   scenario must end with outputs bit-identical to the clean run, no
+   violations and no unexpected stall; anything else is a real bug in
+   the protection stack.
+
+   A failing scenario is not just reported: its 12-parameter spec is
+   delta-debugged down to a minimal still-failing plan (Fault.Shrink),
+   the wave count and kernel size are narrowed the same way, and the
+   result is printed as a one-line faultcheck command that reproduces
+   the failure exactly.  Scenario generation and shrinking are
+   deterministic, so the same master seed yields the same verdicts and
+   the same minimal repros whatever the worker count.
+
+   Examples:
+     chaos --runs 40 --seed 1
+     chaos --runs 200 --jobs 8 --out chaos-reports
+     chaos --kernel tridiag --runs 20 *)
+
+module PC = Compiler.Program_compile
+module D = Compiler.Driver
+module K = Kernels
+module FP = Fault.Fault_plan
+module FD = Fault_diff
+module ME = Machine.Machine_engine
+module Prng = Fault.Prng
+module Shrink = Fault.Shrink
+
+let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
+
+let feeds (compiled : PC.compiled) ~waves kernel_inputs =
+  List.map
+    (fun (name, _shape) ->
+      match List.assoc_opt name kernel_inputs with
+      | Some wave -> (name, replicate waves wave)
+      | None -> failwith (Printf.sprintf "kernel input %s missing" name))
+    compiled.PC.cp_inputs
+
+(* --- scenario generation -------------------------------------------- *)
+
+(* Every draw is a keyed hash of (master, scenario index, slot): no
+   sequential PRNG state, so scenario [i] is the same plan no matter
+   how many scenarios run, in what order, on how many domains. *)
+let gen_spec ~master ~index ~n_pe =
+  let h slot = Prng.mix master [ index; slot ] in
+  let coin slot denom = Prng.int_of_hash (h slot) denom = 0 in
+  (* each fault kind is armed about half the time, so scenarios range
+     from single-fault to everything-at-once *)
+  let prob slot cap =
+    if coin slot 2 then Prng.float_of_hash (h (slot + 1)) *. cap else 0.0
+  in
+  let mag slot cap =
+    if coin slot 2 then 1 + Prng.int_of_hash (h (slot + 1)) cap else 0
+  in
+  let crash = coin 40 4 in
+  { FP.seed = Prng.int_of_hash (h 0) 1_000_000;
+    delay_prob = prob 2 0.3;
+    delay_max = 1 + Prng.int_of_hash (h 4) 8;
+    dup_prob = prob 6 0.2;
+    drop_ack_prob = prob 10 0.1;
+    drop_prob = prob 14 0.1;
+    stall_prob = prob 18 0.2;
+    stall_max = 1 + Prng.int_of_hash (h 20) 16;
+    fu_slow = mag 22 3;
+    am_slow = mag 26 3;
+    corrupt_prob = prob 30 0.05;
+    corrupt_ctl_prob = prob 34 0.05;
+    crash_pe = (if crash then Prng.int_of_hash (h 42) n_pe else -1);
+    crash_at = (if crash then 20 + Prng.int_of_hash (h 44) 200 else 0);
+  }
+
+let pick_kernel ~master ~index kernels =
+  List.nth kernels (Prng.int_of_hash (Prng.mix master [ index; 1 ]) (List.length kernels))
+
+(* --- the oracle ------------------------------------------------------ *)
+
+let stall_unexpected = function
+  | None -> false
+  | Some sr -> sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock
+
+(* the watchdog sits above every injected latency source: routing
+   delays, PE stall windows, FU/AM slowdowns, and the full
+   retransmission backoff window *)
+let watchdog_for (spec : FP.spec) (recovery : ME.recovery) =
+  200
+  + (4 * spec.FP.delay_max)
+  + (4 * spec.FP.stall_max)
+  + (16 * (spec.FP.fu_slow + spec.FP.am_slow))
+  + (17 * recovery.ME.retransmit_after)
+
+type subject = {
+  kernel : K.kernel;
+  size : int;
+  waves : int;
+  graph : Dfg.Graph.t;
+  inputs : (string * Dfg.Value.t list) list;
+}
+
+let compile_subject (k : K.kernel) ~size ~waves =
+  let st = Random.State.make [| Hashtbl.hash k.K.name |] in
+  let _, compiled =
+    D.compile_source ~scalar_inputs:k.K.scalar_inputs (k.K.source size)
+  in
+  let inputs = feeds compiled ~waves (k.K.inputs size st) in
+  { kernel = k; size; waves; graph = compiled.PC.cp_graph; inputs }
+
+let check ~recovery subject (spec : FP.spec) =
+  let plan = FP.make spec in
+  FD.machine
+    ~watchdog:(watchdog_for spec recovery)
+    ~recovery ~integrity:true ~plan subject.graph ~inputs:subject.inputs
+
+let outcome_ok (o : FD.outcome) =
+  o.FD.equal && o.FD.faulted_violations = []
+  && not (stall_unexpected o.FD.faulted_stall)
+  && o.FD.clean_digest = o.FD.faulted_digest
+
+(* --- shrinking a failure -------------------------------------------- *)
+
+(* the spec lattice first (Fault.Shrink), then the subject: fewer
+   waves, then a smaller kernel size — each adopted only while the
+   minimal spec still fails *)
+let shrink_failure ~recovery subject spec =
+  let still_fails subject spec =
+    not (outcome_ok (check ~recovery subject spec))
+  in
+  let r = Shrink.minimize ~still_fails:(still_fails subject) spec in
+  let subject = ref subject in
+  let attempts = ref r.Shrink.attempts in
+  let narrow desc candidates rebuild =
+    List.iter
+      (fun c ->
+        let s = rebuild c in
+        incr attempts;
+        if still_fails s r.Shrink.minimal then subject := s)
+      candidates;
+    ignore desc
+  in
+  let s0 = !subject in
+  narrow "waves"
+    (List.filter (fun w -> w < s0.waves) [ 1; 2 ])
+    (fun waves -> { s0 with waves; inputs = [] } |> fun s ->
+       compile_subject s.kernel ~size:s.size ~waves);
+  let s1 = !subject in
+  narrow "size"
+    (List.filter (fun n -> n < s1.size) [ 4; 8; 16 ])
+    (fun size -> compile_subject s1.kernel ~size ~waves:s1.waves);
+  (!subject, r, !attempts)
+
+(* the one-line command that replays the minimal failure exactly *)
+let repro_command ~recovery subject (spec : FP.spec) =
+  Printf.sprintf
+    "faultcheck --kernel %s --seeds %d --size %d --waves %d --inject '%s' \
+     --recover %s --integrity --machine"
+    subject.kernel.K.name spec.FP.seed subject.size subject.waves
+    (FP.to_string spec) (Recover.to_string recovery)
+
+(* --- reporting ------------------------------------------------------- *)
+
+let dump_failure ~dir ~recovery ~index subject ~original
+    (r : Shrink.result) ~attempts (o : FD.outcome) =
+  (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+   with Sys_error _ -> ());
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "chaos-%03d-%s.txt" index subject.kernel.K.name)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "scenario %d, kernel %s, size %d, waves %d\n\
+         original spec: %s\n\
+         minimal spec:  %s\n\
+         shrink: %d oracle runs, %d adopted steps\n"
+        index subject.kernel.K.name subject.size subject.waves
+        (FP.to_string original)
+        (FP.to_string r.Shrink.minimal)
+        attempts
+        (List.length r.Shrink.steps);
+      List.iter
+        (fun (s : Shrink.step) ->
+          Printf.fprintf oc "  - %s -> %s\n" s.Shrink.s_desc
+            (FP.to_string s.Shrink.s_spec))
+        r.Shrink.steps;
+      Printf.fprintf oc "repro: %s\n\n"
+        (repro_command ~recovery subject r.Shrink.minimal);
+      Printf.fprintf oc "clean end %d, faulted end %d, recoveries %d\n"
+        o.FD.clean_end o.FD.faulted_end o.FD.faulted_recoveries;
+      Printf.fprintf oc "digest clean %d, faulted %d\n" o.FD.clean_digest
+        o.FD.faulted_digest;
+      (match o.FD.diagnosis with
+      | Some d -> Printf.fprintf oc "diagnosis: %s\n" d
+      | None -> ());
+      if o.FD.mismatches <> [] then begin
+        output_string oc "output mismatches:\n";
+        List.iter
+          (fun m -> Printf.fprintf oc "  %s\n" (FD.mismatch_to_string m))
+          o.FD.mismatches
+      end;
+      if o.FD.faulted_violations <> [] then begin
+        output_string oc "violations:\n";
+        List.iter
+          (fun v -> Printf.fprintf oc "  %s\n" (Fault.Violation.to_string v))
+          o.FD.faulted_violations
+      end;
+      match o.FD.faulted_stall with
+      | Some sr -> output_string oc (Fault.Stall_report.to_string sr)
+      | None -> ());
+  (match o.FD.faulted_snapshot with
+  | Some sn ->
+    let spath =
+      Filename.concat dir
+        (Printf.sprintf "chaos-%03d-%s-state.json" index subject.kernel.K.name)
+    in
+    Recover.Checkpoint.save ~path:spath ~graph:subject.graph sn
+  | None -> ());
+  path
+
+(* one scenario, start to finish; the report goes into [buf] so the
+   soak can fan out across domains and still print in index order *)
+let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~buf index =
+  let spec = gen_spec ~master ~index ~n_pe:Machine.Arch.default.Machine.Arch.n_pe in
+  let kernel = pick_kernel ~master ~index kernels in
+  let subject = compile_subject kernel ~size ~waves in
+  let o = check ~recovery subject spec in
+  if outcome_ok o then begin
+    let armed =
+      List.length
+        (List.filter Fun.id
+           [ spec.FP.delay_prob > 0.0; spec.FP.dup_prob > 0.0;
+             spec.FP.drop_ack_prob > 0.0; spec.FP.drop_prob > 0.0;
+             spec.FP.stall_prob > 0.0; spec.FP.fu_slow > 0;
+             spec.FP.am_slow > 0; spec.FP.corrupt_prob > 0.0;
+             spec.FP.corrupt_ctl_prob > 0.0; spec.FP.crash_pe >= 0 ])
+    in
+    Printf.bprintf buf
+      "ok   #%03d %-14s %d faults (clean end %d, faulted end %d%s%s)\n" index
+      kernel.K.name armed o.FD.clean_end o.FD.faulted_end
+      (if o.FD.faulted_recoveries > 0 then
+         Printf.sprintf ", %d recovery" o.FD.faulted_recoveries
+       else "")
+      (match o.FD.faulted_snapshot with
+      | Some sn when sn.ME.sn_stats.ME.corruptions > 0 ->
+        Printf.sprintf ", %d corrupt/%d healed" sn.ME.sn_stats.ME.corruptions
+          sn.ME.sn_stats.ME.corrupt_healed
+      | _ -> "");
+    true
+  end
+  else begin
+    let min_subject, r, attempts = shrink_failure ~recovery subject spec in
+    let min_outcome = check ~recovery min_subject r.Shrink.minimal in
+    let path =
+      dump_failure ~dir ~recovery ~index min_subject ~original:spec r ~attempts
+        min_outcome
+    in
+    Printf.bprintf buf
+      "FAIL #%03d %-14s (%d mismatches, %d violations) -> %s\n\
+      \     minimal: %s\n\
+      \     repro:   %s\n"
+      index kernel.K.name
+      (List.length min_outcome.FD.mismatches)
+      (List.length min_outcome.FD.faulted_violations)
+      path
+      (FP.to_string r.Shrink.minimal)
+      (repro_command ~recovery min_subject r.Shrink.minimal);
+    false
+  end
+
+let main runs master size waves dir kernel_filter recover jobs =
+  let recovery =
+    match Recover.of_string (Option.value recover ~default:"") with
+    | Ok p -> p
+    | Error e ->
+      failwith (Printf.sprintf "--recover %s: %s" (Option.get recover) e)
+  in
+  let kernels =
+    match kernel_filter with
+    | None -> K.all
+    | Some name -> (
+      match List.filter (fun (k : K.kernel) -> k.K.name = name) K.all with
+      | [] ->
+        failwith
+          (Printf.sprintf "--kernel %s: unknown kernel (have: %s)" name
+             (String.concat ", "
+                (List.map (fun (k : K.kernel) -> k.K.name) K.all)))
+      | ks -> ks)
+  in
+  let jobs = match jobs with Some j -> j | None -> Exec.Pool.default_jobs () in
+  let indices = List.init runs Fun.id in
+  let results, elapsed =
+    Exec.Pool.timed (fun () ->
+        Exec.Pool.map_result ~jobs
+          (fun index ->
+            let buf = Buffer.create 256 in
+            let ok =
+              run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~buf
+                index
+            in
+            (Buffer.contents buf, ok))
+          indices)
+  in
+  let failures = ref 0 in
+  List.iter2
+    (fun index r ->
+      match r with
+      | Ok (report, ok) ->
+        print_string report;
+        if not ok then incr failures
+      | Error (e : Exec.Pool.error) ->
+        incr failures;
+        Printf.printf "FAIL #%03d raised %s\n" index e.Exec.Pool.message)
+    indices results;
+  Printf.eprintf "chaos: %d scenarios in %.2fs (%d worker%s)\n" runs elapsed
+    jobs
+    (if jobs = 1 then "" else "s");
+  if !failures = 0 then begin
+    Printf.printf
+      "all %d chaos scenarios survived: protected runs bit-identical to \
+       clean\n"
+      runs;
+    `Ok ()
+  end
+  else
+    `Error
+      (false, Printf.sprintf "%d of %d chaos scenarios failed" !failures runs)
+
+let main_safe runs master size waves dir kernel recover jobs =
+  try main runs master size waves dir kernel recover jobs
+  with Failure msg -> `Error (false, msg)
+
+let cmd =
+  let open Cmdliner in
+  let runs =
+    Arg.(value & opt int 40
+         & info [ "runs" ] ~docv:"N" ~doc:"number of randomized scenarios")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"master seed; scenario $(i,i) is a pure function of \
+                   (seed, i), so the same seed replays the same soak")
+  in
+  let size =
+    Arg.(value & opt int 8
+         & info [ "size" ] ~docv:"N" ~doc:"kernel size parameter")
+  in
+  let waves =
+    Arg.(value & opt int 2
+         & info [ "waves" ] ~docv:"W" ~doc:"input waves to stream")
+  in
+  let dir =
+    Arg.(value & opt string "chaos-reports"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"directory for failure dumps (created on first failure)")
+  in
+  let kernel =
+    Arg.(value & opt (some string) None
+         & info [ "kernel" ] ~docv:"NAME"
+             ~doc:"restrict scenarios to a single kernel")
+  in
+  let recover =
+    Arg.(value & opt (some string) None
+         & info [ "recover" ] ~docv:"SPEC"
+             ~doc:"recovery policy for every scenario (default: the \
+                   standard policy); keys every, timeout, backoff, retries")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"worker domains (default: \\$(b,EXEC_JOBS) or the \
+                   available cores); verdicts and repros are identical \
+                   whatever the count")
+  in
+  let term =
+    Term.(ret (const main_safe $ runs $ seed $ size $ waves $ dir $ kernel
+               $ recover $ jobs))
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~version:"1.0"
+       ~doc:"randomized fault soak: every protected run must match its \
+             clean run bit for bit; failures are delta-debugged to a \
+             minimal one-line repro")
+    term
+
+let () = exit (Cmdliner.Cmd.eval cmd)

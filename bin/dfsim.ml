@@ -225,8 +225,8 @@ let run_loaded path waves seed report trace_out metrics_out ~fault ~sanitizer
   `Ok ()
 
 let run path waves seed input_files machine pe stored no_check report load
-    trace_out metrics_out inject sanitize watchdog recover checkpoint_out
-    restore_from =
+    trace_out metrics_out inject sanitize watchdog recover integrity
+    checkpoint_out restore_from =
   try
     let fault, sanitizer, watchdog =
       parse_fault_opts inject sanitize watchdog
@@ -234,11 +234,12 @@ let run path waves seed input_files machine pe stored no_check report load
     let recovery = parse_recover_opt recover in
     if
       (not machine)
-      && (recovery <> None || checkpoint_out <> None || restore_from <> None)
+      && (recovery <> None || integrity || checkpoint_out <> None
+          || restore_from <> None)
     then
       failwith
-        "--recover/--checkpoint/--restore apply to the machine simulator \
-         (add --machine)";
+        "--recover/--integrity/--checkpoint/--restore apply to the machine \
+         simulator (add --machine)";
     if load then
       run_loaded path waves seed report trace_out metrics_out ~fault ~sanitizer
         ~watchdog
@@ -280,7 +281,8 @@ let run path waves seed input_files machine pe stored no_check report load
         Run_config.(
           default |> with_max_time ME.default_max_time |> with_tracer tracer
           |> with_fault_opt fault |> with_sanitizer (sanitizer g)
-          |> with_watchdog_opt watchdog |> with_recovery_opt recovery)
+          |> with_watchdog_opt watchdog |> with_recovery_opt recovery
+          |> with_integrity integrity)
       in
       let m = ME.create_cfg cfg ~arch g ~inputs:feeds in
       (match restore_from with
@@ -290,7 +292,10 @@ let run path waves seed input_files machine pe stored no_check report load
         | Ok sn ->
           ME.restore m sn;
           Printf.printf "restored checkpoint %s (t=%d)\n" p sn.ME.sn_time
-        | Error e -> failwith (Printf.sprintf "--restore %s: %s" p e)));
+        | Error e ->
+          failwith
+            (Printf.sprintf "--restore %s: %s" p
+               (Recover.Checkpoint.load_error_to_string e))));
       ME.advance m ~until:max_int;
       let r = ME.result m in
       (* a deadlock caused by a dead PE is never the benign end state of
@@ -302,6 +307,16 @@ let run path waves seed input_files machine pe stored no_check report load
       in
       print_diagnostics ~show_deadlock ~violations:r.ME.violations
         ~stall:r.ME.stall ();
+      (* machine mode has no interpreter oracle, so a silently-corrupted
+         run would otherwise look healthy — say so up front *)
+      (match fault with
+      | Some plan when Fault.Fault_plan.has_corruption plan && not integrity
+        ->
+        print_endline
+          "warning: corruption faults injected with integrity checking \
+           disabled — outputs may be silently wrong (add --integrity to \
+           detect, plus --recover to heal)"
+      | _ -> ());
       Printf.printf "machine: %s\n" (Arch.describe arch);
       (match recovery with
       | Some p -> Printf.printf "recovery: %s\n" (Recover.describe p)
@@ -316,6 +331,9 @@ let run path waves seed input_files machine pe stored no_check report load
       if recovery <> None then
         Printf.printf "retransmits=%d checkpoints=%d recoveries=%d\n"
           s.ME.retransmits r.ME.checkpoints r.ME.recoveries;
+      if s.ME.corruptions > 0 || s.ME.corrupt_detected > 0 then
+        Printf.printf "corruptions=%d detected=%d healed=%d\n" s.ME.corruptions
+          s.ME.corrupt_detected s.ME.corrupt_healed;
       (match checkpoint_out with
       | None -> ()
       | Some p ->
@@ -443,10 +461,10 @@ let cmd =
          & info [ "inject" ] ~docv:"SPEC"
              ~doc:"inject deterministic faults; SPEC is comma-separated \
                    key=value with keys seed, delay, dup, drop-ack, drop, \
-                   stall (probabilities), delay-max, stall-max, fu-slow, \
-                   am-slow, crash-at (magnitudes), crash-pe (PE index), \
-                   e.g. seed=7,delay=0.2,dup=0.05; the same SPEC always \
-                   perturbs the same packets")
+                   stall, corrupt, corrupt-ctl (probabilities), delay-max, \
+                   stall-max, fu-slow, am-slow, crash-at (magnitudes), \
+                   crash-pe (PE index), e.g. seed=7,delay=0.2,corrupt=0.05; \
+                   the same SPEC always perturbs the same packets")
   in
   let sanitize =
     Arg.(value & flag
@@ -471,6 +489,14 @@ let cmd =
                    (checkpoint interval), timeout, backoff, retries; bare \
                    --recover uses the defaults")
   in
+  let integrity =
+    Arg.(value & flag
+         & info [ "integrity" ]
+             ~doc:"verify per-packet checksums at delivery (machine mode): a \
+                   corrupted payload is detected and discarded instead of \
+                   silently consumed; with --recover the producer's \
+                   retransmission replaces it and the run heals")
+  in
   let checkpoint_out =
     Arg.(value & opt (some string) None
          & info [ "checkpoint" ] ~docv:"OUT"
@@ -487,8 +513,8 @@ let cmd =
   let term =
     Term.(ret (const run $ path $ waves $ seed $ input_files $ machine $ pe
                $ stored $ no_check $ report $ load $ trace_out $ metrics_out
-               $ inject $ sanitize $ watchdog $ recover $ checkpoint_out
-               $ restore_from))
+               $ inject $ sanitize $ watchdog $ recover $ integrity
+               $ checkpoint_out $ restore_from))
   in
   Cmd.v
     (Cmd.info "dfsim" ~version:"1.0"

@@ -15,6 +15,8 @@
      faultcheck --machine --delay 0.5
      faultcheck --machine --recover --drop-ack 0.15
      faultcheck --machine --recover --crash-pe 2 --crash-at 120
+     faultcheck --machine --recover --integrity --corrupt 0.05
+     faultcheck --machine --inject 'seed=7,stall=0.1,corrupt=0.02' --integrity
      faultcheck --kernel hydro --seeds 42 *)
 
 module PC = Compiler.Program_compile
@@ -43,28 +45,48 @@ type config = {
   spec : FP.spec;  (* seed overwritten per run *)
   machine : bool;
   recovery : ME.recovery option;
+  integrity : bool;
   kernel_filter : string option;
 }
 
-(* the exact command line that reruns one failing combination *)
+(* the exact command line that reruns one failing combination.  Stall
+   and FU/AM-slowdown fields have no dedicated flags, so a spec using
+   them is carried whole via --inject (the canonical Fault_plan string);
+   everything else stays as readable per-field flags. *)
 let repro_command cfg ~kernel ~seed =
   let b = Buffer.create 128 in
   Buffer.add_string b "faultcheck";
   Printf.bprintf b " --kernel %s --seeds %d" kernel seed;
   Printf.bprintf b " --size %d --waves %d" cfg.size cfg.waves;
   let s = cfg.spec in
-  if s.FP.delay_prob <> 0.0 then Printf.bprintf b " --delay %g" s.FP.delay_prob;
-  if s.FP.delay_max <> FP.none.FP.delay_max then
-    Printf.bprintf b " --delay-max %d" s.FP.delay_max;
-  if s.FP.dup_prob <> 0.0 then Printf.bprintf b " --dup %g" s.FP.dup_prob;
-  if s.FP.drop_ack_prob <> 0.0 then
-    Printf.bprintf b " --drop-ack %g" s.FP.drop_ack_prob;
-  if s.FP.drop_prob <> 0.0 then Printf.bprintf b " --drop %g" s.FP.drop_prob;
-  if s.FP.crash_pe >= 0 then
-    Printf.bprintf b " --crash-pe %d --crash-at %d" s.FP.crash_pe s.FP.crash_at;
+  let flagless =
+    s.FP.stall_prob <> 0.0
+    || s.FP.stall_max <> FP.none.FP.stall_max
+    || s.FP.fu_slow <> 0 || s.FP.am_slow <> 0
+  in
+  if flagless then
+    Printf.bprintf b " --inject '%s'" (FP.to_string { s with FP.seed })
+  else begin
+    if s.FP.delay_prob <> 0.0 then
+      Printf.bprintf b " --delay %g" s.FP.delay_prob;
+    if s.FP.delay_max <> FP.none.FP.delay_max then
+      Printf.bprintf b " --delay-max %d" s.FP.delay_max;
+    if s.FP.dup_prob <> 0.0 then Printf.bprintf b " --dup %g" s.FP.dup_prob;
+    if s.FP.drop_ack_prob <> 0.0 then
+      Printf.bprintf b " --drop-ack %g" s.FP.drop_ack_prob;
+    if s.FP.drop_prob <> 0.0 then Printf.bprintf b " --drop %g" s.FP.drop_prob;
+    if s.FP.corrupt_prob <> 0.0 then
+      Printf.bprintf b " --corrupt %g" s.FP.corrupt_prob;
+    if s.FP.corrupt_ctl_prob <> 0.0 then
+      Printf.bprintf b " --corrupt-ctl %g" s.FP.corrupt_ctl_prob;
+    if s.FP.crash_pe >= 0 then
+      Printf.bprintf b " --crash-pe %d --crash-at %d" s.FP.crash_pe
+        s.FP.crash_at
+  end;
   (match cfg.recovery with
   | Some p -> Printf.bprintf b " --recover %s" (Recover.to_string p)
   | None -> ());
+  if cfg.integrity then Buffer.add_string b " --integrity";
   if cfg.machine then Buffer.add_string b " --machine";
   Buffer.contents b
 
@@ -80,10 +102,13 @@ let dump_failure cfg ~graph ~kernel ~seed ~engine (o : FD.outcome) =
     (fun () ->
       Printf.fprintf oc
         "kernel %s, engine %s, seed %d\nclean end %d, faulted end %d\n\
-         recoveries %d\nrepro: %s\n\n"
+         recoveries %d\ndigest clean %d, faulted %d\nrepro: %s\n\n"
         kernel engine seed o.FD.clean_end o.FD.faulted_end
-        o.FD.faulted_recoveries
+        o.FD.faulted_recoveries o.FD.clean_digest o.FD.faulted_digest
         (repro_command cfg ~kernel ~seed);
+      (match o.FD.diagnosis with
+      | Some d -> Printf.fprintf oc "diagnosis: %s\n\n" d
+      | None -> ());
       if o.FD.mismatches <> [] then begin
         output_string oc "output mismatches:\n";
         List.iter
@@ -125,10 +150,14 @@ let check_one cfg ~buf ~seed (k : K.kernel) =
   in
   let inputs = feeds compiled ~waves:cfg.waves (k.K.inputs cfg.size st) in
   let plan = FP.make { cfg.spec with FP.seed } in
-  (* the watchdog must sit above any injected delay — and above the full
-     retransmission window when the recovery protocol is on *)
+  (* the watchdog must sit above every injected latency source — routing
+     delays, PE stall windows, FU/AM slowdowns (reachable via --inject) —
+     and above the full retransmission window when the recovery protocol
+     is on *)
   let watchdog =
     100 + (4 * cfg.spec.FP.delay_max)
+    + (if cfg.spec.FP.stall_prob > 0.0 then 4 * cfg.spec.FP.stall_max else 0)
+    + (16 * (cfg.spec.FP.fu_slow + cfg.spec.FP.am_slow))
     + (match cfg.recovery with
       | Some r -> 17 * r.ME.retransmit_after
       | None -> 0)
@@ -138,14 +167,26 @@ let check_one cfg ~buf ~seed (k : K.kernel) =
     let ok =
       o.FD.equal && o.FD.faulted_violations = []
       && not (stall_unexpected o.FD.faulted_stall)
+      && o.FD.clean_digest = o.FD.faulted_digest
+    in
+    (* the per-run integrity story: bit-flips injected, caught by the
+       checksum, and replaced by a clean retransmission *)
+    let integrity_note =
+      match o.FD.faulted_snapshot with
+      | Some sn when sn.ME.sn_stats.ME.corruptions > 0 ->
+        Printf.sprintf ", %d corrupt/%d detected/%d healed"
+          sn.ME.sn_stats.ME.corruptions sn.ME.sn_stats.ME.corrupt_detected
+          sn.ME.sn_stats.ME.corrupt_healed
+      | _ -> ""
     in
     if ok then begin
       Printf.bprintf buf
-        "ok   %-14s %-7s seed=%d (clean end %d, faulted end %d%s)\n"
+        "ok   %-14s %-7s seed=%d (clean end %d, faulted end %d%s%s)\n"
         k.K.name engine seed o.FD.clean_end o.FD.faulted_end
         (if o.FD.faulted_recoveries > 0 then
            Printf.sprintf ", %d recovery" o.FD.faulted_recoveries
-         else "");
+         else "")
+        integrity_note;
       true
     end
     else begin
@@ -154,13 +195,16 @@ let check_one cfg ~buf ~seed (k : K.kernel) =
           ~engine o
       in
       Printf.bprintf buf
-        "FAIL %-14s %-7s seed=%d (%d mismatches, %d violations) -> %s\n\
+        "FAIL %-14s %-7s seed=%d (%d mismatches, %d violations%s) -> %s\n\
         \     repro: %s\n"
         k.K.name engine seed
         (List.length o.FD.mismatches)
         (List.length o.FD.faulted_violations)
-        path
+        integrity_note path
         (repro_command cfg ~kernel:k.K.name ~seed);
+      (match o.FD.diagnosis with
+      | Some d -> Printf.bprintf buf "     %s\n" d
+      | None -> ());
       false
     end
   in
@@ -175,12 +219,14 @@ let check_one cfg ~buf ~seed (k : K.kernel) =
   let ok_machine =
     (not cfg.machine)
     || run "machine" (fun () ->
-           FD.machine ~watchdog ?recovery:cfg.recovery ~plan g ~inputs)
+           FD.machine ~watchdog ?recovery:cfg.recovery
+             ~integrity:cfg.integrity ~plan g ~inputs)
   in
   ok_sim && ok_machine
 
 let main seeds dir kernel_filter size waves prob max_delay dup drop_ack drop
-    crash_pe crash_at recover machine jobs =
+    corrupt corrupt_ctl crash_pe crash_at inject recover machine integrity
+    jobs =
   let recovery =
     match recover with
     | None -> None
@@ -190,17 +236,30 @@ let main seeds dir kernel_filter size waves prob max_delay dup drop_ack drop
       | Error e -> failwith (Printf.sprintf "--recover %s: %s" spec e))
   in
   let spec =
-    { FP.none with
-      FP.delay_prob = prob;
-      delay_max = max_delay;
-      dup_prob = dup;
-      drop_ack_prob = drop_ack;
-      drop_prob = drop;
-      crash_pe;
-      crash_at;
-    }
+    match inject with
+    | Some s -> (
+      (* --inject carries the whole plan (shrinker output, chaos repro);
+         --seeds still picks the per-run seed, so any seed= in the spec
+         only matters if the default seed list is used unchanged *)
+      match FP.of_string s with
+      | Ok spec -> spec
+      | Error e -> failwith (Printf.sprintf "--inject %s: %s" s e))
+    | None ->
+      { FP.none with
+        FP.delay_prob = prob;
+        delay_max = max_delay;
+        dup_prob = dup;
+        drop_ack_prob = drop_ack;
+        drop_prob = drop;
+        corrupt_prob = corrupt;
+        corrupt_ctl_prob = corrupt_ctl;
+        crash_pe;
+        crash_at;
+      }
   in
-  let cfg = { dir; size; waves; spec; machine; recovery; kernel_filter } in
+  let cfg =
+    { dir; size; waves; spec; machine; recovery; integrity; kernel_filter }
+  in
   let kernels =
     match kernel_filter with
     | None -> K.all
@@ -263,10 +322,11 @@ let main seeds dir kernel_filter size waves prob max_delay dup drop_ack drop
       (false, Printf.sprintf "%d of %d kernel/seed runs failed" !failures runs)
 
 let main_safe seeds dir kernel size waves prob max_delay dup drop_ack drop
-    crash_pe crash_at recover machine jobs =
+    corrupt corrupt_ctl crash_pe crash_at inject recover machine integrity
+    jobs =
   try
-    main seeds dir kernel size waves prob max_delay dup drop_ack drop crash_pe
-      crash_at recover machine jobs
+    main seeds dir kernel size waves prob max_delay dup drop_ack drop corrupt
+      corrupt_ctl crash_pe crash_at inject recover machine integrity jobs
   with Failure msg -> `Error (false, msg)
 
 let cmd =
@@ -317,6 +377,17 @@ let cmd =
          & info [ "drop" ] ~docv:"P"
              ~doc:"per-result-packet loss probability (machine)")
   in
+  let corrupt =
+    Arg.(value & opt float 0.0
+         & info [ "corrupt" ] ~docv:"P"
+             ~doc:"per-int/real-result-packet payload bit-flip probability \
+                   (machine)")
+  in
+  let corrupt_ctl =
+    Arg.(value & opt float 0.0
+         & info [ "corrupt-ctl" ] ~docv:"P"
+             ~doc:"per-boolean-control-token negation probability (machine)")
+  in
   let crash_pe =
     Arg.(value & opt int (-1)
          & info [ "crash-pe" ] ~docv:"N"
@@ -326,6 +397,15 @@ let cmd =
     Arg.(value & opt int 0
          & info [ "crash-at" ] ~docv:"T"
              ~doc:"simulated time of the --crash-pe fail-stop")
+  in
+  let inject =
+    Arg.(value & opt (some string) None
+         & info [ "inject" ] ~docv:"SPEC"
+             ~doc:"full fault plan as a Fault_plan string (e.g. \
+                   'seed=7,stall=0.1,corrupt=0.02'); replaces the \
+                   per-fault flags — this is the form chaos and the \
+                   shrinker print, so minimal repros paste straight back \
+                   ($(b,--seeds) still picks the per-run seed)")
   in
   let recover =
     Arg.(value & opt ~vopt:(Some "") (some string) None
@@ -340,6 +420,13 @@ let cmd =
          & info [ "machine" ]
              ~doc:"also run the differential on the machine-level simulator")
   in
+  let integrity =
+    Arg.(value & flag
+         & info [ "integrity" ]
+             ~doc:"enable per-packet checksum verification in the faulted \
+                   machine runs; with $(b,--recover), corruption faults are \
+                   then detected, discarded and healed by retransmission")
+  in
   let jobs =
     Arg.(value & opt (some int) None
          & info [ "jobs"; "j" ] ~docv:"N"
@@ -349,8 +436,9 @@ let cmd =
   in
   let term =
     Term.(ret (const main_safe $ seeds $ dir $ kernel $ size $ waves $ prob
-               $ max_delay $ dup $ drop_ack $ drop $ crash_pe $ crash_at
-               $ recover $ machine $ jobs))
+               $ max_delay $ dup $ drop_ack $ drop $ corrupt $ corrupt_ctl
+               $ crash_pe $ crash_at $ inject $ recover $ machine $ integrity
+               $ jobs))
   in
   Cmd.v
     (Cmd.info "faultcheck" ~version:"1.0"

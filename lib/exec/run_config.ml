@@ -22,6 +22,7 @@ type t = {
   record_firings : bool;
   trace_window : (int * int) option;
   recovery : recovery option;
+  integrity : bool;
 }
 
 let default =
@@ -34,6 +35,7 @@ let default =
     record_firings = false;
     trace_window = None;
     recovery = None;
+    integrity = false;
   }
 
 let with_max_time max_time t = { t with max_time }
@@ -47,3 +49,4 @@ let with_record_firings record_firings t = { t with record_firings }
 let with_trace_window w t = { t with trace_window = Some w }
 let with_recovery r t = { t with recovery = Some r }
 let with_recovery_opt recovery t = { t with recovery }
+let with_integrity integrity t = { t with integrity }

@@ -46,6 +46,10 @@ type t = {
       (** graph engine only: restrict tracing to a time window *)
   recovery : recovery option;
       (** machine engine only: checkpoint/retransmission policy *)
+  integrity : bool;
+      (** machine engine only: verify per-packet {!Integrity} checksums
+          on delivery; a detected-corrupt packet is discarded (and, with
+          [recovery], healed by retransmission).  Default [false]. *)
 }
 
 val default : t
@@ -66,3 +70,4 @@ val with_record_firings : bool -> t -> t
 val with_trace_window : int * int -> t -> t
 val with_recovery : recovery -> t -> t
 val with_recovery_opt : recovery option -> t -> t
+val with_integrity : bool -> t -> t

@@ -16,6 +16,9 @@ type outcome = {
   faulted_violations : Fault.Violation.t list;
   faulted_recoveries : int;
   faulted_snapshot : Machine.Machine_engine.snapshot option;
+  clean_digest : int;
+  faulted_digest : int;
+  diagnosis : string option;
 }
 
 let mismatch_cap = 16
@@ -62,9 +65,52 @@ let compare_outputs ~clean ~faulted =
     clean;
   List.rev !out
 
-let outcome ?(faulted_recoveries = 0) ?faulted_snapshot ~clean_outputs
-    ~faulted_outputs ~clean_end ~faulted_end ~faulted_stall
-    ~faulted_violations () =
+(* The unprotected-corruption post-mortem: a value mismatch with
+   corruption injected and integrity checking off is exactly the silent
+   failure mode the integrity layer exists for.  Name the first
+   diverging packet, its output cell and arrival time, and say so —
+   a bare stream diff reads like a simulator bug. *)
+(* a low-bit flip in a Real prints identically under %g; the diagnosis
+   must show the divergence, so reals get the bit-exact %h form *)
+let value_bits = function
+  | Some (Value.Real r) -> Printf.sprintf "%h" r
+  | Some v -> Value.to_string v
+  | None -> "<missing>"
+
+let diagnose ~plan ~integrity ~graph ~faulted_outputs mismatches =
+  match (mismatches, plan) with
+  | m :: _, Some p when Fault.Fault_plan.has_corruption p && not integrity ->
+    let spec = Fault.Fault_plan.spec p in
+    let cell =
+      Option.bind graph (fun g ->
+          Option.map
+            (Printf.sprintf "output cell #%d")
+            (List.assoc_opt m.m_stream (Graph.outputs g)))
+      |> Option.value ~default:"output cell unknown"
+    in
+    let arrival =
+      match List.assoc_opt m.m_stream faulted_outputs with
+      | Some packets -> (
+        match List.nth_opt packets m.m_index with
+        | Some (t, _) -> Printf.sprintf "arrived t=%d" t
+        | None -> "packet missing from the faulted stream")
+      | None -> "stream missing from the faulted run"
+    in
+    Some
+      (Printf.sprintf
+         "value mismatch under corruption faults (corrupt=%g, corrupt-ctl=%g) \
+          with integrity checking disabled — silent data corruption is the \
+          likely cause, not a simulator defect.  First divergence: %s[%d] \
+          (clean %s, faulted %s), %s, %s.  Re-run with integrity checking \
+          (and a recovery policy) to detect and heal it."
+         spec.Fault.Fault_plan.corrupt_prob
+         spec.Fault.Fault_plan.corrupt_ctl_prob m.m_stream m.m_index
+         (value_bits m.m_clean) (value_bits m.m_faulted) cell arrival)
+  | _ -> None
+
+let outcome ?(faulted_recoveries = 0) ?faulted_snapshot ?plan
+    ?(integrity = false) ?graph ~clean_outputs ~faulted_outputs ~clean_end
+    ~faulted_end ~faulted_stall ~faulted_violations () =
   let strip outs = List.map (fun (name, vs) -> (name, List.map snd vs)) outs in
   let mismatches =
     compare_outputs ~clean:(strip clean_outputs)
@@ -79,6 +125,9 @@ let outcome ?(faulted_recoveries = 0) ?faulted_snapshot ~clean_outputs
     faulted_violations;
     faulted_recoveries;
     faulted_snapshot;
+    clean_digest = Integrity.digest_outputs clean_outputs;
+    faulted_digest = Integrity.digest_outputs faulted_outputs;
+    diagnosis = diagnose ~plan ~integrity ~graph ~faulted_outputs mismatches;
   }
 
 (* The clean run drops the faulted run's perturbation-and-diagnosis
@@ -115,7 +164,7 @@ let sim ?cfg ?max_time ?watchdog ?(sanitize = true) ~plan g ~inputs =
       Run_config.(cfg |> with_fault plan |> with_sanitizer sanitizer)
       g ~inputs
   in
-  outcome ~clean_outputs:clean.Sim.Engine.outputs
+  outcome ~plan ~graph:g ~clean_outputs:clean.Sim.Engine.outputs
     ~faulted_outputs:faulted.Sim.Engine.outputs
     ~clean_end:clean.Sim.Engine.end_time
     ~faulted_end:faulted.Sim.Engine.end_time
@@ -123,7 +172,8 @@ let sim ?cfg ?max_time ?watchdog ?(sanitize = true) ~plan g ~inputs =
     ~faulted_violations:faulted.Sim.Engine.violations ()
 
 let machine ?cfg ?max_time ?watchdog ?(sanitize = true)
-    ?(arch = Machine.Arch.default) ?recovery ~plan g ~inputs =
+    ?(arch = Machine.Arch.default) ?recovery ?(integrity = false) ~plan g
+    ~inputs =
   let module ME = Machine.Machine_engine in
   let cfg =
     base_config ?cfg ?max_time ?watchdog
@@ -138,13 +188,14 @@ let machine ?cfg ?max_time ?watchdog ?(sanitize = true)
   let faulted_cfg =
     Run_config.(
       cfg |> with_fault plan |> with_sanitizer sanitizer
-      |> with_recovery_opt recovery)
+      |> with_recovery_opt recovery |> with_integrity integrity)
   in
   let m = ME.create_cfg faulted_cfg ~arch g ~inputs in
   ME.advance m ~until:max_int;
   let faulted = ME.result m in
   outcome ~faulted_recoveries:faulted.ME.recoveries
-    ~faulted_snapshot:(ME.snapshot m) ~clean_outputs:clean.ME.outputs
-    ~faulted_outputs:faulted.ME.outputs ~clean_end:clean.ME.end_time
-    ~faulted_end:faulted.ME.end_time ~faulted_stall:faulted.ME.stall
-    ~faulted_violations:faulted.ME.violations ()
+    ~faulted_snapshot:(ME.snapshot m) ~plan ~integrity ~graph:g
+    ~clean_outputs:clean.ME.outputs ~faulted_outputs:faulted.ME.outputs
+    ~clean_end:clean.ME.end_time ~faulted_end:faulted.ME.end_time
+    ~faulted_stall:faulted.ME.stall ~faulted_violations:faulted.ME.violations
+    ()

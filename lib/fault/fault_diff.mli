@@ -35,6 +35,19 @@ type outcome = {
   (** final state of the faulted machine run — serializable with
       [Recover.Checkpoint] when a failure needs a post-mortem dump
       ([None] for sim runs) *)
+  clean_digest : int;
+  (** {!Integrity.digest_outputs} of the clean run's streams *)
+  faulted_digest : int;
+  (** digest of the faulted run's streams.  Digests ignore arrival
+      times, so [equal] implies [clean_digest = faulted_digest]; the
+      digest is the cheap whole-run summary batch harnesses log and
+      compare. *)
+  diagnosis : string option;
+  (** post-mortem for the silent-corruption failure mode: set when the
+      streams mismatch, the plan injects corruption, and integrity
+      checking was off — names the first diverging packet, its output
+      cell and arrival time, and points at corruption as the likely
+      cause.  [None] otherwise. *)
 }
 
 val mismatch_to_string : mismatch -> string
@@ -69,6 +82,7 @@ val machine :
   ?sanitize:bool ->
   ?arch:Machine.Arch.t ->
   ?recovery:Machine.Machine_engine.recovery ->
+  ?integrity:bool ->
   plan:Fault.Fault_plan.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
@@ -76,7 +90,11 @@ val machine :
 (** As {!sim} on {!Machine.Machine_engine} (default
     {!Machine.Arch.default}), which honours the full fault plan: delays,
     duplicated packets, dropped results and acknowledges, PE stalls,
-    FU/AM slowdowns, and a fail-stop PE crash.  [recovery] attaches a
-    checkpoint/retransmission policy to the {e faulted} run only — the
-    crash differential asserts a recovered machine still matches the
-    clean one value for value. *)
+    FU/AM slowdowns, payload corruption, and a fail-stop PE crash.
+    [recovery] attaches a checkpoint/retransmission policy to the
+    {e faulted} run only — the crash differential asserts a recovered
+    machine still matches the clean one value for value.  [integrity]
+    (default false) turns on per-packet checksum verification in the
+    faulted run; combined with [recovery] it makes corruption plans
+    survivable (detect → discard → retransmit), which the differential
+    then certifies bit-identical. *)

@@ -11,6 +11,8 @@ type spec = {
   am_slow : int;
   crash_pe : int;
   crash_at : int;
+  corrupt_prob : float;
+  corrupt_ctl_prob : float;
 }
 
 let none =
@@ -27,6 +29,8 @@ let none =
     am_slow = 0;
     crash_pe = -1;
     crash_at = 0;
+    corrupt_prob = 0.0;
+    corrupt_ctl_prob = 0.0;
   }
 
 let delays ?(prob = 0.2) ?(max_delay = 8) seed =
@@ -48,6 +52,8 @@ let make spec =
   check_prob "drop-ack" spec.drop_ack_prob;
   check_prob "drop" spec.drop_prob;
   check_prob "stall" spec.stall_prob;
+  check_prob "corrupt" spec.corrupt_prob;
+  check_prob "corrupt-ctl" spec.corrupt_ctl_prob;
   check_mag "delay-max" spec.delay_max;
   check_mag "stall-max" spec.stall_max;
   check_mag "fu-slow" spec.fu_slow;
@@ -64,7 +70,9 @@ let seed t = t.seed
 
 let delay_only t =
   t.dup_prob = 0.0 && t.drop_ack_prob = 0.0 && t.drop_prob = 0.0
-  && t.crash_pe < 0
+  && t.crash_pe < 0 && t.corrupt_prob = 0.0 && t.corrupt_ctl_prob = 0.0
+
+let has_corruption t = t.corrupt_prob > 0.0 || t.corrupt_ctl_prob > 0.0
 
 let crash t = if t.crash_pe >= 0 then Some (t.crash_pe, t.crash_at) else None
 
@@ -81,6 +89,9 @@ let tag_pe_stall_mag = 8
 let tag_fu = 9
 let tag_am = 10
 let tag_drop = 11
+let tag_corrupt = 12
+let tag_corrupt_ctl = 13
+let tag_corrupt_bit = 14
 
 let hit t ~prob tag keys =
   prob > 0.0 && Prng.float_of_hash (Prng.mix t.seed (tag :: keys)) < prob
@@ -109,6 +120,41 @@ let drop_ack t ~time ~src ~dst =
 
 let drop_result t ~time ~src ~dst ~port =
   hit t ~prob:t.drop_prob tag_drop [ time; src; dst; port ]
+
+(* Bit-flip semantics: the flip must be *value-visible*, or injection
+   would silently under-count.  Ints flip one of bits 0..61 (OCaml's 63rd
+   bit is the sign; flipping it is fine too, but 62 bits keep the variate
+   bound a power of two away from the payload width story told in the
+   docs — any bit always changes the value).  Reals flip one of bits
+   0..62 of the IEEE-754 pattern, *excluding* the sign bit 63: flipping
+   the sign of 0.0 yields -0.0, which [Value.equal] treats as equal, so a
+   sign flip of a zero would be corruption no oracle could see.  Bools
+   negate. *)
+let flip_bits v bit =
+  match (v : Dfg.Value.t) with
+  | Int i -> Dfg.Value.Int (i lxor (1 lsl bit))
+  | Real r ->
+    Dfg.Value.Real
+      (Int64.float_of_bits
+         (Int64.logxor (Int64.bits_of_float r) (Int64.shift_left 1L bit)))
+  | Bool b -> Dfg.Value.Bool (not b)
+
+let corrupt_result t ~time ~src ~dst ~port v =
+  let keys = [ time; src; dst; port ] in
+  let bit max = Prng.int_of_hash (Prng.mix t.seed (tag_corrupt_bit :: keys)) max in
+  match (v : Dfg.Value.t) with
+  | Bool _ ->
+    if hit t ~prob:t.corrupt_ctl_prob tag_corrupt_ctl keys then
+      Some (flip_bits v 0)
+    else None
+  | Int _ ->
+    if hit t ~prob:t.corrupt_prob tag_corrupt keys then
+      Some (flip_bits v (bit 62))
+    else None
+  | Real _ ->
+    if hit t ~prob:t.corrupt_prob tag_corrupt keys then
+      Some (flip_bits v (bit 63))
+    else None
 
 let pe_stall t ~pe ~time =
   let keys = [ pe; time ] in
@@ -168,6 +214,8 @@ let of_string s =
       | "am-slow" -> mag (fun v -> { spec with am_slow = v })
       | "crash-pe" -> pe (fun v -> { spec with crash_pe = v })
       | "crash-at" -> mag (fun v -> { spec with crash_at = v })
+      | "corrupt" -> prob (fun p -> { spec with corrupt_prob = p })
+      | "corrupt-ctl" -> prob (fun p -> { spec with corrupt_ctl_prob = p })
       | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key))
   in
   String.split_on_char ',' s
@@ -198,14 +246,17 @@ let to_string s =
   if s.am_slow <> 0 then add "am-slow=%d" s.am_slow;
   if s.crash_pe >= 0 then add "crash-pe=%d" s.crash_pe;
   if s.crash_at <> 0 then add "crash-at=%d" s.crash_at;
+  addf "corrupt" s.corrupt_prob;
+  addf "corrupt-ctl" s.corrupt_ctl_prob;
   String.concat "," (List.rev !fields)
 
 let describe t =
   Printf.sprintf
     "seed=%d delay=%g(max %d) dup=%g drop-ack=%g drop=%g stall=%g(max %d) \
-     fu-slow=%d am-slow=%d%s"
+     fu-slow=%d am-slow=%d corrupt=%g corrupt-ctl=%g%s"
     t.seed t.delay_prob t.delay_max t.dup_prob t.drop_ack_prob t.drop_prob
-    t.stall_prob t.stall_max t.fu_slow t.am_slow
+    t.stall_prob t.stall_max t.fu_slow t.am_slow t.corrupt_prob
+    t.corrupt_ctl_prob
     (if t.crash_pe >= 0 then
        Printf.sprintf " crash(pe %d at t=%d)" t.crash_pe t.crash_at
      else "")

@@ -33,6 +33,15 @@
       reports the wedge); with recovery the engine rolls back to its
       last checkpoint and re-hosts the dead PE's cells on survivors.
       Machine simulator only.
+    - {b corrupt}/{b corrupt-ctl}: silent data corruption — a payload
+      bit flips in the routing network.  [corrupt] hits int/real result
+      packets (one uniformly chosen bit; for reals the IEEE-754 sign bit
+      is excluded so the flip is always value-visible), [corrupt-ctl]
+      negates boolean control tokens.  Every token/ack invariant still
+      holds, so the sanitizer cannot see it; detection needs the
+      per-packet checksums of {!Integrity} (machine engine with
+      integrity checking enabled), which discard the packet so the
+      retransmission path heals it.  Machine simulator only.
 
     {!Sim.Engine} honours only the delay faults (its timing model has no
     PEs, FUs or AMs); {!Machine.Machine_engine} honours all of them. *)
@@ -50,6 +59,8 @@ type spec = {
   am_slow : int;         (** extra AM latency per operation *)
   crash_pe : int;        (** PE that fail-stops ([-1]: no crash) *)
   crash_at : int;        (** simulated time of the crash *)
+  corrupt_prob : float;  (** per int/real result packet: payload bit flip *)
+  corrupt_ctl_prob : float; (** per boolean control token: negated *)
 }
 
 val none : spec
@@ -71,9 +82,13 @@ val spec : t -> spec
 val seed : t -> int
 
 val delay_only : t -> bool
-(** No protocol-breaking faults ([dup_prob = drop_ack_prob = drop_prob
-    = 0] and no crash): a correct graph must produce unchanged output
-    streams under this plan even without recovery. *)
+(** No protocol-breaking or value-breaking faults ([dup_prob =
+    drop_ack_prob = drop_prob = corrupt_prob = corrupt_ctl_prob = 0] and
+    no crash): a correct graph must produce unchanged output streams
+    under this plan even without recovery. *)
+
+val has_corruption : t -> bool
+(** [corrupt_prob > 0] or [corrupt_ctl_prob > 0]. *)
 
 val crash : t -> (int * int) option
 (** [(pe, time)] of the scheduled fail-stop, when the plan has one. *)
@@ -101,12 +116,21 @@ val pe_stall : t -> pe:int -> time:int -> int
 val fu_extra : t -> node:int -> time:int -> int
 val am_extra : t -> node:int -> time:int -> int
 
+val corrupt_result :
+  t -> time:int -> src:int -> dst:int -> port:int -> Dfg.Value.t ->
+  Dfg.Value.t option
+(** The corrupted payload the routing network delivers instead of the
+    argument, or [None] when the site is not selected.  Int/real values
+    are gated by [corrupt_prob], booleans by [corrupt_ctl_prob]; the
+    flipped bit is drawn from its own {!Prng.mix} stream.  The corrupted
+    value always differs from the original under [Dfg.Value.equal]. *)
+
 val of_string : string -> (spec, string) result
 (** Parse a CLI spec: comma-separated [key=value] pairs.  Keys: [seed],
-    [delay], [dup], [drop-ack], [drop], [stall] (probabilities),
-    [delay-max], [stall-max], [fu-slow], [am-slow], [crash-at]
-    (magnitudes), [crash-pe] (PE index, [-1] for none).  Example:
-    ["seed=7,delay=0.2,dup=0.01,stall=0.1"]. *)
+    [delay], [dup], [drop-ack], [drop], [stall], [corrupt],
+    [corrupt-ctl] (probabilities), [delay-max], [stall-max], [fu-slow],
+    [am-slow], [crash-at] (magnitudes), [crash-pe] (PE index, [-1] for
+    none).  Example: ["seed=7,delay=0.2,dup=0.01,corrupt=0.05"]. *)
 
 val to_string : spec -> string
 (** Canonical CLI form: [of_string (to_string s) = Ok s] for every valid

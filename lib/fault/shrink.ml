@@ -1,0 +1,85 @@
+module FP = Fault_plan
+
+type step = { s_desc : string; s_spec : FP.spec }
+type result = { minimal : FP.spec; steps : step list; attempts : int }
+
+(* Quantize halved probabilities to a coarse grid.  Each halving of a
+   probability p >= min_prob strictly shrinks ceil(p * 1000), and
+   anything that would fall below min_prob is left to the zeroing
+   candidates, so the candidate chain per field is finite (~8 halvings
+   from 1.0) and the whole minimization terminates. *)
+let min_prob = 0.005
+
+let candidates (s : FP.spec) =
+  let c = ref [] in
+  let add desc spec = c := { s_desc = desc; s_spec = spec } :: !c in
+  (* 1. Zero out whole fault kinds, one at a time — the biggest jumps
+     down the lattice come first, classic ddmin order. *)
+  if s.delay_prob > 0.0 then add "zero delay" { s with delay_prob = 0.0 };
+  if s.dup_prob > 0.0 then add "zero dup" { s with dup_prob = 0.0 };
+  if s.drop_ack_prob > 0.0 then add "zero drop-ack" { s with drop_ack_prob = 0.0 };
+  if s.drop_prob > 0.0 then add "zero drop" { s with drop_prob = 0.0 };
+  if s.stall_prob > 0.0 then add "zero stall" { s with stall_prob = 0.0 };
+  if s.corrupt_prob > 0.0 then add "zero corrupt" { s with corrupt_prob = 0.0 };
+  if s.corrupt_ctl_prob > 0.0 then
+    add "zero corrupt-ctl" { s with corrupt_ctl_prob = 0.0 };
+  if s.crash_pe >= 0 then add "remove crash" { s with crash_pe = -1; crash_at = 0 };
+  if s.fu_slow > 0 then add "zero fu-slow" { s with fu_slow = 0 };
+  if s.am_slow > 0 then add "zero am-slow" { s with am_slow = 0 };
+  (* 2. Halve surviving probabilities. *)
+  let halve desc p set =
+    let q = p /. 2.0 in
+    if p > 0.0 && q >= min_prob then add desc (set q)
+  in
+  halve "halve delay" s.delay_prob (fun q -> { s with delay_prob = q });
+  halve "halve dup" s.dup_prob (fun q -> { s with dup_prob = q });
+  halve "halve drop-ack" s.drop_ack_prob (fun q -> { s with drop_ack_prob = q });
+  halve "halve drop" s.drop_prob (fun q -> { s with drop_prob = q });
+  halve "halve stall" s.stall_prob (fun q -> { s with stall_prob = q });
+  halve "halve corrupt" s.corrupt_prob (fun q -> { s with corrupt_prob = q });
+  halve "halve corrupt-ctl" s.corrupt_ctl_prob (fun q ->
+      { s with corrupt_ctl_prob = q });
+  (* 3. Shrink magnitudes and narrow the crash window. *)
+  if s.delay_prob > 0.0 && s.delay_max > 1 then
+    add "halve delay-max" { s with delay_max = max 1 (s.delay_max / 2) };
+  if s.stall_prob > 0.0 && s.stall_max > 1 then
+    add "halve stall-max" { s with stall_max = max 1 (s.stall_max / 2) };
+  if s.fu_slow > 1 then add "halve fu-slow" { s with fu_slow = s.fu_slow / 2 };
+  if s.am_slow > 1 then add "halve am-slow" { s with am_slow = s.am_slow / 2 };
+  if s.crash_pe >= 0 && s.crash_at > 1 then
+    add "halve crash-at" { s with crash_at = s.crash_at / 2 };
+  List.rev !c
+
+(* Every candidate lowers at least one field and raises none, so this
+   partial order certifies "strictly smaller" for the tests. *)
+let no_larger (a : FP.spec) (b : FP.spec) =
+  a.delay_prob <= b.delay_prob && a.dup_prob <= b.dup_prob
+  && a.drop_ack_prob <= b.drop_ack_prob && a.drop_prob <= b.drop_prob
+  && a.stall_prob <= b.stall_prob && a.corrupt_prob <= b.corrupt_prob
+  && a.corrupt_ctl_prob <= b.corrupt_ctl_prob
+  && a.delay_max <= b.delay_max && a.stall_max <= b.stall_max
+  && a.fu_slow <= b.fu_slow && a.am_slow <= b.am_slow
+  && a.crash_at <= b.crash_at
+  && (a.crash_pe = b.crash_pe || a.crash_pe = -1)
+
+let max_attempts = 10_000
+
+let minimize ~still_fails spec =
+  let attempts = ref 0 in
+  let try_spec s =
+    incr attempts;
+    still_fails s
+  in
+  let rec fixpoint s steps =
+    let rec scan = function
+      | [] -> None
+      | c :: rest ->
+        if !attempts >= max_attempts then None
+        else if try_spec c.s_spec then Some c
+        else scan rest
+    in
+    match scan (candidates s) with
+    | Some c -> fixpoint c.s_spec (c :: steps)
+    | None -> { minimal = s; steps = List.rev steps; attempts = !attempts }
+  in
+  fixpoint spec []

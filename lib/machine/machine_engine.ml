@@ -10,6 +10,9 @@ type stats = {
   result_packets : int;
   ack_packets : int;
   retransmits : int;
+  corruptions : int;
+  corrupt_detected : int;
+  corrupt_healed : int;
   pe_dispatches : int array;
 }
 
@@ -37,7 +40,14 @@ type out_entry = {
 }
 
 type event =
-  | Deliver of { src : int; dst : int; port : int; seq : int; value : Value.t }
+  | Deliver of {
+      src : int;
+      dst : int;
+      port : int;
+      seq : int;
+      value : Value.t;  (* payload as delivered (possibly corrupted) *)
+      crc : int;  (* producer-side checksum of the payload as sent *)
+    }
   | Ack of { dst : int; from_node : int; from_port : int; seq : int }
   | Retransmit of { src : int; dst : int; port : int; seq : int }
 
@@ -86,6 +96,10 @@ type cell = {
   cons_seq : int array;  (* per port: packets consumed and acknowledged *)
   mutable outstanding : out_entry list;
   sent : (int * int, int) Hashtbl.t;  (* (dst, port) -> packets sent *)
+  (* (port, seq) of packets discarded as corrupt and not yet replaced by
+     a clean copy — consulted when a retransmission finally lands so the
+     heal is visible in the trace and counters *)
+  mutable corrupt_pend : (int * int) list;
 }
 
 (* A pipelined server pool: each member accepts one operation per cycle;
@@ -128,6 +142,7 @@ type cell_snapshot = {
   cs_cons_seq : int array;
   cs_outstanding : out_entry list;
   cs_sent : ((int * int) * int) list;  (* sorted by key *)
+  cs_corrupt_pend : (int * int) list;
 }
 
 type snapshot = {
@@ -152,6 +167,7 @@ type t = {
   sanitizer : San.t;
   watchdog : int option;
   recovery : recovery option;
+  integrity : bool;
   cells : cell array;
   mutable events : event Df_util.Pqueue.t;
   pes : int array;
@@ -165,6 +181,9 @@ type t = {
   mutable result_packets : int;
   mutable ack_packets : int;
   mutable retransmits : int;
+  mutable corruptions : int;
+  mutable corrupt_detected : int;
+  mutable corrupt_healed : int;
   pe_dispatches : int array;
   mutable now : int;
   mutable last_progress : int;
@@ -191,6 +210,9 @@ let stats_of m : stats =
     result_packets = m.result_packets;
     ack_packets = m.ack_packets;
     retransmits = m.retransmits;
+    corruptions = m.corruptions;
+    corrupt_detected = m.corrupt_detected;
+    corrupt_healed = m.corrupt_healed;
     pe_dispatches = Array.copy m.pe_dispatches;
   }
 
@@ -221,6 +243,7 @@ let snapshot_cell c =
     cs_sent =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.sent []
       |> List.sort compare;
+    cs_corrupt_pend = c.corrupt_pend;
   }
 
 let snapshot m =
@@ -269,7 +292,8 @@ let restore m snap =
       Array.blit cs.cs_cons_seq 0 c.cons_seq 0 (Array.length c.cons_seq);
       c.outstanding <- List.map copy_entry cs.cs_outstanding;
       Hashtbl.reset c.sent;
-      List.iter (fun (k, v) -> Hashtbl.replace c.sent k v) cs.cs_sent)
+      List.iter (fun (k, v) -> Hashtbl.replace c.sent k v) cs.cs_sent;
+      c.corrupt_pend <- cs.cs_corrupt_pend)
     snap.sn_cells;
   m.events <- Df_util.Pqueue.of_array snap.sn_events;
   m.live_events <-
@@ -287,6 +311,9 @@ let restore m snap =
   m.result_packets <- snap.sn_stats.result_packets;
   m.ack_packets <- snap.sn_stats.ack_packets;
   m.retransmits <- snap.sn_stats.retransmits;
+  m.corruptions <- snap.sn_stats.corruptions;
+  m.corrupt_detected <- snap.sn_stats.corrupt_detected;
+  m.corrupt_healed <- snap.sn_stats.corrupt_healed;
   Array.blit snap.sn_stats.pe_dispatches 0 m.pe_dispatches 0
     (Array.length m.pe_dispatches);
   San.restore m.sanitizer snap.sn_sanitizer;
@@ -314,6 +341,7 @@ let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
   let sanitizer = cfg.Run_config.sanitizer in
   let watchdog = cfg.Run_config.watchdog in
   let recovery = cfg.Run_config.recovery in
+  let integrity = cfg.Run_config.integrity in
   (match Graph.validate g with
   | Ok () -> ()
   | Error es ->
@@ -379,6 +407,7 @@ let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
           cons_seq = Array.make arity 0;
           outstanding = [];
           sent = Hashtbl.create 4;
+          corrupt_pend = [];
         })
   in
   Array.iter
@@ -404,6 +433,7 @@ let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
       sanitizer;
       watchdog;
       recovery;
+      integrity;
       cells;
       events;
       pes = Array.make (max 1 arch.Arch.n_pe) 0;
@@ -417,6 +447,9 @@ let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
       result_packets = 0;
       ack_packets = 0;
       retransmits = 0;
+      corruptions = 0;
+      corrupt_detected = 0;
+      corrupt_healed = 0;
       pe_dispatches = Array.make (max 1 arch.Arch.n_pe) 0;
       now = 0;
       last_progress = 0;
@@ -475,7 +508,7 @@ let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
 (* Thin compatibility wrapper over {!create_cfg} — new code should build
    a [Run_config.t] instead of spreading optional arguments. *)
 let create ?(max_time = default_max_time) ?tracer ?fault ?sanitizer ?watchdog
-    ?recovery ~(arch : Arch.t) g ~inputs =
+    ?recovery ?(integrity = false) ~(arch : Arch.t) g ~inputs =
   let cfg =
     { Run_config.default with
       Run_config.max_time;
@@ -484,6 +517,7 @@ let create ?(max_time = default_max_time) ?tracer ?fault ?sanitizer ?watchdog
       sanitizer = Option.value sanitizer ~default:San.null;
       watchdog;
       recovery;
+      integrity;
     }
   in
   create_cfg cfg ~arch g ~inputs
@@ -522,8 +556,12 @@ let schedule m t ev =
   Df_util.Pqueue.push m.events t ev
 
 (* Deliver one result packet copy to [ep], subject to network faults.
-   [seq] identifies the packet on its channel when recovery is on. *)
+   [seq] identifies the packet on its channel when recovery is on.  The
+   checksum travels with the packet as computed by the producer; a
+   corruption fault flips a payload bit *after* that, so the mismatch is
+   observable at the consumer iff integrity checking is on. *)
 let deliver_packet m ~src ~dst ~port ~seq ~value ~base =
+  let crc = Integrity.checksum_value value in
   let deliver_at =
     match m.fault with
     | None -> base
@@ -542,7 +580,23 @@ let deliver_packet m ~src ~dst ~port ~seq ~value ~base =
        consumer starves; with recovery the retransmission timer resends *)
     emit_fault m "drop" ~src ~dst ~extra:0
   else begin
-    schedule m deliver_at (Deliver { src; dst; port; seq; value });
+    let value =
+      match m.fault with
+      | None -> value
+      | Some f -> (
+        match FP.corrupt_result f ~time:base ~src ~dst ~port value with
+        | None -> value
+        | Some corrupted ->
+          m.corruptions <- m.corruptions + 1;
+          if Obs.Tracer.enabled m.tracer then
+            Obs.Tracer.emit m.tracer
+              (Obs.Event.Corrupt_injected
+                 { time = base; track = m.cells.(dst).pe; src; dst; port;
+                   was = Value.to_string value;
+                   became = Value.to_string corrupted });
+          corrupted)
+    in
+    schedule m deliver_at (Deliver { src; dst; port; seq; value; crc });
     if Obs.Tracer.enabled m.tracer then
       Obs.Tracer.emit m.tracer
         (Obs.Event.Deliver
@@ -614,7 +668,9 @@ let send m cell slot value ~ready_at =
         m.result_packets <- m.result_packets + 1;
         emit_fault m "dup" ~src ~dst:ep_node ~extra:0;
         schedule m (deliver_at + 1)
-          (Deliver { src; dst = ep_node; port = ep_port; seq; value })
+          (Deliver
+             { src; dst = ep_node; port = ep_port; seq; value;
+               crc = Integrity.checksum_value value })
       | _ -> ())
     dests;
   San.on_send m.sanitizer ~time:ready_at ~node:src ~count:(List.length dests);
@@ -883,30 +939,59 @@ let remove_outstanding cell ~dst ~port ~seq =
       cell.outstanding
 
 let apply_event m = function
-  | Deliver { src; dst; port; seq; value } -> (
+  | Deliver { src; dst; port; seq; value; crc } -> (
     let cell = m.cells.(dst) in
-    match m.recovery with
-    | Some _ when seq < cell.recv_seq.(port) ->
-      (* stale duplicate (retransmission of a packet already accepted, or
-         a network dup).  If the original was already consumed, its
-         acknowledge may have been the casualty — acknowledge again; if
-         it is still resident, stay silent: the pending acknowledge will
-         go out at consume time. *)
-      if seq < cell.cons_seq.(port) then
-        send_ack m ~from_node:dst ~from_port:port ~seq ~dst:src ~acked_at:m.now
-    | _ ->
-      (match San.on_deliver m.sanitizer ~time:m.now ~src ~dst ~port with
-      | Some v -> emit_violation m v (* drop: engine state is untrustworthy *)
-      | None -> (
-        if m.recovery <> None then cell.recv_seq.(port) <- seq + 1;
-        match cell.operands.(port) with
-        | Some _ ->
-          if not (San.enabled m.sanitizer) then
-            invalid_arg
-              (Printf.sprintf "machine: arc capacity violated at %s#%d.%d"
-                 cell.node.Graph.label dst port)
-        | None -> cell.operands.(port) <- Some value));
-      mark m dst)
+    if m.integrity && not (Integrity.verify_value value crc) then begin
+      (* checksum mismatch: the payload was corrupted in flight.  Discard
+         the packet — from here on it behaves exactly like a drop, so
+         without recovery the consumer starves (and the wedge surfaces
+         through watchdog/conservation), while with recovery the
+         producer's retransmission timer resends a clean copy. *)
+      m.corrupt_detected <- m.corrupt_detected + 1;
+      if
+        m.recovery <> None && seq >= cell.recv_seq.(port)
+        && not (List.mem (port, seq) cell.corrupt_pend)
+      then cell.corrupt_pend <- (port, seq) :: cell.corrupt_pend;
+      if Obs.Tracer.enabled m.tracer then
+        Obs.Tracer.emit m.tracer
+          (Obs.Event.Corrupt_detected
+             { time = m.now; track = cell.pe; src; dst; port; seq })
+    end
+    else
+      match m.recovery with
+      | Some _ when seq < cell.recv_seq.(port) ->
+        (* stale duplicate (retransmission of a packet already accepted,
+           or a network dup).  If the original was already consumed, its
+           acknowledge may have been the casualty — acknowledge again; if
+           it is still resident, stay silent: the pending acknowledge
+           will go out at consume time. *)
+        if seq < cell.cons_seq.(port) then
+          send_ack m ~from_node:dst ~from_port:port ~seq ~dst:src
+            ~acked_at:m.now
+      | _ ->
+        (match San.on_deliver m.sanitizer ~time:m.now ~src ~dst ~port with
+        | Some v -> emit_violation m v (* drop: engine state is untrustworthy *)
+        | None -> (
+          if m.recovery <> None then begin
+            cell.recv_seq.(port) <- seq + 1;
+            if List.mem (port, seq) cell.corrupt_pend then begin
+              cell.corrupt_pend <-
+                List.filter (fun ps -> ps <> (port, seq)) cell.corrupt_pend;
+              m.corrupt_healed <- m.corrupt_healed + 1;
+              if Obs.Tracer.enabled m.tracer then
+                Obs.Tracer.emit m.tracer
+                  (Obs.Event.Corrupt_healed
+                     { time = m.now; track = cell.pe; src; dst; port; seq })
+            end
+          end;
+          match cell.operands.(port) with
+          | Some _ ->
+            if not (San.enabled m.sanitizer) then
+              invalid_arg
+                (Printf.sprintf "machine: arc capacity violated at %s#%d.%d"
+                   cell.node.Graph.label dst port)
+          | None -> cell.operands.(port) <- Some value));
+        mark m dst)
   | Ack { dst; from_node; from_port; seq } -> (
     let cell = m.cells.(dst) in
     match m.recovery with
@@ -1258,11 +1343,11 @@ let run_cfg cfg ~(arch : Arch.t) g ~inputs =
 
 (* Thin compatibility wrapper over {!run_cfg} — new code should build a
    [Run_config.t] instead of spreading optional arguments. *)
-let run ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery
+let run ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery ?integrity
     ~(arch : Arch.t) g ~inputs =
   let m =
-    create ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery ~arch g
-      ~inputs
+    create ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery ?integrity
+      ~arch g ~inputs
   in
   advance m ~until:max_int;
   result m

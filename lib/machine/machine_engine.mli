@@ -40,6 +40,11 @@ type stats = {
   ack_packets : int;       (** acknowledge packets *)
   retransmits : int;       (** result packets resent by the recovery
                                protocol (0 without a recovery policy) *)
+  corruptions : int;       (** payload bit-flips injected in flight *)
+  corrupt_detected : int;  (** corrupt packets caught by checksum and
+                               discarded (0 unless integrity is on) *)
+  corrupt_healed : int;    (** discarded packets later replaced by a clean
+                               retransmitted copy (needs recovery) *)
   pe_dispatches : int array;  (** firings dispatched per processing element *)
 }
 
@@ -117,6 +122,7 @@ type cell_snapshot = {
   cs_cons_seq : int array;
   cs_outstanding : out_entry list;
   cs_sent : ((int * int) * int) list;
+  cs_corrupt_pend : (int * int) list;
 }
 
 and out_entry = {
@@ -128,7 +134,14 @@ and out_entry = {
 }
 
 type event =
-  | Deliver of { src : int; dst : int; port : int; seq : int; value : Value.t }
+  | Deliver of {
+      src : int;
+      dst : int;
+      port : int;
+      seq : int;
+      value : Value.t;  (** payload as delivered (possibly corrupted) *)
+      crc : int;  (** {!Integrity.checksum_value} of the payload as sent *)
+    }
   | Ack of { dst : int; from_node : int; from_port : int; seq : int }
   | Retransmit of { src : int; dst : int; port : int; seq : int }
 
@@ -174,6 +187,7 @@ val create :
   ?sanitizer:Fault.Sanitizer.t ->
   ?watchdog:int ->
   ?recovery:recovery ->
+  ?integrity:bool ->
   arch:Arch.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
@@ -222,6 +236,7 @@ val run :
   ?sanitizer:Fault.Sanitizer.t ->
   ?watchdog:int ->
   ?recovery:recovery ->
+  ?integrity:bool ->
   arch:Arch.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
@@ -262,6 +277,14 @@ val run :
     protocol above.  Without it the engine behaves exactly as before
     this protocol existed: a crash permanently kills the PE and the run
     wedges into a stall report naming it.
+
+    [integrity] (default off) verifies the {!Integrity} checksum every
+    result packet carries from its producer.  A mismatch (a [corrupt] /
+    [corrupt-ctl] fault struck in flight) discards the packet — which
+    then behaves exactly like a dropped packet: fatal-by-starvation
+    without [recovery], healed by retransmission with it.  With
+    integrity off, corrupted payloads are accepted silently and surface
+    only as wrong output values ({!Fault_diff} diagnoses this case).
     @raise Invalid_argument on invalid graphs or missing inputs *)
 
 val am_fraction : stats -> float

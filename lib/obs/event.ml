@@ -55,18 +55,46 @@ type t =
       port : int;
       attempt : int;
     }
+  | Corrupt_injected of {
+      time : int;
+      track : int;
+      src : int;
+      dst : int;
+      port : int;
+      was : string;
+      became : string;
+    }
+  | Corrupt_detected of {
+      time : int;
+      track : int;
+      src : int;
+      dst : int;
+      port : int;
+      seq : int;
+    }
+  | Corrupt_healed of {
+      time : int;
+      track : int;
+      src : int;
+      dst : int;
+      port : int;
+      seq : int;
+    }
 
 let time = function
   | Fire { time; _ } | Deliver { time; _ } | Ack { time; _ }
   | Stall { time; _ } | Fault_injected { time; _ } | Violation { time; _ }
-  | Checkpoint { time; _ } | Recovery { time; _ } | Retransmit { time; _ } ->
+  | Checkpoint { time; _ } | Recovery { time; _ } | Retransmit { time; _ }
+  | Corrupt_injected { time; _ } | Corrupt_detected { time; _ }
+  | Corrupt_healed { time; _ } ->
     time
 
 let track = function
   | Fire { track; _ } | Deliver { track; _ } | Ack { track; _ }
   | Stall { track; _ } | Fault_injected { track; _ } | Violation { track; _ }
   | Checkpoint { track; _ } | Recovery { track; _ } | Retransmit { track; _ }
-    ->
+  | Corrupt_injected { track; _ } | Corrupt_detected { track; _ }
+  | Corrupt_healed { track; _ } ->
     track
 
 let describe = function
@@ -92,3 +120,12 @@ let describe = function
   | Retransmit { time; src; dst; port; attempt; _ } ->
     Printf.sprintf "[t=%d] RETRANSMIT #%d -> #%d.%d (attempt %d)" time src dst
       port attempt
+  | Corrupt_injected { time; src; dst; port; was; became; _ } ->
+    Printf.sprintf "[t=%d] CORRUPT #%d -> #%d.%d: %s flipped to %s" time src
+      dst port was became
+  | Corrupt_detected { time; src; dst; port; seq; _ } ->
+    Printf.sprintf "[t=%d] CORRUPT-DETECTED #%d -> #%d.%d seq %d (discarded)"
+      time src dst port seq
+  | Corrupt_healed { time; src; dst; port; seq; _ } ->
+    Printf.sprintf "[t=%d] CORRUPT-HEALED #%d -> #%d.%d seq %d (clean resend \
+                    accepted)" time src dst port seq

@@ -77,6 +77,31 @@ type t =
       port : int;
       attempt : int;  (** 1-based resend attempt *)
     }
+  | Corrupt_injected of {
+      time : int;  (** time the packet was issued into the network *)
+      track : int;
+      src : int;
+      dst : int;
+      port : int;
+      was : string;  (** payload as sent *)
+      became : string;  (** payload as delivered (one bit flipped) *)
+    }
+  | Corrupt_detected of {
+      time : int;  (** arrival time; the packet is discarded *)
+      track : int;
+      src : int;
+      dst : int;
+      port : int;
+      seq : int;  (** channel sequence number (0 without recovery) *)
+    }
+  | Corrupt_healed of {
+      time : int;  (** arrival time of the clean retransmitted copy *)
+      track : int;
+      src : int;
+      dst : int;
+      port : int;
+      seq : int;
+    }
 
 val time : t -> int
 val track : t -> int

@@ -95,6 +95,29 @@ let json_of_event ev =
          Json.Obj
            [ ("src", Json.Int src); ("dst", Json.Int dst);
              ("port", Json.Int port); ("attempt", Json.Int attempt) ]) ]
+  | Event.Corrupt_injected { time; track; src; dst; port; was; became } ->
+    common ~ph:"i" ~name:"corrupt" ~cat:"fault" ~ts:time ~tid:track
+      [ ("s", Json.String "t");
+        ("args",
+         Json.Obj
+           [ ("src", Json.Int src); ("dst", Json.Int dst);
+             ("port", Json.Int port); ("was", Json.String was);
+             ("became", Json.String became) ]) ]
+  | Event.Corrupt_detected { time; track; src; dst; port; seq } ->
+    common ~ph:"i" ~name:"corrupt-detected" ~cat:"integrity" ~ts:time
+      ~tid:track
+      [ ("s", Json.String "t");
+        ("args",
+         Json.Obj
+           [ ("src", Json.Int src); ("dst", Json.Int dst);
+             ("port", Json.Int port); ("seq", Json.Int seq) ]) ]
+  | Event.Corrupt_healed { time; track; src; dst; port; seq } ->
+    common ~ph:"i" ~name:"corrupt-healed" ~cat:"integrity" ~ts:time ~tid:track
+      [ ("s", Json.String "t");
+        ("args",
+         Json.Obj
+           [ ("src", Json.Int src); ("dst", Json.Int dst);
+             ("port", Json.Int port); ("seq", Json.Int seq) ]) ]
 
 let json_of_events ?process_name ?(track_names = []) events =
   Json.Obj

@@ -4,7 +4,10 @@ module ME = Machine.Machine_engine
 module San = Fault.Sanitizer
 module V = Fault.Violation
 
-let version = 1
+(* 2: Deliver events carry the producer checksum, cells carry the
+   corrupt-pending set, stats gained the corruption counters, and the
+   file grew the [magic] integrity header below. *)
+let version = 2
 
 (* Hashtbl.hash alone is unusable as a whole-graph digest (it only
    inspects a bounded prefix of the structure); hash each node's small
@@ -64,14 +67,20 @@ let json_of_cell (c : ME.cell_snapshot) =
        J.List
          (List.map
             (fun ((dst, port), n) -> J.List [ J.Int dst; J.Int port; J.Int n ])
-            c.ME.cs_sent)) ]
+            c.ME.cs_sent));
+      ("cpend",
+       J.List
+         (List.map
+            (fun (port, seq) -> J.List [ J.Int port; J.Int seq ])
+            c.ME.cs_corrupt_pend)) ]
 
 let json_of_event (prio, ev) =
   let body =
     match ev with
-    | ME.Deliver { src; dst; port; seq; value } ->
+    | ME.Deliver { src; dst; port; seq; value; crc } ->
       [ ("t", J.String "d"); ("src", J.Int src); ("dst", J.Int dst);
-        ("port", J.Int port); ("seq", J.Int seq); ("v", json_of_value value) ]
+        ("port", J.Int port); ("seq", J.Int seq); ("v", json_of_value value);
+        ("crc", J.Int crc) ]
     | ME.Ack { dst; from_node; from_port; seq } ->
       [ ("t", J.String "a"); ("dst", J.Int dst); ("fn", J.Int from_node);
         ("fp", J.Int from_port); ("seq", J.Int seq) ]
@@ -88,6 +97,9 @@ let json_of_stats (s : ME.stats) =
       ("result_packets", J.Int s.ME.result_packets);
       ("ack_packets", J.Int s.ME.ack_packets);
       ("retransmits", J.Int s.ME.retransmits);
+      ("corruptions", J.Int s.ME.corruptions);
+      ("corrupt_detected", J.Int s.ME.corrupt_detected);
+      ("corrupt_healed", J.Int s.ME.corrupt_healed);
       ("pe_dispatches", json_of_int_array s.ME.pe_dispatches) ]
 
 let json_of_violation (v : V.t) =
@@ -210,6 +222,13 @@ let cell_of_json j : ME.cell_snapshot =
                ((get_int "sent.dst" d, get_int "sent.port" p'),
                 get_int "sent.count" n)
              | _ -> fail "sent: expected [dst, port, count] triple");
+    cs_corrupt_pend =
+      field "cpend" j |> J.get_list
+      |> List.map (fun p ->
+             match J.get_list p with
+             | [ port; seq ] ->
+               (get_int "cpend.port" port, get_int "cpend.seq" seq)
+             | _ -> fail "cpend: expected [port, seq] pair");
   }
 
 let event_of_json j =
@@ -220,7 +239,8 @@ let event_of_json j =
       ME.Deliver
         { src = int_field "src" j; dst = int_field "dst" j;
           port = int_field "port" j; seq = int_field "seq" j;
-          value = value_of_json "v" (field "v" j) }
+          value = value_of_json "v" (field "v" j);
+          crc = int_field "crc" j }
     | "a" ->
       ME.Ack
         { dst = int_field "dst" j; from_node = int_field "fn" j;
@@ -241,6 +261,9 @@ let stats_of_json j : ME.stats =
     result_packets = int_field "result_packets" j;
     ack_packets = int_field "ack_packets" j;
     retransmits = int_field "retransmits" j;
+    corruptions = int_field "corruptions" j;
+    corrupt_detected = int_field "corrupt_detected" j;
+    corrupt_healed = int_field "corrupt_healed" j;
     pe_dispatches = int_array "pe_dispatches" j;
   }
 
@@ -313,7 +336,48 @@ let of_json ~graph j =
       }
   with Bad msg -> Error msg
 
-let save ~path ~graph sn = J.write_file path (to_json ~graph sn)
+(* ------------------------------------------------------------------ *)
+(* file framing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A checkpoint file is a one-line header followed by the JSON payload:
+
+     dfsnap2 <crc> <payload-length>\n
+     { ... }\n
+
+   The header lets [load] reject truncated and bit-rotted files by
+   length and checksum *before* handing bytes to the JSON parser, so
+   storage rot surfaces as a structured error, never a parse
+   exception deep inside a resume. *)
+let magic = "dfsnap2"
+
+type load_error =
+  | Io of string
+  | Not_a_checkpoint of string
+  | Truncated of { expected : int; actual : int }
+  | Corrupted of { expected_crc : int; actual_crc : int }
+  | Malformed of string
+
+let load_error_to_string = function
+  | Io e -> e
+  | Not_a_checkpoint detail -> "not a checkpoint file: " ^ detail
+  | Truncated { expected; actual } ->
+    Printf.sprintf "truncated checkpoint: header promises %d payload bytes, \
+                    file has %d" expected actual
+  | Corrupted { expected_crc; actual_crc } ->
+    Printf.sprintf "corrupted checkpoint: content checksum %d, header says %d"
+      actual_crc expected_crc
+  | Malformed e -> e
+
+let save ~path ~graph sn =
+  let payload = J.to_string (to_json ~graph sn) ^ "\n" in
+  let crc = Integrity.checksum_string payload in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s %d %d\n" magic crc (String.length payload);
+      output_string oc payload)
 
 let load ~path ~graph =
   match
@@ -322,10 +386,50 @@ let load ~path ~graph =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | exception Sys_error e -> Error e
+  | exception Sys_error e -> Error (Io e)
   | text -> (
-    match J.of_string text with
-    | exception J.Parse_error e -> Error (path ^ ": " ^ e)
-    | j -> of_json ~graph j)
+    let header, payload =
+      match String.index_opt text '\n' with
+      | None -> (text, "")
+      | Some i ->
+        ( String.sub text 0 i,
+          String.sub text (i + 1) (String.length text - i - 1) )
+    in
+    let parsed_header =
+      match String.split_on_char ' ' header with
+      | [ m; crc_s; len_s ] when m = magic -> (
+        match (int_of_string_opt crc_s, int_of_string_opt len_s) with
+        | Some crc, Some len -> Ok (crc, len)
+        | _ ->
+          Error
+            (Not_a_checkpoint
+               (Printf.sprintf "%s: malformed %S header" path magic)))
+      | _ ->
+        Error
+          (Not_a_checkpoint
+             (Printf.sprintf
+                "%s: missing %S header (a pre-corruption-era checkpoint, or \
+                 not a checkpoint at all)"
+                path magic))
+    in
+    match parsed_header with
+    | Error _ as e -> e
+    | Ok (crc, len) ->
+      if String.length payload < len then
+        Error (Truncated { expected = len; actual = String.length payload })
+      else
+        (* trailing junk beyond the declared length is ignored; rot
+           inside the declared prefix fails the checksum below *)
+        let payload = String.sub payload 0 len in
+        let actual_crc = Integrity.checksum_string payload in
+        if actual_crc <> crc then
+          Error (Corrupted { expected_crc = crc; actual_crc })
+        else (
+          match J.of_string payload with
+          | exception J.Parse_error e -> Error (Malformed (path ^ ": " ^ e))
+          | j -> (
+            match of_json ~graph j with
+            | Ok sn -> Ok sn
+            | Error e -> Error (Malformed e))))
 
 let equal (a : ME.snapshot) (b : ME.snapshot) = compare a b = 0

@@ -256,9 +256,12 @@ let spec_gen =
   let* am_slow = int_range 0 9 in
   let* crash_pe = int_range (-1) 7 in
   let* crash_at = int_range 0 1000 in
+  let* corrupt_prob = prob in
+  let* corrupt_ctl_prob = prob in
   return
     { FP.seed; delay_prob; delay_max; dup_prob; drop_ack_prob; drop_prob;
-      stall_prob; stall_max; fu_slow; am_slow; crash_pe; crash_at }
+      stall_prob; stall_max; fu_slow; am_slow; crash_pe; crash_at;
+      corrupt_prob; corrupt_ctl_prob }
 
 let test_plan_string_round_trip =
   QCheck_alcotest.to_alcotest
@@ -303,7 +306,8 @@ let test_machine_fault_determinism () =
     FP.make
       { FP.seed = 77; delay_prob = 0.3; delay_max = 6; dup_prob = 0.0;
         drop_ack_prob = 0.0; drop_prob = 0.0; stall_prob = 0.2; stall_max = 5;
-        fu_slow = 2; am_slow = 3; crash_pe = -1; crash_at = 0 }
+        fu_slow = 2; am_slow = 3; crash_pe = -1; crash_at = 0;
+        corrupt_prob = 0.0; corrupt_ctl_prob = 0.0 }
   in
   let run () =
     ME.run ~fault:plan ~sanitizer:(San.create g) ~arch:Machine.Arch.default g
@@ -320,7 +324,8 @@ let test_machine_fault_determinism () =
 let test_am_fraction_nan () =
   let empty =
     { ME.dispatches = 0; fu_ops = 0; am_ops = 0; result_packets = 0;
-      ack_packets = 0; retransmits = 0; pe_dispatches = [||] }
+      ack_packets = 0; retransmits = 0; corruptions = 0; corrupt_detected = 0;
+      corrupt_healed = 0; pe_dispatches = [||] }
   in
   Alcotest.(check bool) "empty run has no AM fraction" true
     (Float.is_nan (ME.am_fraction empty));

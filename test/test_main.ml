@@ -20,5 +20,6 @@ let () =
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
       ("recover", Test_recover.suite);
+      ("integrity", Test_integrity.suite);
       ("exec", Test_exec.suite);
     ]

@@ -132,7 +132,7 @@ let test_save_load_resume_bit_identical () =
     (fun () ->
       CP.save ~path ~graph:g (ME.snapshot m);
       match CP.load ~path ~graph:g with
-      | Error e -> Alcotest.failf "load failed: %s" e
+      | Error e -> Alcotest.failf "load failed: %s" (CP.load_error_to_string e)
       | Ok sn ->
         Alcotest.(check bool) "disk round-trip exact" true
           (CP.equal sn (ME.snapshot m));
