@@ -17,10 +17,18 @@
    deterministic, so the same master seed yields the same verdicts and
    the same minimal repros whatever the worker count.
 
+   With --serve every scenario's protected faulted run is additionally
+   replayed through a live in-process dfserve instance, and the served
+   response must reproduce the standalone run byte for byte: same
+   output digest, same end time, same stall report.  That closes the
+   loop between the fault harness and the service path under real
+   client concurrency.
+
    Examples:
      chaos --runs 40 --seed 1
      chaos --runs 200 --jobs 8 --out chaos-reports
-     chaos --kernel tridiag --runs 20 *)
+     chaos --kernel tridiag --runs 20
+     chaos --runs 40 --serve *)
 
 module PC = Compiler.Program_compile
 module D = Compiler.Driver
@@ -30,16 +38,6 @@ module FD = Fault_diff
 module ME = Machine.Machine_engine
 module Prng = Fault.Prng
 module Shrink = Fault.Shrink
-
-let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
-
-let feeds (compiled : PC.compiled) ~waves kernel_inputs =
-  List.map
-    (fun (name, _shape) ->
-      match List.assoc_opt name kernel_inputs with
-      | Some wave -> (name, replicate waves wave)
-      | None -> failwith (Printf.sprintf "kernel input %s missing" name))
-    compiled.PC.cp_inputs
 
 (* --- scenario generation -------------------------------------------- *)
 
@@ -79,35 +77,24 @@ let pick_kernel ~master ~index kernels =
 
 (* --- the oracle ------------------------------------------------------ *)
 
-let stall_unexpected = function
-  | None -> false
-  | Some sr -> sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock
+let stall_unexpected = Runspec.stall_unexpected
 
-(* the watchdog sits above every injected latency source: routing
-   delays, PE stall windows, FU/AM slowdowns, and the full
-   retransmission backoff window *)
+(* the chaos watchdog starts from a higher floor than faultcheck's: the
+   everything-at-once scenarios stack latency sources *)
 let watchdog_for (spec : FP.spec) (recovery : ME.recovery) =
-  200
-  + (4 * spec.FP.delay_max)
-  + (4 * spec.FP.stall_max)
-  + (16 * (spec.FP.fu_slow + spec.FP.am_slow))
-  + (17 * recovery.ME.retransmit_after)
+  Runspec.watchdog_for ~base:200 spec (Some recovery)
+  + (if spec.FP.stall_prob = 0.0 then 4 * spec.FP.stall_max else 0)
 
-type subject = {
+type subject = Runspec.subject = {
   kernel : K.kernel;
   size : int;
   waves : int;
+  compiled : PC.compiled;
   graph : Dfg.Graph.t;
   inputs : (string * Dfg.Value.t list) list;
 }
 
-let compile_subject (k : K.kernel) ~size ~waves =
-  let st = Random.State.make [| Hashtbl.hash k.K.name |] in
-  let _, compiled =
-    D.compile_source ~scalar_inputs:k.K.scalar_inputs (k.K.source size)
-  in
-  let inputs = feeds compiled ~waves (k.K.inputs size st) in
-  { kernel = k; size; waves; graph = compiled.PC.cp_graph; inputs }
+let compile_subject = Runspec.compile_subject
 
 let check ~recovery subject (spec : FP.spec) =
   let plan = FP.make spec in
@@ -119,6 +106,53 @@ let outcome_ok (o : FD.outcome) =
   o.FD.equal && o.FD.faulted_violations = []
   && not (stall_unexpected o.FD.faulted_stall)
   && o.FD.clean_digest = o.FD.faulted_digest
+
+(* --- replay through a live server ------------------------------------ *)
+
+(* The same protected faulted run, submitted to dfserve as a simulate
+   request.  Fault_plan.to_string round-trips %.17g-exactly and the
+   server rebuilds the identical Run_config, so the served response
+   must reproduce the standalone run byte for byte. *)
+let serve_replay ~socket ~recovery subject (spec : FP.spec) (o : FD.outcome) =
+  let module SP = Serve.Protocol in
+  let module J = Obs.Json in
+  let run =
+    { (SP.default_run
+         (SP.Kernel { name = subject.kernel.K.name; size = subject.size }))
+      with
+      SP.waves = subject.waves;
+      engine = `Machine;
+      fault = Some (FP.to_string spec);
+      recovery = Some (Recover.to_string recovery);
+      integrity = true;
+      watchdog = SP.At (watchdog_for spec recovery);
+      sanitize = true }
+  in
+  let conn = Serve.Client.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close conn)
+    (fun () ->
+      let resp = Serve.Client.rpc conn (SP.Simulate run) in
+      if not (SP.response_ok resp) then
+        [ Printf.sprintf "served replay errored: %s" (J.to_string resp) ]
+      else
+        let differs what got want =
+          if got = want then []
+          else
+            [ Printf.sprintf "served %s %s, standalone %s" what got want ]
+        in
+        let geti f =
+          Option.value ~default:min_int (J.get_int (J.member f resp))
+        in
+        differs "digest" (string_of_int (geti "digest"))
+          (string_of_int o.FD.faulted_digest)
+        @ differs "end time" (string_of_int (geti "end_time"))
+            (string_of_int o.FD.faulted_end)
+        @ differs "stall"
+            (Option.value ~default:"-" (J.get_string (J.member "stall" resp)))
+            (match o.FD.faulted_stall with
+            | Some sr -> Fault.Stall_report.to_string sr
+            | None -> "-"))
 
 (* --- shrinking a failure -------------------------------------------- *)
 
@@ -225,11 +259,23 @@ let dump_failure ~dir ~recovery ~index subject ~original
 
 (* one scenario, start to finish; the report goes into [buf] so the
    soak can fan out across domains and still print in index order *)
-let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~buf index =
+let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~serve ~buf
+    index =
   let spec = gen_spec ~master ~index ~n_pe:Machine.Arch.default.Machine.Arch.n_pe in
   let kernel = pick_kernel ~master ~index kernels in
   let subject = compile_subject kernel ~size ~waves in
   let o = check ~recovery subject spec in
+  let serve_failures =
+    match serve with
+    | None -> []
+    | Some socket -> (
+      try serve_replay ~socket ~recovery subject spec o
+      with e ->
+        [ Printf.sprintf "served replay died: %s" (Printexc.to_string e) ])
+  in
+  List.iter
+    (fun f -> Printf.bprintf buf "FAIL #%03d %-14s %s\n" index kernel.K.name f)
+    serve_failures;
   if outcome_ok o then begin
     let armed =
       List.length
@@ -251,7 +297,7 @@ let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~buf index =
         Printf.sprintf ", %d corrupt/%d healed" sn.ME.sn_stats.ME.corruptions
           sn.ME.sn_stats.ME.corrupt_healed
       | _ -> "");
-    true
+    serve_failures = []
   end
   else begin
     let min_subject, r, attempts = shrink_failure ~recovery subject spec in
@@ -273,38 +319,58 @@ let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~buf index =
     false
   end
 
-let main runs master size waves dir kernel_filter recover jobs =
+let main runs master size waves dir kernel_filter recover jobs serve_mode =
   let recovery =
-    match Recover.of_string (Option.value recover ~default:"") with
+    match Runspec.recovery_of_string (Option.value recover ~default:"") with
     | Ok p -> p
     | Error e ->
       failwith (Printf.sprintf "--recover %s: %s" (Option.get recover) e)
   in
   let kernels =
-    match kernel_filter with
-    | None -> K.all
-    | Some name -> (
-      match List.filter (fun (k : K.kernel) -> k.K.name = name) K.all with
-      | [] ->
-        failwith
-          (Printf.sprintf "--kernel %s: unknown kernel (have: %s)" name
-             (String.concat ", "
-                (List.map (fun (k : K.kernel) -> k.K.name) K.all)))
-      | ks -> ks)
+    match Runspec.kernels_matching kernel_filter with
+    | Ok ks -> ks
+    | Error e -> failwith (Printf.sprintf "--kernel: %s" e)
   in
   let jobs = match jobs with Some j -> j | None -> Exec.Pool.default_jobs () in
+  (* --serve: a live dfserve instance every scenario replays through;
+     scenario workers double as concurrent clients *)
+  let serve, stop_server =
+    if not serve_mode then (None, fun () -> ())
+    else begin
+      let socket =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "chaos-serve-%d.sock" (Unix.getpid ()))
+      in
+      let config =
+        { (Serve.Server.default_config ~socket_path:socket) with
+          Serve.Server.workers = 2;
+          max_pending = runs + 8 }
+      in
+      let server = Serve.Server.create config in
+      let domain = Domain.spawn (fun () -> Serve.Server.serve server) in
+      ( Some socket,
+        fun () ->
+          (try
+             let conn = Serve.Client.connect socket in
+             ignore (Serve.Client.rpc conn Serve.Protocol.Shutdown);
+             Serve.Client.close conn
+           with _ -> ());
+          Domain.join domain )
+    end
+  in
   let indices = List.init runs Fun.id in
   let results, elapsed =
     Exec.Pool.timed (fun () ->
-        Exec.Pool.map_result ~jobs
-          (fun index ->
-            let buf = Buffer.create 256 in
-            let ok =
-              run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~buf
-                index
-            in
-            (Buffer.contents buf, ok))
-          indices)
+        Fun.protect ~finally:stop_server (fun () ->
+            Exec.Pool.map_result ~jobs
+              (fun index ->
+                let buf = Buffer.create 256 in
+                let ok =
+                  run_scenario ~master ~size ~waves ~recovery ~dir ~kernels
+                    ~serve ~buf index
+                in
+                (Buffer.contents buf, ok))
+              indices))
   in
   let failures = ref 0 in
   List.iter2
@@ -323,16 +389,18 @@ let main runs master size waves dir kernel_filter recover jobs =
   if !failures = 0 then begin
     Printf.printf
       "all %d chaos scenarios survived: protected runs bit-identical to \
-       clean\n"
-      runs;
+       clean%s\n"
+      runs
+      (if serve_mode then ", served replays bit-identical to standalone"
+       else "");
     `Ok ()
   end
   else
     `Error
       (false, Printf.sprintf "%d of %d chaos scenarios failed" !failures runs)
 
-let main_safe runs master size waves dir kernel recover jobs =
-  try main runs master size waves dir kernel recover jobs
+let main_safe runs master size waves dir kernel recover jobs serve_mode =
+  try main runs master size waves dir kernel recover jobs serve_mode
   with Failure msg -> `Error (false, msg)
 
 let cmd =
@@ -378,9 +446,17 @@ let cmd =
                    available cores); verdicts and repros are identical \
                    whatever the count")
   in
+  let serve =
+    Arg.(value & flag
+         & info [ "serve" ]
+             ~doc:"additionally replay every scenario's protected faulted \
+                   run through a live in-process dfserve and require the \
+                   served response to reproduce the standalone run byte \
+                   for byte (digest, end time, stall report)")
+  in
   let term =
     Term.(ret (const main_safe $ runs $ seed $ size $ waves $ dir $ kernel
-               $ recover $ jobs))
+               $ recover $ jobs $ serve))
   in
   Cmd.v
     (Cmd.info "chaos" ~version:"1.0"

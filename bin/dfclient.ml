@@ -1,0 +1,294 @@
+(* dfclient: command-line face of the dfserve protocol.
+
+   One invocation, one connection, one verb: compile, simulate, stats
+   or shutdown.  simulate can dump output streams in the same
+   name/time/%h-value text dfsim --values-out writes (so CI diffs a
+   served run against a local one byte for byte) and can preempt a long
+   machine run (--preempt-after) to harvest a restorable checkpoint
+   that dfsim --restore accepts. *)
+
+module J = Obs.Json
+module P = Serve.Protocol
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let program_of kernel size source input_seed =
+  match (kernel, source) with
+  | Some _, Some _ -> failwith "give --kernel or --source, not both"
+  | Some name, None -> P.Kernel { name; size }
+  | None, Some path ->
+    P.Source { source = read_file path; scalars = []; input_seed }
+  | None, None -> failwith "simulate/compile need --kernel or --source"
+
+let run_of program waves machine pe stored fault fault_seed recover integrity
+    watchdog max_time sanitize =
+  let watchdog =
+    match watchdog with
+    | None -> P.Off
+    | Some "auto" -> P.Auto
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> P.At n
+      | None -> failwith "--watchdog takes a count or 'auto'")
+  in
+  { (P.default_run program) with
+    P.waves;
+    engine = (if machine then `Machine else `Sim);
+    n_pe = pe;
+    stored;
+    fault;
+    fault_seed;
+    recovery = recover;
+    integrity;
+    watchdog;
+    max_time;
+    sanitize }
+
+let require_ok resp =
+  if not (P.response_ok resp) then
+    failwith
+      (match P.response_error resp with
+      | Some (_, msg) ->
+        Printf.sprintf "%s: %s"
+          (Option.value ~default:"error"
+             (J.get_string (J.member "error" resp)))
+          msg
+      | None -> "malformed response: " ^ J.to_string resp);
+  resp
+
+let print_simulate resp =
+  let geti f = Option.value ~default:0 (J.get_int (J.member f resp)) in
+  let getb f = Option.value ~default:false (J.get_bool (J.member f resp)) in
+  Printf.printf "finished at t=%d (quiescent=%b) digest=%d cache_hit=%b\n"
+    (geti "end_time") (getb "quiescent") (geti "digest") (getb "cache_hit");
+  (match J.get_string (J.member "stall" resp) with
+  | Some s -> Printf.printf "stall: %s\n" s
+  | None -> ());
+  match J.member "violations" resp with
+  | J.List (_ :: _ as vs) ->
+    List.iter
+      (fun v ->
+        match J.get_string v with
+        | Some s -> Printf.printf "violation: %s\n" s
+        | None -> ())
+      vs
+  | _ -> ()
+
+let write_values_out resp = function
+  | None -> ()
+  | Some path -> (
+    match P.outputs_of_json (J.member "outputs" resp) with
+    | Ok outputs ->
+      Runspec.write_values ~path outputs;
+      Printf.printf "wrote values %s\n" path
+    | Error e -> failwith ("outputs: " ^ e))
+
+let write_metrics_out resp = function
+  | None -> ()
+  | Some path ->
+    J.write_file path (J.member "metrics" resp);
+    Printf.printf "wrote metrics %s\n" path
+
+(* A preempted response carries the checkpoint as JSON; reframe it as
+   the dfsnap2 file format so dfsim --restore accepts it.  Decoding it
+   against the locally-compiled graph also validates the document. *)
+let write_checkpoint_out program waves resp = function
+  | None -> ()
+  | Some path -> (
+    match J.member "checkpoint" resp with
+    | J.Null -> failwith "response carries no checkpoint"
+    | doc -> (
+      match Serve.Server.subject_of_program program ~waves with
+      | Error e -> failwith ("recompile for checkpoint: " ^ e)
+      | Ok (graph, _, _) -> (
+        match Recover.Checkpoint.of_json ~graph doc with
+        | Error e -> failwith ("checkpoint: " ^ e)
+        | Ok snapshot ->
+          Recover.Checkpoint.save ~path ~graph snapshot;
+          Printf.printf "wrote checkpoint %s (t=%d)\n" path
+            snapshot.Machine.Machine_engine.sn_time)))
+
+let main verb socket kernel size source input_seed waves machine pe stored
+    fault fault_seed recover integrity watchdog max_time sanitize values_out
+    metrics_out checkpoint_out preempt_after =
+  let conn = Serve.Client.connect ~retries:20 socket in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close conn)
+    (fun () ->
+      match verb with
+      | "stats" ->
+        print_endline
+          (J.to_string (require_ok (Serve.Client.rpc conn P.Stats)))
+      | "shutdown" ->
+        ignore (require_ok (Serve.Client.rpc conn P.Shutdown));
+        print_endline "server shutting down"
+      | "compile" ->
+        let program = program_of kernel size source input_seed in
+        let resp = require_ok (Serve.Client.rpc conn (P.Compile program)) in
+        Printf.printf "key=%d cache_hit=%b cells=%d\n"
+          (Option.value ~default:0 (J.get_int (J.member "key" resp)))
+          (Option.value ~default:false
+             (J.get_bool (J.member "cache_hit" resp)))
+          (Option.value ~default:0 (J.get_int (J.member "cells" resp)))
+      | "simulate" -> (
+        let program = program_of kernel size source input_seed in
+        let run =
+          run_of program waves machine pe stored fault fault_seed recover
+            integrity watchdog max_time sanitize
+        in
+        let id = Serve.Client.send conn (P.Simulate run) in
+        (match preempt_after with
+        | None -> ()
+        | Some secs ->
+          Unix.sleepf secs;
+          ignore (Serve.Client.send conn (P.Cancel id)));
+        let resp = Serve.Client.await conn id in
+        match P.response_error resp with
+        | Some (Some P.Cancelled, _) when checkpoint_out <> None ->
+          print_endline "preempted; checkpoint returned";
+          write_checkpoint_out program waves resp checkpoint_out
+        | Some (_, msg) ->
+          failwith
+            (Printf.sprintf "%s: %s"
+               (Option.value ~default:"error"
+                  (J.get_string (J.member "error" resp)))
+               msg)
+        | None ->
+          print_simulate resp;
+          write_values_out resp values_out;
+          write_metrics_out resp metrics_out)
+      | v -> failwith (Printf.sprintf "unknown verb %S" v))
+
+let main_safe verb socket kernel size source input_seed waves machine pe
+    stored fault fault_seed recover integrity watchdog max_time sanitize
+    values_out metrics_out checkpoint_out preempt_after =
+  try
+    main verb socket kernel size source input_seed waves machine pe stored
+      fault fault_seed recover integrity watchdog max_time sanitize
+      values_out metrics_out checkpoint_out preempt_after;
+    `Ok ()
+  with
+  | Failure msg -> `Error (false, msg)
+  | End_of_file -> `Error (false, "server closed the connection")
+  | Unix.Unix_error (e, fn, arg) ->
+    `Error (false, Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
+
+open Cmdliner
+
+let cmd =
+  let verb =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"VERB"
+             ~doc:"compile | simulate | stats | shutdown")
+  in
+  let socket =
+    Arg.(value & opt string
+           (Filename.concat (Filename.get_temp_dir_name ())
+              (Printf.sprintf "dfserve-%d.sock" (Unix.getuid ())))
+         & info [ "socket"; "s" ] ~docv:"PATH" ~doc:"server socket path")
+  in
+  let kernel =
+    Arg.(value & opt (some string) None
+         & info [ "kernel" ] ~docv:"NAME" ~doc:"built-in kernel subject")
+  in
+  let size =
+    Arg.(value & opt int 12
+         & info [ "size" ] ~docv:"N" ~doc:"kernel size parameter")
+  in
+  let source =
+    Arg.(value & opt (some string) None
+         & info [ "source" ] ~docv:"FILE" ~doc:"Val source file to run")
+  in
+  let input_seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"input-synthesis seed for --source (dfsim's convention)")
+  in
+  let waves =
+    Arg.(value & opt int 1
+         & info [ "waves" ] ~docv:"W" ~doc:"input waves to stream")
+  in
+  let machine =
+    Arg.(value & flag
+         & info [ "machine" ] ~doc:"run on the machine-level simulator")
+  in
+  let pe =
+    Arg.(value & opt (some int) None
+         & info [ "pe" ] ~docv:"N" ~doc:"machine: processing elements")
+  in
+  let stored =
+    Arg.(value & flag
+         & info [ "stored" ] ~doc:"machine: Stored array policy baseline")
+  in
+  let fault =
+    Arg.(value & opt (some string) None
+         & info [ "fault" ] ~docv:"SPEC" ~doc:"fault plan spec string")
+  in
+  let fault_seed =
+    Arg.(value & opt (some int) None
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"override the fault spec's seed")
+  in
+  let recover =
+    Arg.(value & opt ~vopt:(Some "") (some string) None
+         & info [ "recover" ] ~docv:"SPEC"
+             ~doc:"machine: recovery policy (bare flag = defaults)")
+  in
+  let integrity =
+    Arg.(value & flag
+         & info [ "integrity" ] ~doc:"machine: per-packet checksums")
+  in
+  let watchdog =
+    Arg.(value & opt (some string) None
+         & info [ "watchdog" ] ~docv:"T|auto" ~doc:"no-progress watchdog")
+  in
+  let max_time =
+    Arg.(value & opt (some int) None
+         & info [ "max-time" ] ~docv:"T" ~doc:"simulation time budget")
+  in
+  let sanitize =
+    Arg.(value & flag
+         & info [ "sanitize" ] ~doc:"fresh protocol sanitizer for the run")
+  in
+  let values_out =
+    Arg.(value & opt (some string) None
+         & info [ "values-out" ] ~docv:"OUT"
+             ~doc:"write output streams as name/time/%h-value lines \
+                   (diffable against dfsim --values-out)")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"OUT"
+             ~doc:"write the response's metrics-registry snapshot as JSON")
+  in
+  let checkpoint_out =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-out" ] ~docv:"OUT"
+             ~doc:"with --preempt-after: save the returned checkpoint in \
+                   dfsim --restore format")
+  in
+  let preempt_after =
+    Arg.(value & opt (some float) None
+         & info [ "preempt-after" ] ~docv:"SECS"
+             ~doc:"cancel the simulate request after this many wall-clock \
+                   seconds; a machine run is preempted at its next slice \
+                   boundary and returns a restorable checkpoint")
+  in
+  let term =
+    Term.(ret (const main_safe $ verb $ socket $ kernel $ size $ source
+               $ input_seed $ waves $ machine $ pe $ stored $ fault
+               $ fault_seed $ recover $ integrity $ watchdog $ max_time
+               $ sanitize $ values_out $ metrics_out $ checkpoint_out
+               $ preempt_after))
+  in
+  Cmd.v
+    (Cmd.info "dfclient" ~version:"1.0"
+       ~doc:"command-line client for the dfserve compile-and-simulate \
+             service")
+    term
+
+let () = exit (Cmdliner.Cmd.eval cmd)

@@ -1,0 +1,131 @@
+(* dfserve: the persistent compile-and-simulate service.
+
+   Foreground server over a Unix-domain socket (NDJSON requests, see
+   docs/SERVICE.md), or --selftest: a chaos-style soak that starts a
+   private server, hammers it with concurrent clients replaying faulted
+   and clean jobs, and requires every served response to be
+   bit-identical to the same job run standalone. *)
+
+let default_socket () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dfserve-%d.sock" (Unix.getuid ()))
+
+let main socket workers max_pending cache slice log_file verbose selftest
+    clients jobs seed =
+  let log =
+    if selftest && not verbose && log_file = None then None
+    else
+      match log_file with
+      | Some path -> Some (open_out path)
+      | None -> if verbose || not selftest then Some stderr else None
+  in
+  if selftest then begin
+    let r = Serve.Selftest.run ~clients ~jobs_per_client:jobs ?workers ~seed ?log () in
+    Printf.printf "selftest: %d served responses checked against standalone runs\n"
+      r.Serve.Selftest.checked;
+    Printf.printf "cache: %d hits, %d misses\n" r.Serve.Selftest.cache_hits
+      r.Serve.Selftest.cache_misses;
+    match r.Serve.Selftest.failures with
+    | [] ->
+      print_endline "all served responses bit-identical to standalone runs";
+      `Ok ()
+    | fs ->
+      List.iter prerr_endline fs;
+      `Error (false, Printf.sprintf "%d mismatches" (List.length fs))
+  end
+  else begin
+    let config =
+      { (Serve.Server.default_config ~socket_path:socket) with
+        Serve.Server.workers =
+          Option.value workers ~default:(Exec.Pool.default_jobs ());
+        max_pending;
+        cache_capacity = cache;
+        slice;
+        log }
+    in
+    Printf.printf "dfserve: listening on %s\n%!" socket;
+    Serve.Server.run config;
+    `Ok ()
+  end
+
+let main_safe socket workers max_pending cache slice log_file verbose selftest
+    clients jobs seed =
+  try
+    main socket workers max_pending cache slice log_file verbose selftest
+      clients jobs seed
+  with
+  | Failure msg -> `Error (false, msg)
+  | Unix.Unix_error (e, fn, arg) ->
+    `Error (false, Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
+
+open Cmdliner
+
+let cmd =
+  let socket =
+    Arg.(value & opt string (default_socket ())
+         & info [ "socket"; "s" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket path to listen on")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers"; "j" ] ~docv:"N"
+             ~doc:"simulation worker domains (default: \\$(b,EXEC_JOBS) or \
+                   the available cores)")
+  in
+  let max_pending =
+    Arg.(value & opt int 64
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"admission bound: jobs waiting to dispatch before new \
+                   simulate requests are rejected as overloaded")
+  in
+  let cache =
+    Arg.(value & opt int 32
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"compiled-program cache capacity (LRU eviction)")
+  in
+  let slice =
+    Arg.(value & opt int 5000
+         & info [ "slice" ] ~docv:"T"
+             ~doc:"machine-engine preemption slice in simulation-time \
+                   units: cancel and shutdown take effect at the next \
+                   slice boundary, returning a restorable checkpoint")
+  in
+  let log_file =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE" ~doc:"append lifecycle log lines here")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log to stderr")
+  in
+  let selftest =
+    Arg.(value & flag
+         & info [ "selftest" ]
+             ~doc:"soak a private server with concurrent faulted clients \
+                   and verify bit-identity against standalone runs, then \
+                   exit (nonzero on any mismatch)")
+  in
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N" ~doc:"selftest: concurrent clients")
+  in
+  let jobs =
+    Arg.(value & opt int 6
+         & info [ "jobs-per-client" ] ~docv:"N"
+             ~doc:"selftest: simulate requests per client")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"selftest: scenario seed")
+  in
+  let term =
+    Term.(ret (const main_safe $ socket $ workers $ max_pending $ cache
+               $ slice $ log_file $ verbose $ selftest $ clients $ jobs
+               $ seed))
+  in
+  Cmd.v
+    (Cmd.info "dfserve" ~version:"1.0"
+       ~doc:"persistent compile-and-simulate service with a \
+             compiled-program cache and fair queueing")
+    term
+
+let () = exit (Cmdliner.Cmd.eval cmd)

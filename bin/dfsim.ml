@@ -52,68 +52,16 @@ let write_metrics m = function
     Obs.Metrics_registry.write_file m path;
     Printf.printf "wrote metrics %s\n" path
 
-let sim_registry result =
-  let m = Obs.Metrics_registry.create () in
-  let open Obs.Metrics_registry in
-  incr m "sim.firings"
-    ~by:(Array.fold_left ( + ) 0 result.Sim.Engine.fire_counts);
-  incr m "sim.cells" ~by:(Array.length result.Sim.Engine.fire_counts);
-  incr m "sim.stuck_cells"
-    ~by:
-      (match result.Sim.Engine.stuck with
-      | None -> 0
-      | Some sr -> List.length sr.Fault.Stall_report.sr_blocked);
-  incr m "sim.violations" ~by:(List.length result.Sim.Engine.violations);
-  set m "sim.end_time" (float_of_int result.Sim.Engine.end_time);
-  set m "sim.quiescent" (if result.Sim.Engine.quiescent then 1.0 else 0.0);
-  Array.iteri
-    (fun id _ ->
-      observe m "sim.cell_utilization" (Sim.Metrics.utilization result id))
-    result.Sim.Engine.fire_counts;
-  List.iter
-    (fun (name, arrivals) ->
-      incr m
-        (Printf.sprintf "sim.output.%s.packets" name)
-        ~by:(List.length arrivals);
-      set m
-        (Printf.sprintf "sim.output.%s.interval" name)
-        (Sim.Metrics.output_interval result name))
-    result.Sim.Engine.outputs;
-  m
+(* the diffable output-stream dump shared with dfclient *)
+let write_values outputs = function
+  | None -> ()
+  | Some path ->
+    Runspec.write_values ~path outputs;
+    Printf.printf "wrote values %s\n" path
 
-let machine_registry (r : ME.result) =
-  let m = Obs.Metrics_registry.create () in
-  let open Obs.Metrics_registry in
-  let s = r.ME.stats in
-  incr m "machine.dispatches" ~by:s.ME.dispatches;
-  incr m "machine.fu_ops" ~by:s.ME.fu_ops;
-  incr m "machine.am_ops" ~by:s.ME.am_ops;
-  incr m "machine.result_packets" ~by:s.ME.result_packets;
-  incr m "machine.ack_packets" ~by:s.ME.ack_packets;
-  incr m "machine.retransmits" ~by:s.ME.retransmits;
-  incr m "machine.checkpoints" ~by:r.ME.checkpoints;
-  incr m "machine.recoveries" ~by:r.ME.recoveries;
-  set m "machine.end_time" (float_of_int r.ME.end_time);
-  set m "machine.quiescent" (if r.ME.quiescent then 1.0 else 0.0);
-  incr m "machine.stalled_cells"
-    ~by:
-      (match r.ME.stall with
-      | None -> 0
-      | Some sr -> List.length sr.Fault.Stall_report.sr_blocked);
-  incr m "machine.violations" ~by:(List.length r.ME.violations);
-  set m "machine.am_fraction" (ME.am_fraction s);
-  Array.iteri
-    (fun i d ->
-      incr m (Printf.sprintf "machine.pe.%02d.dispatches" i) ~by:d;
-      observe m "machine.pe_occupancy" (float_of_int d))
-    s.ME.pe_dispatches;
-  List.iter
-    (fun (name, arrivals) ->
-      incr m
-        (Printf.sprintf "machine.output.%s.packets" name)
-        ~by:(List.length arrivals))
-    r.ME.outputs;
-  m
+(* run-metric registries are shared with dfclient and the service *)
+let sim_registry = Runspec.sim_registry
+let machine_registry = Runspec.machine_registry
 
 (* Fault/sanitizer diagnostics shared by the three run paths.  A
    [Deadlock] report at quiescence is the normal end state of a primed
@@ -132,7 +80,7 @@ let print_diagnostics ?(show_deadlock = false) ~violations ~stall () =
 let parse_recover_opt = function
   | None -> None
   | Some spec -> (
-    match Recover.of_string spec with
+    match Runspec.recovery_of_string spec with
     | Ok p -> Some p
     | Error msg -> failwith (Printf.sprintf "--recover %s: %s" spec msg))
 
@@ -141,8 +89,8 @@ let parse_fault_opts inject sanitize watchdog =
     match inject with
     | None -> None
     | Some spec -> (
-      match Fault.Fault_plan.of_string spec with
-      | Ok s -> Some (Fault.Fault_plan.make s)
+      match Runspec.fault_plan_of_string spec with
+      | Ok plan -> Some plan
       | Error msg -> failwith (Printf.sprintf "--inject %s: %s" spec msg))
   in
   let sanitizer g =
@@ -174,19 +122,11 @@ let read_floats path =
       in
       go [])
 
-let synth_wave ~seed ~elt ~size name =
-  let st =
-    Random.State.make [| seed; Hashtbl.hash name |]
-  in
-  List.init size (fun _ ->
-      match elt with
-      | Val_lang.Ast.Tint -> Dfg.Value.Int (Random.State.int st 100)
-      | Val_lang.Ast.Treal -> Dfg.Value.Real (Random.State.float st 2.0 -. 1.0)
-      | Val_lang.Ast.Tbool -> Dfg.Value.Bool (Random.State.bool st))
+let synth_wave = Runspec.synth_wave
 
 (* Run a pre-compiled .dfg machine program (no oracle available). *)
-let run_loaded path waves seed report trace_out metrics_out ~fault ~sanitizer
-    ~watchdog =
+let run_loaded path waves seed report trace_out metrics_out values_out ~fault
+    ~sanitizer ~watchdog =
   let g = Dfg.Text.read_file path in
   let sanitizer = sanitizer g in
   let inputs =
@@ -222,11 +162,12 @@ let run_loaded path waves seed report trace_out metrics_out ~fault ~sanitizer
   if report then print_string (Sim.Report.render g result);
   write_trace ~tracks:(graph_tracks g) tracer trace_out;
   write_metrics (sim_registry result) metrics_out;
+  write_values result.Sim.Engine.outputs values_out;
   `Ok ()
 
 let run path waves seed input_files machine pe stored no_check report load
-    trace_out metrics_out inject sanitize watchdog recover integrity
-    checkpoint_out restore_from =
+    trace_out metrics_out values_out inject sanitize watchdog recover
+    integrity checkpoint_out restore_from =
   try
     let fault, sanitizer, watchdog =
       parse_fault_opts inject sanitize watchdog
@@ -241,8 +182,8 @@ let run path waves seed input_files machine pe stored no_check report load
         "--recover/--integrity/--checkpoint/--restore apply to the machine \
          simulator (add --machine)";
     if load then
-      run_loaded path waves seed report trace_out metrics_out ~fault ~sanitizer
-        ~watchdog
+      run_loaded path waves seed report trace_out metrics_out values_out
+        ~fault ~sanitizer ~watchdog
     else begin
     let source = read_file path in
     let prog, compiled = D.compile_source source in
@@ -340,7 +281,8 @@ let run path waves seed input_files machine pe stored no_check report load
         Recover.Checkpoint.save ~path:p ~graph:g (ME.snapshot m);
         Printf.printf "wrote checkpoint %s (t=%d)\n" p r.ME.end_time);
       write_trace ~tracks:(pe_tracks arch.Arch.n_pe) tracer trace_out;
-      write_metrics (machine_registry r) metrics_out
+      write_metrics (machine_registry r) metrics_out;
+      write_values r.ME.outputs values_out
     end
     else begin
       let tracer = tracer_for trace_out in
@@ -383,7 +325,8 @@ let run path waves seed input_files machine pe stored no_check report load
         print_string (Sim.Report.render compiled.PC.cp_graph r2)
       end;
       write_trace ~tracks:(graph_tracks compiled.PC.cp_graph) tracer trace_out;
-      write_metrics (sim_registry result) metrics_out
+      write_metrics (sim_registry result) metrics_out;
+      write_values result.Sim.Engine.outputs values_out
     end;
     `Ok ()
     end
@@ -456,6 +399,14 @@ let cmd =
          & info [ "metrics-json" ] ~docv:"OUT"
              ~doc:"write run metrics (counters, gauges, histograms) as JSON")
   in
+  let values_out =
+    Arg.(value & opt (some string) None
+         & info [ "values-out" ] ~docv:"OUT"
+             ~doc:"write every output packet as one name/time/value line \
+                   (reals in bit-exact hex-float form); dfclient writes the \
+                   same format, so a served run diffs against a standalone \
+                   one")
+  in
   let inject =
     Arg.(value & opt (some string) None
          & info [ "inject" ] ~docv:"SPEC"
@@ -513,8 +464,8 @@ let cmd =
   let term =
     Term.(ret (const run $ path $ waves $ seed $ input_files $ machine $ pe
                $ stored $ no_check $ report $ load $ trace_out $ metrics_out
-               $ inject $ sanitize $ watchdog $ recover $ integrity
-               $ checkpoint_out $ restore_from))
+               $ values_out $ inject $ sanitize $ watchdog $ recover
+               $ integrity $ checkpoint_out $ restore_from))
   in
   Cmd.v
     (Cmd.info "dfsim" ~version:"1.0"

@@ -26,18 +26,6 @@ module FP = Fault.Fault_plan
 module FD = Fault_diff
 module ME = Machine.Machine_engine
 
-let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
-
-(* full packet streams for the graph's Input cells (scalar inputs are
-   compiled to load-time constants, so only array inputs feed packets) *)
-let feeds (compiled : PC.compiled) ~waves kernel_inputs =
-  List.map
-    (fun (name, _shape) ->
-      match List.assoc_opt name kernel_inputs with
-      | Some wave -> (name, replicate waves wave)
-      | None -> failwith (Printf.sprintf "kernel input %s missing" name))
-    compiled.PC.cp_inputs
-
 type config = {
   dir : string;
   size : int;
@@ -134,34 +122,18 @@ let dump_failure cfg ~graph ~kernel ~seed ~engine (o : FD.outcome) =
   | None -> ());
   path
 
-(* a Deadlock report at quiescence is the normal end state of primed
-   feedback loops; only watchdog trips and max_time exhaustion are
-   unexpected under survivable faults *)
-let stall_unexpected = function
-  | None -> false
-  | Some sr -> sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock
+let stall_unexpected = Runspec.stall_unexpected
 
 (* one kernel/seed combination; the report goes into [buf] so the matrix
    can run across domains and still print in submission order *)
 let check_one cfg ~buf ~seed (k : K.kernel) =
-  let st = Random.State.make [| Hashtbl.hash k.K.name |] in
-  let _, compiled =
-    D.compile_source ~scalar_inputs:k.K.scalar_inputs (k.K.source cfg.size)
+  let subject =
+    Runspec.compile_subject k ~size:cfg.size ~waves:cfg.waves
   in
-  let inputs = feeds compiled ~waves:cfg.waves (k.K.inputs cfg.size st) in
+  let compiled = subject.Runspec.compiled in
+  let inputs = subject.Runspec.inputs in
   let plan = FP.make { cfg.spec with FP.seed } in
-  (* the watchdog must sit above every injected latency source — routing
-     delays, PE stall windows, FU/AM slowdowns (reachable via --inject) —
-     and above the full retransmission window when the recovery protocol
-     is on *)
-  let watchdog =
-    100 + (4 * cfg.spec.FP.delay_max)
-    + (if cfg.spec.FP.stall_prob > 0.0 then 4 * cfg.spec.FP.stall_max else 0)
-    + (16 * (cfg.spec.FP.fu_slow + cfg.spec.FP.am_slow))
-    + (match cfg.recovery with
-      | Some r -> 17 * r.ME.retransmit_after
-      | None -> 0)
-  in
+  let watchdog = Runspec.watchdog_for cfg.spec cfg.recovery in
   let run engine diff =
     let o = diff () in
     let ok =
@@ -231,7 +203,7 @@ let main seeds dir kernel_filter size waves prob max_delay dup drop_ack drop
     match recover with
     | None -> None
     | Some spec -> (
-      match Recover.of_string spec with
+      match Runspec.recovery_of_string spec with
       | Ok p -> Some p
       | Error e -> failwith (Printf.sprintf "--recover %s: %s" spec e))
   in
@@ -241,7 +213,7 @@ let main seeds dir kernel_filter size waves prob max_delay dup drop_ack drop
       (* --inject carries the whole plan (shrinker output, chaos repro);
          --seeds still picks the per-run seed, so any seed= in the spec
          only matters if the default seed list is used unchanged *)
-      match FP.of_string s with
+      match Runspec.fault_spec_of_string s with
       | Ok spec -> spec
       | Error e -> failwith (Printf.sprintf "--inject %s: %s" s e))
     | None ->
@@ -261,16 +233,9 @@ let main seeds dir kernel_filter size waves prob max_delay dup drop_ack drop
     { dir; size; waves; spec; machine; recovery; integrity; kernel_filter }
   in
   let kernels =
-    match kernel_filter with
-    | None -> K.all
-    | Some name -> (
-      match List.filter (fun (k : K.kernel) -> k.K.name = name) K.all with
-      | [] ->
-        failwith
-          (Printf.sprintf "--kernel %s: unknown kernel (have: %s)" name
-             (String.concat ", "
-                (List.map (fun (k : K.kernel) -> k.K.name) K.all)))
-      | ks -> ks)
+    match Runspec.kernels_matching kernel_filter with
+    | Ok ks -> ks
+    | Error e -> failwith (Printf.sprintf "--kernel: %s" e)
   in
   if (not (FP.delay_only (FP.make spec))) && not machine then
     print_endline

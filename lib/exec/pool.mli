@@ -47,3 +47,55 @@ val timed : (unit -> 'a) -> 'a * float
 (** Run a thunk and return its wall-clock seconds alongside the result
     — every parallel runner prints this so speedups are measured, not
     assumed. *)
+
+(** {2 Persistent pool}
+
+    [map_result] spins domains up and down per batch, which is fine for
+    sweeps but wrong for a long-lived service: dfserve keeps one pool
+    for its whole lifetime and feeds it jobs as requests arrive.  Jobs
+    are handed out in submission order; a job can be cancelled while it
+    is still queued (a running domain cannot be interrupted — preemption
+    of long simulations happens above this layer, at checkpoint slice
+    boundaries). *)
+
+type t
+(** A set of worker domains consuming a shared job queue. *)
+
+type failure = { message : string; backtrace : string }
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of failure  (** the thunk raised; rendered like {!error} *)
+  | Cancelled  (** cancelled while queued, or pool shut down first *)
+
+type 'a ticket
+(** Handle for one submitted job. *)
+
+val create : ?workers:int -> unit -> t
+(** Spawn [workers] domains (default {!default_jobs}).  A runtime that
+    refuses to spawn leaves fewer workers; with zero, {!submit} runs
+    thunks synchronously.  @raise Invalid_argument if [workers < 1]. *)
+
+val workers : t -> int
+(** Actual worker count (at least 1, counting the synchronous
+    fallback). *)
+
+val submit : t -> (unit -> 'a) -> 'a ticket
+(** Enqueue a thunk.  Thunks must not share mutable state, as with
+    {!map_result}.  After {!shutdown} the ticket settles [Cancelled]
+    without running. *)
+
+val cancel : 'a ticket -> bool
+(** [true] iff the job was still queued and has been removed — it will
+    never run.  [false] once running or settled: a domain mid-job
+    cannot be interrupted from outside. *)
+
+val poll : 'a ticket -> 'a outcome option
+(** Non-blocking: [Some] once settled. *)
+
+val await : 'a ticket -> 'a outcome
+(** Block until the job settles. *)
+
+val shutdown : t -> unit
+(** Cancel everything still queued, let running jobs finish, and join
+    all worker domains.  Idempotent. *)

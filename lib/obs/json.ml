@@ -27,11 +27,24 @@ let rec to_buffer buf = function
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
     if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+      (* JSON has no non-finite numbers; wire formats that need them
+         exact carry reals as hex-float strings instead (see mli) *)
       Buffer.add_string buf "null"
     else if Float.is_integer f && Float.abs f < 1e15 then
       (* keep integral floats readable and round-trippable *)
       Buffer.add_string buf (Printf.sprintf "%.1f" f)
-    else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    else
+      (* shortest decimal form that parses back to the same bits: try
+         12 significant digits for readability, fall back to the 17
+         IEEE-754 doubles always round-trip through *)
+      let s = Printf.sprintf "%.12g" f in
+      let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+      (* keep a '.' or exponent so the parser reads a Float, not an Int *)
+      let s =
+        if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+        else s ^ ".0"
+      in
+      Buffer.add_string buf s
   | String s ->
     Buffer.add_char buf '"';
     add_escaped buf s;

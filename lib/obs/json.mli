@@ -3,10 +3,14 @@
     The observability sinks ({!Perfetto}, {!Metrics_registry},
     {!Bench_json}) serialize through this module so the repository needs
     no external JSON dependency.  The printer emits strictly valid JSON:
-    non-finite floats become [null], control characters are escaped.  The
-    parser accepts exactly the JSON this printer produces (plus standard
-    whitespace) and is used by the test suite to check well-formedness of
-    exported traces. *)
+    non-finite floats become [null], control characters are escaped, and
+    finite floats print with enough digits that [of_string (to_string j)]
+    recovers the exact same bits.  Wire formats that must carry
+    non-finite or bit-exact reals (checkpoints, the dfserve protocol)
+    encode them as ["%h"] hex-float strings instead of JSON numbers.
+    The parser accepts exactly the JSON this printer produces (plus
+    standard whitespace) and is used by the test suite to check
+    well-formedness of exported traces. *)
 
 type t =
   | Null

@@ -1,0 +1,169 @@
+open Dfg
+module FP = Fault.Fault_plan
+module PC = Compiler.Program_compile
+module ME = Machine.Machine_engine
+module K = Kernels
+
+(* ---------------- spec parsing ---------------- *)
+
+let fault_spec_of_string = FP.of_string
+
+let fault_plan_of_string s =
+  match FP.of_string s with
+  | Error _ as e -> e
+  | Ok spec -> (
+    match FP.make spec with
+    | plan -> Ok plan
+    | exception Invalid_argument msg -> Error msg)
+
+let recovery_of_string = Recover.of_string
+
+(* ---------------- kernel subjects ---------------- *)
+
+let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
+
+let feeds (compiled : PC.compiled) ~waves kernel_inputs =
+  List.map
+    (fun (name, _shape) ->
+      match List.assoc_opt name kernel_inputs with
+      | Some wave -> (name, replicate waves wave)
+      | None -> failwith (Printf.sprintf "kernel input %s missing" name))
+    compiled.PC.cp_inputs
+
+type subject = {
+  kernel : K.kernel;
+  size : int;
+  waves : int;
+  compiled : PC.compiled;
+  graph : Graph.t;
+  inputs : (string * Value.t list) list;
+}
+
+let compile_subject (k : K.kernel) ~size ~waves =
+  let st = Random.State.make [| Hashtbl.hash k.K.name |] in
+  let _, compiled =
+    Compiler.Driver.compile_source ~scalar_inputs:k.K.scalar_inputs
+      (k.K.source size)
+  in
+  let inputs = feeds compiled ~waves (k.K.inputs size st) in
+  { kernel = k; size; waves; compiled; graph = compiled.PC.cp_graph; inputs }
+
+let kernels_matching = function
+  | None -> Ok K.all
+  | Some name -> (
+    match List.filter (fun (k : K.kernel) -> k.K.name = name) K.all with
+    | [] ->
+      Error
+        (Printf.sprintf "unknown kernel %s (have: %s)" name
+           (String.concat ", "
+              (List.map (fun (k : K.kernel) -> k.K.name) K.all)))
+    | ks -> Ok ks)
+
+(* ---------------- run hygiene ---------------- *)
+
+let stall_unexpected = function
+  | None -> false
+  | Some sr -> sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock
+
+(* the watchdog must sit above every injected latency source — routing
+   delays, PE stall windows, FU/AM slowdowns — and above the full
+   retransmission window when the recovery protocol is on *)
+let watchdog_for ?(base = 100) (spec : FP.spec) recovery =
+  base
+  + (4 * spec.FP.delay_max)
+  + (if spec.FP.stall_prob > 0.0 then 4 * spec.FP.stall_max else 0)
+  + (16 * (spec.FP.fu_slow + spec.FP.am_slow))
+  + (match recovery with
+    | Some (r : ME.recovery) -> 17 * r.ME.retransmit_after
+    | None -> 0)
+
+let synth_wave ~seed ~elt ~size name =
+  let st = Random.State.make [| seed; Hashtbl.hash name |] in
+  List.init size (fun _ ->
+      match elt with
+      | Val_lang.Ast.Tint -> Value.Int (Random.State.int st 100)
+      | Val_lang.Ast.Treal -> Value.Real (Random.State.float st 2.0 -. 1.0)
+      | Val_lang.Ast.Tbool -> Value.Bool (Random.State.bool st))
+
+(* ---------------- result rendering ---------------- *)
+
+let sim_registry (result : Sim.Engine.result) =
+  let m = Obs.Metrics_registry.create () in
+  let open Obs.Metrics_registry in
+  incr m "sim.firings"
+    ~by:(Array.fold_left ( + ) 0 result.Sim.Engine.fire_counts);
+  incr m "sim.cells" ~by:(Array.length result.Sim.Engine.fire_counts);
+  incr m "sim.stuck_cells"
+    ~by:
+      (match result.Sim.Engine.stuck with
+      | None -> 0
+      | Some sr -> List.length sr.Fault.Stall_report.sr_blocked);
+  incr m "sim.violations" ~by:(List.length result.Sim.Engine.violations);
+  set m "sim.end_time" (float_of_int result.Sim.Engine.end_time);
+  set m "sim.quiescent" (if result.Sim.Engine.quiescent then 1.0 else 0.0);
+  Array.iteri
+    (fun id _ ->
+      observe m "sim.cell_utilization" (Sim.Metrics.utilization result id))
+    result.Sim.Engine.fire_counts;
+  List.iter
+    (fun (name, arrivals) ->
+      incr m
+        (Printf.sprintf "sim.output.%s.packets" name)
+        ~by:(List.length arrivals);
+      set m
+        (Printf.sprintf "sim.output.%s.interval" name)
+        (Sim.Metrics.output_interval result name))
+    result.Sim.Engine.outputs;
+  m
+
+let machine_registry (r : ME.result) =
+  let m = Obs.Metrics_registry.create () in
+  let open Obs.Metrics_registry in
+  let s = r.ME.stats in
+  incr m "machine.dispatches" ~by:s.ME.dispatches;
+  incr m "machine.fu_ops" ~by:s.ME.fu_ops;
+  incr m "machine.am_ops" ~by:s.ME.am_ops;
+  incr m "machine.result_packets" ~by:s.ME.result_packets;
+  incr m "machine.ack_packets" ~by:s.ME.ack_packets;
+  incr m "machine.retransmits" ~by:s.ME.retransmits;
+  incr m "machine.checkpoints" ~by:r.ME.checkpoints;
+  incr m "machine.recoveries" ~by:r.ME.recoveries;
+  set m "machine.end_time" (float_of_int r.ME.end_time);
+  set m "machine.quiescent" (if r.ME.quiescent then 1.0 else 0.0);
+  incr m "machine.stalled_cells"
+    ~by:
+      (match r.ME.stall with
+      | None -> 0
+      | Some sr -> List.length sr.Fault.Stall_report.sr_blocked);
+  incr m "machine.violations" ~by:(List.length r.ME.violations);
+  set m "machine.am_fraction" (ME.am_fraction s);
+  Array.iteri
+    (fun i d ->
+      incr m (Printf.sprintf "machine.pe.%02d.dispatches" i) ~by:d;
+      observe m "machine.pe_occupancy" (float_of_int d))
+    s.ME.pe_dispatches;
+  List.iter
+    (fun (name, arrivals) ->
+      incr m
+        (Printf.sprintf "machine.output.%s.packets" name)
+        ~by:(List.length arrivals))
+    r.ME.outputs;
+  m
+
+let value_text = function
+  | Value.Int i -> string_of_int i
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Real r -> Printf.sprintf "%h" r
+
+let write_values ~path outputs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun (name, arrivals) ->
+          List.iter
+            (fun (t, v) ->
+              Printf.fprintf oc "%s\t%d\t%s\n" name t (value_text v))
+            arrivals)
+        outputs)

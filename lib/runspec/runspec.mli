@@ -1,0 +1,99 @@
+open Dfg
+
+(** Shared run-specification layer for the CLIs and the service.
+
+    Every front end that names a run — [dfsim], [faultcheck], [chaos],
+    and the [dfserve] request decoder — needs the same small toolbox:
+    parse a fault plan or recovery policy from its string spec, pick
+    kernels by name, compile a kernel into a runnable subject, size a
+    watchdog above every injected latency source, synthesize
+    deterministic input waves, and turn engine results into metrics
+    registries.  Before this module each binary carried its own copy;
+    the service made a fourth copy untenable. *)
+
+(** {1 Spec parsing} *)
+
+val fault_plan_of_string : string -> (Fault.Fault_plan.t, string) result
+(** {!Fault.Fault_plan.of_string} followed by [make]: both parse errors
+    and out-of-range probabilities come back as [Error]. *)
+
+val fault_spec_of_string : string -> (Fault.Fault_plan.spec, string) result
+(** The raw spec, when the caller still needs to override fields
+    (e.g. the per-run seed) before [make]. *)
+
+val recovery_of_string : string -> (Recover.policy, string) result
+(** {!Recover.of_string}; [""] is the default policy. *)
+
+(** {1 Kernel subjects} *)
+
+val replicate : int -> 'a list -> 'a list
+(** [replicate waves xs]: the wave repeated, as one flat packet list. *)
+
+val feeds :
+  Compiler.Program_compile.compiled ->
+  waves:int ->
+  (string * Value.t list) list ->
+  (string * Value.t list) list
+(** Full packet streams for a compiled program's array inputs: one wave
+    per input from the association list, replicated [waves] times.
+    @raise Failure when an input is missing from the list. *)
+
+type subject = {
+  kernel : Kernels.kernel;
+  size : int;
+  waves : int;
+  compiled : Compiler.Program_compile.compiled;
+  graph : Graph.t;  (** [compiled.cp_graph] *)
+  inputs : (string * Value.t list) list;  (** full packet streams *)
+}
+(** A kernel compiled and fed: everything a differential or a service
+    request needs to run it.  Construction is deterministic — the input
+    waves are drawn from a PRNG seeded by the kernel's name, so every
+    builder of the same (kernel, size, waves) triple gets bit-identical
+    streams. *)
+
+val compile_subject : Kernels.kernel -> size:int -> waves:int -> subject
+
+val kernels_matching : string option -> (Kernels.kernel list, string) result
+(** All kernels, or the one named; [Error] lists the known names. *)
+
+(** {1 Run hygiene} *)
+
+val stall_unexpected : Fault.Stall_report.t option -> bool
+(** A [Deadlock] report at quiescence is the normal end state of a
+    primed feedback loop; anything else (watchdog, max_time) is a
+    finding. *)
+
+val watchdog_for :
+  ?base:int ->
+  Fault.Fault_plan.spec ->
+  Machine.Machine_engine.recovery option ->
+  int
+(** A watchdog threshold sitting above every injected latency source:
+    routing delays, PE stall windows, FU/AM slowdowns, and the full
+    retransmission backoff window when a recovery policy is attached.
+    [base] defaults to 100. *)
+
+val synth_wave :
+  seed:int -> elt:Val_lang.Ast.scalar_type -> size:int -> string -> Value.t list
+(** One deterministic input wave: a PRNG keyed by [(seed, name)], so the
+    same request synthesizes the same packets on any builder ([dfsim]
+    and [dfclient] agree byte for byte). *)
+
+(** {1 Result rendering} *)
+
+val sim_registry : Sim.Engine.result -> Obs.Metrics_registry.t
+(** Run metrics of a graph-level result (firings, stuck cells,
+    violations, end time, per-output packet counts and intervals,
+    cell-utilization histogram). *)
+
+val machine_registry : Machine.Machine_engine.result -> Obs.Metrics_registry.t
+(** Run metrics of a machine-level result (dispatches, FU/AM ops,
+    packet and retransmit counters, per-PE dispatches, AM fraction,
+    per-output packet counts). *)
+
+val write_values : path:string -> (string * (int * Value.t) list) list -> unit
+(** Dump output streams as diffable text: one [name\ttime\tvalue] line
+    per packet, reals in bit-exact [%h] form.  [dfsim --values-out] and
+    [dfclient simulate --values-out] write this same format, so CI can
+    [diff] a served run against a standalone one. *)

@@ -1,0 +1,87 @@
+module J = Obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  mutable stash : (int * J.t) list;
+  mutable next_id : int;
+}
+
+let connect ?(retries = 50) ?(delay = 0.1) path =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception
+        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempt < retries ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf delay;
+      go (attempt + 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  { fd = go 0; rbuf = Buffer.create 4096; stash = []; next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let line = J.to_string (Protocol.request_to_json ~id req) ^ "\n" in
+  let bytes = Bytes.of_string line in
+  let len = Bytes.length bytes in
+  let rec write_all off =
+    if off < len then write_all (off + Unix.write t.fd bytes off (len - off))
+  in
+  write_all 0;
+  id
+
+(* Read one complete line, buffering the overshoot. *)
+let read_line t =
+  let rec line_of start =
+    let data = Buffer.contents t.rbuf in
+    match String.index_from_opt data start '\n' with
+    | Some nl ->
+      let line = String.sub data 0 nl in
+      Buffer.clear t.rbuf;
+      Buffer.add_substring t.rbuf data (nl + 1) (String.length data - nl - 1);
+      line
+    | None ->
+      let chunk = Bytes.create 4096 in
+      let n = Unix.read t.fd chunk 0 4096 in
+      if n = 0 then raise End_of_file;
+      let resume = String.length data in
+      Buffer.add_subbytes t.rbuf chunk 0 n;
+      line_of resume
+  in
+  line_of 0
+
+let recv t = J.of_string (read_line t)
+
+let take_stashed t id =
+  match List.assoc_opt id t.stash with
+  | Some r ->
+    t.stash <- List.remove_assoc id t.stash;
+    Some r
+  | None -> None
+
+let await t id =
+  match take_stashed t id with
+  | Some r -> r
+  | None ->
+    let rec pump () =
+      let r = recv t in
+      match Protocol.response_id r with
+      | Some rid when rid = id -> r
+      | Some rid ->
+        t.stash <- t.stash @ [ (rid, r) ];
+        pump ()
+      | None ->
+        t.stash <- t.stash @ [ (-1, r) ];
+        pump ()
+    in
+    pump ()
+
+let rpc t req = await t (send t req)

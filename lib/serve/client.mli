@@ -1,0 +1,32 @@
+(** Client side of the dfserve protocol.
+
+    A thin blocking connection: requests go out as NDJSON lines,
+    responses come back the same way.  Because the server answers
+    out of order (responses stream as jobs finish), the client stashes
+    responses it reads while waiting for a specific id, so pipelining
+    — send many, then await each — works naturally. *)
+
+type t
+
+val connect : ?retries:int -> ?delay:float -> string -> t
+(** Connect to a server socket path.  Retries [retries] times (default
+    50) every [delay] seconds (default 0.1) while the socket is absent
+    or refusing — covers the race of a server still starting up.
+    @raise Unix.Unix_error when the retries are exhausted. *)
+
+val close : t -> unit
+
+val send : t -> Protocol.request -> int
+(** Fire one request; returns the connection-scoped id assigned to it. *)
+
+val await : t -> int -> Obs.Json.t
+(** Block until the response for [id] arrives, stashing any other
+    responses read along the way (including unsolicited ones, like a
+    cancelled job's own response).
+    @raise End_of_file if the server closes the connection first. *)
+
+val rpc : t -> Protocol.request -> Obs.Json.t
+(** [send] then [await]. *)
+
+val take_stashed : t -> int -> Obs.Json.t option
+(** Remove a previously-stashed response by id (non-blocking). *)

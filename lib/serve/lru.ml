@@ -1,0 +1,64 @@
+(* Recency is an age stamp per entry; eviction scans for the minimum.
+   Eviction is O(capacity), which for a compiled-program cache measured
+   in dozens is simpler and no slower in practice than threading a
+   doubly-linked list through a hashtable. *)
+
+type ('k, 'v) t = {
+  capacity : int;
+  tbl : ('k, 'v * int ref) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Lru.create: capacity = %d" capacity);
+  { capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some (v, age) ->
+    age := tick t;
+    t.hits <- t.hits + 1;
+    Some v
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k (_, age) ->
+      match !victim with
+      | Some (_, a) when a <= !age -> ()
+      | _ -> victim := Some (k, !age))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t k v =
+  (match Hashtbl.find_opt t.tbl k with
+  | Some _ -> Hashtbl.remove t.tbl k
+  | None -> if Hashtbl.length t.tbl >= t.capacity then evict_lru t);
+  Hashtbl.replace t.tbl k (v, ref (tick t))
+
+let mem t k = Hashtbl.mem t.tbl k
+let length t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

@@ -1,0 +1,33 @@
+(** Small bounded map with least-recently-used eviction.
+
+    The compiled-program cache: dfserve keys compiled graphs by an
+    {!Integrity.checksum_string} of their canonical source and evicts
+    the entry that has gone longest without a lookup once [capacity] is
+    reached.  Hit/miss/eviction counters feed the [stats] verb, and the
+    per-response [cache_hit] flag lets a client verify the N-requests ⇒
+    N−1-hits contract.
+
+    Not thread-safe: dfserve owns its cache from the event-loop thread
+    only. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit refreshes the entry's recency.  Counts one hit or
+    miss. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert (or overwrite, refreshing recency).  When full, the
+    least-recently-used entry is evicted first. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Recency- and counter-neutral membership test. *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val evictions : ('k, 'v) t -> int

@@ -1,0 +1,312 @@
+open Dfg
+module J = Obs.Json
+
+(* ---------------- values ---------------- *)
+
+let value_to_json = function
+  | Value.Int i -> J.Obj [ ("i", J.Int i) ]
+  | Value.Bool b -> J.Obj [ ("b", J.Bool b) ]
+  | Value.Real r -> J.Obj [ ("r", J.String (Printf.sprintf "%h" r)) ]
+
+let value_of_json j =
+  match j with
+  | J.Obj [ ("i", J.Int i) ] -> Ok (Value.Int i)
+  | J.Obj [ ("b", J.Bool b) ] -> Ok (Value.Bool b)
+  | J.Obj [ ("r", J.String s) ] -> (
+    match float_of_string_opt s with
+    | Some r -> Ok (Value.Real r)
+    | None -> Error (Printf.sprintf "bad real literal %S" s))
+  | _ -> Error (Printf.sprintf "bad value %s" (J.to_string j))
+
+let rec result_map f = function
+  | [] -> Ok []
+  | x :: rest -> (
+    match f x with
+    | Error _ as e -> e
+    | Ok y -> ( match result_map f rest with Ok ys -> Ok (y :: ys) | e -> e))
+
+let outputs_to_json outputs =
+  J.List
+    (List.map
+       (fun (name, packets) ->
+         J.Obj
+           [ ("name", J.String name);
+             ( "packets",
+               J.List
+                 (List.map
+                    (fun (t, v) -> J.List [ J.Int t; value_to_json v ])
+                    packets) ) ])
+       outputs)
+
+let outputs_of_json j =
+  match j with
+  | J.List streams ->
+    result_map
+      (fun s ->
+        match (J.get_string (J.member "name" s), J.member "packets" s) with
+        | Some name, J.List packets -> (
+          match
+            result_map
+              (function
+                | J.List [ J.Int t; v ] -> (
+                  match value_of_json v with
+                  | Ok v -> Ok (t, v)
+                  | Error _ as e -> e)
+                | p -> Error (Printf.sprintf "bad packet %s" (J.to_string p)))
+              packets
+          with
+          | Ok packets -> Ok (name, packets)
+          | Error _ as e -> e)
+        | _ -> Error (Printf.sprintf "bad stream %s" (J.to_string s)))
+      streams
+  | _ -> Error "outputs: expected a list"
+
+(* ---------------- requests ---------------- *)
+
+type program =
+  | Kernel of { name : string; size : int }
+  | Source of {
+      source : string;
+      scalars : (string * Value.t) list;
+      input_seed : int;
+    }
+
+type watchdog_spec = Off | Auto | At of int
+
+type run = {
+  program : program;
+  waves : int;
+  engine : [ `Sim | `Machine ];
+  n_pe : int option;
+  stored : bool;
+  fault : string option;
+  fault_seed : int option;
+  recovery : string option;
+  integrity : bool;
+  watchdog : watchdog_spec;
+  max_time : int option;
+  sanitize : bool;
+}
+
+let default_run program =
+  { program;
+    waves = 1;
+    engine = `Sim;
+    n_pe = None;
+    stored = false;
+    fault = None;
+    fault_seed = None;
+    recovery = None;
+    integrity = false;
+    watchdog = Off;
+    max_time = None;
+    sanitize = false }
+
+type request =
+  | Compile of program
+  | Simulate of run
+  | Cancel of int
+  | Stats
+  | Shutdown
+
+let program_fields = function
+  | Kernel { name; size } -> [ ("kernel", J.String name); ("size", J.Int size) ]
+  | Source { source; scalars; input_seed } ->
+    [ ("source", J.String source);
+      ("scalars", J.Obj (List.map (fun (n, v) -> (n, value_to_json v)) scalars));
+      ("input_seed", J.Int input_seed) ]
+
+let run_fields r =
+  program_fields r.program
+  @ [ ("waves", J.Int r.waves);
+      ("engine", J.String (match r.engine with `Sim -> "sim" | `Machine -> "machine")) ]
+  @ (match r.n_pe with Some n -> [ ("pe", J.Int n) ] | None -> [])
+  @ (if r.stored then [ ("stored", J.Bool true) ] else [])
+  @ (match r.fault with Some s -> [ ("fault", J.String s) ] | None -> [])
+  @ (match r.fault_seed with Some n -> [ ("fault_seed", J.Int n) ] | None -> [])
+  @ (match r.recovery with Some s -> [ ("recovery", J.String s) ] | None -> [])
+  @ (if r.integrity then [ ("integrity", J.Bool true) ] else [])
+  @ (match r.watchdog with
+    | Off -> []
+    | Auto -> [ ("watchdog", J.String "auto") ]
+    | At n -> [ ("watchdog", J.Int n) ])
+  @ (match r.max_time with Some n -> [ ("max_time", J.Int n) ] | None -> [])
+  @ if r.sanitize then [ ("sanitize", J.Bool true) ] else []
+
+let request_to_json ~id req =
+  let verb, fields =
+    match req with
+    | Compile p -> ("compile", program_fields p)
+    | Simulate r -> ("simulate", run_fields r)
+    | Cancel target -> ("cancel", [ ("target", J.Int target) ])
+    | Stats -> ("stats", [])
+    | Shutdown -> ("shutdown", [])
+  in
+  J.Obj (("id", J.Int id) :: ("verb", J.String verb) :: fields)
+
+let program_of_json j =
+  match (J.get_string (J.member "kernel" j), J.get_string (J.member "source" j)) with
+  | Some _, Some _ -> Error "both kernel and source given"
+  | Some name, None ->
+    let size = Option.value ~default:12 (J.get_int (J.member "size" j)) in
+    if size < 1 then Error "size must be positive"
+    else Ok (Kernel { name; size })
+  | None, Some source -> (
+    let input_seed =
+      Option.value ~default:1 (J.get_int (J.member "input_seed" j))
+    in
+    match J.member "scalars" j with
+    | J.Null -> Ok (Source { source; scalars = []; input_seed })
+    | J.Obj kvs -> (
+      match
+        result_map
+          (fun (n, v) ->
+            match value_of_json v with Ok v -> Ok (n, v) | Error _ as e -> e)
+          kvs
+      with
+      | Ok scalars -> Ok (Source { source; scalars; input_seed })
+      | Error e -> Error ("scalars: " ^ e))
+    | _ -> Error "scalars must be an object")
+  | None, None -> Error "request names neither kernel nor source"
+
+let run_of_json j =
+  match program_of_json j with
+  | Error _ as e -> e
+  | Ok program -> (
+    let waves = Option.value ~default:1 (J.get_int (J.member "waves" j)) in
+    let engine_s =
+      Option.value ~default:"sim" (J.get_string (J.member "engine" j))
+    in
+    let engine_ok =
+      match engine_s with
+      | "sim" -> Ok `Sim
+      | "machine" -> Ok `Machine
+      | s -> Error (Printf.sprintf "unknown engine %S" s)
+    in
+    let watchdog_ok =
+      match J.member "watchdog" j with
+      | J.Null -> Ok Off
+      | J.String "auto" -> Ok Auto
+      | J.Int n when n > 0 -> Ok (At n)
+      | w -> Error (Printf.sprintf "bad watchdog %s" (J.to_string w))
+    in
+    match (engine_ok, watchdog_ok) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok engine, Ok watchdog ->
+      if waves < 1 then Error "waves must be positive"
+      else
+        Ok
+          { program;
+            waves;
+            engine;
+            n_pe = J.get_int (J.member "pe" j);
+            stored =
+              Option.value ~default:false (J.get_bool (J.member "stored" j));
+            fault = J.get_string (J.member "fault" j);
+            fault_seed = J.get_int (J.member "fault_seed" j);
+            recovery = J.get_string (J.member "recovery" j);
+            integrity =
+              Option.value ~default:false (J.get_bool (J.member "integrity" j));
+            watchdog;
+            max_time = J.get_int (J.member "max_time" j);
+            sanitize =
+              Option.value ~default:false (J.get_bool (J.member "sanitize" j));
+          })
+
+let request_of_json j =
+  match (J.get_int (J.member "id" j), J.get_string (J.member "verb" j)) with
+  | None, _ -> Error "missing id"
+  | _, None -> Error "missing verb"
+  | Some id, Some verb -> (
+    let wrap = function Ok r -> Ok (id, r) | Error e -> Error e in
+    match verb with
+    | "compile" -> wrap (Result.map (fun p -> Compile p) (program_of_json j))
+    | "simulate" -> wrap (Result.map (fun r -> Simulate r) (run_of_json j))
+    | "cancel" -> (
+      match J.get_int (J.member "target" j) with
+      | Some t -> Ok (id, Cancel t)
+      | None -> Error "cancel: missing target")
+    | "stats" -> Ok (id, Stats)
+    | "shutdown" -> Ok (id, Shutdown)
+    | v -> Error (Printf.sprintf "unknown verb %S" v))
+
+(* ---------------- responses ---------------- *)
+
+type error_kind =
+  | Bad_request
+  | Compile_error
+  | Unknown_verb
+  | Overloaded
+  | Cancelled
+  | Run_error
+  | Shutting_down
+
+let error_kind_to_string = function
+  | Bad_request -> "bad_request"
+  | Compile_error -> "compile_error"
+  | Unknown_verb -> "unknown_verb"
+  | Overloaded -> "overloaded"
+  | Cancelled -> "cancelled"
+  | Run_error -> "run_error"
+  | Shutting_down -> "shutting_down"
+
+let error_kind_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "compile_error" -> Some Compile_error
+  | "unknown_verb" -> Some Unknown_verb
+  | "overloaded" -> Some Overloaded
+  | "cancelled" -> Some Cancelled
+  | "run_error" -> Some Run_error
+  | "shutting_down" -> Some Shutting_down
+  | _ -> None
+
+let ok ~id ~verb fields =
+  J.Obj
+    (("id", J.Int id) :: ("ok", J.Bool true) :: ("verb", J.String verb)
+   :: fields)
+
+let error ?(extra = []) ~id kind message =
+  J.Obj
+    (("id", J.Int id) :: ("ok", J.Bool false)
+    :: ("error", J.String (error_kind_to_string kind))
+    :: ("message", J.String message)
+    :: extra)
+
+let response_id j = J.get_int (J.member "id" j)
+
+let response_ok j =
+  Option.value ~default:false (J.get_bool (J.member "ok" j))
+
+let response_error j =
+  if response_ok j then None
+  else
+    match J.get_string (J.member "error" j) with
+    | None -> None
+    | Some kind ->
+      Some
+        ( error_kind_of_string kind,
+          Option.value ~default:"" (J.get_string (J.member "message" j)) )
+
+let outcome_fields ~cache_hit ~key (o : Exec.Job.outcome) =
+  let metrics =
+    match (o.Exec.Job.sim_result, o.Exec.Job.machine_result) with
+    | Some r, _ -> Obs.Metrics_registry.to_json (Runspec.sim_registry r)
+    | _, Some r -> Obs.Metrics_registry.to_json (Runspec.machine_registry r)
+    | None, None -> J.Null
+  in
+  [ ("cache_hit", J.Bool cache_hit);
+    ("key", J.Int key);
+    ("outputs", outputs_to_json o.Exec.Job.outputs);
+    ("end_time", J.Int o.Exec.Job.end_time);
+    ("quiescent", J.Bool o.Exec.Job.quiescent);
+    ( "stall",
+      match o.Exec.Job.stall with
+      | None -> J.Null
+      | Some sr -> J.String (Fault.Stall_report.to_string sr) );
+    ( "violations",
+      J.List
+        (List.map
+           (fun v -> J.String (Fault.Violation.to_string v))
+           o.Exec.Job.violations) );
+    ("digest", J.Int (Integrity.digest_outputs o.Exec.Job.outputs));
+    ("metrics", metrics) ]

@@ -1,0 +1,119 @@
+open Dfg
+
+(** Wire format of the dfserve protocol.
+
+    Transport is newline-delimited JSON over a Unix-domain stream
+    socket: each request is one {!Obs.Json} object on one line, each
+    response likewise.  Requests carry a connection-scoped [id]; the
+    server answers every request exactly once, but {e not necessarily
+    in order} — responses stream back as jobs finish, and a client that
+    pipelines must match responses to requests by [id].
+
+    Reals are carried as ["%h"] hex-float strings (the
+    {!Recover.Checkpoint} convention), never as JSON numbers, so a
+    served value is bit-identical to the standalone run's value —
+    including NaN, infinities and -0.0.  [docs/SERVICE.md] is the prose
+    spec. *)
+
+(** {1 Requests} *)
+
+type program =
+  | Kernel of { name : string; size : int }
+      (** a built-in kernel subject; input waves are drawn exactly as
+          {!Runspec.compile_subject} draws them, so a served run is
+          bit-comparable to any standalone run of the same triple *)
+  | Source of {
+      source : string;  (** Val source text *)
+      scalars : (string * Value.t) list;
+      input_seed : int;
+          (** seed for {!Runspec.synth_wave} input synthesis — the same
+              convention [dfsim] uses, so served and local runs agree *)
+    }
+
+type watchdog_spec =
+  | Off
+  | Auto  (** {!Runspec.watchdog_for} over the request's fault spec *)
+  | At of int
+
+type run = {
+  program : program;
+  waves : int;
+  engine : [ `Sim | `Machine ];
+  n_pe : int option;  (** machine engine: PE count (default arch) *)
+  stored : bool;  (** machine engine: [Stored] array policy *)
+  fault : string option;  (** {!Fault.Fault_plan.of_string} spec *)
+  fault_seed : int option;  (** overrides the spec's seed field *)
+  recovery : string option;  (** {!Recover.of_string} policy spec *)
+  integrity : bool;
+  watchdog : watchdog_spec;
+  max_time : int option;
+  sanitize : bool;  (** fresh sanitizer per run, as {!Exec.Job} *)
+}
+
+val default_run : program -> run
+(** One wave, sim engine, no faults, no watchdog, no sanitizer. *)
+
+type request =
+  | Compile of program  (** compile (through the cache) but do not run *)
+  | Simulate of run
+  | Cancel of int  (** a request [id] on the same connection *)
+  | Stats
+  | Shutdown
+
+val request_to_json : id:int -> request -> Obs.Json.t
+
+val request_of_json : Obs.Json.t -> (int * request, string) result
+(** [Error] is a human-readable reason; the server wraps it in a
+    [bad_request] response. *)
+
+(** {1 Responses} *)
+
+type error_kind =
+  | Bad_request  (** undecodable request; never enqueued *)
+  | Compile_error  (** Val source rejected by the compiler *)
+  | Unknown_verb
+  | Overloaded  (** admission control: pending queue full *)
+  | Cancelled
+      (** the job was cancelled; a preempted machine run attaches its
+          restorable checkpoint under ["checkpoint"] *)
+  | Run_error  (** the engine raised; message carries the exception *)
+  | Shutting_down
+
+val error_kind_to_string : error_kind -> string
+val error_kind_of_string : string -> error_kind option
+
+val ok : id:int -> verb:string -> (string * Obs.Json.t) list -> Obs.Json.t
+(** [{"id":id,"ok":true,"verb":verb,...fields}]. *)
+
+val error :
+  ?extra:(string * Obs.Json.t) list ->
+  id:int ->
+  error_kind ->
+  string ->
+  Obs.Json.t
+(** [{"id":id,"ok":false,"error":kind,"message":msg,...extra}]. *)
+
+val response_id : Obs.Json.t -> int option
+val response_ok : Obs.Json.t -> bool
+val response_error : Obs.Json.t -> (error_kind option * string) option
+(** [Some (kind, message)] when the response is an error. *)
+
+(** {1 Values and output streams on the wire} *)
+
+val value_to_json : Value.t -> Obs.Json.t
+(** [{"i":n}], [{"b":b}] or [{"r":"<%h literal>"}]. *)
+
+val value_of_json : Obs.Json.t -> (Value.t, string) result
+
+val outputs_to_json : (string * (int * Value.t) list) list -> Obs.Json.t
+(** [[{"name":s,"packets":[[t,value],...]},...]] — arrival order
+    preserved. *)
+
+val outputs_of_json :
+  Obs.Json.t -> ((string * (int * Value.t) list) list, string) result
+
+val outcome_fields :
+  cache_hit:bool -> key:int -> Exec.Job.outcome -> (string * Obs.Json.t) list
+(** The simulate-response payload: outputs, end time, quiescence, stall
+    text, violations, the {!Integrity.digest_outputs} digest, the cache
+    key and hit flag, and the run's metrics-registry snapshot. *)

@@ -1,0 +1,151 @@
+module J = Obs.Json
+module P = Protocol
+module FP = Fault.Fault_plan
+module K = Kernels
+
+type report = {
+  checked : int;
+  failures : string list;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+(* One deterministic scenario: a request plus nothing else — the
+   expected result is recomputed standalone from the same request. *)
+let scenario ~seed ~client ~index =
+  let kernels = List.map (fun k -> k.K.name) K.all in
+  let st = Random.State.make [| seed; client; index |] in
+  let pick xs = List.nth xs (Random.State.int st (List.length xs)) in
+  (* a small kernel pool per client keeps the cache hot on purpose *)
+  let name = List.nth kernels ((client + Random.State.int st 3) mod List.length kernels) in
+  let program = P.Kernel { name; size = 8 } in
+  let base = P.default_run program in
+  let base = { base with P.waves = 2; sanitize = true } in
+  let fault_seed = 100 + (client * 37) + index in
+  match pick [ `Clean_sim; `Delay_sim; `Clean_machine; `Delay_machine; `Heal ] with
+  | `Clean_sim -> base
+  | `Delay_sim ->
+    { base with
+      P.fault = Some (FP.to_string { FP.none with FP.delay_prob = 0.2; seed = fault_seed }) }
+  | `Clean_machine -> { base with P.engine = `Machine }
+  | `Delay_machine ->
+    { base with
+      P.engine = `Machine;
+      fault =
+        Some
+          (FP.to_string
+             { FP.none with
+               FP.delay_prob = 0.25;
+               stall_prob = 0.05;
+               seed = fault_seed });
+      watchdog = P.Auto }
+  | `Heal ->
+    { base with
+      P.engine = `Machine;
+      fault =
+        Some
+          (FP.to_string
+             { FP.none with
+               FP.drop_prob = 0.02;
+               corrupt_prob = 0.02;
+               seed = fault_seed });
+      recovery = Some (Recover.to_string Recover.default);
+      integrity = true;
+      watchdog = P.Auto }
+
+(* The standalone reference: the exact Exec.Job the server claims to be
+   bit-identical to. *)
+let standalone (r : P.run) =
+  match (Server.config_of_run r, Server.subject_of_program r.P.program ~waves:r.P.waves) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (cfg, arch), Ok (graph, inputs, name) ->
+    let engine =
+      match r.P.engine with
+      | `Sim -> Exec.Job.Sim
+      | `Machine -> Exec.Job.Machine arch
+    in
+    Ok
+      (Exec.Job.run
+         (Exec.Job.make ~name ~engine ~config:cfg ~sanitize:r.P.sanitize
+            (Exec.Job.Graph_program graph) ~inputs))
+
+(* Fields that must agree bit for bit between the served response and
+   the standalone outcome.  cache_hit/key are server-side and excluded;
+   metrics derive from the engine result, so they are compared too. *)
+let compare_fields = [ "outputs"; "digest"; "end_time"; "quiescent"; "stall"; "violations"; "metrics" ]
+
+let check_response ~label resp (expected : Exec.Job.outcome) =
+  if not (P.response_ok resp) then
+    [ Printf.sprintf "%s: server error %s" label (J.to_string resp) ]
+  else
+    let want = J.Obj (P.outcome_fields ~cache_hit:false ~key:0 expected) in
+    List.concat_map
+      (fun f ->
+        let got = J.to_string (J.member f resp) in
+        let exp = J.to_string (J.member f want) in
+        if got = exp then []
+        else
+          [ Printf.sprintf "%s: %s differs\n  served:     %s\n  standalone: %s"
+              label f got exp ])
+      compare_fields
+
+let client_session ~socket ~seed ~client ~jobs =
+  let conn = Client.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Client.close conn)
+    (fun () ->
+      (* pipeline everything, then await in order: responses may come
+         back out of order and the stash must reassemble them *)
+      let runs = List.init jobs (fun index -> scenario ~seed ~client ~index) in
+      let ids = List.map (fun r -> Client.send conn (P.Simulate r)) runs in
+      List.concat
+        (List.map2
+           (fun r id ->
+             let label = Printf.sprintf "client %d job %d" client id in
+             let resp = Client.await conn id in
+             match standalone r with
+             | Error e -> [ Printf.sprintf "%s: standalone failed: %s" label e ]
+             | Ok expected -> check_response ~label resp expected)
+           runs ids))
+
+let run ?(clients = 4) ?(jobs_per_client = 6) ?(workers = 3) ?(seed = 1)
+    ?log () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dfserve-selftest-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    { (Server.default_config ~socket_path:socket) with
+      Server.workers;
+      max_pending = clients * jobs_per_client + 8;
+      log }
+  in
+  let server = Server.create config in
+  let server_domain = Domain.spawn (fun () -> Server.serve server) in
+  let finish () =
+    (try
+       let conn = Client.connect socket in
+       ignore (Client.rpc conn P.Shutdown);
+       Client.close conn
+     with _ -> ());
+    Domain.join server_domain
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let sessions =
+        List.init clients (fun client ->
+            Domain.spawn (fun () ->
+                try client_session ~socket ~seed ~client ~jobs:jobs_per_client
+                with e ->
+                  [ Printf.sprintf "client %d died: %s" client
+                      (Printexc.to_string e) ]))
+      in
+      let failures = List.concat_map Domain.join sessions in
+      let conn = Client.connect socket in
+      let stats = Client.rpc conn P.Stats in
+      Client.close conn;
+      let stat f = Option.value ~default:0 (J.get_int (J.member f stats)) in
+      { checked = clients * jobs_per_client;
+        failures;
+        cache_hits = stat "cache_hits";
+        cache_misses = stat "cache_misses" })

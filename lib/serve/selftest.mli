@@ -1,0 +1,30 @@
+(** Chaos-style soak of a live server: zero cross-request interference.
+
+    Starts a real server on a private socket, fans [clients] concurrent
+    client domains over it — each replaying a deterministic mix of
+    clean, delay-faulted and recovery-healed jobs on both engines —
+    and requires every served response to be {e bit-identical} to the
+    same job run standalone through {!Exec.Job.run} in this process:
+    same output packets (compared as wire JSON), same digest, end time,
+    quiescence, stall text and violations.  A cache-hot workload by
+    construction, so the compiled-program cache and fair queueing are
+    exercised under real contention.
+
+    This is what [dfserve --selftest] runs. *)
+
+type report = {
+  checked : int;  (** simulate responses verified *)
+  failures : string list;  (** one line per mismatch, empty on success *)
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val run :
+  ?clients:int ->
+  ?jobs_per_client:int ->
+  ?workers:int ->
+  ?seed:int ->
+  ?log:out_channel ->
+  unit ->
+  report
+(** Defaults: 4 clients × 6 jobs, 3 workers, seed 1. *)

@@ -1,0 +1,664 @@
+open Dfg
+module J = Obs.Json
+module P = Protocol
+module FP = Fault.Fault_plan
+module PC = Compiler.Program_compile
+module ME = Machine.Machine_engine
+module K = Kernels
+
+type config = {
+  socket_path : string;
+  workers : int;
+  max_pending : int;
+  cache_capacity : int;
+  slice : int;
+  log : out_channel option;
+}
+
+let default_config ~socket_path =
+  { socket_path;
+    workers = Exec.Pool.default_jobs ();
+    max_pending = 64;
+    cache_capacity = 32;
+    slice = 5000;
+    log = None }
+
+(* ---------------- request resolution ---------------- *)
+
+let value_text = function
+  | Value.Int i -> string_of_int i
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Real r -> Printf.sprintf "%h" r
+
+(* The cache key: an FNV-1a checksum of the canonical source text plus
+   scalar bindings.  A kernel request and a source request carrying the
+   same generated text share an entry. *)
+let cache_key source scalars =
+  Integrity.checksum_string
+    (source ^ "\x00"
+    ^ String.concat ";"
+        (List.map (fun (n, v) -> n ^ "=" ^ value_text v) scalars))
+
+let source_of_program = function
+  | P.Kernel { name; size } ->
+    let k = K.find name in
+    (k.K.source size, k.K.scalar_inputs)
+  | P.Source { source; scalars; _ } -> (source, scalars)
+
+let inputs_of_program program ~waves (compiled : PC.compiled) =
+  match program with
+  | P.Kernel { name; size } ->
+    (* the deterministic draw every builder of this triple uses *)
+    let k = K.find name in
+    let st = Random.State.make [| Hashtbl.hash k.K.name |] in
+    Runspec.feeds compiled ~waves (k.K.inputs size st)
+  | P.Source { input_seed; _ } ->
+    Runspec.feeds compiled ~waves
+      (List.map
+         (fun (name, shape) ->
+           ( name,
+             Runspec.synth_wave ~seed:input_seed
+               ~elt:shape.Val_lang.Classify.sh_elt
+               ~size:(PC.wave_size shape) name ))
+         compiled.PC.cp_inputs)
+
+let program_name = function
+  | P.Kernel { name; size } -> Printf.sprintf "%s[%d]" name size
+  | P.Source _ -> "source"
+
+let subject_of_program program ~waves =
+  match source_of_program program with
+  | exception Not_found -> (
+    match program with
+    | P.Kernel { name; _ } ->
+      Error
+        (Printf.sprintf "unknown kernel %s (have: %s)" name
+           (String.concat ", " (List.map (fun k -> k.K.name) K.all)))
+    | P.Source _ -> Error "unreachable")
+  | source, scalars -> (
+    match Compiler.Driver.compile_source ~scalar_inputs:scalars source with
+    | _, compiled ->
+      Ok
+        ( compiled.PC.cp_graph,
+          inputs_of_program program ~waves compiled,
+          program_name program )
+    | exception e -> Error (Printexc.to_string e))
+
+let config_of_run (r : P.run) =
+  let fault =
+    match r.fault with
+    | None -> Ok None
+    | Some s -> (
+      match Runspec.fault_spec_of_string s with
+      | Error e -> Error e
+      | Ok spec -> (
+        let spec =
+          match r.fault_seed with
+          | Some seed -> { spec with FP.seed }
+          | None -> spec
+        in
+        match FP.make spec with
+        | plan -> Ok (Some (spec, plan))
+        | exception Invalid_argument m -> Error m))
+  in
+  let recovery =
+    match r.recovery with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (Runspec.recovery_of_string s)
+  in
+  match (fault, recovery) with
+  | Error e, _ -> Error ("fault: " ^ e)
+  | _, Error e -> Error ("recovery: " ^ e)
+  | Ok fault, Ok recovery -> (
+    let watchdog =
+      match r.P.watchdog with
+      | P.Off -> Ok None
+      | P.At n -> Ok (Some n)
+      | P.Auto -> (
+        match
+          (fault, Runspec.fault_spec_of_string "")
+        with
+        | Some (spec, _), _ | None, Ok spec ->
+          Ok (Some (Runspec.watchdog_for spec recovery))
+        | None, Error _ -> Error "watchdog=auto needs a fault spec")
+    in
+    match watchdog with
+    | Error e -> Error e
+    | Ok watchdog ->
+      let max_time =
+        match (r.P.max_time, r.P.engine) with
+        | Some t, _ -> t
+        | None, `Machine -> ME.default_max_time
+        | None, `Sim -> Run_config.default.Run_config.max_time
+      in
+      let cfg =
+        Run_config.(
+          default |> with_max_time max_time
+          |> with_fault_opt (Option.map snd fault)
+          |> with_recovery_opt recovery
+          |> with_integrity r.P.integrity
+          |> with_watchdog_opt watchdog)
+      in
+      let arch =
+        { Machine.Arch.default with
+          Machine.Arch.n_pe =
+            Option.value r.P.n_pe ~default:Machine.Arch.default.Machine.Arch.n_pe;
+          array_policy =
+            (if r.P.stored then Machine.Arch.Stored else Machine.Arch.Streamed);
+        }
+      in
+      Ok (cfg, arch))
+
+(* ---------------- jobs ---------------- *)
+
+type job_result =
+  | R_outcome of Exec.Job.outcome
+  | R_preempted of J.t  (* restorable checkpoint document *)
+  | R_error of P.error_kind * string
+
+type client = {
+  fd : Unix.file_descr;
+  cid : int;
+  rbuf : Buffer.t;  (* partial request line *)
+  queue : job Queue.t;  (* admitted, not yet dispatched *)
+  mutable running : job list;  (* dispatched, not yet completed *)
+  mutable in_flight : int;
+  mutable closed : bool;
+}
+
+and job = {
+  jc : client;
+  jid : int;
+  jengine : [ `Sim | `Machine ];
+  jhit : bool;
+  jkey : int;
+  jcancel : bool Atomic.t;
+  mutable janswered : bool;  (* response already sent (queued cancel) *)
+  jwork : cancel:bool Atomic.t -> job_result;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  pool : Exec.Pool.t;
+  cache : (int, PC.compiled) Lru.t;
+  clients : (int, client) Hashtbl.t;
+  mutable rr : int list;  (* round-robin rotation of client ids *)
+  mutable next_cid : int;
+  completions : (job * job_result) Queue.t;
+  cmutex : Mutex.t;
+  mutable queued : int;
+  mutable in_flight : int;
+  mutable stopping : bool;
+  mutable n_requests : int;
+  mutable n_completed : int;
+  mutable n_rejected : int;
+  mutable n_cancelled : int;
+  mutable n_preempted : int;
+  mutable n_errors : int;
+}
+
+let logf t fmt =
+  Printf.ksprintf
+    (fun s ->
+      match t.cfg.log with
+      | None -> ()
+      | Some oc ->
+        output_string oc ("dfserve: " ^ s ^ "\n");
+        flush oc)
+    fmt
+
+let create cfg =
+  if cfg.workers < 1 then invalid_arg "Server.create: workers < 1";
+  if cfg.max_pending < 1 then invalid_arg "Server.create: max_pending < 1";
+  if cfg.slice < 1 then invalid_arg "Server.create: slice < 1";
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 16;
+  let pipe_r, pipe_w = Unix.pipe () in
+  { cfg;
+    listen_fd;
+    pipe_r;
+    pipe_w;
+    pool = Exec.Pool.create ~workers:cfg.workers ();
+    cache = Lru.create ~capacity:cfg.cache_capacity;
+    clients = Hashtbl.create 16;
+    rr = [];
+    next_cid = 1;
+    completions = Queue.create ();
+    cmutex = Mutex.create ();
+    queued = 0;
+    in_flight = 0;
+    stopping = false;
+    n_requests = 0;
+    n_completed = 0;
+    n_rejected = 0;
+    n_cancelled = 0;
+    n_preempted = 0;
+    n_errors = 0 }
+
+(* ---------------- response plumbing ---------------- *)
+
+let close_client t c =
+  if not c.closed then begin
+    c.closed <- true;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove t.clients c.cid;
+    t.rr <- List.filter (fun cid -> cid <> c.cid) t.rr;
+    (* queued jobs can never be answered; running ones are preempted so
+       their workers free up, and their completions are dropped *)
+    Queue.iter
+      (fun j -> if not j.janswered then begin
+          j.janswered <- true;
+          t.queued <- t.queued - 1
+        end)
+      c.queue;
+    Queue.clear c.queue;
+    List.iter (fun j -> Atomic.set j.jcancel true) c.running;
+    logf t "client %d disconnected" c.cid
+  end
+
+let send_json t c json =
+  if not c.closed then begin
+    let line = J.to_string json ^ "\n" in
+    let bytes = Bytes.of_string line in
+    let len = Bytes.length bytes in
+    let rec write_all off =
+      if off < len then
+        let n = Unix.write c.fd bytes off (len - off) in
+        write_all (off + n)
+    in
+    try write_all 0
+    with Unix.Unix_error _ | Sys_error _ -> close_client t c
+  end
+
+(* ---------------- admission and dispatch ---------------- *)
+
+let compile_cached t program =
+  let source, scalars = source_of_program program in
+  let key = cache_key source scalars in
+  match Lru.find t.cache key with
+  | Some compiled -> (key, compiled, true)
+  | None ->
+    let _, compiled =
+      Compiler.Driver.compile_source ~scalar_inputs:scalars source
+    in
+    Lru.add t.cache key compiled;
+    (key, compiled, false)
+
+let outcome_of_machine_result name (r : ME.result) =
+  { Exec.Job.job_name = name;
+    outputs = r.ME.outputs;
+    end_time = r.ME.end_time;
+    quiescent = r.ME.quiescent;
+    stall = r.ME.stall;
+    violations = r.ME.violations;
+    sim_result = None;
+    machine_result = Some r }
+
+(* The worker-side body of one simulate job.  Graph-engine jobs go
+   through Exec.Job.run itself — the served path IS the standalone
+   path.  Machine jobs replicate Job.run's machine branch through the
+   resumable engine so a cancel can preempt at a slice boundary. *)
+let make_work ~engine ~arch ~run_cfg ~sanitize ~slice ~graph ~inputs ~name =
+  fun ~cancel ->
+  try
+    match engine with
+    | `Sim ->
+      R_outcome
+        (Exec.Job.run
+           (Exec.Job.make ~name ~engine:Exec.Job.Sim ~config:run_cfg ~sanitize
+              (Exec.Job.Graph_program graph) ~inputs))
+    | `Machine ->
+      let cfg =
+        if sanitize then
+          Run_config.with_sanitizer (Fault.Sanitizer.create graph) run_cfg
+        else run_cfg
+      in
+      let m = ME.create_cfg cfg ~arch graph ~inputs in
+      let rec go until =
+        if Atomic.get cancel then
+          R_preempted (Recover.Checkpoint.to_json ~graph (ME.snapshot m))
+        else begin
+          ME.advance m ~until;
+          if ME.finished m then
+            R_outcome (outcome_of_machine_result name (ME.result m))
+          else go (until + slice)
+        end
+      in
+      go slice
+  with e -> R_error (P.Run_error, Printexc.to_string e)
+
+let notify t job result =
+  Mutex.lock t.cmutex;
+  Queue.add (job, result) t.completions;
+  Mutex.unlock t.cmutex;
+  (* a full pipe just means wakeups are already pending *)
+  try ignore (Unix.write t.pipe_w (Bytes.of_string "!") 0 1)
+  with Unix.Unix_error _ -> ()
+
+let submit t job =
+  t.in_flight <- t.in_flight + 1;
+  job.jc.in_flight <- job.jc.in_flight + 1;
+  job.jc.running <- job :: job.jc.running;
+  ignore
+    (Exec.Pool.submit t.pool (fun () ->
+         let result = job.jwork ~cancel:job.jcancel in
+         notify t job result))
+
+(* Round-robin: rotate the client ring until a live, nonempty queue
+   yields an unanswered job. *)
+let next_job t =
+  let n = List.length t.rr in
+  let rec hunt k =
+    if k = 0 then None
+    else
+      match t.rr with
+      | [] -> None
+      | cid :: rest -> (
+        t.rr <- rest @ [ cid ];
+        match Hashtbl.find_opt t.clients cid with
+        | None -> hunt (k - 1)
+        | Some c ->
+          let rec pop () =
+            match Queue.take_opt c.queue with
+            | None -> hunt (k - 1)
+            | Some j when j.janswered -> pop () (* cancelled carcass *)
+            | Some j -> Some j
+          in
+          pop ())
+  in
+  hunt n
+
+let rec dispatch t =
+  if t.in_flight < t.cfg.workers && t.queued > 0 then
+    match next_job t with
+    | None -> ()
+    | Some job ->
+      t.queued <- t.queued - 1;
+      submit t job;
+      dispatch t
+
+(* ---------------- verbs ---------------- *)
+
+let stats_fields t =
+  [ ("requests", J.Int t.n_requests);
+    ("completed", J.Int t.n_completed);
+    ("rejections", J.Int t.n_rejected);
+    ("cancelled", J.Int t.n_cancelled);
+    ("preempted", J.Int t.n_preempted);
+    ("run_errors", J.Int t.n_errors);
+    ("cache_hits", J.Int (Lru.hits t.cache));
+    ("cache_misses", J.Int (Lru.misses t.cache));
+    ("cache_entries", J.Int (Lru.length t.cache));
+    ("cache_evictions", J.Int (Lru.evictions t.cache));
+    ("cache_capacity", J.Int (Lru.capacity t.cache));
+    ("queue_depth", J.Int t.queued);
+    ("in_flight", J.Int t.in_flight);
+    ("workers", J.Int t.cfg.workers);
+    ("clients", J.Int (Hashtbl.length t.clients)) ]
+
+let handle_compile t c id program =
+  match compile_cached t program with
+  | key, compiled, hit ->
+    send_json t c
+      (P.ok ~id ~verb:"compile"
+         [ ("key", J.Int key);
+           ("cache_hit", J.Bool hit);
+           ("cells", J.Int (Graph.node_count compiled.PC.cp_graph));
+           ( "inputs",
+             J.List
+               (List.map (fun (n, _) -> J.String n) compiled.PC.cp_inputs) );
+           ( "outputs",
+             J.List
+               (List.map (fun (n, _) -> J.String n) compiled.PC.cp_outputs) )
+         ])
+  | exception Not_found ->
+    send_json t c
+      (P.error ~id P.Compile_error
+         (match program with
+         | P.Kernel { name; _ } -> Printf.sprintf "unknown kernel %S" name
+         | P.Source _ -> "compile failed"))
+  | exception e ->
+    send_json t c (P.error ~id P.Compile_error (Printexc.to_string e))
+
+let handle_simulate t c id (r : P.run) =
+  if t.queued >= t.cfg.max_pending then begin
+    t.n_rejected <- t.n_rejected + 1;
+    send_json t c
+      (P.error ~id P.Overloaded
+         (Printf.sprintf "%d jobs pending (max %d)" t.queued
+            t.cfg.max_pending))
+  end
+  else
+    match config_of_run r with
+    | Error e -> send_json t c (P.error ~id P.Bad_request e)
+    | Ok (run_cfg, arch) -> (
+      match compile_cached t r.P.program with
+      | exception Not_found ->
+        send_json t c
+          (P.error ~id P.Compile_error
+             (match r.P.program with
+             | P.Kernel { name; _ } -> Printf.sprintf "unknown kernel %S" name
+             | P.Source _ -> "compile failed"))
+      | exception e ->
+        send_json t c (P.error ~id P.Compile_error (Printexc.to_string e))
+      | key, compiled, hit ->
+        let graph = compiled.PC.cp_graph in
+        let inputs = inputs_of_program r.P.program ~waves:r.P.waves compiled in
+        let name = program_name r.P.program in
+        let cancel = Atomic.make false in
+        let job =
+          { jc = c;
+            jid = id;
+            jengine = r.P.engine;
+            jhit = hit;
+            jkey = key;
+            jcancel = cancel;
+            janswered = false;
+            jwork =
+              make_work ~engine:r.P.engine ~arch ~run_cfg
+                ~sanitize:r.P.sanitize ~slice:t.cfg.slice ~graph ~inputs ~name
+          }
+        in
+        Queue.add job c.queue;
+        t.queued <- t.queued + 1;
+        dispatch t)
+
+let handle_cancel t c id target =
+  let state =
+    (* still queued on this connection? *)
+    let queued = ref None in
+    Queue.iter
+      (fun j -> if j.jid = target && not j.janswered then queued := Some j)
+      c.queue;
+    match !queued with
+    | Some j ->
+      j.janswered <- true;
+      Atomic.set j.jcancel true;
+      t.queued <- t.queued - 1;
+      t.n_cancelled <- t.n_cancelled + 1;
+      send_json t c
+        (P.error ~id:j.jid P.Cancelled "cancelled while queued");
+      "cancelled"
+    | None -> (
+      match List.find_opt (fun j -> j.jid = target) c.running with
+      | Some j ->
+        Atomic.set j.jcancel true;
+        (match j.jengine with
+        | `Machine -> "preempting"  (* checkpoint arrives with its response *)
+        | `Sim -> "running")  (* graph engine runs are not preemptible *)
+      | None -> "not_found")
+  in
+  send_json t c (P.ok ~id ~verb:"cancel" [ ("state", J.String state) ])
+
+(* ---------------- shutdown ---------------- *)
+
+let initiate_shutdown t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    logf t "shutdown: draining %d queued, %d in flight" t.queued t.in_flight;
+    Hashtbl.iter
+      (fun _ c ->
+        Queue.iter
+          (fun j ->
+            if not j.janswered then begin
+              j.janswered <- true;
+              t.queued <- t.queued - 1;
+              send_json t c
+                (P.error ~id:j.jid P.Shutting_down "server shutting down")
+            end)
+          c.queue;
+        Queue.clear c.queue)
+      t.clients;
+    (* preempt running machine jobs at their next slice *)
+    Hashtbl.iter
+      (fun _ c -> List.iter (fun j -> Atomic.set j.jcancel true) c.running)
+      t.clients
+  end
+
+(* ---------------- completions ---------------- *)
+
+let deliver t (job, result) =
+  t.in_flight <- t.in_flight - 1;
+  let c = job.jc in
+  c.in_flight <- c.in_flight - 1;
+  c.running <- List.filter (fun j -> j != job) c.running;
+  if not (c.closed || job.janswered) then begin
+    job.janswered <- true;
+    match result with
+    | R_outcome o ->
+      t.n_completed <- t.n_completed + 1;
+      send_json t c
+        (P.ok ~id:job.jid ~verb:"simulate"
+           (P.outcome_fields ~cache_hit:job.jhit ~key:job.jkey o))
+    | R_preempted checkpoint ->
+      t.n_preempted <- t.n_preempted + 1;
+      send_json t c
+        (P.error ~id:job.jid P.Cancelled "preempted at slice boundary"
+           ~extra:[ ("checkpoint", checkpoint) ])
+    | R_error (kind, msg) ->
+      t.n_errors <- t.n_errors + 1;
+      send_json t c (P.error ~id:job.jid kind msg)
+  end
+
+let drain_completions t =
+  (* clear the wakeup byte(s) first so no notification is lost *)
+  let buf = Bytes.create 64 in
+  (try ignore (Unix.read t.pipe_r buf 0 64) with Unix.Unix_error _ -> ());
+  let batch = Queue.create () in
+  Mutex.lock t.cmutex;
+  Queue.transfer t.completions batch;
+  Mutex.unlock t.cmutex;
+  Queue.iter (deliver t) batch;
+  dispatch t
+
+(* ---------------- the event loop ---------------- *)
+
+let handle_line t c line =
+  let line = String.trim line in
+  if line <> "" then begin
+    t.n_requests <- t.n_requests + 1;
+    match J.of_string line with
+    | exception J.Parse_error msg ->
+      send_json t c (P.error ~id:(-1) P.Bad_request msg)
+    | doc -> (
+      match P.request_of_json doc with
+      | Error msg ->
+        let id = Option.value ~default:(-1) (P.response_id doc) in
+        send_json t c (P.error ~id P.Bad_request msg)
+      | Ok (id, req) -> (
+        match req with
+        | P.Stats -> send_json t c (P.ok ~id ~verb:"stats" (stats_fields t))
+        | P.Shutdown ->
+          send_json t c (P.ok ~id ~verb:"shutdown" []);
+          initiate_shutdown t
+        | P.Cancel target -> handle_cancel t c id target
+        | _ when t.stopping ->
+          send_json t c
+            (P.error ~id P.Shutting_down "server shutting down")
+        | P.Compile program -> handle_compile t c id program
+        | P.Simulate r -> handle_simulate t c id r))
+  end
+
+let handle_readable t c =
+  let buf = Bytes.create 4096 in
+  match Unix.read c.fd buf 0 4096 with
+  | 0 -> close_client t c
+  | exception Unix.Unix_error _ -> close_client t c
+  | n ->
+    Buffer.add_subbytes c.rbuf buf 0 n;
+    (* consume complete lines, keep the partial tail *)
+    let data = Buffer.contents c.rbuf in
+    Buffer.clear c.rbuf;
+    let rec consume start =
+      match String.index_from_opt data start '\n' with
+      | None ->
+        Buffer.add_substring c.rbuf data start (String.length data - start)
+      | Some nl ->
+        handle_line t c (String.sub data start (nl - start));
+        if not c.closed then consume (nl + 1)
+    in
+    consume 0
+
+let accept_client t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ ->
+    let cid = t.next_cid in
+    t.next_cid <- cid + 1;
+    let c =
+      { fd;
+        cid;
+        rbuf = Buffer.create 256;
+        queue = Queue.create ();
+        running = [];
+        in_flight = 0;
+        closed = false }
+    in
+    Hashtbl.add t.clients cid c;
+    t.rr <- t.rr @ [ cid ];
+    logf t "client %d connected" cid
+
+let serve t =
+  logf t "listening on %s (%d workers, max_pending %d, cache %d, slice %d)"
+    t.cfg.socket_path t.cfg.workers t.cfg.max_pending
+    (Lru.capacity t.cache) t.cfg.slice;
+  let finished () = t.stopping && t.in_flight = 0 && t.queued = 0 in
+  while not (finished ()) do
+    let client_fds =
+      Hashtbl.fold (fun _ c acc -> c.fd :: acc) t.clients []
+    in
+    let watch =
+      t.pipe_r :: (if t.stopping then [] else [ t.listen_fd ]) @ client_fds
+    in
+    match Unix.select watch [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = t.pipe_r then drain_completions t
+          else if fd = t.listen_fd && not t.stopping then accept_client t
+          else
+            (* the client set may have changed within this batch *)
+            Hashtbl.iter
+              (fun _ c -> if c.fd = fd && not c.closed then handle_readable t c)
+              t.clients)
+        readable
+  done;
+  logf t "drained; closing";
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    t.clients;
+  Hashtbl.reset t.clients;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  Exec.Pool.shutdown t.pool;
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
+  logf t "stopped after %d requests (%d completed, %d rejected)"
+    t.n_requests t.n_completed t.n_rejected
+
+let run cfg = serve (create cfg)

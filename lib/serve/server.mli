@@ -1,0 +1,77 @@
+(** The dfserve engine: a persistent compile-and-simulate service.
+
+    One event-loop thread owns a Unix-domain listening socket, a
+    compiled-program {!Lru} cache and the per-client request queues; an
+    {!Exec.Pool} of worker domains runs the simulations.  The loop
+    multiplexes with [Unix.select] over the listening socket, every
+    client socket and a self-pipe that workers write one byte to when a
+    job finishes, so completions are delivered promptly without
+    polling.
+
+    {b Fair queueing}: admitted jobs wait in per-client FIFO queues and
+    are dispatched round-robin across clients, at most [workers] in
+    flight, so one chatty client cannot starve the others and the
+    pool's internal FIFO never reorders across clients.  Admission is
+    bounded: when [max_pending] jobs are already waiting, new simulate
+    requests are rejected with a structured [overloaded] error instead
+    of queueing without bound.
+
+    {b Bit-identity}: the server compiles through the cache and then
+    runs the request exactly as {!Exec.Job.run} would run the
+    equivalent [Graph_program] job — graph-engine jobs literally call
+    [Exec.Job.run]; machine jobs run the same configuration through the
+    resumable {!Machine.Machine_engine} in bounded [slice]-length
+    steps, which the engine guarantees is bit-identical to a one-shot
+    run.  Slicing is what makes long machine runs preemptible: a cancel
+    or shutdown takes effect at the next slice boundary and the
+    response carries a restorable {!Recover.Checkpoint} document. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** simulation worker domains *)
+  max_pending : int;  (** admission bound on jobs waiting to dispatch *)
+  cache_capacity : int;  (** compiled-program cache entries *)
+  slice : int;
+      (** machine-engine preemption granularity, simulation-time units *)
+  log : out_channel option;  (** one line per lifecycle event *)
+}
+
+val default_config : socket_path:string -> config
+(** [workers = Exec.Pool.default_jobs ()], [max_pending = 64],
+    [cache_capacity = 32], [slice = 5000], no log. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (replacing any stale socket file) and spawn the
+    worker pool.  @raise Unix.Unix_error when the path is unusable. *)
+
+val serve : t -> unit
+(** Run the event loop until a [shutdown] request arrives, then drain:
+    queued jobs are answered [shutting_down], running machine jobs are
+    preempted at their next slice, and once every in-flight job has
+    been answered the socket is closed and removed and the pool joined. *)
+
+val run : config -> unit
+(** [serve (create config)]. *)
+
+val config_of_run :
+  Protocol.run -> (Run_config.t * Machine.Arch.t, string) result
+(** The exact engine configuration the server builds for a simulate
+    request (fault plan, recovery policy, integrity, watchdog,
+    max-time; the sanitizer is {e not} included — it is created fresh
+    per run, as {!Exec.Job} does).  Exposed so clients and tests can
+    construct the standalone {!Exec.Job} a served response must be
+    bit-identical to.  Machine requests default [max_time] to
+    {!Machine.Machine_engine.default_max_time}, matching
+    {!Fault_diff.machine}. *)
+
+val subject_of_program :
+  Protocol.program ->
+  waves:int ->
+  (Dfg.Graph.t * (string * Dfg.Value.t list) list * string, string) result
+(** Compile (uncached) and feed a request's program: the graph, the
+    full packet streams, and the job name.  Kernel programs reproduce
+    {!Runspec.compile_subject}'s deterministic input draw; source
+    programs synthesize inputs with {!Runspec.synth_wave}.  This is the
+    reference a served run is compared against. *)

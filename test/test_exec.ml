@@ -213,9 +213,127 @@ let test_sweep_determinism () =
           row.Exec.Sweep.r_pe;
         checkb (row.Exec.Sweep.r_kernel ^ " cell ok") true
           row.Exec.Sweep.r_ok
-      | Error e -> Alcotest.failf "cell failed: %s" e.Exec.Pool.message)
+      | Error (e : Exec.Pool.error) ->
+        Alcotest.failf "cell failed: %s" e.Exec.Pool.message)
     cells
     (Exec.Sweep.run_grid ~jobs:2 cells)
+
+(* ---------------- persistent pool under contention ---------------- *)
+
+(* Many more jobs than workers: every job runs exactly once, awaits
+   collect in submission order regardless of completion order, and the
+   pool drains completely. *)
+let test_pool_contention () =
+  let pool = Exec.Pool.create ~workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      let n = 64 in
+      let ran = Atomic.make 0 in
+      let tickets =
+        List.init n (fun i ->
+            Exec.Pool.submit pool (fun () ->
+                (* stagger so completion order differs from submission *)
+                if i mod 7 = 0 then Unix.sleepf 0.002;
+                Atomic.incr ran;
+                i * i))
+      in
+      let results = List.map Exec.Pool.await tickets in
+      check Alcotest.int "every job ran exactly once" n (Atomic.get ran);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Exec.Pool.Done v ->
+            check Alcotest.int "await i returns job i's value" (i * i) v
+          | Exec.Pool.Failed f -> Alcotest.failf "job %d failed: %s" i f.Exec.Pool.message
+          | Exec.Pool.Cancelled -> Alcotest.failf "job %d cancelled" i)
+        results;
+      (* a raising thunk settles Failed without poisoning the pool *)
+      let bad = Exec.Pool.submit pool (fun () -> failwith "boom") in
+      (match Exec.Pool.await bad with
+      | Exec.Pool.Failed f ->
+        checkb "failure message preserved" true
+          (String.length f.Exec.Pool.message > 0)
+      | _ -> Alcotest.fail "expected Failed");
+      match Exec.Pool.await (Exec.Pool.submit pool (fun () -> 41 + 1)) with
+      | Exec.Pool.Done 42 -> ()
+      | _ -> Alcotest.fail "pool unusable after a job failure")
+
+(* Queued jobs can be cancelled before a worker picks them up; running
+   or settled jobs cannot. *)
+let test_pool_cancellation () =
+  let pool = Exec.Pool.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      (* occupy the single worker until released *)
+      let release = Atomic.make false in
+      let blocker =
+        Exec.Pool.submit pool (fun () ->
+            while not (Atomic.get release) do
+              Unix.sleepf 0.001
+            done;
+            "done")
+      in
+      let ran = Atomic.make 0 in
+      let queued =
+        List.init 8 (fun i ->
+            Exec.Pool.submit pool (fun () ->
+                Atomic.incr ran;
+                i))
+      in
+      (* cancel half of them while the worker is still blocked *)
+      let cancelled =
+        List.filteri (fun i _ -> i mod 2 = 0) queued
+        |> List.map Exec.Pool.cancel
+      in
+      checkb "queued jobs cancel" true (List.for_all Fun.id cancelled);
+      Atomic.set release true;
+      (match Exec.Pool.await blocker with
+      | Exec.Pool.Done "done" -> ()
+      | _ -> Alcotest.fail "blocker should finish");
+      checkb "running job cannot be cancelled" false
+        (Exec.Pool.cancel blocker);
+      List.iteri
+        (fun i t ->
+          match (i mod 2 = 0, Exec.Pool.await t) with
+          | true, Exec.Pool.Cancelled -> ()
+          | true, _ -> Alcotest.failf "job %d should be Cancelled" i
+          | false, Exec.Pool.Done v ->
+            check Alcotest.int "survivor returns its value" i v
+          | false, _ -> Alcotest.failf "job %d should be Done" i)
+        queued;
+      check Alcotest.int "cancelled jobs never ran" 4 (Atomic.get ran);
+      checkb "settled job cannot be cancelled" false
+        (Exec.Pool.cancel (List.nth queued 1)))
+
+(* Shutdown settles still-queued work as Cancelled and rejects new
+   submissions instead of hanging them. *)
+let test_pool_shutdown () =
+  let pool = Exec.Pool.create ~workers:1 () in
+  let started = Atomic.make false in
+  let blocker =
+    Exec.Pool.submit pool (fun () ->
+        Atomic.set started true;
+        (* long enough that shutdown's queue drain below runs while the
+           worker is still in here *)
+        Unix.sleepf 0.2)
+  in
+  (* only submit the doomed job once the worker is provably busy *)
+  while not (Atomic.get started) do
+    Unix.sleepf 0.001
+  done;
+  let queued = Exec.Pool.submit pool (fun () -> "never") in
+  Exec.Pool.shutdown pool;
+  (match Exec.Pool.await blocker with
+  | Exec.Pool.Done () -> ()
+  | _ -> Alcotest.fail "running job finishes across shutdown");
+  (match Exec.Pool.await queued with
+  | Exec.Pool.Cancelled -> ()
+  | _ -> Alcotest.fail "queued job is Cancelled by shutdown");
+  match Exec.Pool.await (Exec.Pool.submit pool (fun () -> "late")) with
+  | Exec.Pool.Cancelled -> ()
+  | _ -> Alcotest.fail "post-shutdown submit settles Cancelled"
 
 let suite =
   [
@@ -229,4 +347,9 @@ let suite =
       test_wrapper_equivalence;
     Alcotest.test_case "sweep grid is deterministic" `Quick
       test_sweep_determinism;
+    Alcotest.test_case "persistent pool under contention" `Quick
+      test_pool_contention;
+    Alcotest.test_case "queued-job cancellation" `Quick test_pool_cancellation;
+    Alcotest.test_case "shutdown cancels queued work" `Quick
+      test_pool_shutdown;
   ]

@@ -22,4 +22,5 @@ let () =
       ("recover", Test_recover.suite);
       ("integrity", Test_integrity.suite);
       ("exec", Test_exec.suite);
+      ("serve", Test_serve.suite);
     ]

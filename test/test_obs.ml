@@ -245,6 +245,106 @@ let test_bench_schema () =
           (get_bool (member "ok" e2))
       | _ -> Alcotest.fail "expected two results")
 
+(* ---------------- JSON wire-format round trips ---------------- *)
+
+(* Structural equality with bit-exact floats: the printer must preserve
+   every finite double, including -0.0 and subnormals, which plain (=)
+   would conflate with their neighbours. *)
+let rec json_equal a b =
+  let open Obs.Json in
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | String x, String y -> String.equal x y
+  | List xs, List ys ->
+    List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Obj xs, Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+         xs ys
+  | _ -> false
+
+let roundtrips j = json_equal j (Obs.Json.of_string (Obs.Json.to_string j))
+
+let finite_float_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, float);
+        (2, map2 (fun m e -> ldexp m e) (float_range (-1.0) 1.0) (int_range (-1074) 1023));
+        (1, oneofl
+             [ 0.0; -0.0; 0.1; 1.0 /. 3.0; 1e15; 1e15 -. 1.0; 1e22;
+               max_float; min_float; epsilon_float; 4.9e-324;
+               9007199254740993.0; 1.2345678901234567 ]) ]
+    |> map (fun f -> if Float.is_nan f || Float.abs f = infinity then 0.5 else f))
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    frequency
+      [ (1, return Obs.Json.Null);
+        (2, map (fun b -> Obs.Json.Bool b) bool);
+        (4, map (fun i -> Obs.Json.Int i) int);
+        (4, map (fun f -> Obs.Json.Float f) finite_float_gen);
+        (4, map (fun s -> Obs.Json.String s) string) ]
+  in
+  sized_size (int_bound 4)
+    (fix (fun self depth ->
+         if depth = 0 then scalar
+         else
+           frequency
+             [ (3, scalar);
+               (1, map (fun xs -> Obs.Json.List xs)
+                     (list_size (int_bound 4) (self (depth - 1))));
+               (1, map (fun kvs -> Obs.Json.Obj kvs)
+                     (list_size (int_bound 4)
+                        (pair string (self (depth - 1))))) ]))
+
+let prop_tests =
+  let count = 500 in
+  [ QCheck.Test.make ~count ~name:"string round-trip (escapes, control chars)"
+      QCheck.string
+      (fun s -> roundtrips (Obs.Json.String s));
+    QCheck.Test.make ~count ~name:"int round-trip (full range)"
+      QCheck.(frequency [ (4, int); (1, oneofl [ min_int; max_int; 0; -1 ]) ])
+      (fun i -> roundtrips (Obs.Json.Int i));
+    QCheck.Test.make ~count ~name:"finite float round-trip (bit-exact)"
+      (QCheck.make ~print:(Printf.sprintf "%h") finite_float_gen)
+      (fun f -> roundtrips (Obs.Json.Float f));
+    QCheck.Test.make ~count:200 ~name:"nested document round-trip"
+      (QCheck.make ~print:Obs.Json.to_string json_gen)
+      roundtrips ]
+
+let test_json_corner_cases () =
+  let open Obs.Json in
+  (* non-finite reals have no JSON number form; they print as null and
+     travel as %h hex-float strings on wire formats that need them *)
+  Alcotest.(check string) "nan is null" "null" (to_string (Float Float.nan));
+  Alcotest.(check string)
+    "inf is null" "null" (to_string (Float Float.infinity));
+  List.iter
+    (fun f ->
+      let s = Printf.sprintf "%h" f in
+      let back = float_of_string s in
+      let same =
+        if Float.is_nan f then Float.is_nan back
+        else Int64.bits_of_float back = Int64.bits_of_float f
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "hex-float string %s survives the wire" s)
+        true
+        (same && get_string (of_string (to_string (String s))) = Some s))
+    [ Float.nan; Float.infinity; Float.neg_infinity; -0.0; 0.1; max_float ];
+  Alcotest.(check string)
+    "negative zero keeps its sign" "-0.0" (to_string (Float (-0.0)));
+  Alcotest.(check string)
+    "escapes nest" {|"a\"b\\n\\c"|} (to_string (String {|a"b\n\c|}));
+  Alcotest.(check bool)
+    "deep escape round-trip" true
+    (roundtrips (String "\\\\\"\n\t\r\b\012\000\031end"))
+
 (* ---------------- Metrics.initiation_interval on tiny samples ------- *)
 
 let test_interval_tiny_samples () =
@@ -279,4 +379,7 @@ let suite =
     Alcotest.test_case "bench JSON schema" `Quick test_bench_schema;
     Alcotest.test_case "initiation_interval tiny samples" `Quick
       test_interval_tiny_samples;
+    Alcotest.test_case "json wire-format corner cases" `Quick
+      test_json_corner_cases;
   ]
+  @ List.map QCheck_alcotest.to_alcotest prop_tests

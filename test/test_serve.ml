@@ -1,0 +1,430 @@
+(* dfserve: protocol wire format, the LRU compiled-program cache, and a
+   live server driven over its real Unix-domain socket — caching,
+   fairness/admission, cancellation with checkpoint restore, bit-identity
+   with standalone Exec.Job runs, and clean shutdown. *)
+
+module J = Obs.Json
+module P = Serve.Protocol
+module FP = Fault.Fault_plan
+module ME = Machine.Machine_engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- protocol ------------------------------------------------------- *)
+
+let test_protocol_request_roundtrip () =
+  let roundtrip req =
+    let doc = P.request_to_json ~id:7 req in
+    (* through the actual wire text, not just the tree *)
+    match P.request_of_json (J.of_string (J.to_string doc)) with
+    | Error e -> Alcotest.failf "undecodable request: %s" e
+    | Ok (id, back) ->
+      check_int "id" 7 id;
+      check_string "request round-trips"
+        (J.to_string (P.request_to_json ~id:7 req))
+        (J.to_string (P.request_to_json ~id:7 back))
+  in
+  roundtrip (P.Compile (P.Kernel { name = "hydro"; size = 12 }));
+  roundtrip
+    (P.Compile
+       (P.Source
+          { source = "param n = 4;\ninput X : array[real] [0, n-1];\n";
+            scalars = [ ("q", Dfg.Value.Real 0.25) ];
+            input_seed = 9 }));
+  roundtrip (P.Cancel 3);
+  roundtrip P.Stats;
+  roundtrip P.Shutdown;
+  let base = P.default_run (P.Kernel { name = "tridiag"; size = 8 }) in
+  roundtrip (P.Simulate base);
+  roundtrip
+    (P.Simulate
+       { base with
+         P.waves = 5;
+         engine = `Machine;
+         n_pe = Some 3;
+         stored = true;
+         fault = Some "seed=4 delay=0.25";
+         fault_seed = Some 11;
+         recovery = Some (Recover.to_string Recover.default);
+         integrity = true;
+         watchdog = P.At 600;
+         max_time = Some 123_456;
+         sanitize = true });
+  roundtrip (P.Simulate { base with P.watchdog = P.Auto })
+
+let test_protocol_values () =
+  let roundtrip v =
+    match P.value_of_json (P.value_to_json v) with
+    | Error e -> Alcotest.failf "value failed: %s" e
+    | Ok back ->
+      check "value round-trips"
+        true
+        (match (v, back) with
+        (* a nan stays a nan; its payload bits are not part of the
+           contract (both sides print "nan" on the wire) *)
+        | Dfg.Value.Real a, Dfg.Value.Real b when Float.is_nan a ->
+          Float.is_nan b
+        | Dfg.Value.Real a, Dfg.Value.Real b ->
+          Int64.bits_of_float a = Int64.bits_of_float b
+        | a, b -> a = b)
+  in
+  List.iter roundtrip
+    [ Dfg.Value.Int 42; Dfg.Value.Int min_int; Dfg.Value.Bool true;
+      Dfg.Value.Bool false; Dfg.Value.Real 0.1; Dfg.Value.Real (-0.0);
+      Dfg.Value.Real Float.nan; Dfg.Value.Real Float.infinity;
+      Dfg.Value.Real 4.9e-324 ];
+  let outputs =
+    [ ("X", [ (3, Dfg.Value.Real 1.5); (5, Dfg.Value.Real Float.nan) ]);
+      ("flag", [ (1, Dfg.Value.Bool false) ]); ("empty", []) ]
+  in
+  match P.outputs_of_json (P.outputs_to_json outputs) with
+  | Error e -> Alcotest.failf "outputs failed: %s" e
+  | Ok back ->
+    check_string "outputs round-trip (wire text)"
+      (J.to_string (P.outputs_to_json outputs))
+      (J.to_string (P.outputs_to_json back))
+
+let test_protocol_errors () =
+  let resp = P.error ~id:4 P.Overloaded "queue full" in
+  check "not ok" false (P.response_ok resp);
+  check_int "id" 4 (Option.get (P.response_id resp));
+  (match P.response_error resp with
+  | Some (Some P.Overloaded, msg) -> check_string "message" "queue full" msg
+  | _ -> Alcotest.fail "expected structured overloaded error");
+  List.iter
+    (fun k ->
+      check "error kind round-trips" true
+        (P.error_kind_of_string (P.error_kind_to_string k) = Some k))
+    [ P.Bad_request; P.Compile_error; P.Unknown_verb; P.Overloaded;
+      P.Cancelled; P.Run_error; P.Shutting_down ]
+
+(* --- LRU ------------------------------------------------------------- *)
+
+let test_lru () =
+  let c = Serve.Lru.create ~capacity:2 in
+  Serve.Lru.add c "a" 1;
+  Serve.Lru.add c "b" 2;
+  check "a present" true (Serve.Lru.find c "a" = Some 1);
+  (* b is now the least recently used; adding c must evict it *)
+  Serve.Lru.add c "c" 3;
+  check "b evicted" false (Serve.Lru.mem c "b");
+  check "a survived (recently used)" true (Serve.Lru.mem c "a");
+  check "c present" true (Serve.Lru.mem c "c");
+  check_int "length" 2 (Serve.Lru.length c);
+  check_int "capacity" 2 (Serve.Lru.capacity c);
+  check_int "evictions" 1 (Serve.Lru.evictions c);
+  check_int "hits" 1 (Serve.Lru.hits c);
+  check "miss counted" true (Serve.Lru.find c "zzz" = None);
+  check_int "misses" 1 (Serve.Lru.misses c);
+  check "overwrite keeps length" true
+    (Serve.Lru.add c "c" 30;
+     Serve.Lru.length c = 2 && Serve.Lru.find c "c" = Some 30)
+
+(* --- live server helpers --------------------------------------------- *)
+
+let with_server ?(workers = 2) ?(max_pending = 64) ?(slice = 5000) f =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dfserve-test-%d-%d.sock" (Unix.getpid ())
+         (Hashtbl.hash f))
+  in
+  let config =
+    { (Serve.Server.default_config ~socket_path:socket) with
+      Serve.Server.workers;
+      max_pending;
+      slice }
+  in
+  let server = Serve.Server.create config in
+  let domain = Domain.spawn (fun () -> Serve.Server.serve server) in
+  let finish () =
+    (try
+       let conn = Serve.Client.connect socket in
+       ignore (Serve.Client.rpc conn P.Shutdown);
+       Serve.Client.close conn
+     with _ -> ());
+    Domain.join domain
+  in
+  Fun.protect ~finally:finish (fun () -> f socket);
+  check "socket removed after shutdown" false (Sys.file_exists socket)
+
+let stat resp f = Option.value ~default:(-1) (J.get_int (J.member f resp))
+
+(* the standalone run a served response must be bit-identical to *)
+let standalone (r : P.run) =
+  match
+    (Serve.Server.config_of_run r,
+     Serve.Server.subject_of_program r.P.program ~waves:r.P.waves)
+  with
+  | Error e, _ | _, Error e -> Alcotest.failf "standalone setup: %s" e
+  | Ok (cfg, arch), Ok (graph, inputs, name) ->
+    let engine =
+      match r.P.engine with
+      | `Sim -> Exec.Job.Sim
+      | `Machine -> Exec.Job.Machine arch
+    in
+    Exec.Job.run
+      (Exec.Job.make ~name ~engine ~config:cfg ~sanitize:r.P.sanitize
+         (Exec.Job.Graph_program graph) ~inputs)
+
+let check_served_identical ~label resp expected =
+  check (label ^ ": ok response") true (P.response_ok resp);
+  let want = J.Obj (P.outcome_fields ~cache_hit:false ~key:0 expected) in
+  List.iter
+    (fun f ->
+      check_string
+        (Printf.sprintf "%s: %s identical" label f)
+        (J.to_string (J.member f want))
+        (J.to_string (J.member f resp)))
+    [ "outputs"; "digest"; "end_time"; "quiescent"; "stall"; "violations";
+      "metrics" ]
+
+(* --- live server tests ----------------------------------------------- *)
+
+let test_cache_contract () =
+  with_server (fun socket ->
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let run =
+            { (P.default_run (P.Kernel { name = "hydro"; size = 8 })) with
+              P.waves = 2 }
+          in
+          let n = 5 in
+          let resps =
+            List.init n (fun _ -> Serve.Client.rpc conn (P.Simulate run))
+          in
+          let hits =
+            List.length
+              (List.filter
+                 (fun r ->
+                   J.get_bool (J.member "cache_hit" r) = Some true)
+                 resps)
+          in
+          check_int "N requests -> N-1 cache hits" (n - 1) hits;
+          let expected = standalone run in
+          List.iteri
+            (fun i r ->
+              check_served_identical
+                ~label:(Printf.sprintf "request %d" i) r expected)
+            resps;
+          (* a different size is a different program: a miss *)
+          let other =
+            { run with
+              P.program = P.Kernel { name = "hydro"; size = 6 } }
+          in
+          let r = Serve.Client.rpc conn (P.Simulate other) in
+          check "different size misses" true
+            (J.get_bool (J.member "cache_hit" r) = Some false);
+          let stats = Serve.Client.rpc conn P.Stats in
+          check_int "stats cache hits" (n - 1) (stat stats "cache_hits");
+          check_int "stats cache misses" 2 (stat stats "cache_misses")))
+
+let test_served_faulted_machine () =
+  with_server (fun socket ->
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let spec =
+            { FP.none with
+              FP.seed = 42;
+              delay_prob = 0.25;
+              drop_prob = 0.03;
+              corrupt_prob = 0.03 }
+          in
+          let run =
+            { (P.default_run (P.Kernel { name = "tridiag"; size = 8 })) with
+              P.waves = 2;
+              engine = `Machine;
+              fault = Some (FP.to_string spec);
+              recovery = Some (Recover.to_string Recover.default);
+              integrity = true;
+              watchdog = P.Auto;
+              sanitize = true }
+          in
+          let resp = Serve.Client.rpc conn (P.Simulate run) in
+          check_served_identical ~label:"faulted machine" resp
+            (standalone run);
+          (* fault_seed overrides the spec's seed: different run *)
+          let reseeded = { run with P.fault_seed = Some 4242 } in
+          let resp2 = Serve.Client.rpc conn (P.Simulate reseeded) in
+          check_served_identical ~label:"reseeded" resp2
+            (standalone reseeded)))
+
+let test_overload_rejection () =
+  (* one worker, a queue of one: the third concurrent job must be
+     rejected as overloaded, not silently queued *)
+  with_server ~workers:1 ~max_pending:1 (fun socket ->
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let big =
+            { (P.default_run (P.Kernel { name = "hydro"; size = 32 })) with
+              P.waves = 60;
+              engine = `Machine }
+          in
+          let ids = List.init 3 (fun _ -> Serve.Client.send conn (P.Simulate big)) in
+          let resps = List.map (Serve.Client.await conn) ids in
+          let rejected =
+            List.filter
+              (fun r ->
+                match P.response_error r with
+                | Some (Some P.Overloaded, _) -> true
+                | _ -> false)
+              resps
+          in
+          check_int "one structured overloaded rejection" 1
+            (List.length rejected);
+          check_int "the other two complete" 2
+            (List.length (List.filter P.response_ok resps));
+          let stats = Serve.Client.rpc conn P.Stats in
+          check_int "stats rejections" 1 (stat stats "rejections")))
+
+let test_cancel_and_preempt () =
+  with_server ~workers:1 ~slice:2000 (fun socket ->
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let long =
+            { (P.default_run (P.Kernel { name = "hydro"; size = 32 })) with
+              P.waves = 2000;
+              engine = `Machine;
+              max_time = Some 100_000_000 }
+          in
+          let quick =
+            { (P.default_run (P.Kernel { name = "hydro"; size = 8 })) with
+              P.waves = 1 }
+          in
+          let running = Serve.Client.send conn (P.Simulate long) in
+          let queued = Serve.Client.send conn (P.Simulate quick) in
+          (* give the long job time to dispatch and start advancing *)
+          Unix.sleepf 0.2;
+          (* cancel the queued job: answered immediately, never runs *)
+          let c1 = Serve.Client.rpc conn (P.Cancel queued) in
+          check "cancel of queued acknowledged" true (P.response_ok c1);
+          check_string "queued job cancelled"
+            "cancelled"
+            (Option.value ~default:"?"
+               (J.get_string (J.member "state" c1)));
+          (match P.response_error (Serve.Client.await conn queued) with
+          | Some (Some P.Cancelled, _) -> ()
+          | _ -> Alcotest.fail "queued job should answer cancelled");
+          (* preempt the running machine job at its next slice *)
+          let c2 = Serve.Client.rpc conn (P.Cancel running) in
+          check_string "running machine job preempting"
+            "preempting"
+            (Option.value ~default:"?"
+               (J.get_string (J.member "state" c2)));
+          let resp = Serve.Client.await conn running in
+          (match P.response_error resp with
+          | Some (Some P.Cancelled, _) -> ()
+          | _ -> Alcotest.fail "preempted job should answer cancelled");
+          (* the checkpoint restores and resumes to the exact same
+             result an uninterrupted run produces *)
+          match Serve.Server.subject_of_program long.P.program
+                  ~waves:long.P.waves
+          with
+          | Error e -> Alcotest.failf "recompile: %s" e
+          | Ok (graph, inputs, _) -> (
+            match
+              Recover.Checkpoint.of_json ~graph (J.member "checkpoint" resp)
+            with
+            | Error e -> Alcotest.failf "checkpoint decode: %s" e
+            | Ok snapshot ->
+              check "preempted mid-run" true
+                (snapshot.ME.sn_time > 0);
+              let cfg, arch =
+                match Serve.Server.config_of_run long with
+                | Ok c -> c
+                | Error e -> Alcotest.failf "config: %s" e
+              in
+              let m = ME.create_cfg cfg ~arch graph ~inputs in
+              ME.restore m snapshot;
+              ME.advance m ~until:max_int;
+              let resumed = ME.result m in
+              let oneshot = ME.run_cfg cfg ~arch graph ~inputs in
+              check_int "resumed end time = uninterrupted"
+                oneshot.ME.end_time resumed.ME.end_time;
+              check_int "resumed digest = uninterrupted"
+                (Integrity.digest_outputs oneshot.ME.outputs)
+                (Integrity.digest_outputs resumed.ME.outputs))))
+
+let test_compile_verb_and_errors () =
+  with_server (fun socket ->
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let prog = P.Kernel { name = "prefix_sum"; size = 8 } in
+          let r1 = Serve.Client.rpc conn (P.Compile prog) in
+          check "compile ok" true (P.response_ok r1);
+          check "first compile misses" true
+            (J.get_bool (J.member "cache_hit" r1) = Some false);
+          check "reports cells" true (stat r1 "cells" > 0);
+          let r2 = Serve.Client.rpc conn (P.Compile prog) in
+          check "second compile hits" true
+            (J.get_bool (J.member "cache_hit" r2) = Some true);
+          check_int "same key" (stat r1 "key") (stat r2 "key");
+          (* structured errors *)
+          (match
+             P.response_error
+               (Serve.Client.rpc conn
+                  (P.Compile (P.Kernel { name = "no-such"; size = 1 })))
+           with
+          | Some (Some P.Compile_error, _) -> ()
+          | _ -> Alcotest.fail "unknown kernel should be compile_error");
+          (match
+             P.response_error
+               (Serve.Client.rpc conn
+                  (P.Simulate
+                     { (P.default_run prog) with P.fault = Some "garbage" }))
+           with
+          | Some (Some P.Bad_request, _) -> ()
+          | _ -> Alcotest.fail "bad fault spec should be bad_request");
+          match P.response_error (Serve.Client.rpc conn (P.Cancel 999)) with
+          | None ->
+            check_string "cancel of unknown id"
+              "not_found"
+              (Option.value ~default:"?"
+                 (J.get_string
+                    (J.member "state" (Serve.Client.rpc conn (P.Cancel 999)))))
+          | Some _ -> Alcotest.fail "cancel of unknown id is not an error"))
+
+let test_soak () =
+  let r =
+    Serve.Selftest.run ~clients:2 ~jobs_per_client:3 ~workers:2 ~seed:5 ()
+  in
+  check_int "all responses checked" 6 r.Serve.Selftest.checked;
+  (match r.Serve.Selftest.failures with
+  | [] -> ()
+  | fs -> Alcotest.failf "%d mismatches:\n%s" (List.length fs)
+            (String.concat "\n" fs));
+  check "cache saw hits" true (r.Serve.Selftest.cache_hits > 0)
+
+let suite =
+  [
+    Alcotest.test_case "protocol: request wire round-trip" `Quick
+      test_protocol_request_roundtrip;
+    Alcotest.test_case "protocol: value/output encoding" `Quick
+      test_protocol_values;
+    Alcotest.test_case "protocol: structured errors" `Quick
+      test_protocol_errors;
+    Alcotest.test_case "lru: recency, eviction, counters" `Quick test_lru;
+    Alcotest.test_case "server: N requests, 1 compile, N-1 hits" `Quick
+      test_cache_contract;
+    Alcotest.test_case "server: faulted machine run bit-identical" `Quick
+      test_served_faulted_machine;
+    Alcotest.test_case "server: bounded admission rejects overload" `Quick
+      test_overload_rejection;
+    Alcotest.test_case "server: cancel queued, preempt running, restore"
+      `Quick test_cancel_and_preempt;
+    Alcotest.test_case "server: compile verb and error taxonomy" `Quick
+      test_compile_verb_and_errors;
+    Alcotest.test_case "server: concurrent soak bit-identical" `Quick
+      test_soak;
+  ]
