@@ -24,11 +24,22 @@
    loop between the fault harness and the service path under real
    client concurrency.
 
+   With --serve-kill the server is a real dfserve process with a
+   write-ahead journal, and a killer thread SIGKILLs it at seeded
+   points mid-soak and restarts it against the same journal.  Every
+   scenario is submitted under an idempotency key through the
+   resilient retrying client, so requests that die with the server are
+   reissued and may be answered from the journal or resumed from a
+   preemption checkpoint — and must still match the standalone run
+   byte for byte.  That is the crash-safety proof: no kill point may
+   change a single served bit.
+
    Examples:
      chaos --runs 40 --seed 1
      chaos --runs 200 --jobs 8 --out chaos-reports
      chaos --kernel tridiag --runs 20
-     chaos --runs 40 --serve *)
+     chaos --runs 40 --serve
+     chaos --runs 50 --serve-kill --kills 4 *)
 
 module PC = Compiler.Program_compile
 module D = Compiler.Driver
@@ -109,50 +120,142 @@ let outcome_ok (o : FD.outcome) =
 
 (* --- replay through a live server ------------------------------------ *)
 
-(* The same protected faulted run, submitted to dfserve as a simulate
-   request.  Fault_plan.to_string round-trips %.17g-exactly and the
-   server rebuilds the identical Run_config, so the served response
-   must reproduce the standalone run byte for byte. *)
-let serve_replay ~socket ~recovery subject (spec : FP.spec) (o : FD.outcome) =
+(* The same protected faulted run as a simulate request.
+   Fault_plan.to_string round-trips %.17g-exactly and the server
+   rebuilds the identical Run_config, so the served response must
+   reproduce the standalone run byte for byte. *)
+let replay_run ?idem ~recovery subject (spec : FP.spec) =
+  let module SP = Serve.Protocol in
+  { (SP.default_run
+       (SP.Kernel { name = subject.kernel.K.name; size = subject.size }))
+    with
+    SP.waves = subject.waves;
+    engine = `Machine;
+    fault = Some (FP.to_string spec);
+    recovery = Some (Recover.to_string recovery);
+    integrity = true;
+    watchdog = SP.At (watchdog_for spec recovery);
+    sanitize = true;
+    idem }
+
+let replay_compare resp (o : FD.outcome) =
   let module SP = Serve.Protocol in
   let module J = Obs.Json in
-  let run =
-    { (SP.default_run
-         (SP.Kernel { name = subject.kernel.K.name; size = subject.size }))
-      with
-      SP.waves = subject.waves;
-      engine = `Machine;
-      fault = Some (FP.to_string spec);
-      recovery = Some (Recover.to_string recovery);
-      integrity = true;
-      watchdog = SP.At (watchdog_for spec recovery);
-      sanitize = true }
-  in
+  if not (SP.response_ok resp) then
+    [ Printf.sprintf "served replay errored: %s" (J.to_string resp) ]
+  else
+    let differs what got want =
+      if got = want then []
+      else [ Printf.sprintf "served %s %s, standalone %s" what got want ]
+    in
+    let geti f = Option.value ~default:min_int (J.get_int (J.member f resp)) in
+    differs "digest" (string_of_int (geti "digest"))
+      (string_of_int o.FD.faulted_digest)
+    @ differs "end time" (string_of_int (geti "end_time"))
+        (string_of_int o.FD.faulted_end)
+    @ differs "stall"
+        (Option.value ~default:"-" (J.get_string (J.member "stall" resp)))
+        (match o.FD.faulted_stall with
+        | Some sr -> Fault.Stall_report.to_string sr
+        | None -> "-")
+
+let serve_replay ~socket ~recovery subject (spec : FP.spec) (o : FD.outcome) =
+  let run = replay_run ~recovery subject spec in
   let conn = Serve.Client.connect socket in
   Fun.protect
     ~finally:(fun () -> Serve.Client.close conn)
     (fun () ->
-      let resp = Serve.Client.rpc conn (SP.Simulate run) in
-      if not (SP.response_ok resp) then
-        [ Printf.sprintf "served replay errored: %s" (J.to_string resp) ]
-      else
-        let differs what got want =
-          if got = want then []
-          else
-            [ Printf.sprintf "served %s %s, standalone %s" what got want ]
-        in
-        let geti f =
-          Option.value ~default:min_int (J.get_int (J.member f resp))
-        in
-        differs "digest" (string_of_int (geti "digest"))
-          (string_of_int o.FD.faulted_digest)
-        @ differs "end time" (string_of_int (geti "end_time"))
-            (string_of_int o.FD.faulted_end)
-        @ differs "stall"
-            (Option.value ~default:"-" (J.get_string (J.member "stall" resp)))
-            (match o.FD.faulted_stall with
-            | Some sr -> Fault.Stall_report.to_string sr
-            | None -> "-"))
+      replay_compare (Serve.Client.rpc conn (Serve.Protocol.Simulate run)) o)
+
+(* The kill-and-restart path: the request carries an idempotency key
+   and goes through the resilient client, because the server process
+   may be SIGKILLed at any point — before admission, mid-run, or after
+   journaling the result but before the response reaches us.  Whatever
+   the kill points, the answer that finally arrives (fresh run, resume
+   from a journaled checkpoint, or the recorded response) must still be
+   bit-identical to the standalone run. *)
+let serve_kill_replay ~socket ~master ~index ~recovery subject (spec : FP.spec)
+    (o : FD.outcome) =
+  let run =
+    replay_run ~idem:(Printf.sprintf "ck-%d-%d" master index) ~recovery
+      subject spec
+  in
+  let retry =
+    { Serve.Client.attempts = 80;
+      base_delay = 0.05;
+      max_delay = 0.5;
+      retry_seed = Prng.int_of_hash (Prng.mix master [ index; 77 ]) 1_000_000 }
+  in
+  let resp, _attempts =
+    Serve.Client.resilient_rpc ~deadline:60.0 ~retry ~addr:socket
+      (Serve.Protocol.Simulate run)
+  in
+  replay_compare resp o
+
+(* --- a real server process we can murder ----------------------------- *)
+
+(* dfserve.exe lives next to chaos.exe in the dune build tree and in an
+   installed prefix alike *)
+let dfserve_exe () =
+  let exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "dfserve.exe"
+  in
+  if Sys.file_exists exe then exe
+  else
+    failwith
+      (Printf.sprintf "--serve-kill: %s not found (build bin/dfserve.exe)" exe)
+
+let spawn_server ~exe ~socket ~journal ~max_pending =
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close null)
+    (fun () ->
+      Unix.create_process exe
+        [| exe; "--socket"; socket; "--journal"; journal; "--workers"; "2";
+           "--slice"; "500"; "--max-pending"; string_of_int max_pending;
+           "--idle-timeout"; "0" |]
+        Unix.stdin null null)
+
+type managed = {
+  mutable pid : int;
+  lock : Mutex.t;
+  mutable kills_done : int;
+  stop : bool Atomic.t;
+}
+
+(* seeded sleep, SIGKILL, reap, restart against the same journal — the
+   kill points land wherever the soak happens to be *)
+let killer ~(managed : managed) ~exe ~socket ~journal ~max_pending ~master
+    ~kills () =
+  let interruptible_sleep s =
+    let steps = max 1 (int_of_float (s /. 0.02)) in
+    let rec go i =
+      if i < steps && not (Atomic.get managed.stop) then begin
+        Unix.sleepf 0.02;
+        go (i + 1)
+      end
+    in
+    go 0
+  in
+  let rec cycle k =
+    if k <= kills && not (Atomic.get managed.stop) then begin
+      let pause =
+        0.08 +. (Prng.float_of_hash (Prng.mix master [ 9000; k ]) *. 0.3)
+      in
+      interruptible_sleep pause;
+      if not (Atomic.get managed.stop) then begin
+        Mutex.lock managed.lock;
+        (try Unix.kill managed.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] managed.pid)
+         with Unix.Unix_error _ -> ());
+        managed.pid <- spawn_server ~exe ~socket ~journal ~max_pending;
+        managed.kills_done <- k;
+        Mutex.unlock managed.lock;
+        cycle (k + 1)
+      end
+    end
+  in
+  cycle 1
 
 (* --- shrinking a failure -------------------------------------------- *)
 
@@ -267,9 +370,13 @@ let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~serve ~buf
   let o = check ~recovery subject spec in
   let serve_failures =
     match serve with
-    | None -> []
-    | Some socket -> (
+    | `Off -> []
+    | `Inproc socket -> (
       try serve_replay ~socket ~recovery subject spec o
+      with e ->
+        [ Printf.sprintf "served replay died: %s" (Printexc.to_string e) ])
+    | `Kill socket -> (
+      try serve_kill_replay ~socket ~master ~index ~recovery subject spec o
       with e ->
         [ Printf.sprintf "served replay died: %s" (Printexc.to_string e) ])
   in
@@ -319,7 +426,8 @@ let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~serve ~buf
     false
   end
 
-let main runs master size waves dir kernel_filter recover jobs serve_mode =
+let main runs master size waves dir kernel_filter recover jobs serve_mode
+    serve_kill kills =
   let recovery =
     match Runspec.recovery_of_string (Option.value recover ~default:"") with
     | Ok p -> p
@@ -331,12 +439,56 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode =
     | Ok ks -> ks
     | Error e -> failwith (Printf.sprintf "--kernel: %s" e)
   in
+  if serve_mode && serve_kill then
+    failwith "--serve and --serve-kill are exclusive";
   let jobs = match jobs with Some j -> j | None -> Exec.Pool.default_jobs () in
   (* --serve: a live dfserve instance every scenario replays through;
-     scenario workers double as concurrent clients *)
-  let serve, stop_server =
-    if not serve_mode then (None, fun () -> ())
-    else begin
+     scenario workers double as concurrent clients.  --serve-kill: the
+     same, but the server is a real process with a journal, and a
+     killer thread SIGKILLs and restarts it mid-soak. *)
+  let serve, stop_server, kill_report =
+    if serve_kill then begin
+      let exe = dfserve_exe () in
+      let tmp = Filename.get_temp_dir_name () in
+      let socket =
+        Filename.concat tmp
+          (Printf.sprintf "chaos-kill-%d.sock" (Unix.getpid ()))
+      in
+      let journal =
+        Filename.concat tmp
+          (Printf.sprintf "chaos-kill-%d.journal" (Unix.getpid ()))
+      in
+      (try Sys.remove journal with Sys_error _ -> ());
+      let max_pending = runs + 8 in
+      let managed =
+        { pid = spawn_server ~exe ~socket ~journal ~max_pending;
+          lock = Mutex.create ();
+          kills_done = 0;
+          stop = Atomic.make false }
+      in
+      let kd =
+        Domain.spawn
+          (killer ~managed ~exe ~socket ~journal ~max_pending ~master ~kills)
+      in
+      ( `Kill socket,
+        (fun () ->
+          Atomic.set managed.stop true;
+          Domain.join kd;
+          (try
+             let conn = Serve.Client.connect socket in
+             ignore (Serve.Client.rpc conn Serve.Protocol.Shutdown);
+             Serve.Client.close conn
+           with _ -> ());
+          (try ignore (Unix.waitpid [] managed.pid)
+           with Unix.Unix_error _ ->
+             (try Unix.kill managed.pid Sys.sigkill
+              with Unix.Unix_error _ -> ());
+             (try ignore (Unix.waitpid [] managed.pid)
+              with Unix.Unix_error _ -> ()));
+          try Sys.remove journal with Sys_error _ -> ()),
+        fun () -> managed.kills_done )
+    end
+    else if serve_mode then begin
       let socket =
         Filename.concat (Filename.get_temp_dir_name ())
           (Printf.sprintf "chaos-serve-%d.sock" (Unix.getpid ()))
@@ -348,15 +500,17 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode =
       in
       let server = Serve.Server.create config in
       let domain = Domain.spawn (fun () -> Serve.Server.serve server) in
-      ( Some socket,
-        fun () ->
+      ( `Inproc socket,
+        (fun () ->
           (try
              let conn = Serve.Client.connect socket in
              ignore (Serve.Client.rpc conn Serve.Protocol.Shutdown);
              Serve.Client.close conn
            with _ -> ());
-          Domain.join domain )
+          Domain.join domain),
+        fun () -> 0 )
     end
+    else (`Off, (fun () -> ()), fun () -> 0)
   in
   let indices = List.init runs Fun.id in
   let results, elapsed =
@@ -383,15 +537,21 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode =
         incr failures;
         Printf.printf "FAIL #%03d raised %s\n" index e.Exec.Pool.message)
     indices results;
-  Printf.eprintf "chaos: %d scenarios in %.2fs (%d worker%s)\n" runs elapsed
+  Printf.eprintf "chaos: %d scenarios in %.2fs (%d worker%s%s)\n" runs elapsed
     jobs
-    (if jobs = 1 then "" else "s");
+    (if jobs = 1 then "" else "s")
+    (if serve_kill then
+       Printf.sprintf ", %d server kill/restart cycles" (kill_report ())
+     else "");
   if !failures = 0 then begin
     Printf.printf
       "all %d chaos scenarios survived: protected runs bit-identical to \
        clean%s\n"
       runs
-      (if serve_mode then ", served replays bit-identical to standalone"
+      (if serve_kill then
+         ", served replays bit-identical to standalone across server kills"
+       else if serve_mode then
+         ", served replays bit-identical to standalone"
        else "");
     `Ok ()
   end
@@ -399,8 +559,11 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode =
     `Error
       (false, Printf.sprintf "%d of %d chaos scenarios failed" !failures runs)
 
-let main_safe runs master size waves dir kernel recover jobs serve_mode =
-  try main runs master size waves dir kernel recover jobs serve_mode
+let main_safe runs master size waves dir kernel recover jobs serve_mode
+    serve_kill kills =
+  try
+    main runs master size waves dir kernel recover jobs serve_mode serve_kill
+      kills
   with Failure msg -> `Error (false, msg)
 
 let cmd =
@@ -454,9 +617,24 @@ let cmd =
                    served response to reproduce the standalone run byte \
                    for byte (digest, end time, stall report)")
   in
+  let serve_kill =
+    Arg.(value & flag
+         & info [ "serve-kill" ]
+             ~doc:"like --serve, but the server is a real dfserve process \
+                   with a write-ahead journal, SIGKILLed and restarted at \
+                   seeded points mid-soak; every scenario goes through the \
+                   retrying client under an idempotency key and must still \
+                   reproduce its standalone run byte for byte")
+  in
+  let kills =
+    Arg.(value & opt int 3
+         & info [ "kills" ] ~docv:"N"
+             ~doc:"kill/restart cycles the --serve-kill killer attempts \
+                   (each at a seeded point while the soak is running)")
+  in
   let term =
     Term.(ret (const main_safe $ runs $ seed $ size $ waves $ dir $ kernel
-               $ recover $ jobs $ serve))
+               $ recover $ jobs $ serve $ serve_kill $ kills))
   in
   Cmd.v
     (Cmd.info "chaos" ~version:"1.0"

@@ -1,11 +1,14 @@
 (* dfclient: command-line face of the dfserve protocol.
 
-   One invocation, one connection, one verb: compile, simulate, stats
-   or shutdown.  simulate can dump output streams in the same
-   name/time/%h-value text dfsim --values-out writes (so CI diffs a
-   served run against a local one byte for byte) and can preempt a long
-   machine run (--preempt-after) to harvest a restorable checkpoint
-   that dfsim --restore accepts. *)
+   One invocation, one verb: compile, simulate, sweep, stats or
+   shutdown, over the server's Unix socket or TCP listener.  simulate
+   can dump output streams in the same name/time/%h-value text dfsim
+   --values-out writes (so CI diffs a served run against a local one
+   byte for byte), can preempt a long machine run (--preempt-after) to
+   harvest a restorable checkpoint that dfsim --restore accepts, and
+   with --retries rides the resilient retry/backoff path under an
+   idempotency key, surviving server restarts.  sweep serves a kernel
+   grid whose JSON matches sweep.exe's output byte for byte. *)
 
 module J = Obs.Json
 module P = Serve.Protocol
@@ -25,7 +28,7 @@ let program_of kernel size source input_seed =
   | None, None -> failwith "simulate/compile need --kernel or --source"
 
 let run_of program waves machine pe stored fault fault_seed recover integrity
-    watchdog max_time sanitize =
+    watchdog max_time sanitize idem =
   let watchdog =
     match watchdog with
     | None -> P.Off
@@ -46,7 +49,8 @@ let run_of program waves machine pe stored fault fault_seed recover integrity
     integrity;
     watchdog;
     max_time;
-    sanitize }
+    sanitize;
+    idem }
 
 let require_ok resp =
   if not (P.response_ok resp) then
@@ -112,68 +116,111 @@ let write_checkpoint_out program waves resp = function
           Printf.printf "wrote checkpoint %s (t=%d)\n" path
             snapshot.Machine.Machine_engine.sn_time)))
 
-let main verb socket kernel size source input_seed waves machine pe stored
-    fault fault_seed recover integrity watchdog max_time sanitize values_out
-    metrics_out checkpoint_out preempt_after =
-  let conn = Serve.Client.connect ~retries:20 socket in
-  Fun.protect
-    ~finally:(fun () -> Serve.Client.close conn)
-    (fun () ->
-      match verb with
-      | "stats" ->
+let finish_simulate program waves resp values_out metrics_out checkpoint_out =
+  match P.response_error resp with
+  | Some (Some P.Cancelled, _) when checkpoint_out <> None ->
+    print_endline "preempted; checkpoint returned";
+    write_checkpoint_out program waves resp checkpoint_out
+  | Some (_, msg) ->
+    failwith
+      (Printf.sprintf "%s: %s"
+         (Option.value ~default:"error"
+            (J.get_string (J.member "error" resp)))
+         msg)
+  | None ->
+    print_simulate resp;
+    write_values_out resp values_out;
+    write_metrics_out resp metrics_out
+
+let main verb socket tcp timeout retries idem kernel size source input_seed
+    waves machine pe stored fault fault_seed recover integrity watchdog
+    max_time sanitize pes sweep_waves kernels out values_out metrics_out
+    checkpoint_out preempt_after =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr = match tcp with Some hp -> "tcp:" ^ hp | None -> socket in
+  let with_conn f =
+    let conn = Serve.Client.connect ~retries:20 ?deadline:timeout addr in
+    Fun.protect ~finally:(fun () -> Serve.Client.close conn) (fun () -> f conn)
+  in
+  match verb with
+  | "stats" ->
+    with_conn (fun conn ->
         print_endline
-          (J.to_string (require_ok (Serve.Client.rpc conn P.Stats)))
-      | "shutdown" ->
+          (J.to_string (require_ok (Serve.Client.rpc conn P.Stats))))
+  | "shutdown" ->
+    with_conn (fun conn ->
         ignore (require_ok (Serve.Client.rpc conn P.Shutdown));
-        print_endline "server shutting down"
-      | "compile" ->
+        print_endline "server shutting down")
+  | "compile" ->
+    with_conn (fun conn ->
         let program = program_of kernel size source input_seed in
         let resp = require_ok (Serve.Client.rpc conn (P.Compile program)) in
         Printf.printf "key=%d cache_hit=%b cells=%d\n"
           (Option.value ~default:0 (J.get_int (J.member "key" resp)))
           (Option.value ~default:false
              (J.get_bool (J.member "cache_hit" resp)))
-          (Option.value ~default:0 (J.get_int (J.member "cells" resp)))
-      | "simulate" -> (
-        let program = program_of kernel size source input_seed in
-        let run =
-          run_of program waves machine pe stored fault fault_seed recover
-            integrity watchdog max_time sanitize
+          (Option.value ~default:0 (J.get_int (J.member "cells" resp))))
+  | "sweep" ->
+    with_conn (fun conn ->
+        let s =
+          { P.sw_kernels = kernels;
+            sw_pes = pes;
+            sw_waves = sweep_waves;
+            sw_size = size }
         in
-        let id = Serve.Client.send conn (P.Simulate run) in
-        (match preempt_after with
-        | None -> ()
-        | Some secs ->
-          Unix.sleepf secs;
-          ignore (Serve.Client.send conn (P.Cancel id)));
-        let resp = Serve.Client.await conn id in
-        match P.response_error resp with
-        | Some (Some P.Cancelled, _) when checkpoint_out <> None ->
-          print_endline "preempted; checkpoint returned";
-          write_checkpoint_out program waves resp checkpoint_out
-        | Some (_, msg) ->
-          failwith
-            (Printf.sprintf "%s: %s"
-               (Option.value ~default:"error"
-                  (J.get_string (J.member "error" resp)))
-               msg)
-        | None ->
-          print_simulate resp;
-          write_values_out resp values_out;
-          write_metrics_out resp metrics_out)
-      | v -> failwith (Printf.sprintf "unknown verb %S" v))
+        let resp = require_ok (Serve.Client.rpc conn (P.Sweep s)) in
+        let grid = J.member "grid" resp in
+        match out with
+        | Some path ->
+          J.write_file path grid;
+          Printf.printf "wrote %s\n" path
+        | None -> print_endline (J.to_string grid))
+  | "simulate" ->
+    let program = program_of kernel size source input_seed in
+    let run =
+      run_of program waves machine pe stored fault fault_seed recover
+        integrity watchdog max_time sanitize idem
+    in
+    if retries > 0 then begin
+      if preempt_after <> None then
+        failwith "--preempt-after needs a held connection; drop --retries";
+      let retry = { Serve.Client.default_retry with attempts = retries } in
+      let resp, attempts =
+        Serve.Client.resilient_rpc
+          ?deadline:timeout ~retry ~addr (P.Simulate run)
+      in
+      if attempts > 1 then
+        Printf.printf "delivered after %d attempts\n" attempts;
+      finish_simulate program waves resp values_out metrics_out
+        checkpoint_out
+    end
+    else
+      with_conn (fun conn ->
+          let id = Serve.Client.send conn (P.Simulate run) in
+          (match preempt_after with
+          | None -> ()
+          | Some secs ->
+            Unix.sleepf secs;
+            ignore (Serve.Client.send conn (P.Cancel id)));
+          let resp = Serve.Client.await conn id in
+          finish_simulate program waves resp values_out metrics_out
+            checkpoint_out)
+  | v -> failwith (Printf.sprintf "unknown verb %S" v)
 
-let main_safe verb socket kernel size source input_seed waves machine pe
-    stored fault fault_seed recover integrity watchdog max_time sanitize
-    values_out metrics_out checkpoint_out preempt_after =
+let main_safe verb socket tcp timeout retries idem kernel size source
+    input_seed waves machine pe stored fault fault_seed recover integrity
+    watchdog max_time sanitize pes sweep_waves kernels out values_out
+    metrics_out checkpoint_out preempt_after =
   try
-    main verb socket kernel size source input_seed waves machine pe stored
-      fault fault_seed recover integrity watchdog max_time sanitize
-      values_out metrics_out checkpoint_out preempt_after;
+    main verb socket tcp timeout retries idem kernel size source input_seed
+      waves machine pe stored fault fault_seed recover integrity watchdog
+      max_time sanitize pes sweep_waves kernels out values_out metrics_out
+      checkpoint_out preempt_after;
     `Ok ()
   with
   | Failure msg -> `Error (false, msg)
   | End_of_file -> `Error (false, "server closed the connection")
+  | Serve.Client.Timeout -> `Error (false, "request deadline expired")
   | Unix.Unix_error (e, fn, arg) ->
     `Error (false, Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
 
@@ -183,13 +230,36 @@ let cmd =
   let verb =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"VERB"
-             ~doc:"compile | simulate | stats | shutdown")
+             ~doc:"compile | simulate | sweep | stats | shutdown")
   in
   let socket =
     Arg.(value & opt string
            (Filename.concat (Filename.get_temp_dir_name ())
               (Printf.sprintf "dfserve-%d.sock" (Unix.getuid ())))
          & info [ "socket"; "s" ] ~docv:"PATH" ~doc:"server socket path")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT"
+             ~doc:"connect over TCP instead of the Unix socket")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"fail if a response takes longer than this")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"simulate: reconnect-and-reissue up to N attempts with \
+                   exponential backoff; pair with --idem so retries are \
+                   answered exactly once, even across a server restart")
+  in
+  let idem =
+    Arg.(value & opt (some string) None
+         & info [ "idem" ] ~docv:"KEY"
+             ~doc:"simulate: idempotency key — the server records the \
+                   response under it and answers retries from the record")
   in
   let kernel =
     Arg.(value & opt (some string) None
@@ -254,6 +324,27 @@ let cmd =
     Arg.(value & flag
          & info [ "sanitize" ] ~doc:"fresh protocol sanitizer for the run")
   in
+  let pes =
+    Arg.(value & opt (list int) [ 1; 2; 4; 8; 16 ]
+         & info [ "pes" ] ~docv:"N,N,..."
+             ~doc:"sweep: PE counts (sweep.exe's --pes)")
+  in
+  let sweep_waves =
+    Arg.(value & opt (list int) [ 4 ]
+         & info [ "sweep-waves" ] ~docv:"W,W,..."
+             ~doc:"sweep: wave counts (sweep.exe's --waves)")
+  in
+  let kernels =
+    Arg.(value & opt (some (list string)) None
+         & info [ "kernels" ] ~docv:"NAME,NAME,..."
+             ~doc:"sweep: kernels to sweep (default: the whole library)")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"sweep: write the grid JSON here (byte-identical to \
+                   sweep.exe --out for the same grid)")
+  in
   let values_out =
     Arg.(value & opt (some string) None
          & info [ "values-out" ] ~docv:"OUT"
@@ -279,10 +370,11 @@ let cmd =
                    boundary and returns a restorable checkpoint")
   in
   let term =
-    Term.(ret (const main_safe $ verb $ socket $ kernel $ size $ source
-               $ input_seed $ waves $ machine $ pe $ stored $ fault
-               $ fault_seed $ recover $ integrity $ watchdog $ max_time
-               $ sanitize $ values_out $ metrics_out $ checkpoint_out
+    Term.(ret (const main_safe $ verb $ socket $ tcp $ timeout $ retries
+               $ idem $ kernel $ size $ source $ input_seed $ waves $ machine
+               $ pe $ stored $ fault $ fault_seed $ recover $ integrity
+               $ watchdog $ max_time $ sanitize $ pes $ sweep_waves $ kernels
+               $ out $ values_out $ metrics_out $ checkpoint_out
                $ preempt_after))
   in
   Cmd.v

@@ -1,17 +1,24 @@
 (* dfserve: the persistent compile-and-simulate service.
 
-   Foreground server over a Unix-domain socket (NDJSON requests, see
-   docs/SERVICE.md), or --selftest: a chaos-style soak that starts a
-   private server, hammers it with concurrent clients replaying faulted
-   and clean jobs, and requires every served response to be
-   bit-identical to the same job run standalone. *)
+   Foreground server over a Unix-domain socket and optionally TCP
+   (NDJSON requests, see docs/SERVICE.md), with read/idle/write
+   deadlines, a request-line cap and an optional write-ahead job
+   journal that makes idempotent requests exactly-once across crashes.
+   Or --selftest: a chaos-style soak that starts a private server,
+   hammers it with concurrent clients replaying faulted and clean jobs
+   plus a churn phase of sequential hostile-wire connections, and
+   requires every served response to be bit-identical to the same job
+   run standalone. *)
 
 let default_socket () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "dfserve-%d.sock" (Unix.getuid ()))
 
-let main socket workers max_pending cache slice log_file verbose selftest
-    clients jobs seed =
+let main socket tcp journal max_line idle_timeout write_timeout drain_timeout
+    workers max_pending cache slice log_file verbose selftest clients jobs
+    churn seed =
+  (* a peer that vanishes mid-write must be an EPIPE, not a kill *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let log =
     if selftest && not verbose && log_file = None then None
     else
@@ -20,11 +27,22 @@ let main socket workers max_pending cache slice log_file verbose selftest
       | None -> if verbose || not selftest then Some stderr else None
   in
   if selftest then begin
-    let r = Serve.Selftest.run ~clients ~jobs_per_client:jobs ?workers ~seed ?log () in
-    Printf.printf "selftest: %d served responses checked against standalone runs\n"
+    let r =
+      Serve.Selftest.run ~clients ~jobs_per_client:jobs ?workers ~seed ~churn
+        ?log ()
+    in
+    Printf.printf
+      "selftest: %d served responses checked against standalone runs\n"
       r.Serve.Selftest.checked;
     Printf.printf "cache: %d hits, %d misses\n" r.Serve.Selftest.cache_hits
       r.Serve.Selftest.cache_misses;
+    if r.Serve.Selftest.churned > 0 then
+      Printf.printf
+        "churn: %d short-lived clients in %.1fs (%d retries healed, %d \
+         deduped, %d shed)\n"
+        r.Serve.Selftest.churned r.Serve.Selftest.elapsed_s
+        r.Serve.Selftest.retried r.Serve.Selftest.deduped
+        r.Serve.Selftest.shed;
     match r.Serve.Selftest.failures with
     | [] ->
       print_endline "all served responses bit-identical to standalone runs";
@@ -34,25 +52,44 @@ let main socket workers max_pending cache slice log_file verbose selftest
       `Error (false, Printf.sprintf "%d mismatches" (List.length fs))
   end
   else begin
-    let config =
-      { (Serve.Server.default_config ~socket_path:socket) with
-        Serve.Server.workers =
-          Option.value workers ~default:(Exec.Pool.default_jobs ());
-        max_pending;
-        cache_capacity = cache;
-        slice;
-        log }
-    in
-    Printf.printf "dfserve: listening on %s\n%!" socket;
-    Serve.Server.run config;
-    `Ok ()
+    match
+      match tcp with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Runspec.hostport_of_string s)
+    with
+    | Error e -> `Error (true, "--tcp " ^ e)
+    | Ok tcp ->
+      let config =
+        { (Serve.Server.default_config ~socket_path:socket) with
+          Serve.Server.workers =
+            Option.value workers ~default:(Exec.Pool.default_jobs ());
+          tcp;
+          max_pending;
+          cache_capacity = cache;
+          slice;
+          max_line;
+          idle_timeout =
+            (if idle_timeout <= 0.0 then None else Some idle_timeout);
+          write_timeout;
+          drain_timeout;
+          journal_path = journal;
+          log }
+      in
+      Printf.printf "dfserve: listening on %s%s\n%!" socket
+        (match tcp with
+        | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p
+        | None -> "");
+      Serve.Server.run config;
+      `Ok ()
   end
 
-let main_safe socket workers max_pending cache slice log_file verbose selftest
-    clients jobs seed =
+let main_safe socket tcp journal max_line idle_timeout write_timeout
+    drain_timeout workers max_pending cache slice log_file verbose selftest
+    clients jobs churn seed =
   try
-    main socket workers max_pending cache slice log_file verbose selftest
-      clients jobs seed
+    main socket tcp journal max_line idle_timeout write_timeout drain_timeout
+      workers max_pending cache slice log_file verbose selftest clients jobs
+      churn seed
   with
   | Failure msg -> `Error (false, msg)
   | Unix.Unix_error (e, fn, arg) ->
@@ -65,6 +102,44 @@ let cmd =
     Arg.(value & opt string (default_socket ())
          & info [ "socket"; "s" ] ~docv:"PATH"
              ~doc:"Unix-domain socket path to listen on")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT"
+             ~doc:"also listen on TCP (port 0 picks an ephemeral port; \
+                   an empty host means 127.0.0.1)")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"write-ahead job journal: admitted idempotent requests \
+                   and their responses are recorded here, and replayed on \
+                   restart so retried requests are answered exactly once \
+                   even across a crash")
+  in
+  let max_line =
+    Arg.(value & opt int (1 lsl 20)
+         & info [ "max-line" ] ~docv:"BYTES"
+             ~doc:"request-line cap: longer lines draw a structured \
+                   malformed error and a close")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 60.0
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"close connections idle this long with no work in \
+                   flight (0 disables)")
+  in
+  let write_timeout =
+    Arg.(value & opt float 10.0
+         & info [ "write-timeout" ] ~docv:"SECONDS"
+             ~doc:"close connections whose pending responses make no \
+                   progress this long")
+  in
+  let drain_timeout =
+    Arg.(value & opt float 30.0
+         & info [ "drain-timeout" ] ~docv:"SECONDS"
+             ~doc:"shutdown drains admitted jobs for at most this long \
+                   before dumping the queue")
   in
   let workers =
     Arg.(value & opt (some int) None
@@ -101,7 +176,8 @@ let cmd =
     Arg.(value & flag
          & info [ "selftest" ]
              ~doc:"soak a private server with concurrent faulted clients \
-                   and verify bit-identity against standalone runs, then \
+                   plus a churn phase of sequential hostile-wire clients, \
+                   verify bit-identity against standalone runs, then \
                    exit (nonzero on any mismatch)")
   in
   let clients =
@@ -113,19 +189,27 @@ let cmd =
          & info [ "jobs-per-client" ] ~docv:"N"
              ~doc:"selftest: simulate requests per client")
   in
+  let churn =
+    Arg.(value & opt int 1000
+         & info [ "churn" ] ~docv:"N"
+             ~doc:"selftest: sequential short-lived connections in the \
+                   churn phase (0 disables)")
+  in
   let seed =
     Arg.(value & opt int 1
          & info [ "seed" ] ~docv:"N" ~doc:"selftest: scenario seed")
   in
   let term =
-    Term.(ret (const main_safe $ socket $ workers $ max_pending $ cache
-               $ slice $ log_file $ verbose $ selftest $ clients $ jobs
-               $ seed))
+    Term.(ret (const main_safe $ socket $ tcp $ journal $ max_line
+               $ idle_timeout $ write_timeout $ drain_timeout $ workers
+               $ max_pending $ cache $ slice $ log_file $ verbose $ selftest
+               $ clients $ jobs $ churn $ seed))
   in
   Cmd.v
     (Cmd.info "dfserve" ~version:"1.0"
        ~doc:"persistent compile-and-simulate service with a \
-             compiled-program cache and fair queueing")
+             compiled-program cache, fair queueing, transport deadlines \
+             and a crash-safe job journal")
     term
 
 let () = exit (Cmdliner.Cmd.eval cmd)

@@ -167,3 +167,15 @@ let write_values ~path outputs =
               Printf.fprintf oc "%s\t%d\t%s\n" name t (value_text v))
             arrivals)
         outputs)
+
+let hostport_of_string s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "%S: expected HOST:PORT" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port_s with
+    | Some port when port >= 0 && port <= 65535 ->
+      Ok ((if host = "" then "127.0.0.1" else host), port)
+    | Some port -> Error (Printf.sprintf "port %d outside 0..65535" port)
+    | None -> Error (Printf.sprintf "%S: port is not a number" port_s))

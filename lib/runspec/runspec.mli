@@ -97,3 +97,10 @@ val write_values : path:string -> (string * (int * Value.t) list) list -> unit
     per packet, reals in bit-exact [%h] form.  [dfsim --values-out] and
     [dfclient simulate --values-out] write this same format, so CI can
     [diff] a served run against a standalone one. *)
+
+(** {1 Transport endpoints} *)
+
+val hostport_of_string : string -> (string * int, string) result
+(** Parse a ["HOST:PORT"] TCP endpoint (an empty host means
+    [127.0.0.1]; port 0 asks the kernel for an ephemeral port).  Shared
+    by [dfserve --tcp], [dfclient --tcp] and the chaos harness. *)

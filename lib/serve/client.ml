@@ -1,19 +1,62 @@
 module J = Obs.Json
+module Prng = Fault.Prng
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_of_string s =
+  if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+    match Runspec.hostport_of_string (String.sub s 4 (String.length s - 4)) with
+    | Ok (host, port) -> Tcp (host, port)
+    | Error e -> invalid_arg ("Client.addr_of_string: " ^ e)
+  else Unix_path s
+
+let addr_to_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+exception Timeout
+exception Injected of string
 
 type t = {
   fd : Unix.file_descr;
   rbuf : Buffer.t;
   mutable stash : (int * J.t) list;
   mutable next_id : int;
+  conn : int;  (* connection ordinal: netfault keying *)
+  mutable ops : int;  (* operation ordinal within the connection *)
+  netfault : Netfault.spec option;
+  deadline : float option;  (* seconds an await may block *)
 }
 
-let connect ?(retries = 50) ?(delay = 0.1) path =
+let sockaddr_of = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } ->
+          raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host))
+        | h -> h.Unix.h_addr_list.(0)
+        | exception Not_found ->
+          raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host)))
+    in
+    Unix.ADDR_INET (ip, port)
+
+let connect ?(retries = 50) ?(delay = 0.1) ?deadline ?netfault ?(conn = 0)
+    addr =
+  (match netfault with Some s -> Netfault.validate s | None -> ());
+  let addr = addr_of_string addr in
+  let domain =
+    match addr with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
   let rec go attempt =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (sockaddr_of addr) with
     | () -> fd
     | exception
-        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        Unix.Unix_error
+          ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.ECONNRESET), _, _)
       when attempt < retries ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Unix.sleepf delay;
@@ -22,24 +65,80 @@ let connect ?(retries = 50) ?(delay = 0.1) path =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
   in
-  { fd = go 0; rbuf = Buffer.create 4096; stash = []; next_id = 1 }
+  { fd = go 0;
+    rbuf = Buffer.create 4096;
+    stash = [];
+    next_id = 1;
+    conn;
+    ops = 0;
+    netfault;
+    deadline }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* EINTR-safe; EPIPE and friends surface as Unix_error for the retry
+   layer (mains ignore SIGPIPE so a dead peer is an error, not a
+   process kill). *)
+let write_all fd bytes off len =
+  let rec go off =
+    if off < len then
+      match Unix.write fd bytes off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go off
 
 let send t req =
   let id = t.next_id in
   t.next_id <- id + 1;
+  let op = t.ops in
+  t.ops <- op + 1;
   let line = J.to_string (Protocol.request_to_json ~id req) ^ "\n" in
-  let bytes = Bytes.of_string line in
-  let len = Bytes.length bytes in
-  let rec write_all off =
-    if off < len then write_all (off + Unix.write t.fd bytes off (len - off))
-  in
-  write_all 0;
+  (match t.netfault with
+  | None -> write_all t.fd (Bytes.of_string line) 0 (String.length line)
+  | Some spec -> (
+    match Netfault.action spec ~conn:t.conn ~op with
+    | Netfault.Pass ->
+      write_all t.fd (Bytes.of_string line) 0 (String.length line)
+    | Netfault.Drop ->
+      close t;
+      raise (Injected "connection dropped before write")
+    | Netfault.Truncate f ->
+      let n = max 1 (int_of_float (f *. float_of_int (String.length line))) in
+      let n = min n (String.length line - 1) in
+      write_all t.fd (Bytes.of_string line) 0 n;
+      close t;
+      raise (Injected (Printf.sprintf "truncated after %d/%d bytes" n
+                         (String.length line)))
+    | Netfault.Garbage g ->
+      let poisoned = g ^ line in
+      write_all t.fd (Bytes.of_string poisoned) 0 (String.length poisoned)
+    | Netfault.Stall (f, pause) ->
+      let n = max 1 (int_of_float (f *. float_of_int (String.length line))) in
+      let n = min n (String.length line - 1) in
+      let bytes = Bytes.of_string line in
+      write_all t.fd bytes 0 n;
+      Unix.sleepf pause;
+      write_all t.fd bytes n (String.length line)));
   id
 
-(* Read one complete line, buffering the overshoot. *)
-let read_line t =
+(* Read one complete line, buffering the overshoot; [limit] is the
+   absolute wall-clock instant the whole await must finish by. *)
+let read_line ?limit t =
+  let wait_readable () =
+    match limit with
+    | None -> ()
+    | Some limit ->
+      let rec sel () =
+        let remaining = limit -. Unix.gettimeofday () in
+        if remaining <= 0.0 then raise Timeout;
+        match Unix.select [ t.fd ] [] [] remaining with
+        | [], _, _ -> raise Timeout
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> sel ()
+      in
+      sel ()
+  in
   let rec line_of start =
     let data = Buffer.contents t.rbuf in
     match String.index_from_opt data start '\n' with
@@ -49,8 +148,16 @@ let read_line t =
       Buffer.add_substring t.rbuf data (nl + 1) (String.length data - nl - 1);
       line
     | None ->
+      wait_readable ();
       let chunk = Bytes.create 4096 in
-      let n = Unix.read t.fd chunk 0 4096 in
+      let n =
+        let rec rd () =
+          match Unix.read t.fd chunk 0 4096 with
+          | n -> n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> rd ()
+        in
+        rd ()
+      in
       if n = 0 then raise End_of_file;
       let resume = String.length data in
       Buffer.add_subbytes t.rbuf chunk 0 n;
@@ -58,7 +165,10 @@ let read_line t =
   in
   line_of 0
 
-let recv t = J.of_string (read_line t)
+let limit_of t =
+  Option.map (fun d -> Unix.gettimeofday () +. d) t.deadline
+
+let recv t = J.of_string (read_line ?limit:(limit_of t) t)
 
 let take_stashed t id =
   match List.assoc_opt id t.stash with
@@ -71,17 +181,80 @@ let await t id =
   match take_stashed t id with
   | Some r -> r
   | None ->
+    let limit = limit_of t in
     let rec pump () =
-      let r = recv t in
+      let r = J.of_string (read_line ?limit t) in
       match Protocol.response_id r with
       | Some rid when rid = id -> r
-      | Some rid ->
+      | Some rid when rid >= 0 ->
         t.stash <- t.stash @ [ (rid, r) ];
         pump ()
-      | None ->
-        t.stash <- t.stash @ [ (-1, r) ];
-        pump ()
+      | _ -> (
+        (* an unaddressed [malformed] means a request of ours was
+           mangled on the wire — fail fast so the retry layer reissues
+           instead of waiting out the deadline *)
+        match Protocol.response_error r with
+        | Some (Some Protocol.Malformed, m) ->
+          raise (Injected ("server rejected frame: " ^ m))
+        | _ ->
+          t.stash <- t.stash @ [ (-1, r) ];
+          pump ())
     in
     pump ()
 
 let rpc t req = await t (send t req)
+
+(* ---------------- retry with backoff ---------------- *)
+
+type retry = {
+  attempts : int;
+  base_delay : float;
+  max_delay : float;
+  retry_seed : int;
+}
+
+let default_retry =
+  { attempts = 10; base_delay = 0.05; max_delay = 1.0; retry_seed = 0 }
+
+let backoff_delay retry ~attempt =
+  let exp = min (float_of_int (1 lsl min attempt 16) *. retry.base_delay)
+              retry.max_delay in
+  (* full jitter in [0.5, 1.5): seeded, so a soak replays its pauses *)
+  exp *. (0.5 +. Prng.float_of_hash (Prng.mix retry.retry_seed [ attempt ]))
+
+let retryable_error resp =
+  match Protocol.response_error resp with
+  | Some (Some (Protocol.Overloaded | Protocol.Shutting_down
+               | Protocol.Deadline), _) -> true
+  | _ -> false
+
+let resilient_rpc ?netfault ?(deadline = 30.0) ?(retry = default_retry) ~addr
+    req =
+  let rec go attempt last_error =
+    if attempt >= retry.attempts then
+      failwith
+        (Printf.sprintf "resilient_rpc: %d attempts exhausted (%s)"
+           retry.attempts last_error)
+    else begin
+      if attempt > 0 then Unix.sleepf (backoff_delay retry ~attempt);
+      match
+        let c =
+          connect ~retries:3 ~delay:0.05 ~deadline ?netfault ~conn:attempt
+            addr
+        in
+        Fun.protect ~finally:(fun () -> close c) (fun () -> rpc c req)
+      with
+      | resp ->
+        if retryable_error resp then
+          go (attempt + 1)
+            (Option.value ~default:"retryable server error"
+               (Option.map snd (Protocol.response_error resp)))
+        else (resp, attempt + 1)
+      | exception Timeout -> go (attempt + 1) "request deadline expired"
+      | exception End_of_file -> go (attempt + 1) "connection closed"
+      | exception Injected why -> go (attempt + 1) ("injected: " ^ why)
+      | exception Unix.Unix_error (e, fn, _) ->
+        go (attempt + 1) (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    end
+  in
+  go 0 "no attempt made"

@@ -1,0 +1,181 @@
+module J = Obs.Json
+
+(* A journal is a sequence of independently framed records:
+
+     dfjent <crc> <len>\n
+     { ... }\n
+
+   — the same magic+CRC+length discipline Recover.Checkpoint uses for
+   snapshot files, applied per record so an append torn by SIGKILL
+   corrupts only the tail.  Replay stops at the first frame that fails
+   its header, length or checksum: everything before a torn append is
+   trusted, everything after it is not (an append-only log gives no
+   resync point that is safe against a record boundary forged by
+   rotted bytes). *)
+
+let magic = "dfjent"
+
+type entry =
+  | Admit of { idem : string; request : J.t }
+  | Progress of { idem : string; checkpoint : J.t }
+  | Done of { idem : string; response : J.t; digest : int option }
+
+let entry_to_json = function
+  | Admit { idem; request } ->
+    J.Obj [ ("kind", J.String "admit"); ("idem", J.String idem);
+            ("request", request) ]
+  | Progress { idem; checkpoint } ->
+    J.Obj [ ("kind", J.String "progress"); ("idem", J.String idem);
+            ("checkpoint", checkpoint) ]
+  | Done { idem; response; digest } ->
+    J.Obj
+      (("kind", J.String "done") :: ("idem", J.String idem)
+      :: ("response", response)
+      ::
+      (match digest with
+      | Some d -> [ ("digest", J.Int d) ]
+      | None -> []))
+
+let entry_of_json j =
+  match (J.get_string (J.member "kind" j), J.get_string (J.member "idem" j))
+  with
+  | Some "admit", Some idem -> Ok (Admit { idem; request = J.member "request" j })
+  | Some "progress", Some idem ->
+    Ok (Progress { idem; checkpoint = J.member "checkpoint" j })
+  | Some "done", Some idem ->
+    Ok
+      (Done
+         { idem;
+           response = J.member "response" j;
+           digest = J.get_int (J.member "digest" j) })
+  | _, None -> Error "journal entry without idem"
+  | Some k, _ -> Error (Printf.sprintf "unknown journal entry kind %S" k)
+  | None, _ -> Error "journal entry without kind"
+
+let frame entry =
+  let payload = J.to_string (entry_to_json entry) ^ "\n" in
+  Printf.sprintf "%s %d %d\n%s" magic
+    (Integrity.checksum_string payload)
+    (String.length payload) payload
+
+(* ---------------- replay ---------------- *)
+
+(* Longest intact prefix of records; anything torn, truncated or
+   bit-rotted ends the replay. *)
+let entries_of_string text =
+  let len = String.length text in
+  let rec go pos acc =
+    if pos >= len then List.rev acc
+    else
+      match String.index_from_opt text pos '\n' with
+      | None -> List.rev acc (* torn header *)
+      | Some nl -> (
+        let header = String.sub text pos (nl - pos) in
+        match String.split_on_char ' ' header with
+        | [ m; crc_s; plen_s ] when m = magic -> (
+          match (int_of_string_opt crc_s, int_of_string_opt plen_s) with
+          | Some crc, Some plen ->
+            let start = nl + 1 in
+            if start + plen > len then List.rev acc (* torn payload *)
+            else
+              let payload = String.sub text start plen in
+              if Integrity.checksum_string payload <> crc then List.rev acc
+              else (
+                match J.of_string payload with
+                | exception J.Parse_error _ -> List.rev acc
+                | doc -> (
+                  match entry_of_json doc with
+                  | Ok e -> go (start + plen) (e :: acc)
+                  | Error _ -> List.rev acc))
+          | _ -> List.rev acc)
+        | _ -> List.rev acc)
+  in
+  go 0 []
+
+let replay path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> []
+  | text -> entries_of_string text
+
+(* ---------------- folding a replay into job state ---------------- *)
+
+type pending = {
+  p_idem : string;
+  p_request : J.t;
+  p_checkpoint : J.t option;  (** latest progress checkpoint, if any *)
+}
+
+type recovered = {
+  completed : (string * J.t) list;  (** idem -> recorded response, oldest first *)
+  pending : pending list;  (** admitted, never completed, admission order *)
+}
+
+let fold entries =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Admit { idem; request } ->
+        if not (Hashtbl.mem tbl idem) then begin
+          Hashtbl.add tbl idem (`Pending (request, None));
+          order := idem :: !order
+        end
+      | Progress { idem; checkpoint } -> (
+        match Hashtbl.find_opt tbl idem with
+        | Some (`Pending (req, _)) ->
+          Hashtbl.replace tbl idem (`Pending (req, Some checkpoint))
+        | _ -> ())
+      | Done { idem; response; _ } -> (
+        match Hashtbl.find_opt tbl idem with
+        | Some (`Pending _) | None -> Hashtbl.replace tbl idem (`Done response)
+        | Some (`Done _) -> ()))
+    entries;
+  let completed, pending =
+    List.fold_left
+      (fun (cs, ps) idem ->
+        match Hashtbl.find_opt tbl idem with
+        | Some (`Done response) -> ((idem, response) :: cs, ps)
+        | Some (`Pending (request, checkpoint)) ->
+          (cs, { p_idem = idem; p_request = request; p_checkpoint = checkpoint } :: ps)
+        | None -> (cs, ps))
+      ([], []) !order
+  in
+  { completed; pending }
+
+(* ---------------- the live writer ---------------- *)
+
+type t = {
+  oc : out_channel;
+  mutex : Mutex.t;  (** appends come from the event loop and from workers *)
+  mutable appended : int;
+}
+
+let open_append path =
+  { oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path;
+    mutex = Mutex.create ();
+    appended = 0 }
+
+let append t entry =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      (* one write per record, flushed to the OS: a SIGKILL after this
+         returns can tear at most the record being appended *)
+      output_string t.oc (frame entry);
+      flush t.oc;
+      t.appended <- t.appended + 1)
+
+let appended t = t.appended
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> close_out_noerr t.oc)

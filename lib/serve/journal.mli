@@ -1,0 +1,77 @@
+(** Write-ahead job journal: dfserve's durability layer.
+
+    Each admitted simulate request is recorded {e before} it runs
+    ([Admit], carrying the client's idempotency key and the full
+    request document), machine jobs record their latest slice-boundary
+    checkpoint as they advance ([Progress]), and every final response
+    is recorded when it is produced ([Done], before it is sent).  On
+    restart the server {!replay}s the file: [Done] entries seed the
+    idempotency-key response cache, so a client retrying a request the
+    old server already answered gets the recorded response back
+    bit-identically; [Admit] entries without a [Done] are re-run —
+    machine jobs resuming from their last [Progress] checkpoint where
+    one exists — and their completions are journaled as usual.  The
+    combination turns at-least-once client retries into exactly-once
+    results across server crashes.
+
+    On disk every record is independently framed with the same
+    magic+CRC+length discipline {!Recover.Checkpoint} uses for
+    snapshot files ([dfjent <crc> <len>] + payload), so an append torn
+    by SIGKILL corrupts only the tail: {!replay} returns the longest
+    intact prefix of records and ignores everything after the first
+    torn, truncated or bit-rotted frame. *)
+
+type entry =
+  | Admit of { idem : string; request : Obs.Json.t }
+      (** the simulate request as submitted (a [run_fields] object) *)
+  | Progress of { idem : string; checkpoint : Obs.Json.t }
+      (** latest resumable {!Recover.Checkpoint} document *)
+  | Done of { idem : string; response : Obs.Json.t; digest : int option }
+      (** the final response (id normalized to 0); [digest] for quick
+          audits without decoding the response *)
+
+val frame : entry -> string
+(** The exact bytes {!append} writes for one record. *)
+
+val entries_of_string : string -> entry list
+(** Longest intact record prefix of a journal image. *)
+
+val replay : string -> entry list
+(** [entries_of_string] over a file; a missing file is an empty
+    journal. *)
+
+type pending = {
+  p_idem : string;
+  p_request : Obs.Json.t;
+  p_checkpoint : Obs.Json.t option;
+}
+
+type recovered = {
+  completed : (string * Obs.Json.t) list;
+  pending : pending list;
+}
+
+val fold : entry list -> recovered
+(** Collapse a replayed entry list into the response cache and the
+    re-run worklist, both in admission order.  A duplicate [Admit] for
+    an idem key is ignored; [Progress]/[Done] for unknown keys are
+    tolerated (their [Admit] may have been torn off a previous
+    journal generation). *)
+
+(** {1 Appending} *)
+
+type t
+
+val open_append : string -> t
+(** Open (creating if needed) for appending.  Thread-safe: the server
+    appends from its event loop and from worker domains. *)
+
+val append : t -> entry -> unit
+(** One framed record, one [write], flushed to the OS before
+    returning — a SIGKILL can tear at most the record in flight. *)
+
+val appended : t -> int
+(** Records appended through this handle (not counting replayed
+    history). *)
+
+val close : t -> unit

@@ -1,0 +1,64 @@
+module Prng = Fault.Prng
+
+type spec = {
+  nf_seed : int;
+  drop_prob : float;
+  trunc_prob : float;
+  garbage_prob : float;
+  stall_prob : float;
+  stall_s : float;
+}
+
+let none =
+  { nf_seed = 0;
+    drop_prob = 0.0;
+    trunc_prob = 0.0;
+    garbage_prob = 0.0;
+    stall_prob = 0.0;
+    stall_s = 0.0 }
+
+let hostile ~seed =
+  { nf_seed = seed;
+    drop_prob = 0.15;
+    trunc_prob = 0.15;
+    garbage_prob = 0.15;
+    stall_prob = 0.1;
+    stall_s = 0.05 }
+
+let validate s =
+  let check name p =
+    if not (p >= 0.0 && p <= 1.0) then
+      invalid_arg (Printf.sprintf "Netfault: %s=%g outside [0,1]" name p)
+  in
+  check "drop" s.drop_prob;
+  check "trunc" s.trunc_prob;
+  check "garbage" s.garbage_prob;
+  check "stall" s.stall_prob;
+  if s.stall_s < 0.0 then invalid_arg "Netfault: negative stall duration"
+
+type action =
+  | Pass
+  | Drop
+  | Truncate of float  (** fraction of the line that escapes *)
+  | Garbage of string  (** newline-free prefix bytes *)
+  | Stall of float * float  (** split point fraction, pause seconds *)
+
+(* Every decision is a pure function of (seed, connection, op): the
+   same keyed-hash discipline Fault_plan uses, so a soak replays the
+   same wire faults whatever the interleaving. *)
+let action spec ~conn ~op =
+  let h slot = Prng.mix spec.nf_seed [ conn; op; slot ] in
+  let roll slot = Prng.float_of_hash (h slot) in
+  if roll 0 < spec.drop_prob then Drop
+  else if roll 1 < spec.trunc_prob then
+    Truncate (0.1 +. (0.8 *. Prng.float_of_hash (h 2)))
+  else if roll 3 < spec.garbage_prob then
+    Garbage
+      (String.init
+         (1 + Prng.int_of_hash (h 4) 24)
+         (fun i ->
+           (* printable, newline-free junk: never a frame boundary *)
+           Char.chr (33 + Prng.int_of_hash (h (10 + i)) 94)))
+  else if roll 5 < spec.stall_prob then
+    Stall (0.1 +. (0.8 *. Prng.float_of_hash (h 6)), spec.stall_s)
+  else Pass

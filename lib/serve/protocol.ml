@@ -86,6 +86,7 @@ type run = {
   watchdog : watchdog_spec;
   max_time : int option;
   sanitize : bool;
+  idem : string option;
 }
 
 let default_run program =
@@ -100,11 +101,20 @@ let default_run program =
     integrity = false;
     watchdog = Off;
     max_time = None;
-    sanitize = false }
+    sanitize = false;
+    idem = None }
+
+type sweep = {
+  sw_kernels : string list option;
+  sw_pes : int list;
+  sw_waves : int list;
+  sw_size : int;
+}
 
 type request =
   | Compile of program
   | Simulate of run
+  | Sweep of sweep
   | Cancel of int
   | Stats
   | Shutdown
@@ -131,13 +141,23 @@ let run_fields r =
     | Auto -> [ ("watchdog", J.String "auto") ]
     | At n -> [ ("watchdog", J.Int n) ])
   @ (match r.max_time with Some n -> [ ("max_time", J.Int n) ] | None -> [])
-  @ if r.sanitize then [ ("sanitize", J.Bool true) ] else []
+  @ (if r.sanitize then [ ("sanitize", J.Bool true) ] else [])
+  @ match r.idem with Some k -> [ ("idem", J.String k) ] | None -> []
+
+let sweep_fields s =
+  (match s.sw_kernels with
+  | None -> []
+  | Some ks -> [ ("kernels", J.List (List.map (fun k -> J.String k) ks)) ])
+  @ [ ("pes", J.List (List.map (fun n -> J.Int n) s.sw_pes));
+      ("waves", J.List (List.map (fun n -> J.Int n) s.sw_waves));
+      ("size", J.Int s.sw_size) ]
 
 let request_to_json ~id req =
   let verb, fields =
     match req with
     | Compile p -> ("compile", program_fields p)
     | Simulate r -> ("simulate", run_fields r)
+    | Sweep s -> ("sweep", sweep_fields s)
     | Cancel target -> ("cancel", [ ("target", J.Int target) ])
     | Stats -> ("stats", [])
     | Shutdown -> ("shutdown", [])
@@ -211,7 +231,46 @@ let run_of_json j =
             max_time = J.get_int (J.member "max_time" j);
             sanitize =
               Option.value ~default:false (J.get_bool (J.member "sanitize" j));
+            idem = J.get_string (J.member "idem" j);
           })
+
+let sweep_of_json j =
+  let ints name =
+    match J.member name j with
+    | J.Null -> Ok None
+    | J.List xs -> (
+      match result_map (fun x -> match J.get_int x with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "%s: expected integers" name)) xs
+      with
+      | Ok ns -> Ok (Some ns)
+      | Error _ as e -> e)
+    | _ -> Error (Printf.sprintf "%s: expected a list" name)
+  in
+  let kernels =
+    match J.member "kernels" j with
+    | J.Null -> Ok None
+    | J.List xs -> (
+      match result_map (fun x -> match J.get_string x with
+        | Some s -> Ok s
+        | None -> Error "kernels: expected strings") xs
+      with
+      | Ok ks -> Ok (Some ks)
+      | Error _ as e -> e)
+    | _ -> Error "kernels: expected a list"
+  in
+  match (kernels, ints "pes", ints "waves") with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+  | Ok kernels, Ok pes, Ok waves ->
+    let pes = Option.value ~default:[ 1; 2; 4; 8; 16 ] pes in
+    let waves = Option.value ~default:[ 4 ] waves in
+    let size = Option.value ~default:32 (J.get_int (J.member "size" j)) in
+    if List.exists (fun p -> p < 1) pes then Error "pes must be positive"
+    else if List.exists (fun w -> w < 1) waves then
+      Error "waves must be positive"
+    else if size < 1 then Error "size must be positive"
+    else Ok { sw_kernels = kernels; sw_pes = pes; sw_waves = waves;
+              sw_size = size }
 
 let request_of_json j =
   match (J.get_int (J.member "id" j), J.get_string (J.member "verb" j)) with
@@ -222,6 +281,7 @@ let request_of_json j =
     match verb with
     | "compile" -> wrap (Result.map (fun p -> Compile p) (program_of_json j))
     | "simulate" -> wrap (Result.map (fun r -> Simulate r) (run_of_json j))
+    | "sweep" -> wrap (Result.map (fun s -> Sweep s) (sweep_of_json j))
     | "cancel" -> (
       match J.get_int (J.member "target" j) with
       | Some t -> Ok (id, Cancel t)
@@ -234,30 +294,36 @@ let request_of_json j =
 
 type error_kind =
   | Bad_request
+  | Malformed
   | Compile_error
   | Unknown_verb
   | Overloaded
   | Cancelled
   | Run_error
   | Shutting_down
+  | Deadline
 
 let error_kind_to_string = function
   | Bad_request -> "bad_request"
+  | Malformed -> "malformed"
   | Compile_error -> "compile_error"
   | Unknown_verb -> "unknown_verb"
   | Overloaded -> "overloaded"
   | Cancelled -> "cancelled"
   | Run_error -> "run_error"
   | Shutting_down -> "shutting_down"
+  | Deadline -> "deadline"
 
 let error_kind_of_string = function
   | "bad_request" -> Some Bad_request
+  | "malformed" -> Some Malformed
   | "compile_error" -> Some Compile_error
   | "unknown_verb" -> Some Unknown_verb
   | "overloaded" -> Some Overloaded
   | "cancelled" -> Some Cancelled
   | "run_error" -> Some Run_error
   | "shutting_down" -> Some Shutting_down
+  | "deadline" -> Some Deadline
   | _ -> None
 
 let ok ~id ~verb fields =
@@ -273,6 +339,14 @@ let error ?(extra = []) ~id kind message =
     :: extra)
 
 let response_id j = J.get_int (J.member "id" j)
+
+(* Re-address a recorded response to a new request id: journal replays
+   and idempotent dedup answer a retried request with the response
+   recorded for the original one, under the retry's own id. *)
+let with_id id = function
+  | J.Obj fields ->
+    J.Obj (("id", J.Int id) :: List.filter (fun (k, _) -> k <> "id") fields)
+  | j -> j
 
 let response_ok j =
   Option.value ~default:false (J.get_bool (J.member "ok" j))

@@ -48,14 +48,32 @@ type run = {
   watchdog : watchdog_spec;
   max_time : int option;
   sanitize : bool;  (** fresh sanitizer per run, as {!Exec.Job} *)
+  idem : string option;
+      (** idempotency key: the server journals the request under it and
+          answers a retried request carrying the same key with the
+          recorded response (or by attaching the retry to the run still
+          in flight) instead of running it again — at-least-once
+          clients get exactly-once results, across server restarts *)
 }
 
 val default_run : program -> run
-(** One wave, sim engine, no faults, no watchdog, no sanitizer. *)
+(** One wave, sim engine, no faults, no watchdog, no sanitizer, no
+    idempotency key. *)
+
+type sweep = {
+  sw_kernels : string list option;  (** [None] = the whole library *)
+  sw_pes : int list;
+  sw_waves : int list;
+  sw_size : int;
+}
+(** A declarative kernel × PE-count × waves grid, served off the
+    persistent pool; the response's [grid] document matches
+    [bin/sweep.exe]'s output byte for byte. *)
 
 type request =
   | Compile of program  (** compile (through the cache) but do not run *)
   | Simulate of run
+  | Sweep of sweep
   | Cancel of int  (** a request [id] on the same connection *)
   | Stats
   | Shutdown
@@ -69,7 +87,11 @@ val request_of_json : Obs.Json.t -> (int * request, string) result
 (** {1 Responses} *)
 
 type error_kind =
-  | Bad_request  (** undecodable request; never enqueued *)
+  | Bad_request  (** well-formed JSON with bad field values *)
+  | Malformed
+      (** not a protocol frame at all: unparseable bytes, or a request
+          line over the server's [max_line] cap (the connection is
+          closed after an over-cap rejection) *)
   | Compile_error  (** Val source rejected by the compiler *)
   | Unknown_verb
   | Overloaded  (** admission control: pending queue full *)
@@ -78,6 +100,9 @@ type error_kind =
           restorable checkpoint under ["checkpoint"] *)
   | Run_error  (** the engine raised; message carries the exception *)
   | Shutting_down
+  | Deadline
+      (** the connection sat idle past the server's read/idle deadline;
+          sent best-effort just before the close *)
 
 val error_kind_to_string : error_kind -> string
 val error_kind_of_string : string -> error_kind option
@@ -94,6 +119,11 @@ val error :
 (** [{"id":id,"ok":false,"error":kind,"message":msg,...extra}]. *)
 
 val response_id : Obs.Json.t -> int option
+
+val with_id : int -> Obs.Json.t -> Obs.Json.t
+(** Re-address a recorded response to a new request id (dedup and
+    journal replay). *)
+
 val response_ok : Obs.Json.t -> bool
 val response_error : Obs.Json.t -> (error_kind option * string) option
 (** [Some (kind, message)] when the response is an error. *)

@@ -8,6 +8,11 @@ type report = {
   failures : string list;
   cache_hits : int;
   cache_misses : int;
+  churned : int;
+  retried : int;
+  shed : int;
+  deduped : int;
+  elapsed_s : float;
 }
 
 (* One deterministic scenario: a request plus nothing else — the
@@ -108,8 +113,85 @@ let client_session ~socket ~seed ~client ~jobs =
              | Ok expected -> check_response ~label resp expected)
            runs ids))
 
+(* The churn phase: [churn] sequential short-lived connections, each
+   one request against a tiny cache-hot scenario.  Every seventh goes
+   through the hostile-wire stack — netfault + resilient_rpc + an
+   idempotency key — and then re-sends the same key on a clean
+   connection, which must answer from the record without re-running. *)
+let churn_phase ~socket ~seed ~churn =
+  let t0 = Unix.gettimeofday () in
+  let failures = ref [] in
+  let retried = ref 0 in
+  let kernels = List.map (fun k -> k.K.name) K.all in
+  let expected = Hashtbl.create 8 in
+  let scenario_of i =
+    let name = List.nth kernels (i mod min 3 (List.length kernels)) in
+    let base = P.default_run (P.Kernel { name; size = 4 }) in
+    { base with P.waves = 1 }
+  in
+  let expect r =
+    let key = J.to_string (P.request_to_json ~id:0 (P.Simulate r)) in
+    match Hashtbl.find_opt expected key with
+    | Some o -> o
+    | None ->
+      let o = standalone r in
+      Hashtbl.add expected key o;
+      o
+  in
+  for i = 0 to churn - 1 do
+    let r = scenario_of i in
+    let label = Printf.sprintf "churn %d" i in
+    let check resp =
+      match expect r with
+      | Error e ->
+        failures :=
+          Printf.sprintf "%s: standalone failed: %s" label e :: !failures
+      | Ok o -> failures := check_response ~label resp o @ !failures
+    in
+    if i mod 7 = 3 then begin
+      let r = { r with P.idem = Some (Printf.sprintf "churn-%d-%d" seed i) } in
+      let nf =
+        { (Netfault.hostile ~seed:(seed + i)) with Netfault.stall_s = 0.01 }
+      in
+      let retry =
+        { Client.attempts = 12;
+          base_delay = 0.01;
+          max_delay = 0.1;
+          retry_seed = seed + i }
+      in
+      match
+        Client.resilient_rpc ~netfault:nf ~deadline:10.0 ~retry ~addr:socket
+          (P.Simulate r)
+      with
+      | resp, attempts ->
+        retried := !retried + attempts - 1;
+        check resp;
+        (* at-least-once retry of a finished request: answered from the
+           record, bit-identically *)
+        let dup = Client.connect socket in
+        Fun.protect
+          ~finally:(fun () -> Client.close dup)
+          (fun () -> check (Client.rpc dup (P.Simulate r)))
+      | exception e ->
+        failures :=
+          Printf.sprintf "%s: %s" label (Printexc.to_string e) :: !failures
+    end
+    else
+      match
+        let conn = Client.connect socket in
+        Fun.protect
+          ~finally:(fun () -> Client.close conn)
+          (fun () -> Client.rpc conn (P.Simulate r))
+      with
+      | resp -> check resp
+      | exception e ->
+        failures :=
+          Printf.sprintf "%s: %s" label (Printexc.to_string e) :: !failures
+  done;
+  (List.rev !failures, !retried, Unix.gettimeofday () -. t0)
+
 let run ?(clients = 4) ?(jobs_per_client = 6) ?(workers = 3) ?(seed = 1)
-    ?log () =
+    ?(churn = 0) ?log () =
   let socket =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -141,11 +223,22 @@ let run ?(clients = 4) ?(jobs_per_client = 6) ?(workers = 3) ?(seed = 1)
                       (Printexc.to_string e) ]))
       in
       let failures = List.concat_map Domain.join sessions in
+      let churn_failures, retried, elapsed_s =
+        if churn > 0 then churn_phase ~socket ~seed ~churn
+        else ([], 0, 0.0)
+      in
       let conn = Client.connect socket in
       let stats = Client.rpc conn P.Stats in
       Client.close conn;
       let stat f = Option.value ~default:0 (J.get_int (J.member f stats)) in
-      { checked = clients * jobs_per_client;
-        failures;
+      { checked =
+          (clients * jobs_per_client)
+          + churn + ((churn + 3) / 7) (* faulted churn jobs check twice *);
+        failures = failures @ churn_failures;
         cache_hits = stat "cache_hits";
-        cache_misses = stat "cache_misses" })
+        cache_misses = stat "cache_misses";
+        churned = churn;
+        retried;
+        shed = stat "rejections";
+        deduped = stat "deduped";
+        elapsed_s })

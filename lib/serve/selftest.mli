@@ -10,6 +10,14 @@
     construction, so the compiled-program cache and fair queueing are
     exercised under real contention.
 
+    With [churn > 0] a second phase hammers the server with that many
+    {e sequential short-lived} connections (connect, one request,
+    close).  Every seventh goes through the full hostile-wire stack —
+    {!Netfault} faults on the request line, {!Client.resilient_rpc}
+    retry with seeded backoff, an idempotency key — and then re-sends
+    the same key on a clean connection, which must answer from the
+    server's record bit-identically instead of re-running.
+
     This is what [dfserve --selftest] runs. *)
 
 type report = {
@@ -17,6 +25,11 @@ type report = {
   failures : string list;  (** one line per mismatch, empty on success *)
   cache_hits : int;
   cache_misses : int;
+  churned : int;  (** short-lived connections in the churn phase *)
+  retried : int;  (** extra attempts the hostile-wire clients needed *)
+  shed : int;  (** overloaded rejections the server reported *)
+  deduped : int;  (** idempotent retries answered from the record *)
+  elapsed_s : float;  (** churn-phase wall clock *)
 }
 
 val run :
@@ -24,7 +37,8 @@ val run :
   ?jobs_per_client:int ->
   ?workers:int ->
   ?seed:int ->
+  ?churn:int ->
   ?log:out_channel ->
   unit ->
   report
-(** Defaults: 4 clients × 6 jobs, 3 workers, seed 1. *)
+(** Defaults: 4 clients × 6 jobs, 3 workers, seed 1, no churn. *)

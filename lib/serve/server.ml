@@ -8,19 +8,31 @@ module K = Kernels
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
   workers : int;
   max_pending : int;
   cache_capacity : int;
   slice : int;
+  max_line : int;
+  idle_timeout : float option;
+  write_timeout : float;
+  drain_timeout : float;
+  journal_path : string option;
   log : out_channel option;
 }
 
 let default_config ~socket_path =
   { socket_path;
+    tcp = None;
     workers = Exec.Pool.default_jobs ();
     max_pending = 64;
     cache_capacity = 32;
     slice = 5000;
+    max_line = 1 lsl 20;
+    idle_timeout = Some 60.0;
+    write_timeout = 10.0;
+    drain_timeout = 30.0;
+    journal_path = None;
     log = None }
 
 (* ---------------- request resolution ---------------- *)
@@ -152,7 +164,7 @@ let config_of_run (r : P.run) =
 (* ---------------- jobs ---------------- *)
 
 type job_result =
-  | R_outcome of Exec.Job.outcome
+  | R_ok of (string * J.t) list  (* response payload fields *)
   | R_preempted of J.t  (* restorable checkpoint document *)
   | R_error of P.error_kind * string
 
@@ -160,30 +172,41 @@ type client = {
   fd : Unix.file_descr;
   cid : int;
   rbuf : Buffer.t;  (* partial request line *)
+  wbuf : Buffer.t;  (* response bytes the socket has not accepted yet *)
+  mutable wstart : float;  (* when wbuf last went nonempty / progressed *)
+  mutable last_read : float;
   queue : job Queue.t;  (* admitted, not yet dispatched *)
   mutable running : job list;  (* dispatched, not yet completed *)
   mutable in_flight : int;
+  mutable waiting : int;  (* dedup waiters registered on other jobs *)
   mutable closed : bool;
 }
 
 and job = {
-  jc : client;
+  mutable jc : client option;  (* owning connection, while it lives *)
   jid : int;
   jengine : [ `Sim | `Machine ];
-  jhit : bool;
-  jkey : int;
+  jidem : string option;
+  jverb : string;  (* "simulate" | "sweep" *)
   jcancel : bool Atomic.t;
   mutable janswered : bool;  (* response already sent (queued cancel) *)
+  mutable jwaiters : (int * int) list;  (* (cid, request id) of retries *)
   jwork : cancel:bool Atomic.t -> job_result;
 }
 
+and idem_state = I_pending of job | I_done of J.t
+
 type t = {
   cfg : config;
-  listen_fd : Unix.file_descr;
+  listen_fds : Unix.file_descr list;
+  tcp_fd : Unix.file_descr option;
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
   pool : Exec.Pool.t;
   cache : (int, PC.compiled) Lru.t;
+  journal : Journal.t option;
+  idem : (string, idem_state) Hashtbl.t;
+  rqueue : job Queue.t;  (* journal replays and orphaned admissions *)
   clients : (int, client) Hashtbl.t;
   mutable rr : int list;  (* round-robin rotation of client ids *)
   mutable next_cid : int;
@@ -191,13 +214,20 @@ type t = {
   cmutex : Mutex.t;
   mutable queued : int;
   mutable in_flight : int;
+  mutable inflight_jobs : job list;
   mutable stopping : bool;
+  mutable drain_deadline : float option;
+  mutable forced : bool;  (* drain budget spent; queue already dumped *)
   mutable n_requests : int;
   mutable n_completed : int;
   mutable n_rejected : int;
   mutable n_cancelled : int;
   mutable n_preempted : int;
   mutable n_errors : int;
+  mutable n_malformed : int;
+  mutable n_deadline : int;
+  mutable n_deduped : int;
+  mutable n_replayed : int;
 }
 
 let logf t fmt =
@@ -210,35 +240,16 @@ let logf t fmt =
         flush oc)
     fmt
 
-let create cfg =
-  if cfg.workers < 1 then invalid_arg "Server.create: workers < 1";
-  if cfg.max_pending < 1 then invalid_arg "Server.create: max_pending < 1";
-  if cfg.slice < 1 then invalid_arg "Server.create: slice < 1";
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-  Unix.listen listen_fd 16;
-  let pipe_r, pipe_w = Unix.pipe () in
-  { cfg;
-    listen_fd;
-    pipe_r;
-    pipe_w;
-    pool = Exec.Pool.create ~workers:cfg.workers ();
-    cache = Lru.create ~capacity:cfg.cache_capacity;
-    clients = Hashtbl.create 16;
-    rr = [];
-    next_cid = 1;
-    completions = Queue.create ();
-    cmutex = Mutex.create ();
-    queued = 0;
-    in_flight = 0;
-    stopping = false;
-    n_requests = 0;
-    n_completed = 0;
-    n_rejected = 0;
-    n_cancelled = 0;
-    n_preempted = 0;
-    n_errors = 0 }
+let inet_of host =
+  match Unix.inet_addr_of_string host with
+  | ip -> ip
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+      raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host))
+    | h -> h.Unix.h_addr_list.(0)
+    | exception Not_found ->
+      raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host)))
 
 (* ---------------- response plumbing ---------------- *)
 
@@ -248,32 +259,81 @@ let close_client t c =
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
     Hashtbl.remove t.clients c.cid;
     t.rr <- List.filter (fun cid -> cid <> c.cid) t.rr;
-    (* queued jobs can never be answered; running ones are preempted so
-       their workers free up, and their completions are dropped *)
+    (* Queued jobs with an idempotency key were journaled as admitted —
+       keep that promise: orphan them onto the replay queue so they
+       complete (and their Done is recorded) even though nobody is left
+       to tell.  Keyless queued jobs can never be answered; drop them. *)
     Queue.iter
-      (fun j -> if not j.janswered then begin
-          j.janswered <- true;
-          t.queued <- t.queued - 1
-        end)
+      (fun j ->
+        if not j.janswered then
+          match j.jidem with
+          | Some _ ->
+            j.jc <- None;
+            Queue.add j t.rqueue
+          | None ->
+            j.janswered <- true;
+            t.queued <- t.queued - 1)
       c.queue;
     Queue.clear c.queue;
-    List.iter (fun j -> Atomic.set j.jcancel true) c.running;
+    (* running keyless jobs are preempted so their workers free up;
+       keyed or watched ones run to completion for the journal/waiters *)
+    List.iter
+      (fun j ->
+        j.jc <- None;
+        if j.jidem = None && j.jwaiters = [] then Atomic.set j.jcancel true)
+      c.running;
+    c.running <- [];
     logf t "client %d disconnected" c.cid
+  end
+
+(* Nonblocking buffered writes: send_json appends to the client's wbuf
+   and pushes as much as the socket will take; the event loop watches
+   writable fds to push the rest, and the write deadline reaps peers
+   that stop reading. *)
+let flush_client t c =
+  if (not c.closed) && Buffer.length c.wbuf > 0 then begin
+    let data = Buffer.contents c.wbuf in
+    let len = String.length data in
+    let rec push off =
+      if off >= len then off
+      else
+        match Unix.write_substring c.fd data off (len - off) with
+        | 0 -> off
+        | n ->
+          c.wstart <- Unix.gettimeofday ();
+          push (off + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          -> off
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+          close_client t c;
+          len
+    in
+    let off = push 0 in
+    if not c.closed then begin
+      Buffer.clear c.wbuf;
+      if off < len then Buffer.add_substring c.wbuf data off (len - off)
+    end
   end
 
 let send_json t c json =
   if not c.closed then begin
-    let line = J.to_string json ^ "\n" in
-    let bytes = Bytes.of_string line in
-    let len = Bytes.length bytes in
-    let rec write_all off =
-      if off < len then
-        let n = Unix.write c.fd bytes off (len - off) in
-        write_all (off + n)
-    in
-    try write_all 0
-    with Unix.Unix_error _ | Sys_error _ -> close_client t c
+    if Buffer.length c.wbuf = 0 then c.wstart <- Unix.gettimeofday ();
+    Buffer.add_string c.wbuf (J.to_string json);
+    Buffer.add_char c.wbuf '\n';
+    flush_client t c
   end
+
+let answer_waiters t job make =
+  List.iter
+    (fun (cid, rid) ->
+      match Hashtbl.find_opt t.clients cid with
+      | Some w when not w.closed ->
+        w.waiting <- w.waiting - 1;
+        send_json t w (make rid)
+      | _ -> ())
+    (List.rev job.jwaiters);
+  job.jwaiters <- []
 
 (* ---------------- admission and dispatch ---------------- *)
 
@@ -302,16 +362,20 @@ let outcome_of_machine_result name (r : ME.result) =
 (* The worker-side body of one simulate job.  Graph-engine jobs go
    through Exec.Job.run itself — the served path IS the standalone
    path.  Machine jobs replicate Job.run's machine branch through the
-   resumable engine so a cancel can preempt at a slice boundary. *)
-let make_work ~engine ~arch ~run_cfg ~sanitize ~slice ~graph ~inputs ~name =
-  fun ~cancel ->
+   resumable engine so a cancel can preempt at a slice boundary;
+   [progress] journals each slice's checkpoint, [restore] resumes a
+   journal-replayed job from its last recorded checkpoint. *)
+let make_work ~engine ~arch ~run_cfg ~sanitize ~slice ~graph ~inputs ~name
+    ~hit ~key ~progress ~restore =
+ fun ~cancel ->
   try
     match engine with
     | `Sim ->
-      R_outcome
-        (Exec.Job.run
-           (Exec.Job.make ~name ~engine:Exec.Job.Sim ~config:run_cfg ~sanitize
-              (Exec.Job.Graph_program graph) ~inputs))
+      R_ok
+        (P.outcome_fields ~cache_hit:hit ~key
+           (Exec.Job.run
+              (Exec.Job.make ~name ~engine:Exec.Job.Sim ~config:run_cfg
+                 ~sanitize (Exec.Job.Graph_program graph) ~inputs)))
     | `Machine ->
       let cfg =
         if sanitize then
@@ -319,17 +383,55 @@ let make_work ~engine ~arch ~run_cfg ~sanitize ~slice ~graph ~inputs ~name =
         else run_cfg
       in
       let m = ME.create_cfg cfg ~arch graph ~inputs in
+      let start =
+        match restore with
+        | None -> slice
+        | Some sn ->
+          ME.restore m sn;
+          sn.ME.sn_time + slice
+      in
+      let ckpt () = Recover.Checkpoint.to_json ~graph (ME.snapshot m) in
       let rec go until =
-        if Atomic.get cancel then
-          R_preempted (Recover.Checkpoint.to_json ~graph (ME.snapshot m))
+        if Atomic.get cancel then R_preempted (ckpt ())
         else begin
           ME.advance m ~until;
           if ME.finished m then
-            R_outcome (outcome_of_machine_result name (ME.result m))
-          else go (until + slice)
+            R_ok
+              (P.outcome_fields ~cache_hit:hit ~key
+                 (outcome_of_machine_result name (ME.result m)))
+          else begin
+            (match progress with Some f -> f (ckpt ()) | None -> ());
+            go (until + slice)
+          end
         end
       in
-      go slice
+      go start
+  with e -> R_error (P.Run_error, Printexc.to_string e)
+
+(* The sweep verb: one pool job runs the whole grid sequentially, so
+   the served document is the exact byte sequence bin/sweep.exe would
+   write for the same grid (to_json carries no timings). *)
+let make_sweep_work ~cells =
+ fun ~cancel ->
+  try
+    let rec go i acc = function
+      | [] -> R_ok [ ("grid", Exec.Sweep.to_json (List.rev acc)) ]
+      | cell :: rest ->
+        if Atomic.get cancel then
+          R_error (P.Cancelled, "cancelled mid-sweep")
+        else
+          let r =
+            match Exec.Sweep.run_cell cell with
+            | row -> Ok row
+            | exception e ->
+              Error
+                { Exec.Pool.index = i;
+                  message = Printexc.to_string e;
+                  backtrace = Printexc.get_backtrace () }
+          in
+          go (i + 1) (r :: acc) rest
+    in
+    go 0 [] cells
   with e -> R_error (P.Run_error, Printexc.to_string e)
 
 let notify t job result =
@@ -342,17 +444,20 @@ let notify t job result =
 
 let submit t job =
   t.in_flight <- t.in_flight + 1;
-  job.jc.in_flight <- job.jc.in_flight + 1;
-  job.jc.running <- job :: job.jc.running;
+  t.inflight_jobs <- job :: t.inflight_jobs;
+  (match job.jc with
+  | Some c ->
+    c.in_flight <- c.in_flight + 1;
+    c.running <- job :: c.running
+  | None -> ());
   ignore
     (Exec.Pool.submit t.pool (fun () ->
          let result = job.jwork ~cancel:job.jcancel in
          notify t job result))
 
-(* Round-robin: rotate the client ring until a live, nonempty queue
-   yields an unanswered job. *)
+(* Replayed/orphaned jobs first, then round-robin: rotate the client
+   ring until a live, nonempty queue yields an unanswered job. *)
 let next_job t =
-  let n = List.length t.rr in
   let rec hunt k =
     if k = 0 then None
     else
@@ -371,7 +476,13 @@ let next_job t =
           in
           pop ())
   in
-  hunt n
+  let rec replay () =
+    match Queue.take_opt t.rqueue with
+    | Some j when j.janswered -> replay ()
+    | Some j -> Some j
+    | None -> hunt (List.length t.rr)
+  in
+  replay ()
 
 let rec dispatch t =
   if t.in_flight < t.cfg.workers && t.queued > 0 then
@@ -391,6 +502,10 @@ let stats_fields t =
     ("cancelled", J.Int t.n_cancelled);
     ("preempted", J.Int t.n_preempted);
     ("run_errors", J.Int t.n_errors);
+    ("malformed", J.Int t.n_malformed);
+    ("deadline_closes", J.Int t.n_deadline);
+    ("deduped", J.Int t.n_deduped);
+    ("replayed", J.Int t.n_replayed);
     ("cache_hits", J.Int (Lru.hits t.cache));
     ("cache_misses", J.Int (Lru.misses t.cache));
     ("cache_entries", J.Int (Lru.length t.cache));
@@ -425,48 +540,130 @@ let handle_compile t c id program =
   | exception e ->
     send_json t c (P.error ~id P.Compile_error (Printexc.to_string e))
 
+let overloaded t =
+  Printf.sprintf "%d jobs pending (max %d)" t.queued t.cfg.max_pending
+
 let handle_simulate t c id (r : P.run) =
-  if t.queued >= t.cfg.max_pending then begin
+  match r.P.idem with
+  | Some key when Hashtbl.mem t.idem key -> (
+    (* a retry of a request this server (or a predecessor, via the
+       journal) already admitted: answer from the record, or ride the
+       run still in flight — never run it twice *)
+    t.n_deduped <- t.n_deduped + 1;
+    match Hashtbl.find t.idem key with
+    | I_done resp -> send_json t c (P.with_id id resp)
+    | I_pending job ->
+      job.jwaiters <- (c.cid, id) :: job.jwaiters;
+      c.waiting <- c.waiting + 1)
+  | _ ->
+    if t.stopping then
+      send_json t c (P.error ~id P.Shutting_down "server shutting down")
+    else if t.queued >= t.cfg.max_pending then begin
+      t.n_rejected <- t.n_rejected + 1;
+      send_json t c (P.error ~id P.Overloaded (overloaded t))
+    end
+    else (
+      match config_of_run r with
+      | Error e -> send_json t c (P.error ~id P.Bad_request e)
+      | Ok (run_cfg, arch) -> (
+        match compile_cached t r.P.program with
+        | exception Not_found ->
+          send_json t c
+            (P.error ~id P.Compile_error
+               (match r.P.program with
+               | P.Kernel { name; _ } ->
+                 Printf.sprintf "unknown kernel %S" name
+               | P.Source _ -> "compile failed"))
+        | exception e ->
+          send_json t c (P.error ~id P.Compile_error (Printexc.to_string e))
+        | key, compiled, hit ->
+          let graph = compiled.PC.cp_graph in
+          let inputs =
+            inputs_of_program r.P.program ~waves:r.P.waves compiled
+          in
+          let name = program_name r.P.program in
+          let progress =
+            match (r.P.idem, t.journal) with
+            | Some idem, Some jr ->
+              Some
+                (fun ck ->
+                  Journal.append jr (Journal.Progress { idem; checkpoint = ck }))
+            | _ -> None
+          in
+          let job =
+            { jc = Some c;
+              jid = id;
+              jengine = r.P.engine;
+              jidem = r.P.idem;
+              jverb = "simulate";
+              jcancel = Atomic.make false;
+              janswered = false;
+              jwaiters = [];
+              jwork =
+                make_work ~engine:r.P.engine ~arch ~run_cfg
+                  ~sanitize:r.P.sanitize ~slice:t.cfg.slice ~graph ~inputs
+                  ~name ~hit ~key ~progress ~restore:None }
+          in
+          (* WAL discipline: the admission is durable before the job is *)
+          (match (r.P.idem, t.journal) with
+          | Some idem, Some jr ->
+            Journal.append jr
+              (Journal.Admit
+                 { idem; request = P.request_to_json ~id:0 (P.Simulate r) })
+          | _ -> ());
+          (match r.P.idem with
+          | Some k -> Hashtbl.replace t.idem k (I_pending job)
+          | None -> ());
+          Queue.add job c.queue;
+          t.queued <- t.queued + 1;
+          dispatch t))
+
+let handle_sweep t c id (s : P.sweep) =
+  if t.stopping then
+    send_json t c (P.error ~id P.Shutting_down "server shutting down")
+  else if t.queued >= t.cfg.max_pending then begin
     t.n_rejected <- t.n_rejected + 1;
-    send_json t c
-      (P.error ~id P.Overloaded
-         (Printf.sprintf "%d jobs pending (max %d)" t.queued
-            t.cfg.max_pending))
+    send_json t c (P.error ~id P.Overloaded (overloaded t))
   end
   else
-    match config_of_run r with
-    | Error e -> send_json t c (P.error ~id P.Bad_request e)
-    | Ok (run_cfg, arch) -> (
-      match compile_cached t r.P.program with
-      | exception Not_found ->
-        send_json t c
-          (P.error ~id P.Compile_error
-             (match r.P.program with
-             | P.Kernel { name; _ } -> Printf.sprintf "unknown kernel %S" name
-             | P.Source _ -> "compile failed"))
-      | exception e ->
-        send_json t c (P.error ~id P.Compile_error (Printexc.to_string e))
-      | key, compiled, hit ->
-        let graph = compiled.PC.cp_graph in
-        let inputs = inputs_of_program r.P.program ~waves:r.P.waves compiled in
-        let name = program_name r.P.program in
-        let cancel = Atomic.make false in
-        let job =
-          { jc = c;
-            jid = id;
-            jengine = r.P.engine;
-            jhit = hit;
-            jkey = key;
-            jcancel = cancel;
-            janswered = false;
-            jwork =
-              make_work ~engine:r.P.engine ~arch ~run_cfg
-                ~sanitize:r.P.sanitize ~slice:t.cfg.slice ~graph ~inputs ~name
-          }
+    let kernels =
+      match s.P.sw_kernels with
+      | None -> Ok K.all
+      | Some names ->
+        let rec resolve acc = function
+          | [] -> Ok (List.rev acc)
+          | n :: rest -> (
+            match K.find n with
+            | k -> resolve (k :: acc) rest
+            | exception Not_found ->
+              Error
+                (Printf.sprintf "unknown kernel %S (have: %s)" n
+                   (String.concat ", "
+                      (List.map (fun k -> k.K.name) K.all))))
         in
-        Queue.add job c.queue;
-        t.queued <- t.queued + 1;
-        dispatch t)
+        resolve [] names
+    in
+    match kernels with
+    | Error e -> send_json t c (P.error ~id P.Bad_request e)
+    | Ok kernels ->
+      let cells =
+        Exec.Sweep.grid ~kernels ~pes:s.P.sw_pes ~waves:s.P.sw_waves
+          ~size:s.P.sw_size
+      in
+      let job =
+        { jc = Some c;
+          jid = id;
+          jengine = `Sim;
+          jidem = None;
+          jverb = "sweep";
+          jcancel = Atomic.make false;
+          janswered = false;
+          jwaiters = [];
+          jwork = make_sweep_work ~cells }
+      in
+      Queue.add job c.queue;
+      t.queued <- t.queued + 1;
+      dispatch t
 
 let handle_cancel t c id target =
   let state =
@@ -481,8 +678,12 @@ let handle_cancel t c id target =
       Atomic.set j.jcancel true;
       t.queued <- t.queued - 1;
       t.n_cancelled <- t.n_cancelled + 1;
-      send_json t c
-        (P.error ~id:j.jid P.Cancelled "cancelled while queued");
+      send_json t c (P.error ~id:j.jid P.Cancelled "cancelled while queued");
+      answer_waiters t j (fun rid ->
+          P.error ~id:rid P.Cancelled "cancelled while queued");
+      (match j.jidem with
+      | Some k -> Hashtbl.remove t.idem k
+      | None -> ());
       "cancelled"
     | None -> (
       match List.find_opt (fun j -> j.jid = target) c.running with
@@ -497,10 +698,22 @@ let handle_cancel t c id target =
 
 (* ---------------- shutdown ---------------- *)
 
+(* Load shedding, not load dropping: shutdown stops admitting but
+   drains what was admitted; only after [drain_timeout] does it dump
+   the queue and preempt the stragglers. *)
 let initiate_shutdown t =
   if not t.stopping then begin
     t.stopping <- true;
-    logf t "shutdown: draining %d queued, %d in flight" t.queued t.in_flight;
+    t.drain_deadline <- Some (Unix.gettimeofday () +. t.cfg.drain_timeout);
+    logf t "shutdown: draining %d queued, %d in flight (%.0fs budget)"
+      t.queued t.in_flight t.cfg.drain_timeout
+  end
+
+let force_drain t =
+  if not t.forced then begin
+    t.forced <- true;
+    logf t "drain budget spent: dumping %d queued, preempting %d in flight"
+      t.queued t.in_flight;
     Hashtbl.iter
       (fun _ c ->
         Queue.iter
@@ -509,41 +722,81 @@ let initiate_shutdown t =
               j.janswered <- true;
               t.queued <- t.queued - 1;
               send_json t c
-                (P.error ~id:j.jid P.Shutting_down "server shutting down")
+                (P.error ~id:j.jid P.Shutting_down "server shutting down");
+              answer_waiters t j (fun rid ->
+                  P.error ~id:rid P.Shutting_down "server shutting down")
             end)
           c.queue;
         Queue.clear c.queue)
       t.clients;
-    (* preempt running machine jobs at their next slice *)
-    Hashtbl.iter
-      (fun _ c -> List.iter (fun j -> Atomic.set j.jcancel true) c.running)
-      t.clients
+    (* dumped journaled admissions stay pending on disk: the next
+       server generation replays them *)
+    Queue.iter
+      (fun j ->
+        if not j.janswered then begin
+          j.janswered <- true;
+          t.queued <- t.queued - 1
+        end)
+      t.rqueue;
+    Queue.clear t.rqueue;
+    List.iter (fun j -> Atomic.set j.jcancel true) t.inflight_jobs
   end
 
 (* ---------------- completions ---------------- *)
 
 let deliver t (job, result) =
   t.in_flight <- t.in_flight - 1;
-  let c = job.jc in
-  c.in_flight <- c.in_flight - 1;
-  c.running <- List.filter (fun j -> j != job) c.running;
-  if not (c.closed || job.janswered) then begin
-    job.janswered <- true;
+  t.inflight_jobs <- List.filter (fun j -> j != job) t.inflight_jobs;
+  (match job.jc with
+  | Some c ->
+    c.in_flight <- c.in_flight - 1;
+    c.running <- List.filter (fun j -> j != job) c.running
+  | None -> ());
+  let response =
     match result with
-    | R_outcome o ->
+    | R_ok fields ->
       t.n_completed <- t.n_completed + 1;
-      send_json t c
-        (P.ok ~id:job.jid ~verb:"simulate"
-           (P.outcome_fields ~cache_hit:job.jhit ~key:job.jkey o))
+      P.ok ~id:0 ~verb:job.jverb fields
     | R_preempted checkpoint ->
       t.n_preempted <- t.n_preempted + 1;
-      send_json t c
-        (P.error ~id:job.jid P.Cancelled "preempted at slice boundary"
-           ~extra:[ ("checkpoint", checkpoint) ])
+      P.error ~id:0 P.Cancelled "preempted at slice boundary"
+        ~extra:[ ("checkpoint", checkpoint) ]
     | R_error (kind, msg) ->
       t.n_errors <- t.n_errors + 1;
-      send_json t c (P.error ~id:job.jid kind msg)
-  end
+      P.error ~id:0 kind msg
+  in
+  (* exactly-once: the outcome is durable and replayable before any
+     byte of it leaves the process *)
+  (match job.jidem with
+  | Some idem -> (
+    match result with
+    | R_ok fields ->
+      let digest =
+        match List.assoc_opt "digest" fields with
+        | Some (J.Int d) -> Some d
+        | _ -> None
+      in
+      (match t.journal with
+      | Some jr -> Journal.append jr (Journal.Done { idem; response; digest })
+      | None -> ());
+      Hashtbl.replace t.idem idem (I_done response)
+    | R_error _ ->
+      (match t.journal with
+      | Some jr ->
+        Journal.append jr (Journal.Done { idem; response; digest = None })
+      | None -> ());
+      Hashtbl.replace t.idem idem (I_done response)
+    | R_preempted _ ->
+      (* not a final answer: leave the admission pending so a retry —
+         or the next server generation — runs it again *)
+      Hashtbl.remove t.idem idem)
+  | None -> ());
+  (match job.jc with
+  | Some c when not (c.closed || job.janswered) ->
+    job.janswered <- true;
+    send_json t c (P.with_id job.jid response)
+  | _ -> ());
+  answer_waiters t job (fun rid -> P.with_id rid response)
 
 let drain_completions t =
   (* clear the wakeup byte(s) first so no notification is lost *)
@@ -556,7 +809,171 @@ let drain_completions t =
   Queue.iter (deliver t) batch;
   dispatch t
 
+(* ---------------- journal replay ---------------- *)
+
+let replay_recovered t (rcv : Journal.recovered) =
+  List.iter
+    (fun (idem, resp) -> Hashtbl.replace t.idem idem (I_done resp))
+    rcv.Journal.completed;
+  List.iter
+    (fun (p : Journal.pending) ->
+      let skip msg =
+        logf t "journal: dropping pending %S: %s" p.Journal.p_idem msg
+      in
+      match P.request_of_json p.Journal.p_request with
+      | Error e -> skip e
+      | exception e -> skip (Printexc.to_string e)
+      | Ok (_, P.Simulate r) -> (
+        match config_of_run r with
+        | Error e -> skip e
+        | Ok (run_cfg, arch) -> (
+          match compile_cached t r.P.program with
+          | exception e -> skip (Printexc.to_string e)
+          | key, compiled, hit ->
+            let graph = compiled.PC.cp_graph in
+            let inputs =
+              inputs_of_program r.P.program ~waves:r.P.waves compiled
+            in
+            let name = program_name r.P.program in
+            let restore =
+              match (r.P.engine, p.Journal.p_checkpoint) with
+              | `Machine, Some ck -> (
+                match Recover.Checkpoint.of_json ~graph ck with
+                | Ok sn -> Some sn
+                | Error e ->
+                  logf t "journal: %S checkpoint rejected (%s); rerunning"
+                    p.Journal.p_idem e;
+                  None)
+              | _ -> None
+            in
+            let progress =
+              match t.journal with
+              | Some jr ->
+                Some
+                  (fun ck ->
+                    Journal.append jr
+                      (Journal.Progress
+                         { idem = p.Journal.p_idem; checkpoint = ck }))
+              | None -> None
+            in
+            let job =
+              { jc = None;
+                jid = 0;
+                jengine = r.P.engine;
+                jidem = Some p.Journal.p_idem;
+                jverb = "simulate";
+                jcancel = Atomic.make false;
+                janswered = false;
+                jwaiters = [];
+                jwork =
+                  make_work ~engine:r.P.engine ~arch ~run_cfg
+                    ~sanitize:r.P.sanitize ~slice:t.cfg.slice ~graph ~inputs
+                    ~name ~hit ~key ~progress ~restore }
+            in
+            Hashtbl.replace t.idem p.Journal.p_idem (I_pending job);
+            Queue.add job t.rqueue;
+            t.queued <- t.queued + 1;
+            t.n_replayed <- t.n_replayed + 1))
+      | Ok _ -> skip "not a simulate request")
+    rcv.Journal.pending
+
+(* ---------------- creation ---------------- *)
+
+let create cfg =
+  if cfg.workers < 1 then invalid_arg "Server.create: workers < 1";
+  if cfg.max_pending < 1 then invalid_arg "Server.create: max_pending < 1";
+  if cfg.slice < 1 then invalid_arg "Server.create: slice < 1";
+  if cfg.max_line < 2 then invalid_arg "Server.create: max_line < 2";
+  if cfg.write_timeout <= 0.0 then
+    invalid_arg "Server.create: write_timeout <= 0";
+  if cfg.drain_timeout <= 0.0 then
+    invalid_arg "Server.create: drain_timeout <= 0";
+  (match cfg.idle_timeout with
+  | Some i when i <= 0.0 -> invalid_arg "Server.create: idle_timeout <= 0"
+  | _ -> ());
+  let unix_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind unix_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen unix_fd 64;
+  let tcp_fd =
+    match cfg.tcp with
+    | None -> None
+    | Some (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (inet_of host, port));
+         Unix.listen fd 64
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         (try Unix.close unix_fd with Unix.Unix_error _ -> ());
+         raise e);
+      Some fd
+  in
+  let journal, recovered =
+    match cfg.journal_path with
+    | None -> (None, { Journal.completed = []; pending = [] })
+    | Some path ->
+      let recovered = Journal.fold (Journal.replay path) in
+      (Some (Journal.open_append path), recovered)
+  in
+  let pipe_r, pipe_w = Unix.pipe () in
+  let t =
+    { cfg;
+      listen_fds = (unix_fd :: Option.to_list tcp_fd);
+      tcp_fd;
+      pipe_r;
+      pipe_w;
+      pool = Exec.Pool.create ~workers:cfg.workers ();
+      cache = Lru.create ~capacity:cfg.cache_capacity;
+      journal;
+      idem = Hashtbl.create 64;
+      rqueue = Queue.create ();
+      clients = Hashtbl.create 16;
+      rr = [];
+      next_cid = 1;
+      completions = Queue.create ();
+      cmutex = Mutex.create ();
+      queued = 0;
+      in_flight = 0;
+      inflight_jobs = [];
+      stopping = false;
+      drain_deadline = None;
+      forced = false;
+      n_requests = 0;
+      n_completed = 0;
+      n_rejected = 0;
+      n_cancelled = 0;
+      n_preempted = 0;
+      n_errors = 0;
+      n_malformed = 0;
+      n_deadline = 0;
+      n_deduped = 0;
+      n_replayed = 0 }
+  in
+  (match (recovered.Journal.completed, recovered.Journal.pending) with
+  | [], [] -> ()
+  | c, p ->
+    logf t "journal: %d completed, %d pending to replay" (List.length c)
+      (List.length p));
+  replay_recovered t recovered;
+  t
+
+let tcp_port t =
+  match t.tcp_fd with
+  | None -> None
+  | Some fd -> (
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) -> Some port
+    | _ -> None)
+
 (* ---------------- the event loop ---------------- *)
+
+let reject_malformed t c msg =
+  t.n_malformed <- t.n_malformed + 1;
+  logf t "client %d: malformed: %s" c.cid msg;
+  send_json t c (P.error ~id:(-1) P.Malformed msg);
+  close_client t c
 
 let handle_line t c line =
   let line = String.trim line in
@@ -564,7 +981,10 @@ let handle_line t c line =
     t.n_requests <- t.n_requests + 1;
     match J.of_string line with
     | exception J.Parse_error msg ->
-      send_json t c (P.error ~id:(-1) P.Bad_request msg)
+      (* garbage on an otherwise healthy connection: structured error,
+         connection stays up (a framing-level overflow closes instead) *)
+      t.n_malformed <- t.n_malformed + 1;
+      send_json t c (P.error ~id:(-1) P.Malformed msg)
     | doc -> (
       match P.request_of_json doc with
       | Error msg ->
@@ -577,85 +997,197 @@ let handle_line t c line =
           send_json t c (P.ok ~id ~verb:"shutdown" []);
           initiate_shutdown t
         | P.Cancel target -> handle_cancel t c id target
-        | _ when t.stopping ->
-          send_json t c
-            (P.error ~id P.Shutting_down "server shutting down")
-        | P.Compile program -> handle_compile t c id program
-        | P.Simulate r -> handle_simulate t c id r))
+        | P.Simulate r -> handle_simulate t c id r
+        | P.Sweep s -> handle_sweep t c id s
+        | P.Compile program ->
+          if t.stopping then
+            send_json t c
+              (P.error ~id P.Shutting_down "server shutting down")
+          else handle_compile t c id program))
   end
 
 let handle_readable t c =
   let buf = Bytes.create 4096 in
   match Unix.read c.fd buf 0 4096 with
-  | 0 -> close_client t c
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
   | exception Unix.Unix_error _ -> close_client t c
+  | 0 -> close_client t c
   | n ->
+    c.last_read <- Unix.gettimeofday ();
     Buffer.add_subbytes c.rbuf buf 0 n;
     (* consume complete lines, keep the partial tail *)
     let data = Buffer.contents c.rbuf in
     Buffer.clear c.rbuf;
+    let over = Printf.sprintf "request line exceeds %d bytes" t.cfg.max_line in
     let rec consume start =
       match String.index_from_opt data start '\n' with
       | None ->
-        Buffer.add_substring c.rbuf data start (String.length data - start)
+        let rem = String.length data - start in
+        if rem > t.cfg.max_line then reject_malformed t c over
+        else Buffer.add_substring c.rbuf data start rem
       | Some nl ->
-        handle_line t c (String.sub data start (nl - start));
-        if not c.closed then consume (nl + 1)
+        if nl - start > t.cfg.max_line then reject_malformed t c over
+        else begin
+          handle_line t c (String.sub data start (nl - start));
+          if not c.closed then consume (nl + 1)
+        end
     in
     consume 0
 
-let accept_client t =
-  match Unix.accept t.listen_fd with
+let accept_client t lfd =
+  match Unix.accept lfd with
   | exception Unix.Unix_error _ -> ()
   | fd, _ ->
+    Unix.set_nonblock fd;
     let cid = t.next_cid in
     t.next_cid <- cid + 1;
+    let now = Unix.gettimeofday () in
     let c =
       { fd;
         cid;
         rbuf = Buffer.create 256;
+        wbuf = Buffer.create 256;
+        wstart = now;
+        last_read = now;
         queue = Queue.create ();
         running = [];
         in_flight = 0;
+        waiting = 0;
         closed = false }
     in
     Hashtbl.add t.clients cid c;
     t.rr <- t.rr @ [ cid ];
     logf t "client %d connected" cid
 
+let client_busy (c : client) =
+  c.in_flight > 0 || Queue.length c.queue > 0 || c.waiting > 0
+
+(* Reap connections that blew a deadline: idle peers holding no work
+   (slowloris protection) and peers that stopped reading their
+   responses.  Other clients never notice. *)
+let sweep_deadlines t now =
+  let idle_victims = ref [] in
+  let write_victims = ref [] in
+  Hashtbl.iter
+    (fun _ c ->
+      if not c.closed then
+        if
+          Buffer.length c.wbuf > 0
+          && now -. c.wstart > t.cfg.write_timeout
+        then write_victims := c :: !write_victims
+        else
+          match t.cfg.idle_timeout with
+          | Some idle
+            when (not (client_busy c))
+                 && Buffer.length c.wbuf = 0
+                 && now -. c.last_read > idle ->
+            idle_victims := c :: !idle_victims
+          | _ -> ())
+    t.clients;
+  List.iter
+    (fun c ->
+      t.n_deadline <- t.n_deadline + 1;
+      logf t "client %d: write stalled > %.1fs; closing" c.cid
+        t.cfg.write_timeout;
+      close_client t c)
+    !write_victims;
+  List.iter
+    (fun c ->
+      t.n_deadline <- t.n_deadline + 1;
+      send_json t c (P.error ~id:(-1) P.Deadline "idle past deadline");
+      close_client t c)
+    !idle_victims
+
+let select_timeout t now =
+  let nearest = ref infinity in
+  let note x = if x < !nearest then nearest := x in
+  (match t.cfg.idle_timeout with
+  | Some idle ->
+    Hashtbl.iter
+      (fun _ c ->
+        if (not c.closed) && (not (client_busy c)) && Buffer.length c.wbuf = 0
+        then note (c.last_read +. idle -. now))
+      t.clients
+  | None -> ());
+  Hashtbl.iter
+    (fun _ c ->
+      if (not c.closed) && Buffer.length c.wbuf > 0 then
+        note (c.wstart +. t.cfg.write_timeout -. now))
+    t.clients;
+  (match t.drain_deadline with
+  | Some d when not t.forced -> note (d -. now)
+  | _ -> ());
+  if !nearest = infinity then -1.0 else Float.max 0.02 !nearest
+
 let serve t =
-  logf t "listening on %s (%d workers, max_pending %d, cache %d, slice %d)"
-    t.cfg.socket_path t.cfg.workers t.cfg.max_pending
-    (Lru.capacity t.cache) t.cfg.slice;
+  logf t
+    "listening on %s%s (%d workers, max_pending %d, cache %d, slice %d%s)"
+    t.cfg.socket_path
+    (match tcp_port t with
+    | Some p -> Printf.sprintf " and tcp port %d" p
+    | None -> "")
+    t.cfg.workers t.cfg.max_pending (Lru.capacity t.cache) t.cfg.slice
+    (match t.cfg.journal_path with
+    | Some p -> ", journal " ^ p
+    | None -> "");
+  if not (Queue.is_empty t.rqueue) then dispatch t;
   let finished () = t.stopping && t.in_flight = 0 && t.queued = 0 in
   while not (finished ()) do
-    let client_fds =
-      Hashtbl.fold (fun _ c acc -> c.fd :: acc) t.clients []
-    in
-    let watch =
-      t.pipe_r :: (if t.stopping then [] else [ t.listen_fd ]) @ client_fds
-    in
-    match Unix.select watch [] [] (-1.0) with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, _, _ ->
-      List.iter
-        (fun fd ->
-          if fd = t.pipe_r then drain_completions t
-          else if fd = t.listen_fd && not t.stopping then accept_client t
-          else
-            (* the client set may have changed within this batch *)
+    let now = Unix.gettimeofday () in
+    sweep_deadlines t now;
+    (match t.drain_deadline with
+    | Some d when (not t.forced) && now >= d -> force_drain t
+    | _ -> ());
+    if not (finished ()) then begin
+      let rs = ref [ t.pipe_r ] in
+      if not t.stopping then rs := t.listen_fds @ !rs;
+      let ws = ref [] in
+      Hashtbl.iter
+        (fun _ c ->
+          if not c.closed then begin
+            rs := c.fd :: !rs;
+            if Buffer.length c.wbuf > 0 then ws := c.fd :: !ws
+          end)
+        t.clients;
+      match Unix.select !rs !ws [] (select_timeout t now) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, writable, _ ->
+        List.iter
+          (fun fd ->
             Hashtbl.iter
-              (fun _ c -> if c.fd = fd && not c.closed then handle_readable t c)
+              (fun _ c -> if c.fd = fd && not c.closed then flush_client t c)
               t.clients)
-        readable
+          writable;
+        List.iter
+          (fun fd ->
+            if fd = t.pipe_r then drain_completions t
+            else if List.mem fd t.listen_fds then begin
+              if not t.stopping then accept_client t fd
+            end
+            else
+              (* the client set may have changed within this batch *)
+              Hashtbl.iter
+                (fun _ c ->
+                  if c.fd = fd && not c.closed then handle_readable t c)
+                t.clients)
+          readable
+    end
   done;
   logf t "drained; closing";
-  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+  Hashtbl.iter
+    (fun _ c ->
+      flush_client t c;
+      try Unix.close c.fd with Unix.Unix_error _ -> ())
     t.clients;
   Hashtbl.reset t.clients;
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listen_fds;
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
   Exec.Pool.shutdown t.pool;
+  (match t.journal with Some jr -> Journal.close jr | None -> ());
   (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
   (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
   logf t "stopped after %d requests (%d completed, %d rejected)"

@@ -1,12 +1,13 @@
 (** The dfserve engine: a persistent compile-and-simulate service.
 
-    One event-loop thread owns a Unix-domain listening socket, a
-    compiled-program {!Lru} cache and the per-client request queues; an
-    {!Exec.Pool} of worker domains runs the simulations.  The loop
-    multiplexes with [Unix.select] over the listening socket, every
-    client socket and a self-pipe that workers write one byte to when a
-    job finishes, so completions are delivered promptly without
-    polling.
+    One event-loop thread owns the listening sockets (a Unix-domain
+    socket, plus an optional TCP listener sharing the same accept
+    loop), a compiled-program {!Lru} cache and the per-client request
+    queues; an {!Exec.Pool} of worker domains runs the simulations.
+    The loop multiplexes with [Unix.select] over the listeners, every
+    client socket (nonblocking, with buffered writes) and a self-pipe
+    that workers write one byte to when a job finishes, so completions
+    are delivered promptly without polling.
 
     {b Fair queueing}: admitted jobs wait in per-client FIFO queues and
     are dispatched round-robin across clients, at most [workers] in
@@ -15,6 +16,25 @@
     bounded: when [max_pending] jobs are already waiting, new simulate
     requests are rejected with a structured [overloaded] error instead
     of queueing without bound.
+
+    {b Hostile transport}: a request line over [max_line] bytes —
+    complete or still accumulating — draws a structured [malformed]
+    error and a close, so a slowloris or a garbage firehose cannot grow
+    [rbuf] without bound; unparseable-but-bounded lines draw
+    [malformed] and leave the connection up.  Connections idle past
+    [idle_timeout] with no work in flight are closed with a best-effort
+    [deadline] error; peers that stop reading their responses for
+    [write_timeout] are closed.  No hostile connection can crash the
+    loop or stall other clients.
+
+    {b Durability}: with a [journal_path], every admitted simulate
+    request carrying an idempotency key is recorded in a write-ahead
+    {!Journal} before it runs, machine jobs append their slice-boundary
+    checkpoints as they advance, and each final response is recorded
+    before it is sent.  On restart the journal seeds the idempotency
+    cache (retried completed requests answer bit-identically from the
+    record) and incomplete admissions are re-run — machine jobs
+    resuming from their last recorded checkpoint.
 
     {b Bit-identity}: the server compiles through the cache and then
     runs the request exactly as {!Exec.Job.run} would run the
@@ -28,29 +48,52 @@
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
+      (** also listen on this TCP host/port (port 0 = ephemeral;
+          {!tcp_port} reports the bound port) *)
   workers : int;  (** simulation worker domains *)
   max_pending : int;  (** admission bound on jobs waiting to dispatch *)
   cache_capacity : int;  (** compiled-program cache entries *)
   slice : int;
       (** machine-engine preemption granularity, simulation-time units *)
+  max_line : int;  (** request-line byte cap; over it = malformed + close *)
+  idle_timeout : float option;
+      (** close connections idle this long with nothing in flight *)
+  write_timeout : float;
+      (** close connections whose pending responses make no progress
+          this long *)
+  drain_timeout : float;
+      (** shutdown drains admitted jobs for at most this long before
+          dumping the queue and preempting *)
+  journal_path : string option;  (** write-ahead job journal *)
   log : out_channel option;  (** one line per lifecycle event *)
 }
 
 val default_config : socket_path:string -> config
 (** [workers = Exec.Pool.default_jobs ()], [max_pending = 64],
-    [cache_capacity = 32], [slice = 5000], no log. *)
+    [cache_capacity = 32], [slice = 5000], no TCP, [max_line] = 1 MiB,
+    [idle_timeout] = 60 s, [write_timeout] = 10 s, [drain_timeout] =
+    30 s, no journal, no log. *)
 
 type t
 
 val create : config -> t
-(** Bind and listen (replacing any stale socket file) and spawn the
-    worker pool.  @raise Unix.Unix_error when the path is unusable. *)
+(** Bind and listen (replacing any stale socket file), open and replay
+    the journal if configured, and spawn the worker pool.
+    @raise Unix.Unix_error when a path or port is unusable. *)
+
+val tcp_port : t -> int option
+(** The bound TCP port, when a [tcp] listener was configured — the way
+    to learn an ephemeral (port 0) binding. *)
 
 val serve : t -> unit
 (** Run the event loop until a [shutdown] request arrives, then drain:
-    queued jobs are answered [shutting_down], running machine jobs are
-    preempted at their next slice, and once every in-flight job has
-    been answered the socket is closed and removed and the pool joined. *)
+    admission stops (new work is answered [shutting_down]) while
+    admitted jobs run to completion; after [drain_timeout] the queue is
+    dumped and running machine jobs are preempted at their next slice.
+    Once every in-flight job has been answered the sockets are closed,
+    the Unix socket file removed, the journal closed and the pool
+    joined. *)
 
 val run : config -> unit
 (** [serve (create config)]. *)

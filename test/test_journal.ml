@@ -1,0 +1,248 @@
+(* The write-ahead job journal: framing, torn-tail and bit-rot
+   tolerance, replay folding, and the property the whole durability
+   story rests on — a machine job resumed from any journaled
+   checkpoint prefix finishes with the digest of the uninterrupted
+   run. *)
+
+module J = Obs.Json
+module Journal = Serve.Journal
+module ME = Machine.Machine_engine
+module P = Serve.Protocol
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* entries compare by their frame bytes: exact and total *)
+let frames es = List.map Journal.frame es
+
+let sample_entries =
+  [ Journal.Admit
+      { idem = "a"; request = J.Obj [ ("verb", J.String "simulate") ] };
+    Journal.Progress
+      { idem = "a"; checkpoint = J.Obj [ ("time", J.Int 500) ] };
+    Journal.Done
+      { idem = "a";
+        response = J.Obj [ ("ok", J.Bool true) ];
+        digest = Some 42 };
+    Journal.Admit { idem = "b"; request = J.Obj [ ("waves", J.Int 2) ] };
+    Journal.Done
+      { idem = "b"; response = J.Obj [ ("ok", J.Bool false) ]; digest = None }
+  ]
+
+let test_frame_roundtrip () =
+  let image = String.concat "" (frames sample_entries) in
+  let back = Journal.entries_of_string image in
+  Alcotest.(check (list string))
+    "all records recovered from an intact image" (frames sample_entries)
+    (frames back)
+
+(* --- random journals ------------------------------------------------- *)
+
+let gen_entry =
+  let open QCheck.Gen in
+  let key = map (Printf.sprintf "idem-%d") (int_range 0 9) in
+  let doc =
+    map2
+      (fun n s -> J.Obj [ ("n", J.Int n); ("s", J.String s) ])
+      (int_range 0 1000)
+      (string_size ~gen:(char_range 'a' 'z') (int_range 0 20))
+  in
+  frequency
+    [ (2, map2 (fun idem request -> Journal.Admit { idem; request }) key doc);
+      (1,
+       map2
+         (fun idem checkpoint -> Journal.Progress { idem; checkpoint })
+         key doc);
+      (1,
+       map3
+         (fun idem response digest -> Journal.Done { idem; response; digest })
+         key doc
+         (opt (int_range 0 1000))) ]
+
+let gen_entries = QCheck.Gen.list_size (QCheck.Gen.int_range 1 12) gen_entry
+
+(* a journal cut at any byte: exactly the records that fit whole *)
+let torn_tail =
+  QCheck.Test.make ~count:200 ~name:"replay of a torn tail = intact prefix"
+    (QCheck.make
+       QCheck.Gen.(pair gen_entries (float_range 0.0 1.0))
+       ~print:(fun (es, f) ->
+         Printf.sprintf "%d entries cut at %.3f" (List.length es) f))
+    (fun (entries, frac) ->
+      let image = String.concat "" (frames entries) in
+      let cut = int_of_float (frac *. float_of_int (String.length image)) in
+      let cut = min cut (String.length image) in
+      let back = Journal.entries_of_string (String.sub image 0 cut) in
+      (* expected: the longest run of whole frames within [cut] bytes *)
+      let rec take acc used = function
+        | e :: rest
+          when used + String.length (Journal.frame e) <= cut ->
+          take (e :: acc) (used + String.length (Journal.frame e)) rest
+        | _ -> List.rev acc
+      in
+      frames back = frames (take [] 0 entries))
+
+(* one flipped byte: every record before the damage survives, nothing
+   after the damaged record is trusted *)
+let bit_rot =
+  QCheck.Test.make ~count:200 ~name:"replay stops at the first rotted frame"
+    (QCheck.make
+       QCheck.Gen.(pair gen_entries (float_range 0.0 1.0))
+       ~print:(fun (es, f) ->
+         Printf.sprintf "%d entries flip at %.3f" (List.length es) f))
+    (fun (entries, frac) ->
+      let image = String.concat "" (frames entries) in
+      QCheck.assume (String.length image > 0);
+      let pos =
+        min
+          (String.length image - 1)
+          (int_of_float (frac *. float_of_int (String.length image)))
+      in
+      let rotted = Bytes.of_string image in
+      Bytes.set rotted pos (Char.chr (Char.code (Bytes.get rotted pos) lxor 1));
+      let back = Journal.entries_of_string (Bytes.to_string rotted) in
+      (* which record owns the flipped byte? *)
+      let rec intact acc used = function
+        | e :: rest when used + String.length (Journal.frame e) <= pos ->
+          intact (e :: acc) (used + String.length (Journal.frame e)) rest
+        | _ -> List.rev acc
+      in
+      frames back = frames (intact [] 0 entries))
+
+let test_fold () =
+  let doc n = J.Obj [ ("n", J.Int n) ] in
+  let r =
+    Journal.fold
+      [ Journal.Admit { idem = "a"; request = doc 1 };
+        Journal.Admit { idem = "b"; request = doc 2 };
+        (* duplicate admission: first write wins *)
+        Journal.Admit { idem = "a"; request = doc 99 };
+        Journal.Progress { idem = "b"; checkpoint = doc 10 };
+        Journal.Progress { idem = "b"; checkpoint = doc 20 };
+        Journal.Done { idem = "a"; response = doc 3; digest = Some 7 };
+        (* orphans from a previous journal generation are tolerated *)
+        Journal.Progress { idem = "ghost"; checkpoint = doc 0 };
+        Journal.Done { idem = "phantom"; response = doc 0; digest = None };
+        Journal.Admit { idem = "c"; request = doc 4 } ]
+  in
+  check_int "one completed" 1 (List.length r.Journal.completed);
+  (match r.Journal.completed with
+  | [ ("a", resp) ] -> check "a's response" true (resp = doc 3)
+  | _ -> Alcotest.fail "completed should hold exactly a");
+  (match r.Journal.pending with
+  | [ b; c ] ->
+    check "b pending first (admission order)" true (b.Journal.p_idem = "b");
+    check "b resumes from its latest checkpoint" true
+      (b.Journal.p_checkpoint = Some (doc 20));
+    check "b's request is the first admission" true
+      (b.Journal.p_request = doc 2);
+    check "c pending without checkpoint" true
+      (c.Journal.p_idem = "c" && c.Journal.p_checkpoint = None)
+  | ps ->
+    Alcotest.failf "expected pending [b; c], got %d entries" (List.length ps))
+
+(* --- append/replay through a real file ------------------------------- *)
+
+let test_append_replay_file () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "journal-test-%d.wal" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      check "missing file is an empty journal" true (Journal.replay path = []);
+      let jr = Journal.open_append path in
+      List.iter (Journal.append jr) sample_entries;
+      check_int "appended counter" (List.length sample_entries)
+        (Journal.appended jr);
+      Journal.close jr;
+      Alcotest.(check (list string))
+        "file replays every record" (frames sample_entries)
+        (frames (Journal.replay path));
+      (* a second generation appends after the first *)
+      let jr2 = Journal.open_append path in
+      Journal.append jr2
+        (Journal.Admit { idem = "late"; request = J.Obj [] });
+      Journal.close jr2;
+      check_int "history grows across generations"
+        (List.length sample_entries + 1)
+        (List.length (Journal.replay path));
+      (* SIGKILL mid-append: tear the file at an arbitrary byte *)
+      let image =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let oc = open_out_bin path in
+      output_string oc (String.sub image 0 (String.length image - 3));
+      close_out oc;
+      check_int "torn final record dropped, prefix intact"
+        (List.length sample_entries)
+        (List.length (Journal.replay path)))
+
+(* --- the resume property -------------------------------------------- *)
+
+(* What journal replay does with a Progress entry: restore the snapshot
+   into a fresh machine and run to completion.  Every slice-boundary
+   checkpoint of a run must finish with the uninterrupted run's digest
+   and end time — otherwise a crash between two checkpoints could
+   change a served answer. *)
+let test_checkpoint_prefix_resume () =
+  let run =
+    { (P.default_run (P.Kernel { name = "hydro"; size = 8 })) with
+      P.waves = 3;
+      engine = `Machine }
+  in
+  let cfg, arch =
+    match Serve.Server.config_of_run run with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "config: %s" e
+  in
+  let graph, inputs, _ =
+    match Serve.Server.subject_of_program run.P.program ~waves:run.P.waves with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "subject: %s" e
+  in
+  let oneshot = ME.run_cfg cfg ~arch graph ~inputs in
+  let slice = 50 in
+  let m = ME.create_cfg cfg ~arch graph ~inputs in
+  let checkpoints = ref [] in
+  let rec slices until =
+    ME.advance m ~until;
+    if not (ME.finished m) then begin
+      checkpoints := ME.snapshot m :: !checkpoints;
+      slices (until + slice)
+    end
+  in
+  slices slice;
+  let checkpoints = List.rev !checkpoints in
+  check "run long enough to checkpoint" true (List.length checkpoints >= 3);
+  List.iteri
+    (fun i sn ->
+      let m2 = ME.create_cfg cfg ~arch graph ~inputs in
+      ME.restore m2 sn;
+      ME.advance m2 ~until:max_int;
+      let r = ME.result m2 in
+      check_int
+        (Printf.sprintf "checkpoint %d resumes to the one-shot end time" i)
+        oneshot.ME.end_time r.ME.end_time;
+      check_int
+        (Printf.sprintf "checkpoint %d resumes to the one-shot digest" i)
+        (Integrity.digest_outputs oneshot.ME.outputs)
+        (Integrity.digest_outputs r.ME.outputs))
+    checkpoints
+
+let suite =
+  [ Alcotest.test_case "frame: intact image round-trips" `Quick
+      test_frame_roundtrip;
+    QCheck_alcotest.to_alcotest torn_tail;
+    QCheck_alcotest.to_alcotest bit_rot;
+    Alcotest.test_case "fold: response cache + re-run worklist" `Quick
+      test_fold;
+    Alcotest.test_case "file: append, replay, generations, torn tail" `Quick
+      test_append_replay_file;
+    Alcotest.test_case "resume: every checkpoint prefix reaches the one-shot \
+                        digest" `Quick test_checkpoint_prefix_resume ]

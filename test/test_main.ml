@@ -23,4 +23,5 @@ let () =
       ("integrity", Test_integrity.suite);
       ("exec", Test_exec.suite);
       ("serve", Test_serve.suite);
+      ("serve.journal", Test_journal.suite);
     ]

@@ -8,6 +8,10 @@ module P = Serve.Protocol
 module FP = Fault.Fault_plan
 module ME = Machine.Machine_engine
 
+(* socket tests: a peer that vanishes mid-write must be an EPIPE, not a
+   process kill *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
@@ -124,17 +128,27 @@ let test_lru () =
 
 (* --- live server helpers --------------------------------------------- *)
 
-let with_server ?(workers = 2) ?(max_pending = 64) ?(slice = 5000) f =
+(* [f] gets the socket path and the server handle (for tcp_port) *)
+let with_server_t ?(workers = 2) ?(max_pending = 64) ?(slice = 5000) ?tcp
+    ?max_line ?idle_timeout ?journal f =
   let socket =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "dfserve-test-%d-%d.sock" (Unix.getpid ())
          (Hashtbl.hash f))
   in
+  let base = Serve.Server.default_config ~socket_path:socket in
   let config =
-    { (Serve.Server.default_config ~socket_path:socket) with
+    { base with
       Serve.Server.workers;
       max_pending;
-      slice }
+      slice;
+      tcp;
+      max_line = Option.value max_line ~default:base.Serve.Server.max_line;
+      idle_timeout =
+        (match idle_timeout with
+        | Some _ as i -> i
+        | None -> base.Serve.Server.idle_timeout);
+      journal_path = journal }
   in
   let server = Serve.Server.create config in
   let domain = Domain.spawn (fun () -> Serve.Server.serve server) in
@@ -146,8 +160,51 @@ let with_server ?(workers = 2) ?(max_pending = 64) ?(slice = 5000) f =
      with _ -> ());
     Domain.join domain
   in
-  Fun.protect ~finally:finish (fun () -> f socket);
+  Fun.protect ~finally:finish (fun () -> f socket server);
   check "socket removed after shutdown" false (Sys.file_exists socket)
+
+let with_server ?workers ?max_pending ?slice f =
+  with_server_t ?workers ?max_pending ?slice (fun socket _ -> f socket)
+
+(* a raw connection for speaking garbage the typed client refuses to *)
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let raw_send fd s =
+  let rec go off =
+    if off < String.length s then
+      go (off + Unix.write_substring fd s off (String.length s - off))
+  in
+  go 0
+
+(* one response line, or fail after [timeout] seconds; pass the same
+   [buf] across calls when replies may arrive batched (the overshoot
+   of one read holds the next line) *)
+let raw_read_line ?(timeout = 5.0) ?buf fd =
+  let buf = match buf with Some b -> b | None -> Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let data = Buffer.contents buf in
+    match String.index_opt data '\n' with
+    | Some nl ->
+      Buffer.clear buf;
+      Buffer.add_substring buf data (nl + 1) (String.length data - nl - 1);
+      String.sub data 0 nl
+    | None ->
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then Alcotest.fail "no response within timeout";
+      (match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> Alcotest.fail "no response within timeout"
+      | _ -> ());
+      let n = Unix.read fd chunk 0 1024 in
+      if n = 0 then raise End_of_file;
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+  in
+  go ()
 
 let stat resp f = Option.value ~default:(-1) (J.get_int (J.member f resp))
 
@@ -395,6 +452,277 @@ let test_compile_verb_and_errors () =
                     (J.member "state" (Serve.Client.rpc conn (P.Cancel 999)))))
           | Some _ -> Alcotest.fail "cancel of unknown id is not an error"))
 
+(* --- hostile transport ----------------------------------------------- *)
+
+let tiny_run =
+  { (P.default_run (P.Kernel { name = "hydro"; size = 8 })) with P.waves = 1 }
+
+let test_tcp_transport () =
+  with_server_t ~tcp:("127.0.0.1", 0) (fun _socket server ->
+      let port =
+        match Serve.Server.tcp_port server with
+        | Some p -> p
+        | None -> Alcotest.fail "tcp_port unset"
+      in
+      let addr = Printf.sprintf "tcp:127.0.0.1:%d" port in
+      let conn = Serve.Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let resp = Serve.Client.rpc conn (P.Simulate tiny_run) in
+          check_served_identical ~label:"tcp simulate" resp
+            (standalone tiny_run)))
+
+let test_hostile_lines () =
+  with_server_t ~max_line:1024 (fun socket _ ->
+      (* a garbage line draws a structured malformed error and the
+         connection keeps working *)
+      let fd = raw_connect socket in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          raw_send fd "this is not json\n";
+          let r = J.of_string (raw_read_line fd) in
+          (match P.response_error r with
+          | Some (Some P.Malformed, _) -> ()
+          | _ -> Alcotest.failf "expected malformed, got %s" (J.to_string r));
+          check_int "malformed reply addresses no request" (-1)
+            (Option.value ~default:0 (P.response_id r));
+          raw_send fd "{\"id\":5,\"verb\":\"stats\"}\n";
+          let r2 = J.of_string (raw_read_line fd) in
+          check "same connection still serves" true (P.response_ok r2);
+          check_int "and addresses the request" 5
+            (Option.value ~default:(-1) (P.response_id r2)));
+      (* a line over the cap: structured malformed, then a close — the
+         slowloris answer *)
+      let fd = raw_connect socket in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          raw_send fd (String.make 2000 'x');
+          let r = J.of_string (raw_read_line fd) in
+          (match P.response_error r with
+          | Some (Some P.Malformed, _) -> ()
+          | _ ->
+            Alcotest.failf "expected malformed on oversize, got %s"
+              (J.to_string r));
+          match raw_read_line fd with
+          | exception End_of_file -> ()
+          | l -> Alcotest.failf "connection should be closed, read %s" l);
+      (* a mid-frame disconnect leaves the server healthy *)
+      let fd = raw_connect socket in
+      raw_send fd "{\"id\":9,\"verb\":\"sim";
+      Unix.close fd;
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          check "server healthy after mid-frame disconnect" true
+            (P.response_ok (Serve.Client.rpc conn P.Stats));
+          let stats = Serve.Client.rpc conn P.Stats in
+          check "malformed lines counted" true (stat stats "malformed" >= 2)))
+
+let test_idle_deadline () =
+  with_server_t ~idle_timeout:0.3 (fun socket _ ->
+      let fd = raw_connect socket in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* say nothing: the server owes us a deadline error and a close *)
+          let r = J.of_string (raw_read_line ~timeout:5.0 fd) in
+          (match P.response_error r with
+          | Some (Some P.Deadline, _) -> ()
+          | _ ->
+            Alcotest.failf "expected deadline close, got %s" (J.to_string r));
+          match raw_read_line ~timeout:5.0 fd with
+          | exception End_of_file -> ()
+          | l -> Alcotest.failf "idle connection should be closed, read %s" l);
+      (* other clients are untouched *)
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          check "fresh client fine after idle sweep" true
+            (P.response_ok (Serve.Client.rpc conn P.Stats));
+          let stats = Serve.Client.rpc conn P.Stats in
+          check "deadline close counted" true
+            (stat stats "deadline_closes" >= 1)))
+
+let test_protocol_fuzz () =
+  with_server (fun socket ->
+      let prop lines =
+        let lines =
+          List.map
+            (String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c))
+            lines
+        in
+        let fd = raw_connect socket in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            List.iter (fun l -> raw_send fd (l ^ "\n")) lines;
+            (* every junk line draws exactly one structured reply;
+               blank lines are skipped by design *)
+            let rbuf = Buffer.create 256 in
+            List.for_all
+              (fun _ ->
+                let r = J.of_string (raw_read_line ~buf:rbuf fd) in
+                not (P.response_ok r))
+              (List.filter (fun l -> String.trim l <> "") lines))
+        && begin
+             (* and the server is still healthy for real traffic *)
+             let conn = Serve.Client.connect socket in
+             Fun.protect
+               ~finally:(fun () -> Serve.Client.close conn)
+               (fun () -> P.response_ok (Serve.Client.rpc conn P.Stats))
+           end
+      in
+      QCheck.Test.check_exn
+        (QCheck.Test.make ~count:30
+           ~name:"fuzz: junk lines draw structured errors, never a crash"
+           QCheck.(
+             make
+               Gen.(
+                 list_size (int_range 1 6)
+                   (string_size
+                      ~gen:(char_range '\001' '~')
+                      (int_range 1 120)))
+               ~print:(fun ls -> String.concat "|" ls))
+           prop))
+
+let test_sweep_verb () =
+  with_server (fun socket ->
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let sw =
+            { P.sw_kernels = Some [ "hydro" ];
+              sw_pes = [ 1; 2 ];
+              sw_waves = [ 2 ];
+              sw_size = 8 }
+          in
+          let resp = Serve.Client.rpc conn (P.Sweep sw) in
+          check "sweep ok" true (P.response_ok resp);
+          (* the same grid computed directly must match byte for byte —
+             the served artifact is interchangeable with sweep.exe's *)
+          let cells =
+            Exec.Sweep.grid
+              ~kernels:[ Kernels.find "hydro" ]
+              ~pes:sw.P.sw_pes ~waves:sw.P.sw_waves ~size:sw.P.sw_size
+          in
+          let rows =
+            List.map
+              (fun c ->
+                (Ok (Exec.Sweep.run_cell c)
+                  : (Exec.Sweep.row, Exec.Pool.error) result))
+              cells
+          in
+          check_string "served grid byte-identical to local sweep"
+            (J.to_string (Exec.Sweep.to_json rows))
+            (J.to_string (J.member "grid" resp))))
+
+(* --- durability ------------------------------------------------------- *)
+
+let test_idempotency_dedup () =
+  with_server (fun socket ->
+      let run = { tiny_run with P.idem = Some "dedup-test-1" } in
+      let expected = standalone run in
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let r1 = Serve.Client.rpc conn (P.Simulate run) in
+          (* the at-least-once retry: answered from the record, not
+             re-run *)
+          let r2 = Serve.Client.rpc conn (P.Simulate run) in
+          check_served_identical ~label:"first" r1 expected;
+          check_served_identical ~label:"retried" r2 expected;
+          List.iter
+            (fun f ->
+              check_string
+                (Printf.sprintf "retry byte-identical on %s" f)
+                (J.to_string (J.member f r1))
+                (J.to_string (J.member f r2)))
+            [ "outputs"; "digest"; "end_time"; "cache_hit"; "metrics" ];
+          let stats = Serve.Client.rpc conn P.Stats in
+          check_int "dedup counted" 1 (stat stats "deduped");
+          (* a retry while the original is still in flight attaches to
+             it: both answers identical *)
+          let slow =
+            { (P.default_run (P.Kernel { name = "hydro"; size = 8 })) with
+              P.waves = 40;
+              engine = `Machine;
+              idem = Some "dedup-inflight-1" }
+          in
+          let a = Serve.Client.send conn (P.Simulate slow) in
+          let b = Serve.Client.send conn (P.Simulate slow) in
+          let ra = Serve.Client.await conn a in
+          let rb = Serve.Client.await conn b in
+          check "in-flight twin ok" true
+            (P.response_ok ra && P.response_ok rb);
+          check_string "in-flight twin digests identical"
+            (J.to_string (J.member "digest" ra))
+            (J.to_string (J.member "digest" rb))))
+
+let test_journal_crash_replay () =
+  let journal =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dfserve-test-journal-%d.wal" (Unix.getpid ()))
+  in
+  (try Sys.remove journal with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove journal with Sys_error _ -> ())
+    (fun () ->
+      let run =
+        { (P.default_run (P.Kernel { name = "tridiag"; size = 8 })) with
+          P.waves = 2;
+          engine = `Machine;
+          idem = Some "jr-1" }
+      in
+      let expected = standalone run in
+      (* generation 1 answers and journals *)
+      with_server_t ~journal (fun socket _ ->
+          let conn = Serve.Client.connect socket in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close conn)
+            (fun () ->
+              check_served_identical ~label:"generation 1"
+                (Serve.Client.rpc conn (P.Simulate run))
+                expected));
+      (* generation 2, same journal: the retried request is answered
+         from the recorded response without re-running *)
+      with_server_t ~journal (fun socket _ ->
+          let conn = Serve.Client.connect socket in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close conn)
+            (fun () ->
+              check_served_identical ~label:"post-restart retry"
+                (Serve.Client.rpc conn (P.Simulate run))
+                expected;
+              let stats = Serve.Client.rpc conn P.Stats in
+              check_int "answered from the record" 1 (stat stats "deduped")));
+      (* an admission the dead server never finished: re-run on startup,
+         the retry collects the result *)
+      let pend = { run with P.idem = Some "jr-pending" } in
+      let jr = Serve.Journal.open_append journal in
+      Serve.Journal.append jr
+        (Serve.Journal.Admit
+           { idem = "jr-pending";
+             request = P.request_to_json ~id:0 (P.Simulate pend) });
+      Serve.Journal.close jr;
+      with_server_t ~journal (fun socket _ ->
+          let conn = Serve.Client.connect socket in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close conn)
+            (fun () ->
+              check_served_identical ~label:"recovered pending"
+                (Serve.Client.rpc conn (P.Simulate pend))
+                (standalone pend);
+              let stats = Serve.Client.rpc conn P.Stats in
+              check_int "pending admission replayed" 1
+                (stat stats "replayed"))))
+
 let test_soak () =
   let r =
     Serve.Selftest.run ~clients:2 ~jobs_per_client:3 ~workers:2 ~seed:5 ()
@@ -425,6 +753,20 @@ let suite =
       `Quick test_cancel_and_preempt;
     Alcotest.test_case "server: compile verb and error taxonomy" `Quick
       test_compile_verb_and_errors;
+    Alcotest.test_case "server: tcp transport bit-identical" `Quick
+      test_tcp_transport;
+    Alcotest.test_case "server: garbage, oversize, mid-frame disconnect"
+      `Quick test_hostile_lines;
+    Alcotest.test_case "server: idle deadline closes only the idler" `Quick
+      test_idle_deadline;
+    Alcotest.test_case "server: protocol fuzz never crashes" `Quick
+      test_protocol_fuzz;
+    Alcotest.test_case "server: sweep verb matches sweep.exe bytes" `Quick
+      test_sweep_verb;
+    Alcotest.test_case "server: idempotent retries answered once" `Quick
+      test_idempotency_dedup;
+    Alcotest.test_case "server: journal survives restart, exactly-once"
+      `Quick test_journal_crash_replay;
     Alcotest.test_case "server: concurrent soak bit-identical" `Quick
       test_soak;
   ]
