@@ -34,12 +34,22 @@
    byte for byte.  That is the crash-safety proof: no kill point may
    change a single served bit.
 
+   With --serve-cluster N the server is a federation of N real dfserve
+   processes, each with its own journal, and the killer SIGKILLs and
+   restarts random members mid-soak.  Scenarios route through the
+   rendezvous-hashing failover client; about a third of them are
+   additionally force-migrated live from their home member to the next
+   replica mid-run.  Whatever members die, restart, compact their
+   journals or hand jobs to each other, every answer must still match
+   its standalone run byte for byte.
+
    Examples:
      chaos --runs 40 --seed 1
      chaos --runs 200 --jobs 8 --out chaos-reports
      chaos --kernel tridiag --runs 20
      chaos --runs 40 --serve
-     chaos --runs 50 --serve-kill --kills 4 *)
+     chaos --runs 50 --serve-kill --kills 4
+     chaos --runs 30 --serve-cluster 3 --kills 5 *)
 
 module PC = Compiler.Program_compile
 module D = Compiler.Driver
@@ -192,6 +202,53 @@ let serve_kill_replay ~socket ~master ~index ~recovery subject (spec : FP.spec)
   in
   replay_compare resp o
 
+(* The federated path.  Most scenarios route through the failover
+   client: rendezvous order, dead members skipped, the idempotency key
+   keeping the walk exactly-once.  A seeded third are force-migrated:
+   submitted fire-and-forget at their home member (keyed jobs survive
+   the closed connection), then moved live to the next replica — the
+   migration driver converges from every state the job can be in,
+   including the source being freshly SIGKILLed.  Nothing printed here
+   depends on which member answered or which path delivered: stdout
+   must be identical whatever the worker count. *)
+let serve_cluster_replay ~sockets ~master ~index ~recovery subject
+    (spec : FP.spec) (o : FD.outcome) =
+  let module SP = Serve.Protocol in
+  let run =
+    replay_run ~idem:(Printf.sprintf "cc-%d-%d" master index) ~recovery
+      subject spec
+  in
+  let retry =
+    { Serve.Client.attempts = 40;
+      base_delay = 0.05;
+      max_delay = 0.5;
+      retry_seed = Prng.int_of_hash (Prng.mix master [ index; 78 ]) 1_000_000 }
+  in
+  let members = Array.to_list sockets in
+  let key =
+    Serve.Cluster.routing_key
+      (SP.Kernel { name = subject.kernel.K.name; size = subject.size })
+  in
+  let resp =
+    if Prng.int_of_hash (Prng.mix master [ index; 88 ]) 3 = 0 then (
+      match Serve.Cluster.rendezvous_order ~key members with
+      | src :: dst :: _ ->
+        (try
+           let conn = Serve.Client.connect ~retries:10 src in
+           ignore (Serve.Client.send conn (SP.Simulate run));
+           Unix.sleepf 0.05;
+           Serve.Client.close conn
+         with _ -> ());
+        fst
+          (Serve.Cluster.migrate ~deadline:60.0 ~retry ~source:src
+             ~target:dst run)
+      | _ -> assert false (* --serve-cluster enforces >= 2 members *))
+    else
+      let t = Serve.Cluster.create ~deadline:60.0 ~retry members in
+      fst (Serve.Cluster.submit t ~key (SP.Simulate run))
+  in
+  replay_compare resp o
+
 (* --- a real server process we can murder ----------------------------- *)
 
 (* dfserve.exe lives next to chaos.exe in the dune build tree and in an
@@ -205,15 +262,19 @@ let dfserve_exe () =
     failwith
       (Printf.sprintf "--serve-kill: %s not found (build bin/dfserve.exe)" exe)
 
-let spawn_server ~exe ~socket ~journal ~max_pending =
+let spawn_server ?retain ~exe ~socket ~journal ~max_pending ~slice () =
   let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
   Fun.protect
     ~finally:(fun () -> Unix.close null)
     (fun () ->
       Unix.create_process exe
-        [| exe; "--socket"; socket; "--journal"; journal; "--workers"; "2";
-           "--slice"; "500"; "--max-pending"; string_of_int max_pending;
-           "--idle-timeout"; "0" |]
+        (Array.append
+           [| exe; "--socket"; socket; "--journal"; journal; "--workers";
+              "2"; "--slice"; string_of_int slice; "--max-pending";
+              string_of_int max_pending; "--idle-timeout"; "0" |]
+           (match retain with
+           | Some n -> [| "--journal-retain"; string_of_int n |]
+           | None -> [||]))
         Unix.stdin null null)
 
 type managed = {
@@ -248,9 +309,51 @@ let killer ~(managed : managed) ~exe ~socket ~journal ~max_pending ~master
         (try Unix.kill managed.pid Sys.sigkill with Unix.Unix_error _ -> ());
         (try ignore (Unix.waitpid [] managed.pid)
          with Unix.Unix_error _ -> ());
-        managed.pid <- spawn_server ~exe ~socket ~journal ~max_pending;
+        managed.pid <-
+          spawn_server ~exe ~socket ~journal ~max_pending ~slice:500 ();
         managed.kills_done <- k;
         Mutex.unlock managed.lock;
+        cycle (k + 1)
+      end
+    end
+  in
+  cycle 1
+
+(* the federated variant: N real members, each with its own journal,
+   and the killer murders a seeded-random member per cycle.  Restarted
+   members compact their journal on the way up, so the soak exercises
+   compaction under live traffic too. *)
+let cluster_killer ~(members : managed array) ~exe ~sockets ~journals
+    ~max_pending ~master ~kills () =
+  let stop () = Atomic.get members.(0).stop in
+  let interruptible_sleep s =
+    let steps = max 1 (int_of_float (s /. 0.02)) in
+    let rec go i =
+      if i < steps && not (stop ()) then begin
+        Unix.sleepf 0.02;
+        go (i + 1)
+      end
+    in
+    go 0
+  in
+  let n = Array.length members in
+  let rec cycle k =
+    if k <= kills && not (stop ()) then begin
+      let pause =
+        0.08 +. (Prng.float_of_hash (Prng.mix master [ 9100; k ]) *. 0.3)
+      in
+      interruptible_sleep pause;
+      if not (stop ()) then begin
+        let i = Prng.int_of_hash (Prng.mix master [ 9200; k ]) n in
+        let m = members.(i) in
+        Mutex.lock m.lock;
+        (try Unix.kill m.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] m.pid) with Unix.Unix_error _ -> ());
+        m.pid <-
+          spawn_server ~retain:64 ~exe ~socket:sockets.(i)
+            ~journal:journals.(i) ~max_pending ~slice:200 ();
+        m.kills_done <- m.kills_done + 1;
+        Mutex.unlock m.lock;
         cycle (k + 1)
       end
     end
@@ -379,6 +482,10 @@ let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~serve ~buf
       try serve_kill_replay ~socket ~master ~index ~recovery subject spec o
       with e ->
         [ Printf.sprintf "served replay died: %s" (Printexc.to_string e) ])
+    | `Cluster sockets -> (
+      try serve_cluster_replay ~sockets ~master ~index ~recovery subject spec o
+      with e ->
+        [ Printf.sprintf "served replay died: %s" (Printexc.to_string e) ])
   in
   List.iter
     (fun f -> Printf.bprintf buf "FAIL #%03d %-14s %s\n" index kernel.K.name f)
@@ -427,7 +534,7 @@ let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~serve ~buf
   end
 
 let main runs master size waves dir kernel_filter recover jobs serve_mode
-    serve_kill kills =
+    serve_kill serve_cluster kills =
   let recovery =
     match Runspec.recovery_of_string (Option.value recover ~default:"") with
     | Ok p -> p
@@ -439,8 +546,15 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode
     | Ok ks -> ks
     | Error e -> failwith (Printf.sprintf "--kernel: %s" e)
   in
-  if serve_mode && serve_kill then
-    failwith "--serve and --serve-kill are exclusive";
+  if
+    (if serve_mode then 1 else 0)
+    + (if serve_kill then 1 else 0)
+    + (if serve_cluster <> None then 1 else 0)
+    > 1
+  then failwith "--serve, --serve-kill and --serve-cluster are exclusive";
+  (match serve_cluster with
+  | Some n when n < 2 -> failwith "--serve-cluster needs at least 2 members"
+  | _ -> ());
   let jobs = match jobs with Some j -> j | None -> Exec.Pool.default_jobs () in
   (* --serve: a live dfserve instance every scenario replays through;
      scenario workers double as concurrent clients.  --serve-kill: the
@@ -461,7 +575,7 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode
       (try Sys.remove journal with Sys_error _ -> ());
       let max_pending = runs + 8 in
       let managed =
-        { pid = spawn_server ~exe ~socket ~journal ~max_pending;
+        { pid = spawn_server ~exe ~socket ~journal ~max_pending ~slice:500 ();
           lock = Mutex.create ();
           kills_done = 0;
           stop = Atomic.make false }
@@ -487,6 +601,59 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode
               with Unix.Unix_error _ -> ()));
           try Sys.remove journal with Sys_error _ -> ()),
         fun () -> managed.kills_done )
+    end
+    else if serve_cluster <> None then begin
+      let n = Option.get serve_cluster in
+      let exe = dfserve_exe () in
+      let tmp = Filename.get_temp_dir_name () in
+      let name i ext =
+        Filename.concat tmp
+          (Printf.sprintf "chaos-cluster-%d-%d.%s" (Unix.getpid ()) i ext)
+      in
+      let sockets = Array.init n (fun i -> name i "sock") in
+      let journals = Array.init n (fun i -> name i "journal") in
+      Array.iter
+        (fun j -> try Sys.remove j with Sys_error _ -> ())
+        journals;
+      let max_pending = runs + 8 in
+      (* one shared stop flag across the member records *)
+      let stop = Atomic.make false in
+      let members =
+        Array.init n (fun i ->
+            { pid =
+                spawn_server ~retain:64 ~exe ~socket:sockets.(i)
+                  ~journal:journals.(i) ~max_pending ~slice:200 ();
+              lock = Mutex.create ();
+              kills_done = 0;
+              stop })
+      in
+      let kd =
+        Domain.spawn
+          (cluster_killer ~members ~exe ~sockets ~journals ~max_pending
+             ~master ~kills)
+      in
+      ( `Cluster sockets,
+        (fun () ->
+          Atomic.set stop true;
+          Domain.join kd;
+          Array.iteri
+            (fun i m ->
+              let down =
+                try
+                  let conn = Serve.Client.connect ~retries:10 sockets.(i) in
+                  ignore (Serve.Client.rpc conn Serve.Protocol.Shutdown);
+                  Serve.Client.close conn;
+                  true
+                with _ -> false
+              in
+              if not down then (
+                try Unix.kill m.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              try ignore (Unix.waitpid [] m.pid) with Unix.Unix_error _ -> ())
+            members;
+          Array.iter
+            (fun j -> try Sys.remove j with Sys_error _ -> ())
+            journals),
+        fun () -> Array.fold_left (fun a m -> a + m.kills_done) 0 members )
     end
     else if serve_mode then begin
       let socket =
@@ -540,7 +707,7 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode
   Printf.eprintf "chaos: %d scenarios in %.2fs (%d worker%s%s)\n" runs elapsed
     jobs
     (if jobs = 1 then "" else "s")
-    (if serve_kill then
+    (if serve_kill || serve_cluster <> None then
        Printf.sprintf ", %d server kill/restart cycles" (kill_report ())
      else "");
   if !failures = 0 then begin
@@ -548,7 +715,10 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode
       "all %d chaos scenarios survived: protected runs bit-identical to \
        clean%s\n"
       runs
-      (if serve_kill then
+      (if serve_cluster <> None then
+         ", served replays bit-identical to standalone across member kills \
+          and live migrations"
+       else if serve_kill then
          ", served replays bit-identical to standalone across server kills"
        else if serve_mode then
          ", served replays bit-identical to standalone"
@@ -560,10 +730,10 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode
       (false, Printf.sprintf "%d of %d chaos scenarios failed" !failures runs)
 
 let main_safe runs master size waves dir kernel recover jobs serve_mode
-    serve_kill kills =
+    serve_kill serve_cluster kills =
   try
     main runs master size waves dir kernel recover jobs serve_mode serve_kill
-      kills
+      serve_cluster kills
   with Failure msg -> `Error (false, msg)
 
 let cmd =
@@ -626,15 +796,27 @@ let cmd =
                    retrying client under an idempotency key and must still \
                    reproduce its standalone run byte for byte")
   in
+  let serve_cluster =
+    Arg.(value & opt (some int) None
+         & info [ "serve-cluster" ] ~docv:"N"
+             ~doc:"like --serve-kill, but with a federation of N real \
+                   dfserve members: scenarios route through the rendezvous-\
+                   hashing failover client, a seeded third are force-\
+                   migrated live between members mid-run, and the killer \
+                   SIGKILLs and restarts random members (which compact \
+                   their journals on the way up); every answer must still \
+                   match its standalone run byte for byte")
+  in
   let kills =
     Arg.(value & opt int 3
          & info [ "kills" ] ~docv:"N"
-             ~doc:"kill/restart cycles the --serve-kill killer attempts \
-                   (each at a seeded point while the soak is running)")
+             ~doc:"kill/restart cycles the --serve-kill or --serve-cluster \
+                   killer attempts (each at a seeded point while the soak \
+                   is running)")
   in
   let term =
     Term.(ret (const main_safe $ runs $ seed $ size $ waves $ dir $ kernel
-               $ recover $ jobs $ serve $ serve_kill $ kills))
+               $ recover $ jobs $ serve $ serve_kill $ serve_cluster $ kills))
   in
   Cmd.v
     (Cmd.info "chaos" ~version:"1.0"

@@ -8,10 +8,38 @@
    harvest a restorable checkpoint that dfsim --restore accepts, and
    with --retries rides the resilient retry/backoff path under an
    idempotency key, surviving server restarts.  sweep serves a kernel
-   grid whose JSON matches sweep.exe's output byte for byte. *)
+   grid whose JSON matches sweep.exe's output byte for byte.
+
+   With --cluster a,b,c the simulate and stats verbs address a
+   federation of dfserve members: simulate routes by rendezvous hash
+   on the program and fails over to the next replica when a member is
+   dead; stats probes every member.  The migrate verb submits a job to
+   --socket, lets it run for --after seconds, then moves it live to
+   --to and prints the migrated result.
+
+   Structured server rejections exit with a distinct nonzero code per
+   error kind (see rejection_exit below; documented in
+   docs/SERVICE.md), so scripts can tell a rejected request from a
+   transport failure (generic cmdliner exit 123). *)
 
 module J = Obs.Json
 module P = Serve.Protocol
+
+(* A structured server rejection: the server answered, and said no.
+   Distinct from transport failure, and exit-coded so shell callers can
+   branch on the taxonomy without parsing stderr. *)
+exception Rejected of P.error_kind * string
+
+let rejection_exit = function
+  | P.Bad_request -> 10
+  | P.Malformed -> 11
+  | P.Compile_error -> 12
+  | P.Unknown_verb -> 13
+  | P.Overloaded -> 14
+  | P.Cancelled -> 15
+  | P.Run_error -> 16
+  | P.Shutting_down -> 17
+  | P.Deadline -> 18
 
 let read_file path =
   let ic = open_in path in
@@ -53,15 +81,11 @@ let run_of program waves machine pe stored fault fault_seed recover integrity
     idem }
 
 let require_ok resp =
-  if not (P.response_ok resp) then
-    failwith
-      (match P.response_error resp with
-      | Some (_, msg) ->
-        Printf.sprintf "%s: %s"
-          (Option.value ~default:"error"
-             (J.get_string (J.member "error" resp)))
-          msg
-      | None -> "malformed response: " ^ J.to_string resp);
+  if not (P.response_ok resp) then (
+    match P.response_error resp with
+    | Some (Some kind, msg) -> raise (Rejected (kind, msg))
+    | Some (None, msg) -> failwith ("error: " ^ msg)
+    | None -> failwith ("malformed response: " ^ J.to_string resp));
   resp
 
 let print_simulate resp =
@@ -121,32 +145,54 @@ let finish_simulate program waves resp values_out metrics_out checkpoint_out =
   | Some (Some P.Cancelled, _) when checkpoint_out <> None ->
     print_endline "preempted; checkpoint returned";
     write_checkpoint_out program waves resp checkpoint_out
-  | Some (_, msg) ->
-    failwith
-      (Printf.sprintf "%s: %s"
-         (Option.value ~default:"error"
-            (J.get_string (J.member "error" resp)))
-         msg)
+  | Some (Some kind, msg) -> raise (Rejected (kind, msg))
+  | Some (None, msg) -> failwith ("error: " ^ msg)
   | None ->
     print_simulate resp;
     write_values_out resp values_out;
     write_metrics_out resp metrics_out
 
-let main verb socket tcp timeout retries idem kernel size source input_seed
-    waves machine pe stored fault fault_seed recover integrity watchdog
-    max_time sanitize pes sweep_waves kernels out values_out metrics_out
-    checkpoint_out preempt_after =
+let main verb socket tcp cluster to_addr after timeout retries idem kernel
+    size source input_seed waves machine pe stored fault fault_seed recover
+    integrity watchdog max_time sanitize pes sweep_waves kernels out
+    values_out metrics_out checkpoint_out preempt_after =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let addr = match tcp with Some hp -> "tcp:" ^ hp | None -> socket in
+  let retry =
+    if retries > 0 then { Serve.Client.default_retry with attempts = retries }
+    else Serve.Client.default_retry
+  in
+  let cluster_of spec =
+    match Serve.Cluster.members_of_spec spec with
+    | Error e -> failwith ("--cluster " ^ e)
+    | Ok members -> Serve.Cluster.create ?deadline:timeout ~retry members
+  in
   let with_conn f =
     let conn = Serve.Client.connect ~retries:20 ?deadline:timeout addr in
     Fun.protect ~finally:(fun () -> Serve.Client.close conn) (fun () -> f conn)
   in
   match verb with
-  | "stats" ->
-    with_conn (fun conn ->
-        print_endline
-          (J.to_string (require_ok (Serve.Client.rpc conn P.Stats))))
+  | "stats" -> (
+    match cluster with
+    | Some spec ->
+      let t = cluster_of spec in
+      let probes = Serve.Cluster.probe ?deadline:timeout t in
+      List.iter2
+        (fun (maddr, outcome) (_, h) ->
+          match outcome with
+          | Ok resp ->
+            Printf.printf "%s %s %s\n" maddr
+              (Serve.Cluster.health_to_string h)
+              (J.to_string resp)
+          | Error e ->
+            Printf.printf "%s %s (%s)\n" maddr
+              (Serve.Cluster.health_to_string h)
+              e)
+        probes (Serve.Cluster.health t)
+    | None ->
+      with_conn (fun conn ->
+          print_endline
+            (J.to_string (require_ok (Serve.Client.rpc conn P.Stats)))))
   | "shutdown" ->
     with_conn (fun conn ->
         ignore (require_ok (Serve.Client.rpc conn P.Shutdown));
@@ -181,10 +227,23 @@ let main verb socket tcp timeout retries idem kernel size source input_seed
       run_of program waves machine pe stored fault fault_seed recover
         integrity watchdog max_time sanitize idem
     in
-    if retries > 0 then begin
+    if cluster <> None then begin
+      if preempt_after <> None then
+        failwith "--preempt-after needs a held connection; drop --cluster";
+      let t = cluster_of (Option.get cluster) in
+      let resp, served_by =
+        Serve.Cluster.submit t
+          ~key:(Serve.Cluster.routing_key program)
+          (P.Simulate run)
+      in
+      Printf.printf "served by %s%s\n" served_by
+        (if Serve.Cluster.failovers t > 0 then " (after failover)" else "");
+      finish_simulate program waves resp values_out metrics_out
+        checkpoint_out
+    end
+    else if retries > 0 then begin
       if preempt_after <> None then
         failwith "--preempt-after needs a held connection; drop --retries";
-      let retry = { Serve.Client.default_retry with attempts = retries } in
       let resp, attempts =
         Serve.Client.resilient_rpc
           ?deadline:timeout ~retry ~addr (P.Simulate run)
@@ -205,20 +264,49 @@ let main verb socket tcp timeout retries idem kernel size source input_seed
           let resp = Serve.Client.await conn id in
           finish_simulate program waves resp values_out metrics_out
             checkpoint_out)
+  | "migrate" ->
+    (* submit at --socket, let it run --after seconds, move it to --to *)
+    let target =
+      match to_addr with
+      | Some a -> a
+      | None -> failwith "migrate needs --to TARGET"
+    in
+    if idem = None then failwith "migrate needs --idem KEY";
+    let program = program_of kernel size source input_seed in
+    let run =
+      run_of program waves machine pe stored fault fault_seed recover
+        integrity watchdog max_time sanitize idem
+    in
+    with_conn (fun conn ->
+        ignore (Serve.Client.send conn (P.Simulate run));
+        Unix.sleepf after;
+        let resp, how =
+          Serve.Cluster.migrate ?deadline:timeout ~retry ~source:addr ~target
+            run
+        in
+        Printf.printf "migration: %s\n" how;
+        finish_simulate program waves resp values_out metrics_out
+          checkpoint_out)
   | v -> failwith (Printf.sprintf "unknown verb %S" v)
 
-let main_safe verb socket tcp timeout retries idem kernel size source
-    input_seed waves machine pe stored fault fault_seed recover integrity
-    watchdog max_time sanitize pes sweep_waves kernels out values_out
-    metrics_out checkpoint_out preempt_after =
+let main_safe verb socket tcp cluster to_addr after timeout retries idem
+    kernel size source input_seed waves machine pe stored fault fault_seed
+    recover integrity watchdog max_time sanitize pes sweep_waves kernels out
+    values_out metrics_out checkpoint_out preempt_after =
   try
-    main verb socket tcp timeout retries idem kernel size source input_seed
-      waves machine pe stored fault fault_seed recover integrity watchdog
-      max_time sanitize pes sweep_waves kernels out values_out metrics_out
-      checkpoint_out preempt_after;
+    main verb socket tcp cluster to_addr after timeout retries idem kernel
+      size source input_seed waves machine pe stored fault fault_seed recover
+      integrity watchdog max_time sanitize pes sweep_waves kernels out
+      values_out metrics_out checkpoint_out preempt_after;
     `Ok ()
   with
-  | Failure msg -> `Error (false, msg)
+  | Rejected (kind, msg) ->
+    (* a structured rejection is not a transport failure: exit with the
+       kind's documented code so scripts can branch on the taxonomy *)
+    Printf.eprintf "dfclient: rejected (%s): %s\n%!"
+      (P.error_kind_to_string kind) msg;
+    exit (rejection_exit kind)
+  | Failure msg | Invalid_argument msg -> `Error (false, msg)
   | End_of_file -> `Error (false, "server closed the connection")
   | Serve.Client.Timeout -> `Error (false, "request deadline expired")
   | Unix.Unix_error (e, fn, arg) ->
@@ -230,7 +318,7 @@ let cmd =
   let verb =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"VERB"
-             ~doc:"compile | simulate | sweep | stats | shutdown")
+             ~doc:"compile | simulate | migrate | sweep | stats | shutdown")
   in
   let socket =
     Arg.(value & opt string
@@ -242,6 +330,26 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "tcp" ] ~docv:"HOST:PORT"
              ~doc:"connect over TCP instead of the Unix socket")
+  in
+  let cluster =
+    Arg.(value & opt (some string) None
+         & info [ "cluster" ] ~docv:"A,B,C|@FILE"
+             ~doc:"federated member addresses (socket paths or \
+                   tcp:HOST:PORT), comma-separated or \\@FILE with one \
+                   per line: simulate routes by rendezvous hash on the \
+                   program and fails over past dead members; stats probes \
+                   every member")
+  in
+  let to_addr =
+    Arg.(value & opt (some string) None
+         & info [ "to" ] ~docv:"ADDR"
+             ~doc:"migrate: target member (socket path or tcp:HOST:PORT)")
+  in
+  let after =
+    Arg.(value & opt float 0.3
+         & info [ "after" ] ~docv:"SECS"
+             ~doc:"migrate: wall-clock seconds to let the job run at the \
+                   source before moving it")
   in
   let timeout =
     Arg.(value & opt (some float) None
@@ -370,12 +478,12 @@ let cmd =
                    boundary and returns a restorable checkpoint")
   in
   let term =
-    Term.(ret (const main_safe $ verb $ socket $ tcp $ timeout $ retries
-               $ idem $ kernel $ size $ source $ input_seed $ waves $ machine
-               $ pe $ stored $ fault $ fault_seed $ recover $ integrity
-               $ watchdog $ max_time $ sanitize $ pes $ sweep_waves $ kernels
-               $ out $ values_out $ metrics_out $ checkpoint_out
-               $ preempt_after))
+    Term.(ret (const main_safe $ verb $ socket $ tcp $ cluster $ to_addr
+               $ after $ timeout $ retries $ idem $ kernel $ size $ source
+               $ input_seed $ waves $ machine $ pe $ stored $ fault
+               $ fault_seed $ recover $ integrity $ watchdog $ max_time
+               $ sanitize $ pes $ sweep_waves $ kernels $ out $ values_out
+               $ metrics_out $ checkpoint_out $ preempt_after))
   in
   Cmd.v
     (Cmd.info "dfclient" ~version:"1.0"

@@ -14,9 +14,9 @@ let default_socket () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "dfserve-%d.sock" (Unix.getuid ()))
 
-let main socket tcp journal max_line idle_timeout write_timeout drain_timeout
-    workers max_pending cache slice log_file verbose selftest clients jobs
-    churn seed =
+let main socket tcp journal journal_retain max_line idle_timeout write_timeout
+    drain_timeout workers max_pending cache slice log_file verbose selftest
+    clients jobs churn seed =
   (* a peer that vanishes mid-write must be an EPIPE, not a kill *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let log =
@@ -73,6 +73,7 @@ let main socket tcp journal max_line idle_timeout write_timeout drain_timeout
           write_timeout;
           drain_timeout;
           journal_path = journal;
+          journal_retain;
           log }
       in
       Printf.printf "dfserve: listening on %s%s\n%!" socket
@@ -83,15 +84,15 @@ let main socket tcp journal max_line idle_timeout write_timeout drain_timeout
       `Ok ()
   end
 
-let main_safe socket tcp journal max_line idle_timeout write_timeout
-    drain_timeout workers max_pending cache slice log_file verbose selftest
-    clients jobs churn seed =
+let main_safe socket tcp journal journal_retain max_line idle_timeout
+    write_timeout drain_timeout workers max_pending cache slice log_file
+    verbose selftest clients jobs churn seed =
   try
-    main socket tcp journal max_line idle_timeout write_timeout drain_timeout
-      workers max_pending cache slice log_file verbose selftest clients jobs
-      churn seed
+    main socket tcp journal journal_retain max_line idle_timeout write_timeout
+      drain_timeout workers max_pending cache slice log_file verbose selftest
+      clients jobs churn seed
   with
-  | Failure msg -> `Error (false, msg)
+  | Failure msg | Invalid_argument msg -> `Error (false, msg)
   | Unix.Unix_error (e, fn, arg) ->
     `Error (false, Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
 
@@ -116,6 +117,13 @@ let cmd =
                    and their responses are recorded here, and replayed on \
                    restart so retried requests are answered exactly once \
                    even across a crash")
+  in
+  let journal_retain =
+    Arg.(value & opt (some int) None
+         & info [ "journal-retain" ] ~docv:"N"
+             ~doc:"compact the journal on startup, keeping the newest N \
+                   completed responses (plus every pending admission); \
+                   without it the full history is kept")
   in
   let max_line =
     Arg.(value & opt int (1 lsl 20)
@@ -200,10 +208,10 @@ let cmd =
          & info [ "seed" ] ~docv:"N" ~doc:"selftest: scenario seed")
   in
   let term =
-    Term.(ret (const main_safe $ socket $ tcp $ journal $ max_line
-               $ idle_timeout $ write_timeout $ drain_timeout $ workers
-               $ max_pending $ cache $ slice $ log_file $ verbose $ selftest
-               $ clients $ jobs $ churn $ seed))
+    Term.(ret (const main_safe $ socket $ tcp $ journal $ journal_retain
+               $ max_line $ idle_timeout $ write_timeout $ drain_timeout
+               $ workers $ max_pending $ cache $ slice $ log_file $ verbose
+               $ selftest $ clients $ jobs $ churn $ seed))
   in
   Cmd.v
     (Cmd.info "dfserve" ~version:"1.0"

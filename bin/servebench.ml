@@ -1,0 +1,163 @@
+(* servebench: seed the served-path performance trajectory.
+
+   Three numbers, written as BENCH_SERVE.json in the Bench_json schema
+   the paper-figure bench already uses:
+
+   - served throughput: N concurrent clients each issue a stream of
+     identical small simulate requests against an in-process dfserve;
+     after the first compile every request is a cache hit, so this
+     measures the service path (wire, queueing, dispatch, simulation),
+     not the compiler;
+   - compiled-program cache hit rate over that same stream, from the
+     server's own counters;
+   - failover latency: one timed rendezvous-routed submission against a
+     two-member cluster whose first-ranked member is dead, i.e. the
+     cost of discovering a dead replica and landing the request on the
+     survivor.
+
+   Absolute numbers vary with the host; the JSON exists so the
+   trajectory is tracked, not to gate a threshold.  The only hard [ok]
+   gates are structural: every request served, the hit rate above one
+   half, the failover answered by the live member. *)
+
+module J = Obs.Json
+module P = Serve.Protocol
+module B = Obs.Bench_json
+
+let bench_program = P.Kernel { name = "hydro"; size = 8 }
+let bench_run = { (P.default_run bench_program) with P.waves = 1 }
+
+let main clients per out =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "servebench-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    { (Serve.Server.default_config ~socket_path:socket) with
+      Serve.Server.workers = 2;
+      max_pending = (clients * per) + 8;
+      idle_timeout = None }
+  in
+  let server = Serve.Server.create config in
+  let sd = Domain.spawn (fun () -> Serve.Server.serve server) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let conn = Serve.Client.connect socket in
+         ignore (Serve.Client.rpc conn P.Shutdown);
+         Serve.Client.close conn
+       with _ -> ());
+      Domain.join sd)
+    (fun () ->
+      let rpc_ok conn req =
+        let resp = Serve.Client.rpc conn req in
+        if not (P.response_ok resp) then
+          failwith ("request failed: " ^ J.to_string resp);
+        resp
+      in
+      (* warm the compiled-program cache so the throughput stream
+         measures the service path, not one compile *)
+      let conn = Serve.Client.connect socket in
+      ignore (rpc_ok conn (P.Simulate bench_run));
+      Serve.Client.close conn;
+      let t0 = Unix.gettimeofday () in
+      let ds =
+        List.init clients (fun _ ->
+            Domain.spawn (fun () ->
+                let conn = Serve.Client.connect socket in
+                Fun.protect
+                  ~finally:(fun () -> Serve.Client.close conn)
+                  (fun () ->
+                    for _ = 1 to per do
+                      ignore (rpc_ok conn (P.Simulate bench_run))
+                    done)))
+      in
+      List.iter Domain.join ds;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let total = clients * per in
+      let rps = float_of_int total /. elapsed in
+      let conn = Serve.Client.connect socket in
+      let stats = rpc_ok conn P.Stats in
+      Serve.Client.close conn;
+      let geti f = Option.value ~default:0 (J.get_int (J.member f stats)) in
+      let hits = geti "cache_hits" and misses = geti "cache_misses" in
+      let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+      (* failover: a two-member cluster whose rendezvous-first member
+         for this program is dead, so the timed submission has to
+         discover the corpse and move on *)
+      let key = Serve.Cluster.routing_key bench_program in
+      let dead =
+        let rec hunt i =
+          let cand = Printf.sprintf "%s.dead%d" socket i in
+          match Serve.Cluster.rendezvous_order ~key [ cand; socket ] with
+          | first :: _ when first = cand -> cand
+          | _ -> hunt (i + 1)
+        in
+        hunt 0
+      in
+      let retry =
+        { Serve.Client.attempts = 2;
+          base_delay = 0.02;
+          max_delay = 0.05;
+          retry_seed = 1 }
+      in
+      let cluster = Serve.Cluster.create ~deadline:10.0 ~retry [ dead; socket ] in
+      let t1 = Unix.gettimeofday () in
+      let resp, served_by = Serve.Cluster.submit cluster ~key (P.Simulate bench_run) in
+      let failover_ms = (Unix.gettimeofday () -. t1) *. 1000.0 in
+      let failover_ok = served_by = socket && P.response_ok resp in
+      Printf.printf
+        "servebench: %d requests in %.2fs (%.0f req/s), cache %d/%d hits, \
+         failover %.0f ms\n"
+        total elapsed rps hits (hits + misses) failover_ms;
+      B.write_file ~path:out
+        ~meta:
+          [ ("suite", J.String "dfserve-federation");
+            ("generated_by", J.String "bin/servebench.exe");
+            ("clients", J.Int clients);
+            ("requests_per_client", J.Int per) ]
+        [ B.entry ~measured:rps ~units:"requests/s"
+            ~detail:
+              (Printf.sprintf "%d clients x %d cached simulate requests, 2 workers"
+                 clients per)
+            ~ok:(rps > 0.0) "S1" "served throughput";
+          B.entry ~measured:hit_rate ~units:"fraction"
+            ~detail:(Printf.sprintf "%d hits, %d misses" hits misses)
+            ~ok:(hit_rate > 0.5) "S2" "compiled-program cache hit rate";
+          B.entry ~measured:failover_ms ~units:"ms"
+            ~detail:"2-member cluster, rendezvous-first member dead"
+            ~ok:failover_ok "S3" "failover latency" ];
+      Printf.printf "wrote %s\n" out)
+
+let main_safe clients per out =
+  try
+    main clients per out;
+    `Ok ()
+  with
+  | Failure msg -> `Error (false, msg)
+  | Unix.Unix_error (e, fn, arg) ->
+    `Error (false, Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
+
+open Cmdliner
+
+let cmd =
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N" ~doc:"concurrent client domains")
+  in
+  let per =
+    Arg.(value & opt int 25
+         & info [ "requests" ] ~docv:"N" ~doc:"simulate requests per client")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_SERVE.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"benchmark report path")
+  in
+  Cmd.v
+    (Cmd.info "servebench" ~version:"1.0"
+       ~doc:"served-path benchmark: throughput, cache hit rate and \
+             failover latency against an in-process dfserve")
+    Term.(ret (const main_safe $ clients $ per $ out))
+
+let () = exit (Cmdliner.Cmd.eval cmd)

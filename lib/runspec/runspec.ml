@@ -179,3 +179,42 @@ let hostport_of_string s =
       Ok ((if host = "" then "127.0.0.1" else host), port)
     | Some port -> Error (Printf.sprintf "port %d outside 0..65535" port)
     | None -> Error (Printf.sprintf "%S: port is not a number" port_s))
+
+(* Cluster member lists: "a.sock,b.sock,tcp:h:p" inline, or "@FILE"
+   with one address per line (blank lines and #-comments ignored).
+   Addresses are kept verbatim — Serve.Client.addr_of_string decides
+   Unix-path vs TCP later — but duplicates are rejected here, because
+   a duplicated member would get double weight in rendezvous hashing
+   and double probes. *)
+let members_of_string spec =
+  let clean lines =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then None else Some line)
+      lines
+  in
+  let parsed =
+    if String.length spec > 0 && spec.[0] = '@' then (
+      let path = String.sub spec 1 (String.length spec - 1) in
+      match open_in path with
+      | exception Sys_error e -> Error e
+      | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | line -> go (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            Ok (clean (go []))))
+    else Ok (clean (String.split_on_char ',' spec))
+  in
+  match parsed with
+  | Error _ as e -> e
+  | Ok [] -> Error "empty cluster member list"
+  | Ok members ->
+    if List.length (List.sort_uniq compare members) <> List.length members
+    then Error "duplicate cluster member"
+    else Ok members

@@ -104,3 +104,10 @@ val hostport_of_string : string -> (string * int, string) result
 (** Parse a ["HOST:PORT"] TCP endpoint (an empty host means
     [127.0.0.1]; port 0 asks the kernel for an ephemeral port).  Shared
     by [dfserve --tcp], [dfclient --tcp] and the chaos harness. *)
+
+val members_of_string : string -> (string list, string) result
+(** Parse a cluster member list: a comma-separated address list
+    (["a.sock,tcp:host:port"]) or ["@FILE"] naming a file with one
+    address per line (blank lines and [#] comments ignored).  Order is
+    preserved; an empty list or a duplicated address is an [Error].
+    Shared by [dfclient --cluster] and the chaos cluster soak. *)

@@ -133,8 +133,15 @@ let fold entries =
         | _ -> ())
       | Done { idem; response; _ } -> (
         match Hashtbl.find_opt tbl idem with
-        | Some (`Pending _) | None -> Hashtbl.replace tbl idem (`Done response)
-        | Some (`Done _) -> ()))
+        | Some (`Pending _) -> Hashtbl.replace tbl idem (`Done response)
+        | Some (`Done _) -> ()
+        | None ->
+          (* no surviving Admit — the admission was compacted away (a
+             compacted journal stores completed work as bare [Done]
+             records) or torn off a previous generation; the response
+             is still the authoritative answer for this key *)
+          Hashtbl.add tbl idem (`Done response);
+          order := idem :: !order))
     entries;
   let completed, pending =
     List.fold_left
@@ -147,6 +154,53 @@ let fold entries =
       ([], []) !order
   in
   { completed; pending }
+
+(* ---------------- compaction ---------------- *)
+
+(* Rewrite the journal as the folded state instead of the full history:
+   the newest [retain] completed responses (the dedup retention window)
+   plus every pending admission with its latest checkpoint.  Written to
+   a temporary file and renamed into place, so a crash mid-compaction
+   leaves either the old journal or the new one, never a hybrid — and
+   the new file uses the same per-record framing, so the torn-tail
+   replay guarantees carry over unchanged. *)
+let compact ~path ~retain =
+  if retain < 0 then invalid_arg "Journal.compact: negative retention";
+  let rcv = fold (replay path) in
+  let completed =
+    let n = List.length rcv.completed in
+    if n <= retain then rcv.completed
+    else
+      (* completed is oldest-first: drop from the front *)
+      List.filteri (fun i _ -> i >= n - retain) rcv.completed
+  in
+  let rcv = { rcv with completed } in
+  let entries =
+    List.map
+      (fun (idem, response) ->
+        Done
+          { idem;
+            response;
+            digest = J.get_int (J.member "digest" response) })
+      rcv.completed
+    @ List.concat_map
+        (fun p ->
+          Admit { idem = p.p_idem; request = p.p_request }
+          ::
+          (match p.p_checkpoint with
+          | Some checkpoint -> [ Progress { idem = p.p_idem; checkpoint } ]
+          | None -> []))
+        rcv.pending
+  in
+  let tmp = path ^ ".compact" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter (fun e -> output_string oc (frame e)) entries;
+      flush oc);
+  Sys.rename tmp path;
+  rcv
 
 (* ---------------- the live writer ---------------- *)
 

@@ -54,9 +54,23 @@ type recovered = {
 val fold : entry list -> recovered
 (** Collapse a replayed entry list into the response cache and the
     re-run worklist, both in admission order.  A duplicate [Admit] for
-    an idem key is ignored; [Progress]/[Done] for unknown keys are
-    tolerated (their [Admit] may have been torn off a previous
-    journal generation). *)
+    an idem key is ignored; a [Progress] for an unknown key is dropped
+    (a checkpoint without its request is useless); a [Done] for an
+    unknown key still seeds the response cache — that is how a
+    {!compact}ed journal (which stores completed work as bare [Done]
+    records) survives the {e next} restart's replay. *)
+
+val compact : path:string -> retain:int -> recovered
+(** Rewrite the journal as its folded state: the newest [retain]
+    completed responses plus every pending admission (with its latest
+    checkpoint), dropping older [Done] records and all superseded
+    history — so a long-lived server's restart replay is bounded by its
+    dedup retention window instead of its lifetime.  Atomic
+    (write-temporary + rename) and framed like any other journal, so
+    the compacted file keeps the torn-tail replay property.  Returns
+    the retained state, ready for {!fold}-style consumption.  A missing
+    file compacts to an empty journal.
+    @raise Invalid_argument when [retain] is negative. *)
 
 (** {1 Appending} *)
 

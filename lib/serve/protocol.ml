@@ -87,6 +87,7 @@ type run = {
   max_time : int option;
   sanitize : bool;
   idem : string option;
+  restore : J.t option;
 }
 
 let default_run program =
@@ -102,7 +103,8 @@ let default_run program =
     watchdog = Off;
     max_time = None;
     sanitize = false;
-    idem = None }
+    idem = None;
+    restore = None }
 
 type sweep = {
   sw_kernels : string list option;
@@ -116,6 +118,7 @@ type request =
   | Simulate of run
   | Sweep of sweep
   | Cancel of int
+  | Migrate of string
   | Stats
   | Shutdown
 
@@ -142,7 +145,8 @@ let run_fields r =
     | At n -> [ ("watchdog", J.Int n) ])
   @ (match r.max_time with Some n -> [ ("max_time", J.Int n) ] | None -> [])
   @ (if r.sanitize then [ ("sanitize", J.Bool true) ] else [])
-  @ match r.idem with Some k -> [ ("idem", J.String k) ] | None -> []
+  @ (match r.idem with Some k -> [ ("idem", J.String k) ] | None -> [])
+  @ match r.restore with Some ck -> [ ("restore", ck) ] | None -> []
 
 let sweep_fields s =
   (match s.sw_kernels with
@@ -159,6 +163,7 @@ let request_to_json ~id req =
     | Simulate r -> ("simulate", run_fields r)
     | Sweep s -> ("sweep", sweep_fields s)
     | Cancel target -> ("cancel", [ ("target", J.Int target) ])
+    | Migrate idem -> ("migrate", [ ("idem", J.String idem) ])
     | Stats -> ("stats", [])
     | Shutdown -> ("shutdown", [])
   in
@@ -232,6 +237,8 @@ let run_of_json j =
             sanitize =
               Option.value ~default:false (J.get_bool (J.member "sanitize" j));
             idem = J.get_string (J.member "idem" j);
+            restore =
+              (match J.member "restore" j with J.Null -> None | ck -> Some ck);
           })
 
 let sweep_of_json j =
@@ -286,6 +293,10 @@ let request_of_json j =
       match J.get_int (J.member "target" j) with
       | Some t -> Ok (id, Cancel t)
       | None -> Error "cancel: missing target")
+    | "migrate" -> (
+      match J.get_string (J.member "idem" j) with
+      | Some k -> Ok (id, Migrate k)
+      | None -> Error "migrate: missing idem")
     | "stats" -> Ok (id, Stats)
     | "shutdown" -> Ok (id, Shutdown)
     | v -> Error (Printf.sprintf "unknown verb %S" v))

@@ -54,6 +54,14 @@ type run = {
           recorded response (or by attaching the retry to the run still
           in flight) instead of running it again — at-least-once
           clients get exactly-once results, across server restarts *)
+  restore : Obs.Json.t option;
+      (** a {!Recover.Checkpoint} document for this program: the
+          machine engine restores it and resumes the slice stream
+          instead of starting from scratch.  This is how a migrated job
+          arrives at its new server — {!Cluster.migrate} ships the
+          source server's preemption checkpoint here — and the engine
+          guarantees the resumed run finishes bit-identically to an
+          uninterrupted one.  Machine engine only. *)
 }
 
 val default_run : program -> run
@@ -75,6 +83,15 @@ type request =
   | Simulate of run
   | Sweep of sweep
   | Cancel of int  (** a request [id] on the same connection *)
+  | Migrate of string
+      (** checkpoint the in-flight job admitted under this idempotency
+          key and hand its request + checkpoint back to the caller, who
+          resubmits them (as a [Simulate] with [restore]) to another
+          server.  The reply is [{"state":...}]: ["migrated"] carries
+          ["checkpoint"] and ["request"]; ["queued"] carries ["request"]
+          (the job never ran here); ["done"] carries ["response"] (the
+          recorded answer); ["running"] means a graph-engine job that
+          cannot be preempted; ["not_found"] means no such key. *)
   | Stats
   | Shutdown
 

@@ -18,6 +18,7 @@ type config = {
   write_timeout : float;
   drain_timeout : float;
   journal_path : string option;
+  journal_retain : int option;
   log : out_channel option;
 }
 
@@ -33,6 +34,7 @@ let default_config ~socket_path =
     write_timeout = 10.0;
     drain_timeout = 30.0;
     journal_path = None;
+    journal_retain = None;
     log = None }
 
 (* ---------------- request resolution ---------------- *)
@@ -56,6 +58,13 @@ let source_of_program = function
     let k = K.find name in
     (k.K.source size, k.K.scalar_inputs)
   | P.Source { source; scalars; _ } -> (source, scalars)
+
+(* The cache key doubles as the cluster routing key: rendezvous-hashing
+   on it sends same-program requests to the member whose compiled-
+   program cache already holds the entry. *)
+let program_key program =
+  let source, scalars = source_of_program program in
+  cache_key source scalars
 
 let inputs_of_program program ~waves (compiled : PC.compiled) =
   match program with
@@ -191,6 +200,10 @@ and job = {
   jcancel : bool Atomic.t;
   mutable janswered : bool;  (* response already sent (queued cancel) *)
   mutable jwaiters : (int * int) list;  (* (cid, request id) of retries *)
+  mutable jrequest : J.t option;  (* the admitted request document *)
+  mutable jmigrate : (int * int) option;
+      (* (cid, request id) of a migrate call awaiting this job's
+         checkpoint; set together with jcancel to preempt it *)
   jwork : cancel:bool Atomic.t -> job_result;
 }
 
@@ -228,6 +241,7 @@ type t = {
   mutable n_deadline : int;
   mutable n_deduped : int;
   mutable n_replayed : int;
+  mutable n_migrated : int;
 }
 
 let logf t fmt =
@@ -506,6 +520,7 @@ let stats_fields t =
     ("deadline_closes", J.Int t.n_deadline);
     ("deduped", J.Int t.n_deduped);
     ("replayed", J.Int t.n_replayed);
+    ("migrations", J.Int t.n_migrated);
     ("cache_hits", J.Int (Lru.hits t.cache));
     ("cache_misses", J.Int (Lru.misses t.cache));
     ("cache_entries", J.Int (Lru.length t.cache));
@@ -576,47 +591,64 @@ let handle_simulate t c id (r : P.run) =
                | P.Source _ -> "compile failed"))
         | exception e ->
           send_json t c (P.error ~id P.Compile_error (Printexc.to_string e))
-        | key, compiled, hit ->
+        | key, compiled, hit -> (
           let graph = compiled.PC.cp_graph in
-          let inputs =
-            inputs_of_program r.P.program ~waves:r.P.waves compiled
+          let restore_ok =
+            (* a migrated-in job: restore the shipped checkpoint and
+               resume the slice stream instead of starting over *)
+            match r.P.restore with
+            | None -> Ok None
+            | Some _ when r.P.engine <> `Machine ->
+              Error "restore: machine engine only"
+            | Some ck -> (
+              match Recover.Checkpoint.of_json ~graph ck with
+              | Ok sn -> Ok (Some sn)
+              | Error e -> Error ("restore: " ^ e))
           in
-          let name = program_name r.P.program in
-          let progress =
-            match (r.P.idem, t.journal) with
+          match restore_ok with
+          | Error e -> send_json t c (P.error ~id P.Bad_request e)
+          | Ok restore ->
+            let inputs =
+              inputs_of_program r.P.program ~waves:r.P.waves compiled
+            in
+            let name = program_name r.P.program in
+            let progress =
+              match (r.P.idem, t.journal) with
+              | Some idem, Some jr ->
+                Some
+                  (fun ck ->
+                    Journal.append jr
+                      (Journal.Progress { idem; checkpoint = ck }))
+              | _ -> None
+            in
+            let request = P.request_to_json ~id:0 (P.Simulate r) in
+            let job =
+              { jc = Some c;
+                jid = id;
+                jengine = r.P.engine;
+                jidem = r.P.idem;
+                jverb = "simulate";
+                jcancel = Atomic.make false;
+                janswered = false;
+                jwaiters = [];
+                jrequest = Some request;
+                jmigrate = None;
+                jwork =
+                  make_work ~engine:r.P.engine ~arch ~run_cfg
+                    ~sanitize:r.P.sanitize ~slice:t.cfg.slice ~graph ~inputs
+                    ~name ~hit ~key ~progress ~restore }
+            in
+            (* WAL discipline: the admission is durable before the job is *)
+            (match (r.P.idem, t.journal) with
             | Some idem, Some jr ->
-              Some
-                (fun ck ->
-                  Journal.append jr (Journal.Progress { idem; checkpoint = ck }))
-            | _ -> None
-          in
-          let job =
-            { jc = Some c;
-              jid = id;
-              jengine = r.P.engine;
-              jidem = r.P.idem;
-              jverb = "simulate";
-              jcancel = Atomic.make false;
-              janswered = false;
-              jwaiters = [];
-              jwork =
-                make_work ~engine:r.P.engine ~arch ~run_cfg
-                  ~sanitize:r.P.sanitize ~slice:t.cfg.slice ~graph ~inputs
-                  ~name ~hit ~key ~progress ~restore:None }
-          in
-          (* WAL discipline: the admission is durable before the job is *)
-          (match (r.P.idem, t.journal) with
-          | Some idem, Some jr ->
-            Journal.append jr
-              (Journal.Admit
-                 { idem; request = P.request_to_json ~id:0 (P.Simulate r) })
-          | _ -> ());
-          (match r.P.idem with
-          | Some k -> Hashtbl.replace t.idem k (I_pending job)
-          | None -> ());
-          Queue.add job c.queue;
-          t.queued <- t.queued + 1;
-          dispatch t))
+              Journal.append jr (Journal.Admit { idem; request })
+            | _ -> ());
+            (match r.P.idem with
+            | Some k -> Hashtbl.replace t.idem k (I_pending job)
+            | None -> ());
+            Queue.add job c.queue;
+            t.queued <- t.queued + 1;
+            dispatch t)))
 
 let handle_sweep t c id (s : P.sweep) =
   if t.stopping then
@@ -659,6 +691,8 @@ let handle_sweep t c id (s : P.sweep) =
           jcancel = Atomic.make false;
           janswered = false;
           jwaiters = [];
+          jrequest = None;
+          jmigrate = None;
           jwork = make_sweep_work ~cells }
       in
       Queue.add job c.queue;
@@ -695,6 +729,54 @@ let handle_cancel t c id target =
       | None -> "not_found")
   in
   send_json t c (P.ok ~id ~verb:"cancel" [ ("state", J.String state) ])
+
+(* Live migration: checkpoint the job admitted under [idem] and hand
+   its request + checkpoint to the caller, who resubmits them (as a
+   simulate with [restore]) to another server.  The journal admission
+   stays pending here — if this server crashes anyway, its restart
+   re-runs the job, and deterministic recomputation means both paths
+   produce the same bytes, so exactly-once semantics degrade to
+   at-least-once execution with identical answers, never to two
+   different answers. *)
+let handle_migrate t c id idem =
+  let reply state extra =
+    send_json t c (P.ok ~id ~verb:"migrate" (("state", J.String state) :: extra))
+  in
+  match Hashtbl.find_opt t.idem idem with
+  | None -> reply "not_found" []
+  | Some (I_done resp) -> reply "done" [ ("response", resp) ]
+  | Some (I_pending job) ->
+    if List.memq job t.inflight_jobs then (
+      match job.jengine with
+      | `Sim ->
+        (* graph jobs are not sliced; they run to completion here *)
+        reply "running" []
+      | `Machine ->
+        (* preempt at the next slice boundary; the reply is deferred to
+           deliver, which ships the checkpoint when it arrives *)
+        job.jmigrate <- Some (c.cid, id);
+        c.waiting <- c.waiting + 1;
+        Atomic.set job.jcancel true)
+    else begin
+      (* still queued: it never ran here, so just hand the request back
+         and forget the key *)
+      job.janswered <- true;
+      Atomic.set job.jcancel true;
+      t.queued <- t.queued - 1;
+      t.n_cancelled <- t.n_cancelled + 1;
+      (match job.jc with
+      | Some owner when not owner.closed ->
+        send_json t owner
+          (P.error ~id:job.jid P.Cancelled "migrated while queued")
+      | _ -> ());
+      answer_waiters t job (fun rid ->
+          P.error ~id:rid P.Cancelled "migrated while queued");
+      Hashtbl.remove t.idem idem;
+      reply "queued"
+        (match job.jrequest with
+        | Some req -> [ ("request", req) ]
+        | None -> [])
+    end
 
 (* ---------------- shutdown ---------------- *)
 
@@ -791,6 +873,33 @@ let deliver t (job, result) =
          or the next server generation — runs it again *)
       Hashtbl.remove t.idem idem)
   | None -> ());
+  (* a migrate call was waiting on this job: a preemption checkpoint
+     means the job is leaving (ship checkpoint + request); any final
+     result means it won the race, so the answer itself travels *)
+  (match job.jmigrate with
+  | Some (cid, rid) -> (
+    job.jmigrate <- None;
+    match Hashtbl.find_opt t.clients cid with
+    | Some mc when not mc.closed ->
+      mc.waiting <- mc.waiting - 1;
+      let reply =
+        match result with
+        | R_preempted checkpoint ->
+          t.n_migrated <- t.n_migrated + 1;
+          P.ok ~id:rid ~verb:"migrate"
+            (("state", J.String "migrated")
+             :: ("checkpoint", checkpoint)
+             ::
+             (match job.jrequest with
+             | Some req -> [ ("request", req) ]
+             | None -> []))
+        | R_ok _ | R_error _ ->
+          P.ok ~id:rid ~verb:"migrate"
+            [ ("state", J.String "done"); ("response", response) ]
+      in
+      send_json t mc reply
+    | _ -> ())
+  | None -> ());
   (match job.jc with
   | Some c when not (c.closed || job.janswered) ->
     job.janswered <- true;
@@ -835,16 +944,34 @@ let replay_recovered t (rcv : Journal.recovered) =
               inputs_of_program r.P.program ~waves:r.P.waves compiled
             in
             let name = program_name r.P.program in
-            let restore =
+            let checkpoint_doc =
               match (r.P.engine, p.Journal.p_checkpoint) with
-              | `Machine, Some ck -> (
+              | `Machine, Some ck -> Some ck
+              | `Machine, None -> r.P.restore
+              | `Sim, _ -> None
+            in
+            let restore =
+              match checkpoint_doc with
+              | Some ck -> (
                 match Recover.Checkpoint.of_json ~graph ck with
                 | Ok sn -> Some sn
                 | Error e ->
                   logf t "journal: %S checkpoint rejected (%s); rerunning"
                     p.Journal.p_idem e;
                   None)
-              | _ -> None
+              | None -> None
+            in
+            (* if this pending job is migrated away before it runs, the
+               request we hand over should carry the furthest
+               checkpoint we hold, so the target resumes instead of
+               recomputing *)
+            let request =
+              match (restore, checkpoint_doc, p.Journal.p_request) with
+              | Some _, Some ck, J.Obj fields ->
+                J.Obj
+                  (("restore", ck)
+                  :: List.filter (fun (k, _) -> k <> "restore") fields)
+              | _ -> p.Journal.p_request
             in
             let progress =
               match t.journal with
@@ -865,6 +992,8 @@ let replay_recovered t (rcv : Journal.recovered) =
                 jcancel = Atomic.make false;
                 janswered = false;
                 jwaiters = [];
+                jrequest = Some request;
+                jmigrate = None;
                 jwork =
                   make_work ~engine:r.P.engine ~arch ~run_cfg
                     ~sanitize:r.P.sanitize ~slice:t.cfg.slice ~graph ~inputs
@@ -910,11 +1039,21 @@ let create cfg =
          raise e);
       Some fd
   in
+  (match cfg.journal_retain with
+  | Some r when r < 0 -> invalid_arg "Server.create: journal_retain < 0"
+  | _ -> ());
   let journal, recovered =
     match cfg.journal_path with
     | None -> (None, { Journal.completed = []; pending = [] })
     | Some path ->
-      let recovered = Journal.fold (Journal.replay path) in
+      (* with a retention window, restart is also when the log is
+         rewritten: old done records fall out, pending admissions and
+         the newest responses survive *)
+      let recovered =
+        match cfg.journal_retain with
+        | Some retain -> Journal.compact ~path ~retain
+        | None -> Journal.fold (Journal.replay path)
+      in
       (Some (Journal.open_append path), recovered)
   in
   let pipe_r, pipe_w = Unix.pipe () in
@@ -949,7 +1088,8 @@ let create cfg =
       n_malformed = 0;
       n_deadline = 0;
       n_deduped = 0;
-      n_replayed = 0 }
+      n_replayed = 0;
+      n_migrated = 0 }
   in
   (match (recovered.Journal.completed, recovered.Journal.pending) with
   | [], [] -> ()
@@ -989,7 +1129,14 @@ let handle_line t c line =
       match P.request_of_json doc with
       | Error msg ->
         let id = Option.value ~default:(-1) (P.response_id doc) in
-        send_json t c (P.error ~id P.Bad_request msg)
+        let kind =
+          (* a verb outside the protocol table is its own kind, so
+             scripts can tell "wrong server/version" from "bad field" *)
+          if String.length msg >= 12 && String.sub msg 0 12 = "unknown verb"
+          then P.Unknown_verb
+          else P.Bad_request
+        in
+        send_json t c (P.error ~id kind msg)
       | Ok (id, req) -> (
         match req with
         | P.Stats -> send_json t c (P.ok ~id ~verb:"stats" (stats_fields t))
@@ -997,6 +1144,7 @@ let handle_line t c line =
           send_json t c (P.ok ~id ~verb:"shutdown" []);
           initiate_shutdown t
         | P.Cancel target -> handle_cancel t c id target
+        | P.Migrate idem -> handle_migrate t c id idem
         | P.Simulate r -> handle_simulate t c id r
         | P.Sweep s -> handle_sweep t c id s
         | P.Compile program ->

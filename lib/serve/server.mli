@@ -66,6 +66,10 @@ type config = {
       (** shutdown drains admitted jobs for at most this long before
           dumping the queue and preempting *)
   journal_path : string option;  (** write-ahead job journal *)
+  journal_retain : int option;
+      (** compact the journal on startup, keeping only this many of the
+          newest completed responses (plus every pending admission);
+          [None] keeps the full history *)
   log : out_channel option;  (** one line per lifecycle event *)
 }
 
@@ -73,7 +77,7 @@ val default_config : socket_path:string -> config
 (** [workers = Exec.Pool.default_jobs ()], [max_pending = 64],
     [cache_capacity = 32], [slice = 5000], no TCP, [max_line] = 1 MiB,
     [idle_timeout] = 60 s, [write_timeout] = 10 s, [drain_timeout] =
-    30 s, no journal, no log. *)
+    30 s, no journal, unbounded journal retention, no log. *)
 
 type t
 
@@ -118,3 +122,10 @@ val subject_of_program :
     {!Runspec.compile_subject}'s deterministic input draw; source
     programs synthesize inputs with {!Runspec.synth_wave}.  This is the
     reference a served run is compared against. *)
+
+val program_key : Protocol.program -> int
+(** The compiled-program cache key of a request's program — an FNV-1a
+    checksum over the canonical source text plus scalar bindings.
+    {!Cluster} rendezvous-hashes on it so same-program requests route
+    to the member whose cache already holds the entry.
+    @raise Not_found for a kernel name the library does not know. *)

@@ -120,15 +120,20 @@ let test_fold () =
         Journal.Progress { idem = "b"; checkpoint = doc 10 };
         Journal.Progress { idem = "b"; checkpoint = doc 20 };
         Journal.Done { idem = "a"; response = doc 3; digest = Some 7 };
-        (* orphans from a previous journal generation are tolerated *)
+        (* an orphan checkpoint is useless without its request; an
+           orphan response is exactly what a compacted journal stores
+           for completed work, so it must seed the cache *)
         Journal.Progress { idem = "ghost"; checkpoint = doc 0 };
         Journal.Done { idem = "phantom"; response = doc 0; digest = None };
         Journal.Admit { idem = "c"; request = doc 4 } ]
   in
-  check_int "one completed" 1 (List.length r.Journal.completed);
   (match r.Journal.completed with
-  | [ ("a", resp) ] -> check "a's response" true (resp = doc 3)
-  | _ -> Alcotest.fail "completed should hold exactly a");
+  | [ ("a", ra); ("phantom", rp) ] ->
+    check "a's response" true (ra = doc 3);
+    check "phantom's orphan response kept" true (rp = doc 0)
+  | cs ->
+    Alcotest.failf "completed should hold [a; phantom], got %d entries"
+      (List.length cs));
   (match r.Journal.pending with
   | [ b; c ] ->
     check "b pending first (admission order)" true (b.Journal.p_idem = "b");
@@ -182,6 +187,128 @@ let test_append_replay_file () =
       check_int "torn final record dropped, prefix intact"
         (List.length sample_entries)
         (List.length (Journal.replay path)))
+
+(* --- compaction ------------------------------------------------------ *)
+
+let fingerprint (r : Journal.recovered) =
+  (r.Journal.completed,
+   List.map
+     (fun p -> (p.Journal.p_idem, p.Journal.p_request, p.Journal.p_checkpoint))
+     r.Journal.pending)
+
+let test_compact () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "journal-compact-%d.wal" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let doc n = J.Obj [ ("n", J.Int n) ] in
+      let jr = Journal.open_append path in
+      List.iter (Journal.append jr)
+        [ Journal.Admit { idem = "a"; request = doc 1 };
+          Journal.Done { idem = "a"; response = doc 11; digest = None };
+          Journal.Admit { idem = "b"; request = doc 2 };
+          Journal.Progress { idem = "b"; checkpoint = doc 20 };
+          Journal.Done { idem = "b"; response = doc 12; digest = Some 5 };
+          Journal.Admit { idem = "c"; request = doc 3 };
+          Journal.Done { idem = "c"; response = doc 13; digest = None };
+          Journal.Admit { idem = "d"; request = doc 4 };
+          Journal.Progress { idem = "d"; checkpoint = doc 40 };
+          Journal.Progress { idem = "d"; checkpoint = doc 41 } ];
+      Journal.close jr;
+      let before = (Unix.stat path).Unix.st_size in
+      let r = Journal.compact ~path ~retain:2 in
+      (* the oldest completed response (a) is dropped; b and c stay in
+         admission order; the pending job keeps only its latest
+         checkpoint *)
+      (match r.Journal.completed with
+      | [ ("b", rb); ("c", rc) ] ->
+        check "b's response retained" true (rb = doc 12);
+        check "c's response retained" true (rc = doc 13)
+      | cs ->
+        Alcotest.failf "retain 2 should keep [b; c], got %d" (List.length cs));
+      (match r.Journal.pending with
+      | [ d ] ->
+        check "pending admission survives" true (d.Journal.p_idem = "d");
+        check "latest checkpoint only" true
+          (d.Journal.p_checkpoint = Some (doc 41))
+      | ps -> Alcotest.failf "expected pending [d], got %d" (List.length ps));
+      check "compaction shrank the file" true
+        ((Unix.stat path).Unix.st_size < before);
+      (* the invariant everything rests on: replaying the compacted
+         file reproduces exactly the state compact returned, so the
+         NEXT restart (with or without compaction) sees the same world *)
+      check "fold (replay compacted) = retained state" true
+        (fingerprint (Journal.fold (Journal.replay path)) = fingerprint r);
+      (* retain 0: dedup history gone, pending admissions sacred *)
+      let r0 = Journal.compact ~path ~retain:0 in
+      check "retain 0 drops all completed" true (r0.Journal.completed = []);
+      check "retain 0 keeps pending" true
+        (List.map (fun p -> p.Journal.p_idem) r0.Journal.pending = [ "d" ]);
+      (* a missing file compacts to an empty journal, no error *)
+      Sys.remove path;
+      let re = Journal.compact ~path ~retain:5 in
+      check "missing file compacts empty" true
+        (re.Journal.completed = [] && re.Journal.pending = []))
+
+(* compaction must preserve the folded state for ANY journal, and the
+   rewritten file must keep the torn-tail replay property *)
+let compact_roundtrip =
+  QCheck.Test.make ~count:150
+    ~name:"compact: state preserved (newest-retain window), torn-tail kept"
+    (QCheck.make
+       QCheck.Gen.(triple gen_entries (int_range 0 4) (float_range 0.0 1.0))
+       ~print:(fun (es, r, f) ->
+         Printf.sprintf "%d entries retain %d cut %.3f" (List.length es) r f))
+    (fun (entries, retain, frac) ->
+      let path = Filename.temp_file "journal-qc-compact" ".wal" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out_bin path in
+          output_string oc (String.concat "" (frames entries));
+          close_out oc;
+          let full = Journal.fold (Journal.replay path) in
+          let r = Journal.compact ~path ~retain in
+          let want_completed =
+            let n = List.length full.Journal.completed in
+            List.filteri (fun i _ -> i >= n - retain) full.Journal.completed
+          in
+          (* returned state: the newest [retain] completed + all pending *)
+          fingerprint r
+          = (want_completed,
+             List.map
+               (fun p ->
+                 (p.Journal.p_idem, p.Journal.p_request, p.Journal.p_checkpoint))
+               full.Journal.pending)
+          (* the file round-trips to the same state *)
+          && fingerprint (Journal.fold (Journal.replay path)) = fingerprint r
+          (* and a SIGKILL tearing the compacted file at any byte still
+             replays to a whole-record prefix *)
+          && begin
+               let image =
+                 let ic = open_in_bin path in
+                 Fun.protect
+                   ~finally:(fun () -> close_in ic)
+                   (fun () -> really_input_string ic (in_channel_length ic))
+               in
+               let cut =
+                 min (String.length image)
+                   (int_of_float (frac *. float_of_int (String.length image)))
+               in
+               let whole = Journal.entries_of_string image in
+               let torn = Journal.entries_of_string (String.sub image 0 cut) in
+               let rec prefix a b =
+                 match (a, b) with
+                 | [], _ -> true
+                 | x :: xs, y :: ys -> x = y && prefix xs ys
+                 | _ -> false
+               in
+               prefix (frames torn) (frames whole)
+             end))
 
 (* --- the resume property -------------------------------------------- *)
 
@@ -244,5 +371,8 @@ let suite =
       test_fold;
     Alcotest.test_case "file: append, replay, generations, torn tail" `Quick
       test_append_replay_file;
+    Alcotest.test_case "compact: retention window, pending kept, atomic"
+      `Quick test_compact;
+    QCheck_alcotest.to_alcotest compact_roundtrip;
     Alcotest.test_case "resume: every checkpoint prefix reaches the one-shot \
                         digest" `Quick test_checkpoint_prefix_resume ]

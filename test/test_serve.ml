@@ -38,6 +38,7 @@ let test_protocol_request_roundtrip () =
             scalars = [ ("q", Dfg.Value.Real 0.25) ];
             input_seed = 9 }));
   roundtrip (P.Cancel 3);
+  roundtrip (P.Migrate "job-9");
   roundtrip P.Stats;
   roundtrip P.Shutdown;
   let base = P.default_run (P.Kernel { name = "tridiag"; size = 8 }) in
@@ -56,7 +57,14 @@ let test_protocol_request_roundtrip () =
          watchdog = P.At 600;
          max_time = Some 123_456;
          sanitize = true });
-  roundtrip (P.Simulate { base with P.watchdog = P.Auto })
+  roundtrip (P.Simulate { base with P.watchdog = P.Auto });
+  (* a migrated job travels as a Simulate with a checkpoint to restore *)
+  roundtrip
+    (P.Simulate
+       { base with
+         P.idem = Some "moved-1";
+         restore =
+           Some (J.Obj [ ("time", J.Int 777); ("cells", J.List []) ]) })
 
 let test_protocol_values () =
   let roundtrip v =
@@ -130,11 +138,14 @@ let test_lru () =
 
 (* [f] gets the socket path and the server handle (for tcp_port) *)
 let with_server_t ?(workers = 2) ?(max_pending = 64) ?(slice = 5000) ?tcp
-    ?max_line ?idle_timeout ?journal f =
+    ?max_line ?idle_timeout ?journal ?journal_retain ?cache ?name f =
   let socket =
     Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "dfserve-test-%d-%d.sock" (Unix.getpid ())
-         (Hashtbl.hash f))
+      (match name with
+      | Some n -> Printf.sprintf "dfserve-test-%d-%s.sock" (Unix.getpid ()) n
+      | None ->
+        Printf.sprintf "dfserve-test-%d-%d.sock" (Unix.getpid ())
+          (Hashtbl.hash f))
   in
   let base = Serve.Server.default_config ~socket_path:socket in
   let config =
@@ -148,7 +159,10 @@ let with_server_t ?(workers = 2) ?(max_pending = 64) ?(slice = 5000) ?tcp
         (match idle_timeout with
         | Some _ as i -> i
         | None -> base.Serve.Server.idle_timeout);
-      journal_path = journal }
+      cache_capacity =
+        Option.value cache ~default:base.Serve.Server.cache_capacity;
+      journal_path = journal;
+      journal_retain }
   in
   let server = Serve.Server.create config in
   let domain = Domain.spawn (fun () -> Serve.Server.serve server) in
@@ -721,7 +735,300 @@ let test_journal_crash_replay () =
                 (standalone pend);
               let stats = Serve.Client.rpc conn P.Stats in
               check_int "pending admission replayed" 1
-                (stat stats "replayed"))))
+                (stat stats "replayed")));
+      (* generation 4 compacts on startup with retention 0: the
+         completed history is dropped (the journal shrinks to nothing),
+         so the old retry re-RUNS — and determinism makes the re-run
+         answer bit-identical anyway *)
+      with_server_t ~journal ~journal_retain:0 (fun socket _ ->
+          let conn = Serve.Client.connect socket in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close conn)
+            (fun () ->
+              check_served_identical ~label:"post-compaction re-run"
+                (Serve.Client.rpc conn (P.Simulate run))
+                expected;
+              let stats = Serve.Client.rpc conn P.Stats in
+              check_int "nothing left to answer from the record" 0
+                (stat stats "deduped");
+              check_int "nothing left to replay" 0 (stat stats "replayed"))))
+
+(* --- federation ------------------------------------------------------- *)
+
+let test_rendezvous_routing () =
+  let members = [ "alpha"; "bravo"; "charlie"; "delta" ] in
+  for key = 0 to 20 do
+    let order = Serve.Cluster.rendezvous_order ~key members in
+    check "permutation of the member list" true
+      (List.sort compare order = List.sort compare members);
+    check "deterministic" true
+      (order = Serve.Cluster.rendezvous_order ~key members);
+    check "independent of input order" true
+      (order = Serve.Cluster.rendezvous_order ~key (List.rev members));
+    (* the HRW property everything rests on: removing the winner
+       reshuffles nothing among the survivors *)
+    match order with
+    | winner :: rest ->
+      let without = List.filter (fun m -> m <> winner) members in
+      check "survivors keep their relative order" true
+        (Serve.Cluster.rendezvous_order ~key without = rest)
+    | [] -> Alcotest.fail "empty order"
+  done;
+  let winners =
+    List.init 64 (fun key ->
+        List.hd (Serve.Cluster.rendezvous_order ~key members))
+  in
+  check "keys spread across members" true
+    (List.length (List.sort_uniq compare winners) >= 2);
+  (* member-list parsing: comma form, @file form, rejects *)
+  (match Serve.Cluster.members_of_spec "a.sock,b.sock,c.sock" with
+  | Ok m ->
+    Alcotest.(check (list string)) "comma list"
+      [ "a.sock"; "b.sock"; "c.sock" ] m
+  | Error e -> Alcotest.failf "comma list: %s" e);
+  check "empty spec rejected" true
+    (Result.is_error (Serve.Cluster.members_of_spec ""));
+  check "duplicate member rejected" true
+    (Result.is_error (Serve.Cluster.members_of_spec "x.sock,x.sock"));
+  let file = Filename.temp_file "members" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "# the fleet\none.sock\n\ntwo.sock\n";
+      close_out oc;
+      match Serve.Cluster.members_of_spec ("@" ^ file) with
+      | Ok m ->
+        Alcotest.(check (list string)) "@file form (comments, blanks)"
+          [ "one.sock"; "two.sock" ] m
+      | Error e -> Alcotest.failf "@file: %s" e)
+
+let test_backoff_property () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200
+       ~name:"backoff: pure in (seed, attempt), positive, bounded by 1.5x cap"
+       QCheck.(pair int (int_range 1 12))
+       (fun (seed, attempts) ->
+         let retry =
+           { Serve.Client.default_retry with
+             Serve.Client.retry_seed = seed;
+             attempts }
+         in
+         let schedule () =
+           List.init attempts (fun a ->
+               Serve.Client.backoff_delay retry ~attempt:a)
+         in
+         let s1 = schedule () in
+         s1 = schedule ()
+         && List.for_all
+              (fun d ->
+                d > 0.0 && d <= retry.Serve.Client.max_delay *. 1.5)
+              s1))
+
+(* a socket path that rendezvous-ranks ahead of [socket] for [key],
+   with no server behind it: the corpse the router must route around *)
+let dead_first ~key socket =
+  let rec hunt i =
+    let cand = Printf.sprintf "%s.dead%d" socket i in
+    match Serve.Cluster.rendezvous_order ~key [ cand; socket ] with
+    | first :: _ when first = cand -> cand
+    | _ -> hunt (i + 1)
+  in
+  hunt 0
+
+let test_cluster_failover () =
+  with_server (fun socket ->
+      let run = { tiny_run with P.idem = Some "fo-1" } in
+      let key = Serve.Cluster.routing_key run.P.program in
+      let dead = dead_first ~key socket in
+      let retry =
+        { Serve.Client.attempts = 2;
+          base_delay = 0.01;
+          max_delay = 0.02;
+          retry_seed = 1 }
+      in
+      let t = Serve.Cluster.create ~deadline:10.0 ~retry [ dead; socket ] in
+      (* the preferred member is dead: the submit lands on the live one
+         and the answer is the standalone answer, bit for bit *)
+      let resp, served_by = Serve.Cluster.submit t ~key (P.Simulate run) in
+      check_string "served by the live member" socket served_by;
+      check_served_identical ~label:"failover" resp (standalone run);
+      check_int "one failover recorded" 1 (Serve.Cluster.failovers t);
+      (* probing marks the corpse Down (second straight failure) and
+         confirms the live member Up *)
+      let probes = Serve.Cluster.probe ~deadline:1.0 t in
+      List.iter2
+        (fun (addr, r) (addr', h) ->
+          check_string "probe and health agree on order" addr addr';
+          if addr = socket then begin
+            check "live probe answers" true (Result.is_ok r);
+            check "live member Up" true (h = Serve.Cluster.Up)
+          end
+          else begin
+            check "dead probe errors" true (Result.is_error r);
+            check "dead member Down after two failures" true
+              (h = Serve.Cluster.Down)
+          end)
+        probes (Serve.Cluster.health t);
+      (* the cluster-level retry of the same keyed request: answered
+         from the server's idempotency record, not re-run *)
+      let resp2, served_by2 = Serve.Cluster.submit t ~key (P.Simulate run) in
+      check_string "retry lands on the live member" socket served_by2;
+      check "retry ok" true (P.response_ok resp2);
+      check_int "a Down member is skipped, not retried" 1
+        (Serve.Cluster.failovers t);
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let stats = Serve.Client.rpc conn P.Stats in
+          check "retry answered from the record" true
+            (stat stats "deduped" >= 1)))
+
+let test_lru_conservation () =
+  (* a capacity-2 cache thrashed by 4 concurrent clients rotating over
+     3 programs: every response still bit-identical, and the cache
+     counters conserve — every lookup is a hit or a miss, every miss
+     becomes an entry or an eviction *)
+  with_server_t ~cache:2 (fun socket _ ->
+      let runs =
+        Array.map
+          (fun p -> { (P.default_run p) with P.waves = 1 })
+          [| P.Kernel { name = "hydro"; size = 6 };
+             P.Kernel { name = "hydro"; size = 8 };
+             P.Kernel { name = "tridiag"; size = 8 } |]
+      in
+      let expected = Array.map standalone runs in
+      let domains = 4 and per = 8 in
+      let ds =
+        List.init domains (fun d ->
+            Domain.spawn (fun () ->
+                let conn = Serve.Client.connect socket in
+                Fun.protect
+                  ~finally:(fun () -> Serve.Client.close conn)
+                  (fun () ->
+                    List.init per (fun i ->
+                        let j = (d + i) mod Array.length runs in
+                        (j, Serve.Client.rpc conn (P.Simulate runs.(j)))))))
+      in
+      let resps = List.concat_map Domain.join ds in
+      check_int "every request answered" (domains * per) (List.length resps);
+      List.iter
+        (fun (j, r) ->
+          check_served_identical
+            ~label:(Printf.sprintf "thrashed program %d" j)
+            r expected.(j))
+        resps;
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let stats = Serve.Client.rpc conn P.Stats in
+          let hits = stat stats "cache_hits"
+          and misses = stat stats "cache_misses"
+          and entries = stat stats "cache_entries"
+          and evictions = stat stats "cache_evictions" in
+          check_int "every lookup is a hit or a miss" (domains * per)
+            (hits + misses);
+          check_int "every miss became an entry or an eviction" misses
+            (entries + evictions);
+          check "capacity respected" true (entries <= 2);
+          check "the thrash really evicted" true (evictions > 0)))
+
+let test_migrate_states () =
+  with_server_t ~workers:1 ~slice:2000 ~name:"mig-states" (fun socket _ ->
+      let conn = Serve.Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          let state r =
+            Option.value ~default:"?" (J.get_string (J.member "state" r))
+          in
+          let r = Serve.Client.rpc conn (P.Migrate "no-such-job") in
+          check_string "unknown key" "not_found" (state r);
+          (* a completed key: the recorded response rides along, so the
+             coordinator can answer without re-running anything *)
+          let done_run = { tiny_run with P.idem = Some "ms-done" } in
+          let orig = Serve.Client.rpc conn (P.Simulate done_run) in
+          let r = Serve.Client.rpc conn (P.Migrate "ms-done") in
+          check_string "completed key" "done" (state r);
+          check_string "recorded response rides along"
+            (J.to_string (J.member "digest" orig))
+            (J.to_string (J.member "digest" (J.member "response" r)));
+          (* a queued key: never ran here, so the request is handed back
+             for resubmission and the original submitter is cancelled *)
+          let long =
+            { (P.default_run (P.Kernel { name = "hydro"; size = 32 })) with
+              P.waves = 2000;
+              engine = `Machine;
+              max_time = Some 100_000_000 }
+          in
+          let running = Serve.Client.send conn (P.Simulate long) in
+          let queued_run = { tiny_run with P.idem = Some "ms-queued" } in
+          let queued = Serve.Client.send conn (P.Simulate queued_run) in
+          Unix.sleepf 0.2;
+          let r = Serve.Client.rpc conn (P.Migrate "ms-queued") in
+          check_string "queued key handed back" "queued" (state r);
+          (match P.request_of_json (J.member "request" r) with
+          | Ok (_, P.Simulate back) ->
+            check_string "request round-trips for resubmission"
+              (J.to_string (P.request_to_json ~id:0 (P.Simulate queued_run)))
+              (J.to_string (P.request_to_json ~id:0 (P.Simulate back)))
+          | _ -> Alcotest.fail "migrate of a queued job must return the request");
+          (match P.response_error (Serve.Client.await conn queued) with
+          | Some (Some P.Cancelled, _) -> ()
+          | _ -> Alcotest.fail "evacuated queued job answers cancelled");
+          (* put the long job down so shutdown drains immediately *)
+          ignore (Serve.Client.rpc conn (P.Cancel running));
+          match P.response_error (Serve.Client.await conn running) with
+          | Some (Some P.Cancelled, _) -> ()
+          | _ -> Alcotest.fail "long job preempts on cancel"))
+
+let test_migrate_between_servers () =
+  (* the tentpole, in miniature: a machine job runs on the source,
+     gets preempted at a slice boundary, its checkpoint travels the
+     wire, and the target resumes it to the exact bytes an
+     uninterrupted standalone run produces *)
+  with_server_t ~slice:2000 ~name:"mig-src" (fun src _ ->
+      with_server_t ~slice:2000 ~max_line:(8 * 1024 * 1024) ~name:"mig-dst"
+        (fun dst _ ->
+          let run =
+            { (P.default_run (P.Kernel { name = "hydro"; size = 32 })) with
+              P.waves = 2000;
+              engine = `Machine;
+              max_time = Some 100_000_000;
+              idem = Some "mig-live-1" }
+          in
+          let conn = Serve.Client.connect src in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close conn)
+            (fun () ->
+              let id = Serve.Client.send conn (P.Simulate run) in
+              (* let it dispatch and start slicing *)
+              Unix.sleepf 0.3;
+              let resp, how =
+                Serve.Cluster.migrate ~source:src ~target:dst run
+              in
+              check_string "live job migrated" "migrated" how;
+              check_served_identical ~label:"migrated job" resp
+                (standalone run);
+              (* the original submitter hears a structured cancel, not
+                 silence *)
+              (match P.response_error (Serve.Client.await conn id) with
+              | Some (Some P.Cancelled, _) -> ()
+              | _ ->
+                Alcotest.fail
+                  "source should answer the original submitter cancelled");
+              let stats = Serve.Client.rpc conn P.Stats in
+              check_int "source counted the migration" 1
+                (stat stats "migrations");
+              let cd = Serve.Client.connect dst in
+              Fun.protect
+                ~finally:(fun () -> Serve.Client.close cd)
+                (fun () ->
+                  let ds = Serve.Client.rpc cd P.Stats in
+                  check "target compiled and ran the refugee" true
+                    (stat ds "cache_misses" >= 1)))))
 
 let test_soak () =
   let r =
@@ -767,6 +1074,18 @@ let suite =
       test_idempotency_dedup;
     Alcotest.test_case "server: journal survives restart, exactly-once"
       `Quick test_journal_crash_replay;
+    Alcotest.test_case "cluster: rendezvous routing is minimal-disruption"
+      `Quick test_rendezvous_routing;
+    Alcotest.test_case "cluster: backoff schedule deterministic and bounded"
+      `Quick test_backoff_property;
+    Alcotest.test_case "cluster: failover to the live member, bit-identical"
+      `Quick test_cluster_failover;
+    Alcotest.test_case "server: thrashed LRU conserves counters" `Quick
+      test_lru_conservation;
+    Alcotest.test_case "server: migrate verb state taxonomy" `Quick
+      test_migrate_states;
+    Alcotest.test_case "cluster: live migration resumes bit-identically"
+      `Quick test_migrate_between_servers;
     Alcotest.test_case "server: concurrent soak bit-identical" `Quick
       test_soak;
   ]
