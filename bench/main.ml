@@ -101,7 +101,7 @@ let e1 ctx =
   List.iter
     (fun extra ->
       let g = fig2_graph ~extra_depth:extra in
-      let r = Sim.Engine.run g ~inputs:[ ("a", xs); ("b", xs) ] in
+      let r = Sim.Engine.run_cfg Run_config.default g ~inputs:[ ("a", xs); ("b", xs) ] in
       let interval = Sim.Metrics.output_interval r "r" in
       if Float.abs (interval -. 2.0) > 0.05 then ok := false;
       if interval > !worst then worst := interval;
@@ -153,10 +153,10 @@ let e2 ctx =
   List.iter
     (fun skew ->
       let g = diamond ~skew in
-      let raw = Sim.Engine.run g ~inputs:[ ("a", xs) ] in
+      let raw = Sim.Engine.run_cfg Run_config.default g ~inputs:[ ("a", xs) ] in
       let raw_i = Sim.Metrics.output_interval raw "r" in
       let balanced = Balance.Balancer.balance ~strategy:`Optimal g in
-      let bal = Sim.Engine.run balanced ~inputs:[ ("a", xs) ] in
+      let bal = Sim.Engine.run_cfg Run_config.default balanced ~inputs:[ ("a", xs) ] in
       let bal_i = Sim.Metrics.output_interval bal "r" in
       let buffers = Graph.node_count balanced - Graph.node_count g in
       if bal_i > 2.05 then ok := false;
@@ -444,7 +444,7 @@ let e10 ctx =
       let bound = Balance.Balancer.dual_lower_bound g in
       let balanced = Balance.Balancer.balance ~strategy:`Optimal g in
       let r =
-        Sim.Engine.run balanced
+        Sim.Engine.run_cfg Run_config.default balanced
           ~inputs:[ ("a", List.init 300 (fun i -> Value.Int i)) ]
       in
       let rate_ok = Sim.Metrics.fully_pipelined r "r" in
@@ -494,7 +494,7 @@ let e11 ctx =
       let arch =
         { Arch.default with Arch.array_policy = policy; n_pe = pes }
       in
-      let r = ME.run ~arch cp.PC.cp_graph ~inputs:feeds in
+      let r = ME.run_cfg ME.default_config ~arch cp.PC.cp_graph ~inputs:feeds in
       let outputs = List.length (ME.output_values r "X") in
       let throughput =
         float_of_int outputs /. float_of_int (max 1 r.ME.end_time)
@@ -605,7 +605,7 @@ let e12 ctx =
                List.map (fun f -> Value.Real f) (Sources.random_wave st n))
              (List.init 6 Fun.id)) ]
       in
-      let r = Sim.Engine.run g ~inputs in
+      let r = Sim.Engine.run_cfg Run_config.default g ~inputs in
       let interval = Sim.Metrics.output_interval r "x" in
       deepest := interval;
       (match rows with

@@ -92,7 +92,7 @@ let () =
   List.iter
     (fun policy ->
       let arch = { Arch.default with Arch.array_policy = policy } in
-      let r = ME.run ~arch compiled.PC.cp_graph ~inputs:machine_inputs in
+      let r = ME.run_cfg ME.default_config ~arch compiled.PC.cp_graph ~inputs:machine_inputs in
       Df_util.Table.add_row table
         [
           (match policy with

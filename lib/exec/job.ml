@@ -26,17 +26,6 @@ let make ?(name = "job") ?(engine = Sim) ?(config = Run_config.default)
     ?(sanitize = false) program ~inputs =
   { name; engine; program; inputs; config; sanitize }
 
-type outcome = {
-  job_name : string;
-  outputs : (string * (int * Value.t) list) list;
-  end_time : int;
-  quiescent : bool;
-  stall : Fault.Stall_report.t option;
-  violations : Fault.Violation.t list;
-  sim_result : Sim.Engine.result option;
-  machine_result : ME.result option;
-}
-
 let replicate waves xs = List.concat_map (fun _ -> xs) (List.init waves Fun.id)
 
 (* Resolve the program to a graph plus full packet streams. *)
@@ -73,44 +62,11 @@ let run job =
     else job.config
   in
   match job.engine with
-  | Sim ->
-    let r = Sim.Engine.run_cfg cfg g ~inputs in
-    {
-      job_name = job.name;
-      outputs = r.Sim.Engine.outputs;
-      end_time = r.Sim.Engine.end_time;
-      quiescent = r.Sim.Engine.quiescent;
-      stall = r.Sim.Engine.stuck;
-      violations = r.Sim.Engine.violations;
-      sim_result = Some r;
-      machine_result = None;
-    }
+  | Sim -> Outcome.of_sim ~name:job.name (Sim.Engine.run_cfg cfg g ~inputs)
   | Machine arch ->
-    let r = ME.run_cfg cfg ~arch g ~inputs in
-    {
-      job_name = job.name;
-      outputs = r.ME.outputs;
-      end_time = r.ME.end_time;
-      quiescent = r.ME.quiescent;
-      stall = r.ME.stall;
-      violations = r.ME.violations;
-      sim_result = None;
-      machine_result = Some r;
-    }
+    Outcome.of_machine ~name:job.name (ME.run_cfg cfg ~arch g ~inputs)
 
 let run_all ?jobs ts = Pool.map_result ?jobs run ts
 
-let stream outcome name =
-  match List.assoc_opt name outcome.outputs with
-  | Some vs -> vs
-  | None ->
-    invalid_arg
-      (Printf.sprintf "Job %s: no output stream %s (run produced: %s)"
-         outcome.job_name name
-         (match outcome.outputs with
-         | [] -> "none"
-         | outs -> String.concat ", " (List.map fst outs)))
-
-let output_values outcome name = List.map snd (stream outcome name)
-
-let output_times outcome name = List.map fst (stream outcome name)
+let output_values = Outcome.output_values
+let output_times = Outcome.output_times

@@ -50,28 +50,16 @@ val make :
 (** Defaults: [engine = Sim], [config = Run_config.default],
     [sanitize = false], [name = "job"]. *)
 
-(** What every engine reports, plus the engine-specific result for
-    callers that need more. *)
-type outcome = {
-  job_name : string;
-  outputs : (string * (int * Value.t) list) list;
-  end_time : int;
-  quiescent : bool;
-  stall : Fault.Stall_report.t option;
-  violations : Fault.Violation.t list;
-  sim_result : Sim.Engine.result option;  (** set for [Sim] jobs *)
-  machine_result : Machine.Machine_engine.result option;
-      (** set for [Machine] jobs *)
-}
-
-val run : t -> outcome
+val run : t -> Outcome.t
 (** Execute one job in the calling domain (compile if needed, run,
-    collect).  @raise Invalid_argument etc. as the underlying engines
-    and compiler do. *)
+    collect into the engine-independent {!Outcome.t}).
+    @raise Invalid_argument etc. as the underlying engines and compiler
+    do. *)
 
-val run_all : ?jobs:int -> t list -> (outcome, Pool.error) result list
+val run_all : ?jobs:int -> t list -> (Outcome.t, Pool.error) result list
 (** {!Pool.map_result} over {!run}: domain-parallel, results in
     submission order, failures isolated per job. *)
 
-val output_values : outcome -> string -> Value.t list
-val output_times : outcome -> string -> int list
+val output_values : Outcome.t -> string -> Value.t list
+val output_times : Outcome.t -> string -> int list
+(** {!Outcome.output_values} / {!Outcome.output_times}. *)

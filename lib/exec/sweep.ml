@@ -49,11 +49,10 @@ let run_cell { kernel = k; n_pe; waves; size } =
       ~inputs:(k.K.inputs size st)
   in
   let o = Job.run job in
-  let r = Option.get o.Job.machine_result in
+  let c = o.Outcome.counters in
   let times = Job.output_times o k.K.output in
   let outputs = List.length times in
   let interval = Sim.Metrics.initiation_interval times in
-  let stats = r.ME.stats in
   let cells =
     match job.Job.program with
     | Job.Graph_program g -> Dfg.Graph.node_count g
@@ -67,7 +66,7 @@ let run_cell { kernel = k; n_pe; waves; size } =
       Dfg.Graph.node_count compiled.PC.cp_graph
   in
   let stall_unexpected =
-    match o.Job.stall with
+    match o.Outcome.stall with
     | None -> false
     | Some sr ->
       sr.Fault.Stall_report.sr_reason <> Fault.Stall_report.Deadlock
@@ -78,17 +77,19 @@ let run_cell { kernel = k; n_pe; waves; size } =
     r_waves = waves;
     r_size = size;
     r_cells = cells;
-    r_end_time = o.Job.end_time;
+    r_end_time = o.Outcome.end_time;
     r_outputs = outputs;
     r_interval = interval;
     r_predicted = k.K.predicted_interval size;
     r_throughput =
-      float_of_int outputs /. float_of_int (max 1 o.Job.end_time);
-    r_dispatches = stats.ME.dispatches;
-    r_fu_ops = stats.ME.fu_ops;
-    r_am_ops = stats.ME.am_ops;
-    r_am_fraction = ME.am_fraction stats;
-    r_ok = o.Job.quiescent && (not stall_unexpected) && o.Job.violations = [];
+      float_of_int outputs /. float_of_int (max 1 o.Outcome.end_time);
+    r_dispatches = c.Outcome.firings;
+    r_fu_ops = c.Outcome.fu_ops;
+    r_am_ops = c.Outcome.am_ops;
+    r_am_fraction = Outcome.am_fraction c;
+    r_ok =
+      o.Outcome.quiescent && (not stall_unexpected)
+      && o.Outcome.violations = [];
   }
 
 let run_grid ?jobs cells = Pool.map_result ?jobs run_cell cells

@@ -168,7 +168,15 @@ type t = {
   watchdog : int option;
   recovery : recovery option;
   integrity : bool;
+  compiled : bool;
   cells : cell array;
+  arena : Arena.t;
+  (* per-cell flat lookups precomputed from the arena: the dispatch path
+     branches on a bool instead of re-matching the opcode every firing *)
+  cell_uses_fu : bool array;
+  (* compiled mode: per-cell firing closures, built lazily on the first
+     [advance] (the closures capture [t] itself); [||] when interpreted *)
+  mutable fire_fn : (unit -> bool) array;
   mutable events : event Df_util.Pqueue.t;
   pes : int array;
   fus : pool;
@@ -334,6 +342,8 @@ let restore m snap =
    engine's: resource latencies stretch the same workload. *)
 let default_max_time = 30_000_000
 
+let default_config = Run_config.(default |> with_max_time default_max_time)
+
 let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
   let max_time = cfg.Run_config.max_time in
   let tracer = cfg.Run_config.tracer in
@@ -350,6 +360,7 @@ let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
   | Some k when k <= 0 -> invalid_arg "Machine_engine.run: watchdog window <= 0"
   | _ -> ());
   let recovery = Option.map check_recovery recovery in
+  let arena = Arena.build g in
   let n = Graph.node_count g in
   let producers = Graph.producers g in
   (* block boundaries: producers feeding an Output cell *)
@@ -378,17 +389,10 @@ let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
           node.Graph.inputs;
         let stream =
           match node.Graph.op with
-          | Opcode.Input name -> (
-            match List.assoc_opt name inputs with
-            | Some vs -> Array.of_list vs
-            | None ->
-              invalid_arg
-                (Printf.sprintf
-                   "Machine_engine.run: no packets for input %s (supplied: %s)"
-                   name
-                   (match inputs with
-                   | [] -> "none"
-                   | ins -> String.concat ", " (List.map fst ins))))
+          | Opcode.Input name ->
+            Array.of_list
+              (Df_util.Conventions.lookup_feed ~who:"Machine_engine.run"
+                 inputs name)
           | _ -> [||]
         in
         {
@@ -434,7 +438,12 @@ let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
       watchdog;
       recovery;
       integrity;
+      compiled = cfg.Run_config.compiled;
       cells;
+      arena;
+      cell_uses_fu =
+        Array.init n (fun id -> uses_fu (Graph.node g id).Graph.op);
+      fire_fn = [||];
       events;
       pes = Array.make (max 1 arch.Arch.n_pe) 0;
       fus = pool_create arch.Arch.n_fu;
@@ -504,23 +513,6 @@ let create_cfg (cfg : Run_config.t) ~(arch : Arch.t) g ~inputs =
     m.last_snapshot <- Some (snapshot m));
   mark_all m;
   m
-
-(* Thin compatibility wrapper over {!create_cfg} — new code should build
-   a [Run_config.t] instead of spreading optional arguments. *)
-let create ?(max_time = default_max_time) ?tracer ?fault ?sanitizer ?watchdog
-    ?recovery ?(integrity = false) ~(arch : Arch.t) g ~inputs =
-  let cfg =
-    { Run_config.default with
-      Run_config.max_time;
-      tracer = Option.value tracer ~default:Obs.Tracer.null;
-      fault;
-      sanitizer = Option.value sanitizer ~default:San.null;
-      watchdog;
-      recovery;
-      integrity;
-    }
-  in
-  create_cfg cfg ~arch g ~inputs
 
 (* ------------------------------------------------------------------ *)
 (* the event loop                                                     *)
@@ -610,71 +602,75 @@ let deliver_packet m ~src ~dst ~port ~seq ~value ~base =
    producer is a block boundary. *)
 let send m cell slot value ~ready_at =
   let src = cell.node.Graph.id in
-  let dests = cell.node.Graph.dests.(slot) in
-  List.iter
-    (fun { Graph.ep_node; ep_port } ->
-      m.result_packets <- m.result_packets + 1;
-      let am_latency () =
-        m.arch.Arch.am_latency
-        + (match m.fault with
-          | None -> 0
-          | Some f -> FP.am_extra f ~node:src ~time:ready_at)
-      in
-      let base =
-        match m.arch.Arch.array_policy with
-        | Arch.Stored when cell.boundary -> (
-          match (Graph.node m.graph ep_node).Graph.op with
-          | Opcode.Output _ ->
-            (* final results are stored once *)
-            m.am_ops <- m.am_ops + 1;
-            pool_start m.ams ready_at + am_latency ()
-          | _ ->
-            (* write by the producer, read by the consumer *)
-            m.am_ops <- m.am_ops + 2;
-            let write_done = pool_start m.ams ready_at + am_latency () in
-            pool_start m.ams write_done + am_latency ())
-        | _ -> ready_at + m.arch.Arch.rn_latency
-      in
-      let seq =
-        match m.recovery with
+  let a = m.arena in
+  let s = a.Arena.slot_base.(src) + slot in
+  let db = a.Arena.dest_base.(s) and de = a.Arena.dest_base.(s + 1) in
+  for d = db to de - 1 do
+    let gp = a.Arena.dest_port.(d) in
+    let ep_node = a.Arena.port_cell.(gp) in
+    let ep_port = a.Arena.port_sub.(gp) in
+    m.result_packets <- m.result_packets + 1;
+    let am_latency () =
+      m.arch.Arch.am_latency
+      + (match m.fault with
         | None -> 0
-        | Some r ->
-          let key = (ep_node, ep_port) in
-          let seq = Option.value ~default:0 (Hashtbl.find_opt cell.sent key) in
-          Hashtbl.replace cell.sent key (seq + 1);
-          cell.outstanding <-
-            {
-              o_dst = ep_node;
-              o_port = ep_port;
-              o_seq = seq;
-              o_value = value;
-              o_attempts = 0;
-            }
-            :: cell.outstanding;
-          schedule m
-            (ready_at + r.retransmit_after)
-            (Retransmit { src; dst = ep_node; port = ep_port; seq });
-          seq
-      in
-      let deliver_at =
-        deliver_packet m ~src ~dst:ep_node ~port:ep_port ~seq ~value ~base
-      in
-      (* a misbehaving routing network may deliver the same result
-         packet twice — without recovery, the breach the sanitizer
-         exists to catch; with recovery, deduplicated by sequence *)
-      match m.fault with
-      | Some f
-        when FP.duplicate f ~time:ready_at ~src ~dst:ep_node ~port:ep_port ->
-        m.result_packets <- m.result_packets + 1;
-        emit_fault m "dup" ~src ~dst:ep_node ~extra:0;
-        schedule m (deliver_at + 1)
-          (Deliver
-             { src; dst = ep_node; port = ep_port; seq; value;
-               crc = Integrity.checksum_value value })
-      | _ -> ())
-    dests;
-  San.on_send m.sanitizer ~time:ready_at ~node:src ~count:(List.length dests);
-  cell.pending_acks <- cell.pending_acks + List.length dests
+        | Some f -> FP.am_extra f ~node:src ~time:ready_at)
+    in
+    let base =
+      match m.arch.Arch.array_policy with
+      | Arch.Stored when cell.boundary -> (
+        match a.Arena.ops.(ep_node) with
+        | Opcode.Output _ ->
+          (* final results are stored once *)
+          m.am_ops <- m.am_ops + 1;
+          pool_start m.ams ready_at + am_latency ()
+        | _ ->
+          (* write by the producer, read by the consumer *)
+          m.am_ops <- m.am_ops + 2;
+          let write_done = pool_start m.ams ready_at + am_latency () in
+          pool_start m.ams write_done + am_latency ())
+      | _ -> ready_at + m.arch.Arch.rn_latency
+    in
+    let seq =
+      match m.recovery with
+      | None -> 0
+      | Some r ->
+        let key = (ep_node, ep_port) in
+        let seq = Option.value ~default:0 (Hashtbl.find_opt cell.sent key) in
+        Hashtbl.replace cell.sent key (seq + 1);
+        cell.outstanding <-
+          {
+            o_dst = ep_node;
+            o_port = ep_port;
+            o_seq = seq;
+            o_value = value;
+            o_attempts = 0;
+          }
+          :: cell.outstanding;
+        schedule m
+          (ready_at + r.retransmit_after)
+          (Retransmit { src; dst = ep_node; port = ep_port; seq });
+        seq
+    in
+    let deliver_at =
+      deliver_packet m ~src ~dst:ep_node ~port:ep_port ~seq ~value ~base
+    in
+    (* a misbehaving routing network may deliver the same result
+       packet twice — without recovery, the breach the sanitizer
+       exists to catch; with recovery, deduplicated by sequence *)
+    match m.fault with
+    | Some f
+      when FP.duplicate f ~time:ready_at ~src ~dst:ep_node ~port:ep_port ->
+      m.result_packets <- m.result_packets + 1;
+      emit_fault m "dup" ~src ~dst:ep_node ~extra:0;
+      schedule m (deliver_at + 1)
+        (Deliver
+           { src; dst = ep_node; port = ep_port; seq; value;
+             crc = Integrity.checksum_value value })
+    | _ -> ()
+  done;
+  San.on_send m.sanitizer ~time:ready_at ~node:src ~count:(de - db);
+  cell.pending_acks <- cell.pending_acks + (de - db)
 
 (* Send (or resend) an acknowledge for the packet [seq] consumed on
    [from.port], subject to ack faults. *)
@@ -741,7 +737,7 @@ let dispatch m cell =
       ~extra:stall;
   let start = pe_start m.pes cell.pe (m.now + stall) in
   let done_at =
-    if uses_fu cell.node.Graph.op then begin
+    if m.cell_uses_fu.(cell.node.Graph.id) then begin
       m.fu_ops <- m.fu_ops + 1;
       let fu_latency =
         m.arch.Arch.fu_latency
@@ -761,171 +757,258 @@ let dispatch m cell =
            op = Opcode.name cell.node.Graph.op });
   done_at
 
+(* ---- firing rules, one helper per opcode family; the interpreted
+   dispatcher and the compiled closures both drive these, so the two
+   modes are bit-identical by construction ---- *)
+
+let all_ready cell =
+  let arity = Array.length cell.node.Graph.inputs in
+  let rec go p = p >= arity || (ready cell p <> None && go (p + 1)) in
+  go 0
+
+let opnd cell port = Option.get (ready cell port)
+
+let finish_compute m cell value =
+  let done_at = dispatch m cell in
+  Array.iteri
+    (fun port _ -> consume m cell port ~acked_at:done_at)
+    cell.node.Graph.inputs;
+  send m cell 0 value ~ready_at:done_at;
+  true
+
+let fire_gate m cell ~tgate =
+  if cell.pending_acks = 0 && all_ready cell then begin
+    let ctl = Value.to_bool (opnd cell 0) in
+    let data = opnd cell 1 in
+    let pass = if tgate then ctl else not ctl in
+    let done_at = dispatch m cell in
+    consume m cell 0 ~acked_at:done_at;
+    consume m cell 1 ~acked_at:done_at;
+    if pass then send m cell 0 data ~ready_at:done_at;
+    true
+  end
+  else false
+
+let fire_switch m cell =
+  if cell.pending_acks = 0 && all_ready cell then begin
+    let ctl = Value.to_bool (opnd cell 0) in
+    let data = opnd cell 1 in
+    let done_at = dispatch m cell in
+    consume m cell 0 ~acked_at:done_at;
+    consume m cell 1 ~acked_at:done_at;
+    send m cell (if ctl then 0 else 1) data ~ready_at:done_at;
+    true
+  end
+  else false
+
+let fire_merge m cell =
+  if cell.pending_acks = 0 then begin
+    match ready cell 0 with
+    | None -> false
+    | Some ctl -> (
+      let sel = if Value.to_bool ctl then 1 else 2 in
+      match ready cell sel with
+      | None -> false
+      | Some data ->
+        let done_at = dispatch m cell in
+        consume m cell 0 ~acked_at:done_at;
+        consume m cell sel ~acked_at:done_at;
+        send m cell 0 data ~ready_at:done_at;
+        true)
+  end
+  else false
+
+let fire_merge_switch m cell =
+  if cell.pending_acks = 0 then begin
+    match (ready cell 0, ready cell 3) with
+    | Some ctl, Some d -> (
+      let sel = if Value.to_bool ctl then 1 else 2 in
+      match ready cell sel with
+      | None -> false
+      | Some data ->
+        let done_at = dispatch m cell in
+        consume m cell 0 ~acked_at:done_at;
+        consume m cell sel ~acked_at:done_at;
+        consume m cell 3 ~acked_at:done_at;
+        send m cell 0 data ~ready_at:done_at;
+        if Value.to_bool d then send m cell 1 data ~ready_at:done_at;
+        true)
+    | _ -> false
+  end
+  else false
+
+let fire_fifo m cell k =
+  let progressed = ref false in
+  if cell.pending_acks = 0 && cell.queue_len > 0 then begin
+    match cell.queue with
+    | v :: rest ->
+      cell.queue <- rest;
+      cell.queue_len <- cell.queue_len - 1;
+      let done_at = dispatch m cell in
+      send m cell 0 v ~ready_at:done_at;
+      progressed := true
+    | [] -> assert false
+  end;
+  (match cell.operands.(0) with
+  | Some v when cell.queue_len < k ->
+    cell.queue <- cell.queue @ [ v ];
+    cell.queue_len <- cell.queue_len + 1;
+    consume m cell 0 ~acked_at:m.now;
+    progressed := true
+  | _ -> ());
+  !progressed
+
+let fire_bool_source m cell seq =
+  if cell.pending_acks = 0 then begin
+    match Ctlseq.nth seq cell.cursor with
+    | None -> false
+    | Some b ->
+      cell.cursor <- cell.cursor + 1;
+      let done_at = dispatch m cell in
+      send m cell 0 (Value.Bool b) ~ready_at:done_at;
+      true
+  end
+  else false
+
+let fire_iota m cell ~lo ~hi ~rep =
+  if cell.pending_acks = 0 then begin
+    let span = hi - lo + 1 in
+    let v = lo + (cell.cursor / rep mod span) in
+    cell.cursor <- cell.cursor + 1;
+    let done_at = dispatch m cell in
+    send m cell 0 (Value.Int v) ~ready_at:done_at;
+    true
+  end
+  else false
+
+let fire_input m cell =
+  if cell.pending_acks = 0 && cell.cursor < Array.length cell.stream
+  then begin
+    let v = cell.stream.(cell.cursor) in
+    cell.cursor <- cell.cursor + 1;
+    let done_at = dispatch m cell in
+    send m cell 0 v ~ready_at:done_at;
+    true
+  end
+  else false
+
+let fire_output m cell =
+  match cell.operands.(0) with
+  | Some v ->
+    cell.collected <- (m.now, v) :: cell.collected;
+    (match
+       San.on_output m.sanitizer ~time:m.now ~node:cell.node.Graph.id
+     with
+    | Some viol -> emit_violation m viol
+    | None -> ());
+    let done_at = dispatch m cell in
+    consume m cell 0 ~acked_at:done_at;
+    true
+  | None -> false
+
+let fire_sink m cell =
+  match cell.operands.(0) with
+  | Some _ ->
+    let done_at = dispatch m cell in
+    consume m cell 0 ~acked_at:done_at;
+    true
+  | None -> false
+
 let try_fire m cell =
   let open Opcode in
   if m.pe_dead.(cell.pe) then false
   else
     let node = cell.node in
-    let all_ready () =
-      let arity = Array.length node.Graph.inputs in
-      let rec go p = p >= arity || (ready cell p <> None && go (p + 1)) in
-      go 0
-    in
     match node.Graph.op with
     | Id | Arith _ | Compare _ | Logic _ | Neg | Not | Math _ ->
-      if cell.pending_acks = 0 && all_ready () then begin
-        let v port = Option.get (ready cell port) in
+      if cell.pending_acks = 0 && all_ready cell then
         let value =
           match node.Graph.op with
-          | Id -> v 0
-          | Arith op -> Opcode.apply_arith op (v 0) (v 1)
-          | Compare op -> Opcode.apply_cmp op (v 0) (v 1)
-          | Logic op -> Opcode.apply_logic op (v 0) (v 1)
-          | Math mf -> Opcode.apply_math mf (v 0)
+          | Id -> opnd cell 0
+          | Arith op -> Opcode.apply_arith op (opnd cell 0) (opnd cell 1)
+          | Compare op -> Opcode.apply_cmp op (opnd cell 0) (opnd cell 1)
+          | Logic op -> Opcode.apply_logic op (opnd cell 0) (opnd cell 1)
+          | Math mf -> Opcode.apply_math mf (opnd cell 0)
           | Neg -> (
-            match v 0 with
+            match opnd cell 0 with
             | Value.Int i -> Value.Int (-i)
             | Value.Real f -> Value.Real (-.f)
             | Value.Bool _ -> invalid_arg "NEG of boolean")
-          | Not -> Value.Bool (not (Value.to_bool (v 0)))
+          | Not -> Value.Bool (not (Value.to_bool (opnd cell 0)))
           | _ -> assert false
         in
-        let done_at = dispatch m cell in
-        Array.iteri
-          (fun port _ -> consume m cell port ~acked_at:done_at)
-          node.Graph.inputs;
-        send m cell 0 value ~ready_at:done_at;
-        true
-      end
+        finish_compute m cell value
       else false
-    | Tgate | Fgate ->
-      if cell.pending_acks = 0 && all_ready () then begin
-        let ctl = Value.to_bool (Option.get (ready cell 0)) in
-        let data = Option.get (ready cell 1) in
-        let pass = if node.Graph.op = Tgate then ctl else not ctl in
-        let done_at = dispatch m cell in
-        consume m cell 0 ~acked_at:done_at;
-        consume m cell 1 ~acked_at:done_at;
-        if pass then send m cell 0 data ~ready_at:done_at;
-        true
-      end
-      else false
-    | Switch ->
-      if cell.pending_acks = 0 && all_ready () then begin
-        let ctl = Value.to_bool (Option.get (ready cell 0)) in
-        let data = Option.get (ready cell 1) in
-        let done_at = dispatch m cell in
-        consume m cell 0 ~acked_at:done_at;
-        consume m cell 1 ~acked_at:done_at;
-        send m cell (if ctl then 0 else 1) data ~ready_at:done_at;
-        true
-      end
-      else false
-    | Merge ->
-      if cell.pending_acks = 0 then begin
-        match ready cell 0 with
-        | None -> false
-        | Some ctl -> (
-          let sel = if Value.to_bool ctl then 1 else 2 in
-          match ready cell sel with
-          | None -> false
-          | Some data ->
-            let done_at = dispatch m cell in
-            consume m cell 0 ~acked_at:done_at;
-            consume m cell sel ~acked_at:done_at;
-            send m cell 0 data ~ready_at:done_at;
-            true)
-      end
-      else false
-    | Merge_switch ->
-      if cell.pending_acks = 0 then begin
-        match (ready cell 0, ready cell 3) with
-        | Some ctl, Some d -> (
-          let sel = if Value.to_bool ctl then 1 else 2 in
-          match ready cell sel with
-          | None -> false
-          | Some data ->
-            let done_at = dispatch m cell in
-            consume m cell 0 ~acked_at:done_at;
-            consume m cell sel ~acked_at:done_at;
-            consume m cell 3 ~acked_at:done_at;
-            send m cell 0 data ~ready_at:done_at;
-            if Value.to_bool d then send m cell 1 data ~ready_at:done_at;
-            true)
-        | _ -> false
-      end
-      else false
-    | Fifo k ->
-      let progressed = ref false in
-      if cell.pending_acks = 0 && cell.queue_len > 0 then begin
-        match cell.queue with
-        | v :: rest ->
-          cell.queue <- rest;
-          cell.queue_len <- cell.queue_len - 1;
-          let done_at = dispatch m cell in
-          send m cell 0 v ~ready_at:done_at;
-          progressed := true
-        | [] -> assert false
-      end;
-      (match cell.operands.(0) with
-      | Some v when cell.queue_len < k ->
-        cell.queue <- cell.queue @ [ v ];
-        cell.queue_len <- cell.queue_len + 1;
-        consume m cell 0 ~acked_at:m.now;
-        progressed := true
-      | _ -> ());
-      !progressed
-    | Bool_source seq ->
-      if cell.pending_acks = 0 then begin
-        match Ctlseq.nth seq cell.cursor with
-        | None -> false
-        | Some b ->
-          cell.cursor <- cell.cursor + 1;
-          let done_at = dispatch m cell in
-          send m cell 0 (Value.Bool b) ~ready_at:done_at;
-          true
-      end
-      else false
-    | Iota { lo; hi; rep } ->
-      if cell.pending_acks = 0 then begin
-        let span = hi - lo + 1 in
-        let v = lo + (cell.cursor / rep mod span) in
-        cell.cursor <- cell.cursor + 1;
-        let done_at = dispatch m cell in
-        send m cell 0 (Value.Int v) ~ready_at:done_at;
-        true
-      end
-      else false
-    | Input _ ->
-      if cell.pending_acks = 0 && cell.cursor < Array.length cell.stream
-      then begin
-        let v = cell.stream.(cell.cursor) in
-        cell.cursor <- cell.cursor + 1;
-        let done_at = dispatch m cell in
-        send m cell 0 v ~ready_at:done_at;
-        true
-      end
-      else false
-    | Output _ -> (
-      match cell.operands.(0) with
-      | Some v ->
-        cell.collected <- (m.now, v) :: cell.collected;
-        (match
-           San.on_output m.sanitizer ~time:m.now ~node:cell.node.Graph.id
-         with
-        | Some viol -> emit_violation m viol
-        | None -> ());
-        let done_at = dispatch m cell in
-        consume m cell 0 ~acked_at:done_at;
-        true
-      | None -> false)
-    | Sink -> (
-      match cell.operands.(0) with
-      | Some _ ->
-        let done_at = dispatch m cell in
-        consume m cell 0 ~acked_at:done_at;
-        true
-      | None -> false)
+    | Tgate -> fire_gate m cell ~tgate:true
+    | Fgate -> fire_gate m cell ~tgate:false
+    | Switch -> fire_switch m cell
+    | Merge -> fire_merge m cell
+    | Merge_switch -> fire_merge_switch m cell
+    | Fifo k -> fire_fifo m cell k
+    | Bool_source seq -> fire_bool_source m cell seq
+    | Iota { lo; hi; rep } -> fire_iota m cell ~lo ~hi ~rep
+    | Input _ -> fire_input m cell
+    | Output _ -> fire_output m cell
+    | Sink -> fire_sink m cell
+
+(* Compiled mode: the opcode dispatch above runs once per cell at
+   program load; each closure re-checks only its own cell's readiness
+   and drives the same helpers.  [cell.pe] is read at call time, so
+   crash re-hosting and rollback keep working under compiled mode. *)
+let compile_cell m id : unit -> bool =
+  let open Opcode in
+  let cell = m.cells.(id) in
+  let compute value_fn () =
+    if m.pe_dead.(cell.pe) then false
+    else if cell.pending_acks = 0 && all_ready cell then
+      finish_compute m cell (value_fn ())
+    else false
+  in
+  let guarded fire () = if m.pe_dead.(cell.pe) then false else fire m cell in
+  match cell.node.Graph.op with
+  | Id -> compute (fun () -> opnd cell 0)
+  | Arith op ->
+    let f = Opcode.apply_arith op in
+    compute (fun () -> f (opnd cell 0) (opnd cell 1))
+  | Compare op ->
+    let f = Opcode.apply_cmp op in
+    compute (fun () -> f (opnd cell 0) (opnd cell 1))
+  | Logic op ->
+    let f = Opcode.apply_logic op in
+    compute (fun () -> f (opnd cell 0) (opnd cell 1))
+  | Math mf ->
+    let f = Opcode.apply_math mf in
+    compute (fun () -> f (opnd cell 0))
+  | Neg ->
+    compute (fun () ->
+        match opnd cell 0 with
+        | Value.Int i -> Value.Int (-i)
+        | Value.Real f -> Value.Real (-.f)
+        | Value.Bool _ -> invalid_arg "NEG of boolean")
+  | Not -> compute (fun () -> Value.Bool (not (Value.to_bool (opnd cell 0))))
+  | Tgate -> guarded (fun m cell -> fire_gate m cell ~tgate:true)
+  | Fgate -> guarded (fun m cell -> fire_gate m cell ~tgate:false)
+  | Switch -> guarded fire_switch
+  | Merge -> guarded fire_merge
+  | Merge_switch -> guarded fire_merge_switch
+  | Fifo k -> guarded (fun m cell -> fire_fifo m cell k)
+  | Bool_source seq -> guarded (fun m cell -> fire_bool_source m cell seq)
+  | Iota { lo; hi; rep } ->
+    guarded (fun m cell -> fire_iota m cell ~lo ~hi ~rep)
+  | Input _ -> guarded fire_input
+  | Output _ -> guarded fire_output
+  | Sink -> guarded fire_sink
+
+(* Fire one cell through whichever dispatcher this run uses.  The
+   closure table is built lazily on first use: the closures capture the
+   machine itself, which does not exist yet inside [create_cfg]. *)
+let step m id =
+  if m.compiled then begin
+    if Array.length m.fire_fn = 0 then
+      m.fire_fn <- Array.init (Array.length m.cells) (compile_cell m);
+    m.fire_fn.(id) ()
+  end
+  else try_fire m m.cells.(id)
 
 let find_outstanding cell ~dst ~port ~seq =
   List.find_opt
@@ -1151,7 +1234,7 @@ let advance m ~until =
       | None -> ()
       | Some id ->
         m.in_dirty.(id) <- false;
-        if try_fire m m.cells.(id) then begin
+        if step m id then begin
           fired_any := true;
           mark m id
         end;
@@ -1341,37 +1424,16 @@ let run_cfg cfg ~(arch : Arch.t) g ~inputs =
   advance m ~until:max_int;
   result m
 
-(* Thin compatibility wrapper over {!run_cfg} — new code should build a
-   [Run_config.t] instead of spreading optional arguments. *)
-let run ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery ?integrity
-    ~(arch : Arch.t) g ~inputs =
-  let m =
-    create ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery ?integrity
-      ~arch g ~inputs
-  in
-  advance m ~until:max_int;
-  result m
-
 let am_fraction (stats : stats) =
   (* same class of bug as the PR 1 initiation_interval fix: an empty run
-     has no defined AM fraction — report nan, not a spurious 0 *)
-  if stats.dispatches + stats.am_ops = 0 then Float.nan
-  else
-    float_of_int stats.am_ops
-    /. float_of_int (stats.dispatches + stats.am_ops)
+     has no defined AM fraction — report nan, not a spurious 0
+     (Df_util.Conventions states the repo-wide rule) *)
+  Df_util.Conventions.ratio
+    (float_of_int stats.am_ops)
+    (float_of_int (stats.dispatches + stats.am_ops))
 
-(* A bare [Not_found] from [List.assoc] names neither the stream asked
-   for nor the streams the run produced; fail with both instead. *)
 let stream result name =
-  match List.assoc_opt name result.outputs with
-  | Some vs -> vs
-  | None ->
-    invalid_arg
-      (Printf.sprintf
-         "Machine_engine: no output stream %s (run produced: %s)" name
-         (match result.outputs with
-         | [] -> "none"
-         | outs -> String.concat ", " (List.map fst outs)))
+  Df_util.Conventions.lookup_stream ~who:"Machine_engine" result.outputs name
 
 let output_values result name = List.map snd (stream result name)
 

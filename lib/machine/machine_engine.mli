@@ -26,10 +26,17 @@ open Dfg
     streamed arrays "one eighth or less of the operation packets would be
     sent to the array memories".
 
-    The engine is a resumable state machine: {!create} builds it,
+    The engine is a resumable state machine: {!create_cfg} builds it,
     {!advance} runs it (to completion or a pause point), {!snapshot} /
     {!restore} capture and reinstate its complete state, and {!result}
-    reads the outcome.  {!run} is the one-shot composition of these. *)
+    reads the outcome.  {!run_cfg} is the one-shot composition of these.
+
+    Static per-cell lookups (destination endpoints, function-unit use)
+    are precomputed through the {!Arena} lowering pass; with
+    [Run_config.compiled] the firing rules are additionally specialized
+    into per-cell closures at load time, bit-identical to the
+    interpreted dispatcher (both drive the same helpers — snapshots,
+    checkpoints and crash re-hosting are unaffected). *)
 
 type stats = {
   dispatches : int;        (** instruction firings (operation packets) *)
@@ -167,34 +174,22 @@ val default_max_time : int
 (** 30_000_000 — the machine model's default time budget (larger than
     the graph engine's: resource latencies stretch the same workload). *)
 
+val default_config : Run_config.t
+(** {!Run_config.default} with [max_time = default_max_time] — the
+    starting point for machine-engine configurations. *)
+
 val create_cfg :
   Run_config.t ->
   arch:Arch.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
   t
-(** Build a machine ready to run; nothing fires until {!advance}.  The
-    record API: [Run_config.record_firings] and [trace_window] are
-    graph-engine-only and ignored here.  See {!run} for the semantics of
-    the remaining fields.
+(** Build a machine ready to run; nothing fires until {!advance}.
+    [Run_config.record_firings] and [trace_window] are
+    graph-engine-only and ignored here.  See {!run_cfg} for the
+    semantics of the remaining fields.
     @raise Invalid_argument on invalid graphs, missing inputs, or a
     malformed [recovery] policy. *)
-
-val create :
-  ?max_time:int ->
-  ?tracer:Obs.Tracer.t ->
-  ?fault:Fault.Fault_plan.t ->
-  ?sanitizer:Fault.Sanitizer.t ->
-  ?watchdog:int ->
-  ?recovery:recovery ->
-  ?integrity:bool ->
-  arch:Arch.t ->
-  Graph.t ->
-  inputs:(string * Value.t list) list ->
-  t
-(** Deprecated spelling of {!create_cfg}: builds the {!Run_config.t}
-    from optional arguments ([max_time] defaults to
-    {!default_max_time}).  New code should use {!create_cfg}. *)
 
 val advance : t -> until:int -> unit
 (** Run the event loop, stopping when the machine {!finished} (clean
@@ -225,24 +220,10 @@ val run_cfg :
   Graph.t ->
   inputs:(string * Value.t list) list ->
   result
-(** One-shot {!create_cfg} + {!advance} to completion + {!result} — the
-    record API for {!run}, whose documentation below describes the
-    configuration semantics. *)
+(** One-shot {!create_cfg} + {!advance} to completion + {!result}.
+    Start from {!default_config} (or {!Run_config.default} when the
+    graph engine's smaller time budget is wanted).
 
-val run :
-  ?max_time:int ->
-  ?tracer:Obs.Tracer.t ->
-  ?fault:Fault.Fault_plan.t ->
-  ?sanitizer:Fault.Sanitizer.t ->
-  ?watchdog:int ->
-  ?recovery:recovery ->
-  ?integrity:bool ->
-  arch:Arch.t ->
-  Graph.t ->
-  inputs:(string * Value.t list) list ->
-  result
-(** Deprecated spelling of {!run_cfg} (optional arguments instead of a
-    {!Run_config.t}; [max_time] defaults to {!default_max_time}).
     Simulate on the machine model.  [tracer] (default
     {!Obs.Tracer.null}) receives a {!Obs.Event.Fire} per dispatch —
     tracked per PE, with the duration covering dispatch through FU
@@ -285,6 +266,10 @@ val run :
     without [recovery], healed by retransmission with it.  With
     integrity off, corrupted payloads are accepted silently and surface
     only as wrong output values ({!Fault_diff} diagnoses this case).
+
+    [compiled] specializes the firing rules into per-cell closures once
+    at program load; results, stats and timings are bit-identical to
+    the interpreted dispatcher.
     @raise Invalid_argument on invalid graphs or missing inputs *)
 
 val am_fraction : stats -> float

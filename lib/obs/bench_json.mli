@@ -38,6 +38,10 @@ val entry :
   entry
 (** [entry ~ok id title]; [units] defaults to ["instruction times"]. *)
 
+val json_of_entry : entry -> Json.t
+(** One entry as its document row (the elements of ["results"]), for
+    tools that splice entries into an existing document. *)
+
 val to_json : ?meta:(string * Json.t) list -> entry list -> Json.t
 (** The full document; [meta] fields are spliced in at top level. *)
 

@@ -56,12 +56,8 @@ let describe p =
      else string_of_int p.checkpoint_every)
     p.retransmit_after p.retransmit_backoff p.max_retransmits
 
-let resume ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery ~arch g
-    ~inputs snapshot =
-  let m =
-    ME.create ?max_time ?tracer ?fault ?sanitizer ?watchdog ?recovery ~arch g
-      ~inputs
-  in
+let resume cfg ~arch g ~inputs snapshot =
+  let m = ME.create_cfg cfg ~arch g ~inputs in
   ME.restore m snapshot;
   ME.advance m ~until:max_int;
   ME.result m

@@ -35,12 +35,7 @@ val describe : policy -> string
 (** One-line human-readable rendering. *)
 
 val resume :
-  ?max_time:int ->
-  ?tracer:Obs.Tracer.t ->
-  ?fault:Fault.Fault_plan.t ->
-  ?sanitizer:Fault.Sanitizer.t ->
-  ?watchdog:int ->
-  ?recovery:policy ->
+  Run_config.t ->
   arch:Machine.Arch.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
@@ -49,4 +44,5 @@ val resume :
 (** Rebuild a machine (same graph, inputs and configuration as the run
     the snapshot came from), restore the snapshot into it, and run to
     completion.  With identical configuration the result is
-    bit-identical to the run that saved the snapshot. *)
+    bit-identical to the run that saved the snapshot.  Start the config
+    from {!Machine.Machine_engine.default_config}. *)

@@ -87,68 +87,8 @@ let synth_wave ~seed ~elt ~size name =
 
 (* ---------------- result rendering ---------------- *)
 
-let sim_registry (result : Sim.Engine.result) =
-  let m = Obs.Metrics_registry.create () in
-  let open Obs.Metrics_registry in
-  incr m "sim.firings"
-    ~by:(Array.fold_left ( + ) 0 result.Sim.Engine.fire_counts);
-  incr m "sim.cells" ~by:(Array.length result.Sim.Engine.fire_counts);
-  incr m "sim.stuck_cells"
-    ~by:
-      (match result.Sim.Engine.stuck with
-      | None -> 0
-      | Some sr -> List.length sr.Fault.Stall_report.sr_blocked);
-  incr m "sim.violations" ~by:(List.length result.Sim.Engine.violations);
-  set m "sim.end_time" (float_of_int result.Sim.Engine.end_time);
-  set m "sim.quiescent" (if result.Sim.Engine.quiescent then 1.0 else 0.0);
-  Array.iteri
-    (fun id _ ->
-      observe m "sim.cell_utilization" (Sim.Metrics.utilization result id))
-    result.Sim.Engine.fire_counts;
-  List.iter
-    (fun (name, arrivals) ->
-      incr m
-        (Printf.sprintf "sim.output.%s.packets" name)
-        ~by:(List.length arrivals);
-      set m
-        (Printf.sprintf "sim.output.%s.interval" name)
-        (Sim.Metrics.output_interval result name))
-    result.Sim.Engine.outputs;
-  m
-
-let machine_registry (r : ME.result) =
-  let m = Obs.Metrics_registry.create () in
-  let open Obs.Metrics_registry in
-  let s = r.ME.stats in
-  incr m "machine.dispatches" ~by:s.ME.dispatches;
-  incr m "machine.fu_ops" ~by:s.ME.fu_ops;
-  incr m "machine.am_ops" ~by:s.ME.am_ops;
-  incr m "machine.result_packets" ~by:s.ME.result_packets;
-  incr m "machine.ack_packets" ~by:s.ME.ack_packets;
-  incr m "machine.retransmits" ~by:s.ME.retransmits;
-  incr m "machine.checkpoints" ~by:r.ME.checkpoints;
-  incr m "machine.recoveries" ~by:r.ME.recoveries;
-  set m "machine.end_time" (float_of_int r.ME.end_time);
-  set m "machine.quiescent" (if r.ME.quiescent then 1.0 else 0.0);
-  incr m "machine.stalled_cells"
-    ~by:
-      (match r.ME.stall with
-      | None -> 0
-      | Some sr -> List.length sr.Fault.Stall_report.sr_blocked);
-  incr m "machine.violations" ~by:(List.length r.ME.violations);
-  set m "machine.am_fraction" (ME.am_fraction s);
-  Array.iteri
-    (fun i d ->
-      incr m (Printf.sprintf "machine.pe.%02d.dispatches" i) ~by:d;
-      observe m "machine.pe_occupancy" (float_of_int d))
-    s.ME.pe_dispatches;
-  List.iter
-    (fun (name, arrivals) ->
-      incr m
-        (Printf.sprintf "machine.output.%s.packets" name)
-        ~by:(List.length arrivals))
-    r.ME.outputs;
-  m
+let sim_registry = Exec.Outcome.metrics_of_sim
+let machine_registry = Exec.Outcome.metrics_of_machine
 
 let value_text = function
   | Value.Int i -> string_of_int i

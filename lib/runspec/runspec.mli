@@ -83,14 +83,14 @@ val synth_wave :
 (** {1 Result rendering} *)
 
 val sim_registry : Sim.Engine.result -> Obs.Metrics_registry.t
-(** Run metrics of a graph-level result (firings, stuck cells,
-    violations, end time, per-output packet counts and intervals,
-    cell-utilization histogram). *)
+(** {!Exec.Outcome.metrics_of_sim}: run metrics of a graph-level result
+    (firings, stuck cells, violations, end time, per-output packet
+    counts and intervals, cell-utilization histogram). *)
 
 val machine_registry : Machine.Machine_engine.result -> Obs.Metrics_registry.t
-(** Run metrics of a machine-level result (dispatches, FU/AM ops,
-    packet and retransmit counters, per-PE dispatches, AM fraction,
-    per-output packet counts). *)
+(** {!Exec.Outcome.metrics_of_machine}: run metrics of a machine-level
+    result (dispatches, FU/AM ops, packet and retransmit counters,
+    per-PE dispatches, AM fraction, per-output packet counts). *)
 
 val write_values : path:string -> (string * (int * Value.t) list) list -> unit
 (** Dump output streams as diffable text: one [name\ttime\tvalue] line

@@ -372,26 +372,20 @@ let response_error j =
         ( error_kind_of_string kind,
           Option.value ~default:"" (J.get_string (J.member "message" j)) )
 
-let outcome_fields ~cache_hit ~key (o : Exec.Job.outcome) =
-  let metrics =
-    match (o.Exec.Job.sim_result, o.Exec.Job.machine_result) with
-    | Some r, _ -> Obs.Metrics_registry.to_json (Runspec.sim_registry r)
-    | _, Some r -> Obs.Metrics_registry.to_json (Runspec.machine_registry r)
-    | None, None -> J.Null
-  in
+let outcome_fields ~cache_hit ~key (o : Exec.Outcome.t) =
   [ ("cache_hit", J.Bool cache_hit);
     ("key", J.Int key);
-    ("outputs", outputs_to_json o.Exec.Job.outputs);
-    ("end_time", J.Int o.Exec.Job.end_time);
-    ("quiescent", J.Bool o.Exec.Job.quiescent);
+    ("outputs", outputs_to_json o.Exec.Outcome.outputs);
+    ("end_time", J.Int o.Exec.Outcome.end_time);
+    ("quiescent", J.Bool o.Exec.Outcome.quiescent);
     ( "stall",
-      match o.Exec.Job.stall with
+      match o.Exec.Outcome.stall with
       | None -> J.Null
       | Some sr -> J.String (Fault.Stall_report.to_string sr) );
     ( "violations",
       J.List
         (List.map
            (fun v -> J.String (Fault.Violation.to_string v))
-           o.Exec.Job.violations) );
-    ("digest", J.Int (Integrity.digest_outputs o.Exec.Job.outputs));
-    ("metrics", metrics) ]
+           o.Exec.Outcome.violations) );
+    ("digest", J.Int (Exec.Outcome.digest o));
+    ("metrics", Obs.Metrics_registry.to_json (Exec.Outcome.metrics o)) ]

@@ -160,7 +160,7 @@ val outputs_of_json :
   Obs.Json.t -> ((string * (int * Value.t) list) list, string) result
 
 val outcome_fields :
-  cache_hit:bool -> key:int -> Exec.Job.outcome -> (string * Obs.Json.t) list
+  cache_hit:bool -> key:int -> Exec.Outcome.t -> (string * Obs.Json.t) list
 (** The simulate-response payload: outputs, end time, quiescence, stall
     text, violations, the {!Integrity.digest_outputs} digest, the cache
     key and hit flag, and the run's metrics-registry snapshot. *)

@@ -79,7 +79,7 @@ let standalone (r : P.run) =
    metrics derive from the engine result, so they are compared too. *)
 let compare_fields = [ "outputs"; "digest"; "end_time"; "quiescent"; "stall"; "violations"; "metrics" ]
 
-let check_response ~label resp (expected : Exec.Job.outcome) =
+let check_response ~label resp (expected : Exec.Outcome.t) =
   if not (P.response_ok resp) then
     [ Printf.sprintf "%s: server error %s" label (J.to_string resp) ]
   else

@@ -363,16 +363,6 @@ let compile_cached t program =
     Lru.add t.cache key compiled;
     (key, compiled, false)
 
-let outcome_of_machine_result name (r : ME.result) =
-  { Exec.Job.job_name = name;
-    outputs = r.ME.outputs;
-    end_time = r.ME.end_time;
-    quiescent = r.ME.quiescent;
-    stall = r.ME.stall;
-    violations = r.ME.violations;
-    sim_result = None;
-    machine_result = Some r }
-
 (* The worker-side body of one simulate job.  Graph-engine jobs go
    through Exec.Job.run itself — the served path IS the standalone
    path.  Machine jobs replicate Job.run's machine branch through the
@@ -412,7 +402,7 @@ let make_work ~engine ~arch ~run_cfg ~sanitize ~slice ~graph ~inputs ~name
           if ME.finished m then
             R_ok
               (P.outcome_fields ~cache_hit:hit ~key
-                 (outcome_of_machine_result name (ME.result m)))
+                 (Exec.Outcome.of_machine ~name (ME.result m)))
           else begin
             (match progress with Some f -> f (ckpt ()) | None -> ());
             go (until + slice)

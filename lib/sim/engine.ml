@@ -15,30 +15,31 @@ type result = {
   violations : Fault.Violation.t list;
 }
 
-
 let protocol fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
 
-type event =
-  | Deliver of { src : int; dst : int; port : int; value : Value.t }
-  | Ack of { dst : int }
+(* Bounds-unchecked indexing for the hot loop.  Every index written with
+   [.!()] is an arena-internal invariant — a port / cell / slot number
+   produced by [Arena.build] and never taken from user input — so the
+   runtime check would only cost time (this build has no flambda to
+   eliminate it). *)
+external ( .!() ) : 'a array -> int -> 'a = "%array_unsafe_get"
+external ( .!()<- ) : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
 
-(* Per-node runtime state. *)
-type cell = {
-  node : Graph.node;
-  operands : Value.t option array;     (* arc ports only; const ports None *)
-  mutable pending_acks : int;
-  mutable queue : Value.t list;        (* FIFO contents, oldest first *)
-  mutable queue_len : int;
-  mutable cursor : int;                (* Input / Bool_source position *)
-  mutable stream : Value.t array;      (* Input stream *)
-  mutable collected : (int * Value.t) list; (* Output stream, newest first *)
-  producer : int array;                (* producing node per arc port, -1 *)
-}
+(* The hot loop runs entirely on the flat arena: dynamic state is a set
+   of parallel arrays indexed by the arena's global port / cell numbers,
+   and events are bare ints — [port * 2] delivers the value parked in
+   [inflight.(port)], [cell * 2 + 1] is an acknowledge.  The static
+   dataflow discipline guarantees at most one result packet is ever in
+   flight per arc (a producer cannot refire before the previous packet
+   was consumed, which happens after delivery), so a one-slot [inflight]
+   buffer per port carries every payload and steady state allocates
+   nothing.
 
-let operand_ready cell port =
-  match cell.node.Graph.inputs.(port) with
-  | Graph.In_const v -> Some v
-  | Graph.In_arc | Graph.In_arc_init _ -> cell.operands.(port)
+   Events land on one of two structures: almost every event is scheduled
+   for [now + 1] and goes on the [next] stack (swapped wholesale into
+   [cur] when time advances); only fault-delayed events need a real
+   priority queue ([far]).  Intra-timestamp order is irrelevant — all
+   arrivals at [t] are applied before any firing decision at [t]. *)
 
 let run_cfg (cfg : Run_config.t) g ~inputs =
   let max_time = cfg.Run_config.max_time in
@@ -55,46 +56,49 @@ let run_cfg (cfg : Run_config.t) g ~inputs =
   (match watchdog with
   | Some k when k <= 0 -> invalid_arg "Engine.run: watchdog window <= 0"
   | _ -> ());
-  let n = Graph.node_count g in
-  let producers = Graph.producers g in
-  let cells =
-    Array.init n (fun id ->
-        let node = Graph.node g id in
-        let arity = Array.length node.Graph.inputs in
-        let operands = Array.make arity None in
-        let producer = Array.make arity (-1) in
-        Array.iteri
-          (fun port binding ->
-            (match producers.(id).(port) with
-            | [| (src, _) |] -> producer.(port) <- src
-            | _ -> ());
-            match binding with
-            | Graph.In_arc_init v -> operands.(port) <- Some v
-            | Graph.In_arc | Graph.In_const _ -> ())
-          node.Graph.inputs;
-        let stream =
-          match node.Graph.op with
-          | Opcode.Input name -> (
-            match List.assoc_opt name inputs with
-            | Some vs -> Array.of_list vs
-            | None ->
-              invalid_arg
-                (Printf.sprintf "Engine.run: no packets supplied for input %s"
-                   name))
-          | _ -> [||]
-        in
-        {
-          node;
-          operands;
-          pending_acks = 0;
-          queue = [];
-          queue_len = 0;
-          cursor = 0;
-          stream;
-          collected = [];
-          producer;
-        })
-  in
+  let a = Arena.build g in
+  let n = a.Arena.n in
+  let ops = a.Arena.ops in
+  let labels = a.Arena.labels in
+  let port_base = a.Arena.port_base in
+  let port_cell = a.Arena.port_cell in
+  let port_sub = a.Arena.port_sub in
+  let port_kind = a.Arena.port_kind in
+  let port_producer = a.Arena.port_producer in
+  let slot_base = a.Arena.slot_base in
+  let dest_base = a.Arena.dest_base in
+  let dest_port = a.Arena.dest_port in
+  (* ---- dynamic state ---- *)
+  let present = Array.make (max a.Arena.n_ports 1) false in
+  let pvalue = Array.make (max a.Arena.n_ports 1) Arena.dummy_value in
+  let inflight = Array.make (max a.Arena.n_ports 1) Arena.dummy_value in
+  let pending_acks = Array.make (max n 1) 0 in
+  let cursor = Array.make (max n 1) 0 in
+  let stream = Array.make (max n 1) [||] in
+  let collected : (int * Value.t) list array = Array.make (max n 1) [] in
+  let fifo_buf = Array.make (max n 1) [||] in
+  let fifo_head = Array.make (max n 1) 0 in
+  let fifo_len = Array.make (max n 1) 0 in
+  for p = 0 to a.Arena.n_ports - 1 do
+    if port_kind.(p) <> Arena.kind_arc then begin
+      (* const ports stay present for the whole run; init ports start
+         present and their producer starts owing an acknowledge *)
+      present.(p) <- true;
+      pvalue.(p) <- a.Arena.port_value.(p);
+      if port_kind.(p) = Arena.kind_init && port_producer.(p) >= 0 then
+        pending_acks.(port_producer.(p)) <-
+          pending_acks.(port_producer.(p)) + 1
+    end
+  done;
+  for id = 0 to n - 1 do
+    match ops.(id) with
+    | Opcode.Input name ->
+      stream.(id) <-
+        Array.of_list
+          (Df_util.Conventions.lookup_feed ~who:"Engine.run" inputs name)
+    | Opcode.Fifo k -> fifo_buf.(id) <- Array.make (max k 1) Arena.dummy_value
+    | _ -> ()
+  done;
   List.iter
     (fun (name, _) ->
       match Graph.find_input g name with
@@ -103,31 +107,34 @@ let run_cfg (cfg : Run_config.t) g ~inputs =
         invalid_arg
           (Printf.sprintf "Engine.run: unknown input stream %s" name))
     inputs;
-  (* Producers of preloaded ports start owing an acknowledge. *)
-  Array.iter
-    (fun cell ->
-      Array.iteri
-        (fun port binding ->
-          match binding with
-          | Graph.In_arc_init _ ->
-            let src = cell.producer.(port) in
-            if src >= 0 then cells.(src).pending_acks <- cells.(src).pending_acks + 1
-          | Graph.In_arc | Graph.In_const _ -> ())
-        cell.node.Graph.inputs)
-    cells;
-  let events : event Df_util.Pqueue.t = Df_util.Pqueue.create () in
+  (* ---- events ---- *)
+  let cur = ref (Array.make 1024 0) in
+  let cur_len = ref 0 in
+  let next = ref (Array.make 1024 0) in
+  let next_len = ref 0 in
+  let far = Df_util.Ipq.create () in
+  let now = ref 0 in
+  let push_next ev =
+    if !next_len = Array.length !next then begin
+      let bigger = Array.make (2 * !next_len) 0 in
+      Array.blit !next 0 bigger 0 !next_len;
+      next := bigger
+    end;
+    !next.!(!next_len) <- ev;
+    next_len := !next_len + 1
+  in
   let fire_counts = Array.make n 0 in
   let fire_times = Array.make n [] in
-  let now = ref 0 in
-  let schedule t ev = Df_util.Pqueue.push events t ev in
+  let tracer_on = Obs.Tracer.enabled tracer in
+  let san_on = San.enabled sanitizer in
   let emit_fault kind ~src ~dst ~extra =
-    if Obs.Tracer.enabled tracer then
+    if tracer_on then
       Obs.Tracer.emit tracer
         (Obs.Event.Fault_injected
            { time = !now; track = dst; kind; src; dst; extra })
   in
   let emit_violation (v : Fault.Violation.t) =
-    if Obs.Tracer.enabled tracer then
+    if tracer_on then
       Obs.Tracer.emit tracer
         (Obs.Event.Violation
            { time = v.Fault.Violation.v_time; track = v.Fault.Violation.v_node;
@@ -136,425 +143,552 @@ let run_cfg (cfg : Run_config.t) g ~inputs =
              kind = Fault.Violation.kind_name v.Fault.Violation.v_kind;
              detail = v.Fault.Violation.v_detail })
   in
-  let send_result cell slot value =
-    let src = cell.node.Graph.id in
-    let dests = cell.node.Graph.dests.(slot) in
-    List.iter
-      (fun { Graph.ep_node; ep_port } ->
-        (* The graph-level simulator honours only delay faults: they
-           respect the one-packet-per-arc discipline, so a correct graph
-           must be insensitive to them. *)
-        let extra =
-          match fault with
-          | None -> 0
-          | Some f ->
-            FP.result_delay f ~time:!now ~src ~dst:ep_node ~port:ep_port
-        in
-        if extra > 0 then emit_fault "delay" ~src ~dst:ep_node ~extra;
-        schedule (!now + 1 + extra)
-          (Deliver { src; dst = ep_node; port = ep_port; value });
-        if Obs.Tracer.enabled tracer then
-          Obs.Tracer.emit tracer
-            (Obs.Event.Deliver
-               { time = !now + 1 + extra; track = ep_node;
-                 src; dst = ep_node; port = ep_port;
-                 value = Value.to_string value }))
-      dests;
-    San.on_send sanitizer ~time:!now ~node:src ~count:(List.length dests);
-    cell.pending_acks <- cell.pending_acks + List.length dests
-  in
-  let consume cell port =
-    (match cell.node.Graph.inputs.(port) with
-    | Graph.In_const _ -> ()
-    | Graph.In_arc | Graph.In_arc_init _ ->
-      (match
-         San.on_consume sanitizer ~time:!now ~node:cell.node.Graph.id ~port
-       with
-      | Some v -> emit_violation v
-      | None -> ());
-      (match cell.operands.(port) with
-      | None ->
-        if not (San.enabled sanitizer) then
-          protocol "%s#%d consumed an empty port" cell.node.Graph.label
-            cell.node.Graph.id
-      | Some _ -> ());
-      cell.operands.(port) <- None;
-      let src = cell.producer.(port) in
-      if src >= 0 then begin
-        let extra =
-          match fault with
-          | None -> 0
-          | Some f -> FP.ack_delay f ~time:!now ~src:cell.node.Graph.id ~dst:src
-        in
-        if extra > 0 then
-          emit_fault "ack-delay" ~src:cell.node.Graph.id ~dst:src ~extra;
-        schedule (!now + 1 + extra) (Ack { dst = src });
-        if Obs.Tracer.enabled tracer then
-          Obs.Tracer.emit tracer
-            (Obs.Event.Ack
-               { time = !now + 1 + extra; track = src;
-                 src = cell.node.Graph.id; dst = src })
-      end);
-    ()
-  in
   let traced t =
     match trace_window with
     | Some (t0, t1) -> t >= t0 && t <= t1
     | None -> false
   in
-  let record_fire cell =
-    if traced !now then
-      Printf.eprintf "[t=%d] FIRE %s#%d\n" !now cell.node.Graph.label
-        cell.node.Graph.id;
-    if Obs.Tracer.enabled tracer then
+  let send id slot value =
+    let s = slot_base.!(id) + slot in
+    let db = dest_base.!(s) and de = dest_base.!(s + 1) in
+    for d = db to de - 1 do
+      let p = dest_port.!(d) in
+      (* The graph-level simulator honours only delay faults: they
+         respect the one-packet-per-arc discipline, so a correct graph
+         must be insensitive to them. *)
+      let extra =
+        match fault with
+        | None -> 0
+        | Some f ->
+          FP.result_delay f ~time:!now ~src:id ~dst:port_cell.(p)
+            ~port:port_sub.(p)
+      in
+      if extra > 0 then emit_fault "delay" ~src:id ~dst:port_cell.(p) ~extra;
+      inflight.!(p) <- value;
+      if extra = 0 then push_next (p * 2)
+      else Df_util.Ipq.push far (!now + 1 + extra) (p * 2);
+      if tracer_on then
+        Obs.Tracer.emit tracer
+          (Obs.Event.Deliver
+             { time = !now + 1 + extra; track = port_cell.(p);
+               src = id; dst = port_cell.(p); port = port_sub.(p);
+               value = Value.to_string value })
+    done;
+    if san_on then San.on_send sanitizer ~time:!now ~node:id ~count:(de - db);
+    pending_acks.!(id) <- pending_acks.!(id) + (de - db)
+  in
+  let consume_port p =
+    if port_kind.!(p) <> Arena.kind_const then begin
+      let id = port_cell.!(p) in
+      if san_on then (
+        match San.on_consume sanitizer ~time:!now ~node:id ~port:port_sub.(p)
+        with
+        | Some v -> emit_violation v
+        | None -> ());
+      if not present.!(p) && not san_on then
+        protocol "%s#%d consumed an empty port" labels.(id) id;
+      present.!(p) <- false;
+      let src = port_producer.!(p) in
+      if src >= 0 then begin
+        let extra =
+          match fault with
+          | None -> 0
+          | Some f -> FP.ack_delay f ~time:!now ~src:id ~dst:src
+        in
+        if extra > 0 then emit_fault "ack-delay" ~src:id ~dst:src ~extra;
+        if extra = 0 then push_next ((src * 2) + 1)
+        else Df_util.Ipq.push far (!now + 1 + extra) ((src * 2) + 1);
+        if tracer_on then
+          Obs.Tracer.emit tracer
+            (Obs.Event.Ack
+               { time = !now + 1 + extra; track = src; src = id; dst = src })
+      end
+    end
+  in
+  let trace_window_on = trace_window <> None in
+  let record_fire id =
+    if trace_window_on && traced !now then
+      Printf.eprintf "[t=%d] FIRE %s#%d\n" !now labels.(id) id;
+    if tracer_on then
       Obs.Tracer.emit tracer
         (Obs.Event.Fire
-           { time = !now; dur = 1; track = cell.node.Graph.id;
-             node = cell.node.Graph.id; label = cell.node.Graph.label;
-             op = Opcode.name cell.node.Graph.op });
-    fire_counts.(cell.node.Graph.id) <- fire_counts.(cell.node.Graph.id) + 1;
-    if record_firings then
-      fire_times.(cell.node.Graph.id) <- !now :: fire_times.(cell.node.Graph.id)
+           { time = !now; dur = 1; track = id; node = id;
+             label = labels.(id); op = Opcode.name ops.(id) });
+    fire_counts.!(id) <- fire_counts.!(id) + 1;
+    if record_firings then fire_times.(id) <- !now :: fire_times.(id)
   in
-  (* Attempt to fire a cell at the current time; returns true if fired (a
-     FIFO may make progress without a full "firing"). *)
-  let try_fire cell =
+  (* ---- firing rules, one helper per opcode family; the interpreted
+     dispatcher and the compiled closures both call these, so the two
+     modes are bit-identical by construction ---- *)
+  let fire_compute id b result =
+    record_fire id;
+    let e = port_base.!(id + 1) in
+    for p = b to e - 1 do
+      consume_port p
+    done;
+    send id 0 result;
+    true
+  in
+  let fire_gate id tgate =
+    let b = port_base.!(id) in
+    if pending_acks.!(id) = 0 && present.!(b) && present.!(b + 1) then begin
+      let ctl = Value.to_bool pvalue.!(b) in
+      let data = pvalue.!(b + 1) in
+      let pass = if tgate then ctl else not ctl in
+      record_fire id;
+      consume_port b;
+      consume_port (b + 1);
+      if pass then send id 0 data;
+      true
+    end
+    else false
+  in
+  let fire_switch id =
+    let b = port_base.!(id) in
+    if pending_acks.!(id) = 0 && present.!(b) && present.!(b + 1) then begin
+      let ctl = Value.to_bool pvalue.!(b) in
+      let data = pvalue.!(b + 1) in
+      record_fire id;
+      consume_port b;
+      consume_port (b + 1);
+      send id (if ctl then 0 else 1) data;
+      true
+    end
+    else false
+  in
+  let fire_merge id =
+    let b = port_base.!(id) in
+    if pending_acks.!(id) = 0 && present.!(b) then begin
+      let sel = if Value.to_bool pvalue.!(b) then 1 else 2 in
+      if present.!(b + sel) then begin
+        let data = pvalue.!(b + sel) in
+        record_fire id;
+        consume_port b;
+        consume_port (b + sel);
+        send id 0 data;
+        true
+      end
+      else false
+    end
+    else false
+  in
+  let fire_merge_switch id =
+    (* Fires on merge control M (port 0), the selected data input, and
+       the destination control D (port 3).  The result goes to slot 0
+       unconditionally and to slot 1 only when D is true. *)
+    let b = port_base.!(id) in
+    if pending_acks.!(id) = 0 && present.!(b) && present.!(b + 3) then begin
+      let sel = if Value.to_bool pvalue.!(b) then 1 else 2 in
+      if present.!(b + sel) then begin
+        let data = pvalue.!(b + sel) in
+        let d = Value.to_bool pvalue.!(b + 3) in
+        record_fire id;
+        consume_port b;
+        consume_port (b + sel);
+        consume_port (b + 3);
+        send id 0 data;
+        if d then send id 1 data;
+        true
+      end
+      else false
+    end
+    else false
+  in
+  let fire_fifo id k =
+    let progressed = ref false in
+    (* emit side *)
+    if pending_acks.(id) = 0 && fifo_len.(id) > 0 then begin
+      let buf = fifo_buf.(id) in
+      let h = fifo_head.(id) in
+      let v = buf.(h) in
+      fifo_head.(id) <- (if h + 1 = Array.length buf then 0 else h + 1);
+      fifo_len.(id) <- fifo_len.(id) - 1;
+      record_fire id;
+      send id 0 v;
+      progressed := true
+    end;
+    (* accept side *)
+    let b = port_base.!(id) in
+    if present.!(b) && fifo_len.(id) < k then begin
+      let buf = fifo_buf.(id) in
+      let tail = fifo_head.(id) + fifo_len.(id) in
+      let tail = if tail >= Array.length buf then tail - Array.length buf
+                 else tail in
+      buf.(tail) <- pvalue.(b);
+      fifo_len.(id) <- fifo_len.(id) + 1;
+      consume_port b;
+      progressed := true
+    end;
+    !progressed
+  in
+  let fire_iota id lo hi rep =
+    if pending_acks.(id) = 0 then begin
+      let span = hi - lo + 1 in
+      let v = lo + (cursor.(id) / rep mod span) in
+      cursor.(id) <- cursor.(id) + 1;
+      record_fire id;
+      send id 0 (Value.Int v);
+      true
+    end
+    else false
+  in
+  let fire_bool_source id seq =
+    if pending_acks.(id) = 0 then begin
+      match Ctlseq.nth seq cursor.(id) with
+      | None -> false
+      | Some b ->
+        cursor.(id) <- cursor.(id) + 1;
+        record_fire id;
+        send id 0 (Value.Bool b);
+        true
+    end
+    else false
+  in
+  let fire_input id =
+    if pending_acks.!(id) = 0 && cursor.!(id) < Array.length stream.!(id)
+    then begin
+      let v = stream.!(id).!(cursor.!(id)) in
+      cursor.!(id) <- cursor.!(id) + 1;
+      record_fire id;
+      send id 0 v;
+      true
+    end
+    else false
+  in
+  let fire_output id =
+    let b = port_base.!(id) in
+    if present.!(b) then begin
+      collected.(id) <- (!now, pvalue.(b)) :: collected.(id);
+      (if san_on then
+         match San.on_output sanitizer ~time:!now ~node:id with
+         | Some viol -> emit_violation viol
+         | None -> ());
+      record_fire id;
+      consume_port b;
+      true
+    end
+    else false
+  in
+  let fire_sink id =
+    let b = port_base.!(id) in
+    if present.!(b) then begin
+      record_fire id;
+      consume_port b;
+      true
+    end
+    else false
+  in
+  let try_fire id =
     let open Opcode in
-    let node = cell.node in
-    let ready port = operand_ready cell port in
-    let all_ready () =
-      let arity = Array.length node.Graph.inputs in
-      let rec go p = p >= arity || (ready p <> None && go (p + 1)) in
-      go 0
-    in
-    match node.Graph.op with
-    | Id | Arith _ | Compare _ | Logic _ | Neg | Not | Math _ ->
-      if cell.pending_acks = 0 && all_ready () then begin
-        let v port =
-          match ready port with Some v -> v | None -> assert false
-        in
-        let result =
-          match node.Graph.op with
-          | Id -> v 0
-          | Arith op -> Opcode.apply_arith op (v 0) (v 1)
-          | Compare op -> Opcode.apply_cmp op (v 0) (v 1)
-          | Logic op -> Opcode.apply_logic op (v 0) (v 1)
-          | Math m -> Opcode.apply_math m (v 0)
-          | Neg -> (
-            match v 0 with
+    match ops.(id) with
+    | Id ->
+      let b = port_base.!(id) in
+      if pending_acks.!(id) = 0 && present.!(b) then
+        fire_compute id b pvalue.!(b)
+      else false
+    | Arith op ->
+      let b = port_base.!(id) in
+      if pending_acks.!(id) = 0 && present.!(b) && present.!(b + 1) then
+        fire_compute id b (Opcode.apply_arith op pvalue.!(b) pvalue.!(b + 1))
+      else false
+    | Compare op ->
+      let b = port_base.!(id) in
+      if pending_acks.!(id) = 0 && present.!(b) && present.!(b + 1) then
+        fire_compute id b (Opcode.apply_cmp op pvalue.!(b) pvalue.!(b + 1))
+      else false
+    | Logic op ->
+      let b = port_base.!(id) in
+      if pending_acks.!(id) = 0 && present.!(b) && present.!(b + 1) then
+        fire_compute id b (Opcode.apply_logic op pvalue.!(b) pvalue.!(b + 1))
+      else false
+    | Math m ->
+      let b = port_base.!(id) in
+      if pending_acks.!(id) = 0 && present.!(b) then
+        fire_compute id b (Opcode.apply_math m pvalue.!(b))
+      else false
+    | Neg ->
+      let b = port_base.!(id) in
+      if pending_acks.!(id) = 0 && present.!(b) then
+        fire_compute id b
+          (match pvalue.!(b) with
+          | Value.Int i -> Value.Int (-i)
+          | Value.Real f -> Value.Real (-.f)
+          | Value.Bool _ -> protocol "NEG of a boolean at %s" labels.(id))
+      else false
+    | Not ->
+      let b = port_base.!(id) in
+      if pending_acks.!(id) = 0 && present.!(b) then
+        fire_compute id b (Value.Bool (not (Value.to_bool pvalue.!(b))))
+      else false
+    | Tgate -> fire_gate id true
+    | Fgate -> fire_gate id false
+    | Switch -> fire_switch id
+    | Merge -> fire_merge id
+    | Merge_switch -> fire_merge_switch id
+    | Fifo k -> fire_fifo id k
+    | Iota { lo; hi; rep } -> fire_iota id lo hi rep
+    | Bool_source seq -> fire_bool_source id seq
+    | Input _ -> fire_input id
+    | Output _ -> fire_output id
+    | Sink -> fire_sink id
+  in
+  (* Compiled mode: the opcode match above runs once per cell at load
+     time; each closure re-checks only its own ports and calls the same
+     helpers. *)
+  let compile_cell id : unit -> bool =
+    let open Opcode in
+    let b = port_base.!(id) in
+    match ops.(id) with
+    | Id ->
+      fun () ->
+        if pending_acks.!(id) = 0 && present.!(b) then
+          fire_compute id b pvalue.!(b)
+        else false
+    | Arith op ->
+      let f = Opcode.apply_arith op in
+      fun () ->
+        if pending_acks.!(id) = 0 && present.!(b) && present.!(b + 1) then
+          fire_compute id b (f pvalue.!(b) pvalue.!(b + 1))
+        else false
+    | Compare op ->
+      let f = Opcode.apply_cmp op in
+      fun () ->
+        if pending_acks.!(id) = 0 && present.!(b) && present.!(b + 1) then
+          fire_compute id b (f pvalue.!(b) pvalue.!(b + 1))
+        else false
+    | Logic op ->
+      let f = Opcode.apply_logic op in
+      fun () ->
+        if pending_acks.!(id) = 0 && present.!(b) && present.!(b + 1) then
+          fire_compute id b (f pvalue.!(b) pvalue.!(b + 1))
+        else false
+    | Math m ->
+      let f = Opcode.apply_math m in
+      fun () ->
+        if pending_acks.!(id) = 0 && present.!(b) then
+          fire_compute id b (f pvalue.!(b))
+        else false
+    | Neg ->
+      fun () ->
+        if pending_acks.!(id) = 0 && present.!(b) then
+          fire_compute id b
+            (match pvalue.!(b) with
             | Value.Int i -> Value.Int (-i)
             | Value.Real f -> Value.Real (-.f)
-            | Value.Bool _ -> protocol "NEG of a boolean at %s" node.Graph.label)
-          | Not -> Value.Bool (not (Value.to_bool (v 0)))
-          | _ -> assert false
-        in
-        record_fire cell;
-        Array.iteri (fun port _ -> consume cell port) node.Graph.inputs;
-        send_result cell 0 result;
-        true
-      end
-      else false
-    | Tgate | Fgate ->
-      if cell.pending_acks = 0 && all_ready () then begin
-        let ctl = Value.to_bool (Option.get (ready 0)) in
-        let data = Option.get (ready 1) in
-        let pass = if node.Graph.op = Tgate then ctl else not ctl in
-        record_fire cell;
-        consume cell 0;
-        consume cell 1;
-        if pass then send_result cell 0 data;
-        true
-      end
-      else false
-    | Switch ->
-      if cell.pending_acks = 0 && all_ready () then begin
-        let ctl = Value.to_bool (Option.get (ready 0)) in
-        let data = Option.get (ready 1) in
-        record_fire cell;
-        consume cell 0;
-        consume cell 1;
-        send_result cell (if ctl then 0 else 1) data;
-        true
-      end
-      else false
-    | Merge ->
-      if cell.pending_acks = 0 then begin
-        match ready 0 with
-        | None -> false
-        | Some ctl ->
-          let sel = if Value.to_bool ctl then 1 else 2 in
-          (match ready sel with
-          | None -> false
-          | Some data ->
-            record_fire cell;
-            consume cell 0;
-            consume cell sel;
-            send_result cell 0 data;
-            true)
-      end
-      else false
-    | Merge_switch ->
-      (* Fires on merge control M (port 0), the selected data input, and
-         the destination control D (port 3).  The result goes to slot 0
-         unconditionally and to slot 1 only when D is true. *)
-      if cell.pending_acks = 0 then begin
-        match (ready 0, ready 3) with
-        | Some ctl, Some d ->
-          let sel = if Value.to_bool ctl then 1 else 2 in
-          (match ready sel with
-          | None -> false
-          | Some data ->
-            record_fire cell;
-            consume cell 0;
-            consume cell sel;
-            consume cell 3;
-            send_result cell 0 data;
-            if Value.to_bool d then send_result cell 1 data;
-            true)
-        | _ -> false
-      end
-      else false
-    | Fifo k ->
-      let progressed = ref false in
-      (* emit side *)
-      if cell.pending_acks = 0 && cell.queue_len > 0 then begin
-        match cell.queue with
-        | v :: rest ->
-          cell.queue <- rest;
-          cell.queue_len <- cell.queue_len - 1;
-          record_fire cell;
-          send_result cell 0 v;
-          progressed := true
-        | [] -> assert false
-      end;
-      (* accept side *)
-      (match cell.operands.(0) with
-      | Some v when cell.queue_len < k ->
-        cell.queue <- cell.queue @ [ v ];
-        cell.queue_len <- cell.queue_len + 1;
-        consume cell 0;
-        progressed := true
-      | _ -> ());
-      !progressed
-    | Iota { lo; hi; rep } ->
-      if cell.pending_acks = 0 then begin
-        let span = hi - lo + 1 in
-        let v = lo + (cell.cursor / rep mod span) in
-        cell.cursor <- cell.cursor + 1;
-        record_fire cell;
-        send_result cell 0 (Value.Int v);
-        true
-      end
-      else false
-    | Bool_source seq ->
-      if cell.pending_acks = 0 then begin
-        match Ctlseq.nth seq cell.cursor with
-        | None -> false
-        | Some b ->
-          cell.cursor <- cell.cursor + 1;
-          record_fire cell;
-          send_result cell 0 (Value.Bool b);
-          true
-      end
-      else false
-    | Input _ ->
-      if cell.pending_acks = 0 && cell.cursor < Array.length cell.stream
-      then begin
-        let v = cell.stream.(cell.cursor) in
-        cell.cursor <- cell.cursor + 1;
-        record_fire cell;
-        send_result cell 0 v;
-        true
-      end
-      else false
-    | Output _ -> (
-      match cell.operands.(0) with
-      | Some v ->
-        cell.collected <- (!now, v) :: cell.collected;
-        (match
-           San.on_output sanitizer ~time:!now ~node:cell.node.Graph.id
-         with
-        | Some viol -> emit_violation viol
-        | None -> ());
-        record_fire cell;
-        consume cell 0;
-        true
-      | None -> false)
-    | Sink -> (
-      match cell.operands.(0) with
-      | Some _ ->
-        record_fire cell;
-        consume cell 0;
-        true
-      | None -> false)
+            | Value.Bool _ -> protocol "NEG of a boolean at %s" labels.(id))
+        else false
+    | Not ->
+      fun () ->
+        if pending_acks.!(id) = 0 && present.!(b) then
+          fire_compute id b (Value.Bool (not (Value.to_bool pvalue.!(b))))
+        else false
+    | Tgate -> fun () -> fire_gate id true
+    | Fgate -> fun () -> fire_gate id false
+    | Switch -> fun () -> fire_switch id
+    | Merge -> fun () -> fire_merge id
+    | Merge_switch -> fun () -> fire_merge_switch id
+    | Fifo k -> fun () -> fire_fifo id k
+    | Iota { lo; hi; rep } -> fun () -> fire_iota id lo hi rep
+    | Bool_source seq -> fun () -> fire_bool_source id seq
+    | Input _ -> fun () -> fire_input id
+    | Output _ -> fun () -> fire_output id
+    | Sink -> fun () -> fire_sink id
   in
-  (* Main loop: advance to the next event time, apply all events at that
-     time, then fire every enabled cell (their effects land at t+1).  The
-     dirty set contains cells whose state changed. *)
-  let dirty = Queue.create () in
-  let in_dirty = Array.make n false in
+  let step =
+    if cfg.Run_config.compiled then begin
+      let fire_fn = Array.init n compile_cell in
+      fun id -> (fire_fn.!(id)) ()
+    end
+    else try_fire
+  in
+  (* ---- dirty set: a preallocated int ring (the in_dirty guard bounds
+     occupancy at n) ---- *)
+  let dirty = Array.make (max n 1) 0 in
+  let dirty_head = ref 0 in
+  let dirty_len = ref 0 in
+  let in_dirty = Bytes.make (max n 1) '\000' in
   let mark id =
-    if not in_dirty.(id) then begin
-      in_dirty.(id) <- true;
-      Queue.add id dirty
+    if Bytes.unsafe_get in_dirty id = '\000' then begin
+      Bytes.unsafe_set in_dirty id '\001';
+      let tail = !dirty_head + !dirty_len in
+      dirty.!(if tail >= n then tail - n else tail) <- id;
+      incr dirty_len
     end
   in
   for id = 0 to n - 1 do
     mark id
   done;
-  let apply_event = function
-    | Deliver { src; dst; port; value } ->
-      if traced !now then
-        Printf.eprintf "[t=%d] DELIVER %s#%d.%d <- %s\n" !now
-          (Graph.node g dst).Graph.label dst port (Value.to_string value);
-      let cell = cells.(dst) in
-      (match San.on_deliver sanitizer ~time:!now ~src ~dst ~port with
-      | Some v -> emit_violation v (* drop: engine state is untrustworthy *)
-      | None -> (
-        match cell.operands.(port) with
-        | Some _ ->
-          if not (San.enabled sanitizer) then
-            protocol
-              "arc capacity violated: %s#%d port %d received while full"
-              cell.node.Graph.label dst port
-        | None -> cell.operands.(port) <- Some value));
+  let apply_ev ev =
+    if ev land 1 = 0 then begin
+      (* deliver *)
+      let p = ev lsr 1 in
+      let dst = port_cell.!(p) in
+      let value = inflight.!(p) in
+      if trace_window_on && traced !now then
+        Printf.eprintf "[t=%d] DELIVER %s#%d.%d <- %s\n" !now labels.(dst)
+          dst port_sub.(p) (Value.to_string value);
+      (if san_on then (
+         match
+           San.on_deliver sanitizer ~time:!now ~src:port_producer.(p) ~dst
+             ~port:port_sub.(p)
+         with
+         | Some v -> emit_violation v (* drop: engine state is untrustworthy *)
+         | None ->
+           if not present.(p) then begin
+             present.(p) <- true;
+             pvalue.(p) <- value
+           end)
+       else if present.!(p) then
+         protocol "arc capacity violated: %s#%d port %d received while full"
+           labels.(dst) dst port_sub.(p)
+       else begin
+         present.!(p) <- true;
+         pvalue.!(p) <- value
+       end);
       mark dst
-    | Ack { dst } ->
-      if traced !now then
-        Printf.eprintf "[t=%d] ACK -> %s#%d\n" !now
-          (Graph.node g dst).Graph.label dst;
-      let cell = cells.(dst) in
-      (match San.on_ack sanitizer ~time:!now ~dst with
-      | Some v -> emit_violation v
-      | None ->
-        if cell.pending_acks <= 0 then begin
-          if not (San.enabled sanitizer) then
-            protocol "%s#%d received an unexpected acknowledge"
-              cell.node.Graph.label dst
-        end
-        else cell.pending_acks <- cell.pending_acks - 1);
+    end
+    else begin
+      (* ack *)
+      let dst = ev lsr 1 in
+      if trace_window_on && traced !now then
+        Printf.eprintf "[t=%d] ACK -> %s#%d\n" !now labels.(dst) dst;
+      (if san_on then (
+         match San.on_ack sanitizer ~time:!now ~dst with
+         | Some v -> emit_violation v
+         | None ->
+           if pending_acks.(dst) > 0 then
+             pending_acks.(dst) <- pending_acks.(dst) - 1)
+       else if pending_acks.!(dst) <= 0 then
+         protocol "%s#%d received an unexpected acknowledge" labels.(dst) dst
+       else pending_acks.!(dst) <- pending_acks.!(dst) - 1);
       mark dst
+    end
   in
   let quiescent = ref false in
   let watchdog_tripped = ref false in
   let last_progress = ref 0 in
-  let continue = ref true in
-  while !continue do
+  let continue_ = ref true in
+  while !continue_ do
     (* fire everything enabled at the current time *)
     let fired_any = ref false in
-    let rec drain_dirty () =
-      match Queue.take_opt dirty with
-      | None -> ()
-      | Some id ->
-        in_dirty.(id) <- false;
-        if try_fire cells.(id) then begin
-          fired_any := true;
-          (* A FIFO can both emit and accept in sequence; re-check. *)
-          mark id
-        end;
-        drain_dirty ()
-    in
-    drain_dirty ();
+    while !dirty_len > 0 do
+      let id = dirty.!(!dirty_head) in
+      dirty_head := (let h = !dirty_head + 1 in if h = n then 0 else h);
+      decr dirty_len;
+      Bytes.unsafe_set in_dirty id '\000';
+      if step id then begin
+        fired_any := true;
+        (* a FIFO can both emit and accept in sequence; re-check *)
+        mark id
+      end
+    done;
     if !fired_any then last_progress := !now;
     (* advance time *)
-    if San.tripped sanitizer then continue := false
-    else
-      match Df_util.Pqueue.peek_priority events with
-      | None ->
+    if san_on && San.tripped sanitizer then continue_ := false
+    else begin
+      let t =
+        if !next_len > 0 then !now + 1 else Df_util.Ipq.peek_priority far
+      in
+      if t < 0 then begin
         quiescent := true;
-        continue := false
-      | Some t when t > max_time -> continue := false
-      | Some t
-        when (match watchdog with
-             | Some k -> t - !last_progress > k
-             | None -> false) ->
+        continue_ := false
+      end
+      else if t > max_time then continue_ := false
+      else if
+        match watchdog with
+        | Some k -> t - !last_progress > k
+        | None -> false
+      then begin
         (* tokens are in flight but no cell has fired for a full
            watchdog window: stop and report instead of spinning on *)
         watchdog_tripped := true;
-        continue := false
-      | Some t ->
+        continue_ := false
+      end
+      else begin
         now := t;
-        let rec apply_all () =
-          match Df_util.Pqueue.peek_priority events with
-          | Some t' when t' = t -> (
-            match Df_util.Pqueue.pop events with
-            | Some (_, ev) ->
-              apply_event ev;
-              apply_all ()
-            | None -> ())
-          | _ -> ()
-        in
-        apply_all ()
+        if !next_len > 0 then begin
+          let swap = !cur in
+          cur := !next;
+          next := swap;
+          cur_len := !next_len;
+          next_len := 0;
+          let evs = !cur in
+          for i = 0 to !cur_len - 1 do
+            apply_ev evs.!(i)
+          done;
+          cur_len := 0
+        end;
+        while Df_util.Ipq.peek_priority far = t do
+          apply_ev (Df_util.Ipq.pop_payload far)
+        done
+      end
+    end
   done;
   let outputs =
     List.map
-      (fun (name, id) -> (name, List.rev cells.(id).collected))
-      (Graph.outputs g)
+      (fun (name, id) -> (name, List.rev collected.(id)))
+      a.Arena.outputs
   in
-  if !quiescent && San.enabled sanitizer && not (San.tripped sanitizer) then
+  if !quiescent && san_on && not (San.tripped sanitizer) then
     List.iter emit_violation
       (San.on_quiescence sanitizer ~time:!now
-         ~held:(fun node port -> cells.(node).operands.(port) <> None));
+         ~held:(fun node port ->
+           let p = port_base.(node) + port in
+           port_kind.(p) <> Arena.kind_const && present.(p)));
   (* Structured stall report: which cells still hold or await something,
      and the wait-for cycle when one explains the deadlock. *)
   let build_stall reason =
     let blocked = ref [] in
     let edges = ref [] in
-    Array.iter
-      (fun cell ->
-        let id = cell.node.Graph.id in
-        let held = ref [] and missing = ref [] in
-        Array.iteri
-          (fun port binding ->
-            match binding with
-            | Graph.In_const _ -> ()
-            | Graph.In_arc | Graph.In_arc_init _ -> (
-              match cell.operands.(port) with
-              | Some v -> held := (port, Value.to_string v) :: !held
-              | None ->
-                missing := port :: !missing;
-                let src = cell.producer.(port) in
-                if src >= 0 then edges := (id, src) :: !edges))
-          cell.node.Graph.inputs;
-        let held = List.rev !held and missing = List.rev !missing in
-        if cell.pending_acks > 0 then
-          Array.iter
-            (List.iter (fun { Graph.ep_node; ep_port } ->
-                 if
-                   cells.(ep_node).operands.(ep_port) <> None
-                   && cells.(ep_node).producer.(ep_port) = id
-                 then edges := (id, ep_node) :: !edges))
-            cell.node.Graph.dests;
-        let pending_inputs =
-          match cell.node.Graph.op with
-          | Opcode.Input _ -> Array.length cell.stream - cell.cursor
-          | _ -> 0
+    for id = 0 to n - 1 do
+      let held = ref [] and missing = ref [] in
+      for p = port_base.(id) to port_base.(id + 1) - 1 do
+        if port_kind.(p) <> Arena.kind_const then
+          if present.(p) then
+            held := (port_sub.(p), Value.to_string pvalue.(p)) :: !held
+          else begin
+            missing := port_sub.(p) :: !missing;
+            let src = port_producer.(p) in
+            if src >= 0 then edges := (id, src) :: !edges
+          end
+      done;
+      let held = List.rev !held and missing = List.rev !missing in
+      if pending_acks.(id) > 0 then
+        for d = dest_base.(slot_base.(id)) to dest_base.(slot_base.(id + 1)) - 1
+        do
+          let p = dest_port.(d) in
+          if present.(p) && port_producer.(p) = id then
+            edges := (id, port_cell.(p)) :: !edges
+        done;
+      let pending_inputs =
+        match ops.(id) with
+        | Opcode.Input _ -> Array.length stream.(id) - cursor.(id)
+        | _ -> 0
+      in
+      if
+        held <> [] || fifo_len.(id) > 0 || pending_inputs > 0
+        || pending_acks.(id) > 0
+      then begin
+        let b =
+          {
+            SR.b_node = id;
+            b_label = labels.(id);
+            b_op = Opcode.name ops.(id);
+            b_missing = missing;
+            b_held = held;
+            b_pending_acks = pending_acks.(id);
+            b_queue_len = fifo_len.(id);
+            b_pending_inputs = pending_inputs;
+          }
         in
-        if
-          held <> [] || cell.queue_len > 0 || pending_inputs > 0
-          || cell.pending_acks > 0
-        then begin
-          let b =
-            {
-              SR.b_node = id;
-              b_label = cell.node.Graph.label;
-              b_op = Opcode.name cell.node.Graph.op;
-              b_missing = missing;
-              b_held = held;
-              b_pending_acks = cell.pending_acks;
-              b_queue_len = cell.queue_len;
-              b_pending_inputs = pending_inputs;
-            }
-          in
-          if Obs.Tracer.enabled tracer then
-            Obs.Tracer.emit tracer
-              (Obs.Event.Stall
-                 { time = !now; track = id; node = id;
-                   label = cell.node.Graph.label;
-                   reason = SR.blocked_line b });
-          blocked := b :: !blocked
-        end)
-      cells;
+        if tracer_on then
+          Obs.Tracer.emit tracer
+            (Obs.Event.Stall
+               { time = !now; track = id; node = id; label = labels.(id);
+                 reason = SR.blocked_line b });
+        blocked := b :: !blocked
+      end
+    done;
     match List.rev !blocked with
     | [] -> None
     | blocked -> Some (SR.make ~time:!now ~reason ~blocked ~edges:!edges ())
@@ -575,33 +709,8 @@ let run_cfg (cfg : Run_config.t) g ~inputs =
     violations = San.violations sanitizer;
   }
 
-(* Thin compatibility wrapper over {!run_cfg} — new code should build a
-   [Run_config.t] instead of spreading optional arguments. *)
-let run ?max_time ?record_firings ?trace_window ?tracer ?fault ?sanitizer
-    ?watchdog g ~inputs =
-  let cfg =
-    { Run_config.default with
-      Run_config.max_time =
-        Option.value max_time ~default:Run_config.default.Run_config.max_time;
-      record_firings = Option.value record_firings ~default:false;
-      trace_window;
-      tracer = Option.value tracer ~default:Obs.Tracer.null;
-      fault;
-      sanitizer = Option.value sanitizer ~default:San.null;
-      watchdog;
-    }
-  in
-  run_cfg cfg g ~inputs
-
 let stream result name =
-  match List.assoc_opt name result.outputs with
-  | Some vs -> vs
-  | None ->
-    invalid_arg
-      (Printf.sprintf "Engine: no output stream %s (run produced: %s)" name
-         (match result.outputs with
-         | [] -> "none"
-         | outs -> String.concat ", " (List.map fst outs)))
+  Df_util.Conventions.lookup_stream ~who:"Engine" result.outputs name
 
 let output_values result name = List.map snd (stream result name)
 

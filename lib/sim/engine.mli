@@ -11,12 +11,19 @@
     Arcs have capacity 1: delivering a packet to an occupied operand port
     is a protocol violation and raises {!Protocol_error} (it means the
     acknowledge discipline was broken, e.g. by a mis-built graph).  With a
-    [?sanitizer] the same breach is recorded as a structured
+    sanitizer the same breach is recorded as a structured
     {!Fault.Violation.t} instead and the run halts.
 
     Ports declared [In_arc_init] start loaded with a token, and their
     producers start owing one acknowledge — operand values written at
-    program-load time, which is how feedback loops are primed. *)
+    program-load time, which is how feedback loops are primed.
+
+    The engine runs on a flat arena (see {!Arena}): the graph is lowered
+    once per run into int-indexed arrays, events are bare ints in
+    preallocated buffers, and steady state allocates nothing.  With
+    [Run_config.compiled] the firing rules are additionally specialized
+    into per-cell closures at load time; results are bit-identical to the
+    interpreted dispatcher.  [docs/ENGINE.md] describes the layout. *)
 
 open Dfg
 
@@ -39,33 +46,15 @@ type result = {
   (** Protocol breaches recorded by the [sanitizer]; empty without one. *)
 }
 
-
 val run_cfg :
   Run_config.t ->
   Graph.t ->
   inputs:(string * Value.t list) list ->
   result
-(** The record API for {!run}, whose documentation below describes the
-    configuration semantics.  [Run_config.recovery] is machine-engine-
-    only and ignored here. *)
-
-val run :
-  ?max_time:int ->
-  ?record_firings:bool ->
-  ?trace_window:int * int ->
-  ?tracer:Obs.Tracer.t ->
-  ?fault:Fault.Fault_plan.t ->
-  ?sanitizer:Fault.Sanitizer.t ->
-  ?watchdog:int ->
-  Graph.t ->
-  inputs:(string * Value.t list) list ->
-  result
-(** Deprecated spelling of {!run_cfg} (optional arguments instead of a
-    {!Run_config.t}).
-    Simulate until quiescence or [max_time] (default 10_000_000).
-    [inputs] supplies the full packet sequence for every [Input] node
-    (concatenate waves for steady-state measurements); every declared
-    input must be present.
+(** Simulate until quiescence or [Run_config.max_time] (default
+    10_000_000).  [inputs] supplies the full packet sequence for every
+    [Input] node (concatenate waves for steady-state measurements);
+    every declared input must be present.
 
     [tracer] (default {!Obs.Tracer.null}, which costs one branch per
     instrumentation point and records nothing) receives a typed event
@@ -87,6 +76,12 @@ val run :
     [watchdog] stops the run and files a [No_progress] stall report if
     no cell fires for that many consecutive time units while packets are
     still in flight (set it above any injected delay).
+
+    [compiled] specializes the firing rules into per-cell closures once
+    at program load; results are bit-identical to the interpreted
+    dispatcher (both drive the same consume/send helpers).
+
+    [recovery] and [integrity] are machine-engine-only and ignored here.
     @raise Protocol_error on arc-capacity violations (without sanitizer)
     @raise Invalid_argument on missing/unknown input streams *)
 

@@ -5,8 +5,10 @@ let initiation_interval ?(trim = 0.25) times =
      sample) degrades to nan as documented instead of raising *)
   let drop = max 0 (int_of_float (trim *. float_of_int n)) in
   let first = drop and last = n - 1 - drop in
-  if last - first < 1 then nan
-  else float_of_int (arr.(last) - arr.(first)) /. float_of_int (last - first)
+  let steps = max 0 (last - first) in
+  Df_util.Conventions.ratio
+    (if steps = 0 then 0.0 else float_of_int (arr.(last) - arr.(first)))
+    (float_of_int steps)
 
 let output_interval ?trim result name =
   initiation_interval ?trim (Engine.output_times result name)

@@ -1,0 +1,23 @@
+let ratio num den = if den = 0. then Float.nan else num /. den
+
+let lookup_stream ~who outputs name =
+  match List.assoc_opt name outputs with
+  | Some vs -> vs
+  | None ->
+    invalid_arg
+      (Printf.sprintf "%s: no output stream %s (run produced: %s)" who name
+         (match outputs with
+         | [] -> "none"
+         | outs -> String.concat ", " (List.map fst outs)))
+
+let lookup_feed ~who inputs name =
+  match List.assoc_opt name inputs with
+  | Some vs -> vs
+  | None -> (
+    match inputs with
+    | [] ->
+      invalid_arg (Printf.sprintf "%s: no packets for input %s" who name)
+    | ins ->
+      invalid_arg
+        (Printf.sprintf "%s: no packets for input %s (supplied: %s)" who name
+           (String.concat ", " (List.map fst ins))))

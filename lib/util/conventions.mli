@@ -1,0 +1,26 @@
+(** The repo-wide numeric and lookup-error conventions, in one place.
+
+    Both engines, the job runner and the metric layers previously
+    hand-rolled these; the rules are:
+
+    - {b undefined ratios are [nan], never a spurious 0}: a metric over
+      an empty run ([Machine_engine.am_fraction] with no dispatches,
+      [Sim.Metrics.initiation_interval] with fewer than two arrivals)
+      reports [Float.nan] so downstream consumers can distinguish "no
+      data" from "measured zero";
+    - {b stream lookups fail naming both sides}: asking a result for an
+      output stream (or an engine for an input feed) that does not exist
+      raises [Invalid_argument] naming the stream asked for {e and} the
+      streams actually present — a bare [Not_found] names neither. *)
+
+val ratio : float -> float -> float
+(** [ratio num den] is [num /. den], or [Float.nan] when [den = 0.]. *)
+
+val lookup_stream : who:string -> (string * 'a) list -> string -> 'a
+(** [lookup_stream ~who outputs name] returns the named stream or raises
+    [Invalid_argument] — "[who]: no output stream [name] (run produced:
+    ...)". *)
+
+val lookup_feed : who:string -> (string * 'a) list -> string -> 'a
+(** As {!lookup_stream} for input feeds — "[who]: no packets for input
+    [name] (supplied: ...)". *)

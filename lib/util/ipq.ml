@@ -1,0 +1,74 @@
+type t = {
+  mutable prio : int array;
+  mutable payload : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { prio = Array.make capacity 0; payload = Array.make capacity 0; len = 0 }
+
+let is_empty q = q.len = 0
+let length q = q.len
+
+let grow q =
+  let cap = Array.length q.prio in
+  let prio = Array.make (2 * cap) 0 in
+  let payload = Array.make (2 * cap) 0 in
+  Array.blit q.prio 0 prio 0 q.len;
+  Array.blit q.payload 0 payload 0 q.len;
+  q.prio <- prio;
+  q.payload <- payload
+
+let push q prio payload =
+  if q.len = Array.length q.prio then grow q;
+  let i = ref q.len in
+  q.len <- q.len + 1;
+  (* sift up *)
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if q.prio.(parent) > prio then begin
+      q.prio.(!i) <- q.prio.(parent);
+      q.payload.(!i) <- q.payload.(parent);
+      i := parent
+    end
+    else continue_ := false
+  done;
+  q.prio.(!i) <- prio;
+  q.payload.(!i) <- payload
+
+let peek_priority q = if q.len = 0 then -1 else q.prio.(0)
+
+let sift_down q =
+  let len = q.len in
+  let prio = q.prio and payload = q.payload in
+  let p = prio.(len) and x = payload.(len) in
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 in
+    if l >= len then continue_ := false
+    else begin
+      let c = if l + 1 < len && prio.(l + 1) < prio.(l) then l + 1 else l in
+      if prio.(c) < p then begin
+        prio.(!i) <- prio.(c);
+        payload.(!i) <- payload.(c);
+        i := c
+      end
+      else continue_ := false
+    end
+  done;
+  prio.(!i) <- p;
+  payload.(!i) <- x
+
+let pop_payload q =
+  if q.len = 0 then invalid_arg "Ipq.pop_payload: empty"
+  else begin
+    let x = q.payload.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then sift_down q;
+    x
+  end
+
+let clear q = q.len <- 0

@@ -1,0 +1,28 @@
+(** Allocation-free binary-heap priority queue over [int] payloads.
+
+    The flat-arena engines encode events as integers (see
+    [Sim.Engine]); this queue keeps them in two parallel [int] arrays so
+    steady-state push/pop allocates nothing (the arrays double on
+    overflow, amortized).  Priorities are simulation timestamps, lower
+    pops first; equal-priority pop order is unspecified, which the
+    simulators tolerate because all arrivals at a time are drained
+    before any firing decision at that time. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val is_empty : t -> bool
+val length : t -> int
+
+val push : t -> int -> int -> unit
+(** [push q prio x] inserts payload [x] with priority [prio]. *)
+
+val peek_priority : t -> int
+(** Minimum priority, or [-1] when empty (timestamps are
+    non-negative). *)
+
+val pop_payload : t -> int
+(** Remove and return a minimum-priority payload.
+    @raise Invalid_argument when empty. *)
+
+val clear : t -> unit

@@ -1,0 +1,250 @@
+(* The flat-arena lowering and the compiled-mode contract: arena
+   numbering invariants, compiled-vs-interpreted bit-identity on every
+   kernel under both engines, snapshot/restore bit-identity across
+   firing-rule modes, and the shared nan/error conventions. *)
+
+open Dfg
+module ME = Machine.Machine_engine
+module K = Kernels
+module PC = Compiler.Program_compile
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let kernel_subject (k : K.kernel) ~size ~seed =
+  let st = Random.State.make [| seed; Hashtbl.hash k.K.name |] in
+  let _, compiled =
+    Compiler.Driver.compile_source ~scalar_inputs:k.K.scalar_inputs
+      (k.K.source size)
+  in
+  let inputs =
+    List.map
+      (fun (name, _) -> (name, List.assoc name (k.K.inputs size st)))
+      compiled.PC.cp_inputs
+  in
+  (compiled.PC.cp_graph, inputs)
+
+(* ---------------- arena structure ---------------- *)
+
+let test_arena_invariants () =
+  List.iter
+    (fun (k : K.kernel) ->
+      let g, _ = kernel_subject k ~size:8 ~seed:0 in
+      let a = Arena.build g in
+      let n = a.Arena.n in
+      checki (k.K.name ^ ": cell count") (Graph.node_count g) n;
+      checki (k.K.name ^ ": port_base closes")
+        a.Arena.n_ports a.Arena.port_base.(n);
+      checki (k.K.name ^ ": slot_base closes")
+        a.Arena.n_slots a.Arena.slot_base.(n);
+      checki (k.K.name ^ ": dest_base closes")
+        (Array.length a.Arena.dest_port)
+        a.Arena.dest_base.(a.Arena.n_slots);
+      (* global port numbering is the inverse of (cell, local port) *)
+      for p = 0 to a.Arena.n_ports - 1 do
+        checki
+          (Printf.sprintf "%s: port %d round-trips" k.K.name p)
+          p
+          (a.Arena.port_base.(a.Arena.port_cell.(p)) + a.Arena.port_sub.(p))
+      done;
+      for id = 0 to n - 1 do
+        let node = Graph.node g id in
+        checki
+          (Printf.sprintf "%s: cell %d arity" k.K.name id)
+          (Array.length node.Graph.inputs)
+          (Arena.arity a id);
+        (* port kinds mirror the graph's input connectors *)
+        Array.iteri
+          (fun i inp ->
+            let kind = a.Arena.port_kind.(a.Arena.port_base.(id) + i) in
+            let want =
+              match inp with
+              | Graph.In_arc -> Arena.kind_arc
+              | Graph.In_arc_init _ -> Arena.kind_init
+              | Graph.In_const _ -> Arena.kind_const
+            in
+            checki
+              (Printf.sprintf "%s: cell %d port %d kind" k.K.name id i)
+              want kind)
+          node.Graph.inputs;
+        (* destination segments preserve the graph's dests order *)
+        Array.iteri
+          (fun slot eps ->
+            let s = a.Arena.slot_base.(id) + slot in
+            let db = a.Arena.dest_base.(s) in
+            checki
+              (Printf.sprintf "%s: cell %d slot %d fanout" k.K.name id slot)
+              (List.length eps) a.Arena.fanout.(s);
+            List.iteri
+              (fun i { Graph.ep_node; ep_port } ->
+                checki
+                  (Printf.sprintf "%s: cell %d slot %d dest %d" k.K.name id
+                     slot i)
+                  (a.Arena.port_base.(ep_node) + ep_port)
+                  a.Arena.dest_port.(db + i))
+              eps)
+          node.Graph.dests
+      done)
+    K.all
+
+(* ---------------- compiled == interpreted, bit for bit ------------- *)
+
+let seeds = List.init 10 Fun.id
+
+let run_kernel (k : K.kernel) ~engine ~compiled ~seed =
+  let base =
+    match engine with
+    | Exec.Job.Sim -> Run_config.default
+    | Exec.Job.Machine _ -> ME.default_config
+  in
+  Exec.Job.run
+    (Exec.Job.make
+       ~name:(Printf.sprintf "%s/seed%d" k.K.name seed)
+       ~engine
+       ~config:(Run_config.with_compiled compiled base)
+       (Exec.Job.Source_program
+          {
+            source = k.K.source 6;
+            scalar_inputs = k.K.scalar_inputs;
+            options = None;
+            waves = 2;
+          })
+       ~inputs:(k.K.inputs 6 (Random.State.make [| seed; Hashtbl.hash k.K.name |])))
+
+let check_identical ~label (a : Exec.Outcome.t) (b : Exec.Outcome.t) =
+  checkb (label ^ ": outputs bit-identical") true
+    (a.Exec.Outcome.outputs = b.Exec.Outcome.outputs);
+  checki (label ^ ": end_time") a.Exec.Outcome.end_time
+    b.Exec.Outcome.end_time;
+  checkb (label ^ ": quiescent") a.Exec.Outcome.quiescent
+    b.Exec.Outcome.quiescent;
+  checkb (label ^ ": counters") true
+    (a.Exec.Outcome.counters = b.Exec.Outcome.counters);
+  checki (label ^ ": digest") (Exec.Outcome.digest a) (Exec.Outcome.digest b)
+
+let test_compiled_bit_identity_sim () =
+  List.iter
+    (fun (k : K.kernel) ->
+      List.iter
+        (fun seed ->
+          check_identical
+            ~label:(Printf.sprintf "sim %s seed %d" k.K.name seed)
+            (run_kernel k ~engine:Exec.Job.Sim ~compiled:false ~seed)
+            (run_kernel k ~engine:Exec.Job.Sim ~compiled:true ~seed))
+        seeds)
+    K.all
+
+let test_compiled_bit_identity_machine () =
+  let engine = Exec.Job.Machine Machine.Arch.default in
+  List.iter
+    (fun (k : K.kernel) ->
+      List.iter
+        (fun seed ->
+          check_identical
+            ~label:(Printf.sprintf "machine %s seed %d" k.K.name seed)
+            (run_kernel k ~engine ~compiled:false ~seed)
+            (run_kernel k ~engine ~compiled:true ~seed))
+        seeds)
+    K.all
+
+(* ---------------- snapshot/restore across modes ---------------- *)
+
+let machine_result_identical ~label (a : ME.result) (b : ME.result) =
+  checkb (label ^ ": outputs") true (a.ME.outputs = b.ME.outputs);
+  checki (label ^ ": end_time") a.ME.end_time b.ME.end_time;
+  checkb (label ^ ": stats") true (a.ME.stats = b.ME.stats);
+  checkb (label ^ ": quiescent") a.ME.quiescent b.ME.quiescent
+
+let test_snapshot_restore_modes () =
+  let k = K.find "hydro" in
+  let g, inputs = kernel_subject k ~size:10 ~seed:3 in
+  let arch = Machine.Arch.default in
+  let cfg compiled = Run_config.with_compiled compiled ME.default_config in
+  let straight = ME.run_cfg (cfg false) ~arch g ~inputs in
+  (* a mid-run snapshot resumes bit-identically in EITHER mode: the
+     snapshot is plain data and the compiled closures carry no state *)
+  List.iter
+    (fun snap_compiled ->
+      let m = ME.create_cfg (cfg snap_compiled) ~arch g ~inputs in
+      ME.advance m ~until:40;
+      checkb "paused mid-run" false (ME.finished m);
+      let sn = ME.snapshot m in
+      List.iter
+        (fun resume_compiled ->
+          let label =
+            Printf.sprintf "snap %b -> resume %b" snap_compiled
+              resume_compiled
+          in
+          let m2 = ME.create_cfg (cfg resume_compiled) ~arch g ~inputs in
+          ME.restore m2 sn;
+          ME.advance m2 ~until:max_int;
+          machine_result_identical ~label straight (ME.result m2))
+        [ false; true ];
+      (* and the paused machine itself finishes identically *)
+      ME.advance m ~until:max_int;
+      machine_result_identical
+        ~label:(Printf.sprintf "paused machine finishes (compiled %b)"
+                  snap_compiled)
+        straight (ME.result m))
+    [ false; true ]
+
+(* ---------------- nan and error conventions ---------------- *)
+
+let test_nan_conventions () =
+  checkb "ratio n/0 is nan" true (Float.is_nan (Df_util.Conventions.ratio 3.0 0.0));
+  checkb "interval of no packets is nan" true
+    (Float.is_nan (Sim.Metrics.initiation_interval []));
+  checkb "interval of one packet is nan" true
+    (Float.is_nan (Sim.Metrics.initiation_interval [ 5 ]));
+  Alcotest.(check (float 1e-9))
+    "interval of a steady stream" 2.0
+    (Sim.Metrics.initiation_interval [ 0; 2; 4; 6 ]);
+  let zero =
+    {
+      Exec.Outcome.firings = 0; cells = 0; fu_ops = 0; am_ops = 0;
+      result_packets = 0; ack_packets = 0; retransmits = 0;
+      checkpoints = 0; recoveries = 0;
+    }
+  in
+  checkb "am_fraction of an empty run is nan" true
+    (Float.is_nan (Exec.Outcome.am_fraction zero));
+  let k = K.find "hydro" in
+  let o = run_kernel k ~engine:Exec.Job.Sim ~compiled:false ~seed:0 in
+  checkb "sim am_fraction is 0 (no array memories)" true
+    (Exec.Outcome.am_fraction o.Exec.Outcome.counters = 0.0)
+
+let test_lookup_errors () =
+  let k = K.find "hydro" in
+  let o = run_kernel k ~engine:Exec.Job.Sim ~compiled:false ~seed:0 in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Exec.Outcome.stream o "nope" with
+  | _ -> Alcotest.fail "unknown stream must raise"
+  | exception Invalid_argument msg ->
+    checkb "names the missing stream" true (contains msg "no output stream nope");
+    checkb "lists the produced streams" true (contains msg "run produced"));
+  let g, _ = kernel_subject k ~size:6 ~seed:0 in
+  match Sim.Engine.run_cfg Run_config.default g ~inputs:[] with
+  | _ -> Alcotest.fail "missing input feed must raise"
+  | exception Invalid_argument msg ->
+    checkb "names the missing input" true (contains msg "no packets for input")
+
+let suite =
+  [
+    Alcotest.test_case "arena numbering invariants" `Quick
+      test_arena_invariants;
+    Alcotest.test_case "compiled == interpreted (sim, all kernels x seeds)"
+      `Slow test_compiled_bit_identity_sim;
+    Alcotest.test_case
+      "compiled == interpreted (machine, all kernels x seeds)" `Slow
+      test_compiled_bit_identity_machine;
+    Alcotest.test_case "snapshot/restore across firing-rule modes" `Quick
+      test_snapshot_restore_modes;
+    Alcotest.test_case "nan conventions are shared" `Quick
+      test_nan_conventions;
+    Alcotest.test_case "lookup error paths name the candidates" `Quick
+      test_lookup_errors;
+  ]

@@ -188,7 +188,7 @@ let test_insert_buffers_balances () =
       (* and it runs fully pipelined *)
       let n = 200 in
       let result =
-        Engine.run balanced
+        Engine.run_cfg Run_config.default balanced
           ~inputs:[ ("a", List.init n (fun i -> Value.Int i)) ]
       in
       Alcotest.(check bool)
@@ -201,11 +201,11 @@ let test_values_unchanged_by_balancing () =
   let g = random_dag ~seed:5 ~layers:4 ~width:3 in
   let n = 50 in
   let inputs = [ ("a", List.init n (fun i -> Value.Int (i + 1))) ] in
-  let raw = Engine.run g ~inputs in
+  let raw = Engine.run_cfg Run_config.default g ~inputs in
   List.iter
     (fun strategy ->
       let b = Balance.Balancer.balance ~strategy g in
-      let res = Engine.run b ~inputs in
+      let res = Engine.run_cfg Run_config.default b ~inputs in
       Alcotest.(check (list int)) "same values"
         (List.map
            (function Value.Int i -> i | _ -> -1)

@@ -183,8 +183,8 @@ let test_expand_fifos () =
       | Opcode.Fifo _ -> Alcotest.fail "FIFO survived expansion"
       | _ -> ());
   let xs = List.init 10 (fun i -> Value.Int i) in
-  let r1 = Engine.run g ~inputs:[ ("a", xs) ] in
-  let r2 = Engine.run expanded ~inputs:[ ("a", xs) ] in
+  let r1 = Engine.run_cfg Run_config.default g ~inputs:[ ("a", xs) ] in
+  let r2 = Engine.run_cfg Run_config.default expanded ~inputs:[ ("a", xs) ] in
   Alcotest.(check (list int)) "same values"
     (List.map (function Value.Int i -> i | _ -> -1)
        (Engine.output_values r1 "r"))
@@ -204,7 +204,7 @@ let run_ctl_through ~expand seq n =
   ignore sink_gate;
   let g = if expand then Macro.expand_bool_sources g else g in
   let result =
-    Engine.run g ~inputs:[ ("a", List.init n (fun i -> Value.Int i)) ]
+    Engine.run_cfg Run_config.default g ~inputs:[ ("a", List.init n (fun i -> Value.Int i)) ]
   in
   List.map
     (function Value.Int i -> i | _ -> -1)
@@ -239,7 +239,7 @@ let test_expanded_generator_rate () =
   Graph.connect g ~src ~dst:out ~port:0;
   let g = Macro.expand_bool_sources g in
   (* feed nothing: the generator free-runs; bound it by time *)
-  let result = Engine.run g ~inputs:[] ~max_time:2000 in
+  let result = Engine.run_cfg Run_config.(default |> with_max_time 2000) g ~inputs:[] in
   let times = Engine.output_times result "r" in
   Alcotest.(check bool) "produced plenty" true (List.length times > 400);
   let interval = Metrics.initiation_interval times in

@@ -15,15 +15,15 @@ let checkb = Alcotest.(check bool)
 
 (* a comparable projection of an outcome: everything deterministic the
    runner promises, nothing engine-internal *)
-let fingerprint (r : (Exec.Job.outcome, Exec.Pool.error) result) =
+let fingerprint (r : (Exec.Outcome.t, Exec.Pool.error) result) =
   match r with
   | Ok o ->
     Ok
-      ( o.Exec.Job.job_name,
-        o.Exec.Job.outputs,
-        o.Exec.Job.end_time,
-        o.Exec.Job.quiescent,
-        List.map Fault.Violation.to_string o.Exec.Job.violations )
+      ( o.Exec.Outcome.name,
+        o.Exec.Outcome.outputs,
+        o.Exec.Outcome.end_time,
+        o.Exec.Outcome.quiescent,
+        List.map Fault.Violation.to_string o.Exec.Outcome.violations )
   | Error e -> Error (e.Exec.Pool.index, e.Exec.Pool.message)
 
 let kernel_jobs engine =
@@ -81,7 +81,7 @@ let test_json_worker_independence () =
                (fun j -> j.Exec.Job.name = k.K.name)
                (kernel_jobs Exec.Job.Sim))
         in
-        Obs.Bench_json.entry ~measured:(float_of_int o.Exec.Job.end_time)
+        Obs.Bench_json.entry ~measured:(float_of_int o.Exec.Outcome.end_time)
           ~units:"instruction times" ~detail:"end time" ~ok:true k.K.name
           k.K.name)
       K.all
@@ -157,9 +157,9 @@ let test_crash_isolation () =
       (String.concat "; "
          (List.map (function Ok _ -> "Ok" | Error _ -> "Error") rs)))
 
-(* 4. the deprecated optional-argument entry points are exactly the
-   record API with defaults *)
-let test_wrapper_equivalence () =
+(* 4. the machine engine's default configuration is exactly the shared
+   default with the machine time budget *)
+let test_default_config () =
   let k = List.find (fun (k : K.kernel) -> k.K.name = "hydro") K.all in
   let st = Random.State.make [| Hashtbl.hash k.K.name |] in
   let _, compiled =
@@ -172,13 +172,7 @@ let test_wrapper_equivalence () =
         (name, List.assoc name (k.K.inputs 12 st)))
       compiled.Compiler.Program_compile.cp_inputs
   in
-  let old_sim = Sim.Engine.run g ~inputs in
-  let new_sim = Sim.Engine.run_cfg Run_config.default g ~inputs in
-  checkb "sim outputs equal" true
-    (old_sim.Sim.Engine.outputs = new_sim.Sim.Engine.outputs);
-  check Alcotest.int "sim end time equal" old_sim.Sim.Engine.end_time
-    new_sim.Sim.Engine.end_time;
-  let old_m = ME.run ~arch:Machine.Arch.default g ~inputs in
+  let old_m = ME.run_cfg ME.default_config ~arch:Machine.Arch.default g ~inputs in
   let new_m =
     ME.run_cfg
       (Run_config.with_max_time ME.default_max_time Run_config.default)
@@ -343,8 +337,8 @@ let suite =
       test_json_worker_independence;
     Alcotest.test_case "a crashing job is isolated" `Quick
       test_crash_isolation;
-    Alcotest.test_case "optional-arg run == Run_config run" `Quick
-      test_wrapper_equivalence;
+    Alcotest.test_case "default_config == default + machine time budget"
+      `Quick test_default_config;
     Alcotest.test_case "sweep grid is deterministic" `Quick
       test_sweep_determinism;
     Alcotest.test_case "persistent pool under contention" `Quick

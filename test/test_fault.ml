@@ -104,7 +104,7 @@ let test_plan_of_string () =
 let test_sanitizer_clean_run () =
   let g = figure2 () in
   let inputs = fig2_inputs 24 in
-  let plain = Engine.run g ~inputs in
+  let plain = Engine.run_cfg Run_config.default g ~inputs in
   let checked =
     Engine.run_cfg
       Run_config.(default |> with_sanitizer (San.create g))
@@ -123,8 +123,12 @@ let test_sanitizer_clean_machine_run () =
   let g = figure2 () in
   let inputs = fig2_inputs 16 in
   let arch = Machine.Arch.default in
-  let plain = ME.run ~arch g ~inputs in
-  let checked = ME.run ~sanitizer:(San.create g) ~arch g ~inputs in
+  let plain = ME.run_cfg ME.default_config ~arch g ~inputs in
+  let checked =
+    ME.run_cfg
+      Run_config.(ME.default_config |> with_sanitizer (San.create g))
+      ~arch g ~inputs
+  in
   Alcotest.(check (list string)) "no violations" []
     (List.map V.to_string checked.ME.violations);
   Alcotest.(check int) "timing unchanged" plain.ME.end_time
@@ -181,8 +185,11 @@ let test_machine_drop_ack_conservation () =
   let inputs = fig2_inputs 6 in
   let plan = FP.make { FP.none with FP.seed = 13; drop_ack_prob = 1.0 } in
   let r =
-    ME.run ~fault:plan ~sanitizer:(San.create g) ~arch:Machine.Arch.default g
-      ~inputs
+    ME.run_cfg
+      Run_config.(
+        ME.default_config |> with_fault plan
+        |> with_sanitizer (San.create g))
+      ~arch:Machine.Arch.default g ~inputs
   in
   Alcotest.(check bool) "ack conservation violated" true
     (List.exists
@@ -283,7 +290,7 @@ let test_engine_deadlock_cycle () =
   let y = Graph.add g Opcode.Id [| Graph.In_arc_init (Value.Int 2) |] in
   Graph.connect g ~src:x ~dst:y ~port:0;
   Graph.connect g ~src:y ~dst:x ~port:0;
-  let r = ME.run ~arch:Machine.Arch.default g ~inputs:[] in
+  let r = ME.run_cfg ME.default_config ~arch:Machine.Arch.default g ~inputs:[] in
   Alcotest.(check bool) "quiescent with work undone" true r.ME.quiescent;
   match r.ME.stall with
   | None -> Alcotest.fail "deadlocked machine must file a stall report"
@@ -310,8 +317,11 @@ let test_machine_fault_determinism () =
         corrupt_prob = 0.0; corrupt_ctl_prob = 0.0 }
   in
   let run () =
-    ME.run ~fault:plan ~sanitizer:(San.create g) ~arch:Machine.Arch.default g
-      ~inputs
+    ME.run_cfg
+      Run_config.(
+        ME.default_config |> with_fault plan
+        |> with_sanitizer (San.create g))
+      ~arch:Machine.Arch.default g ~inputs
   in
   let r1 = run () and r2 = run () in
   Alcotest.(check int) "end_time identical" r1.ME.end_time r2.ME.end_time;

@@ -132,7 +132,7 @@ let test_detect_and_heal_bit_identical () =
   let g = figure2 () in
   let inputs = fig2_inputs 16 in
   let arch = Machine.Arch.default in
-  let clean = ME.run ~arch g ~inputs in
+  let clean = ME.run_cfg ME.default_config ~arch g ~inputs in
   let plan =
     FP.make { FP.none with FP.seed = 11; corrupt_prob = 0.15 }
   in

@@ -65,7 +65,7 @@ let test_matches_ideal_engine () =
     (fun policy ->
       let arch = { Arch.default with Arch.array_policy = policy } in
       let mres =
-        ME.run ~arch cp.PC.cp_graph
+        ME.run_cfg ME.default_config ~arch cp.PC.cp_graph
           ~inputs:(machine_inputs cp ~waves:2 inputs)
       in
       Alcotest.(check bool) "quiescent" true mres.ME.quiescent;
@@ -90,7 +90,7 @@ let test_am_traffic_claim () =
   let inputs = machine_inputs cp ~waves:4 (wave m st) in
   let run policy =
     let arch = { Arch.default with Arch.array_policy = policy } in
-    ME.run ~arch cp.PC.cp_graph ~inputs
+    ME.run_cfg ME.default_config ~arch cp.PC.cp_graph ~inputs
   in
   let streamed = run Arch.Streamed in
   let stored = run Arch.Stored in
@@ -112,7 +112,7 @@ let test_streamed_faster_than_stored () =
   let inputs = machine_inputs cp ~waves:4 (wave m st) in
   let time policy =
     let arch = { Arch.default with Arch.array_policy = policy } in
-    (ME.run ~arch cp.PC.cp_graph ~inputs).ME.end_time
+    (ME.run_cfg ME.default_config ~arch cp.PC.cp_graph ~inputs).ME.end_time
   in
   let streamed = time Arch.Streamed and stored = time Arch.Stored in
   Alcotest.(check bool)
@@ -128,7 +128,7 @@ let test_pe_scaling () =
   let inputs = machine_inputs cp ~waves:4 (wave m st) in
   let time n_pe =
     let arch = { Arch.default with Arch.n_pe = n_pe } in
-    (ME.run ~arch cp.PC.cp_graph ~inputs).ME.end_time
+    (ME.run_cfg ME.default_config ~arch cp.PC.cp_graph ~inputs).ME.end_time
   in
   let t1 = time 1 and t4 = time 4 and t32 = time 32 in
   Alcotest.(check bool)
@@ -147,7 +147,7 @@ let test_packet_accounting () =
   let cp = compiled_fig3 m in
   let st = Random.State.make [| 13 |] in
   let inputs = machine_inputs cp ~waves:1 (wave m st) in
-  let res = ME.run ~arch:Arch.default cp.PC.cp_graph ~inputs in
+  let res = ME.run_cfg ME.default_config ~arch:Arch.default cp.PC.cp_graph ~inputs in
   let s = res.ME.stats in
   Alcotest.(check bool) "dispatches positive" true (s.ME.dispatches > 0);
   Alcotest.(check bool) "fu ops below dispatches" true
@@ -163,7 +163,7 @@ let test_fu_latency_slows_completion () =
   let inputs = machine_inputs cp ~waves:3 (wave m st) in
   let time fu_latency =
     let arch = { Arch.default with Arch.fu_latency } in
-    (ME.run ~arch cp.PC.cp_graph ~inputs).ME.end_time
+    (ME.run_cfg ME.default_config ~arch cp.PC.cp_graph ~inputs).ME.end_time
   in
   let fast = time 1 and slow = time 16 in
   Alcotest.(check bool)
@@ -181,7 +181,7 @@ let test_am_contention () =
     let arch =
       { Arch.default with Arch.array_policy = Arch.Stored; n_am }
     in
-    (ME.run ~arch cp.PC.cp_graph ~inputs).ME.end_time
+    (ME.run_cfg ME.default_config ~arch cp.PC.cp_graph ~inputs).ME.end_time
   in
   let one = time 1 and four = time 4 in
   Alcotest.(check bool)
@@ -195,7 +195,7 @@ let test_rn_latency_affects_time () =
   let inputs = machine_inputs cp ~waves:3 (wave m st) in
   let time rn_latency =
     let arch = { Arch.default with Arch.rn_latency } in
-    (ME.run ~arch cp.PC.cp_graph ~inputs).ME.end_time
+    (ME.run_cfg ME.default_config ~arch cp.PC.cp_graph ~inputs).ME.end_time
   in
   Alcotest.(check bool) "longer network, longer run" true (time 1 < time 12)
 

@@ -22,6 +22,7 @@ let () =
       ("recover", Test_recover.suite);
       ("integrity", Test_integrity.suite);
       ("exec", Test_exec.suite);
+      ("exec.arena", Test_arena.suite);
       ("serve", Test_serve.suite);
       ("serve.journal", Test_journal.suite);
     ]

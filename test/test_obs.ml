@@ -69,7 +69,7 @@ R : array[real] :=
 
 let test_sim_parity () =
   let inputs = fig2_inputs 40 in
-  let base = Sim.Engine.run (fig2_graph ()) ~inputs in
+  let base = Sim.Engine.run_cfg Run_config.default (fig2_graph ()) ~inputs in
   let tracer = Obs.Tracer.create () in
   let traced =
     Sim.Engine.run_cfg
@@ -92,9 +92,13 @@ let test_sim_parity () =
 let test_machine_parity () =
   let inputs = fig2_inputs 40 in
   let arch = Arch.default in
-  let base = ME.run ~arch (fig2_graph ()) ~inputs in
+  let base = ME.run_cfg ME.default_config ~arch (fig2_graph ()) ~inputs in
   let tracer = Obs.Tracer.create () in
-  let traced = ME.run ~arch ~tracer (fig2_graph ()) ~inputs in
+  let traced =
+    ME.run_cfg
+      Run_config.(ME.default_config |> with_tracer tracer)
+      ~arch (fig2_graph ()) ~inputs
+  in
   Alcotest.(check int)
     "same end time" base.ME.end_time traced.ME.end_time;
   Alcotest.(check bool)
@@ -114,7 +118,7 @@ let test_null_tracer () =
   Alcotest.(check int) "records nothing" 0 (Obs.Tracer.length Obs.Tracer.null);
   (* the engines default to the null tracer: a plain run traces nothing *)
   let (_ : Sim.Engine.result) =
-    Sim.Engine.run (fig2_graph ()) ~inputs:(fig2_inputs 10)
+    Sim.Engine.run_cfg Run_config.default (fig2_graph ()) ~inputs:(fig2_inputs 10)
   in
   Alcotest.(check int)
     "still nothing after a run" 0

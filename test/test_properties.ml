@@ -311,8 +311,8 @@ let prop_serialize_roundtrip =
             (List.init 14 (fun _ -> Random.State.float st 2.0 -. 1.0))
         in
         let inputs = [ ("A", wave ()); ("B", wave ()) ] in
-        let r1 = Sim.Engine.run g ~inputs in
-        let r2 = Sim.Engine.run g' ~inputs in
+        let r1 = Sim.Engine.run_cfg Run_config.default g ~inputs in
+        let r2 = Sim.Engine.run_cfg Run_config.default g' ~inputs in
         let vals r = List.map Value.to_real (Sim.Engine.output_values r "R") in
         if vals r1 = vals r2 then true
         else QCheck.Test.fail_report "reloaded graph computes differently"

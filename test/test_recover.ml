@@ -136,10 +136,7 @@ let test_save_load_resume_bit_identical () =
       | Ok sn ->
         Alcotest.(check bool) "disk round-trip exact" true
           (CP.equal sn (ME.snapshot m));
-        let resumed =
-          Recover.resume ~fault:plan ~sanitizer:(San.create g) ~recovery ~arch
-            g ~inputs sn
-        in
+        let resumed = Recover.resume (cfg ()) ~arch g ~inputs sn in
         Alcotest.(check bool) "outputs and timestamps identical" true
           (resumed.ME.outputs = straight.ME.outputs);
         Alcotest.(check int) "end_time identical" straight.ME.end_time
@@ -159,9 +156,13 @@ let test_crash_without_recovery_wedges () =
      again, the run wedges, and the stall report names the PE *)
   let g = figure2 () in
   let inputs = fig2_inputs 16 in
-  let clean = ME.run ~arch:Machine.Arch.default g ~inputs in
+  let clean = ME.run_cfg ME.default_config ~arch:Machine.Arch.default g ~inputs in
   let plan = crash_plan ~seed:1 ~pe:2 ~at:30 FP.none in
-  let r = ME.run ~fault:plan ~arch:Machine.Arch.default g ~inputs in
+  let r =
+    ME.run_cfg
+      Run_config.(ME.default_config |> with_fault plan)
+      ~arch:Machine.Arch.default g ~inputs
+  in
   Alcotest.(check int) "no recovery performed" 0 r.ME.recoveries;
   Alcotest.(check bool) "outputs incomplete" true
     (List.length (ME.output_values r "r")
@@ -242,8 +243,12 @@ let test_recovery_overhead_free_when_clean () =
   let g = figure2 () in
   let inputs = fig2_inputs 16 in
   let arch = Machine.Arch.default in
-  let plain = ME.run ~arch g ~inputs in
-  let recovered = ME.run ~recovery:ME.default_recovery ~arch g ~inputs in
+  let plain = ME.run_cfg ME.default_config ~arch g ~inputs in
+  let recovered =
+    ME.run_cfg
+      Run_config.(ME.default_config |> with_recovery ME.default_recovery)
+      ~arch g ~inputs
+  in
   Alcotest.(check bool) "outputs identical" true
     (plain.ME.outputs = recovered.ME.outputs);
   Alcotest.(check int) "end_time identical" plain.ME.end_time

@@ -51,8 +51,8 @@ let test_reloaded_graph_runs () =
     List.init (m + 2) (fun _ -> Value.Real (Random.State.float st 0.8))
   in
   let inputs = [ ("C", wave ()); ("B", wave ()) ] in
-  let r1 = Sim.Engine.run cp.PC.cp_graph ~inputs in
-  let r2 = Sim.Engine.run g' ~inputs in
+  let r1 = Sim.Engine.run_cfg Run_config.default cp.PC.cp_graph ~inputs in
+  let r2 = Sim.Engine.run_cfg Run_config.default g' ~inputs in
   ignore prog;
   List.iter
     (fun name ->

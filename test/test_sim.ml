@@ -50,7 +50,7 @@ let test_figure2_values () =
   let a = List.init n (fun i -> float_of_int (i + 1)) in
   let b = List.init n (fun i -> 1.0 +. (0.5 *. float_of_int i)) in
   let result =
-    Engine.run g ~inputs:[ ("a", reals a); ("b", reals b) ]
+    Engine.run_cfg Run_config.default g ~inputs:[ ("a", reals a); ("b", reals b) ]
   in
   Alcotest.(check bool) "quiescent" true result.Engine.quiescent;
   let expected =
@@ -62,7 +62,7 @@ let test_figure2_rate () =
   let g = figure2_graph () in
   let n = 400 in
   let a = List.init n (fun _ -> 1.0) and b = List.init n (fun _ -> 2.0) in
-  let result = Engine.run g ~inputs:[ ("a", reals a); ("b", reals b) ] in
+  let result = Engine.run_cfg Run_config.default g ~inputs:[ ("a", reals a); ("b", reals b) ] in
   let interval = Metrics.output_interval result "r" in
   Alcotest.(check (float 0.01)) "fully pipelined interval" 2.0 interval;
   Alcotest.(check bool) "fully pipelined" true
@@ -99,7 +99,7 @@ let test_unbalanced_diamond_jams () =
   let g = diamond_graph ~skew:4 in
   let n = 300 in
   let result =
-    Engine.run g ~inputs:[ ("a", reals (List.init n float_of_int)) ]
+    Engine.run_cfg Run_config.default g ~inputs:[ ("a", reals (List.init n float_of_int)) ]
   in
   let interval = Metrics.output_interval result "r" in
   Alcotest.(check bool)
@@ -132,7 +132,7 @@ let test_balanced_diamond_with_fifo () =
   Graph.connect g ~src:join ~dst:out ~port:0;
   let n = 300 in
   let result =
-    Engine.run g ~inputs:[ ("a", reals (List.init n float_of_int)) ]
+    Engine.run_cfg Run_config.default g ~inputs:[ ("a", reals (List.init n float_of_int)) ]
   in
   Alcotest.(check (float 0.01)) "restored interval" 2.0
     (Metrics.output_interval result "r")
@@ -153,7 +153,7 @@ let test_tgate_selection () =
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:gate ~dst:out ~port:0;
   let result =
-    Engine.run g
+    Engine.run_cfg Run_config.default g
       ~inputs:
         [ ("a", reals (List.init 10 float_of_int)) (* two waves of 5 *) ]
   in
@@ -173,7 +173,7 @@ let test_fgate () =
   Graph.connect g ~src:a ~dst:gate ~port:1;
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:gate ~dst:out ~port:0;
-  let result = Engine.run g ~inputs:[ ("a", ints [ 0; 1; 2; 3; 4; 5 ]) ] in
+  let result = Engine.run_cfg Run_config.default g ~inputs:[ ("a", ints [ 0; 1; 2; 3; 4; 5 ]) ] in
   Alcotest.(check (list int)) "odd positions pass" [ 1; 3; 5 ]
     (List.map
        (function Value.Int i -> i | _ -> -1)
@@ -209,7 +209,7 @@ let test_switch_merge () =
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:merge ~dst:out ~port:0;
   let xs = [ 3.; -4.; 5.; -6.; 0.; -1. ] in
-  let result = Engine.run g ~inputs:[ ("a", reals xs) ] in
+  let result = Engine.run_cfg Run_config.default g ~inputs:[ ("a", reals xs) ] in
   check_reals "absolute value" [ 3.; 4.; 5.; 6.; 0.; 1. ]
     (Engine.output_values result "r")
 
@@ -251,7 +251,7 @@ let test_loop_rates () =
   List.iter
     (fun (cells, tokens, expected) ->
       let g = loop_graph ~cells ~tokens in
-      let result = Engine.run g ~inputs:[] ~max_time:20000 in
+      let result = Engine.run_cfg Run_config.(default |> with_max_time 20000) g ~inputs:[] in
       let interval = Metrics.output_interval result "r" in
       Alcotest.(check (float 0.05))
         (Printf.sprintf "%d-cell loop with %d tokens" cells tokens)
@@ -276,7 +276,7 @@ let test_capacity_violation () =
   Graph.connect g ~src:b ~dst:id ~port:0;
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:id ~dst:out ~port:0;
-  match Engine.run g ~inputs:[ ("a", ints [ 1 ]); ("b", ints [ 2 ]) ] with
+  match Engine.run_cfg Run_config.default g ~inputs:[ ("a", ints [ 1 ]); ("b", ints [ 2 ]) ] with
   | _ -> Alcotest.fail "expected validation failure"
   | exception Invalid_argument _ -> ()
 
@@ -293,7 +293,7 @@ let test_deadlock_diagnosis () =
   Graph.connect g ~src:a ~dst:merge ~port:1;
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:merge ~dst:out ~port:0;
-  let result = Engine.run g ~inputs:[ ("a", ints [ 7 ]); ("c", []) ] in
+  let result = Engine.run_cfg Run_config.default g ~inputs:[ ("a", ints [ 7 ]); ("c", []) ] in
   Alcotest.(check bool) "quiescent" true result.Engine.quiescent;
   Alcotest.(check bool) "stall report present" true
     (result.Engine.stuck <> None);
@@ -317,7 +317,7 @@ let test_fifo_order_and_elasticity () =
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:fifo ~dst:out ~port:0;
   let xs = List.init 20 float_of_int in
-  let result = Engine.run g ~inputs:[ ("a", reals xs) ] in
+  let result = Engine.run_cfg Run_config.default g ~inputs:[ ("a", reals xs) ] in
   check_reals "FIFO preserves order" xs (Engine.output_values result "r")
 
 let test_bool_source_finite () =
@@ -330,7 +330,7 @@ let test_bool_source_finite () =
   in
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:ctl ~dst:out ~port:0;
-  let result = Engine.run g ~inputs:[] in
+  let result = Engine.run_cfg Run_config.default g ~inputs:[] in
   Alcotest.(check (list bool)) "finite sequence" [ true; true; false ]
     (List.map Value.to_bool (Engine.output_values result "r"))
 
@@ -338,7 +338,7 @@ let test_fire_counts_and_utilization () =
   let g = figure2_graph () in
   let n = 100 in
   let result =
-    Engine.run g ~record_firings:true
+    Engine.run_cfg Run_config.(default |> with_record_firings true) g
       ~inputs:
         [ ("a", reals (List.init n float_of_int));
           ("b", reals (List.init n float_of_int)) ]
@@ -371,7 +371,7 @@ let test_merge_unselected_untouched () =
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:merge ~dst:out ~port:0;
   let result =
-    Engine.run g
+    Engine.run_cfg Run_config.default g
       ~inputs:
         [ ("ctl", List.map (fun b -> Value.Bool b) [ true; true; false ]);
           ("t", ints [ 10; 20 ]);
@@ -403,7 +403,7 @@ let test_merge_switch_semantics () =
   Graph.connect_slot g ~src:ms ~slot:1 ~dst:side ~port:0;
   let bools bs = List.map (fun b -> Value.Bool b) bs in
   let result =
-    Engine.run g
+    Engine.run_cfg Run_config.default g
       ~inputs:
         [ ("m", bools [ false; true; true; true ]);
           ("d", bools [ true; false; true; false ]);
@@ -432,7 +432,7 @@ let test_iota_rep () =
   Graph.connect g ~src:iota ~dst:gate ~port:1;
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:gate ~dst:out ~port:0;
-  let result = Engine.run g ~inputs:[] in
+  let result = Engine.run_cfg Run_config.default g ~inputs:[] in
   Alcotest.(check (list int)) "repeats then wraps"
     [ 3; 3; 4; 4; 5; 5; 3; 3 ]
     (List.map
@@ -456,7 +456,7 @@ let test_init_token_discipline () =
   Graph.connect g ~src:a ~dst:add ~port:1;
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:add ~dst:out ~port:0;
-  let result = Engine.run g ~inputs:[ ("a", ints [ 1; 2; 3 ]) ] in
+  let result = Engine.run_cfg Run_config.default g ~inputs:[ ("a", ints [ 1; 2; 3 ]) ] in
   (* running sums: 101, 103, 106 *)
   Alcotest.(check (list int)) "accumulates" [ 101; 103; 106 ]
     (List.map
@@ -474,7 +474,7 @@ let test_max_time_cap () =
   in
   let out = Graph.add g (Opcode.Output "r") [| Graph.In_arc |] in
   Graph.connect g ~src:ctl ~dst:out ~port:0;
-  let result = Engine.run g ~inputs:[] ~max_time:100 in
+  let result = Engine.run_cfg Run_config.(default |> with_max_time 100) g ~inputs:[] in
   Alcotest.(check bool) "not quiescent" false result.Engine.quiescent;
   Alcotest.(check bool) "bounded output count" true
     (List.length (Engine.output_values result "r") <= 60)
@@ -483,7 +483,7 @@ let test_output_times_monotone () =
   let g = figure2_graph () in
   let n = 30 in
   let xs = List.init n (fun i -> Value.Real (float_of_int i)) in
-  let result = Engine.run g ~inputs:[ ("a", xs); ("b", xs) ] in
+  let result = Engine.run_cfg Run_config.default g ~inputs:[ ("a", xs); ("b", xs) ] in
   let times = Engine.output_times result "r" in
   let rec mono = function
     | a :: (b :: _ as rest) -> a < b && mono rest

@@ -78,7 +78,7 @@ let test_report () =
   Graph.connect g ~src:a ~dst:id ~port:0;
   Graph.connect g ~src:id ~dst:out ~port:0;
   let result =
-    Engine.run g ~record_firings:true
+    Engine.run_cfg Run_config.(default |> with_record_firings true) g
       ~inputs:[ ("a", List.init 50 (fun i -> Value.Int i)) ]
   in
   let rows = Report.rows g result in
@@ -116,7 +116,7 @@ let test_timeline () =
   Graph.connect g ~src:a ~dst:id ~port:0;
   Graph.connect g ~src:id ~dst:out ~port:0;
   let result =
-    Engine.run g ~record_firings:true
+    Engine.run_cfg Run_config.(default |> with_record_firings true) g
       ~inputs:[ ("a", List.init 10 (fun i -> Value.Int i)) ]
   in
   let chart = Timeline.render ~width:24 g result in
