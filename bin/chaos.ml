@@ -249,6 +249,35 @@ let serve_cluster_replay ~sockets ~master ~index ~recovery subject
   in
   replay_compare resp o
 
+(* The disk-loss path.  Every scenario routes through the failover
+   client against a replicated cluster whose members keep losing whole
+   journal directories; idempotency keys plus journal replication make
+   the walk exactly-once even when the member that admitted a job has
+   since been wiped — the record lives on in a peer's segment, and the
+   restarted member rebuilds from it before serving. *)
+let serve_wipe_replay ~sockets ~master ~index ~recovery subject
+    (spec : FP.spec) (o : FD.outcome) =
+  let module SP = Serve.Protocol in
+  let run =
+    replay_run ~idem:(Printf.sprintf "cw-%d-%d" master index) ~recovery
+      subject spec
+  in
+  let retry =
+    { Serve.Client.attempts = 60;
+      base_delay = 0.05;
+      max_delay = 0.5;
+      retry_seed = Prng.int_of_hash (Prng.mix master [ index; 79 ]) 1_000_000 }
+  in
+  let key =
+    Serve.Cluster.routing_key
+      (SP.Kernel { name = subject.kernel.K.name; size = subject.size })
+  in
+  let t =
+    Serve.Cluster.create ~deadline:90.0 ~retry (Array.to_list sockets)
+  in
+  let resp = fst (Serve.Cluster.submit t ~key (SP.Simulate run)) in
+  replay_compare resp o
+
 (* --- a real server process we can murder ----------------------------- *)
 
 (* dfserve.exe lives next to chaos.exe in the dune build tree and in an
@@ -262,20 +291,36 @@ let dfserve_exe () =
     failwith
       (Printf.sprintf "--serve-kill: %s not found (build bin/dfserve.exe)" exe)
 
-let spawn_server ?retain ~exe ~socket ~journal ~max_pending ~slice () =
+let spawn_server ?retain ?cluster ~exe ~socket ~journal ~max_pending ~slice
+    () =
   let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
   Fun.protect
     ~finally:(fun () -> Unix.close null)
     (fun () ->
       Unix.create_process exe
-        (Array.append
-           [| exe; "--socket"; socket; "--journal"; journal; "--workers";
-              "2"; "--slice"; string_of_int slice; "--max-pending";
-              string_of_int max_pending; "--idle-timeout"; "0" |]
-           (match retain with
-           | Some n -> [| "--journal-retain"; string_of_int n |]
-           | None -> [||]))
+        (Array.concat
+           [ [| exe; "--socket"; socket; "--journal"; journal; "--workers";
+                "2"; "--slice"; string_of_int slice; "--max-pending";
+                string_of_int max_pending; "--idle-timeout"; "0" |];
+             (match retain with
+             | Some n -> [| "--journal-retain"; string_of_int n |]
+             | None -> [||]);
+             (* replicated member: journal records stream to peers, so
+                the wipe killer can destroy this member's disk *)
+             (match cluster with
+             | Some file ->
+               [| "--cluster"; "@" ^ file; "--self"; socket; "--replicas";
+                  "2" |]
+             | None -> [||]) ])
         Unix.stdin null null)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
 
 type managed = {
   mutable pid : int;
@@ -351,6 +396,51 @@ let cluster_killer ~(members : managed array) ~exe ~sockets ~journals
         (try ignore (Unix.waitpid [] m.pid) with Unix.Unix_error _ -> ());
         m.pid <-
           spawn_server ~retain:64 ~exe ~socket:sockets.(i)
+            ~journal:journals.(i) ~max_pending ~slice:200 ();
+        m.kills_done <- m.kills_done + 1;
+        Mutex.unlock m.lock;
+        cycle (k + 1)
+      end
+    end
+  in
+  cycle 1
+
+(* the disk-loss variant: SIGKILL a seeded-random member AND delete its
+   whole journal directory (WAL + the replica segments it held for
+   peers) before restarting it.  The restarted member comes up with no
+   disk state at all and must rebuild its dedup window and pending jobs
+   from its peers' replicas — the recovery path the replication layer
+   exists for. *)
+let wipe_killer ~(members : managed array) ~exe ~sockets ~journals ~jdirs
+    ~cluster ~max_pending ~master ~kills () =
+  let stop () = Atomic.get members.(0).stop in
+  let interruptible_sleep s =
+    let steps = max 1 (int_of_float (s /. 0.02)) in
+    let rec go i =
+      if i < steps && not (stop ()) then begin
+        Unix.sleepf 0.02;
+        go (i + 1)
+      end
+    in
+    go 0
+  in
+  let n = Array.length members in
+  let rec cycle k =
+    if k <= kills && not (stop ()) then begin
+      let pause =
+        0.15 +. (Prng.float_of_hash (Prng.mix master [ 9300; k ]) *. 0.4)
+      in
+      interruptible_sleep pause;
+      if not (stop ()) then begin
+        let i = Prng.int_of_hash (Prng.mix master [ 9400; k ]) n in
+        let m = members.(i) in
+        Mutex.lock m.lock;
+        (try Unix.kill m.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] m.pid) with Unix.Unix_error _ -> ());
+        rm_rf jdirs.(i);
+        (try Unix.mkdir jdirs.(i) 0o755 with Unix.Unix_error _ -> ());
+        m.pid <-
+          spawn_server ~retain:64 ~cluster ~exe ~socket:sockets.(i)
             ~journal:journals.(i) ~max_pending ~slice:200 ();
         m.kills_done <- m.kills_done + 1;
         Mutex.unlock m.lock;
@@ -486,6 +576,10 @@ let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~serve ~buf
       try serve_cluster_replay ~sockets ~master ~index ~recovery subject spec o
       with e ->
         [ Printf.sprintf "served replay died: %s" (Printexc.to_string e) ])
+    | `Wipe sockets -> (
+      try serve_wipe_replay ~sockets ~master ~index ~recovery subject spec o
+      with e ->
+        [ Printf.sprintf "served replay died: %s" (Printexc.to_string e) ])
   in
   List.iter
     (fun f -> Printf.bprintf buf "FAIL #%03d %-14s %s\n" index kernel.K.name f)
@@ -534,7 +628,7 @@ let run_scenario ~master ~size ~waves ~recovery ~dir ~kernels ~serve ~buf
   end
 
 let main runs master size waves dir kernel_filter recover jobs serve_mode
-    serve_kill serve_cluster kills =
+    serve_kill serve_cluster serve_wipe kills =
   let recovery =
     match Runspec.recovery_of_string (Option.value recover ~default:"") with
     | Ok p -> p
@@ -550,10 +644,17 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode
     (if serve_mode then 1 else 0)
     + (if serve_kill then 1 else 0)
     + (if serve_cluster <> None then 1 else 0)
+    + (if serve_wipe <> None then 1 else 0)
     > 1
-  then failwith "--serve, --serve-kill and --serve-cluster are exclusive";
+  then
+    failwith
+      "--serve, --serve-kill, --serve-cluster and --serve-wipe are exclusive";
   (match serve_cluster with
   | Some n when n < 2 -> failwith "--serve-cluster needs at least 2 members"
+  | _ -> ());
+  (match serve_wipe with
+  | Some n when n < 2 ->
+    failwith "--serve-wipe needs at least 2 members (replicas live on peers)"
   | _ -> ());
   let jobs = match jobs with Some j -> j | None -> Exec.Pool.default_jobs () in
   (* --serve: a live dfserve instance every scenario replays through;
@@ -655,6 +756,70 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode
             journals),
         fun () -> Array.fold_left (fun a m -> a + m.kills_done) 0 members )
     end
+    else if serve_wipe <> None then begin
+      let n = Option.get serve_wipe in
+      let exe = dfserve_exe () in
+      let tmp = Filename.get_temp_dir_name () in
+      let name i ext =
+        Filename.concat tmp
+          (Printf.sprintf "chaos-wipe-%d-%d.%s" (Unix.getpid ()) i ext)
+      in
+      let sockets = Array.init n (fun i -> name i "sock") in
+      (* each member owns a whole journal directory — WAL plus the
+         replica segments it keeps for peers — so the wipe killer can
+         destroy everything the member ever persisted in one sweep *)
+      let jdirs = Array.init n (fun i -> name i "jdir") in
+      let journals =
+        Array.map (fun d -> Filename.concat d "self.wal") jdirs
+      in
+      let members_file =
+        Filename.concat tmp
+          (Printf.sprintf "chaos-wipe-%d.members" (Unix.getpid ()))
+      in
+      Array.iter rm_rf jdirs;
+      Array.iter (fun d -> Unix.mkdir d 0o755) jdirs;
+      let oc = open_out members_file in
+      Array.iter (fun s -> output_string oc (s ^ "\n")) sockets;
+      close_out oc;
+      let max_pending = runs + 8 in
+      let stop = Atomic.make false in
+      let members =
+        Array.init n (fun i ->
+            { pid =
+                spawn_server ~retain:64 ~cluster:members_file ~exe
+                  ~socket:sockets.(i) ~journal:journals.(i) ~max_pending
+                  ~slice:200 ();
+              lock = Mutex.create ();
+              kills_done = 0;
+              stop })
+      in
+      let kd =
+        Domain.spawn
+          (wipe_killer ~members ~exe ~sockets ~journals ~jdirs
+             ~cluster:members_file ~max_pending ~master ~kills)
+      in
+      ( `Wipe sockets,
+        (fun () ->
+          Atomic.set stop true;
+          Domain.join kd;
+          Array.iteri
+            (fun i m ->
+              let down =
+                try
+                  let conn = Serve.Client.connect ~retries:10 sockets.(i) in
+                  ignore (Serve.Client.rpc conn Serve.Protocol.Shutdown);
+                  Serve.Client.close conn;
+                  true
+                with _ -> false
+              in
+              if not down then (
+                try Unix.kill m.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              try ignore (Unix.waitpid [] m.pid) with Unix.Unix_error _ -> ())
+            members;
+          Array.iter rm_rf jdirs;
+          (try Sys.remove members_file with Sys_error _ -> ())),
+        fun () -> Array.fold_left (fun a m -> a + m.kills_done) 0 members )
+    end
     else if serve_mode then begin
       let socket =
         Filename.concat (Filename.get_temp_dir_name ())
@@ -709,13 +874,18 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode
     (if jobs = 1 then "" else "s")
     (if serve_kill || serve_cluster <> None then
        Printf.sprintf ", %d server kill/restart cycles" (kill_report ())
+     else if serve_wipe <> None then
+       Printf.sprintf ", %d member wipe/restart cycles" (kill_report ())
      else "");
   if !failures = 0 then begin
     Printf.printf
       "all %d chaos scenarios survived: protected runs bit-identical to \
        clean%s\n"
       runs
-      (if serve_cluster <> None then
+      (if serve_wipe <> None then
+         ", served replays bit-identical to standalone across member disk \
+          wipes (journals rebuilt from peer replicas)"
+       else if serve_cluster <> None then
          ", served replays bit-identical to standalone across member kills \
           and live migrations"
        else if serve_kill then
@@ -730,10 +900,10 @@ let main runs master size waves dir kernel_filter recover jobs serve_mode
       (false, Printf.sprintf "%d of %d chaos scenarios failed" !failures runs)
 
 let main_safe runs master size waves dir kernel recover jobs serve_mode
-    serve_kill serve_cluster kills =
+    serve_kill serve_cluster serve_wipe kills =
   try
     main runs master size waves dir kernel recover jobs serve_mode serve_kill
-      serve_cluster kills
+      serve_cluster serve_wipe kills
   with Failure msg -> `Error (false, msg)
 
 let cmd =
@@ -807,16 +977,28 @@ let cmd =
                    their journals on the way up); every answer must still \
                    match its standalone run byte for byte")
   in
+  let serve_wipe =
+    Arg.(value & opt (some int) None
+         & info [ "serve-wipe" ] ~docv:"N"
+             ~doc:"like --serve-cluster, but the members replicate their \
+                   journals to each other (--replicas 2) and the killer \
+                   SIGKILLs a random member AND deletes its whole journal \
+                   directory before restarting it; the restarted member \
+                   must rebuild its dedup window and pending jobs from \
+                   peer replicas, and every answer must still match its \
+                   standalone run byte for byte")
+  in
   let kills =
     Arg.(value & opt int 3
          & info [ "kills" ] ~docv:"N"
-             ~doc:"kill/restart cycles the --serve-kill or --serve-cluster \
-                   killer attempts (each at a seeded point while the soak \
-                   is running)")
+             ~doc:"kill/restart cycles the --serve-kill, --serve-cluster \
+                   or --serve-wipe killer attempts (each at a seeded point \
+                   while the soak is running)")
   in
   let term =
     Term.(ret (const main_safe $ runs $ seed $ size $ waves $ dir $ kernel
-               $ recover $ jobs $ serve $ serve_kill $ serve_cluster $ kills))
+               $ recover $ jobs $ serve $ serve_kill $ serve_cluster
+               $ serve_wipe $ kills))
   in
   Cmd.v
     (Cmd.info "chaos" ~version:"1.0"

@@ -40,6 +40,7 @@ let rejection_exit = function
   | P.Run_error -> 16
   | P.Shutting_down -> 17
   | P.Deadline -> 18
+  | P.Replica_error -> 19
 
 let read_file path =
   let ic = open_in path in
@@ -193,6 +194,27 @@ let main verb socket tcp cluster to_addr after timeout retries idem kernel
       with_conn (fun conn ->
           print_endline
             (J.to_string (require_ok (Serve.Client.rpc conn P.Stats)))))
+  | "members" ->
+    (* one line per member, grep-friendly: ADDR STATE [target] *)
+    with_conn (fun conn ->
+        let resp = require_ok (Serve.Client.rpc conn P.Members) in
+        Printf.printf "self=%s replicas=%d\n"
+          (Option.value ~default:"?" (J.get_string (J.member "self" resp)))
+          (Option.value ~default:0 (J.get_int (J.member "replicas" resp)));
+        match J.member "members" resp with
+        | J.List ms ->
+          List.iter
+            (fun m ->
+              Printf.printf "%s %s%s\n"
+                (Option.value ~default:"?" (J.get_string (J.member "addr" m)))
+                (Option.value ~default:"?"
+                   (J.get_string (J.member "state" m)))
+                (if Option.value ~default:false
+                      (J.get_bool (J.member "target" m))
+                 then " target"
+                 else ""))
+            ms
+        | _ -> ())
   | "shutdown" ->
     with_conn (fun conn ->
         ignore (require_ok (Serve.Client.rpc conn P.Shutdown));
@@ -318,7 +340,8 @@ let cmd =
   let verb =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"VERB"
-             ~doc:"compile | simulate | migrate | sweep | stats | shutdown")
+             ~doc:"compile | simulate | migrate | sweep | stats | members \
+                   | shutdown")
   in
   let socket =
     Arg.(value & opt string

@@ -14,9 +14,9 @@ let default_socket () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "dfserve-%d.sock" (Unix.getuid ()))
 
-let main socket tcp journal journal_retain max_line idle_timeout write_timeout
-    drain_timeout workers max_pending cache slice log_file verbose selftest
-    clients jobs churn seed =
+let main socket tcp journal journal_retain cluster self replicas fsync
+    diskfault max_line idle_timeout write_timeout drain_timeout workers
+    max_pending cache slice log_file verbose selftest clients jobs churn seed =
   (* a peer that vanishes mid-write must be an EPIPE, not a kill *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let log =
@@ -52,13 +52,20 @@ let main socket tcp journal journal_retain max_line idle_timeout write_timeout
       `Error (false, Printf.sprintf "%d mismatches" (List.length fs))
   end
   else begin
-    match
+    let tcp_ok =
       match tcp with
       | None -> Ok None
       | Some s -> Result.map Option.some (Runspec.hostport_of_string s)
-    with
-    | Error e -> `Error (true, "--tcp " ^ e)
-    | Ok tcp ->
+    in
+    let diskfault_ok =
+      match diskfault with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Serve.Diskfault.of_string s)
+    in
+    match (tcp_ok, diskfault_ok) with
+    | Error e, _ -> `Error (true, "--tcp " ^ e)
+    | _, Error e -> `Error (true, "--diskfault " ^ e)
+    | Ok tcp, Ok diskfault ->
       let config =
         { (Serve.Server.default_config ~socket_path:socket) with
           Serve.Server.workers =
@@ -74,23 +81,40 @@ let main socket tcp journal journal_retain max_line idle_timeout write_timeout
           drain_timeout;
           journal_path = journal;
           journal_retain;
+          replicas;
+          cluster;
+          (* a cluster member defaults its own address to the listen
+             socket — the common case when members share a host *)
+          self_addr =
+            (match (self, cluster) with
+            | (Some _ as s), _ -> s
+            | None, Some _ -> Some socket
+            | None, None -> None);
+          fsync;
+          diskfault;
           log }
       in
       Printf.printf "dfserve: listening on %s%s\n%!" socket
         (match tcp with
         | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p
         | None -> "");
-      Serve.Server.run config;
+      let server = Serve.Server.create config in
+      (* membership reload: SIGHUP re-reads the @FILE member list at
+         the loop's next iteration *)
+      Sys.set_signal Sys.sighup
+        (Sys.Signal_handle (fun _ -> Serve.Server.request_reload server));
+      Serve.Server.serve server;
       `Ok ()
   end
 
-let main_safe socket tcp journal journal_retain max_line idle_timeout
-    write_timeout drain_timeout workers max_pending cache slice log_file
-    verbose selftest clients jobs churn seed =
+let main_safe socket tcp journal journal_retain cluster self replicas fsync
+    diskfault max_line idle_timeout write_timeout drain_timeout workers
+    max_pending cache slice log_file verbose selftest clients jobs churn seed =
   try
-    main socket tcp journal journal_retain max_line idle_timeout write_timeout
-      drain_timeout workers max_pending cache slice log_file verbose selftest
-      clients jobs churn seed
+    main socket tcp journal journal_retain cluster self replicas fsync
+      diskfault max_line idle_timeout write_timeout drain_timeout workers
+      max_pending cache slice log_file verbose selftest clients jobs churn
+      seed
   with
   | Failure msg | Invalid_argument msg -> `Error (false, msg)
   | Unix.Unix_error (e, fn, arg) ->
@@ -124,6 +148,47 @@ let cmd =
              ~doc:"compact the journal on startup, keeping the newest N \
                    completed responses (plus every pending admission); \
                    without it the full history is kept")
+  in
+  let cluster =
+    Arg.(value & opt (some string) None
+         & info [ "cluster" ] ~docv:"A,B,C|@FILE"
+             ~doc:"replicated cluster membership (addresses \
+                   comma-separated or \\@FILE with one per line; must \
+                   include this member's own address).  Journal records \
+                   for idempotent jobs stream to the rendezvous-ranked \
+                   peers so they survive this member's disk; the \\@FILE \
+                   form is re-read on SIGHUP.  Requires --journal.")
+  in
+  let self =
+    Arg.(value & opt (some string) None
+         & info [ "self" ] ~docv:"ADDR"
+             ~doc:"this member's address as listed in --cluster \
+                   (default: the --socket path)")
+  in
+  let replicas =
+    Arg.(value & opt int 2
+         & info [ "replicas" ] ~docv:"R"
+             ~doc:"total journal copies per record, counting the local \
+                   append: each record streams to R-1 peers")
+  in
+  let fsync =
+    Arg.(value
+         & vflag None
+             [ ( Some true,
+                 info [ "fsync" ]
+                   ~doc:"fsync Admit/Done journal appends so acknowledged \
+                         records survive power loss (default when \
+                         --cluster is given)" );
+               ( Some false,
+                 info [ "no-fsync" ]
+                   ~doc:"never fsync journal appends (OS buffers only)" ) ])
+  in
+  let diskfault =
+    Arg.(value & opt (some string) None
+         & info [ "diskfault" ] ~docv:"SPEC"
+             ~doc:"seeded disk-fault injection on journal appends, e.g. \
+                   'seed=7 torn=0.03 enospc=0.03 rot=0.03 slow=0.05 \
+                   slow_s=0.002' (testing only)")
   in
   let max_line =
     Arg.(value & opt int (1 lsl 20)
@@ -209,9 +274,10 @@ let cmd =
   in
   let term =
     Term.(ret (const main_safe $ socket $ tcp $ journal $ journal_retain
-               $ max_line $ idle_timeout $ write_timeout $ drain_timeout
-               $ workers $ max_pending $ cache $ slice $ log_file $ verbose
-               $ selftest $ clients $ jobs $ churn $ seed))
+               $ cluster $ self $ replicas $ fsync $ diskfault $ max_line
+               $ idle_timeout $ write_timeout $ drain_timeout $ workers
+               $ max_pending $ cache $ slice $ log_file $ verbose $ selftest
+               $ clients $ jobs $ churn $ seed))
   in
   Cmd.v
     (Cmd.info "dfserve" ~version:"1.0"

@@ -204,6 +204,21 @@ let await t id =
 
 let rpc t req = await t (send t req)
 
+(* One connect, one request, one response — no backoff.  The replica
+   layer calls this from the event loop, where blocking on a slow or
+   dead peer must be bounded: a refused connect fails immediately and
+   [deadline] caps the await. *)
+let oneshot ?(retries = 0) ?deadline addr req =
+  match
+    let c = connect ~retries ~delay:0.05 ?deadline addr in
+    Fun.protect ~finally:(fun () -> close c) (fun () -> rpc c req)
+  with
+  | resp -> Ok resp
+  | exception Timeout -> Error "deadline expired"
+  | exception End_of_file -> Error "connection closed"
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
 (* ---------------- retry with backoff ---------------- *)
 
 type retry = {

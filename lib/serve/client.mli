@@ -75,6 +75,18 @@ val rpc : t -> Protocol.request -> Obs.Json.t
 val take_stashed : t -> int -> Obs.Json.t option
 (** Remove a previously-stashed response by id (non-blocking). *)
 
+val oneshot :
+  ?retries:int ->
+  ?deadline:float ->
+  string ->
+  Protocol.request ->
+  (Obs.Json.t, string) result
+(** Connect (default [retries = 0]: a refused endpoint fails
+    immediately), issue one request, await its response, close.  Every
+    transport failure — refused connect, deadline, peer close — comes
+    back as [Error reason] instead of an exception, so event-loop
+    callers (replication, probes) can treat a dead peer as data. *)
+
 (** {1 Retry} *)
 
 type retry = {

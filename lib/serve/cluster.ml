@@ -66,16 +66,13 @@ let mark_failed m =
 
 (* ---------------- routing ---------------- *)
 
-let score ~key addr =
-  Integrity.checksum_string (Printf.sprintf "%d|%s" key addr)
+(* delegate to the replica layer's string-keyed hash (the bytes hashed
+   are identical), so client-side routing and server-side replica
+   placement can never drift apart *)
+let score ~key addr = Replica.score ~key:(string_of_int key) addr
 
 let rendezvous_order ~key addrs =
-  List.stable_sort
-    (fun a b ->
-      match compare (score ~key b) (score ~key a) with
-      | 0 -> compare a b
-      | c -> c)
-    addrs
+  Replica.rendezvous_order ~key:(string_of_int key) addrs
 
 let routing_key program =
   match Server.program_key program with

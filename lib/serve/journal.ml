@@ -15,6 +15,8 @@ module J = Obs.Json
 
 let magic = "dfjent"
 
+exception Disk_fault of string
+
 type entry =
   | Admit of { idem : string; request : J.t }
   | Progress of { idem : string; checkpoint : J.t }
@@ -60,15 +62,20 @@ let frame entry =
 
 (* ---------------- replay ---------------- *)
 
+type damage = Intact | Damaged of { valid : int; size : int }
+
 (* Longest intact prefix of records; anything torn, truncated or
-   bit-rotted ends the replay. *)
-let entries_of_string text =
+   bit-rotted ends the replay.  Also reports how far the intact prefix
+   reaches, so a caller can tell a clean journal from one whose tail
+   was betrayed — the trigger for peer recovery. *)
+let scan text =
   let len = String.length text in
   let rec go pos acc =
-    if pos >= len then List.rev acc
+    let stop () = (List.rev acc, pos) in
+    if pos >= len then stop ()
     else
       match String.index_from_opt text pos '\n' with
-      | None -> List.rev acc (* torn header *)
+      | None -> stop () (* torn header *)
       | Some nl -> (
         let header = String.sub text pos (nl - pos) in
         match String.split_on_char ' ' header with
@@ -76,31 +83,44 @@ let entries_of_string text =
           match (int_of_string_opt crc_s, int_of_string_opt plen_s) with
           | Some crc, Some plen ->
             let start = nl + 1 in
-            if start + plen > len then List.rev acc (* torn payload *)
+            if plen < 0 || start + plen > len then stop () (* torn payload *)
             else
               let payload = String.sub text start plen in
-              if Integrity.checksum_string payload <> crc then List.rev acc
+              if Integrity.checksum_string payload <> crc then stop ()
               else (
                 match J.of_string payload with
-                | exception J.Parse_error _ -> List.rev acc
+                | exception J.Parse_error _ -> stop ()
                 | doc -> (
                   match entry_of_json doc with
                   | Ok e -> go (start + plen) (e :: acc)
-                  | Error _ -> List.rev acc))
-          | _ -> List.rev acc)
-        | _ -> List.rev acc)
+                  | Error _ -> stop ()))
+          | _ -> stop ())
+        | _ -> stop ())
   in
   go 0 []
 
-let replay path =
+let entries_of_string text = fst (scan text)
+
+let read_file path =
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | exception Sys_error _ -> []
-  | text -> entries_of_string text
+  | exception Sys_error _ -> None
+  | text -> Some text
+
+let replay path =
+  match read_file path with None -> [] | Some text -> entries_of_string text
+
+let replay_verified path =
+  match read_file path with
+  | None -> ([], Intact) (* a missing file is an empty journal *)
+  | Some text ->
+    let entries, valid = scan text in
+    if valid = String.length text then (entries, Intact)
+    else (entries, Damaged { valid; size = String.length text })
 
 (* ---------------- folding a replay into job state ---------------- *)
 
@@ -155,15 +175,64 @@ let fold entries =
   in
   { completed; pending }
 
+(* the folded state as a minimal entry list: bare Done records for the
+   dedup window, Admit (+ latest Progress) for each pending job — what
+   compaction writes and what peer recovery rebuilds a lost journal
+   from *)
+let entries_of_recovered rcv =
+  List.map
+    (fun (idem, response) ->
+      Done
+        { idem;
+          response;
+          digest = J.get_int (J.member "digest" response) })
+    rcv.completed
+  @ List.concat_map
+      (fun p ->
+        Admit { idem = p.p_idem; request = p.p_request }
+        ::
+        (match p.p_checkpoint with
+        | Some checkpoint -> [ Progress { idem = p.p_idem; checkpoint } ]
+        | None -> []))
+      rcv.pending
+
+(* ---------------- durable rewrites ---------------- *)
+
+let fsync_dir path =
+  (* best-effort: some filesystems refuse fsync on a directory fd *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+
+(* Write-temporary + fsync + rename + fsync-the-directory: a crash (or
+   power cut) mid-rewrite leaves either the old file or the new one,
+   never a hybrid and never a rename pointing at unsynced bytes. *)
+let write_atomic ~path entries =
+  let tmp = path ^ ".compact" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter (fun e -> output_string oc (frame e)) entries;
+      flush oc;
+      try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ());
+  Sys.rename tmp path;
+  fsync_dir path
+
 (* ---------------- compaction ---------------- *)
 
 (* Rewrite the journal as the folded state instead of the full history:
    the newest [retain] completed responses (the dedup retention window)
-   plus every pending admission with its latest checkpoint.  Written to
-   a temporary file and renamed into place, so a crash mid-compaction
-   leaves either the old journal or the new one, never a hybrid — and
-   the new file uses the same per-record framing, so the torn-tail
-   replay guarantees carry over unchanged. *)
+   plus every pending admission with its latest checkpoint.  Via
+   write_atomic, so a crash mid-compaction leaves either the old
+   journal or the new one — and the new file uses the same per-record
+   framing, so the torn-tail replay guarantees carry over unchanged.
+   Compaction also truncates any betrayed tail the replay refused,
+   giving the next generation's appends a clean frame boundary. *)
 let compact ~path ~retain =
   if retain < 0 then invalid_arg "Journal.compact: negative retention";
   let rcv = fold (replay path) in
@@ -175,45 +244,40 @@ let compact ~path ~retain =
       List.filteri (fun i _ -> i >= n - retain) rcv.completed
   in
   let rcv = { rcv with completed } in
-  let entries =
-    List.map
-      (fun (idem, response) ->
-        Done
-          { idem;
-            response;
-            digest = J.get_int (J.member "digest" response) })
-      rcv.completed
-    @ List.concat_map
-        (fun p ->
-          Admit { idem = p.p_idem; request = p.p_request }
-          ::
-          (match p.p_checkpoint with
-          | Some checkpoint -> [ Progress { idem = p.p_idem; checkpoint } ]
-          | None -> []))
-        rcv.pending
-  in
-  let tmp = path ^ ".compact" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      List.iter (fun e -> output_string oc (frame e)) entries;
-      flush oc);
-  Sys.rename tmp path;
+  write_atomic ~path (entries_of_recovered rcv);
   rcv
 
 (* ---------------- the live writer ---------------- *)
 
 type t = {
   oc : out_channel;
+  path : string;
+  fsync : bool;
+  diskfault : Diskfault.spec option;
   mutex : Mutex.t;  (** appends come from the event loop and from workers *)
   mutable appended : int;
 }
 
-let open_append path =
+let open_append ?(fsync = false) ?diskfault path =
   { oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path;
+    path;
+    fsync;
+    diskfault;
     mutex = Mutex.create ();
     appended = 0 }
+
+(* Progress records are per-slice and advisory (losing one only costs
+   recomputation); only the records that carry the exactly-once
+   contract pay for a disk sync. *)
+let synced_entry = function Admit _ | Done _ -> true | Progress _ -> false
+
+let sync t = try Unix.fsync (Unix.descr_of_out_channel t.oc) with Unix.Unix_error _ -> ()
+
+let rot_frame data bit =
+  let b = Bytes.of_string data in
+  let i = bit / 8 mod Bytes.length b in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+  Bytes.to_string b
 
 let append t entry =
   Mutex.lock t.mutex;
@@ -222,9 +286,41 @@ let append t entry =
     (fun () ->
       (* one write per record, flushed to the OS: a SIGKILL after this
          returns can tear at most the record being appended *)
-      output_string t.oc (frame entry);
-      flush t.oc;
-      t.appended <- t.appended + 1)
+      let data = frame entry in
+      let op = t.appended in
+      t.appended <- op + 1;
+      let finish data =
+        output_string t.oc data;
+        flush t.oc;
+        if t.fsync && synced_entry entry then sync t
+      in
+      let cut frac =
+        let len = String.length data in
+        String.sub data 0 (max 1 (min (len - 1) (int_of_float (frac *. float_of_int len))))
+      in
+      match
+        match t.diskfault with
+        | None -> Diskfault.Pass
+        | Some spec -> Diskfault.action spec ~op
+      with
+      | Diskfault.Pass -> finish data
+      | Diskfault.Rot bit ->
+        (* rot-at-rest, modeled at write time: the frame lands whole
+           but lying, and replay's CRC refuses it *)
+        finish (rot_frame data (bit mod (8 * String.length data)))
+      | Diskfault.Slow_sync s ->
+        output_string t.oc data;
+        flush t.oc;
+        Unix.sleepf s;
+        if t.fsync && synced_entry entry then sync t
+      | Diskfault.Torn frac ->
+        output_string t.oc (cut frac);
+        flush t.oc;
+        raise (Disk_fault (Printf.sprintf "torn write at record %d" op))
+      | Diskfault.Enospc frac ->
+        output_string t.oc (cut frac);
+        flush t.oc;
+        raise (Unix.Unix_error (Unix.ENOSPC, "write", t.path)))
 
 let appended t = t.appended
 

@@ -119,6 +119,9 @@ type request =
   | Sweep of sweep
   | Cancel of int
   | Migrate of string
+  | Replicate of { origin : string; entry : J.t }
+  | Recover of { origin : string }
+  | Members
   | Stats
   | Shutdown
 
@@ -164,6 +167,10 @@ let request_to_json ~id req =
     | Sweep s -> ("sweep", sweep_fields s)
     | Cancel target -> ("cancel", [ ("target", J.Int target) ])
     | Migrate idem -> ("migrate", [ ("idem", J.String idem) ])
+    | Replicate { origin; entry } ->
+      ("replicate", [ ("origin", J.String origin); ("entry", entry) ])
+    | Recover { origin } -> ("recover", [ ("origin", J.String origin) ])
+    | Members -> ("members", [])
     | Stats -> ("stats", [])
     | Shutdown -> ("shutdown", [])
   in
@@ -297,6 +304,16 @@ let request_of_json j =
       match J.get_string (J.member "idem" j) with
       | Some k -> Ok (id, Migrate k)
       | None -> Error "migrate: missing idem")
+    | "replicate" -> (
+      match (J.get_string (J.member "origin" j), J.member "entry" j) with
+      | Some origin, (J.Obj _ as entry) -> Ok (id, Replicate { origin; entry })
+      | None, _ -> Error "replicate: missing origin"
+      | _, _ -> Error "replicate: missing entry")
+    | "recover" -> (
+      match J.get_string (J.member "origin" j) with
+      | Some origin -> Ok (id, Recover { origin })
+      | None -> Error "recover: missing origin")
+    | "members" -> Ok (id, Members)
     | "stats" -> Ok (id, Stats)
     | "shutdown" -> Ok (id, Shutdown)
     | v -> Error (Printf.sprintf "unknown verb %S" v))
@@ -313,6 +330,7 @@ type error_kind =
   | Run_error
   | Shutting_down
   | Deadline
+  | Replica_error
 
 let error_kind_to_string = function
   | Bad_request -> "bad_request"
@@ -324,6 +342,7 @@ let error_kind_to_string = function
   | Run_error -> "run_error"
   | Shutting_down -> "shutting_down"
   | Deadline -> "deadline"
+  | Replica_error -> "replica_error"
 
 let error_kind_of_string = function
   | "bad_request" -> Some Bad_request
@@ -335,6 +354,7 @@ let error_kind_of_string = function
   | "run_error" -> Some Run_error
   | "shutting_down" -> Some Shutting_down
   | "deadline" -> Some Deadline
+  | "replica_error" -> Some Replica_error
   | _ -> None
 
 let ok ~id ~verb fields =

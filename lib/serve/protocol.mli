@@ -92,6 +92,19 @@ type request =
           (the job never ran here); ["done"] carries ["response"] (the
           recorded answer); ["running"] means a graph-engine job that
           cannot be preempted; ["not_found"] means no such key. *)
+  | Replicate of { origin : string; entry : Obs.Json.t }
+      (** append one {!Journal.entry} document on behalf of the member
+          at [origin] (its listen address): the receiver stores it in a
+          per-origin replica segment and acknowledges once the bytes
+          are down.  This is the quorum-replication verb — see
+          {!Replica}. *)
+  | Recover of { origin : string }
+      (** return every replica entry this member holds for [origin]
+          (folded to its minimal form), as [{"entries":[...]}] — how a
+          member that lost its disk rebuilds its journal from peers. *)
+  | Members
+      (** report the live membership view: self address, replication
+          factor, and per-peer health. *)
   | Stats
   | Shutdown
 
@@ -120,6 +133,10 @@ type error_kind =
   | Deadline
       (** the connection sat idle past the server's read/idle deadline;
           sent best-effort just before the close *)
+  | Replica_error
+      (** a replication verb the server cannot honor: it is not a
+          replicated cluster member, or the carried entry document is
+          malformed *)
 
 val error_kind_to_string : error_kind -> string
 val error_kind_of_string : string -> error_kind option

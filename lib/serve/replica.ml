@@ -1,0 +1,304 @@
+module J = Obs.Json
+
+(* Quorum journal replication for a dfserve cluster member.
+
+   Every journal record the member appends for an idempotency-keyed job
+   is also streamed — synchronously, one RPC per peer — to the R−1
+   peers that rendezvous-rank highest for this member's own address, so
+   the record survives the member's disk.  The placement is keyed by
+   the ORIGIN address, not the job key: one member's replicas live on a
+   stable peer set, which keeps segments per-origin (one file per
+   origin on each peer) and makes recovery a single "give me everything
+   you hold for me" sweep over the membership.
+
+   Replication is best-effort per append and quorum-counted, never
+   blocking: a peer that is down or slow costs one bounded RPC
+   (retries:0, short deadline) and a [degraded] tick.  That is safe —
+   not just expedient — because the engine is deterministic and clients
+   retry with idempotency keys: a record that missed its quorum is
+   re-derivable by re-running the request, so degraded mode weakens
+   durability, not correctness. *)
+
+type peer_state = Unknown | Up | Suspect | Down
+
+let peer_state_to_string = function
+  | Unknown -> "unknown"
+  | Up -> "up"
+  | Suspect -> "suspect"
+  | Down -> "down"
+
+type peer = { mutable oks : int; mutable fails : int; mutable streak : int }
+
+type t = {
+  self : string;
+  replicas : int;  (* R: total copies wanted, including the local one *)
+  deadline : float;
+  fsync : bool;
+  segments_dir : string option;
+  mutex : Mutex.t;
+  mutable members : string list;
+  peers : (string, peer) Hashtbl.t;
+  segments : (string, Journal.t) Hashtbl.t;  (* origin -> live writer *)
+  mutable sent : int;
+  mutable acked : int;
+  mutable degraded : int;  (* appends acknowledged below quorum *)
+}
+
+let create ~self ~replicas ?(deadline = 1.0) ?journal_path ?(fsync = false)
+    members =
+  if replicas < 1 then invalid_arg "Replica.create: replicas must be >= 1";
+  if not (List.mem self members) then
+    invalid_arg
+      (Printf.sprintf "Replica.create: self %S not in member list" self);
+  { self;
+    replicas;
+    deadline;
+    fsync;
+    segments_dir = Option.map (fun p -> p ^ ".replicas") journal_path;
+    mutex = Mutex.create ();
+    members;
+    peers = Hashtbl.create 8;
+    segments = Hashtbl.create 8;
+    sent = 0;
+    acked = 0;
+    degraded = 0 }
+
+let self t = t.self
+let replicas t = t.replicas
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let members t = locked t (fun () -> t.members)
+
+let set_members t members =
+  locked t (fun () ->
+      let old = t.members in
+      t.members <- members;
+      let joined = List.filter (fun m -> not (List.mem m old)) members in
+      let left = List.filter (fun m -> not (List.mem m members)) old in
+      List.iter (Hashtbl.remove t.peers) left;
+      (joined, left))
+
+(* ---------------- rendezvous placement ---------------- *)
+
+(* Highest-random-weight: each (key, addr) pair hashes independently,
+   so a membership change only re-homes the keys whose top-ranked
+   addresses actually changed.  Cluster's int-keyed score delegates
+   here — the bytes hashed are identical ("%d|%s"), so client-side
+   routing and server-side placement can never disagree. *)
+let score ~key addr = Integrity.checksum_string (key ^ "|" ^ addr)
+
+let rendezvous_order ~key addrs =
+  List.map fst
+    (List.stable_sort
+       (fun (a, sa) (b, sb) ->
+         match compare sb sa with 0 -> compare a b | c -> c)
+       (List.map (fun a -> (a, score ~key a)) addrs))
+
+let targets t =
+  let members = members t in
+  let others = List.filter (fun m -> m <> t.self) members in
+  let ranked = rendezvous_order ~key:t.self others in
+  List.filteri (fun i _ -> i < t.replicas - 1) ranked
+
+(* ---------------- peer health ---------------- *)
+
+let peer_of t addr =
+  match Hashtbl.find_opt t.peers addr with
+  | Some p -> p
+  | None ->
+    let p = { oks = 0; fails = 0; streak = 0 } in
+    Hashtbl.add t.peers addr p;
+    p
+
+let note t addr ok =
+  locked t (fun () ->
+      let p = peer_of t addr in
+      if ok then begin
+        p.oks <- p.oks + 1;
+        p.streak <- 0
+      end
+      else begin
+        p.fails <- p.fails + 1;
+        p.streak <- p.streak + 1
+      end)
+
+let peer_state t addr =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.peers addr with
+      | None -> Unknown
+      | Some p ->
+        if p.streak >= 2 then Down
+        else if p.streak = 1 then Suspect
+        else if p.oks > 0 then Up
+        else Unknown)
+
+(* ---------------- the replicate path ---------------- *)
+
+let replicate_ok resp =
+  Protocol.response_ok resp
+  && Option.value ~default:false (J.get_bool (J.member "stored" resp))
+
+let send_entry t ~target entry =
+  let req =
+    Protocol.Replicate { origin = t.self; entry = Journal.entry_to_json entry }
+  in
+  match Client.oneshot ~retries:0 ~deadline:t.deadline target req with
+  | Ok resp when replicate_ok resp -> true
+  | Ok _ | Error _ -> false
+
+let replicate t entry =
+  let acks =
+    List.fold_left
+      (fun acks target ->
+        let ok = send_entry t ~target entry in
+        note t target ok;
+        if ok then acks + 1 else acks)
+      0 (targets t)
+  in
+  locked t (fun () ->
+      t.sent <- t.sent + 1;
+      t.acked <- t.acked + acks;
+      (* quorum = R copies counting the local append *)
+      if acks + 1 < t.replicas then t.degraded <- t.degraded + 1);
+  acks
+
+(* Push one origin's folded entries at a named peer — the reload path
+   uses this to heal under-replication after a membership change. *)
+let push_to t ~target entries =
+  List.for_all
+    (fun e ->
+      let ok = send_entry t ~target e in
+      note t target ok;
+      ok)
+    entries
+
+(* ---------------- the storage side (peers keep our records) -------- *)
+
+let segment_path ~origin dir =
+  Filename.concat dir
+    (Printf.sprintf "%08x.wal" (Integrity.checksum_string origin land 0xffffffff))
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let segment t ~origin dir =
+  match Hashtbl.find_opt t.segments origin with
+  | Some w -> w
+  | None ->
+    ensure_dir dir;
+    (* replica segments inherit the member's fsync policy but never its
+       diskfault arming: injected faults model the member's OWN disk,
+       and arming them here would fault the copies that exist to
+       survive it *)
+    let w = Journal.open_append ~fsync:t.fsync (segment_path ~origin dir) in
+    Hashtbl.add t.segments origin w;
+    w
+
+let store t ~origin entry =
+  match t.segments_dir with
+  | None -> Error "member keeps no journal, cannot hold replicas"
+  | Some dir -> (
+    match
+      locked t (fun () -> Journal.append (segment t ~origin dir) entry)
+    with
+    | () -> Ok ()
+    | exception Journal.Disk_fault m -> Error m
+    | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    | exception Sys_error m -> Error m)
+
+let fetch_origin t ~origin =
+  match t.segments_dir with
+  | None -> []
+  | Some dir ->
+    locked t (fun () ->
+        (* flush the live writer so the replay sees every stored record *)
+        match Hashtbl.find_opt t.segments origin with
+        | Some w ->
+          Journal.close w;
+          Hashtbl.remove t.segments origin
+        | None -> ());
+    Journal.entries_of_recovered
+      (Journal.fold (Journal.replay (segment_path ~origin dir)))
+
+let compact_segments t ~retain =
+  match t.segments_dir with
+  | None -> ()
+  | Some dir ->
+    locked t (fun () ->
+        Hashtbl.iter (fun _ w -> Journal.close w) t.segments;
+        Hashtbl.reset t.segments);
+    if Sys.file_exists dir then
+      Array.iter
+        (fun name ->
+          if Filename.check_suffix name ".wal" then
+            ignore (Journal.compact ~path:(Filename.concat dir name) ~retain))
+        (Sys.readdir dir)
+
+(* ---------------- disk-loss recovery ---------------- *)
+
+(* Ask every peer for whatever it holds for us.  Peers may overlap
+   (membership changed, re-replication pushed copies around): the
+   caller folds the concatenation, and Journal.fold's dedup rules make
+   duplicates harmless. *)
+let recover_from_peers t =
+  let peers = List.filter (fun m -> m <> t.self) (members t) in
+  List.fold_left
+    (fun (entries, responded) peer ->
+      match
+        Client.oneshot ~retries:10 ~deadline:t.deadline peer
+          (Protocol.Recover { origin = t.self })
+      with
+      | Ok resp when Protocol.response_ok resp -> (
+        note t peer true;
+        match J.member "entries" resp with
+        | J.List docs ->
+          let fetched =
+            List.filter_map
+              (fun d -> Result.to_option (Journal.entry_of_json d))
+              docs
+          in
+          (entries @ fetched, responded + 1)
+        | _ -> (entries, responded + 1))
+      | Ok _ | Error _ ->
+        note t peer false;
+        (entries, responded))
+    ([], 0) peers
+
+(* ---------------- introspection ---------------- *)
+
+let stats_fields t =
+  locked t (fun () ->
+      [ ("replicas", J.Int t.replicas);
+        ("replica_sent", J.Int t.sent);
+        ("replica_acked", J.Int t.acked);
+        ("replica_degraded", J.Int t.degraded);
+        ("replica_segments", J.Int (Hashtbl.length t.segments)) ])
+
+let members_fields t =
+  let ms = members t in
+  let tgts = targets t in
+  [ ("self", J.String t.self);
+    ("replicas", J.Int t.replicas);
+    ( "members",
+      J.List
+        (List.map
+           (fun addr ->
+             J.Obj
+               [ ("addr", J.String addr);
+                 ( "state",
+                   J.String
+                     (if addr = t.self then "self"
+                      else peer_state_to_string (peer_state t addr)) );
+                 ("target", J.Bool (List.mem addr tgts)) ])
+           ms) ) ]
+
+let close t =
+  locked t (fun () ->
+      Hashtbl.iter (fun _ w -> Journal.close w) t.segments;
+      Hashtbl.reset t.segments)

@@ -1,0 +1,118 @@
+(** Quorum journal replication: a cluster member's records survive the
+    loss of its disk.
+
+    Each journal record a member appends for an idempotency-keyed job
+    is streamed to the R−1 peers that rendezvous-rank highest for the
+    member's {e own} address ([--replicas R] copies total, counting the
+    local append).  Placement keyed by origin keeps one member's
+    replicas on a stable peer set and lets each peer hold them in a
+    single per-origin segment file — a plain {!Journal} with the same
+    framing, compaction and torn-tail replay rules as the primary.
+
+    Replication is synchronous and quorum-{e counted}, never
+    quorum-{e blocking}: each peer costs one bounded RPC (no retries, a
+    short deadline), and an append that lands on fewer than R copies
+    ticks [degraded] instead of failing admission.  Degraded mode
+    weakens durability only — the engine is deterministic and clients
+    retry under idempotency keys, so any record that missed its quorum
+    is re-derivable bit-identically by re-running the request.
+
+    Recovery inverts the flow: a member that starts with a missing or
+    damaged journal asks {e every} peer for the entries held under its
+    origin ({!recover_from_peers}, the [recover] verb), folds the union
+    with whatever survived locally ({!Journal.fold} collapses
+    duplicates), and rewrites its journal from the result. *)
+
+type t
+
+val create :
+  self:string ->
+  replicas:int ->
+  ?deadline:float ->
+  ?journal_path:string ->
+  ?fsync:bool ->
+  string list ->
+  t
+(** A replication context for the member listening at [self], which
+    must appear in the member list.  [replicas] is R, total copies
+    including the local append; [deadline] (default 1 s) bounds each
+    peer RPC; [journal_path] roots the replica segment directory at
+    [<journal_path>.replicas/] (no path: this member can replicate out
+    but holds no segments); [fsync] applies the member's sync policy to
+    its segment appends.
+    @raise Invalid_argument when [replicas < 1] or [self] is not a
+    member. *)
+
+val self : t -> string
+val replicas : t -> int
+val members : t -> string list
+
+val set_members : t -> string list -> string list * string list
+(** Install a new membership view (the SIGHUP reload); returns
+    [(joined, left)].  Health tallies of departed peers are dropped. *)
+
+(** {1 Placement} *)
+
+val score : key:string -> string -> int
+(** The rendezvous hash of (key, member address) — the same bytes
+    {!Cluster}'s job routing hashes, so client-side routing and
+    server-side placement can never disagree. *)
+
+val rendezvous_order : key:string -> string list -> string list
+(** Members sorted by descending {!score} for [key] (ties by address):
+    element 0 is the key's home, the rest the failover/replica order. *)
+
+val targets : t -> string list
+(** The R−1 peers (fewer, in a small cluster) this member replicates
+    to right now: the top of {!rendezvous_order} keyed by [self] over
+    the current members, excluding [self]. *)
+
+(** {1 Replicating out} *)
+
+val replicate : t -> Journal.entry -> int
+(** Stream one record to every target; returns the number of peer
+    acks.  Counts [degraded] when [acks + 1 < replicas].  Bounded:
+    a dead peer costs one refused connect, a slow one [deadline]
+    seconds. *)
+
+val push_to : t -> target:string -> Journal.entry list -> bool
+(** Replicate a batch at one named peer (the under-replication healer
+    after a membership change); [true] iff every entry was stored. *)
+
+(** {1 Holding peers' records} *)
+
+val store : t -> origin:string -> Journal.entry -> (unit, string) result
+(** Append one record to [origin]'s segment (the [replicate] verb's
+    receiving side), creating the segment directory and file lazily. *)
+
+val fetch_origin : t -> origin:string -> Journal.entry list
+(** Everything held for [origin], folded to its minimal entry form
+    (the [recover] verb's serving side).  Closes the live segment
+    writer first so the replay sees every stored byte. *)
+
+val compact_segments : t -> retain:int -> unit
+(** Compact every held segment with the primary journal's retention
+    rules — replicas shed superseded history on the same schedule as
+    the journal they mirror. *)
+
+(** {1 Recovering} *)
+
+val recover_from_peers : t -> Journal.entry list * int
+(** Ask every current peer for this member's entries; returns the
+    concatenation (fold it — overlapping copies collapse) and how many
+    peers responded.  Patient, unlike {!replicate}: peers are expected
+    to be up when a member rejoins, so refused connects retry. *)
+
+(** {1 Introspection} *)
+
+val stats_fields : t -> (string * Obs.Json.t) list
+(** Replication counters for the [stats] verb: sent/acked/degraded and
+    held-segment count. *)
+
+val members_fields : t -> (string * Obs.Json.t) list
+(** The [members] verb's payload: self, R, and per-member address,
+    health ([self]/[up]/[suspect]/[down]/[unknown]) and whether it is
+    a current replication target. *)
+
+val close : t -> unit
+(** Close all held segment writers. *)

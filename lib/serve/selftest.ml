@@ -197,10 +197,22 @@ let run ?(clients = 4) ?(jobs_per_client = 6) ?(workers = 3) ?(seed = 1)
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "dfserve-selftest-%d.sock" (Unix.getpid ()))
   in
+  (* the soak runs over a journal on a lying disk: seeded torn writes,
+     ENOSPC, bit rot and slow syncs on every append.  Bit-identity of
+     the served responses must hold anyway — append failures degrade
+     durability, never answers. *)
+  let journal =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dfserve-selftest-%d.wal" (Unix.getpid ()))
+  in
+  (try Sys.remove journal with Sys_error _ -> ());
   let config =
     { (Server.default_config ~socket_path:socket) with
       Server.workers;
       max_pending = clients * jobs_per_client + 8;
+      journal_path = Some journal;
+      diskfault = Some (Diskfault.hostile ~seed);
       log }
   in
   let server = Server.create config in
@@ -211,7 +223,8 @@ let run ?(clients = 4) ?(jobs_per_client = 6) ?(workers = 3) ?(seed = 1)
        ignore (Client.rpc conn P.Shutdown);
        Client.close conn
      with _ -> ());
-    Domain.join server_domain
+    Domain.join server_domain;
+    try Sys.remove journal with Sys_error _ -> ()
   in
   Fun.protect ~finally:finish (fun () ->
       let sessions =

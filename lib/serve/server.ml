@@ -19,6 +19,11 @@ type config = {
   drain_timeout : float;
   journal_path : string option;
   journal_retain : int option;
+  replicas : int;
+  cluster : string option;
+  self_addr : string option;
+  fsync : bool option;
+  diskfault : Diskfault.spec option;
   log : out_channel option;
 }
 
@@ -35,6 +40,11 @@ let default_config ~socket_path =
     drain_timeout = 30.0;
     journal_path = None;
     journal_retain = None;
+    replicas = 2;
+    cluster = None;
+    self_addr = None;
+    fsync = None;
+    diskfault = None;
     log = None }
 
 (* ---------------- request resolution ---------------- *)
@@ -218,6 +228,9 @@ type t = {
   pool : Exec.Pool.t;
   cache : (int, PC.compiled) Lru.t;
   journal : Journal.t option;
+  replica : Replica.t option;
+  cluster_file : string option;  (* the @FILE form: re-read on SIGHUP *)
+  reload : bool Atomic.t;
   idem : (string, idem_state) Hashtbl.t;
   rqueue : job Queue.t;  (* journal replays and orphaned admissions *)
   clients : (int, client) Hashtbl.t;
@@ -242,17 +255,22 @@ type t = {
   mutable n_deduped : int;
   mutable n_replayed : int;
   mutable n_migrated : int;
+  n_jerrors : int Atomic.t;  (* atomic: appends also fail in workers *)
+  mutable n_recovered : int;
+  mutable n_rereplicated : int;
 }
 
-let logf t fmt =
+let logf_cfg cfg fmt =
   Printf.ksprintf
     (fun s ->
-      match t.cfg.log with
+      match cfg.log with
       | None -> ()
       | Some oc ->
         output_string oc ("dfserve: " ^ s ^ "\n");
         flush oc)
     fmt
+
+let logf t fmt = logf_cfg t.cfg fmt
 
 let inet_of host =
   match Unix.inet_addr_of_string host with
@@ -519,7 +537,11 @@ let stats_fields t =
     ("queue_depth", J.Int t.queued);
     ("in_flight", J.Int t.in_flight);
     ("workers", J.Int t.cfg.workers);
-    ("clients", J.Int (Hashtbl.length t.clients)) ]
+    ("clients", J.Int (Hashtbl.length t.clients));
+    ("journal_errors", J.Int (Atomic.get t.n_jerrors));
+    ("recovered_entries", J.Int t.n_recovered);
+    ("rereplicated", J.Int t.n_rereplicated) ]
+  @ match t.replica with Some rep -> Replica.stats_fields rep | None -> []
 
 let handle_compile t c id program =
   match compile_cached t program with
@@ -547,6 +569,33 @@ let handle_compile t c id program =
 
 let overloaded t =
   Printf.sprintf "%d jobs pending (max %d)" t.queued t.cfg.max_pending
+
+(* A journal the disk betrayed must not take admission down with it:
+   the append failure is counted and logged, and the record still goes
+   out to the replication quorum — local durability degrades, cluster
+   durability holds (and either way the engine's determinism means an
+   idempotent retry recomputes the identical answer). *)
+let journal_append t entry =
+  match t.journal with
+  | None -> ()
+  | Some jr -> (
+    match Journal.append jr entry with
+    | () -> ()
+    | exception Journal.Disk_fault m ->
+      Atomic.incr t.n_jerrors;
+      logf t "journal: %s" m
+    | exception Unix.Unix_error (e, fn, _) ->
+      Atomic.incr t.n_jerrors;
+      logf t "journal: %s: %s" fn (Unix.error_message e)
+    | exception Sys_error m ->
+      Atomic.incr t.n_jerrors;
+      logf t "journal: %s" m)
+
+let journal_and_replicate t entry =
+  journal_append t entry;
+  match t.replica with
+  | None -> ()
+  | Some rep -> ignore (Replica.replicate rep entry)
 
 let handle_simulate t c id (r : P.run) =
   match r.P.idem with
@@ -604,10 +653,10 @@ let handle_simulate t c id (r : P.run) =
             let name = program_name r.P.program in
             let progress =
               match (r.P.idem, t.journal) with
-              | Some idem, Some jr ->
+              | Some idem, Some _ ->
                 Some
                   (fun ck ->
-                    Journal.append jr
+                    journal_and_replicate t
                       (Journal.Progress { idem; checkpoint = ck }))
               | _ -> None
             in
@@ -628,11 +677,13 @@ let handle_simulate t c id (r : P.run) =
                     ~sanitize:r.P.sanitize ~slice:t.cfg.slice ~graph ~inputs
                     ~name ~hit ~key ~progress ~restore }
             in
-            (* WAL discipline: the admission is durable before the job is *)
-            (match (r.P.idem, t.journal) with
-            | Some idem, Some jr ->
-              Journal.append jr (Journal.Admit { idem; request })
-            | _ -> ());
+            (* WAL discipline: the admission is durable — locally and,
+               in a replicated cluster, on the quorum peers — before
+               the job is queued *)
+            (match r.P.idem with
+            | Some idem ->
+              journal_and_replicate t (Journal.Admit { idem; request })
+            | None -> ());
             (match r.P.idem with
             | Some k -> Hashtbl.replace t.idem k (I_pending job)
             | None -> ());
@@ -848,15 +899,10 @@ let deliver t (job, result) =
         | Some (J.Int d) -> Some d
         | _ -> None
       in
-      (match t.journal with
-      | Some jr -> Journal.append jr (Journal.Done { idem; response; digest })
-      | None -> ());
+      journal_and_replicate t (Journal.Done { idem; response; digest });
       Hashtbl.replace t.idem idem (I_done response)
     | R_error _ ->
-      (match t.journal with
-      | Some jr ->
-        Journal.append jr (Journal.Done { idem; response; digest = None })
-      | None -> ());
+      journal_and_replicate t (Journal.Done { idem; response; digest = None });
       Hashtbl.replace t.idem idem (I_done response)
     | R_preempted _ ->
       (* not a final answer: leave the admission pending so a retry —
@@ -896,6 +942,40 @@ let deliver t (job, result) =
     send_json t c (P.with_id job.jid response)
   | _ -> ());
   answer_waiters t job (fun rid -> P.with_id rid response)
+
+(* ---------------- replication verbs ---------------- *)
+
+let not_replicated t c id =
+  send_json t c (P.error ~id P.Replica_error "not a replicated cluster member")
+
+let handle_replicate t c id ~origin entry =
+  match t.replica with
+  | None -> not_replicated t c id
+  | Some rep -> (
+    match Journal.entry_of_json entry with
+    | Error e -> send_json t c (P.error ~id P.Replica_error ("bad entry: " ^ e))
+    | Ok e -> (
+      match Replica.store rep ~origin e with
+      | Ok () ->
+        send_json t c (P.ok ~id ~verb:"replicate" [ ("stored", J.Bool true) ])
+      | Error m -> send_json t c (P.error ~id P.Replica_error m)))
+
+let handle_recover t c id ~origin =
+  match t.replica with
+  | None -> not_replicated t c id
+  | Some rep ->
+    let entries = Replica.fetch_origin rep ~origin in
+    logf t "recover: serving %d entries for %s" (List.length entries) origin;
+    send_json t c
+      (P.ok ~id ~verb:"recover"
+         [ ("origin", J.String origin);
+           ("entries", J.List (List.map Journal.entry_to_json entries)) ])
+
+let handle_members t c id =
+  match t.replica with
+  | None -> not_replicated t c id
+  | Some rep ->
+    send_json t c (P.ok ~id ~verb:"members" (Replica.members_fields rep))
 
 let drain_completions t =
   (* clear the wakeup byte(s) first so no notification is lost *)
@@ -965,10 +1045,10 @@ let replay_recovered t (rcv : Journal.recovered) =
             in
             let progress =
               match t.journal with
-              | Some jr ->
+              | Some _ ->
                 Some
                   (fun ck ->
-                    Journal.append jr
+                    journal_and_replicate t
                       (Journal.Progress
                          { idem = p.Journal.p_idem; checkpoint = ck }))
               | None -> None
@@ -1010,6 +1090,34 @@ let create cfg =
   (match cfg.idle_timeout with
   | Some i when i <= 0.0 -> invalid_arg "Server.create: idle_timeout <= 0"
   | _ -> ());
+  if cfg.replicas < 1 then invalid_arg "Server.create: replicas < 1";
+  (* cluster membership: a member must know its own listen address
+     (rendezvous placement keys on it) and must keep a journal (it
+     holds peers' replica segments next to its own WAL) *)
+  let cluster_members, cluster_file =
+    match cfg.cluster with
+    | None -> (None, None)
+    | Some spec -> (
+      let file =
+        if String.length spec > 1 && spec.[0] = '@' then
+          Some (String.sub spec 1 (String.length spec - 1))
+        else None
+      in
+      match Runspec.members_of_string spec with
+      | Ok ms -> (Some ms, file)
+      | Error e -> invalid_arg ("Server.create: cluster: " ^ e))
+  in
+  (match cluster_members with
+  | Some _ when cfg.self_addr = None ->
+    invalid_arg "Server.create: a cluster member needs its self address"
+  | Some _ when cfg.journal_path = None ->
+    invalid_arg "Server.create: a cluster member needs a journal"
+  | _ -> ());
+  (* replicated members default to synced appends: an acknowledged
+     record should survive power loss, not just SIGKILL *)
+  let fsync =
+    match cfg.fsync with Some b -> b | None -> cluster_members <> None
+  in
   let unix_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   Unix.bind unix_fd (Unix.ADDR_UNIX cfg.socket_path);
@@ -1032,19 +1140,61 @@ let create cfg =
   (match cfg.journal_retain with
   | Some r when r < 0 -> invalid_arg "Server.create: journal_retain < 0"
   | _ -> ());
-  let journal, recovered =
+  let replica =
+    match (cluster_members, cfg.self_addr) with
+    | Some members, Some self ->
+      Some
+        (Replica.create ~self ~replicas:cfg.replicas
+           ?journal_path:cfg.journal_path ~fsync members)
+    | _ -> None
+  in
+  let journal, recovered, fetched_entries =
     match cfg.journal_path with
-    | None -> (None, { Journal.completed = []; pending = [] })
+    | None -> (None, { Journal.completed = []; pending = [] }, 0)
     | Some path ->
+      let existed = Sys.file_exists path in
+      let local, damage = Journal.replay_verified path in
+      (* a missing or damaged journal on a cluster member is the
+         disk-loss case: rebuild from whatever the peers hold for us
+         before opening for append.  (A fresh first boot looks the
+         same — the peers just hold nothing yet.) *)
+      let fetched =
+        match replica with
+        | Some rep when (not existed) || damage <> Journal.Intact ->
+          let entries, responders = Replica.recover_from_peers rep in
+          (match damage with
+          | Journal.Damaged { valid; size } ->
+            logf_cfg cfg
+              "journal: damaged (%d/%d bytes intact); %d entries from %d peers"
+              valid size (List.length entries) responders
+          | Journal.Intact ->
+            logf_cfg cfg "journal: absent; %d entries from %d peers"
+              (List.length entries) responders);
+          entries
+        | _ -> []
+      in
+      (* rewrite when recovery fetched anything or the tail was
+         damaged: the fold collapses local/replica duplicates, and the
+         atomic rewrite sheds the refused tail so the coming appends
+         land on a clean frame boundary *)
+      if fetched <> [] || damage <> Journal.Intact then
+        Journal.write_atomic ~path
+          (Journal.entries_of_recovered (Journal.fold (local @ fetched)));
       (* with a retention window, restart is also when the log is
          rewritten: old done records fall out, pending admissions and
          the newest responses survive *)
       let recovered =
         match cfg.journal_retain with
-        | Some retain -> Journal.compact ~path ~retain
+        | Some retain ->
+          (match replica with
+          | Some rep -> Replica.compact_segments rep ~retain
+          | None -> ());
+          Journal.compact ~path ~retain
         | None -> Journal.fold (Journal.replay path)
       in
-      (Some (Journal.open_append path), recovered)
+      ( Some (Journal.open_append ~fsync ?diskfault:cfg.diskfault path),
+        recovered,
+        List.length fetched )
   in
   let pipe_r, pipe_w = Unix.pipe () in
   let t =
@@ -1056,6 +1206,9 @@ let create cfg =
       pool = Exec.Pool.create ~workers:cfg.workers ();
       cache = Lru.create ~capacity:cfg.cache_capacity;
       journal;
+      replica;
+      cluster_file;
+      reload = Atomic.make false;
       idem = Hashtbl.create 64;
       rqueue = Queue.create ();
       clients = Hashtbl.create 16;
@@ -1079,7 +1232,10 @@ let create cfg =
       n_deadline = 0;
       n_deduped = 0;
       n_replayed = 0;
-      n_migrated = 0 }
+      n_migrated = 0;
+      n_jerrors = Atomic.make 0;
+      n_recovered = fetched_entries;
+      n_rereplicated = 0 }
   in
   (match (recovered.Journal.completed, recovered.Journal.pending) with
   | [], [] -> ()
@@ -1135,6 +1291,11 @@ let handle_line t c line =
           initiate_shutdown t
         | P.Cancel target -> handle_cancel t c id target
         | P.Migrate idem -> handle_migrate t c id idem
+        (* replication traffic is control-plane: accepted even while
+           stopping, so a draining peer keeps honoring the quorum *)
+        | P.Replicate { origin; entry } -> handle_replicate t c id ~origin entry
+        | P.Recover { origin } -> handle_recover t c id ~origin
+        | P.Members -> handle_members t c id
         | P.Simulate r -> handle_simulate t c id r
         | P.Sweep s -> handle_sweep t c id s
         | P.Compile program ->
@@ -1259,6 +1420,65 @@ let select_timeout t now =
   | _ -> ());
   if !nearest = infinity then -1.0 else Float.max 0.02 !nearest
 
+(* ---------------- membership reload (SIGHUP) ---------------- *)
+
+let request_reload t =
+  Atomic.set t.reload true;
+  (* wake the select; the loop drains the byte like any completion *)
+  try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+(* After a membership change the rendezvous targets may have moved:
+   push the whole live idempotency table (recorded responses + pending
+   admissions) at the new target set.  Entries the old targets already
+   hold get duplicated on the wire and collapse in the fold — cheap
+   insurance against under-replication, not a consistency hazard. *)
+let re_replicate t rep =
+  let entries =
+    Hashtbl.fold
+      (fun idem st acc ->
+        match st with
+        | I_done response ->
+          Journal.Done
+            { idem; response; digest = J.get_int (J.member "digest" response) }
+          :: acc
+        | I_pending job -> (
+          match job.jrequest with
+          | Some request -> Journal.Admit { idem; request } :: acc
+          | None -> acc))
+      t.idem []
+  in
+  if entries <> [] then begin
+    List.iter
+      (fun target ->
+        if not (Replica.push_to rep ~target entries) then
+          logf t "reload: re-replication to %s incomplete" target)
+      (Replica.targets rep);
+    t.n_rereplicated <- t.n_rereplicated + List.length entries
+  end
+
+let do_reload t =
+  match (t.replica, t.cluster_file) with
+  | Some rep, Some file -> (
+    match Runspec.members_of_string ("@" ^ file) with
+    | Error e -> logf t "reload: %s; keeping old membership" e
+    | Ok members ->
+      if not (List.mem (Replica.self rep) members) then
+        logf t "reload: self %s missing from %s; keeping old membership"
+          (Replica.self rep) file
+      else begin
+        let joined, left = Replica.set_members rep members in
+        if joined = [] && left = [] then logf t "reload: membership unchanged"
+        else begin
+          logf t "reload: %d members (joined: %s; left: %s)"
+            (List.length members)
+            (String.concat "," joined) (String.concat "," left);
+          re_replicate t rep
+        end
+      end)
+  | Some _, None -> logf t "reload: static member list (not @FILE); ignored"
+  | _ -> logf t "reload: not a replicated cluster member; ignored"
+
 let serve t =
   logf t
     "listening on %s%s (%d workers, max_pending %d, cache %d, slice %d%s)"
@@ -1273,6 +1493,7 @@ let serve t =
   if not (Queue.is_empty t.rqueue) then dispatch t;
   let finished () = t.stopping && t.in_flight = 0 && t.queued = 0 in
   while not (finished ()) do
+    if Atomic.exchange t.reload false then do_reload t;
     let now = Unix.gettimeofday () in
     sweep_deadlines t now;
     (match t.drain_deadline with
@@ -1326,6 +1547,7 @@ let serve t =
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
   Exec.Pool.shutdown t.pool;
   (match t.journal with Some jr -> Journal.close jr | None -> ());
+  (match t.replica with Some rep -> Replica.close rep | None -> ());
   (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
   (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
   logf t "stopped after %d requests (%d completed, %d rejected)"

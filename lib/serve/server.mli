@@ -70,6 +70,22 @@ type config = {
       (** compact the journal on startup, keeping only this many of the
           newest completed responses (plus every pending admission);
           [None] keeps the full history *)
+  replicas : int;
+      (** R: total journal copies per record, counting the local append
+          — each record streams to the R−1 rendezvous-ranked peers (see
+          {!Replica}); only meaningful with [cluster] *)
+  cluster : string option;
+      (** membership spec ({!Runspec.members_of_string}: [a,b,c] or
+          [@FILE]); the [@FILE] form is re-read on {!request_reload}
+          (the SIGHUP path).  Requires [self_addr] and [journal_path]. *)
+  self_addr : string option;
+      (** this member's own address as it appears in the member list *)
+  fsync : bool option;
+      (** sync Admit/Done appends to the platter, not just the OS
+          ([None] = on iff clustered): an acknowledged record then
+          survives power loss, not just SIGKILL *)
+  diskfault : Diskfault.spec option;
+      (** seeded fault injection on every journal append *)
   log : out_channel option;  (** one line per lifecycle event *)
 }
 
@@ -77,14 +93,21 @@ val default_config : socket_path:string -> config
 (** [workers = Exec.Pool.default_jobs ()], [max_pending = 64],
     [cache_capacity = 32], [slice = 5000], no TCP, [max_line] = 1 MiB,
     [idle_timeout] = 60 s, [write_timeout] = 10 s, [drain_timeout] =
-    30 s, no journal, unbounded journal retention, no log. *)
+    30 s, no journal, unbounded journal retention, [replicas = 2] but
+    no cluster, auto fsync, no disk faults, no log. *)
 
 type t
 
 val create : config -> t
 (** Bind and listen (replacing any stale socket file), open and replay
-    the journal if configured, and spawn the worker pool.
-    @raise Unix.Unix_error when a path or port is unusable. *)
+    the journal if configured, and spawn the worker pool.  A cluster
+    member whose journal is missing or damaged first rebuilds it from
+    its peers' replicas ({!Replica.recover_from_peers}): the dedup
+    window and every pending admission survive the loss of the disk,
+    machine jobs resuming from their replicated checkpoints.
+    @raise Unix.Unix_error when a path or port is unusable.
+    @raise Invalid_argument on an inconsistent cluster config (no
+    [self_addr], no journal, self not in the member list). *)
 
 val tcp_port : t -> int option
 (** The bound TCP port, when a [tcp] listener was configured — the way
@@ -101,6 +124,14 @@ val serve : t -> unit
 
 val run : config -> unit
 (** [serve (create config)]. *)
+
+val request_reload : t -> unit
+(** Ask the event loop to re-read the [@FILE] membership list at its
+    next iteration (async-signal-safe: a flag plus a self-pipe wakeup —
+    [bin/dfserve] calls this from its SIGHUP handler).  Joins and
+    leaves re-home the rendezvous targets, and the live idempotency
+    table is re-pushed at the new target set so entries the change
+    left under-replicated regain their quorum. *)
 
 val config_of_run :
   Protocol.run -> (Run_config.t * Machine.Arch.t, string) result

@@ -310,6 +310,124 @@ let compact_roundtrip =
                prefix (frames torn) (frames whole)
              end))
 
+(* --- a lying disk ---------------------------------------------------- *)
+
+module DF = Serve.Diskfault
+
+(* The readable prefix under an armed writer, predicted purely from the
+   spec: every append's fate is Diskfault.action (seed, ordinal), so
+   the first rot / torn / ENOSPC decides where replay must stop. *)
+let predict_readable spec entries =
+  let rec go op acc = function
+    | [] -> List.rev acc
+    | e :: rest -> (
+      match DF.action spec ~op with
+      | DF.Pass | DF.Slow_sync _ -> go (op + 1) (e :: acc) rest
+      | DF.Rot _ | DF.Torn _ | DF.Enospc _ -> List.rev acc)
+  in
+  go 0 [] entries
+
+let write_faulted spec path entries =
+  (try Sys.remove path with Sys_error _ -> ());
+  let jr = Journal.open_append ~diskfault:spec path in
+  (try List.iter (Journal.append jr) entries with
+  | Journal.Disk_fault _ -> ()
+  | Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+  Journal.close jr
+
+(* torn writes, ENOSPC partial writes and bit rot on random journals:
+   replay yields exactly the pre-fault prefix, and the damage verdict
+   tells recovery it has something to heal — never a silent loss *)
+let diskfault_replay =
+  QCheck.Test.make ~count:150
+    ~name:"diskfault: replay = fault-free prefix, damage never silent"
+    (QCheck.make
+       QCheck.Gen.(pair gen_entries (int_range 0 1_000_000))
+       ~print:(fun (es, seed) ->
+         Printf.sprintf "%d entries seed %d" (List.length es) seed))
+    (fun (entries, seed) ->
+      let spec =
+        { DF.none with
+          DF.df_seed = seed;
+          torn_prob = 0.2;
+          enospc_prob = 0.2;
+          rot_prob = 0.2 }
+      in
+      let path = Filename.temp_file "journal-qc-df" ".wal" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          write_faulted spec path entries;
+          let want = predict_readable spec entries in
+          (* a fault of any kind leaves betrayed bytes after the prefix
+             (torn/ENOSPC write at least one byte, rot a whole frame) *)
+          let faulted = List.length want < List.length entries in
+          let got, damage = Journal.replay_verified path in
+          frames got = frames want
+          &&
+          match damage with
+          | Journal.Intact -> not faulted
+          | Journal.Damaged { valid; size } ->
+            faulted
+            && valid = String.length (String.concat "" (frames want))
+            && size > valid))
+
+(* the replication contract: the peer stream saw every record the local
+   disk betrayed, so folding (local survivors @ replica copies) must
+   equal folding the clean history — recovery converges, bit for bit,
+   and the rewritten journal is intact *)
+let diskfault_recovery_merge =
+  QCheck.Test.make ~count:150
+    ~name:"diskfault + replica merge: recovered state = clean fold"
+    (QCheck.make
+       QCheck.Gen.(pair gen_entries (int_range 0 1_000_000))
+       ~print:(fun (es, seed) ->
+         Printf.sprintf "%d entries seed %d" (List.length es) seed))
+    (fun (entries, seed) ->
+      let spec =
+        { DF.none with
+          DF.df_seed = seed;
+          torn_prob = 0.25;
+          enospc_prob = 0.25;
+          rot_prob = 0.25 }
+      in
+      let path = Filename.temp_file "journal-qc-dfr" ".wal" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          write_faulted spec path entries;
+          let local, _damage = Journal.replay_verified path in
+          let merged = Journal.fold (local @ entries) in
+          fingerprint merged = fingerprint (Journal.fold entries)
+          && begin
+               (* the disk-loss rewrite: minimal entries, atomic, intact *)
+               Journal.write_atomic ~path
+                 (Journal.entries_of_recovered merged);
+               let back, damage = Journal.replay_verified path in
+               damage = Journal.Intact
+               && fingerprint (Journal.fold back) = fingerprint merged
+             end))
+
+(* fsync-armed appends go through the Unix.fsync path; behavior must be
+   byte-identical to the unsynced writer *)
+let test_fsync_append () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "journal-fsync-%d.wal" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let jr = Journal.open_append ~fsync:true path in
+      List.iter (Journal.append jr) sample_entries;
+      Journal.close jr;
+      Alcotest.(check (list string))
+        "synced file replays every record" (frames sample_entries)
+        (frames (Journal.replay path));
+      check "synced file is intact" true
+        (snd (Journal.replay_verified path) = Journal.Intact))
+
 (* --- the resume property -------------------------------------------- *)
 
 (* What journal replay does with a Progress entry: restore the snapshot
@@ -374,5 +492,9 @@ let suite =
     Alcotest.test_case "compact: retention window, pending kept, atomic"
       `Quick test_compact;
     QCheck_alcotest.to_alcotest compact_roundtrip;
+    QCheck_alcotest.to_alcotest diskfault_replay;
+    QCheck_alcotest.to_alcotest diskfault_recovery_merge;
+    Alcotest.test_case "fsync: synced appends replay identically" `Quick
+      test_fsync_append;
     Alcotest.test_case "resume: every checkpoint prefix reaches the one-shot \
                         digest" `Quick test_checkpoint_prefix_resume ]

@@ -25,4 +25,5 @@ let () =
       ("exec.arena", Test_arena.suite);
       ("serve", Test_serve.suite);
       ("serve.journal", Test_journal.suite);
+      ("serve.replica", Test_replica.suite);
     ]

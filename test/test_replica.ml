@@ -1,0 +1,208 @@
+(* Journal replication: rendezvous placement, the diskfault spec
+   language, and the whole disk-loss story against real in-process
+   servers — a member's journal directory is destroyed and its dedup
+   window must come back from a peer's replicas, bit for bit. *)
+
+module J = Obs.Json
+module P = Serve.Protocol
+module Replica = Serve.Replica
+module DF = Serve.Diskfault
+module Journal = Serve.Journal
+module Server = Serve.Server
+module Client = Serve.Client
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- placement -------------------------------------------------------- *)
+
+let test_rendezvous () =
+  let members = [ "alpha"; "bravo"; "charlie"; "delta" ] in
+  let order = Replica.rendezvous_order ~key:"k1" members in
+  check "a permutation of the members" true
+    (List.sort compare order = List.sort compare members);
+  check "deterministic" true
+    (order = Replica.rendezvous_order ~key:"k1" members);
+  (* the property replication leans on: removing one member never
+     reorders the survivors, so a key's replica set changes by at most
+     the departed member *)
+  List.iter
+    (fun gone ->
+      let survivors = List.filter (fun m -> m <> gone) members in
+      check
+        (Printf.sprintf "removing %s leaves survivor order intact" gone)
+        true
+        (Replica.rendezvous_order ~key:"k1" survivors
+        = List.filter (fun m -> m <> gone) order))
+    members;
+  (* client-side job routing hashes the same bytes: the two layers can
+     never disagree about a key's home *)
+  check "cluster's int-keyed order = replica's string-keyed order" true
+    (Serve.Cluster.rendezvous_order ~key:42 members
+    = Replica.rendezvous_order ~key:"42" members)
+
+let test_targets_and_membership () =
+  let t = Replica.create ~self:"b" ~replicas:2 [ "a"; "b"; "c" ] in
+  let targets = Replica.targets t in
+  check_int "R-1 targets" 1 (List.length targets);
+  check "self is never a target" true (not (List.mem "b" targets));
+  check "targets are members" true
+    (List.for_all (fun m -> List.mem m [ "a"; "c" ]) targets);
+  (* a membership reload reports exactly the delta *)
+  let joined, left = Replica.set_members t [ "b"; "c"; "d" ] in
+  check "joined" true (joined = [ "d" ]);
+  check "left" true (left = [ "a" ]);
+  check "view installed" true
+    (List.sort compare (Replica.members t) = [ "b"; "c"; "d" ]);
+  (* R larger than the cluster: everyone else is a target, nothing
+     breaks *)
+  let wide = Replica.create ~self:"a" ~replicas:5 [ "a"; "b"; "c" ] in
+  check "small cluster caps targets at n-1" true
+    (List.sort compare (Replica.targets wide) = [ "b"; "c" ]);
+  Replica.close wide;
+  Replica.close t;
+  check "self must be a member" true
+    (match Replica.create ~self:"x" ~replicas:2 [ "a"; "b" ] with
+    | exception Invalid_argument _ -> true
+    | t ->
+      Replica.close t;
+      false)
+
+(* --- the diskfault spec language -------------------------------------- *)
+
+let test_diskfault_spec () =
+  let spec = DF.hostile ~seed:7 in
+  (match DF.of_string (DF.to_string spec) with
+  | Ok s -> check "hostile round-trips exactly" true (s = spec)
+  | Error e -> Alcotest.failf "round-trip: %s" e);
+  (match DF.of_string (DF.to_string DF.none) with
+  | Ok s -> check "none round-trips" true (s = DF.none)
+  | Error e -> Alcotest.failf "none round-trip: %s" e);
+  check "probability over 1 refused" true
+    (Result.is_error (DF.of_string "torn=1.5"));
+  check "unknown key refused" true
+    (Result.is_error (DF.of_string "gremlins=0.5"));
+  (* purity: the same (seed, ordinal) always draws the same fate *)
+  let same =
+    List.for_all
+      (fun op -> DF.action spec ~op = DF.action spec ~op)
+      (List.init 200 Fun.id)
+  in
+  check "action is a pure function of (seed, op)" true same;
+  (* an armed hostile spec actually fires *)
+  check "hostile draws non-Pass actions" true
+    (List.exists
+       (fun op -> DF.action spec ~op <> DF.Pass)
+       (List.init 500 Fun.id))
+
+(* --- disk loss, end to end -------------------------------------------- *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let rpc_to addr req =
+  let c = Client.connect ~retries:10 addr in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> Client.rpc c req)
+
+let shutdown_server socket domain =
+  (try ignore (rpc_to socket P.Shutdown) with _ -> ());
+  Domain.join domain
+
+(* Two real members replicating to each other.  A keyed job served by
+   member 0 must leave a replica at member 1; destroying member 0's
+   whole journal directory and restarting it must bring the recorded
+   answer back from that replica — the retried request is answered
+   bit-identically without re-running. *)
+let test_disk_loss_recovery () =
+  let tmp = Filename.get_temp_dir_name () in
+  let name i ext =
+    Filename.concat tmp
+      (Printf.sprintf "replica-test-%d-%d.%s" (Unix.getpid ()) i ext)
+  in
+  let sockets = Array.init 2 (fun i -> name i "sock") in
+  let jdirs = Array.init 2 (fun i -> name i "jdir") in
+  let journals = Array.map (fun d -> Filename.concat d "self.wal") jdirs in
+  Array.iter rm_rf jdirs;
+  Array.iter (fun d -> Unix.mkdir d 0o755) jdirs;
+  let members = String.concat "," (Array.to_list sockets) in
+  let config i =
+    { (Server.default_config ~socket_path:sockets.(i)) with
+      Server.workers = 1;
+      max_pending = 8;
+      journal_path = Some journals.(i);
+      cluster = Some members;
+      self_addr = Some sockets.(i);
+      replicas = 2 }
+  in
+  let start i =
+    let server = Server.create (config i) in
+    Domain.spawn (fun () -> Server.serve server)
+  in
+  let d0 = ref (start 0) in
+  let d1 = start 1 in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown_server sockets.(0) !d0;
+      shutdown_server sockets.(1) d1;
+      Array.iter rm_rf jdirs)
+    (fun () ->
+      let run =
+        { (P.default_run (P.Kernel { name = "hydro"; size = 4 })) with
+          P.waves = 1;
+          idem = Some "replica-test-job" }
+      in
+      let r1 = rpc_to sockets.(0) (P.Simulate run) in
+      check "first run served ok" true (P.response_ok r1);
+      (* the record must already live at the peer: ask it to serve the
+         recover verb for member 0's origin *)
+      let held = rpc_to sockets.(1) (P.Recover { origin = sockets.(0) }) in
+      check "peer answers recover" true (P.response_ok held);
+      let held_entries =
+        match J.member "entries" held with J.List l -> l | _ -> []
+      in
+      check "peer holds replicas for the origin" true (held_entries <> []);
+      (* members verb: both members visible, self marked *)
+      let mv = rpc_to sockets.(1) P.Members in
+      check "members verb ok" true (P.response_ok mv);
+      check "members lists the full view" true
+        (match J.member "members" mv with
+        | J.List l -> List.length l = 2
+        | _ -> false);
+      (* kill member 0 and destroy everything it ever persisted *)
+      shutdown_server sockets.(0) !d0;
+      rm_rf jdirs.(0);
+      Unix.mkdir jdirs.(0) 0o755;
+      (* the restarted member rebuilds from the peer before serving *)
+      d0 := start 0;
+      let r2 = rpc_to sockets.(0) (P.Simulate run) in
+      check "retry after disk loss served ok" true (P.response_ok r2);
+      List.iter
+        (fun f ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s identical across the disk loss" f)
+            (J.to_string (J.member f r1))
+            (J.to_string (J.member f r2)))
+        [ "outputs"; "digest"; "end_time"; "quiescent" ];
+      (* recovered-from-record, not recomputed: the journal seeded the
+         idempotency cache, so the retry counts as a dedup *)
+      let stats = rpc_to sockets.(0) P.Stats in
+      let stat f = Option.value ~default:0 (J.get_int (J.member f stats)) in
+      check "retry answered from the recovered record" true
+        (stat "deduped" >= 1);
+      check "recovery pulled entries from the peer" true
+        (stat "recovered_entries" >= 1))
+
+let suite =
+  [ Alcotest.test_case "rendezvous: stable, minimally disruptive, shared \
+                        with routing" `Quick test_rendezvous;
+    Alcotest.test_case "targets and membership deltas" `Quick
+      test_targets_and_membership;
+    Alcotest.test_case "diskfault spec: round-trip, validation, purity"
+      `Quick test_diskfault_spec;
+    Alcotest.test_case "disk loss: dedup window rebuilt from peer replicas"
+      `Quick test_disk_loss_recovery ]

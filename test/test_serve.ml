@@ -41,6 +41,13 @@ let test_protocol_request_roundtrip () =
   roundtrip (P.Migrate "job-9");
   roundtrip P.Stats;
   roundtrip P.Shutdown;
+  roundtrip
+    (P.Replicate
+       { origin = "/tmp/member-a.sock";
+         entry = J.Obj [ ("kind", J.String "admit"); ("idem", J.String "j1") ]
+       });
+  roundtrip (P.Recover { origin = "/tmp/member-a.sock" });
+  roundtrip P.Members;
   let base = P.default_run (P.Kernel { name = "tridiag"; size = 8 }) in
   roundtrip (P.Simulate base);
   roundtrip
@@ -110,7 +117,7 @@ let test_protocol_errors () =
       check "error kind round-trips" true
         (P.error_kind_of_string (P.error_kind_to_string k) = Some k))
     [ P.Bad_request; P.Compile_error; P.Unknown_verb; P.Overloaded;
-      P.Cancelled; P.Run_error; P.Shutting_down ]
+      P.Cancelled; P.Run_error; P.Shutting_down; P.Replica_error ]
 
 (* --- LRU ------------------------------------------------------------- *)
 
